@@ -1,0 +1,162 @@
+// Command questcli is the interactive demonstration front-end: pick a
+// dataset, type keyword queries, browse ranked SQL explanations, execute
+// them and see the involved database portion as an ASCII graph — the
+// terminal analogue of the paper's GUI (Figure 2).
+//
+// Usage:
+//
+//	questcli [-db imdb|mondial|dblp] [-scale N] [-k N] [-hidden]
+//	         [-ocap F] [-ocf F] [-oc F] [-oi F] [-q "keywords"]
+//
+// With -q the query runs once and the process exits (scripting mode);
+// otherwise an interactive prompt starts.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	quest "repro"
+)
+
+func main() {
+	var (
+		dbName = flag.String("db", "imdb", "dataset: imdb, mondial or dblp")
+		scale  = flag.Int("scale", 1, "dataset scale factor")
+		seed   = flag.Int64("seed", 42, "dataset seed")
+		k      = flag.Int("k", 5, "number of explanations")
+		hidden = flag.Bool("hidden", false, "access the database as a hidden (Deep Web) source")
+		ocap   = flag.Float64("ocap", 0.2, "DS ignorance of the a-priori mode")
+		ocf    = flag.Float64("ocf", 0.8, "DS ignorance of the feedback mode")
+		oc     = flag.Float64("oc", 0.3, "DS ignorance of the forward approach")
+		oi     = flag.Float64("oi", 0.3, "DS ignorance of the backward approach")
+		oneQ   = flag.String("q", "", "run a single query and exit")
+		maxRow = flag.Int("rows", 8, "max result tuples to print per explanation")
+	)
+	flag.Parse()
+
+	cfg := quest.DatasetConfig{Seed: *seed, Scale: *scale}
+	var db *quest.Database
+	switch strings.ToLower(*dbName) {
+	case "imdb":
+		db = quest.BuildIMDB(cfg)
+	case "mondial":
+		db = quest.BuildMondial(cfg)
+	case "dblp":
+		db = quest.BuildDBLP(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dbName)
+		os.Exit(2)
+	}
+
+	opts := quest.Defaults()
+	opts.K = *k
+	opts.Uncertainty = quest.Uncertainty{OCap: *ocap, OCf: *ocf, OC: *oc, OI: *oi}
+
+	var eng *quest.Engine
+	if *hidden {
+		opts.UseLike = true
+		eng = quest.OpenHidden(db, quest.DefaultThesaurus(), opts)
+		fmt.Printf("opened %s as a HIDDEN source (metadata-only wrapper)\n", db.Name)
+	} else {
+		eng = quest.Open(db, opts)
+		fmt.Printf("opened %s with full access (%d tables, %d tuples)\n",
+			db.Name, len(db.Schema.Tables()), db.TotalRows())
+	}
+
+	// lastResults supports the "ok N" feedback command: validating an
+	// explanation trains the feedback HMM, and with AutoAdapt the DS
+	// uncertainties shift toward the feedback mode as validations accrue.
+	var lastResults []*quest.Explanation
+	eng.AutoAdapt(true)
+
+	run := func(query string) {
+		results, err := eng.Search(query)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		if len(results) == 0 {
+			fmt.Println("no explanations found (keywords match nothing)")
+			return
+		}
+		lastResults = results
+		for i, ex := range results {
+			fmt.Printf("\n#%d  belief=%.4f\n", i+1, ex.Belief)
+			fmt.Printf("  mapping : %s\n", ex.Config)
+			fmt.Printf("  sql     : %s\n", ex.SQL)
+			res, err := eng.Execute(ex)
+			if err != nil {
+				fmt.Printf("  exec err: %v\n", err)
+				continue
+			}
+			fmt.Printf("  tuples  : %d\n", len(res.Rows))
+			if len(res.Rows) > 0 {
+				shown := res
+				if len(res.Rows) > *maxRow {
+					shown = &quest.Result{Columns: res.Columns, Rows: res.Rows[:*maxRow]}
+				}
+				for _, line := range strings.Split(strings.TrimRight(shown.String(), "\n"), "\n") {
+					fmt.Printf("    %s\n", line)
+				}
+				if len(res.Rows) > *maxRow {
+					fmt.Printf("    ... %d more\n", len(res.Rows)-*maxRow)
+				}
+			}
+		}
+		fmt.Printf("\ninvolved database portion (top explanation):\n")
+		for _, line := range strings.Split(strings.TrimRight(quest.RenderExplanation(results[0]), "\n"), "\n") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+
+	if *oneQ != "" {
+		run(*oneQ)
+		return
+	}
+
+	fmt.Println(`type keyword queries ("quit" to exit, "schema" to list tables, "ok N" to validate explanation N, "explain N" for its execution plan):`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("quest> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "quit" || line == "exit":
+			return
+		case line == "schema":
+			fmt.Print(db.Schema.DDL())
+		case strings.HasPrefix(line, "explain "):
+			n := 0
+			if _, err := fmt.Sscanf(line, "explain %d", &n); err != nil || n < 1 || n > len(lastResults) {
+				fmt.Printf("usage: explain N  (1..%d, after a query)\n", len(lastResults))
+				continue
+			}
+			plan, err := quest.ExplainSQL(db, lastResults[n-1].SQL)
+			if err != nil {
+				fmt.Printf("explain error: %v\n", err)
+				continue
+			}
+			fmt.Print(plan)
+		case strings.HasPrefix(line, "ok "):
+			n := 0
+			if _, err := fmt.Sscanf(line, "ok %d", &n); err != nil || n < 1 || n > len(lastResults) {
+				fmt.Printf("usage: ok N  (1..%d, after a query)\n", len(lastResults))
+				continue
+			}
+			eng.AddFeedback([]*quest.Configuration{lastResults[n-1].Config})
+			u := eng.Options().Uncertainty
+			fmt.Printf("validated #%d (%s); %d validations so far, OCap=%.2f OCf=%.2f\n",
+				n, lastResults[n-1].Config, eng.Forward().FeedbackCount(), u.OCap, u.OCf)
+		default:
+			run(line)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Command queststats prints the anatomy of a source as QUEST sees it: the
+// term space the forward HMM decodes over, the schema graph with its
+// information-theoretic edge weights, per-attribute full-text statistics,
+// and — on request — the execution plan of an arbitrary SQL query. It is
+// the inspection companion to questcli: when a query maps somewhere
+// unexpected, this shows the evidence QUEST was working from.
+//
+// Usage:
+//
+//	queststats [-db imdb|mondial|dblp] [-scale N] [-seed N]
+//	           [-section all|terms|graph|fulltext|mi] [-sql "SELECT ..."]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	quest "repro"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/fulltext"
+	"repro/internal/mi"
+	"repro/internal/wrapper"
+)
+
+func main() {
+	var (
+		dbName  = flag.String("db", "imdb", "dataset: imdb, mondial or dblp")
+		scale   = flag.Int("scale", 1, "dataset scale factor")
+		seed    = flag.Int64("seed", 42, "dataset seed")
+		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, mi")
+		sqlText = flag.String("sql", "", "explain this SQL query and exit")
+	)
+	flag.Parse()
+
+	cfg := quest.DatasetConfig{Seed: *seed, Scale: *scale}
+	var db *quest.Database
+	switch strings.ToLower(*dbName) {
+	case "imdb":
+		db = quest.BuildIMDB(cfg)
+	case "mondial":
+		db = quest.BuildMondial(cfg)
+	case "dblp":
+		db = quest.BuildDBLP(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dbName)
+		os.Exit(2)
+	}
+
+	if *sqlText != "" {
+		plan, err := quest.ExplainSQL(db, *sqlText)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "explain: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(plan)
+		return
+	}
+
+	show := func(s string) bool { return *section == "all" || *section == s }
+
+	fmt.Printf("source %s: %d tables, %d tuples\n\n", db.Name, len(db.Schema.Tables()), db.TotalRows())
+
+	if show("terms") {
+		space := core.NewTermSpace(db.Schema)
+		tbl := &eval.Table{
+			Title:   fmt.Sprintf("term space — %d HMM states", space.Len()),
+			Headers: []string{"kind", "count"},
+		}
+		counts := map[core.TermKind]int{}
+		for _, t := range space.Terms {
+			counts[t.Kind]++
+		}
+		for _, k := range []core.TermKind{core.KindTable, core.KindAttribute, core.KindDomain} {
+			tbl.AddRow(k.String(), fmt.Sprint(counts[k]))
+		}
+		fmt.Println(tbl)
+	}
+
+	if show("graph") {
+		eng := quest.Open(db, quest.Defaults())
+		g := eng.Backward().Graph()
+		fmt.Printf("== schema graph — %d attribute nodes, %d edges ==\n", g.Len(), g.EdgeCount())
+		tbl := &eval.Table{
+			Headers: []string{"edge", "kind", "weight"},
+		}
+		seen := map[string]bool{}
+		for v := 0; v < g.Len(); v++ {
+			for _, e := range g.Neighbors(v) {
+				a, b := g.Name(e.From), g.Name(e.To)
+				if a > b {
+					a, b = b, a
+				}
+				key := a + "--" + b
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				tbl.AddRow(key, e.Label, fmt.Sprintf("%.3f", e.Weight))
+			}
+		}
+		fmt.Println(tbl)
+	}
+
+	if show("fulltext") {
+		ix := fulltext.BuildIndex(db)
+		tbl := &eval.Table{
+			Title:   "full-text statistics (setup phase)",
+			Headers: []string{"attribute", "indexed-cells", "vocabulary"},
+		}
+		for _, ai := range ix.Attributes() {
+			if ai.DocCount() == 0 {
+				continue
+			}
+			tbl.AddRow(ai.Table+"."+ai.Column, fmt.Sprint(ai.DocCount()), fmt.Sprint(ai.VocabularySize()))
+		}
+		fmt.Println(tbl)
+	}
+
+	if show("mi") {
+		src := wrapper.NewFullAccessSource(db)
+		tbl := &eval.Table{
+			Title:   "join-edge informativeness (instance statistics behind the Steiner weights)",
+			Headers: []string{"fk-edge", "selectivity", "informativeness", "distance"},
+		}
+		for _, e := range db.Schema.JoinEdges() {
+			sel, err := mi.JoinSelectivity(db.Table(e.FromTable), e.FromColumn, db.Table(e.ToTable), e.ToColumn)
+			if err != nil {
+				continue
+			}
+			q, err := mi.JoinInformativeness(db.Table(e.FromTable), e.FromColumn, db.Table(e.ToTable), e.ToColumn)
+			if err != nil {
+				continue
+			}
+			d, err := src.EdgeDistance(e)
+			if err != nil {
+				continue
+			}
+			tbl.AddRow(
+				fmt.Sprintf("%s.%s -> %s.%s", e.FromTable, e.FromColumn, e.ToTable, e.ToColumn),
+				fmt.Sprintf("%.3f", sel),
+				fmt.Sprintf("%.3f", q),
+				fmt.Sprintf("%.3f", d),
+			)
+		}
+		fmt.Println(tbl)
+	}
+}

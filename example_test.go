@@ -1,0 +1,57 @@
+package quest_test
+
+import (
+	"fmt"
+
+	quest "repro"
+)
+
+// ExampleOpen shows the minimal search loop: build a database, open an
+// engine, search, read the ranked keyword→term mappings.
+func ExampleOpen() {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: 42, Scale: 1})
+	eng := quest.Open(db, quest.Defaults())
+
+	results, err := eng.Search("spielberg thriller")
+	if err != nil {
+		panic(err)
+	}
+	for i, ex := range results {
+		if i >= 2 {
+			break
+		}
+		fmt.Printf("%d %s\n", i+1, ex.Config)
+	}
+	// Output:
+	// 1 spielberg→company.name=?, thriller→movie.genre=?
+	// 2 spielberg→movie.title=?, thriller→movie.title
+}
+
+// ExampleRunSQL shows direct SQL access to the embedded engine.
+func ExampleRunSQL() {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: 42, Scale: 1})
+	res, err := quest.RunSQL(db, "SELECT COUNT(*) FROM movie WHERE genre = 'drama'")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("dramas:", res.Rows[0][0])
+	// Output:
+	// dramas: 20
+}
+
+// ExampleTokenize shows phrase-aware keyword splitting.
+func ExampleTokenize() {
+	fmt.Printf("%q\n", quest.Tokenize(`"new york" population`))
+	// Output:
+	// ["new york" "population"]
+}
+
+// ExampleAdaptUncertainty shows the feedback-volume adaptation rule.
+func ExampleAdaptUncertainty() {
+	u := quest.Defaults().Uncertainty
+	cold := quest.AdaptUncertainty(u, 0)
+	warm := quest.AdaptUncertainty(u, 20)
+	fmt.Printf("cold OCf=%.2f warm OCf=%.2f\n", cold.OCf, warm.OCf)
+	// Output:
+	// cold OCf=0.80 warm OCf=0.11
+}

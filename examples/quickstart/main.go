@@ -1,0 +1,51 @@
+// Command quickstart is the minimal end-to-end QUEST walkthrough: build a
+// database, open an engine, run one keyword query, print the ranked SQL
+// explanations and execute the best one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	quest "repro"
+)
+
+func main() {
+	// 1. A populated database (synthetic IMDB-like: movies, people, cast).
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: 42, Scale: 1})
+	fmt.Printf("database %q: %d tables, %d tuples\n",
+		db.Name, len(db.Schema.Tables()), db.TotalRows())
+
+	// 2. The engine (setup phase: full-text indexes, schema graph, HMM).
+	eng := quest.Open(db, quest.Defaults())
+
+	// 3. A keyword query. "smith" is a person name token, "drama" a genre
+	// value: QUEST must map each keyword to the right attribute (forward
+	// step) and join person→cast_info→movie (backward step).
+	const query = "smith drama"
+	fmt.Printf("\nquery: %q\n\n", query)
+	results, err := eng.Search(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatal("no explanations found")
+	}
+
+	// 4. Ranked explanations: keyword→term mapping, join path, belief, SQL.
+	for i, ex := range results {
+		fmt.Printf("#%d  belief=%.4f\n", i+1, ex.Belief)
+		fmt.Printf("    mapping: %s\n", ex.Config)
+		fmt.Printf("    sql:     %s\n", ex.SQL)
+	}
+
+	// 5. Execute the top explanation through the wrapper.
+	rows, err := eng.Execute(results[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop explanation returned %d tuples:\n%s", len(rows.Rows), rows)
+
+	// 6. The demo GUI's graph view: which database portion the query used.
+	fmt.Printf("\ninvolved database portion:\n%s", quest.RenderExplanation(results[0]))
+}

@@ -1,0 +1,276 @@
+package quest_test
+
+import (
+	"strings"
+	"testing"
+
+	quest "repro"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/ontology"
+	"repro/internal/relational"
+	"repro/internal/wrapper"
+)
+
+// TestFullPipelineAllDatasets runs a real workload through the complete
+// pipeline on every dataset and checks (a) every generated SQL executes,
+// (b) quality stays above a floor, (c) results are deterministic.
+func TestFullPipelineAllDatasets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := quest.DatasetConfig{Seed: 42, Scale: 1}
+	cases := []struct {
+		name      string
+		db        *quest.Database
+		templates []eval.Template
+		floorMRR  float64
+	}{
+		{"imdb", quest.BuildIMDB(cfg), eval.IMDBTemplates(), 0.45},
+		{"mondial", quest.BuildMondial(cfg), eval.MondialTemplates(), 0.45},
+		{"dblp", quest.BuildDBLP(cfg), eval.DBLPTemplates(), 0.45},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := quest.Open(tc.db, quest.Defaults())
+			w := eval.NewGenerator(tc.db, 142).Generate(tc.name, tc.templates, 3)
+			if len(w.Queries) == 0 {
+				t.Fatal("empty workload")
+			}
+			var js []eval.Judgement
+			for _, q := range w.Queries {
+				ex, err := eng.Search(strings.Join(q.Keywords, " "))
+				if err != nil {
+					t.Fatalf("query %v: %v", q.Keywords, err)
+				}
+				for _, e := range ex {
+					if _, err := eng.Execute(e); err != nil {
+						t.Fatalf("query %v: generated SQL failed: %v\n%s", q.Keywords, err, e.SQL)
+					}
+				}
+				js = append(js, eval.Judge(q, ex))
+			}
+			m := eval.Aggregate(js)
+			if m.MRR < tc.floorMRR {
+				t.Fatalf("quality collapsed: %s", m)
+			}
+
+			// Determinism: repeating one query gives identical output.
+			q := w.Queries[0]
+			r1, err := eng.Search(strings.Join(q.Keywords, " "))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := eng.Search(strings.Join(q.Keywords, " "))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r1) != len(r2) {
+				t.Fatalf("nondeterministic result count: %d vs %d", len(r1), len(r2))
+			}
+			for i := range r1 {
+				if r1[i].SQL != r2[i].SQL || r1[i].Belief != r2[i].Belief {
+					t.Fatalf("nondeterministic rank %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestEmptyDatabase: an engine over an empty instance must not panic and
+// must return no value-keyword explanations while schema keywords still
+// resolve.
+func TestEmptyDatabase(t *testing.T) {
+	db := relational.MustNewDatabase("empty", mustIMDBSchema(t))
+	eng := quest.Open(db, quest.Defaults())
+	results, err := eng.Search("spielberg drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("value keywords on an empty instance returned %d explanations", len(results))
+	}
+	// Pure schema keywords still work (the forward module maps them from
+	// names/annotations, the backward module from the schema graph).
+	results, err = eng.Search("film")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("schema keyword must resolve without data")
+	}
+	if _, err := eng.Execute(results[0]); err != nil {
+		t.Fatalf("executing on the empty instance: %v", err)
+	}
+}
+
+func mustIMDBSchema(t *testing.T) *relational.Schema {
+	t.Helper()
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: 1, Scale: 1})
+	return db.Schema
+}
+
+// TestDisconnectedSchema: keywords landing in tables with no join path must
+// not produce cross-table explanations and must not error.
+func TestDisconnectedSchema(t *testing.T) {
+	s := relational.NewSchema()
+	for _, name := range []string{"apples", "oranges"} {
+		if err := s.AddTable(&relational.TableSchema{
+			Name: name,
+			Columns: []relational.Column{
+				{Name: name + "_id", Type: relational.TypeInt, NotNull: true},
+				{Name: "label", Type: relational.TypeString},
+			},
+			PrimaryKey: name + "_id",
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := relational.MustNewDatabase("fruit", s)
+	db.Table("apples").MustInsert(relational.Row{relational.Int(1), relational.String_("fuji crisp")})
+	db.Table("oranges").MustInsert(relational.Row{relational.Int(1), relational.String_("valencia sweet")})
+
+	eng := quest.Open(db, quest.Defaults())
+	results, err := eng.Search("fuji valencia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ex := range results {
+		if len(ex.Interpretation.Tables()) > 1 {
+			t.Fatalf("impossible cross-table explanation: %v", ex.Interpretation.Tables())
+		}
+	}
+}
+
+// TestSingleKeywordSingleTable covers the smallest possible pipeline.
+func TestSingleKeywordSingleTable(t *testing.T) {
+	s := relational.NewSchema()
+	if err := s.AddTable(&relational.TableSchema{
+		Name: "memo",
+		Columns: []relational.Column{
+			{Name: "memo_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "text", Type: relational.TypeString},
+		},
+		PrimaryKey: "memo_id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db := relational.MustNewDatabase("memos", s)
+	db.Table("memo").MustInsert(relational.Row{relational.Int(1), relational.String_("remember the milk")})
+	eng := quest.Open(db, quest.Defaults())
+	results, err := eng.Search("milk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no explanation for a direct hit")
+	}
+	res, err := eng.Execute(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(res.Rows))
+	}
+}
+
+// TestRetrainEMOnQueryLog: unlabeled keyword logs refine the feedback HMM
+// without validated configurations (the EM path of the feedback mode).
+func TestRetrainEMOnQueryLog(t *testing.T) {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: 42, Scale: 1})
+	opts := core.DefaultOptions()
+	opts.Thesaurus = ontology.DefaultThesaurus()
+	eng := core.NewEngine(wrapper.NewFullAccessSource(db), opts)
+	log := [][]string{
+		{"smith", "drama"},
+		{"jones", "thriller"},
+		{"kurosawa", "comedy"},
+		{"smith", "western"},
+	}
+	iters := eng.Forward().RetrainEM(log, 10)
+	if iters == 0 {
+		t.Fatal("EM did not run on the query log")
+	}
+	if !eng.Forward().HasFeedback() {
+		t.Fatal("EM training must mark the feedback mode trained")
+	}
+	configs := eng.Forward().TopKFeedback([]string{"smith", "drama"}, 3)
+	if len(configs) == 0 {
+		t.Fatal("feedback decode empty after EM")
+	}
+}
+
+// TestConflictingFeedback: contradictory validated searches must not break
+// combination (DS handles conflict by renormalization).
+func TestConflictingFeedback(t *testing.T) {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: 42, Scale: 1})
+	eng := quest.Open(db, quest.Defaults())
+	kws := []string{"smith", "drama"}
+	a := &quest.Configuration{
+		Keywords: kws,
+		Terms: []quest.Term{
+			{Kind: quest.KindDomain, Table: "person", Column: "name"},
+			{Kind: quest.KindDomain, Table: "movie", Column: "genre"},
+		},
+	}
+	b := &quest.Configuration{
+		Keywords: kws,
+		Terms: []quest.Term{
+			{Kind: quest.KindDomain, Table: "movie", Column: "title"},
+			{Kind: quest.KindDomain, Table: "movie", Column: "genre"},
+		},
+	}
+	var batch []*quest.Configuration
+	for i := 0; i < 10; i++ {
+		batch = append(batch, a, b)
+	}
+	eng.AddFeedback(batch)
+	results, err := eng.Search("smith drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("conflicting feedback wiped the results")
+	}
+}
+
+// TestCSVWorkflow: build a custom database from CSV and search it through
+// the public API (the downstream-user path end to end).
+func TestCSVWorkflow(t *testing.T) {
+	s := quest.NewSchema()
+	if err := s.AddTable(&quest.TableSchema{
+		Name: "track",
+		Columns: []quest.Column{
+			{Name: "track_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "title", Type: relational.TypeString},
+			{Name: "artist", Type: relational.TypeString},
+		},
+		PrimaryKey: "track_id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db, err := quest.NewDatabase("music", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvData := "track_id,title,artist\n1,midnight train,ella brown\n2,river song,tom waits\n3,midnight sun,ella brown\n"
+	n, err := db.LoadCSV("track", strings.NewReader(csvData))
+	if err != nil || n != 3 {
+		t.Fatalf("LoadCSV = %d, %v", n, err)
+	}
+	eng := quest.Open(db, quest.Defaults())
+	results, err := eng.Search("midnight ella")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results on CSV-loaded data")
+	}
+	res, err := eng.Execute(results[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("top explanation returned nothing")
+	}
+}

@@ -1,0 +1,266 @@
+// Package baseline implements the two classic comparator families QUEST is
+// positioned against (paper §1): a graph-based system operating on the
+// *instance* — a BANKS-style data graph whose nodes are tuples and whose
+// edges are tuple-level foreign-key links, searched with a bidirectional
+// Steiner-style expansion — and a schema-based system in the DISCOVER
+// lineage that enumerates candidate networks of tuple sets.
+//
+// Experiment E3 runs these against QUEST's schema-level Steiner approach to
+// reproduce the demonstration's third message: schema graphs are orders of
+// magnitude smaller than data graphs while remaining effective.
+package baseline
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fulltext"
+	"repro/internal/relational"
+)
+
+// TupleID identifies one tuple of the database.
+type TupleID struct {
+	Table string
+	Row   int
+}
+
+// String implements fmt.Stringer.
+func (t TupleID) String() string { return fmt.Sprintf("%s#%d", t.Table, t.Row) }
+
+// DataGraph is the BANKS-style instance graph: one node per tuple, one
+// undirected edge per tuple-level FK reference.
+type DataGraph struct {
+	db *relational.Database
+
+	nodes []TupleID
+	index map[TupleID]int
+	adj   [][]int
+}
+
+// NewDataGraph materializes the data graph of a database. Cost is linear in
+// tuples + references — this is exactly the scalability burden the paper's
+// schema-level approach avoids.
+func NewDataGraph(db *relational.Database) (*DataGraph, error) {
+	g := &DataGraph{db: db, index: make(map[TupleID]int)}
+	for _, ts := range db.Schema.Tables() {
+		t := db.Table(ts.Name)
+		for i := 0; i < t.Len(); i++ {
+			id := TupleID{Table: strings.ToLower(ts.Name), Row: i}
+			g.index[id] = len(g.nodes)
+			g.nodes = append(g.nodes, id)
+			g.adj = append(g.adj, nil)
+		}
+	}
+	for _, ts := range db.Schema.Tables() {
+		t := db.Table(ts.Name)
+		for _, fk := range ts.ForeignKeys {
+			ord := ts.ColumnIndex(fk.Column)
+			ref := db.Table(fk.RefTable)
+			refIdx, err := ref.EnsureIndex(fk.RefColumn)
+			if err != nil {
+				return nil, err
+			}
+			for ri, row := range t.Rows() {
+				v := row[ord]
+				if v.IsNull() {
+					continue
+				}
+				from := g.index[TupleID{Table: strings.ToLower(ts.Name), Row: ri}]
+				for _, rr := range refIdx[v.Key()] {
+					to := g.index[TupleID{Table: strings.ToLower(fk.RefTable), Row: rr}]
+					g.adj[from] = append(g.adj[from], to)
+					g.adj[to] = append(g.adj[to], from)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// NodeCount returns the number of tuple nodes.
+func (g *DataGraph) NodeCount() int { return len(g.nodes) }
+
+// EdgeCount returns the number of undirected edges.
+func (g *DataGraph) EdgeCount() int {
+	n := 0
+	for _, a := range g.adj {
+		n += len(a)
+	}
+	return n / 2
+}
+
+// Answer is one result tree of the BANKS search: a connected set of tuples
+// covering all keywords, scored by inverse tree size (smaller = better, the
+// classic proximity metric).
+type Answer struct {
+	Tuples []TupleID
+	Score  float64
+}
+
+// bfsState is a frontier entry of the multi-source expansion.
+type bfsState struct {
+	node   int
+	origin int // keyword index the expansion started from
+	dist   int
+	seq    int
+}
+
+type bfsHeap []bfsState
+
+func (h bfsHeap) Len() int { return len(h) }
+func (h bfsHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].seq < h[j].seq
+}
+func (h bfsHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *bfsHeap) Push(x interface{}) { *h = append(*h, x.(bfsState)) }
+func (h *bfsHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Search runs the BANKS-style backward expanding search: every tuple
+// containing a keyword seeds an expansion; when some node has been reached
+// from every keyword group, the union of the connecting paths is an answer
+// tree. Returns up to k answers ordered by increasing size.
+func (g *DataGraph) Search(index *fulltext.Index, keywords []string, k int) ([]Answer, error) {
+	if len(keywords) == 0 || k <= 0 {
+		return nil, nil
+	}
+	// Seed groups: tuples matching each keyword.
+	groups := make([][]int, len(keywords))
+	for ki, kw := range keywords {
+		seen := map[int]bool{}
+		for _, ai := range index.Attributes() {
+			rows := ai.Rows(kw)
+			for _, r := range rows {
+				id := TupleID{Table: strings.ToLower(ai.Table), Row: r}
+				if n, ok := g.index[id]; ok && !seen[n] {
+					seen[n] = true
+					groups[ki] = append(groups[ki], n)
+				}
+			}
+		}
+		if len(groups[ki]) == 0 {
+			return nil, nil // a keyword with no tuple hit has no answer
+		}
+		sort.Ints(groups[ki])
+	}
+
+	// dist[ki][node], parent[ki][node] for path reconstruction.
+	dist := make([]map[int]int, len(keywords))
+	parent := make([]map[int]int, len(keywords))
+	h := &bfsHeap{}
+	seq := 0
+	for ki, grp := range groups {
+		dist[ki] = make(map[int]int)
+		parent[ki] = make(map[int]int)
+		for _, n := range grp {
+			dist[ki][n] = 0
+			parent[ki][n] = -1
+			seq++
+			heap.Push(h, bfsState{node: n, origin: ki, dist: 0, seq: seq})
+		}
+	}
+
+	var answers []Answer
+	emitted := make(map[string]bool)
+	budget := g.NodeCount() * len(keywords) * 4
+	for h.Len() > 0 && len(answers) < k && budget > 0 {
+		budget--
+		st := heap.Pop(h).(bfsState)
+		if d, ok := dist[st.origin][st.node]; !ok || d < st.dist {
+			continue
+		}
+		// Root check: reached from all groups?
+		complete := true
+		total := 0
+		for ki := range keywords {
+			d, ok := dist[ki][st.node]
+			if !ok {
+				complete = false
+				break
+			}
+			total += d
+		}
+		if complete {
+			ans := g.buildAnswer(st.node, dist, parent, len(keywords))
+			key := answerKey(ans)
+			if !emitted[key] {
+				emitted[key] = true
+				ans.Score = 1 / float64(1+total)
+				answers = append(answers, ans)
+				if len(answers) >= k {
+					break
+				}
+			}
+		}
+		for _, nb := range g.adj[st.node] {
+			nd := st.dist + 1
+			if d, ok := dist[st.origin][nb]; ok && d <= nd {
+				continue
+			}
+			dist[st.origin][nb] = nd
+			parent[st.origin][nb] = st.node
+			seq++
+			heap.Push(h, bfsState{node: nb, origin: st.origin, dist: nd, seq: seq})
+		}
+	}
+	sort.SliceStable(answers, func(i, j int) bool { return answers[i].Score > answers[j].Score })
+	return answers, nil
+}
+
+func (g *DataGraph) buildAnswer(root int, dist []map[int]int, parent []map[int]int, nk int) Answer {
+	set := map[int]bool{root: true}
+	for ki := 0; ki < nk; ki++ {
+		n := root
+		for n != -1 {
+			set[n] = true
+			p, ok := parent[ki][n]
+			if !ok {
+				break
+			}
+			n = p
+		}
+	}
+	nodes := make([]int, 0, len(set))
+	for n := range set {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	tuples := make([]TupleID, len(nodes))
+	for i, n := range nodes {
+		tuples[i] = g.nodes[n]
+	}
+	return Answer{Tuples: tuples}
+}
+
+func answerKey(a Answer) string {
+	parts := make([]string, len(a.Tuples))
+	for i, t := range a.Tuples {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Tables returns the sorted distinct tables of the answer's tuples —
+// comparable to a QUEST explanation's table set for quality scoring.
+func (a Answer) Tables() []string {
+	set := map[string]bool{}
+	for _, t := range a.Tuples {
+		set[t.Table] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,269 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fulltext"
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+func fixtureDB(t testing.TB) *relational.Database {
+	t.Helper()
+	s := relational.NewSchema()
+	add := func(ts *relational.TableSchema) {
+		if err := s.AddTable(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&relational.TableSchema{
+		Name: "movie",
+		Columns: []relational.Column{
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "title", Type: relational.TypeString},
+			{Name: "genre", Type: relational.TypeString},
+		},
+		PrimaryKey: "movie_id",
+	})
+	add(&relational.TableSchema{
+		Name: "person",
+		Columns: []relational.Column{
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString},
+		},
+		PrimaryKey: "person_id",
+	})
+	add(&relational.TableSchema{
+		Name: "cast_info",
+		Columns: []relational.Column{
+			{Name: "cast_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+		},
+		PrimaryKey: "cast_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "movie_id", RefTable: "movie", RefColumn: "movie_id"},
+			{Column: "person_id", RefTable: "person", RefColumn: "person_id"},
+		},
+	})
+	db := relational.MustNewDatabase("m", s)
+	I, S := relational.Int, relational.String_
+	for _, r := range []relational.Row{
+		{I(1), S("the dark night"), S("thriller")},
+		{I(2), S("silent river"), S("drama")},
+	} {
+		if err := db.Insert("movie", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []relational.Row{
+		{I(1), S("alice spielberg")},
+		{I(2), S("bob jones")},
+	} {
+		if err := db.Insert("person", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []relational.Row{
+		{I(1), I(1), I(1)},
+		{I(2), I(2), I(1)},
+		{I(3), I(2), I(2)},
+	} {
+		if err := db.Insert("cast_info", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestDataGraphConstruction(t *testing.T) {
+	db := fixtureDB(t)
+	g, err := NewDataGraph(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 movies + 2 people + 3 cast rows = 7 nodes.
+	if g.NodeCount() != 7 {
+		t.Fatalf("nodes = %d, want 7", g.NodeCount())
+	}
+	// Each cast row links to 1 movie and 1 person: 6 edges.
+	if g.EdgeCount() != 6 {
+		t.Fatalf("edges = %d, want 6", g.EdgeCount())
+	}
+}
+
+func TestDataGraphMuchLargerThanSchemaGraph(t *testing.T) {
+	// The paper's scalability argument: the data graph grows with the
+	// instance while the schema graph stays fixed. 7 tuples already exceed
+	// the 3 tables here; real ratios are shown in experiment E1.
+	db := fixtureDB(t)
+	g, err := NewDataGraph(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() <= len(db.Schema.Tables()) {
+		t.Fatal("data graph must exceed table count")
+	}
+}
+
+func TestBANKSSearchFindsConnectingTree(t *testing.T) {
+	db := fixtureDB(t)
+	g, err := NewDataGraph(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := fulltext.BuildIndex(db)
+	answers, err := g.Search(ix, []string{"spielberg", "drama"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("no answers")
+	}
+	top := answers[0]
+	tables := top.Tables()
+	// Must connect person (spielberg) to movie (drama) through cast_info.
+	want := []string{"cast_info", "movie", "person"}
+	if len(tables) != 3 {
+		t.Fatalf("tables = %v, want %v", tables, want)
+	}
+	for i := range want {
+		if tables[i] != want[i] {
+			t.Fatalf("tables = %v, want %v", tables, want)
+		}
+	}
+	for i := 1; i < len(answers); i++ {
+		if answers[i].Score > answers[i-1].Score+1e-12 {
+			t.Fatal("answers must be sorted by descending score")
+		}
+	}
+}
+
+func TestBANKSSearchSingleKeyword(t *testing.T) {
+	db := fixtureDB(t)
+	g, _ := NewDataGraph(db)
+	ix := fulltext.BuildIndex(db)
+	answers, err := g.Search(ix, []string{"drama"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) == 0 {
+		t.Fatal("single keyword must return the matching tuples")
+	}
+	if len(answers[0].Tuples) != 1 {
+		t.Fatalf("single-keyword answer = %v", answers[0].Tuples)
+	}
+}
+
+func TestBANKSSearchNoHit(t *testing.T) {
+	db := fixtureDB(t)
+	g, _ := NewDataGraph(db)
+	ix := fulltext.BuildIndex(db)
+	answers, err := g.Search(ix, []string{"zzzz"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(answers) != 0 {
+		t.Fatalf("impossible keyword returned %d answers", len(answers))
+	}
+	// k=0 and empty keywords.
+	if a, _ := g.Search(ix, nil, 3); a != nil {
+		t.Fatal("empty keywords must return nil")
+	}
+	if a, _ := g.Search(ix, []string{"drama"}, 0); a != nil {
+		t.Fatal("k=0 must return nil")
+	}
+}
+
+func TestDiscoverEnumeratesNetworks(t *testing.T) {
+	db := fixtureDB(t)
+	ix := fulltext.BuildIndex(db)
+	d := NewDiscover(db, ix)
+	cns, err := d.TopK([]string{"spielberg", "drama"}, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cns) == 0 {
+		t.Fatal("no candidate networks")
+	}
+	// Smallest network must come first.
+	for i := 1; i < len(cns); i++ {
+		if cns[i].Size < cns[i-1].Size {
+			t.Fatal("networks must be ordered by size")
+		}
+	}
+	// The person+cast+movie network must exist.
+	found := false
+	for _, cn := range cns {
+		key := strings.Join(cn.Tables, "+")
+		if key == "cast_info+movie+person" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected 3-table network, got %v", cns)
+	}
+}
+
+func TestDiscoverNetworksExecute(t *testing.T) {
+	db := fixtureDB(t)
+	ix := fulltext.BuildIndex(db)
+	d := NewDiscover(db, ix)
+	cns, err := d.TopK([]string{"spielberg", "drama"}, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyRows := false
+	for _, cn := range cns {
+		stmt, err := cn.SQL(db.Schema)
+		if err != nil {
+			t.Fatalf("network %v: %v", cn.Tables, err)
+		}
+		res, err := sql.Execute(db, stmt)
+		if err != nil {
+			t.Fatalf("network SQL failed: %v\n%s", err, stmt.SQL())
+		}
+		if len(res.Rows) > 0 {
+			anyRows = true
+		}
+	}
+	if !anyRows {
+		t.Fatal("no candidate network returned tuples (spielberg acted in a drama)")
+	}
+}
+
+func TestDiscoverNoHitKeyword(t *testing.T) {
+	db := fixtureDB(t)
+	ix := fulltext.BuildIndex(db)
+	d := NewDiscover(db, ix)
+	cns, err := d.TopK([]string{"zzzz", "drama"}, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cns) != 0 {
+		t.Fatalf("networks for impossible keyword: %v", cns)
+	}
+}
+
+func TestDiscoverMaxSizeBound(t *testing.T) {
+	db := fixtureDB(t)
+	ix := fulltext.BuildIndex(db)
+	d := NewDiscover(db, ix)
+	cns, err := d.TopK([]string{"spielberg", "drama"}, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cn := range cns {
+		if cn.Size > 1 {
+			t.Fatalf("network exceeds maxSize: %v", cn.Tables)
+		}
+	}
+}
+
+func TestTupleIDString(t *testing.T) {
+	id := TupleID{Table: "movie", Row: 3}
+	if id.String() != "movie#3" {
+		t.Fatalf("String() = %q", id.String())
+	}
+}

@@ -1,0 +1,301 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fulltext"
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+// CandidateNetwork is a DISCOVER-style join expression: a connected set of
+// tuple sets (tables with keyword conditions) joined along foreign keys.
+type CandidateNetwork struct {
+	// Tables in join order; Conditions[i] lists the keywords constraining
+	// table i ("free" tuple sets have no conditions).
+	Tables     []string
+	Conditions map[string][]string // table -> keywords
+	Joins      []relational.JoinEdge
+	// Size is the number of tuple sets (smaller = better, per DISCOVER's
+	// ranking).
+	Size int
+}
+
+// SQL renders the network as an executable statement over the engine.
+func (cn *CandidateNetwork) SQL(schema *relational.Schema) (*sql.SelectStmt, error) {
+	if len(cn.Tables) == 0 {
+		return nil, fmt.Errorf("baseline: empty candidate network")
+	}
+	stmt := &sql.SelectStmt{Limit: -1, Distinct: true}
+	stmt.From = sql.TableRef{Table: cn.Tables[0]}
+	joined := map[string]bool{strings.ToLower(cn.Tables[0]): true}
+	remaining := append([]relational.JoinEdge(nil), cn.Joins...)
+	for len(remaining) > 0 {
+		progress := false
+		var next []relational.JoinEdge
+		for _, e := range remaining {
+			ft, tt := strings.ToLower(e.FromTable), strings.ToLower(e.ToTable)
+			switch {
+			case joined[ft] && !joined[tt]:
+				stmt.Joins = append(stmt.Joins, joinOn(e.ToTable, e.ToColumn, e.FromTable, e.FromColumn))
+				joined[tt] = true
+				progress = true
+			case joined[tt] && !joined[ft]:
+				stmt.Joins = append(stmt.Joins, joinOn(e.FromTable, e.FromColumn, e.ToTable, e.ToColumn))
+				joined[ft] = true
+				progress = true
+			case joined[ft] && joined[tt]:
+				progress = true
+			default:
+				next = append(next, e)
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("baseline: disconnected candidate network")
+		}
+		remaining = next
+	}
+	// WHERE: every condition keyword must match some text column of its
+	// table; DISCOVER uses per-table "tuple sets" from the master index —
+	// we approximate with an OR over the table's string columns.
+	var where sql.Expr
+	for _, tbl := range cn.Tables {
+		for _, kw := range cn.Conditions[strings.ToLower(tbl)] {
+			var pred sql.Expr
+			ts := schema.Table(tbl)
+			if ts == nil {
+				return nil, fmt.Errorf("baseline: unknown table %s", tbl)
+			}
+			for _, col := range ts.Columns {
+				if col.Type != relational.TypeString {
+					continue
+				}
+				m := &sql.BinaryExpr{
+					Op:    sql.OpMatch,
+					Left:  &sql.ColumnRef{Table: ts.Name, Column: col.Name},
+					Right: &sql.Literal{Value: relational.String_(kw)},
+				}
+				if pred == nil {
+					pred = m
+				} else {
+					pred = &sql.BinaryExpr{Op: sql.OpOr, Left: pred, Right: m}
+				}
+			}
+			if pred == nil {
+				return nil, fmt.Errorf("baseline: table %s has no text column for %q", tbl, kw)
+			}
+			if where == nil {
+				where = pred
+			} else {
+				where = &sql.BinaryExpr{Op: sql.OpAnd, Left: where, Right: pred}
+			}
+		}
+	}
+	stmt.Where = where
+	// Project PK + first text column of each conditioned table.
+	for _, tbl := range cn.Tables {
+		ts := schema.Table(tbl)
+		if ts.PrimaryKey != "" {
+			stmt.Items = append(stmt.Items, sql.SelectItem{
+				Expr: &sql.ColumnRef{Table: ts.Name, Column: ts.PrimaryKey}})
+		}
+		for _, col := range ts.Columns {
+			if col.Type == relational.TypeString {
+				stmt.Items = append(stmt.Items, sql.SelectItem{
+					Expr: &sql.ColumnRef{Table: ts.Name, Column: col.Name}})
+				break
+			}
+		}
+	}
+	if len(stmt.Items) == 0 {
+		stmt.Items = []sql.SelectItem{{Star: true}}
+	}
+	return stmt, nil
+}
+
+func joinOn(newTable, newCol, boundTable, boundCol string) sql.JoinClause {
+	return sql.JoinClause{
+		Table: sql.TableRef{Table: newTable},
+		On: &sql.BinaryExpr{
+			Op:    sql.OpEq,
+			Left:  &sql.ColumnRef{Table: newTable, Column: newCol},
+			Right: &sql.ColumnRef{Table: boundTable, Column: boundCol},
+		},
+	}
+}
+
+// Discover enumerates candidate networks up to maxSize tuple sets for the
+// keyword query: (1) find the tables whose text matches each keyword via
+// the master index, (2) grow connected table sets over the schema's FK
+// edges until every keyword is covered, (3) rank by network size.
+type Discover struct {
+	db    *relational.Database
+	index *fulltext.Index
+}
+
+// NewDiscover returns the comparator over an indexed database.
+func NewDiscover(db *relational.Database, index *fulltext.Index) *Discover {
+	return &Discover{db: db, index: index}
+}
+
+// TopK enumerates up to k candidate networks covering all keywords, ordered
+// by size then lexicographically.
+func (d *Discover) TopK(keywords []string, k, maxSize int) ([]*CandidateNetwork, error) {
+	if len(keywords) == 0 || k <= 0 {
+		return nil, nil
+	}
+	if maxSize <= 0 {
+		maxSize = 5
+	}
+	// Keyword -> tables whose text contains it.
+	kwTables := make([][]string, len(keywords))
+	for i, kw := range keywords {
+		set := map[string]bool{}
+		for _, hit := range d.index.SearchAll(kw) {
+			set[strings.ToLower(hit.Table)] = true
+		}
+		if len(set) == 0 {
+			return nil, nil
+		}
+		for t := range set {
+			kwTables[i] = append(kwTables[i], t)
+		}
+		sort.Strings(kwTables[i])
+	}
+
+	// Schema adjacency.
+	edges := d.db.Schema.JoinEdges()
+	adj := map[string][]relational.JoinEdge{}
+	for _, e := range edges {
+		adj[strings.ToLower(e.FromTable)] = append(adj[strings.ToLower(e.FromTable)], e)
+		adj[strings.ToLower(e.ToTable)] = append(adj[strings.ToLower(e.ToTable)], e)
+	}
+
+	// Enumerate assignments keyword->table, then connect the assigned
+	// tables with a BFS tree over the schema graph.
+	var results []*CandidateNetwork
+	seen := map[string]bool{}
+	var assign func(i int, chosen []string)
+	assign = func(i int, chosen []string) {
+		if len(results) >= k*4 { // enumerate extra, trim after ranking
+			return
+		}
+		if i == len(keywords) {
+			cn := d.connect(chosen, keywords, adj, maxSize)
+			if cn == nil {
+				return
+			}
+			key := cnKey(cn)
+			if !seen[key] {
+				seen[key] = true
+				results = append(results, cn)
+			}
+			return
+		}
+		for _, t := range kwTables[i] {
+			assign(i+1, append(chosen, t))
+		}
+	}
+	assign(0, nil)
+
+	sort.SliceStable(results, func(a, b int) bool {
+		if results[a].Size != results[b].Size {
+			return results[a].Size < results[b].Size
+		}
+		return cnKey(results[a]) < cnKey(results[b])
+	})
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results, nil
+}
+
+// connect grows a minimal connected table set containing all chosen tables
+// (BFS from the first table through schema edges); nil if impossible
+// within maxSize.
+func (d *Discover) connect(chosen, keywords []string, adj map[string][]relational.JoinEdge, maxSize int) *CandidateNetwork {
+	need := map[string]bool{}
+	for _, t := range chosen {
+		need[t] = true
+	}
+	start := chosen[0]
+	// BFS tree from start until all needed tables reached.
+	type crumb struct {
+		table string
+		via   relational.JoinEdge
+		from  string
+	}
+	visited := map[string]crumb{start: {table: start}}
+	queue := []string{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			other := strings.ToLower(e.ToTable)
+			if other == cur {
+				other = strings.ToLower(e.FromTable)
+			}
+			if _, ok := visited[other]; ok {
+				continue
+			}
+			visited[other] = crumb{table: other, via: e, from: cur}
+			queue = append(queue, other)
+		}
+	}
+	tables := map[string]bool{}
+	var joins []relational.JoinEdge
+	for t := range need {
+		c, ok := visited[t]
+		if !ok {
+			return nil
+		}
+		for c.table != start {
+			if !tables[c.table] {
+				tables[c.table] = true
+				joins = append(joins, c.via)
+			}
+			c = visited[c.from]
+		}
+	}
+	tables[start] = true
+	if len(tables) > maxSize {
+		return nil
+	}
+	var tlist []string
+	for t := range tables {
+		tlist = append(tlist, t)
+	}
+	sort.Strings(tlist)
+	// Deterministic join order.
+	sort.Slice(joins, func(i, j int) bool {
+		a, b := joins[i], joins[j]
+		ka := a.FromTable + a.FromColumn + a.ToTable + a.ToColumn
+		kb := b.FromTable + b.FromColumn + b.ToTable + b.ToColumn
+		return ka < kb
+	})
+	cond := map[string][]string{}
+	for i, kw := range keywords {
+		t := chosen[i]
+		cond[t] = append(cond[t], kw)
+	}
+	return &CandidateNetwork{
+		Tables:     tlist,
+		Conditions: cond,
+		Joins:      joins,
+		Size:       len(tlist),
+	}
+}
+
+func cnKey(cn *CandidateNetwork) string {
+	var parts []string
+	parts = append(parts, strings.Join(cn.Tables, "+"))
+	var ct []string
+	for t, kws := range cn.Conditions {
+		ct = append(ct, t+":"+strings.Join(kws, ","))
+	}
+	sort.Strings(ct)
+	parts = append(parts, ct...)
+	return strings.Join(parts, "|")
+}

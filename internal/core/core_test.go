@@ -1,0 +1,638 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/relational"
+	"repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// fixtureDB builds a three-table movie database with enough content for
+// forward/backward decoding tests.
+func fixtureDB(t testing.TB) *relational.Database {
+	t.Helper()
+	s := relational.NewSchema()
+	add := func(ts *relational.TableSchema) {
+		if err := s.AddTable(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&relational.TableSchema{
+		Name:        "movie",
+		Annotations: []string{"film"},
+		Columns: []relational.Column{
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "title", Type: relational.TypeString},
+			{Name: "genre", Type: relational.TypeString},
+			{Name: "year", Type: relational.TypeInt, Pattern: `(19|20)\d\d`},
+		},
+		PrimaryKey: "movie_id",
+	})
+	add(&relational.TableSchema{
+		Name:        "person",
+		Annotations: []string{"actor", "people"},
+		Columns: []relational.Column{
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString},
+		},
+		PrimaryKey: "person_id",
+	})
+	add(&relational.TableSchema{
+		Name: "cast_info",
+		Columns: []relational.Column{
+			{Name: "cast_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+		},
+		PrimaryKey: "cast_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "movie_id", RefTable: "movie", RefColumn: "movie_id"},
+			{Column: "person_id", RefTable: "person", RefColumn: "person_id"},
+		},
+	})
+	db := relational.MustNewDatabase("movies", s)
+	I, S := relational.Int, relational.String_
+	movies := []relational.Row{
+		{I(1), S("the dark night"), S("thriller"), I(2008)},
+		{I(2), S("silent river"), S("drama"), I(1994)},
+		{I(3), S("dark river"), S("drama"), I(2001)},
+		{I(4), S("golden storm"), S("comedy"), I(1999)},
+	}
+	for _, r := range movies {
+		if err := db.Insert("movie", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	people := []relational.Row{
+		{I(1), S("alice kurosawa")},
+		{I(2), S("bob spielberg")},
+		{I(3), S("carol smith")},
+		// "dark" appears both in titles and in a person name: queries with
+		// "dark" are genuinely ambiguous, which several tests rely on.
+		{I(4), S("dave dark")},
+	}
+	for _, r := range people {
+		if err := db.Insert("person", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	casts := []relational.Row{
+		{I(1), I(1), I(1)},
+		{I(2), I(2), I(2)},
+		{I(3), I(3), I(3)},
+		{I(4), I(2), I(3)},
+		{I(5), I(3), I(4)},
+	}
+	for _, r := range casts {
+		if err := db.Insert("cast_info", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func fixtureEngine(t testing.TB) *Engine {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Thesaurus = ontology.DefaultThesaurus()
+	return NewEngine(wrapper.NewFullAccessSource(fixtureDB(t)), opts)
+}
+
+func TestTermSpaceEnumeration(t *testing.T) {
+	db := fixtureDB(t)
+	space := NewTermSpace(db.Schema)
+	// 3 tables + (4+2+3) attributes ×2 (attribute + domain) = 3 + 18 = 21.
+	if space.Len() != 21 {
+		t.Fatalf("term space = %d states, want 21", space.Len())
+	}
+	// Index round trip.
+	term := Term{Kind: KindDomain, Table: "movie", Column: "title"}
+	i := space.Index(term)
+	if i < 0 || space.Terms[i].ID() != term.ID() {
+		t.Fatalf("index round trip failed: %d", i)
+	}
+	if space.Index(Term{Kind: KindTable, Table: "nope"}) != -1 {
+		t.Fatal("unknown term must be -1")
+	}
+	if space.IndexOfID("T:movie") < 0 {
+		t.Fatal("IndexOfID failed")
+	}
+}
+
+func TestTermIDs(t *testing.T) {
+	tests := []struct {
+		term Term
+		want string
+	}{
+		{Term{Kind: KindTable, Table: "Movie"}, "T:movie"},
+		{Term{Kind: KindAttribute, Table: "Movie", Column: "Title"}, "A:movie.title"},
+		{Term{Kind: KindDomain, Table: "movie", Column: "title"}, "D:movie.title"},
+	}
+	for _, tt := range tests {
+		if got := tt.term.ID(); got != tt.want {
+			t.Errorf("ID() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestTokenizeQueries(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"dark river", []string{"dark", "river"}},
+		{`"new york" population`, []string{"new york", "population"}},
+		{"  spaced   out  ", []string{"spaced", "out"}},
+		{"a,b", []string{"a", "b"}},
+		{"", nil},
+		{`"unterminated phrase`, []string{"unterminated phrase"}},
+	}
+	for _, tt := range tests {
+		got := Tokenize(tt.in)
+		if len(got) != len(tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("Tokenize(%q)[%d] = %q, want %q", tt.in, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestForwardValueKeywordMapsToDomain(t *testing.T) {
+	e := fixtureEngine(t)
+	configs := e.Forward().TopKApriori([]string{"spielberg"}, 5)
+	if len(configs) == 0 {
+		t.Fatal("no configurations")
+	}
+	top := configs[0]
+	if top.Terms[0].ID() != "D:person.name" {
+		t.Fatalf("spielberg mapped to %s, want D:person.name", top.Terms[0].ID())
+	}
+}
+
+func TestForwardSchemaKeywordMapsToTableOrAttribute(t *testing.T) {
+	e := fixtureEngine(t)
+	configs := e.Forward().TopKApriori([]string{"film"}, 5)
+	if len(configs) == 0 {
+		t.Fatal("no configurations")
+	}
+	if configs[0].Terms[0].ID() != "T:movie" {
+		t.Fatalf("film mapped to %s, want T:movie", configs[0].Terms[0].ID())
+	}
+	// Attribute keyword.
+	configs = e.Forward().TopKApriori([]string{"title", "dark"}, 5)
+	if len(configs) == 0 {
+		t.Fatal("no configurations for title dark")
+	}
+	found := false
+	for _, c := range configs {
+		if c.Terms[0].ID() == "A:movie.title" && c.Terms[1].ID() == "D:movie.title" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("title→A:movie.title, dark→D:movie.title not in top-k: %v", configs)
+	}
+}
+
+func TestForwardTopKDistinctAndSorted(t *testing.T) {
+	e := fixtureEngine(t)
+	configs := e.Forward().TopKApriori([]string{"dark", "drama"}, 8)
+	seen := map[string]bool{}
+	for i, c := range configs {
+		if seen[c.ID()] {
+			t.Fatalf("duplicate configuration %s", c.ID())
+		}
+		seen[c.ID()] = true
+		if i > 0 && configs[i].Score > configs[i-1].Score+1e-12 {
+			t.Fatal("configurations must be sorted by descending score")
+		}
+		if len(c.Terms) != 2 {
+			t.Fatalf("config arity = %d", len(c.Terms))
+		}
+	}
+}
+
+func TestForwardUnknownKeywordYieldsNothingOrWeak(t *testing.T) {
+	e := fixtureEngine(t)
+	configs := e.Forward().TopKApriori([]string{"xyzzyplugh"}, 5)
+	// The keyword matches no value and no schema term: no configuration.
+	if len(configs) != 0 {
+		t.Fatalf("unknown keyword produced %d configs", len(configs))
+	}
+}
+
+func TestForwardFeedbackShiftsDecoding(t *testing.T) {
+	e := fixtureEngine(t)
+	kw := []string{"dark", "drama"}
+	gold := &Configuration{
+		Keywords: kw,
+		Terms: []Term{
+			{Kind: KindDomain, Table: "movie", Column: "title"},
+			{Kind: KindDomain, Table: "movie", Column: "genre"},
+		},
+	}
+	// Train heavily on the gold configuration.
+	var batch []*Configuration
+	for i := 0; i < 20; i++ {
+		batch = append(batch, gold)
+	}
+	e.AddFeedback(batch)
+	if !e.Forward().HasFeedback() {
+		t.Fatal("feedback not registered")
+	}
+	if e.Forward().FeedbackCount() != 20 {
+		t.Fatalf("feedback count = %d", e.Forward().FeedbackCount())
+	}
+	configs := e.Forward().TopKFeedback(kw, 3)
+	if len(configs) == 0 {
+		t.Fatal("feedback decode returned nothing")
+	}
+	if configs[0].ID() != gold.ID() {
+		t.Fatalf("feedback top config = %s, want %s", configs[0].ID(), gold.ID())
+	}
+}
+
+func TestBackwardTerminals(t *testing.T) {
+	e := fixtureEngine(t)
+	c := &Configuration{
+		Keywords: []string{"spielberg", "drama"},
+		Terms: []Term{
+			{Kind: KindDomain, Table: "person", Column: "name"},
+			{Kind: KindDomain, Table: "movie", Column: "genre"},
+		},
+	}
+	terms, err := e.Backward().Terminals(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"movie.genre", "person.name"}
+	if len(terms) != 2 || terms[0] != want[0] || terms[1] != want[1] {
+		t.Fatalf("terminals = %v, want %v", terms, want)
+	}
+	// Table term anchors on the PK.
+	c2 := &Configuration{
+		Keywords: []string{"film"},
+		Terms:    []Term{{Kind: KindTable, Table: "movie"}},
+	}
+	terms, err = e.Backward().Terminals(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(terms) != 1 || terms[0] != "movie.movie_id" {
+		t.Fatalf("table terminal = %v", terms)
+	}
+	// Unknown table errors.
+	if _, err := e.Backward().Terminals(&Configuration{
+		Terms: []Term{{Kind: KindTable, Table: "nope"}},
+	}); err == nil {
+		t.Fatal("unknown table must error")
+	}
+}
+
+func TestBackwardCrossTableInterpretation(t *testing.T) {
+	e := fixtureEngine(t)
+	c := &Configuration{
+		Keywords: []string{"spielberg", "drama"},
+		Terms: []Term{
+			{Kind: KindDomain, Table: "person", Column: "name"},
+			{Kind: KindDomain, Table: "movie", Column: "genre"},
+		},
+		Score: 1,
+	}
+	interps, err := e.Backward().TopK(c, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(interps) == 0 {
+		t.Fatal("no interpretations")
+	}
+	top := interps[0]
+	tables := top.Tables()
+	if len(tables) != 3 || tables[0] != "cast_info" || tables[1] != "movie" || tables[2] != "person" {
+		t.Fatalf("tables = %v, want the join through cast_info", tables)
+	}
+	steps := top.JoinSteps()
+	if len(steps) != 2 {
+		t.Fatalf("join steps = %v", steps)
+	}
+	if top.Score <= 0 || top.Score > 1 {
+		t.Fatalf("score = %v", top.Score)
+	}
+}
+
+func TestBackwardSchemaGraphShape(t *testing.T) {
+	e := fixtureEngine(t)
+	g := e.Backward().Graph()
+	// One node per attribute: 4 + 2 + 3 = 9.
+	if g.Len() != 9 {
+		t.Fatalf("graph nodes = %d, want 9", g.Len())
+	}
+	// Intra edges: (4-1)+(2-1)+(3-1) = 6; FK edges: 2. Total 8.
+	if g.EdgeCount() != 8 {
+		t.Fatalf("graph edges = %d, want 8", g.EdgeCount())
+	}
+}
+
+func TestBuilderGeneratesExecutableSQL(t *testing.T) {
+	e := fixtureEngine(t)
+	results, err := e.Search("spielberg drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no explanations")
+	}
+	for _, ex := range results {
+		// Every generated query must parse and execute on the engine.
+		stmt, err := sql.Parse(ex.SQL)
+		if err != nil {
+			t.Fatalf("generated SQL does not parse: %v\n%s", err, ex.SQL)
+		}
+		if _, err := e.Execute(ex); err != nil {
+			t.Fatalf("generated SQL does not execute: %v\n%s", err, ex.SQL)
+		}
+		if stmt.SQL() != ex.SQL {
+			t.Fatalf("SQL rendering unstable:\n%s\n%s", stmt.SQL(), ex.SQL)
+		}
+	}
+}
+
+func TestSearchFindsGoldJoin(t *testing.T) {
+	e := fixtureEngine(t)
+	results, err := e.Search("spielberg drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The person+cast+movie join with both predicates must be among the
+	// top explanations, and its execution must return a non-empty result
+	// (bob spielberg played in silent river, a drama).
+	for _, ex := range results {
+		tables := ex.Interpretation.Tables()
+		if len(tables) == 3 && strings.Contains(ex.SQL, "MATCH 'spielberg'") &&
+			strings.Contains(ex.SQL, "MATCH 'drama'") {
+			res, err := e.Execute(ex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) == 0 {
+				t.Fatal("gold join returned no tuples")
+			}
+			return
+		}
+	}
+	t.Fatalf("gold join not found in %d explanations", len(results))
+}
+
+func TestSearchEmptyQuery(t *testing.T) {
+	e := fixtureEngine(t)
+	if _, err := e.Search("   "); err == nil {
+		t.Fatal("empty query must error")
+	}
+}
+
+func TestSearchUnknownKeywords(t *testing.T) {
+	e := fixtureEngine(t)
+	results, err := e.Search("qqqq zzzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("unknown keywords returned %d explanations", len(results))
+	}
+}
+
+func TestSearchBeliefsSortedAndBounded(t *testing.T) {
+	e := fixtureEngine(t)
+	results, err := e.Search("dark drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	total := 0.0
+	for i, ex := range results {
+		if ex.Belief < 0 || ex.Belief > 1 {
+			t.Fatalf("belief out of range: %v", ex.Belief)
+		}
+		total += ex.Belief
+		if i > 0 && results[i].Belief > results[i-1].Belief+1e-12 {
+			t.Fatal("beliefs must be non-increasing")
+		}
+	}
+	if total > 1+1e-9 {
+		t.Fatalf("beliefs sum to %v > 1", total)
+	}
+}
+
+func TestSearchRespectsK(t *testing.T) {
+	opts := DefaultOptions()
+	opts.K = 3
+	opts.Thesaurus = ontology.DefaultThesaurus()
+	e := NewEngine(wrapper.NewFullAccessSource(fixtureDB(t)), opts)
+	results, err := e.Search("dark drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) > 3 {
+		t.Fatalf("got %d results, want <= 3", len(results))
+	}
+}
+
+func TestUncertaintyShiftsExplanationRanking(t *testing.T) {
+	// With backward evidence trusted (low OI), interpretations with cheap
+	// trees (single table) gain; with forward trusted (low OC), the
+	// configuration belief dominates. The rankings must be able to differ.
+	e1 := fixtureEngine(t)
+	e1.SetUncertainty(Uncertainty{OCap: 0.2, OCf: 0.8, OC: 0.05, OI: 0.9})
+	r1, err := e1.Search("dark drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := fixtureEngine(t)
+	e2.SetUncertainty(Uncertainty{OCap: 0.2, OCf: 0.8, OC: 0.9, OI: 0.05})
+	r2, err := e2.Search("dark drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) == 0 || len(r2) == 0 {
+		t.Fatal("empty results")
+	}
+	// Belief distributions must differ (adaptation knob works).
+	if len(r1) == len(r2) {
+		same := true
+		for i := range r1 {
+			if r1[i].ID() != r2[i].ID() || abs(r1[i].Belief-r2[i].Belief) > 1e-9 {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("uncertainty settings had no effect on the ranking")
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestDisableModes(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Thesaurus = ontology.DefaultThesaurus()
+	opts.DisableFeedback = true
+	e := NewEngine(wrapper.NewFullAccessSource(fixtureDB(t)), opts)
+	configs, err := e.Configurations([]string{"dark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) == 0 {
+		t.Fatal("a-priori only mode returned nothing")
+	}
+	for _, c := range configs {
+		if c.Mode != "a-priori" {
+			t.Fatalf("mode = %s, want a-priori", c.Mode)
+		}
+	}
+	opts.DisableFeedback = false
+	opts.DisableApriori = true
+	e2 := NewEngine(wrapper.NewFullAccessSource(fixtureDB(t)), opts)
+	configs2, err := e2.Configurations([]string{"dark"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range configs2 {
+		if c.Mode != "feedback" {
+			t.Fatalf("mode = %s, want feedback", c.Mode)
+		}
+	}
+}
+
+func TestConfigurationsCombinedMode(t *testing.T) {
+	e := fixtureEngine(t)
+	configs, err := e.Configurations([]string{"dark", "drama"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(configs) == 0 {
+		t.Fatal("no combined configurations")
+	}
+	total := 0.0
+	for _, c := range configs {
+		if c.Mode != "combined" {
+			t.Fatalf("mode = %s", c.Mode)
+		}
+		total += c.Score
+	}
+	if total > 1+1e-9 {
+		t.Fatalf("combined beliefs sum to %v", total)
+	}
+}
+
+func TestRenderTreeContainsStructure(t *testing.T) {
+	e := fixtureEngine(t)
+	results, err := e.Search("spielberg drama")
+	if err != nil || len(results) == 0 {
+		t.Fatalf("search failed: %v", err)
+	}
+	var joined *Explanation
+	for _, ex := range results {
+		if len(ex.Interpretation.Tables()) == 3 {
+			joined = ex
+			break
+		}
+	}
+	if joined == nil {
+		t.Skip("no 3-table explanation in top-k")
+	}
+	out := RenderTree(joined)
+	for _, frag := range []string{"[movie]", "[person]", "[cast_info]", "==JOIN=="} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMetadataOnlyEngineEndToEnd(t *testing.T) {
+	db := fixtureDB(t)
+	opts := DefaultOptions()
+	opts.Thesaurus = ontology.DefaultThesaurus()
+	opts.UseLike = true
+	e := NewEngine(wrapper.HiddenSourceFor(db, opts.Thesaurus), opts)
+	results, err := e.Search("1994 film")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("hidden source returned no explanations")
+	}
+	// Year pattern must have routed 1994 to movie.year.
+	found := false
+	for _, ex := range results {
+		for i, term := range ex.Config.Terms {
+			if ex.Config.Keywords[i] == "1994" && term.ID() == "D:movie.year" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("1994 not mapped to movie.year via pattern evidence")
+	}
+	// Queries must execute through the endpoint.
+	if _, err := e.Execute(results[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryBuilderLikeMode(t *testing.T) {
+	e := fixtureEngine(t)
+	eb := NewQueryBuilder(e.Source().Schema())
+	eb.UseLike = true
+	c := &Configuration{
+		Keywords: []string{"dark"},
+		Terms:    []Term{{Kind: KindDomain, Table: "movie", Column: "title"}},
+		Score:    1,
+	}
+	ins, err := e.Backward().TopK(c, 1)
+	if err != nil || len(ins) == 0 {
+		t.Fatalf("backward failed: %v", err)
+	}
+	stmt, err := eb.Build(ins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stmt.SQL(), "LIKE '%dark%'") {
+		t.Fatalf("LIKE predicate missing: %s", stmt.SQL())
+	}
+}
+
+func TestQueryBuilderNumericEquality(t *testing.T) {
+	e := fixtureEngine(t)
+	qb := NewQueryBuilder(e.Source().Schema())
+	c := &Configuration{
+		Keywords: []string{"1994"},
+		Terms:    []Term{{Kind: KindDomain, Table: "movie", Column: "year"}},
+		Score:    1,
+	}
+	ins, err := e.Backward().TopK(c, 1)
+	if err != nil || len(ins) == 0 {
+		t.Fatalf("backward failed: %v", err)
+	}
+	stmt, err := qb.Build(ins[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stmt.SQL(), "movie.year = 1994") {
+		t.Fatalf("numeric keyword must become equality: %s", stmt.SQL())
+	}
+}

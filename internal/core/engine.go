@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ds"
+	"repro/internal/ontology"
+	"repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// Uncertainty carries the four Dempster–Shafer ignorance degrees of
+// Algorithm 1: OCap and OCf weight the two forward operating modes, OC and
+// OI weight the forward and backward approaches in the final combination.
+// Each value is the mass committed to "this source may be wrong" — raising
+// OCf, for example, makes the feedback mode count less.
+type Uncertainty struct {
+	OCap float64 // a-priori configurations
+	OCf  float64 // feedback configurations
+	OC   float64 // combined configurations (forward approach)
+	OI   float64 // interpretations (backward approach)
+}
+
+// DefaultUncertainty returns the cold-start setting the paper recommends:
+// with little feedback available the feedback mode is unreliable, so OCf
+// starts high and OCap low.
+func DefaultUncertainty() Uncertainty {
+	return Uncertainty{OCap: 0.2, OCf: 0.8, OC: 0.3, OI: 0.3}
+}
+
+// AdaptUncertainty implements the paper's adaptation rule ("as the amount
+// of feedbacks increases, the related parameter OCf must be incremented
+// [trusted more]; ... when QUEST is used to query a new database, little
+// feedback is available [so] OCap must be increased"): the feedback mode's
+// ignorance decays exponentially with the number of validated searches
+// while the a-priori mode's ignorance grows toward a ceiling. OC and OI
+// are left untouched.
+//
+// With no feedback the result matches DefaultUncertainty; after ~10
+// validated searches the two modes trade places.
+func AdaptUncertainty(u Uncertainty, feedbackCount int) Uncertainty {
+	if feedbackCount < 0 {
+		feedbackCount = 0
+	}
+	decay := math.Exp(-float64(feedbackCount) / 5)
+	u.OCf = 0.1 + 0.7*decay  // 0.8 cold → 0.1 fully warm
+	u.OCap = 0.8 - 0.6*decay // 0.2 cold → 0.8 fully warm
+	return u
+}
+
+// Options configures an Engine.
+type Options struct {
+	// K is the number of explanations returned (and the k used for the
+	// intermediate top-k decodings), Algorithm 1's "maximum number of
+	// results".
+	K int
+	// Uncertainty holds the DS ignorance degrees.
+	Uncertainty Uncertainty
+	// Backward tunes the backward module (MI weights, dedup).
+	Backward BackwardOptions
+	// Thesaurus provides ontology evidence; nil uses an empty thesaurus.
+	Thesaurus *ontology.Thesaurus
+	// UseLike makes the query builder emit LIKE instead of MATCH.
+	UseLike bool
+	// ResultLimit bounds tuples per generated SQL query (0 = unlimited).
+	ResultLimit int
+	// DisableApriori/DisableFeedback turn off one forward operating mode
+	// (experiment E2/E5 ablations; both false in normal operation).
+	DisableApriori  bool
+	DisableFeedback bool
+	// PruneEmpty executes each candidate explanation and drops those whose
+	// SQL returns no tuples, re-normalizing beliefs over the survivors.
+	// This is an extension beyond the paper (which relies on MI weights
+	// alone to avoid empty join paths): it trades one query execution per
+	// candidate for a guarantee the user never sees an empty answer.
+	// Requires a source with an execution endpoint.
+	PruneEmpty bool
+}
+
+// DefaultOptions returns the standard engine configuration.
+func DefaultOptions() Options {
+	return Options{
+		K:           10,
+		Uncertainty: DefaultUncertainty(),
+		Backward:    DefaultBackwardOptions(),
+	}
+}
+
+// Engine is the assembled QUEST system over one source.
+type Engine struct {
+	source           wrapper.Source
+	opts             Options
+	forward          *Forward
+	backward         *Backward
+	builder          *QueryBuilder
+	autoAdapt        bool
+	negativeFeedback int
+}
+
+// NewEngine wires the forward module, backward module and query builder for
+// a source (the setup phase).
+func NewEngine(src wrapper.Source, opts Options) *Engine {
+	if opts.K <= 0 {
+		opts.K = 10
+	}
+	thes := opts.Thesaurus
+	if thes == nil {
+		thes = ontology.NewThesaurus()
+	}
+	e := &Engine{
+		source:   src,
+		opts:     opts,
+		forward:  NewForward(src, thes),
+		backward: NewBackward(src, opts.Backward),
+	}
+	e.builder = NewQueryBuilder(src.Schema())
+	e.builder.UseLike = opts.UseLike
+	e.builder.Limit = opts.ResultLimit
+	return e
+}
+
+// Forward exposes the forward module (feedback training, experiments).
+func (e *Engine) Forward() *Forward { return e.forward }
+
+// Backward exposes the backward module (experiments, visualization).
+func (e *Engine) Backward() *Backward { return e.backward }
+
+// Source exposes the wrapped source.
+func (e *Engine) Source() wrapper.Source { return e.source }
+
+// Options returns a copy of the engine options.
+func (e *Engine) Options() Options { return e.opts }
+
+// SetUncertainty adjusts the DS ignorance degrees at run time — the
+// adaptation knob the demonstration's fourth message is about.
+func (e *Engine) SetUncertainty(u Uncertainty) { e.opts.Uncertainty = u }
+
+// AddFeedback incorporates user-validated configurations into the feedback
+// HMM. When AutoAdapt has been enabled the DS uncertainties are re-derived
+// from the accumulated feedback count afterwards.
+func (e *Engine) AddFeedback(validated []*Configuration) {
+	e.forward.AddFeedback(validated)
+	if e.autoAdapt {
+		e.opts.Uncertainty = AdaptUncertainty(e.opts.Uncertainty, e.effectiveFeedback())
+	}
+}
+
+// AutoAdapt enables (or disables) automatic re-derivation of the forward
+// uncertainties from the feedback volume on every AddFeedback call.
+func (e *Engine) AutoAdapt(on bool) {
+	e.autoAdapt = on
+	if on {
+		e.opts.Uncertainty = AdaptUncertainty(e.opts.Uncertainty, e.effectiveFeedback())
+	}
+}
+
+// AddNegativeFeedback records that the user rejected the system's
+// interpretations of n searches. Following the paper ("this same parameter
+// should be decreased when 'negative' feedbacks are obtained in order to
+// re-configure the system accordingly"), negative feedback lowers the
+// effective feedback count used by the adaptation rule, shifting trust back
+// toward the a-priori mode. It does not modify the trained model — the
+// validated history remains correct; what negative feedback signals is that
+// the history does not generalize to current queries.
+func (e *Engine) AddNegativeFeedback(n int) {
+	if n <= 0 {
+		return
+	}
+	e.negativeFeedback += n
+	if e.autoAdapt {
+		e.opts.Uncertainty = AdaptUncertainty(e.opts.Uncertainty, e.effectiveFeedback())
+	}
+}
+
+// effectiveFeedback is the adaptation count: validated searches minus
+// rejections, floored at zero.
+func (e *Engine) effectiveFeedback() int {
+	n := e.forward.FeedbackCount() - e.negativeFeedback
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// Configurations runs only the forward step (both modes + DS combination)
+// and returns the combined top-k configurations — exposed separately so the
+// demonstration can show each module's partial results.
+func (e *Engine) Configurations(keywords []string) ([]*Configuration, error) {
+	k := e.opts.K
+	var cap_, cf []*Configuration
+	if !e.opts.DisableApriori {
+		cap_ = e.forward.TopKApriori(keywords, k)
+	}
+	if !e.opts.DisableFeedback {
+		cf = e.forward.TopKFeedback(keywords, k)
+	}
+	switch {
+	case len(cap_) == 0 && len(cf) == 0:
+		return nil, nil
+	case len(cap_) == 0:
+		return cf, nil
+	case len(cf) == 0:
+		return cap_, nil
+	}
+
+	// DS combination of the two operating modes (first CombinerDST of
+	// Algorithm 1). The union of both top-k sets is the frame.
+	byID := make(map[string]*Configuration)
+	var ev1, ev2 []ds.Evidence
+	for _, c := range cap_ {
+		byID[c.ID()] = c
+		ev1 = append(ev1, ds.Evidence{Hypothesis: c.ID(), Score: c.Score})
+	}
+	for _, c := range cf {
+		if _, ok := byID[c.ID()]; !ok {
+			byID[c.ID()] = c
+		}
+		ev2 = append(ev2, ds.Evidence{Hypothesis: c.ID(), Score: c.Score})
+	}
+	ranked, err := ds.CombineScores(ev1, e.opts.Uncertainty.OCap, ev2, e.opts.Uncertainty.OCf)
+	if err != nil {
+		return nil, fmt.Errorf("core: combining forward modes: %w", err)
+	}
+	out := make([]*Configuration, 0, len(ranked))
+	for _, r := range ranked {
+		c := byID[r.Hypothesis]
+		out = append(out, &Configuration{
+			Keywords: c.Keywords,
+			Terms:    c.Terms,
+			Score:    r.Belief,
+			Mode:     "combined",
+		})
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// Interpretations runs the backward step for a set of configurations,
+// returning all candidate interpretations (each configuration contributes
+// up to k).
+func (e *Engine) Interpretations(configs []*Configuration) ([]*Interpretation, error) {
+	var out []*Interpretation
+	for _, c := range configs {
+		ins, err := e.backward.TopK(c, e.opts.K)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ins...)
+	}
+	return out, nil
+}
+
+// Search is Algorithm 1: keywords → configurations (two modes, DS) →
+// interpretations (Steiner) → explanations (DS) → SQL.
+func (e *Engine) Search(query string) ([]*Explanation, error) {
+	keywords := Tokenize(query)
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("core: empty keyword query")
+	}
+	configs, err := e.Configurations(keywords)
+	if err != nil {
+		return nil, err
+	}
+	if len(configs) == 0 {
+		return nil, nil
+	}
+	interps, err := e.Interpretations(configs)
+	if err != nil {
+		return nil, err
+	}
+	if len(interps) == 0 {
+		return nil, nil
+	}
+	return e.Explain(configs, interps)
+}
+
+// Explain performs the final DS combination between the forward evidence
+// (configuration beliefs) and the backward evidence (interpretation
+// scores), producing ranked explanations with built SQL. Exposed so
+// experiments can recombine partial results under different uncertainties
+// without recomputing the expensive steps.
+func (e *Engine) Explain(configs []*Configuration, interps []*Interpretation) ([]*Explanation, error) {
+	configBelief := make(map[string]float64, len(configs))
+	for _, c := range configs {
+		configBelief[c.ID()] = c.Score
+	}
+
+	// Frame of discernment: candidate explanations = interpretations. The
+	// forward source supports an explanation through its configuration's
+	// belief; the backward source through the interpretation score.
+	byID := make(map[string]*Interpretation, len(interps))
+	var evForward, evBackward []ds.Evidence
+	for _, in := range interps {
+		id := in.ID()
+		if _, dup := byID[id]; dup {
+			continue
+		}
+		byID[id] = in
+		evForward = append(evForward, ds.Evidence{Hypothesis: id, Score: configBelief[in.Config.ID()]})
+		evBackward = append(evBackward, ds.Evidence{Hypothesis: id, Score: in.Score})
+	}
+	ranked, err := ds.CombineScores(evForward, e.opts.Uncertainty.OC, evBackward, e.opts.Uncertainty.OI)
+	if err != nil {
+		return nil, fmt.Errorf("core: combining forward and backward: %w", err)
+	}
+
+	out := make([]*Explanation, 0, e.opts.K)
+	for _, r := range ranked {
+		if len(out) >= e.opts.K {
+			break
+		}
+		in := byID[r.Hypothesis]
+		stmt, err := e.builder.Build(in)
+		if err != nil {
+			// Unbuildable interpretation (disconnected tree): skip rather
+			// than fail the whole search.
+			continue
+		}
+		out = append(out, &Explanation{
+			Config:         in.Config,
+			Interpretation: in,
+			Belief:         r.Belief,
+			Stmt:           stmt,
+			SQL:            stmt.SQL(),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Belief != out[j].Belief {
+			return out[i].Belief > out[j].Belief
+		}
+		return out[i].ID() < out[j].ID()
+	})
+	if e.opts.PruneEmpty {
+		out = e.pruneEmpty(out)
+	}
+	return out, nil
+}
+
+// pruneEmpty drops explanations whose execution yields no tuples and
+// renormalizes the surviving beliefs to their previous total mass.
+func (e *Engine) pruneEmpty(in []*Explanation) []*Explanation {
+	kept := in[:0]
+	totalBefore, totalKept := 0.0, 0.0
+	for _, ex := range in {
+		totalBefore += ex.Belief
+		res, err := e.source.Execute(ex.Stmt)
+		if err != nil || len(res.Rows) == 0 {
+			continue
+		}
+		kept = append(kept, ex)
+		totalKept += ex.Belief
+	}
+	if totalKept > 0 && totalBefore > 0 {
+		scale := totalBefore / totalKept
+		for _, ex := range kept {
+			ex.Belief *= scale
+		}
+	}
+	return kept
+}
+
+// Execute runs an explanation's SQL through the source's wrapper.
+func (e *Engine) Execute(ex *Explanation) (*sql.Result, error) {
+	return e.source.Execute(ex.Stmt)
+}

@@ -1,0 +1,217 @@
+// Package core implements QUEST itself: the forward module (keyword →
+// configurations via HMM list Viterbi decoding, in a-priori and
+// feedback-based operating modes), the backward module (configurations →
+// interpretations via top-k Steiner trees over the schema graph with
+// mutual-information edge weights), the Dempster–Shafer combiner, the SQL
+// query builder and the Search pipeline of Algorithm 1.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relational"
+)
+
+// TermKind classifies a database term: QUEST's HMM has one state per term.
+type TermKind int
+
+const (
+	// KindTable marks a term naming a table ("show me *movies*").
+	KindTable TermKind = iota
+	// KindAttribute marks a term naming an attribute ("what *title* ...").
+	KindAttribute
+	// KindDomain marks a term denoting a value in an attribute's domain
+	// ("movies with *spielberg*"): the keyword is data, not schema.
+	KindDomain
+)
+
+// String implements fmt.Stringer.
+func (k TermKind) String() string {
+	switch k {
+	case KindTable:
+		return "table"
+	case KindAttribute:
+		return "attribute"
+	case KindDomain:
+		return "domain"
+	}
+	return fmt.Sprintf("TermKind(%d)", int(k))
+}
+
+// Term is one database term. Table terms have an empty Column.
+type Term struct {
+	Kind   TermKind
+	Table  string
+	Column string
+}
+
+// ID returns the canonical identity string of the term, used as DS
+// hypothesis ids and map keys.
+func (t Term) ID() string {
+	switch t.Kind {
+	case KindTable:
+		return "T:" + strings.ToLower(t.Table)
+	case KindAttribute:
+		return "A:" + strings.ToLower(t.Table) + "." + strings.ToLower(t.Column)
+	default:
+		return "D:" + strings.ToLower(t.Table) + "." + strings.ToLower(t.Column)
+	}
+}
+
+// String renders the term for humans.
+func (t Term) String() string {
+	switch t.Kind {
+	case KindTable:
+		return t.Table
+	case KindAttribute:
+		return t.Table + "." + t.Column
+	default:
+		return t.Table + "." + t.Column + "=?"
+	}
+}
+
+// TermSpace is the enumerated state space of the HMM: every table, every
+// attribute and every attribute domain of the schema, in deterministic
+// order.
+type TermSpace struct {
+	Terms []Term
+	index map[string]int
+}
+
+// NewTermSpace enumerates the terms of a schema.
+func NewTermSpace(schema *relational.Schema) *TermSpace {
+	ts := &TermSpace{index: make(map[string]int)}
+	add := func(t Term) {
+		ts.index[t.ID()] = len(ts.Terms)
+		ts.Terms = append(ts.Terms, t)
+	}
+	for _, tbl := range schema.Tables() {
+		add(Term{Kind: KindTable, Table: tbl.Name})
+		for _, col := range tbl.Columns {
+			add(Term{Kind: KindAttribute, Table: tbl.Name, Column: col.Name})
+			add(Term{Kind: KindDomain, Table: tbl.Name, Column: col.Name})
+		}
+	}
+	return ts
+}
+
+// Len returns the number of terms (HMM states).
+func (ts *TermSpace) Len() int { return len(ts.Terms) }
+
+// Index returns the state ordinal of a term, or -1.
+func (ts *TermSpace) Index(t Term) int {
+	if i, ok := ts.index[t.ID()]; ok {
+		return i
+	}
+	return -1
+}
+
+// IndexOfID returns the state ordinal of a term id, or -1.
+func (ts *TermSpace) IndexOfID(id string) int {
+	if i, ok := ts.index[id]; ok {
+		return i
+	}
+	return -1
+}
+
+// Names returns the term ids aligned with state ordinals (diagnostics).
+func (ts *TermSpace) Names() []string {
+	out := make([]string, len(ts.Terms))
+	for i, t := range ts.Terms {
+		out[i] = t.ID()
+	}
+	return out
+}
+
+// Configuration maps each keyword of the query to a database term — the
+// forward step's output unit (one decoded HMM state sequence).
+type Configuration struct {
+	Keywords []string
+	Terms    []Term
+	// Score is the (linear-scale) probability-like confidence assigned by
+	// the producing mode; normalized during DS combination.
+	Score float64
+	// Mode records which operating mode produced the configuration
+	// ("a-priori", "feedback", "combined").
+	Mode string
+}
+
+// ID canonically identifies the keyword→term mapping (not the score), so
+// the same configuration found by both modes combines as one DS hypothesis.
+func (c *Configuration) ID() string {
+	parts := make([]string, len(c.Terms))
+	for i, t := range c.Terms {
+		parts[i] = t.ID()
+	}
+	return strings.Join(parts, "|")
+}
+
+// String renders the mapping for humans.
+func (c *Configuration) String() string {
+	parts := make([]string, len(c.Terms))
+	for i, t := range c.Terms {
+		kw := "?"
+		if i < len(c.Keywords) {
+			kw = c.Keywords[i]
+		}
+		parts[i] = fmt.Sprintf("%s→%s", kw, t)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Tables returns the sorted distinct tables touched by the configuration.
+func (c *Configuration) Tables() []string {
+	set := make(map[string]bool)
+	for _, t := range c.Terms {
+		set[strings.ToLower(t.Table)] = true
+	}
+	out := make([]string, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KeywordsFor returns the keywords mapped to the given term id.
+func (c *Configuration) KeywordsFor(termID string) []string {
+	var out []string
+	for i, t := range c.Terms {
+		if t.ID() == termID && i < len(c.Keywords) {
+			out = append(out, c.Keywords[i])
+		}
+	}
+	return out
+}
+
+// Tokenize splits a raw keyword query into keywords: whitespace-separated,
+// with double-quoted phrases kept as single multi-word keywords
+// (`"new york" population` → ["new york", "population"]).
+func Tokenize(query string) []string {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range query {
+		switch {
+		case r == '"':
+			if inQuote {
+				flush()
+			}
+			inQuote = !inQuote
+		case !inQuote && (r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == ','):
+			flush()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return out
+}

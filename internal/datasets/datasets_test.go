@@ -1,0 +1,210 @@
+package datasets
+
+import (
+	"testing"
+
+	"repro/internal/relational"
+)
+
+func TestIMDBIntegrity(t *testing.T) {
+	db := IMDB(DefaultConfig())
+	if err := db.Schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckForeignKeys(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"person", "movie", "cast_info", "company", "movie_company"} {
+		if db.Table(name) == nil || db.Table(name).Len() == 0 {
+			t.Fatalf("table %s missing or empty", name)
+		}
+	}
+}
+
+func TestMondialIntegrity(t *testing.T) {
+	db := Mondial(DefaultConfig())
+	if err := db.Schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckForeignKeys(); err != nil {
+		t.Fatal(err)
+	}
+	// Mondial's distinguishing property: many tables, many join paths.
+	if got := len(db.Schema.Tables()); got < 10 {
+		t.Fatalf("mondial has %d tables, want >= 10", got)
+	}
+	if got := len(db.Schema.JoinEdges()); got < 10 {
+		t.Fatalf("mondial has %d FK edges, want >= 10", got)
+	}
+}
+
+func TestDBLPIntegrity(t *testing.T) {
+	db := DBLP(DefaultConfig())
+	if err := db.Schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CheckForeignKeys(); err != nil {
+		t.Fatal(err)
+	}
+	// Authorship must reference both sides.
+	authored := db.Table("authored")
+	if authored.Len() < db.Table("paper").Len() {
+		t.Fatal("every paper should have at least one author row")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 99, Scale: 1}
+	a, b := IMDB(cfg), IMDB(cfg)
+	if a.TotalRows() != b.TotalRows() {
+		t.Fatalf("row counts differ: %d vs %d", a.TotalRows(), b.TotalRows())
+	}
+	ta, tb := a.Table("movie"), b.Table("movie")
+	for i := 0; i < ta.Len(); i++ {
+		ra, rb := ta.Row(i), tb.Row(i)
+		for c := range ra {
+			if relational.Compare(ra[c], rb[c]) != 0 && !(ra[c].IsNull() && rb[c].IsNull()) {
+				t.Fatalf("row %d col %d differ: %v vs %v", i, c, ra[c], rb[c])
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := IMDB(Config{Seed: 1, Scale: 1})
+	b := IMDB(Config{Seed: 2, Scale: 1})
+	same := true
+	ta, tb := a.Table("movie"), b.Table("movie")
+	for i := 0; i < ta.Len() && i < tb.Len(); i++ {
+		if ta.Row(i)[1].AsString() != tb.Row(i)[1].AsString() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical movie titles")
+	}
+}
+
+func TestScaleGrowsInstance(t *testing.T) {
+	small := IMDB(Config{Seed: 5, Scale: 1})
+	big := IMDB(Config{Seed: 5, Scale: 3})
+	if big.Table("movie").Len() != 3*small.Table("movie").Len() {
+		t.Fatalf("scale 3 movies = %d, want 3×%d", big.Table("movie").Len(), small.Table("movie").Len())
+	}
+	if big.TotalRows() <= small.TotalRows() {
+		t.Fatal("scale must grow the instance")
+	}
+	// Scale <= 0 behaves like 1.
+	def := IMDB(Config{Seed: 5, Scale: 0})
+	if def.Table("movie").Len() != small.Table("movie").Len() {
+		t.Fatal("scale 0 must default to 1")
+	}
+}
+
+func TestCrossTableAmbiguity(t *testing.T) {
+	// The generators must plant surname tokens inside movie titles so
+	// keyword queries are ambiguous (QUEST's target regime).
+	db := IMDB(Config{Seed: 42, Scale: 2})
+	movie := db.Table("movie")
+	titleOrd := movie.Schema.ColumnIndex("title")
+	surnames := map[string]bool{}
+	for _, n := range lastNames {
+		surnames[n] = true
+	}
+	found := false
+	for _, row := range movie.Rows() {
+		for _, tok := range splitTokens(row[titleOrd].AsString()) {
+			if surnames[tok] {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no surname token found in any movie title; ambiguity generator broken")
+	}
+}
+
+func splitTokens(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+func TestMondialStripedProvinces(t *testing.T) {
+	// City province FKs must point at provinces of the same country (the
+	// striping invariant the generator relies on).
+	db := Mondial(DefaultConfig())
+	city := db.Table("city")
+	prov := db.Table("province")
+	cOrd := city.Schema.ColumnIndex("country_id")
+	pOrd := city.Schema.ColumnIndex("province_id")
+	provCountry := prov.Schema.ColumnIndex("country_id")
+	for i, row := range city.Rows() {
+		if row[pOrd].IsNull() {
+			continue
+		}
+		provRow, ok := prov.LookupPK(row[pOrd])
+		if !ok {
+			t.Fatalf("city %d: dangling province", i)
+		}
+		if provRow[provCountry].AsInt() != row[cOrd].AsInt() {
+			t.Fatalf("city %d: province in country %d, city in %d",
+				i, provRow[provCountry].AsInt(), row[cOrd].AsInt())
+		}
+	}
+}
+
+func TestDBLPCitationsPointBackwards(t *testing.T) {
+	db := DBLP(DefaultConfig())
+	cites := db.Table("cites")
+	citing := cites.Schema.ColumnIndex("citing")
+	cited := cites.Schema.ColumnIndex("cited")
+	for i, row := range cites.Rows() {
+		if row[cited].AsInt() >= row[citing].AsInt() {
+			t.Fatalf("citation %d points forward: %d cites %d",
+				i, row[citing].AsInt(), row[cited].AsInt())
+		}
+	}
+}
+
+func TestSchemasCarryAnnotationsAndPatterns(t *testing.T) {
+	// The metadata wrapper depends on enriched schemas; every dataset must
+	// annotate at least some columns and provide value patterns.
+	for name, schema := range map[string]*relational.Schema{
+		"imdb":    IMDBSchema(),
+		"mondial": MondialSchema(),
+		"dblp":    DBLPSchema(),
+	} {
+		annotated, patterned := 0, 0
+		for _, ts := range schema.Tables() {
+			for _, c := range ts.Columns {
+				if len(c.Annotations) > 0 {
+					annotated++
+				}
+				if c.Pattern != "" {
+					patterned++
+				}
+			}
+		}
+		if annotated < 3 {
+			t.Errorf("%s: only %d annotated columns", name, annotated)
+		}
+		if patterned < 1 {
+			t.Errorf("%s: no value patterns", name)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relational"
+)
+
+// DBLPSchema returns the bibliography schema: "many instances in a
+// non-trivial schema" — authors, papers, venues linked through an
+// authorship relation and a citation relation.
+func DBLPSchema() *relational.Schema {
+	s := relational.NewSchema()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "author",
+		Annotations: []string{"person", "writer", "researcher"},
+		Columns: []relational.Column{
+			{Name: "author_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true,
+				Annotations: []string{"person", "writer"}},
+			{Name: "affiliation", Type: relational.TypeString,
+				Annotations: []string{"university", "institution"}},
+		},
+		PrimaryKey: "author_id",
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "venue",
+		Annotations: []string{"conference", "journal"},
+		Columns: []relational.Column{
+			{Name: "venue_id", Type: relational.TypeInt, NotNull: true},
+			// The venue vocabulary is exposed as a value pattern: Deep Web
+			// bibliography forms present venues as picklists, so the
+			// metadata-only wrapper legitimately knows the admissible values.
+			{Name: "name", Type: relational.TypeString, NotNull: true,
+				Annotations: []string{"conference", "journal"},
+				Pattern:     "vldb|sigmod|icde|edbt|cikm|kdd|www|sigir|pods|icdt|er|dexa|dasfaa|ssdbm|tods|tkde|vldbj|is|dke|jacm"},
+			{Name: "type", Type: relational.TypeString, Pattern: `conference|journal`},
+		},
+		PrimaryKey: "venue_id",
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "paper",
+		Annotations: []string{"article", "publication"},
+		Columns: []relational.Column{
+			{Name: "paper_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "title", Type: relational.TypeString, NotNull: true,
+				Annotations: []string{"article", "name"}},
+			{Name: "year", Type: relational.TypeInt,
+				Annotations: []string{"date", "published"}, Pattern: `(19|20)\d\d`},
+			{Name: "venue_id", Type: relational.TypeInt},
+			{Name: "pages", Type: relational.TypeInt},
+		},
+		PrimaryKey: "paper_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "venue_id", RefTable: "venue", RefColumn: "venue_id"},
+		},
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "authored",
+		Annotations: []string{"is_author", "wrote", "authorship"},
+		Columns: []relational.Column{
+			{Name: "authored_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "author_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "paper_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "position", Type: relational.TypeInt},
+		},
+		PrimaryKey: "authored_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "author_id", RefTable: "author", RefColumn: "author_id"},
+			{Column: "paper_id", RefTable: "paper", RefColumn: "paper_id"},
+		},
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "cites",
+		Annotations: []string{"citation", "references"},
+		Columns: []relational.Column{
+			{Name: "cite_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "citing", Type: relational.TypeInt, NotNull: true},
+			{Name: "cited", Type: relational.TypeInt, NotNull: true},
+		},
+		PrimaryKey: "cite_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "citing", RefTable: "paper", RefColumn: "paper_id"},
+			{Column: "cited", RefTable: "paper", RefColumn: "paper_id"},
+		},
+	}))
+	return s
+}
+
+// DBLP generates the populated bibliography database. Base sizes at
+// Scale 1: 250 authors, 400 papers, ~1000 authorship rows, citations ~2 per
+// paper.
+func DBLP(cfg Config) *relational.Database {
+	r := rand.New(rand.NewSource(cfg.Seed + 2))
+	db := relational.MustNewDatabase("dblp", DBLPSchema())
+
+	numAuthors := cfg.scale(250)
+	numPapers := cfg.scale(400)
+
+	affiliations := []string{
+		"university of modena", "university of trento", "university of zaragoza",
+		"mit", "stanford university", "eth zurich", "tu munich",
+		"university of tokyo", "tsinghua university", "epfl",
+	}
+
+	for i := 1; i <= numAuthors; i++ {
+		var aff relational.Value
+		if r.Intn(4) > 0 {
+			aff = relational.String_(pick(r, affiliations))
+		}
+		mustInsert(db, "author", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_(personName(r)),
+			aff,
+		})
+	}
+	for i, v := range venueNames {
+		vt := "conference"
+		if i%4 == 3 {
+			vt = "journal"
+		}
+		mustInsert(db, "venue", relational.Row{
+			relational.Int(int64(i + 1)),
+			relational.String_(v),
+			relational.String_(vt),
+		})
+	}
+	for i := 1; i <= numPapers; i++ {
+		var venue relational.Value
+		if r.Intn(12) > 0 {
+			venue = relational.Int(int64(1 + r.Intn(len(venueNames))))
+		}
+		mustInsert(db, "paper", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_(paperTitle(r)),
+			relational.Int(int64(1985 + r.Intn(30))),
+			venue,
+			relational.Int(int64(6 + r.Intn(25))),
+		})
+	}
+	authoredID := 0
+	for p := 1; p <= numPapers; p++ {
+		n := 1 + r.Intn(4)
+		seen := map[int]bool{}
+		for pos := 1; pos <= n; pos++ {
+			a := 1 + r.Intn(numAuthors)
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			authoredID++
+			mustInsert(db, "authored", relational.Row{
+				relational.Int(int64(authoredID)),
+				relational.Int(int64(a)),
+				relational.Int(int64(p)),
+				relational.Int(int64(pos)),
+			})
+		}
+	}
+	citeID := 0
+	for p := 2; p <= numPapers; p++ {
+		n := r.Intn(4)
+		for j := 0; j < n; j++ {
+			cited := 1 + r.Intn(p-1) // cite an earlier paper
+			citeID++
+			mustInsert(db, "cites", relational.Row{
+				relational.Int(int64(citeID)),
+				relational.Int(int64(p)),
+				relational.Int(int64(cited)),
+			})
+		}
+	}
+	if err := db.CheckForeignKeys(); err != nil {
+		panic(fmt.Sprintf("datasets: dblp integrity: %v", err))
+	}
+	return db
+}

@@ -1,0 +1,199 @@
+package datasets
+
+import (
+	"math/rand"
+
+	"repro/internal/relational"
+)
+
+// IMDBSchema returns the star-shaped movie schema: person and movie
+// dimensions connected through cast_info, plus production companies. The
+// shape follows the paper's characterization — "a simple star schema but
+// contains millions of instances" — scaled down by Config.Scale.
+func IMDBSchema() *relational.Schema {
+	s := relational.NewSchema()
+
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "person",
+		Annotations: []string{"actor", "director", "people"},
+		Columns: []relational.Column{
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true,
+				Annotations: []string{"actor", "director", "star"}},
+			{Name: "birth_year", Type: relational.TypeInt,
+				Annotations: []string{"year", "born"}, Pattern: `(18|19|20)\d\d`},
+			{Name: "gender", Type: relational.TypeString, Pattern: `m|f`},
+		},
+		PrimaryKey: "person_id",
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "movie",
+		Annotations: []string{"film", "picture"},
+		Columns: []relational.Column{
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "title", Type: relational.TypeString, NotNull: true,
+				Annotations: []string{"film", "name"}},
+			{Name: "production_year", Type: relational.TypeInt,
+				Annotations: []string{"year", "released"}, Pattern: `(18|19|20)\d\d`},
+			{Name: "genre", Type: relational.TypeString,
+				Annotations: []string{"category", "kind"},
+				Pattern:     "drama|comedy|thriller|horror|romance|action|documentary|animation|western|fantasy|mystery|noir"},
+			{Name: "rating", Type: relational.TypeFloat,
+				Annotations: []string{"score", "stars"}},
+		},
+		PrimaryKey: "movie_id",
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "cast_info",
+		Annotations: []string{"cast", "credits", "plays"},
+		Columns: []relational.Column{
+			{Name: "cast_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "role", Type: relational.TypeString,
+				Annotations: []string{"part", "job"},
+				Pattern:     "actor|actress|director|producer|writer|composer|editor"},
+		},
+		PrimaryKey: "cast_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "person_id", RefTable: "person", RefColumn: "person_id"},
+			{Column: "movie_id", RefTable: "movie", RefColumn: "movie_id"},
+		},
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "company",
+		Annotations: []string{"studio", "producer"},
+		Columns: []relational.Column{
+			{Name: "company_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true,
+				Annotations: []string{"studio"}},
+			{Name: "country", Type: relational.TypeString,
+				Annotations: []string{"nation"}},
+		},
+		PrimaryKey: "company_id",
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "award",
+		Annotations: []string{"prize", "honor", "won"},
+		Columns: []relational.Column{
+			{Name: "award_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "category", Type: relational.TypeString,
+				Annotations: []string{"kind"},
+				Pattern:     "best actor|best actress|best director|best picture|best score"},
+			{Name: "year", Type: relational.TypeInt,
+				Annotations: []string{"date"}, Pattern: `(19|20)\d\d`},
+		},
+		PrimaryKey: "award_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "person_id", RefTable: "person", RefColumn: "person_id"},
+			{Column: "movie_id", RefTable: "movie", RefColumn: "movie_id"},
+		},
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "movie_company",
+		Annotations: []string{"produced", "production"},
+		Columns: []relational.Column{
+			{Name: "mc_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "company_id", Type: relational.TypeInt, NotNull: true},
+		},
+		PrimaryKey: "mc_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "movie_id", RefTable: "movie", RefColumn: "movie_id"},
+			{Column: "company_id", RefTable: "company", RefColumn: "company_id"},
+		},
+	}))
+	return s
+}
+
+// IMDB generates the populated movie database. Base sizes at Scale 1:
+// 300 movies, 200 people, ~900 cast rows, 40 companies, and a deliberately
+// sparse award table (~10 rows) that offers an alternative — but mostly
+// empty — join path between person and movie, exercising the MI-based edge
+// weighting of the backward module (experiment E8b).
+func IMDB(cfg Config) *relational.Database {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	db := relational.MustNewDatabase("imdb", IMDBSchema())
+
+	numMovies := cfg.scale(300)
+	numPersons := cfg.scale(200)
+	numCompanies := 40
+	numAwards := cfg.scale(300) / 30
+
+	for i := 1; i <= numPersons; i++ {
+		var birth relational.Value
+		if r.Intn(10) > 0 { // occasional NULL birth years
+			birth = relational.Int(int64(1920 + r.Intn(85)))
+		}
+		gender := "m"
+		if r.Intn(2) == 0 {
+			gender = "f"
+		}
+		mustInsert(db, "person", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_(personName(r)),
+			birth,
+			relational.String_(gender),
+		})
+	}
+	for i := 1; i <= numMovies; i++ {
+		mustInsert(db, "movie", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_(movieTitle(r)),
+			relational.Int(int64(1950 + r.Intn(65))),
+			relational.String_(pick(r, genres)),
+			relational.Float(float64(r.Intn(80)+20) / 10),
+		})
+	}
+	for i := 1; i <= numCompanies; i++ {
+		mustInsert(db, "company", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_(pick(r, lastNames) + " " + pick(r, []string{"pictures", "studios", "films", "entertainment"})),
+			relational.String_(pick(r, countryNames)),
+		})
+	}
+	castID := 0
+	for m := 1; m <= numMovies; m++ {
+		n := 2 + r.Intn(4)
+		for j := 0; j < n; j++ {
+			castID++
+			mustInsert(db, "cast_info", relational.Row{
+				relational.Int(int64(castID)),
+				relational.Int(int64(1 + r.Intn(numPersons))),
+				relational.Int(int64(m)),
+				relational.String_(pick(r, roles)),
+			})
+		}
+	}
+	mcID := 0
+	for m := 1; m <= numMovies; m++ {
+		n := 1 + r.Intn(2)
+		for j := 0; j < n; j++ {
+			mcID++
+			mustInsert(db, "movie_company", relational.Row{
+				relational.Int(int64(mcID)),
+				relational.Int(int64(m)),
+				relational.Int(int64(1 + r.Intn(numCompanies))),
+			})
+		}
+	}
+	categories := []string{"best actor", "best actress", "best director", "best picture", "best score"}
+	for i := 1; i <= numAwards; i++ {
+		mustInsert(db, "award", relational.Row{
+			relational.Int(int64(i)),
+			relational.Int(int64(1 + r.Intn(numPersons))),
+			relational.Int(int64(1 + r.Intn(numMovies))),
+			relational.String_(categories[r.Intn(len(categories))]),
+			relational.Int(int64(1960 + r.Intn(55))),
+		})
+	}
+	return db
+}

@@ -1,0 +1,336 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/relational"
+)
+
+// MondialSchema returns the geography schema: few instances but "a very
+// complex schema where tables are connected through many paths" — the
+// property that stresses the backward module. Countries connect to cities,
+// provinces, rivers, lakes, mountains, borders and organizations through
+// multiple alternative join paths.
+func MondialSchema() *relational.Schema {
+	s := relational.NewSchema()
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "country",
+		Annotations: []string{"nation", "state"},
+		Columns: []relational.Column{
+			{Name: "country_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true,
+				Annotations: []string{"nation"}},
+			{Name: "capital", Type: relational.TypeString,
+				Annotations: []string{"city", "seat"}},
+			{Name: "population", Type: relational.TypeInt,
+				Annotations: []string{"inhabitants"}, Pattern: `\d+`},
+			{Name: "area", Type: relational.TypeFloat,
+				Annotations: []string{"surface", "size"}},
+		},
+		PrimaryKey: "country_id",
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "province",
+		Annotations: []string{"region", "district"},
+		Columns: []relational.Column{
+			{Name: "province_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true},
+			{Name: "country_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "population", Type: relational.TypeInt, Pattern: `\d+`},
+		},
+		PrimaryKey: "province_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "country_id", RefTable: "country", RefColumn: "country_id"},
+		},
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "city",
+		Annotations: []string{"town", "municipality"},
+		Columns: []relational.Column{
+			{Name: "city_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true,
+				Annotations: []string{"town"}},
+			{Name: "country_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "province_id", Type: relational.TypeInt},
+			{Name: "population", Type: relational.TypeInt,
+				Annotations: []string{"inhabitants"}, Pattern: `\d+`},
+		},
+		PrimaryKey: "city_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "country_id", RefTable: "country", RefColumn: "country_id"},
+			{Column: "province_id", RefTable: "province", RefColumn: "province_id"},
+		},
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "river",
+		Annotations: []string{"stream", "water"},
+		Columns: []relational.Column{
+			{Name: "river_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true},
+			{Name: "length", Type: relational.TypeFloat,
+				Annotations: []string{"km"}},
+		},
+		PrimaryKey: "river_id",
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "geo_river",
+		Annotations: []string{"flows", "crosses"},
+		Columns: []relational.Column{
+			{Name: "gr_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "river_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "country_id", Type: relational.TypeInt, NotNull: true},
+		},
+		PrimaryKey: "gr_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "river_id", RefTable: "river", RefColumn: "river_id"},
+			{Column: "country_id", RefTable: "country", RefColumn: "country_id"},
+		},
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "lake",
+		Annotations: []string{"water", "basin"},
+		Columns: []relational.Column{
+			{Name: "lake_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true},
+			{Name: "depth", Type: relational.TypeFloat},
+		},
+		PrimaryKey: "lake_id",
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "geo_lake",
+		Annotations: []string{"located"},
+		Columns: []relational.Column{
+			{Name: "gl_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "lake_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "country_id", Type: relational.TypeInt, NotNull: true},
+		},
+		PrimaryKey: "gl_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "lake_id", RefTable: "lake", RefColumn: "lake_id"},
+			{Column: "country_id", RefTable: "country", RefColumn: "country_id"},
+		},
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "mountain",
+		Annotations: []string{"peak", "summit"},
+		Columns: []relational.Column{
+			{Name: "mountain_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true},
+			{Name: "height", Type: relational.TypeFloat,
+				Annotations: []string{"elevation", "altitude"}},
+			{Name: "country_id", Type: relational.TypeInt},
+		},
+		PrimaryKey: "mountain_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "country_id", RefTable: "country", RefColumn: "country_id"},
+		},
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "borders",
+		Annotations: []string{"boundary", "neighbor"},
+		Columns: []relational.Column{
+			{Name: "border_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "country1", Type: relational.TypeInt, NotNull: true},
+			{Name: "country2", Type: relational.TypeInt, NotNull: true},
+			{Name: "length", Type: relational.TypeFloat},
+		},
+		PrimaryKey: "border_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "country1", RefTable: "country", RefColumn: "country_id"},
+			{Column: "country2", RefTable: "country", RefColumn: "country_id"},
+		},
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "organization",
+		Annotations: []string{"union", "alliance"},
+		Columns: []relational.Column{
+			{Name: "org_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true},
+			{Name: "abbreviation", Type: relational.TypeString,
+				Annotations: []string{"acronym"}},
+			{Name: "established", Type: relational.TypeInt,
+				Annotations: []string{"year", "founded"}, Pattern: `(18|19|20)\d\d`},
+		},
+		PrimaryKey: "org_id",
+	}))
+	must(s.AddTable(&relational.TableSchema{
+		Name:        "is_member",
+		Annotations: []string{"membership", "belongs"},
+		Columns: []relational.Column{
+			{Name: "member_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "country_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "org_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "type", Type: relational.TypeString},
+		},
+		PrimaryKey: "member_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "country_id", RefTable: "country", RefColumn: "country_id"},
+			{Column: "org_id", RefTable: "organization", RefColumn: "org_id"},
+		},
+	}))
+	return s
+}
+
+// Mondial generates the populated geography database. Sizes are fixed (the
+// real Mondial is small); Scale only multiplies cities.
+func Mondial(cfg Config) *relational.Database {
+	r := rand.New(rand.NewSource(cfg.Seed + 1))
+	db := relational.MustNewDatabase("mondial", MondialSchema())
+
+	numCountries := len(countryNames)
+	for i := 1; i <= numCountries; i++ {
+		mustInsert(db, "country", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_(countryNames[i-1]),
+			relational.String_(cityName(r)),
+			relational.Int(int64(500000 + r.Intn(80000000))),
+			relational.Float(float64(10000 + r.Intn(600000))),
+		})
+	}
+	numProvinces := numCountries * 3
+	for i := 1; i <= numProvinces; i++ {
+		mustInsert(db, "province", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_(pick(r, cityStems) + " " + pick(r, []string{"north", "south", "east", "west", "central"})),
+			relational.Int(int64(1 + (i-1)%numCountries)),
+			relational.Int(int64(100000 + r.Intn(5000000))),
+		})
+	}
+	numCities := cfg.scale(150)
+	for i := 1; i <= numCities; i++ {
+		country := 1 + (i-1)%numCountries
+		var prov relational.Value
+		if r.Intn(5) > 0 {
+			// A province of the same country (provinces are striped by
+			// country: province p belongs to country 1+(p-1)%numCountries).
+			p := country + numCountries*r.Intn(3)
+			prov = relational.Int(int64(p))
+		}
+		mustInsert(db, "city", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_(cityName(r)),
+			relational.Int(int64(country)),
+			prov,
+			relational.Int(int64(10000 + r.Intn(3000000))),
+		})
+	}
+	numRivers := len(riverStems)
+	for i := 1; i <= numRivers; i++ {
+		mustInsert(db, "river", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_(riverStems[i-1]),
+			relational.Float(float64(200 + r.Intn(2800))),
+		})
+	}
+	grID := 0
+	for riv := 1; riv <= numRivers; riv++ {
+		n := 1 + r.Intn(4)
+		seen := map[int]bool{}
+		for j := 0; j < n; j++ {
+			c := 1 + r.Intn(numCountries)
+			if seen[c] {
+				continue
+			}
+			seen[c] = true
+			grID++
+			mustInsert(db, "geo_river", relational.Row{
+				relational.Int(int64(grID)),
+				relational.Int(int64(riv)),
+				relational.Int(int64(c)),
+			})
+		}
+	}
+	numLakes := 15
+	for i := 1; i <= numLakes; i++ {
+		mustInsert(db, "lake", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_("lake " + pick(r, cityStems)),
+			relational.Float(float64(20 + r.Intn(400))),
+		})
+	}
+	glID := 0
+	for lk := 1; lk <= numLakes; lk++ {
+		glID++
+		mustInsert(db, "geo_lake", relational.Row{
+			relational.Int(int64(glID)),
+			relational.Int(int64(lk)),
+			relational.Int(int64(1 + r.Intn(numCountries))),
+		})
+	}
+	numMountains := 25
+	for i := 1; i <= numMountains; i++ {
+		var c relational.Value
+		if r.Intn(6) > 0 {
+			c = relational.Int(int64(1 + r.Intn(numCountries)))
+		}
+		mustInsert(db, "mountain", relational.Row{
+			relational.Int(int64(i)),
+			relational.String_("mount " + pick(r, titleNouns)),
+			relational.Float(float64(800 + r.Intn(4000))),
+			c,
+		})
+	}
+	borderID := 0
+	for c1 := 1; c1 <= numCountries; c1++ {
+		n := 1 + r.Intn(3)
+		for j := 0; j < n; j++ {
+			c2 := 1 + r.Intn(numCountries)
+			if c2 == c1 {
+				continue
+			}
+			borderID++
+			mustInsert(db, "borders", relational.Row{
+				relational.Int(int64(borderID)),
+				relational.Int(int64(c1)),
+				relational.Int(int64(c2)),
+				relational.Float(float64(50 + r.Intn(2000))),
+			})
+		}
+	}
+	orgs := []struct{ name, abbr string }{
+		{"european union", "eu"}, {"united nations", "un"},
+		{"north atlantic treaty organization", "nato"},
+		{"world trade organization", "wto"},
+		{"organization for economic cooperation", "oecd"},
+		{"council of europe", "coe"}, {"nordic council", "nc"},
+		{"visegrad group", "v4"},
+	}
+	for i, o := range orgs {
+		mustInsert(db, "organization", relational.Row{
+			relational.Int(int64(i + 1)),
+			relational.String_(o.name),
+			relational.String_(o.abbr),
+			relational.Int(int64(1900 + r.Intn(100))),
+		})
+	}
+	memberID := 0
+	for c := 1; c <= numCountries; c++ {
+		n := 1 + r.Intn(4)
+		seen := map[int]bool{}
+		for j := 0; j < n; j++ {
+			o := 1 + r.Intn(len(orgs))
+			if seen[o] {
+				continue
+			}
+			seen[o] = true
+			memberID++
+			mustInsert(db, "is_member", relational.Row{
+				relational.Int(int64(memberID)),
+				relational.Int(int64(c)),
+				relational.Int(int64(o)),
+				relational.String_(pick(r, []string{"member", "observer", "associate"})),
+			})
+		}
+	}
+	if err := db.CheckForeignKeys(); err != nil {
+		panic(fmt.Sprintf("datasets: mondial integrity: %v", err))
+	}
+	return db
+}

@@ -1,0 +1,235 @@
+// Package ds implements the Dempster–Shafer theory of evidence as used by
+// the QUEST combiner: mass functions over a frame of discernment, an
+// explicit ignorance mass on the universe, normalization, and Dempster's
+// rule of combination.
+//
+// QUEST only ever assigns positive mass to singleton hypotheses plus the
+// universe Θ (the "degree of uncertainty" parameter O of each source), which
+// keeps combination quadratic in the number of hypotheses while still
+// exhibiting the full DS behaviour: conflict renormalization and
+// ignorance-weighted blending of sources.
+package ds
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mass is a body of evidence: masses on singleton hypotheses (keyed by
+// string id) plus a mass on the universe Θ representing ignorance.
+type Mass struct {
+	singletons map[string]float64
+	theta      float64
+}
+
+// NewMass returns an empty body of evidence with full ignorance (Θ = 1).
+func NewMass() *Mass {
+	return &Mass{singletons: make(map[string]float64), theta: 1}
+}
+
+// AddEvidence accumulates (unnormalized) weight on one hypothesis. Negative
+// weights are rejected.
+func (m *Mass) AddEvidence(hypothesis string, weight float64) error {
+	if weight < 0 || math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("ds: invalid evidence weight %v for %q", weight, hypothesis)
+	}
+	m.singletons[hypothesis] += weight
+	return nil
+}
+
+// SetIgnorance fixes the universe mass O in [0,1] and rescales the singleton
+// masses so the body is normalized: singletons sum to (1−O), Θ gets O.
+// A body with no singleton evidence becomes pure ignorance regardless of O.
+//
+// This is the paper's `setUncertainty` + `normalize` pair from Algorithm 1.
+// Summation runs in sorted-hypothesis order: float addition is not
+// associative, and map-ordered sums would make combined beliefs — and hence
+// tie-breaks in rankings — vary between runs.
+func (m *Mass) SetIgnorance(o float64) error {
+	if o < 0 || o > 1 || math.IsNaN(o) {
+		return fmt.Errorf("ds: ignorance %v out of [0,1]", o)
+	}
+	total := 0.0
+	for _, h := range sortedKeys(m.singletons) {
+		total += m.singletons[h]
+	}
+	if total == 0 {
+		m.theta = 1
+		return nil
+	}
+	scale := (1 - o) / total
+	for h := range m.singletons {
+		m.singletons[h] *= scale
+	}
+	m.theta = o
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Theta returns the current universe (ignorance) mass.
+func (m *Mass) Theta() float64 { return m.theta }
+
+// Mass returns the mass committed to a singleton hypothesis.
+func (m *Mass) Mass(hypothesis string) float64 { return m.singletons[hypothesis] }
+
+// Hypotheses returns the singleton hypotheses with positive mass, sorted.
+func (m *Mass) Hypotheses() []string {
+	out := make([]string, 0, len(m.singletons))
+	for h, w := range m.singletons {
+		if w > 0 {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Total returns the full mass (singletons + Θ); 1 after SetIgnorance.
+func (m *Mass) Total() float64 {
+	t := m.theta
+	for _, w := range m.singletons {
+		t += w
+	}
+	return t
+}
+
+// Clone deep-copies the body of evidence.
+func (m *Mass) Clone() *Mass {
+	c := NewMass()
+	c.theta = m.theta
+	for h, w := range m.singletons {
+		c.singletons[h] = w
+	}
+	return c
+}
+
+// Combine applies Dempster's rule of combination to two bodies of evidence
+// whose focal elements are singletons plus Θ:
+//
+//	m(A) ∝ m1(A)·m2(A) + m1(A)·m2(Θ) + m1(Θ)·m2(A)   for singleton A
+//	m(Θ) ∝ m1(Θ)·m2(Θ)
+//
+// normalized by 1−K where K = Σ_{A≠B} m1(A)·m2(B) is the conflict. Returns
+// an error when the two bodies are in total conflict (K = 1).
+func Combine(m1, m2 *Mass) (*Mass, error) {
+	out := NewMass()
+	norm := 1 - Conflict(m1, m2)
+	if norm <= 1e-15 {
+		return nil, fmt.Errorf("ds: total conflict between bodies of evidence")
+	}
+	hyps := make(map[string]bool)
+	for h := range m1.singletons {
+		hyps[h] = true
+	}
+	for h := range m2.singletons {
+		hyps[h] = true
+	}
+	for h := range hyps {
+		w := m1.singletons[h]*m2.singletons[h] +
+			m1.singletons[h]*m2.theta +
+			m1.theta*m2.singletons[h]
+		if w > 0 {
+			out.singletons[h] = w / norm
+		}
+	}
+	out.theta = m1.theta * m2.theta / norm
+	return out, nil
+}
+
+// Conflict returns K, the mass of disagreement between the two bodies,
+// accumulated in sorted order so the float sum is reproducible.
+func Conflict(m1, m2 *Mass) float64 {
+	k1 := sortedKeys(m1.singletons)
+	k2 := sortedKeys(m2.singletons)
+	k := 0.0
+	for _, h1 := range k1 {
+		w1 := m1.singletons[h1]
+		for _, h2 := range k2 {
+			if h1 != h2 {
+				k += w1 * m2.singletons[h2]
+			}
+		}
+	}
+	return k
+}
+
+// Belief of a singleton hypothesis equals its mass (no proper subsets).
+func (m *Mass) Belief(hypothesis string) float64 { return m.singletons[hypothesis] }
+
+// Plausibility of a singleton hypothesis is mass + Θ (Θ is the only
+// superset with positive mass).
+func (m *Mass) Plausibility(hypothesis string) float64 {
+	return m.singletons[hypothesis] + m.theta
+}
+
+// Ranked is one hypothesis with its combined belief.
+type Ranked struct {
+	Hypothesis string
+	Belief     float64
+}
+
+// Ranking returns hypotheses sorted by descending belief, ties broken by
+// hypothesis id for determinism.
+func (m *Mass) Ranking() []Ranked {
+	out := make([]Ranked, 0, len(m.singletons))
+	for h, w := range m.singletons {
+		if w > 0 {
+			out = append(out, Ranked{Hypothesis: h, Belief: w})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Belief != out[j].Belief {
+			return out[i].Belief > out[j].Belief
+		}
+		return out[i].Hypothesis < out[j].Hypothesis
+	})
+	return out
+}
+
+// Evidence is a scored hypothesis contributed by one source.
+type Evidence struct {
+	Hypothesis string
+	Score      float64
+}
+
+// FromScores builds a normalized body of evidence from a score list and an
+// ignorance degree — the `CombinerDST` inner loop of Algorithm 1.
+func FromScores(evidence []Evidence, ignorance float64) (*Mass, error) {
+	m := NewMass()
+	for _, e := range evidence {
+		if err := m.AddEvidence(e.Hypothesis, e.Score); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.SetIgnorance(ignorance); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CombineScores is the full CombinerDST of Algorithm 1: normalize each
+// source with its own ignorance, then apply Dempster's rule.
+func CombineScores(src1 []Evidence, o1 float64, src2 []Evidence, o2 float64) ([]Ranked, error) {
+	m1, err := FromScores(src1, o1)
+	if err != nil {
+		return nil, err
+	}
+	m2, err := FromScores(src2, o2)
+	if err != nil {
+		return nil, err
+	}
+	c, err := Combine(m1, m2)
+	if err != nil {
+		return nil, err
+	}
+	return c.Ranking(), nil
+}

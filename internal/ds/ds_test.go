@@ -1,0 +1,274 @@
+package ds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustMass(t *testing.T, ev []Evidence, o float64) *Mass {
+	t.Helper()
+	m, err := FromScores(ev, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAddEvidenceValidation(t *testing.T) {
+	m := NewMass()
+	if err := m.AddEvidence("a", -1); err == nil {
+		t.Error("negative weight must fail")
+	}
+	if err := m.AddEvidence("a", math.NaN()); err == nil {
+		t.Error("NaN weight must fail")
+	}
+	if err := m.AddEvidence("a", math.Inf(1)); err == nil {
+		t.Error("Inf weight must fail")
+	}
+	if err := m.AddEvidence("a", 2); err != nil {
+		t.Errorf("valid weight failed: %v", err)
+	}
+}
+
+func TestSetIgnoranceNormalizes(t *testing.T) {
+	m := NewMass()
+	_ = m.AddEvidence("a", 3)
+	_ = m.AddEvidence("b", 1)
+	if err := m.SetIgnorance(0.2); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Total()-1) > 1e-12 {
+		t.Fatalf("total = %v, want 1", m.Total())
+	}
+	if math.Abs(m.Theta()-0.2) > 1e-12 {
+		t.Fatalf("theta = %v", m.Theta())
+	}
+	if math.Abs(m.Mass("a")-0.6) > 1e-12 || math.Abs(m.Mass("b")-0.2) > 1e-12 {
+		t.Fatalf("masses = %v, %v", m.Mass("a"), m.Mass("b"))
+	}
+}
+
+func TestSetIgnoranceBounds(t *testing.T) {
+	m := NewMass()
+	_ = m.AddEvidence("a", 1)
+	for _, o := range []float64{-0.1, 1.1, math.NaN()} {
+		if err := m.SetIgnorance(o); err == nil {
+			t.Errorf("SetIgnorance(%v) must fail", o)
+		}
+	}
+}
+
+func TestSetIgnoranceEmptyBodyBecomesVacuous(t *testing.T) {
+	m := NewMass()
+	if err := m.SetIgnorance(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if m.Theta() != 1 {
+		t.Fatalf("empty body must be vacuous, theta = %v", m.Theta())
+	}
+}
+
+func TestCombineVacuousIsNeutral(t *testing.T) {
+	m := mustMass(t, []Evidence{{"a", 2}, {"b", 1}}, 0.25)
+	vac := NewMass() // full ignorance
+	c, err := Combine(m, vac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, h := range []string{"a", "b"} {
+		if math.Abs(c.Mass(h)-m.Mass(h)) > 1e-12 {
+			t.Fatalf("vacuous combination changed mass of %s: %v -> %v", h, m.Mass(h), c.Mass(h))
+		}
+	}
+	if math.Abs(c.Theta()-m.Theta()) > 1e-12 {
+		t.Fatalf("theta changed: %v -> %v", m.Theta(), c.Theta())
+	}
+}
+
+func TestCombineCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		ev1 := []Evidence{{"a", r.Float64()}, {"b", r.Float64()}, {"c", r.Float64()}}
+		ev2 := []Evidence{{"b", r.Float64()}, {"c", r.Float64()}, {"d", r.Float64()}}
+		m1 := mustMass(t, ev1, 0.1+0.5*r.Float64())
+		m2 := mustMass(t, ev2, 0.1+0.5*r.Float64())
+		c12, err1 := Combine(m1, m2)
+		c21, err2 := Combine(m2, m1)
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		for _, h := range []string{"a", "b", "c", "d"} {
+			if math.Abs(c12.Mass(h)-c21.Mass(h)) > 1e-9 {
+				t.Fatalf("not commutative on %s: %v vs %v", h, c12.Mass(h), c21.Mass(h))
+			}
+		}
+	}
+}
+
+func TestCombineNormalized(t *testing.T) {
+	m1 := mustMass(t, []Evidence{{"a", 1}, {"b", 2}}, 0.3)
+	m2 := mustMass(t, []Evidence{{"a", 2}, {"c", 1}}, 0.4)
+	c, err := Combine(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Total()-1) > 1e-9 {
+		t.Fatalf("combined total = %v, want 1", c.Total())
+	}
+}
+
+func TestCombineReinforcesAgreement(t *testing.T) {
+	// Two sources both favoring "a" must yield higher belief in "a" than
+	// either source alone (relative to the competitor).
+	m1 := mustMass(t, []Evidence{{"a", 3}, {"b", 1}}, 0.2)
+	m2 := mustMass(t, []Evidence{{"a", 3}, {"b", 1}}, 0.2)
+	c, err := Combine(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioBefore := m1.Mass("a") / m1.Mass("b")
+	ratioAfter := c.Mass("a") / c.Mass("b")
+	if ratioAfter <= ratioBefore {
+		t.Fatalf("agreement must sharpen the ratio: %v -> %v", ratioBefore, ratioAfter)
+	}
+}
+
+func TestCombineTotalConflict(t *testing.T) {
+	m1 := mustMass(t, []Evidence{{"a", 1}}, 0)
+	m2 := mustMass(t, []Evidence{{"b", 1}}, 0)
+	if _, err := Combine(m1, m2); err == nil {
+		t.Fatal("total conflict must error")
+	}
+	// With ignorance, combination succeeds.
+	m1 = mustMass(t, []Evidence{{"a", 1}}, 0.1)
+	m2 = mustMass(t, []Evidence{{"b", 1}}, 0.1)
+	c, err := Combine(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mass("a") <= 0 || c.Mass("b") <= 0 {
+		t.Fatal("both hypotheses must retain mass")
+	}
+}
+
+func TestConflictMeasure(t *testing.T) {
+	m1 := mustMass(t, []Evidence{{"a", 1}}, 0)
+	m2 := mustMass(t, []Evidence{{"b", 1}}, 0)
+	if k := Conflict(m1, m2); math.Abs(k-1) > 1e-12 {
+		t.Fatalf("conflict = %v, want 1", k)
+	}
+	m3 := mustMass(t, []Evidence{{"a", 1}}, 0)
+	if k := Conflict(m1, m3); k != 0 {
+		t.Fatalf("conflict = %v, want 0", k)
+	}
+}
+
+func TestIgnoranceShiftsInfluence(t *testing.T) {
+	// The QUEST adaptation knob: raising one source's ignorance must shift
+	// the combined ranking toward the other source.
+	src1 := []Evidence{{"a", 3}, {"b", 1}} // favors a
+	src2 := []Evidence{{"a", 1}, {"b", 3}} // favors b
+
+	lowTrust1, err := CombineScores(src1, 0.9, src2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highTrust1, err := CombineScores(src1, 0.1, src2, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lowTrust1[0].Hypothesis != "b" {
+		t.Fatalf("distrusting src1 must rank b first, got %v", lowTrust1)
+	}
+	if highTrust1[0].Hypothesis != "a" {
+		t.Fatalf("trusting src1 must rank a first, got %v", highTrust1)
+	}
+}
+
+func TestBeliefPlausibility(t *testing.T) {
+	m := mustMass(t, []Evidence{{"a", 1}, {"b", 1}}, 0.5)
+	if m.Belief("a") != m.Mass("a") {
+		t.Fatal("singleton belief = mass")
+	}
+	want := m.Mass("a") + m.Theta()
+	if math.Abs(m.Plausibility("a")-want) > 1e-12 {
+		t.Fatalf("plausibility = %v, want %v", m.Plausibility("a"), want)
+	}
+	if m.Plausibility("a") < m.Belief("a") {
+		t.Fatal("plausibility >= belief must hold")
+	}
+}
+
+func TestRankingDeterministic(t *testing.T) {
+	m := mustMass(t, []Evidence{{"b", 1}, {"a", 1}, {"c", 2}}, 0.2)
+	r := m.Ranking()
+	if r[0].Hypothesis != "c" {
+		t.Fatalf("ranking = %v", r)
+	}
+	// Ties broken lexicographically.
+	if r[1].Hypothesis != "a" || r[2].Hypothesis != "b" {
+		t.Fatalf("tie break wrong: %v", r)
+	}
+}
+
+func TestHypothesesSorted(t *testing.T) {
+	m := mustMass(t, []Evidence{{"z", 1}, {"a", 1}, {"m", 1}}, 0)
+	h := m.Hypotheses()
+	if len(h) != 3 || h[0] != "a" || h[1] != "m" || h[2] != "z" {
+		t.Fatalf("hypotheses = %v", h)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := mustMass(t, []Evidence{{"a", 1}}, 0.3)
+	c := m.Clone()
+	_ = c.AddEvidence("b", 5)
+	if m.Mass("b") != 0 {
+		t.Fatal("Clone must not share state")
+	}
+}
+
+func TestCombinePreservesTotalMassProperty(t *testing.T) {
+	f := func(w1, w2, w3, w4 uint8) bool {
+		ev1 := []Evidence{{"a", float64(w1%50) + 1}, {"b", float64(w2%50) + 1}}
+		ev2 := []Evidence{{"a", float64(w3%50) + 1}, {"b", float64(w4%50) + 1}}
+		m1, err := FromScores(ev1, 0.25)
+		if err != nil {
+			return false
+		}
+		m2, err := FromScores(ev2, 0.25)
+		if err != nil {
+			return false
+		}
+		c, err := Combine(m1, m2)
+		if err != nil {
+			return false
+		}
+		return math.Abs(c.Total()-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombineScoresEndToEnd(t *testing.T) {
+	ranked, err := CombineScores(
+		[]Evidence{{"x", 2}, {"y", 1}}, 0.3,
+		[]Evidence{{"x", 1}, {"z", 1}}, 0.3,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Hypothesis != "x" {
+		t.Fatalf("x supported by both sources must win: %v", ranked)
+	}
+	total := 0.0
+	for _, r := range ranked {
+		total += r.Belief
+	}
+	if total > 1+1e-9 {
+		t.Fatalf("beliefs sum to %v > 1", total)
+	}
+}

@@ -1,0 +1,220 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/ontology"
+	"repro/internal/wrapper"
+)
+
+func TestGeneratorProducesQueriesWithGold(t *testing.T) {
+	db := datasets.IMDB(datasets.DefaultConfig())
+	g := NewGenerator(db, 7)
+	w := g.Generate("imdb", IMDBTemplates(), 3)
+	if len(w.Queries) == 0 {
+		t.Fatal("empty workload")
+	}
+	for _, q := range w.Queries {
+		if len(q.Keywords) == 0 {
+			t.Fatal("query without keywords")
+		}
+		if q.GoldConfig == nil || len(q.GoldConfig.Terms) != len(q.Keywords) {
+			t.Fatalf("query %v: bad gold config", q)
+		}
+		if len(q.GoldTables) == 0 {
+			t.Fatalf("query %v: no gold tables", q)
+		}
+		// Gold tables must be sorted lower-case.
+		for i := 1; i < len(q.GoldTables); i++ {
+			if q.GoldTables[i-1] > q.GoldTables[i] {
+				t.Fatalf("gold tables unsorted: %v", q.GoldTables)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	db := datasets.IMDB(datasets.DefaultConfig())
+	w1 := NewGenerator(db, 7).Generate("a", IMDBTemplates(), 2)
+	w2 := NewGenerator(db, 7).Generate("a", IMDBTemplates(), 2)
+	if len(w1.Queries) != len(w2.Queries) {
+		t.Fatalf("lengths differ: %d vs %d", len(w1.Queries), len(w2.Queries))
+	}
+	for i := range w1.Queries {
+		if w1.Queries[i].String() != w2.Queries[i].String() {
+			t.Fatalf("query %d differs: %q vs %q", i, w1.Queries[i], w2.Queries[i])
+		}
+	}
+}
+
+func TestValueTokensAreSelective(t *testing.T) {
+	db := datasets.IMDB(datasets.DefaultConfig())
+	g := NewGenerator(db, 3)
+	for i := 0; i < 10; i++ {
+		tok, ok := g.valueToken("movie", "title", 8)
+		if !ok {
+			continue
+		}
+		ai := g.idx.Attribute("movie", "title")
+		if len(ai.Rows(tok)) > 8 {
+			t.Fatalf("token %q occurs in %d rows > 8", tok, len(ai.Rows(tok)))
+		}
+	}
+}
+
+func TestJudgeRanks(t *testing.T) {
+	q := &Query{
+		Keywords: []string{"a", "b"},
+		GoldConfig: &core.Configuration{
+			Keywords: []string{"a", "b"},
+			Terms: []core.Term{
+				{Kind: core.KindDomain, Table: "t1", Column: "x"},
+				{Kind: core.KindDomain, Table: "t2", Column: "y"},
+			},
+		},
+		GoldTables: []string{"t1", "t2"},
+	}
+	// Build judgement from table sets only.
+	j := JudgeTables(q, [][]string{
+		{"t1"},
+		{"t2", "t1"}, // matches gold (order-insensitive)
+		{"t1", "t2", "t3"},
+	})
+	if j.TablesRank != 2 {
+		t.Fatalf("TablesRank = %d, want 2", j.TablesRank)
+	}
+	if !j.Hit() {
+		t.Fatal("Hit() must be true")
+	}
+	j = JudgeTables(q, [][]string{{"t3"}})
+	if j.TablesRank != 0 || j.Hit() {
+		t.Fatal("miss must yield rank 0")
+	}
+}
+
+func TestAggregateMetrics(t *testing.T) {
+	js := []Judgement{
+		{TablesRank: 1, ConfigRank: 1},
+		{TablesRank: 3, ConfigRank: 2},
+		{TablesRank: 0, ConfigRank: 0},
+		{TablesRank: 7, ConfigRank: 1},
+	}
+	m := Aggregate(js)
+	if m.N != 4 {
+		t.Fatalf("N = %d", m.N)
+	}
+	if math.Abs(m.SuccessAt1-0.25) > 1e-12 {
+		t.Errorf("S@1 = %v", m.SuccessAt1)
+	}
+	if math.Abs(m.SuccessAt3-0.5) > 1e-12 {
+		t.Errorf("S@3 = %v", m.SuccessAt3)
+	}
+	if math.Abs(m.SuccessAt10-0.75) > 1e-12 {
+		t.Errorf("S@10 = %v", m.SuccessAt10)
+	}
+	wantMRR := (1.0 + 1.0/3 + 0 + 1.0/7) / 4
+	if math.Abs(m.MRR-wantMRR) > 1e-12 {
+		t.Errorf("MRR = %v, want %v", m.MRR, wantMRR)
+	}
+	if math.Abs(m.ConfigAt1-0.5) > 1e-12 {
+		t.Errorf("cfg@1 = %v", m.ConfigAt1)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	m := Aggregate(nil)
+	if m.N != 0 || m.MRR != 0 {
+		t.Fatalf("empty aggregate = %+v", m)
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	w := &Workload{Name: "w"}
+	for i := 0; i < 7; i++ {
+		w.Queries = append(w.Queries, &Query{Keywords: []string{string(rune('a' + i))}})
+	}
+	train, test := Split(w)
+	if len(train.Queries) != 4 || len(test.Queries) != 3 {
+		t.Fatalf("split = %d/%d", len(train.Queries), len(test.Queries))
+	}
+}
+
+func TestFeedbackFor(t *testing.T) {
+	w := &Workload{}
+	for i := 0; i < 5; i++ {
+		w.Queries = append(w.Queries, &Query{
+			GoldConfig: &core.Configuration{Keywords: []string{"k"}},
+		})
+	}
+	fb := FeedbackFor(w, 3)
+	if len(fb) != 3 {
+		t.Fatalf("feedback = %d", len(fb))
+	}
+	fb = FeedbackFor(w, 99)
+	if len(fb) != 5 {
+		t.Fatalf("clamped feedback = %d", len(fb))
+	}
+}
+
+func TestRunEngineEndToEndOnWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	db := datasets.IMDB(datasets.DefaultConfig())
+	opts := core.DefaultOptions()
+	opts.Thesaurus = ontology.DefaultThesaurus()
+	eng := core.NewEngine(wrapper.NewFullAccessSource(db), opts)
+	g := NewGenerator(db, 11)
+	w := g.Generate("imdb", IMDBTemplates()[:3], 4)
+	js := RunEngine(eng, w)
+	if len(js) != len(w.Queries) {
+		t.Fatalf("judgements = %d, want %d", len(js), len(w.Queries))
+	}
+	m := Aggregate(js)
+	// QUEST must attain the gold table set in the top-10 for a majority of
+	// the simple workloads — the demo's headline behaviour.
+	if m.SuccessAt10 < 0.5 {
+		t.Fatalf("S@10 = %v < 0.5 — pipeline quality collapsed (%s)", m.SuccessAt10, m)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		Headers: []string{"col", "value"},
+	}
+	tbl.AddRow("a", "1")
+	tbl.AddRow("long-name", "2")
+	out := tbl.String()
+	for _, frag := range []string{"== demo ==", "col", "long-name"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestWorkloadDescribe(t *testing.T) {
+	db := datasets.IMDB(datasets.DefaultConfig())
+	w := NewGenerator(db, 7).Generate("imdb", IMDBTemplates()[:2], 2)
+	desc := w.Describe()
+	if !strings.Contains(desc, "imdb") || !strings.Contains(desc, "queries") {
+		t.Errorf("describe = %q", desc)
+	}
+}
+
+func TestMondialAndDBLPTemplatesInstantiate(t *testing.T) {
+	mondial := datasets.Mondial(datasets.DefaultConfig())
+	w := NewGenerator(mondial, 13).Generate("mondial", MondialTemplates(), 2)
+	if len(w.Queries) == 0 {
+		t.Fatal("mondial workload empty")
+	}
+	dblp := datasets.DBLP(datasets.DefaultConfig())
+	w2 := NewGenerator(dblp, 17).Generate("dblp", DBLPTemplates(), 2)
+	if len(w2.Queries) == 0 {
+		t.Fatal("dblp workload empty")
+	}
+}

@@ -1,0 +1,206 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Judgement is the per-query outcome of running an engine on a workload
+// query: the ranks (1-based) at which the gold configuration and the gold
+// table set were attained, 0 when missed.
+type Judgement struct {
+	Query      *Query
+	ConfigRank int // rank of the gold configuration among explanations
+	TablesRank int // rank of the first explanation joining exactly the gold tables
+	Returned   int // number of explanations returned
+}
+
+// Hit reports whether the gold table set appeared anywhere.
+func (j Judgement) Hit() bool { return j.TablesRank > 0 }
+
+// Judge compares one ranked explanation list against a query's gold
+// standard.
+func Judge(q *Query, explanations []*core.Explanation) Judgement {
+	j := Judgement{Query: q, Returned: len(explanations)}
+	goldCfg := q.GoldConfig.ID()
+	for i, ex := range explanations {
+		rank := i + 1
+		if j.ConfigRank == 0 && ex.Config.ID() == goldCfg {
+			j.ConfigRank = rank
+		}
+		if j.TablesRank == 0 && sameTables(ex.Interpretation.Tables(), q.GoldTables) {
+			j.TablesRank = rank
+		}
+		if j.ConfigRank > 0 && j.TablesRank > 0 {
+			break
+		}
+	}
+	return j
+}
+
+// JudgeTables scores a ranked list of table sets (for baselines that return
+// tuple trees or candidate networks instead of explanations).
+func JudgeTables(q *Query, tableSets [][]string) Judgement {
+	j := Judgement{Query: q, Returned: len(tableSets)}
+	for i, ts := range tableSets {
+		if sameTables(ts, q.GoldTables) {
+			j.TablesRank = i + 1
+			break
+		}
+	}
+	return j
+}
+
+func sameTables(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	an := append([]string(nil), a...)
+	bn := append([]string(nil), b...)
+	for i := range an {
+		an[i] = strings.ToLower(an[i])
+	}
+	for i := range bn {
+		bn[i] = strings.ToLower(bn[i])
+	}
+	sort.Strings(an)
+	sort.Strings(bn)
+	for i := range an {
+		if an[i] != bn[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Metrics aggregates judgements into the numbers the experiment tables
+// report.
+type Metrics struct {
+	N int
+	// SuccessAt1/3/10 count queries whose gold table set appeared within
+	// that rank, as fractions of N.
+	SuccessAt1  float64
+	SuccessAt3  float64
+	SuccessAt10 float64
+	// MRR is the mean reciprocal rank of the gold table set.
+	MRR float64
+	// ConfigAt1 and ConfigMRR score the forward step in isolation (gold
+	// configuration attainment).
+	ConfigAt1 float64
+	ConfigMRR float64
+}
+
+// Aggregate computes Metrics over a set of judgements.
+func Aggregate(js []Judgement) Metrics {
+	m := Metrics{N: len(js)}
+	if m.N == 0 {
+		return m
+	}
+	for _, j := range js {
+		if j.TablesRank == 1 {
+			m.SuccessAt1++
+		}
+		if j.TablesRank >= 1 && j.TablesRank <= 3 {
+			m.SuccessAt3++
+		}
+		if j.TablesRank >= 1 && j.TablesRank <= 10 {
+			m.SuccessAt10++
+		}
+		if j.TablesRank > 0 {
+			m.MRR += 1 / float64(j.TablesRank)
+		}
+		if j.ConfigRank == 1 {
+			m.ConfigAt1++
+		}
+		if j.ConfigRank > 0 {
+			m.ConfigMRR += 1 / float64(j.ConfigRank)
+		}
+	}
+	n := float64(m.N)
+	m.SuccessAt1 /= n
+	m.SuccessAt3 /= n
+	m.SuccessAt10 /= n
+	m.MRR /= n
+	m.ConfigAt1 /= n
+	m.ConfigMRR /= n
+	return m
+}
+
+// String renders the metrics in one line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("n=%d S@1=%.3f S@3=%.3f S@10=%.3f MRR=%.3f cfg@1=%.3f cfgMRR=%.3f",
+		m.N, m.SuccessAt1, m.SuccessAt3, m.SuccessAt10, m.MRR, m.ConfigAt1, m.ConfigMRR)
+}
+
+// RunEngine evaluates an engine over a workload, returning the judgements.
+func RunEngine(e *core.Engine, w *Workload) []Judgement {
+	js := make([]Judgement, 0, len(w.Queries))
+	for _, q := range w.Queries {
+		ex, err := e.Search(strings.Join(q.Keywords, " "))
+		if err != nil {
+			js = append(js, Judgement{Query: q})
+			continue
+		}
+		js = append(js, Judge(q, ex))
+	}
+	return js
+}
+
+// Table builds aligned text tables for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends one formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for i, h := range t.Headers {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], h)
+	}
+	b.WriteString("\n")
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// F formats a float for table cells.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }

@@ -1,0 +1,60 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "bb"}}
+	tbl.AddRow("xxxx", "y")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (header, rule, row)", len(lines))
+	}
+	// Column 2 must start at the same offset in header and row.
+	hIdx := strings.Index(lines[0], "bb")
+	rIdx := strings.Index(lines[2], "y")
+	if hIdx != rIdx {
+		t.Fatalf("misaligned: header col2 at %d, row col2 at %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := &Table{Headers: []string{"h"}}
+	tbl.AddRow("v")
+	if strings.Contains(tbl.String(), "==") {
+		t.Fatal("untitled table must not render a title rule")
+	}
+}
+
+func TestF(t *testing.T) {
+	if F(0.5) != "0.500" {
+		t.Fatalf("F(0.5) = %q", F(0.5))
+	}
+	if F(0) != "0.000" {
+		t.Fatalf("F(0) = %q", F(0))
+	}
+}
+
+func TestJudgementHit(t *testing.T) {
+	if (Judgement{TablesRank: 0}).Hit() {
+		t.Fatal("rank 0 must not be a hit")
+	}
+	if !(Judgement{TablesRank: 5}).Hit() {
+		t.Fatal("rank 5 must be a hit")
+	}
+}
+
+func TestSameTablesNormalization(t *testing.T) {
+	if !sameTables([]string{"B", "a"}, []string{"A", "b"}) {
+		t.Fatal("case/order-insensitive comparison broken")
+	}
+	if sameTables([]string{"a"}, []string{"a", "b"}) {
+		t.Fatal("different sizes must differ")
+	}
+	if sameTables([]string{"a", "c"}, []string{"a", "b"}) {
+		t.Fatal("different members must differ")
+	}
+}

@@ -1,0 +1,268 @@
+// Package fulltext implements per-attribute inverted indexes with TF-IDF
+// relevance scoring over the relational engine.
+//
+// This is the "search function over full text indexes provided by the DBMS"
+// that the paper's forward module calls to obtain, for a keyword and a
+// database attribute, a relevance value it then normalizes into an HMM
+// emission probability. The setup phase computes one normalization
+// coefficient per attribute so that, per attribute, scores sum to at most 1
+// across the vocabulary — exactly the paper's "coefficient (different for
+// each attribute) computed in the setup phase".
+package fulltext
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"unicode"
+
+	"repro/internal/relational"
+)
+
+// Posting records the occurrences of one term inside one attribute.
+type Posting struct {
+	RowOrdinals []int // rows of the owning table that contain the term
+	TermFreq    int   // total occurrences across those rows
+}
+
+// AttributeIndex is the inverted index of a single (table, column) pair.
+type AttributeIndex struct {
+	Table  string
+	Column string
+
+	postings map[string]*Posting
+	docCount int     // rows with a non-NULL value
+	totalLen int     // total token count
+	normCoef float64 // setup-phase normalization coefficient
+}
+
+// DocCount returns the number of indexed (non-NULL) cells.
+func (ai *AttributeIndex) DocCount() int { return ai.docCount }
+
+// VocabularySize returns the number of distinct terms.
+func (ai *AttributeIndex) VocabularySize() int { return len(ai.postings) }
+
+// Terms returns the sorted vocabulary (deterministic iteration helper).
+func (ai *AttributeIndex) Terms() []string {
+	out := make([]string, 0, len(ai.postings))
+	for t := range ai.postings {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Index is the database-wide full-text index: one AttributeIndex per text
+// (or textual-rendering) column.
+type Index struct {
+	attrs map[string]*AttributeIndex // key: lower(table) + "." + lower(column)
+	order []string
+}
+
+// Tokenize lower-cases and splits text into alphanumeric tokens. It is the
+// single tokenizer shared with the SQL MATCH operator semantics.
+func Tokenize(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// BuildIndex scans every table of the database and indexes every column.
+// Non-string columns are indexed through their textual rendering, so
+// keywords like "1994" can hit integer year attributes (the paper maps
+// keywords to attribute domains regardless of type).
+func BuildIndex(db *relational.Database) *Index {
+	ix := &Index{attrs: make(map[string]*AttributeIndex)}
+	for _, ts := range db.Schema.Tables() {
+		t := db.Table(ts.Name)
+		for ci, col := range ts.Columns {
+			ai := &AttributeIndex{
+				Table:    ts.Name,
+				Column:   col.Name,
+				postings: make(map[string]*Posting),
+			}
+			for ri, row := range t.Rows() {
+				v := row[ci]
+				if v.IsNull() {
+					continue
+				}
+				toks := Tokenize(v.AsString())
+				if len(toks) == 0 {
+					continue
+				}
+				ai.docCount++
+				ai.totalLen += len(toks)
+				seen := make(map[string]bool, len(toks))
+				for _, tok := range toks {
+					p := ai.postings[tok]
+					if p == nil {
+						p = &Posting{}
+						ai.postings[tok] = p
+					}
+					p.TermFreq++
+					if !seen[tok] {
+						p.RowOrdinals = append(p.RowOrdinals, ri)
+						seen[tok] = true
+					}
+				}
+			}
+			ai.computeNorm()
+			key := attrKey(ts.Name, col.Name)
+			ix.attrs[key] = ai
+			ix.order = append(ix.order, key)
+		}
+	}
+	return ix
+}
+
+func attrKey(table, column string) string {
+	return strings.ToLower(table) + "." + strings.ToLower(column)
+}
+
+// computeNorm derives the per-attribute normalization coefficient: the sum
+// of raw scores over the vocabulary, so that normalized scores form a
+// sub-probability distribution per attribute. The sum runs over the sorted
+// vocabulary so the coefficient — and every score derived from it — is
+// bit-identical across runs (map-ordered float sums are not).
+func (ai *AttributeIndex) computeNorm() {
+	total := 0.0
+	for _, term := range ai.Terms() {
+		total += ai.rawScore(term)
+	}
+	ai.normCoef = total
+}
+
+// rawScore is a TF-IDF style weight of term inside the attribute: term
+// frequency damped by log, scaled by how selective the term is among the
+// attribute's rows.
+func (ai *AttributeIndex) rawScore(term string) float64 {
+	p := ai.postings[term]
+	if p == nil || ai.docCount == 0 {
+		return 0
+	}
+	tf := 1 + math.Log(float64(p.TermFreq))
+	idf := math.Log(1 + float64(ai.docCount)/float64(len(p.RowOrdinals)))
+	return tf * idf
+}
+
+// Score returns the normalized relevance of keyword for the attribute; the
+// values for a fixed attribute sum to at most 1 over all keywords. Multi-token
+// keywords score as the product of per-token scores (conjunctive semantics).
+func (ix *Index) Score(table, column, keyword string) float64 {
+	ai := ix.attrs[attrKey(table, column)]
+	if ai == nil {
+		return 0
+	}
+	return ai.Score(keyword)
+}
+
+// Score is the per-attribute normalized relevance of keyword.
+func (ai *AttributeIndex) Score(keyword string) float64 {
+	toks := Tokenize(keyword)
+	if len(toks) == 0 || ai.normCoef == 0 {
+		return 0
+	}
+	score := 1.0
+	for _, t := range toks {
+		s := ai.rawScore(t) / ai.normCoef
+		if s == 0 {
+			return 0
+		}
+		score *= s
+	}
+	return score
+}
+
+// Rows returns the row ordinals of the attribute's table whose cell
+// contains every token of the keyword.
+func (ai *AttributeIndex) Rows(keyword string) []int {
+	toks := Tokenize(keyword)
+	if len(toks) == 0 {
+		return nil
+	}
+	var acc map[int]int
+	for i, t := range toks {
+		p := ai.postings[t]
+		if p == nil {
+			return nil
+		}
+		if i == 0 {
+			acc = make(map[int]int, len(p.RowOrdinals))
+			for _, r := range p.RowOrdinals {
+				acc[r] = 1
+			}
+			continue
+		}
+		for _, r := range p.RowOrdinals {
+			if acc[r] == i {
+				acc[r] = i + 1
+			}
+		}
+	}
+	var out []int
+	for r, c := range acc {
+		if c == len(toks) {
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Attribute returns the index of one (table, column) pair, or nil.
+func (ix *Index) Attribute(table, column string) *AttributeIndex {
+	return ix.attrs[attrKey(table, column)]
+}
+
+// Attributes returns all attribute indexes in schema order.
+func (ix *Index) Attributes() []*AttributeIndex {
+	out := make([]*AttributeIndex, 0, len(ix.order))
+	for _, k := range ix.order {
+		out = append(out, ix.attrs[k])
+	}
+	return out
+}
+
+// AttrScore pairs an attribute with a relevance score.
+type AttrScore struct {
+	Table  string
+	Column string
+	Score  float64
+}
+
+// SearchAll scores a keyword against every indexed attribute and returns
+// the non-zero hits sorted by descending score (ties broken by name so the
+// result is deterministic).
+func (ix *Index) SearchAll(keyword string) []AttrScore {
+	var out []AttrScore
+	for _, k := range ix.order {
+		ai := ix.attrs[k]
+		if s := ai.Score(keyword); s > 0 {
+			out = append(out, AttrScore{Table: ai.Table, Column: ai.Column, Score: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}

@@ -1,0 +1,230 @@
+package fulltext
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+func indexedDB(t *testing.T) (*relational.Database, *Index) {
+	t.Helper()
+	s := relational.NewSchema()
+	if err := s.AddTable(&relational.TableSchema{
+		Name: "movie",
+		Columns: []relational.Column{
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "title", Type: relational.TypeString},
+			{Name: "year", Type: relational.TypeInt},
+		},
+		PrimaryKey: "movie_id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTable(&relational.TableSchema{
+		Name: "person",
+		Columns: []relational.Column{
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString},
+		},
+		PrimaryKey: "person_id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db := relational.MustNewDatabase("t", s)
+	I, S := relational.Int, relational.String_
+	rows := []relational.Row{
+		{I(1), S("the dark night"), I(2008)},
+		{I(2), S("dark river"), I(1994)},
+		{I(3), S("silent night"), I(1994)},
+		{I(4), S("golden dream"), relational.Null()},
+	}
+	for _, r := range rows {
+		if err := db.Insert("movie", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	people := []relational.Row{
+		{I(1), S("alice dark")},
+		{I(2), S("bob night")},
+	}
+	for _, r := range people {
+		if err := db.Insert("person", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, BuildIndex(db)
+}
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"The Dark-Night", []string{"the", "dark", "night"}},
+		{"  ", nil},
+		{"1994", []string{"1994"}},
+		{"a,b;c", []string{"a", "b", "c"}},
+	}
+	for _, tt := range tests {
+		got := Tokenize(tt.in)
+		if len(got) != len(tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("Tokenize(%q)[%d] = %q, want %q", tt.in, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestScorePositiveForPresentTerms(t *testing.T) {
+	_, ix := indexedDB(t)
+	if s := ix.Score("movie", "title", "dark"); s <= 0 {
+		t.Fatalf("Score(movie.title, dark) = %v, want > 0", s)
+	}
+	if s := ix.Score("movie", "title", "zzz"); s != 0 {
+		t.Fatalf("Score of absent term = %v, want 0", s)
+	}
+	if s := ix.Score("nope", "title", "dark"); s != 0 {
+		t.Fatalf("Score on unknown attribute = %v, want 0", s)
+	}
+}
+
+func TestScoreNumericColumnsViaRendering(t *testing.T) {
+	_, ix := indexedDB(t)
+	if s := ix.Score("movie", "year", "1994"); s <= 0 {
+		t.Fatalf("year 1994 must be findable, got %v", s)
+	}
+}
+
+func TestPerAttributeNormalization(t *testing.T) {
+	_, ix := indexedDB(t)
+	// Sum of scores over the attribute's vocabulary must be ~1 (the
+	// paper's setup-phase coefficient).
+	ai := ix.Attribute("movie", "title")
+	total := 0.0
+	for _, term := range ai.Terms() {
+		total += ai.Score(term)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("vocabulary scores sum to %v, want 1", total)
+	}
+}
+
+func TestSelectiveTermScoresHigherThanCommon(t *testing.T) {
+	_, ix := indexedDB(t)
+	ai := ix.Attribute("movie", "title")
+	// "golden" appears once; "dark" twice, "night" twice. The rarer term
+	// must have at least as high an idf-driven score per occurrence.
+	golden := ai.Score("golden")
+	dark := ai.Score("dark")
+	if golden <= 0 || dark <= 0 {
+		t.Fatal("both terms must score positive")
+	}
+	if golden < dark*0.5 {
+		t.Fatalf("selective term crushed: golden=%v dark=%v", golden, dark)
+	}
+}
+
+func TestMultiTokenConjunctive(t *testing.T) {
+	_, ix := indexedDB(t)
+	ai := ix.Attribute("movie", "title")
+	if s := ai.Score("dark night"); s <= 0 {
+		t.Fatalf("conjunctive score = %v", s)
+	}
+	if s := ai.Score("dark zzz"); s != 0 {
+		t.Fatalf("partially absent multi-token must be 0, got %v", s)
+	}
+	if s := ai.Score(""); s != 0 {
+		t.Fatalf("empty keyword = %v", s)
+	}
+}
+
+func TestRows(t *testing.T) {
+	_, ix := indexedDB(t)
+	ai := ix.Attribute("movie", "title")
+	rows := ai.Rows("dark")
+	if len(rows) != 2 || rows[0] != 0 || rows[1] != 1 {
+		t.Fatalf("Rows(dark) = %v, want [0 1]", rows)
+	}
+	rows = ai.Rows("dark night")
+	if len(rows) != 1 || rows[0] != 0 {
+		t.Fatalf("Rows(dark night) = %v, want [0]", rows)
+	}
+	if got := ai.Rows("zzz"); got != nil {
+		t.Fatalf("Rows(zzz) = %v", got)
+	}
+}
+
+func TestSearchAllOrderingAndDeterminism(t *testing.T) {
+	_, ix := indexedDB(t)
+	hits1 := ix.SearchAll("dark")
+	hits2 := ix.SearchAll("dark")
+	if len(hits1) == 0 {
+		t.Fatal("no hits")
+	}
+	// movie.title (2 occurrences) and person.name (1) both contain "dark".
+	foundTitle, foundName := false, false
+	for _, h := range hits1 {
+		if h.Table == "movie" && h.Column == "title" {
+			foundTitle = true
+		}
+		if h.Table == "person" && h.Column == "name" {
+			foundName = true
+		}
+	}
+	if !foundTitle || !foundName {
+		t.Fatalf("hits = %+v", hits1)
+	}
+	for i := range hits1 {
+		if hits1[i] != hits2[i] {
+			t.Fatal("SearchAll must be deterministic")
+		}
+	}
+	for i := 1; i < len(hits1); i++ {
+		if hits1[i].Score > hits1[i-1].Score {
+			t.Fatal("SearchAll must be sorted by descending score")
+		}
+	}
+}
+
+func TestDocCountSkipsNulls(t *testing.T) {
+	_, ix := indexedDB(t)
+	ai := ix.Attribute("movie", "year")
+	if ai.DocCount() != 3 {
+		t.Fatalf("DocCount = %d, want 3 (one NULL year)", ai.DocCount())
+	}
+}
+
+func TestAttributesEnumeration(t *testing.T) {
+	_, ix := indexedDB(t)
+	attrs := ix.Attributes()
+	if len(attrs) != 5 {
+		t.Fatalf("attributes = %d, want 5", len(attrs))
+	}
+	if attrs[0].Table != "movie" || attrs[0].Column != "movie_id" {
+		t.Fatalf("first attribute = %s.%s, want schema order", attrs[0].Table, attrs[0].Column)
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	s := relational.NewSchema()
+	if err := s.AddTable(&relational.TableSchema{
+		Name:    "empty",
+		Columns: []relational.Column{{Name: "x", Type: relational.TypeString}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db := relational.MustNewDatabase("e", s)
+	ix := BuildIndex(db)
+	if s := ix.Score("empty", "x", "anything"); s != 0 {
+		t.Fatalf("empty index score = %v", s)
+	}
+	ai := ix.Attribute("empty", "x")
+	if ai.VocabularySize() != 0 || ai.DocCount() != 0 {
+		t.Fatal("empty attribute index must be empty")
+	}
+}

@@ -1,0 +1,535 @@
+// Package hmm implements the Hidden Markov Model machinery the QUEST
+// forward module is built on: model representation, the list Viterbi
+// algorithm (top-k most probable state sequences, Seshadri–Sundberg
+// parallel-list variant), forward/backward evaluation and
+// Expectation–Maximization training used by the feedback-based operating
+// mode.
+//
+// All probabilities are kept in log space to survive long observation
+// sequences; emission probabilities are supplied per observation through an
+// EmissionFunc, which is how QUEST plugs in full-text scores (a fixed
+// emission matrix would not work: the observation alphabet — the user's
+// keywords — is unbounded).
+package hmm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NegInf is the log probability of an impossible event.
+var NegInf = math.Inf(-1)
+
+// EmissionFunc returns the probability (linear scale, in [0,1]) that the
+// given state emits the given observation symbol.
+type EmissionFunc func(state int, symbol string) float64
+
+// Model is a discrete-time HMM with N hidden states. Initial and transition
+// distributions are stored in linear scale and converted internally.
+type Model struct {
+	N       int         // number of states
+	Initial []float64   // len N, sums to 1
+	Trans   [][]float64 // N x N, rows sum to 1
+	Names   []string    // optional state names for diagnostics
+}
+
+// NewModel allocates a model with uniform initial and transition
+// distributions.
+func NewModel(n int) *Model {
+	m := &Model{
+		N:       n,
+		Initial: make([]float64, n),
+		Trans:   make([][]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		m.Initial[i] = 1 / float64(n)
+		m.Trans[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			m.Trans[i][j] = 1 / float64(n)
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := &Model{N: m.N, Initial: append([]float64(nil), m.Initial...)}
+	c.Trans = make([][]float64, m.N)
+	for i := range m.Trans {
+		c.Trans[i] = append([]float64(nil), m.Trans[i]...)
+	}
+	c.Names = append([]string(nil), m.Names...)
+	return c
+}
+
+// Validate checks that the distributions are proper (within tolerance).
+func (m *Model) Validate() error {
+	if len(m.Initial) != m.N || len(m.Trans) != m.N {
+		return fmt.Errorf("hmm: model arity mismatch")
+	}
+	if !sumsToOne(m.Initial) {
+		return fmt.Errorf("hmm: initial distribution does not sum to 1")
+	}
+	for i, row := range m.Trans {
+		if len(row) != m.N {
+			return fmt.Errorf("hmm: transition row %d arity mismatch", i)
+		}
+		if !sumsToOne(row) {
+			return fmt.Errorf("hmm: transition row %d does not sum to 1", i)
+		}
+	}
+	return nil
+}
+
+func sumsToOne(p []float64) bool {
+	s := 0.0
+	for _, v := range p {
+		if v < -1e-12 {
+			return false
+		}
+		s += v
+	}
+	return math.Abs(s-1) < 1e-6
+}
+
+// Normalize rescales the initial distribution and each transition row to
+// sum to 1, leaving all-zero rows uniform.
+func (m *Model) Normalize() {
+	normalizeInPlace(m.Initial)
+	for i := range m.Trans {
+		normalizeInPlace(m.Trans[i])
+	}
+}
+
+func normalizeInPlace(p []float64) {
+	s := 0.0
+	for _, v := range p {
+		s += v
+	}
+	if s <= 0 {
+		u := 1 / float64(len(p))
+		for i := range p {
+			p[i] = u
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= s
+	}
+}
+
+// Path is one decoded state sequence with its log probability.
+type Path struct {
+	States  []int
+	LogProb float64
+}
+
+// Prob returns the linear-scale probability of the path.
+func (p Path) Prob() float64 { return math.Exp(p.LogProb) }
+
+func safeLog(x float64) float64 {
+	if x <= 0 {
+		return NegInf
+	}
+	return math.Log(x)
+}
+
+// Viterbi returns the single most probable state sequence for the
+// observations, or ok=false when no sequence has non-zero probability.
+func (m *Model) Viterbi(obs []string, emit EmissionFunc) (Path, bool) {
+	paths := m.ListViterbi(obs, emit, 1)
+	if len(paths) == 0 {
+		return Path{}, false
+	}
+	return paths[0], true
+}
+
+// listEntry is one of the k best ways to reach a state at a time step.
+type listEntry struct {
+	logp      float64
+	prevState int // -1 at t=0
+	prevRank  int
+}
+
+// ListViterbi computes the top-k most probable state sequences using the
+// parallel-list Viterbi algorithm: for every (time, state) pair it keeps the
+// k best (predecessor state, predecessor rank) continuations, which is exact
+// for sequence decoding. Complexity O(T·N²·k).
+func (m *Model) ListViterbi(obs []string, emit EmissionFunc, k int) []Path {
+	T := len(obs)
+	if T == 0 || k <= 0 || m.N == 0 {
+		return nil
+	}
+
+	// lists[t][s] = up to k best entries, sorted descending by logp.
+	lists := make([][][]listEntry, T)
+	for t := range lists {
+		lists[t] = make([][]listEntry, m.N)
+	}
+
+	for s := 0; s < m.N; s++ {
+		lp := safeLog(m.Initial[s]) + safeLog(emit(s, obs[0]))
+		if lp == NegInf {
+			continue
+		}
+		lists[0][s] = []listEntry{{logp: lp, prevState: -1, prevRank: -1}}
+	}
+
+	for t := 1; t < T; t++ {
+		for s := 0; s < m.N; s++ {
+			e := safeLog(emit(s, obs[t]))
+			if e == NegInf {
+				continue
+			}
+			// Gather candidate continuations from every predecessor's list.
+			var cands []listEntry
+			for ps := 0; ps < m.N; ps++ {
+				tr := safeLog(m.Trans[ps][s])
+				if tr == NegInf {
+					continue
+				}
+				for rank, pe := range lists[t-1][ps] {
+					cands = append(cands, listEntry{
+						logp:      pe.logp + tr + e,
+						prevState: ps,
+						prevRank:  rank,
+					})
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			sort.Slice(cands, func(i, j int) bool {
+				if cands[i].logp != cands[j].logp {
+					return cands[i].logp > cands[j].logp
+				}
+				if cands[i].prevState != cands[j].prevState {
+					return cands[i].prevState < cands[j].prevState
+				}
+				return cands[i].prevRank < cands[j].prevRank
+			})
+			if len(cands) > k {
+				cands = cands[:k]
+			}
+			lists[t][s] = cands
+		}
+	}
+
+	// Collect final candidates across states.
+	type final struct {
+		state int
+		rank  int
+		logp  float64
+	}
+	var finals []final
+	for s := 0; s < m.N; s++ {
+		for rank, e := range lists[T-1][s] {
+			finals = append(finals, final{state: s, rank: rank, logp: e.logp})
+		}
+	}
+	sort.Slice(finals, func(i, j int) bool {
+		if finals[i].logp != finals[j].logp {
+			return finals[i].logp > finals[j].logp
+		}
+		if finals[i].state != finals[j].state {
+			return finals[i].state < finals[j].state
+		}
+		return finals[i].rank < finals[j].rank
+	})
+	if len(finals) > k {
+		finals = finals[:k]
+	}
+	if len(finals) == 0 {
+		return nil
+	}
+
+	out := make([]Path, 0, len(finals))
+	for _, f := range finals {
+		states := make([]int, T)
+		s, rank := f.state, f.rank
+		for t := T - 1; t >= 0; t-- {
+			states[t] = s
+			e := lists[t][s][rank]
+			s, rank = e.prevState, e.prevRank
+		}
+		out = append(out, Path{States: states, LogProb: f.logp})
+	}
+	return out
+}
+
+// Forward computes the log likelihood of the observation sequence and the
+// scaled forward variables (for EM). Returns ok=false for impossible
+// sequences.
+func (m *Model) Forward(obs []string, emit EmissionFunc) (alpha [][]float64, scale []float64, logLik float64, ok bool) {
+	T := len(obs)
+	if T == 0 {
+		return nil, nil, 0, false
+	}
+	alpha = make([][]float64, T)
+	scale = make([]float64, T)
+	for t := range alpha {
+		alpha[t] = make([]float64, m.N)
+	}
+	for s := 0; s < m.N; s++ {
+		alpha[0][s] = m.Initial[s] * emit(s, obs[0])
+		scale[0] += alpha[0][s]
+	}
+	if scale[0] == 0 {
+		return nil, nil, 0, false
+	}
+	for s := 0; s < m.N; s++ {
+		alpha[0][s] /= scale[0]
+	}
+	for t := 1; t < T; t++ {
+		for s := 0; s < m.N; s++ {
+			sum := 0.0
+			for ps := 0; ps < m.N; ps++ {
+				sum += alpha[t-1][ps] * m.Trans[ps][s]
+			}
+			alpha[t][s] = sum * emit(s, obs[t])
+			scale[t] += alpha[t][s]
+		}
+		if scale[t] == 0 {
+			return nil, nil, 0, false
+		}
+		for s := 0; s < m.N; s++ {
+			alpha[t][s] /= scale[t]
+		}
+	}
+	logLik = 0
+	for _, sc := range scale {
+		logLik += math.Log(sc)
+	}
+	return alpha, scale, logLik, true
+}
+
+// backward computes the scaled backward variables matching Forward's
+// scaling factors.
+func (m *Model) backward(obs []string, emit EmissionFunc, scale []float64) [][]float64 {
+	T := len(obs)
+	beta := make([][]float64, T)
+	for t := range beta {
+		beta[t] = make([]float64, m.N)
+	}
+	for s := 0; s < m.N; s++ {
+		beta[T-1][s] = 1 / scale[T-1]
+	}
+	for t := T - 2; t >= 0; t-- {
+		for s := 0; s < m.N; s++ {
+			sum := 0.0
+			for ns := 0; ns < m.N; ns++ {
+				sum += m.Trans[s][ns] * emit(ns, obs[t+1]) * beta[t+1][ns]
+			}
+			beta[t][s] = sum / scale[t]
+		}
+	}
+	return beta
+}
+
+// LogLikelihood returns the total log likelihood of a set of sequences.
+func (m *Model) LogLikelihood(seqs [][]string, emit EmissionFunc) float64 {
+	total := 0.0
+	for _, obs := range seqs {
+		if _, _, ll, ok := m.Forward(obs, emit); ok {
+			total += ll
+		} else {
+			total += -1e9 // impossible sequence: huge penalty, keeps EM monotone checks meaningful
+		}
+	}
+	return total
+}
+
+// TrainEM re-estimates the initial and transition distributions from
+// unlabeled observation sequences (Baum–Welch restricted to the structural
+// parameters; emissions stay external, as in QUEST where they come from the
+// full-text engine). It performs at most maxIter iterations, stopping when
+// the log likelihood improves by less than tol. Returns the number of
+// iterations run.
+//
+// This is the on-line E-M training of the paper's feedback-based mode: each
+// validated past search contributes its keyword sequence.
+func (m *Model) TrainEM(seqs [][]string, emit EmissionFunc, maxIter int, tol float64) int {
+	if len(seqs) == 0 || maxIter <= 0 {
+		return 0
+	}
+	prev := math.Inf(-1)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		initAcc := make([]float64, m.N)
+		transNum := make([][]float64, m.N)
+		transDen := make([]float64, m.N)
+		for i := range transNum {
+			transNum[i] = make([]float64, m.N)
+		}
+		total := 0.0
+		used := 0
+		for _, obs := range seqs {
+			alpha, scale, ll, ok := m.Forward(obs, emit)
+			if !ok {
+				continue
+			}
+			used++
+			total += ll
+			beta := m.backward(obs, emit, scale)
+			T := len(obs)
+
+			// gamma[t][s] ∝ alpha[t][s] * beta[t][s]
+			for s := 0; s < m.N; s++ {
+				g := alpha[0][s] * beta[0][s] * scale[0]
+				initAcc[s] += g
+			}
+			for t := 0; t < T-1; t++ {
+				for s := 0; s < m.N; s++ {
+					for ns := 0; ns < m.N; ns++ {
+						xi := alpha[t][s] * m.Trans[s][ns] * emit(ns, obs[t+1]) * beta[t+1][ns]
+						transNum[s][ns] += xi
+					}
+					transDen[s] += alpha[t][s] * beta[t][s] * scale[t]
+				}
+			}
+		}
+		if used == 0 {
+			break
+		}
+		// M step with light additive smoothing so states never become
+		// unreachable (QUEST must keep decoding new keyword mixes).
+		const eps = 1e-6
+		for s := 0; s < m.N; s++ {
+			m.Initial[s] = initAcc[s] + eps
+		}
+		normalizeInPlace(m.Initial)
+		for s := 0; s < m.N; s++ {
+			if transDen[s] <= 0 {
+				continue // keep prior row
+			}
+			for ns := 0; ns < m.N; ns++ {
+				m.Trans[s][ns] = transNum[s][ns] + eps
+			}
+			normalizeInPlace(m.Trans[s])
+		}
+		if total-prev < tol && iter > 0 {
+			iter++
+			break
+		}
+		prev = total
+	}
+	return iter
+}
+
+// TrainListViterbi implements the list Viterbi training algorithm (Rota,
+// Bergamaschi & Guerra, CIKM 2011): a hard-EM variant where the E step
+// decodes the top-k state sequences for every observation sequence and
+// accumulates counts weighted by each path's normalized probability, and
+// the M step re-estimates initial/transition distributions from those
+// weighted counts. Compared to full Baum–Welch it concentrates probability
+// mass on the plausible decodings instead of all paths; compared to
+// Viterbi training (k=1) it is less greedy. Returns the number of
+// iterations run.
+func (m *Model) TrainListViterbi(seqs [][]string, emit EmissionFunc, k, maxIter int, tol float64) int {
+	if len(seqs) == 0 || k <= 0 || maxIter <= 0 {
+		return 0
+	}
+	prev := math.Inf(-1)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		initAcc := make([]float64, m.N)
+		transAcc := make([][]float64, m.N)
+		for i := range transAcc {
+			transAcc[i] = make([]float64, m.N)
+		}
+		total := 0.0
+		used := 0
+		for _, obs := range seqs {
+			paths := m.ListViterbi(obs, emit, k)
+			if len(paths) == 0 {
+				continue
+			}
+			used++
+			// Normalize the k paths' probabilities into weights.
+			maxLog := paths[0].LogProb
+			wsum := 0.0
+			weights := make([]float64, len(paths))
+			for i, p := range paths {
+				weights[i] = math.Exp(p.LogProb - maxLog)
+				wsum += weights[i]
+			}
+			for i := range weights {
+				weights[i] /= wsum
+			}
+			total += paths[0].LogProb
+			for i, p := range paths {
+				w := weights[i]
+				initAcc[p.States[0]] += w
+				for t := 0; t+1 < len(p.States); t++ {
+					transAcc[p.States[t]][p.States[t+1]] += w
+				}
+			}
+		}
+		if used == 0 {
+			break
+		}
+		const eps = 1e-6
+		for s := 0; s < m.N; s++ {
+			m.Initial[s] = initAcc[s] + eps
+		}
+		normalizeInPlace(m.Initial)
+		for s := 0; s < m.N; s++ {
+			rowSum := 0.0
+			for ns := 0; ns < m.N; ns++ {
+				rowSum += transAcc[s][ns]
+			}
+			if rowSum <= 0 {
+				continue // state never visited: keep prior row
+			}
+			for ns := 0; ns < m.N; ns++ {
+				m.Trans[s][ns] = transAcc[s][ns] + eps
+			}
+			normalizeInPlace(m.Trans[s])
+		}
+		if total-prev < tol && iter > 0 {
+			iter++
+			break
+		}
+		prev = total
+	}
+	return iter
+}
+
+// TrainSupervised re-estimates initial and transition distributions from
+// labeled state sequences (user-validated configurations) by frequency
+// counting with Laplace smoothing. QUEST uses it when feedback includes the
+// validated configuration, which pins down the hidden states exactly.
+func (m *Model) TrainSupervised(stateSeqs [][]int, smoothing float64) {
+	if smoothing <= 0 {
+		smoothing = 1e-3
+	}
+	init := make([]float64, m.N)
+	trans := make([][]float64, m.N)
+	for i := range trans {
+		trans[i] = make([]float64, m.N)
+	}
+	for _, seq := range stateSeqs {
+		if len(seq) == 0 {
+			continue
+		}
+		if seq[0] >= 0 && seq[0] < m.N {
+			init[seq[0]]++
+		}
+		for t := 0; t+1 < len(seq); t++ {
+			a, b := seq[t], seq[t+1]
+			if a >= 0 && a < m.N && b >= 0 && b < m.N {
+				trans[a][b]++
+			}
+		}
+	}
+	for s := 0; s < m.N; s++ {
+		init[s] += smoothing
+		for ns := 0; ns < m.N; ns++ {
+			trans[s][ns] += smoothing
+		}
+	}
+	m.Initial = init
+	m.Trans = trans
+	m.Normalize()
+}

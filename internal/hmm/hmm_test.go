@@ -1,0 +1,444 @@
+package hmm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// fixedEmit builds an EmissionFunc from a state×symbol table.
+func fixedEmit(table map[int]map[string]float64) EmissionFunc {
+	return func(s int, sym string) float64 {
+		return table[s][sym]
+	}
+}
+
+// weatherModel is the classic 2-state (rainy/sunny) teaching HMM.
+func weatherModel() (*Model, EmissionFunc) {
+	m := NewModel(2)
+	m.Initial = []float64{0.6, 0.4}
+	m.Trans = [][]float64{{0.7, 0.3}, {0.4, 0.6}}
+	emit := fixedEmit(map[int]map[string]float64{
+		0: {"walk": 0.1, "shop": 0.4, "clean": 0.5},
+		1: {"walk": 0.6, "shop": 0.3, "clean": 0.1},
+	})
+	return m, emit
+}
+
+func TestViterbiKnownResult(t *testing.T) {
+	m, emit := weatherModel()
+	// The canonical result for observations [walk shop clean] is [1 0 0].
+	p, ok := m.Viterbi([]string{"walk", "shop", "clean"}, emit)
+	if !ok {
+		t.Fatal("no path")
+	}
+	want := []int{1, 0, 0}
+	for i, s := range want {
+		if p.States[i] != s {
+			t.Fatalf("states = %v, want %v", p.States, want)
+		}
+	}
+	wantProb := 0.4 * 0.6 * 0.4 * 0.4 * 0.7 * 0.5
+	if got := p.Prob(); math.Abs(got-wantProb) > 1e-12 {
+		t.Fatalf("prob = %v, want %v", got, wantProb)
+	}
+}
+
+// enumeratePaths exhaustively scores every state sequence.
+func enumeratePaths(m *Model, obs []string, emit EmissionFunc) []Path {
+	var out []Path
+	T := len(obs)
+	seq := make([]int, T)
+	var rec func(t int, logp float64)
+	rec = func(t int, logp float64) {
+		if logp == NegInf {
+			return
+		}
+		if t == T {
+			out = append(out, Path{States: append([]int(nil), seq...), LogProb: logp})
+			return
+		}
+		for s := 0; s < m.N; s++ {
+			var step float64
+			if t == 0 {
+				step = safeLog(m.Initial[s]) + safeLog(emit(s, obs[t]))
+			} else {
+				step = safeLog(m.Trans[seq[t-1]][s]) + safeLog(emit(s, obs[t]))
+			}
+			seq[t] = s
+			rec(t+1, logp+step)
+		}
+	}
+	rec(0, 0)
+	sort.Slice(out, func(i, j int) bool { return out[i].LogProb > out[j].LogProb })
+	return out
+}
+
+func randomModel(r *rand.Rand, n int, symbols []string) (*Model, EmissionFunc) {
+	m := NewModel(n)
+	for i := range m.Initial {
+		m.Initial[i] = r.Float64() + 0.01
+	}
+	normalizeInPlace(m.Initial)
+	for i := range m.Trans {
+		for j := range m.Trans[i] {
+			m.Trans[i][j] = r.Float64() + 0.01
+		}
+		normalizeInPlace(m.Trans[i])
+	}
+	table := make(map[int]map[string]float64, n)
+	for s := 0; s < n; s++ {
+		table[s] = make(map[string]float64, len(symbols))
+		for _, sym := range symbols {
+			// Some zero emissions to exercise pruning.
+			if r.Intn(4) == 0 {
+				table[s][sym] = 0
+			} else {
+				table[s][sym] = r.Float64()
+			}
+		}
+	}
+	return m, fixedEmit(table)
+}
+
+func TestViterbiMatchesBruteForceRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	symbols := []string{"a", "b", "c"}
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + r.Intn(3)
+		T := 1 + r.Intn(4)
+		m, emit := randomModel(r, n, symbols)
+		obs := make([]string, T)
+		for i := range obs {
+			obs[i] = symbols[r.Intn(len(symbols))]
+		}
+		all := enumeratePaths(m, obs, emit)
+		got, ok := m.Viterbi(obs, emit)
+		if len(all) == 0 {
+			if ok {
+				t.Fatalf("trial %d: Viterbi found a path where none exists", trial)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("trial %d: Viterbi found nothing, brute force found %d", trial, len(all))
+		}
+		if math.Abs(got.LogProb-all[0].LogProb) > 1e-9 {
+			t.Fatalf("trial %d: viterbi logp %v != best %v", trial, got.LogProb, all[0].LogProb)
+		}
+	}
+}
+
+func TestListViterbiMatchesBruteForceTopK(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	symbols := []string{"x", "y"}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(2)
+		T := 2 + r.Intn(3)
+		k := 1 + r.Intn(5)
+		m, emit := randomModel(r, n, symbols)
+		obs := make([]string, T)
+		for i := range obs {
+			obs[i] = symbols[r.Intn(len(symbols))]
+		}
+		all := enumeratePaths(m, obs, emit)
+		got := m.ListViterbi(obs, emit, k)
+		wantLen := k
+		if len(all) < k {
+			wantLen = len(all)
+		}
+		if len(got) != wantLen {
+			t.Fatalf("trial %d: got %d paths, want %d", trial, len(got), wantLen)
+		}
+		for i := range got {
+			if math.Abs(got[i].LogProb-all[i].LogProb) > 1e-9 {
+				t.Fatalf("trial %d: rank %d logp %v, want %v", trial, i, got[i].LogProb, all[i].LogProb)
+			}
+		}
+		// Paths must be distinct.
+		seen := map[string]bool{}
+		for _, p := range got {
+			key := ""
+			for _, s := range p.States {
+				key += string(rune('0' + s))
+			}
+			if seen[key] {
+				t.Fatalf("trial %d: duplicate path %v", trial, p.States)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestListViterbiMonotoneNonIncreasing(t *testing.T) {
+	m, emit := weatherModel()
+	paths := m.ListViterbi([]string{"walk", "shop", "clean", "walk"}, emit, 8)
+	for i := 1; i < len(paths); i++ {
+		if paths[i].LogProb > paths[i-1].LogProb+1e-12 {
+			t.Fatalf("paths out of order at %d: %v > %v", i, paths[i].LogProb, paths[i-1].LogProb)
+		}
+	}
+}
+
+func TestListViterbiEdgeCases(t *testing.T) {
+	m, emit := weatherModel()
+	if got := m.ListViterbi(nil, emit, 3); got != nil {
+		t.Error("empty observations must return nil")
+	}
+	if got := m.ListViterbi([]string{"walk"}, emit, 0); got != nil {
+		t.Error("k=0 must return nil")
+	}
+	if got := m.ListViterbi([]string{"walk"}, emit, -1); got != nil {
+		t.Error("k<0 must return nil")
+	}
+	// Impossible observation.
+	if got := m.ListViterbi([]string{"fly"}, emit, 3); got != nil {
+		t.Error("impossible symbol must return nil")
+	}
+}
+
+func TestForwardLikelihoodMatchesEnumeration(t *testing.T) {
+	m, emit := weatherModel()
+	obs := []string{"walk", "shop", "clean"}
+	_, _, ll, ok := m.Forward(obs, emit)
+	if !ok {
+		t.Fatal("forward failed")
+	}
+	// Total probability = sum over all paths.
+	total := 0.0
+	for _, p := range enumeratePaths(m, obs, emit) {
+		total += math.Exp(p.LogProb)
+	}
+	if math.Abs(math.Exp(ll)-total) > 1e-12 {
+		t.Fatalf("forward likelihood %v != enumerated %v", math.Exp(ll), total)
+	}
+}
+
+func TestForwardImpossibleSequence(t *testing.T) {
+	m, emit := weatherModel()
+	if _, _, _, ok := m.Forward([]string{"fly"}, emit); ok {
+		t.Fatal("impossible sequence must report !ok")
+	}
+	if _, _, _, ok := m.Forward(nil, emit); ok {
+		t.Fatal("empty sequence must report !ok")
+	}
+}
+
+func TestTrainEMImprovesLikelihood(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	symbols := []string{"a", "b", "c"}
+	gen, emit := randomModel(r, 3, symbols)
+	// Sample sequences from the generator model.
+	sample := func() []string {
+		T := 4
+		obs := make([]string, T)
+		s := sampleFrom(r, gen.Initial)
+		for t := 0; t < T; t++ {
+			// Sample an emittable symbol for state s.
+			weights := make([]float64, len(symbols))
+			for i, sym := range symbols {
+				weights[i] = emit(s, sym)
+			}
+			obs[t] = symbols[sampleFrom(r, weights)]
+			s = sampleFrom(r, gen.Trans[s])
+		}
+		return obs
+	}
+	var seqs [][]string
+	for i := 0; i < 40; i++ {
+		seqs = append(seqs, sample())
+	}
+	m := NewModel(3) // uniform start
+	before := m.LogLikelihood(seqs, emit)
+	iters := m.TrainEM(seqs, emit, 15, 1e-6)
+	after := m.LogLikelihood(seqs, emit)
+	if iters == 0 {
+		t.Fatal("EM did not run")
+	}
+	if after < before-1e-6 {
+		t.Fatalf("EM decreased log likelihood: %v -> %v", before, after)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("post-EM model invalid: %v", err)
+	}
+}
+
+func sampleFrom(r *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total == 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+func TestTrainListViterbiImprovesLikelihood(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	symbols := []string{"a", "b", "c"}
+	gen, emit := randomModel(r, 3, symbols)
+	sample := func() []string {
+		obs := make([]string, 5)
+		s := sampleFrom(r, gen.Initial)
+		for t := range obs {
+			weights := make([]float64, len(symbols))
+			for i, sym := range symbols {
+				weights[i] = emit(s, sym)
+			}
+			obs[t] = symbols[sampleFrom(r, weights)]
+			s = sampleFrom(r, gen.Trans[s])
+		}
+		return obs
+	}
+	var seqs [][]string
+	for i := 0; i < 30; i++ {
+		seqs = append(seqs, sample())
+	}
+	m := NewModel(3)
+	before := m.LogLikelihood(seqs, emit)
+	iters := m.TrainListViterbi(seqs, emit, 3, 12, 1e-6)
+	after := m.LogLikelihood(seqs, emit)
+	if iters == 0 {
+		t.Fatal("list Viterbi training did not run")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("post-training model invalid: %v", err)
+	}
+	// Hard EM is not guaranteed monotone in total likelihood, but starting
+	// from uniform it must not collapse; allow a generous tolerance.
+	if after < before-1.0 {
+		t.Fatalf("training collapsed the likelihood: %v -> %v", before, after)
+	}
+}
+
+func TestTrainListViterbiMatchesSupervisedOnUnambiguousData(t *testing.T) {
+	// With deterministic emissions (symbol identifies the state), the top-1
+	// decode is exact, so list Viterbi training equals supervised counting.
+	emit := fixedEmit(map[int]map[string]float64{
+		0: {"x": 1},
+		1: {"y": 1},
+	})
+	seqs := [][]string{
+		{"x", "y", "y"},
+		{"x", "x", "y"},
+	}
+	m1 := NewModel(2)
+	m1.TrainListViterbi(seqs, emit, 2, 1, 1e-6)
+	m2 := NewModel(2)
+	m2.TrainSupervised([][]int{{0, 1, 1}, {0, 0, 1}}, 1e-6)
+	for s := 0; s < 2; s++ {
+		for ns := 0; ns < 2; ns++ {
+			if math.Abs(m1.Trans[s][ns]-m2.Trans[s][ns]) > 0.01 {
+				t.Fatalf("trans[%d][%d]: listViterbi %v vs supervised %v",
+					s, ns, m1.Trans[s][ns], m2.Trans[s][ns])
+			}
+		}
+	}
+}
+
+func TestTrainListViterbiEdgeCases(t *testing.T) {
+	m := NewModel(2)
+	emit := func(int, string) float64 { return 1 }
+	if it := m.TrainListViterbi(nil, emit, 3, 5, 1e-6); it != 0 {
+		t.Fatal("no data must not train")
+	}
+	if it := m.TrainListViterbi([][]string{{"a"}}, emit, 0, 5, 1e-6); it != 0 {
+		t.Fatal("k=0 must not train")
+	}
+	if it := m.TrainListViterbi([][]string{{"a"}}, emit, 3, 0, 1e-6); it != 0 {
+		t.Fatal("maxIter=0 must not train")
+	}
+	// All-impossible sequences: no usable data, model untouched.
+	zero := func(int, string) float64 { return 0 }
+	before := m.Clone()
+	m.TrainListViterbi([][]string{{"a", "b"}}, zero, 3, 5, 1e-6)
+	for i := range before.Initial {
+		if m.Initial[i] != before.Initial[i] {
+			t.Fatal("impossible data must leave the model unchanged")
+		}
+	}
+}
+
+func TestTrainEMNoData(t *testing.T) {
+	m := NewModel(2)
+	if it := m.TrainEM(nil, func(int, string) float64 { return 1 }, 5, 1e-6); it != 0 {
+		t.Fatalf("EM on no data ran %d iterations", it)
+	}
+}
+
+func TestTrainSupervisedCounts(t *testing.T) {
+	m := NewModel(3)
+	seqs := [][]int{
+		{0, 1, 2},
+		{0, 1, 1},
+		{1, 2, 2},
+	}
+	m.TrainSupervised(seqs, 1e-9)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Initial: state 0 twice, state 1 once.
+	if m.Initial[0] < m.Initial[1] || m.Initial[1] < m.Initial[2] {
+		t.Fatalf("initial = %v", m.Initial)
+	}
+	// Transitions from 1: 1->2 twice, 1->1 once.
+	if m.Trans[1][2] < m.Trans[1][1] {
+		t.Fatalf("trans[1] = %v", m.Trans[1])
+	}
+	// Smoothing keeps unseen transitions positive.
+	if m.Trans[2][0] <= 0 {
+		t.Fatal("smoothing must keep probabilities positive")
+	}
+}
+
+func TestTrainSupervisedIgnoresOutOfRange(t *testing.T) {
+	m := NewModel(2)
+	m.TrainSupervised([][]int{{0, 5, 1}, {-1}}, 0.01)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m, _ := weatherModel()
+	c := m.Clone()
+	c.Initial[0] = 0.99
+	c.Trans[0][0] = 0.99
+	if m.Initial[0] == 0.99 || m.Trans[0][0] == 0.99 {
+		t.Fatal("Clone must deep-copy")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := NewModel(2)
+	if err := m.Validate(); err != nil {
+		t.Fatalf("uniform model invalid: %v", err)
+	}
+	m.Initial = []float64{0.5, 0.6}
+	if err := m.Validate(); err == nil {
+		t.Fatal("bad initial must fail")
+	}
+	m, _ = weatherModel()
+	m.Trans[1] = []float64{0.2, 0.2}
+	if err := m.Validate(); err == nil {
+		t.Fatal("bad transition row must fail")
+	}
+}
+
+func TestNormalizeZeroRow(t *testing.T) {
+	m := NewModel(2)
+	m.Trans[0] = []float64{0, 0}
+	m.Normalize()
+	if m.Trans[0][0] != 0.5 || m.Trans[0][1] != 0.5 {
+		t.Fatalf("zero row must become uniform: %v", m.Trans[0])
+	}
+}

@@ -1,0 +1,55 @@
+package hmm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// modelJSON is the stable serialization schema of a Model.
+type modelJSON struct {
+	N       int         `json:"n"`
+	Initial []float64   `json:"initial"`
+	Trans   [][]float64 `json:"trans"`
+	Names   []string    `json:"names,omitempty"`
+}
+
+// Save writes the model as JSON. Together with Load it lets QUEST persist a
+// trained feedback model across sessions (the paper's feedback accumulates
+// over the lifetime of a deployment, not one process).
+func (m *Model) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(modelJSON{N: m.N, Initial: m.Initial, Trans: m.Trans, Names: m.Names})
+}
+
+// Load reads a model saved with Save and validates its distributions.
+func Load(r io.Reader) (*Model, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("hmm: decoding model: %w", err)
+	}
+	m := &Model{N: mj.N, Initial: mj.Initial, Trans: mj.Trans, Names: mj.Names}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("hmm: loaded model invalid: %w", err)
+	}
+	return m, nil
+}
+
+// Restore replaces the model's parameters with those of a saved model. The
+// state count must match (the state space is derived from the schema, so a
+// schema change invalidates saved models).
+func (m *Model) Restore(r io.Reader) error {
+	loaded, err := Load(r)
+	if err != nil {
+		return err
+	}
+	if loaded.N != m.N {
+		return fmt.Errorf("hmm: saved model has %d states, want %d (schema changed?)", loaded.N, m.N)
+	}
+	m.Initial = loaded.Initial
+	m.Trans = loaded.Trans
+	if len(loaded.Names) == m.N {
+		m.Names = loaded.Names
+	}
+	return nil
+}

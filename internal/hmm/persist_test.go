@@ -1,0 +1,81 @@
+package hmm
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, _ := weatherModel()
+	m.Names = []string{"rainy", "sunny"}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N != m.N {
+		t.Fatalf("N = %d, want %d", loaded.N, m.N)
+	}
+	for i := range m.Initial {
+		if loaded.Initial[i] != m.Initial[i] {
+			t.Fatalf("initial[%d] = %v, want %v", i, loaded.Initial[i], m.Initial[i])
+		}
+		for j := range m.Trans[i] {
+			if loaded.Trans[i][j] != m.Trans[i][j] {
+				t.Fatalf("trans[%d][%d] differs", i, j)
+			}
+		}
+	}
+	if loaded.Names[0] != "rainy" {
+		t.Fatalf("names = %v", loaded.Names)
+	}
+}
+
+func TestLoadRejectsInvalid(t *testing.T) {
+	// Distributions not summing to 1.
+	bad := `{"n":2,"initial":[0.9,0.9],"trans":[[0.5,0.5],[0.5,0.5]]}`
+	if _, err := Load(strings.NewReader(bad)); err == nil {
+		t.Fatal("invalid distributions must be rejected")
+	}
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must be rejected")
+	}
+}
+
+func TestRestoreStateCountMismatch(t *testing.T) {
+	m, _ := weatherModel()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := NewModel(3)
+	if err := other.Restore(&buf); err == nil {
+		t.Fatal("restoring a 2-state model into 3 states must fail")
+	}
+}
+
+func TestRestoreReplacesParameters(t *testing.T) {
+	m, _ := weatherModel()
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewModel(2) // uniform
+	if err := fresh.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Initial[0] != 0.6 || fresh.Trans[0][0] != 0.7 {
+		t.Fatalf("parameters not restored: %v %v", fresh.Initial, fresh.Trans)
+	}
+	// The restored model must decode identically to the original.
+	_, emit := weatherModel()
+	p1, ok1 := m.Viterbi([]string{"walk", "shop"}, emit)
+	p2, ok2 := fresh.Viterbi([]string{"walk", "shop"}, emit)
+	if !ok1 || !ok2 || p1.LogProb != p2.LogProb {
+		t.Fatal("restored model decodes differently")
+	}
+}

@@ -1,0 +1,363 @@
+package mi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// pairTable builds a two-column table from (x, y) string pairs.
+func pairTable(t *testing.T, pairs [][2]string) *relational.Table {
+	t.Helper()
+	ts := &relational.TableSchema{
+		Name: "obs",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.TypeInt, NotNull: true},
+			{Name: "x", Type: relational.TypeString},
+			{Name: "y", Type: relational.TypeString},
+		},
+		PrimaryKey: "id",
+	}
+	tab := relational.NewTable(ts)
+	for i, p := range pairs {
+		var x, y relational.Value
+		if p[0] != "" {
+			x = relational.String_(p[0])
+		}
+		if p[1] != "" {
+			y = relational.String_(p[1])
+		}
+		tab.MustInsert(relational.Row{relational.Int(int64(i + 1)), x, y})
+	}
+	return tab
+}
+
+func TestEntropyUniform(t *testing.T) {
+	tab := pairTable(t, [][2]string{{"a", ""}, {"b", ""}, {"c", ""}, {"d", ""}})
+	h, err := Entropy(tab, "x", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-math.Log(4)) > 1e-12 {
+		t.Fatalf("H = %v, want ln 4", h)
+	}
+}
+
+func TestEntropyConstantIsZero(t *testing.T) {
+	tab := pairTable(t, [][2]string{{"a", ""}, {"a", ""}, {"a", ""}})
+	h, err := Entropy(tab, "x", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 0 {
+		t.Fatalf("H of constant = %v, want 0", h)
+	}
+}
+
+func TestEntropyNullHandling(t *testing.T) {
+	tab := pairTable(t, [][2]string{{"a", ""}, {"", ""}, {"b", ""}})
+	hEx, err := Entropy(tab, "x", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hIn, err := Entropy(tab, "x", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hEx-math.Log(2)) > 1e-12 {
+		t.Fatalf("H excluding NULLs = %v, want ln 2", hEx)
+	}
+	if math.Abs(hIn-math.Log(3)) > 1e-12 {
+		t.Fatalf("H including NULLs = %v, want ln 3", hIn)
+	}
+}
+
+func TestEntropyUnknownColumn(t *testing.T) {
+	tab := pairTable(t, [][2]string{{"a", ""}})
+	if _, err := Entropy(tab, "nope", false); err == nil {
+		t.Fatal("unknown column must error")
+	}
+}
+
+func TestIntraTableDeterministicDependence(t *testing.T) {
+	// y = f(x) deterministically: MI = H(X) = H(Y), distance = 0.
+	tab := pairTable(t, [][2]string{
+		{"a", "1"}, {"a", "1"}, {"b", "2"}, {"b", "2"}, {"c", "3"}, {"c", "3"},
+	})
+	ps, err := IntraTable(tab, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ps.MI-ps.HX) > 1e-12 || math.Abs(ps.MI-ps.HY) > 1e-12 {
+		t.Fatalf("deterministic: MI=%v HX=%v HY=%v", ps.MI, ps.HX, ps.HY)
+	}
+	if d := ps.NormalizedDistance(); math.Abs(d) > 1e-12 {
+		t.Fatalf("distance = %v, want 0", d)
+	}
+}
+
+func TestIntraTableIndependence(t *testing.T) {
+	// x and y independent uniform: MI = 0, distance = 1.
+	var pairs [][2]string
+	for _, x := range []string{"a", "b"} {
+		for _, y := range []string{"1", "2"} {
+			pairs = append(pairs, [2]string{x, y})
+		}
+	}
+	tab := pairTable(t, pairs)
+	ps, err := IntraTable(tab, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ps.MI) > 1e-12 {
+		t.Fatalf("independent MI = %v, want 0", ps.MI)
+	}
+	if d := ps.NormalizedDistance(); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("distance = %v, want 1", d)
+	}
+}
+
+func TestMISymmetry(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	xs := []string{"a", "b", "c"}
+	ys := []string{"1", "2"}
+	for trial := 0; trial < 20; trial++ {
+		var pairs [][2]string
+		for i := 0; i < 30; i++ {
+			pairs = append(pairs, [2]string{xs[r.Intn(len(xs))], ys[r.Intn(len(ys))]})
+		}
+		tab := pairTable(t, pairs)
+		ab, err := IntraTable(tab, "x", "y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := IntraTable(tab, "y", "x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ab.MI-ba.MI) > 1e-9 {
+			t.Fatalf("MI not symmetric: %v vs %v", ab.MI, ba.MI)
+		}
+		if ab.MI < 0 {
+			t.Fatalf("MI negative: %v", ab.MI)
+		}
+		if ab.MI > math.Min(ab.HX, ab.HY)+1e-9 {
+			t.Fatalf("MI exceeds min entropy: %v > min(%v, %v)", ab.MI, ab.HX, ab.HY)
+		}
+	}
+}
+
+func TestNormalizedDistanceBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	xs := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 20; trial++ {
+		var pairs [][2]string
+		for i := 0; i < 25; i++ {
+			pairs = append(pairs, [2]string{xs[r.Intn(len(xs))], xs[r.Intn(len(xs))]})
+		}
+		tab := pairTable(t, pairs)
+		ps, err := IntraTable(tab, "x", "y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := ps.NormalizedDistance()
+		if d < 0 || d > 1 {
+			t.Fatalf("distance out of [0,1]: %v", d)
+		}
+	}
+}
+
+func TestNormalizedDistanceDegenerate(t *testing.T) {
+	if d := (PairStats{}).NormalizedDistance(); d != 1 {
+		t.Fatalf("empty stats distance = %v, want 1", d)
+	}
+	// Single constant pair: HXY = 0.
+	tab := pairTable(t, [][2]string{{"a", "1"}, {"a", "1"}})
+	ps, err := IntraTable(tab, "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ps.NormalizedDistance(); d != 1 {
+		t.Fatalf("zero-entropy distance = %v, want 1", d)
+	}
+}
+
+// fkFixture builds parent/child tables with a controllable join shape.
+func fkFixture(t *testing.T, childFKs []int64) (*relational.Table, *relational.Table) {
+	t.Helper()
+	parent := relational.NewTable(&relational.TableSchema{
+		Name: "parent",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.TypeInt, NotNull: true},
+			{Name: "label", Type: relational.TypeString},
+		},
+		PrimaryKey: "id",
+	})
+	for i := 1; i <= 4; i++ {
+		parent.MustInsert(relational.Row{relational.Int(int64(i)), relational.String_(string(rune('a' + i)))})
+	}
+	child := relational.NewTable(&relational.TableSchema{
+		Name: "child",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.TypeInt, NotNull: true},
+			{Name: "pid", Type: relational.TypeInt},
+		},
+		PrimaryKey: "id",
+	})
+	for i, fk := range childFKs {
+		var v relational.Value
+		if fk > 0 {
+			v = relational.Int(fk)
+		}
+		child.MustInsert(relational.Row{relational.Int(int64(i + 1)), v})
+	}
+	return parent, child
+}
+
+func TestJoinPairBalancedJoin(t *testing.T) {
+	parent, child := fkFixture(t, []int64{1, 2, 3, 4, 1, 2, 3, 4})
+	ps, err := JoinPair(child, "pid", parent, "id", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FK value determines referenced PK exactly: distance 0.
+	if d := ps.NormalizedDistance(); math.Abs(d) > 1e-12 {
+		t.Fatalf("balanced join distance = %v, want 0", d)
+	}
+	if ps.Count != 8 {
+		t.Fatalf("count = %d, want 8", ps.Count)
+	}
+}
+
+func TestJoinPairSkewedVsBalancedEntropy(t *testing.T) {
+	parent, balanced := fkFixture(t, []int64{1, 2, 3, 4, 1, 2, 3, 4})
+	_, skewed := fkFixture(t, []int64{1, 1, 1, 1, 1, 1, 1, 2})
+	psB, err := JoinPair(balanced, "pid", parent, "id", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	psS, err := JoinPair(skewed, "pid", parent, "id", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psS.HX >= psB.HX {
+		t.Fatalf("skewed join must carry less entropy: %v vs %v", psS.HX, psB.HX)
+	}
+}
+
+func TestJoinPairWithNullsAndDangling(t *testing.T) {
+	parent, child := fkFixture(t, []int64{1, 0, 2}) // 0 encodes NULL
+	ps, err := JoinPair(child, "pid", parent, "id", "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Count != 2 {
+		t.Fatalf("NULL FK must be skipped: count = %d", ps.Count)
+	}
+}
+
+func TestJoinPairUnknownColumns(t *testing.T) {
+	parent, child := fkFixture(t, []int64{1})
+	if _, err := JoinPair(child, "nope", parent, "id", "id"); err == nil {
+		t.Fatal("unknown FK column must error")
+	}
+	if _, err := JoinPair(child, "pid", parent, "id", "nope"); err == nil {
+		t.Fatal("unknown attr column must error")
+	}
+}
+
+func TestJoinInformativenessDenseVsSparse(t *testing.T) {
+	// Dense balanced junction: every parent reached uniformly.
+	parent, dense := fkFixture(t, []int64{1, 2, 3, 4, 1, 2, 3, 4})
+	// Sparse link: every row joins but only one parent is ever reached.
+	_, sparse := fkFixture(t, []int64{1, 1, 1, 1})
+	qd, err := JoinInformativeness(dense, "pid", parent, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := JoinInformativeness(sparse, "pid", parent, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qd <= qs {
+		t.Fatalf("dense join must be more informative: dense=%v sparse=%v", qd, qs)
+	}
+	if qd < 0.9 {
+		t.Fatalf("balanced full-coverage join should approach 1, got %v", qd)
+	}
+	if qs > 0.1 {
+		t.Fatalf("single-parent join should approach 0, got %v", qs)
+	}
+}
+
+func TestJoinInformativenessBounds(t *testing.T) {
+	parent, child := fkFixture(t, []int64{1, 0, 3, 2})
+	q, err := JoinInformativeness(child, "pid", parent, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q < 0 || q > 1 {
+		t.Fatalf("informativeness out of [0,1]: %v", q)
+	}
+	// Empty child table.
+	_, empty := fkFixture(t, nil)
+	q, err = JoinInformativeness(empty, "pid", parent, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 0 {
+		t.Fatalf("empty child informativeness = %v, want 0", q)
+	}
+}
+
+func TestJoinInformativenessTinyParent(t *testing.T) {
+	// A single-row parent carries no distribution: informativeness equals
+	// selectivity.
+	parent := relational.NewTable(&relational.TableSchema{
+		Name: "parent",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.TypeInt, NotNull: true},
+		},
+		PrimaryKey: "id",
+	})
+	parent.MustInsert(relational.Row{relational.Int(1)})
+	child := relational.NewTable(&relational.TableSchema{
+		Name: "child",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.TypeInt, NotNull: true},
+			{Name: "pid", Type: relational.TypeInt},
+		},
+		PrimaryKey: "id",
+	})
+	child.MustInsert(relational.Row{relational.Int(1), relational.Int(1)})
+	child.MustInsert(relational.Row{relational.Int(2), relational.Null()})
+	q, err := JoinInformativeness(child, "pid", parent, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q-0.5) > 1e-12 {
+		t.Fatalf("tiny-parent informativeness = %v, want selectivity 0.5", q)
+	}
+}
+
+func TestJoinSelectivity(t *testing.T) {
+	parent, child := fkFixture(t, []int64{1, 2, 0, 0})
+	s, err := JoinSelectivity(child, "pid", parent, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-0.5) > 1e-12 {
+		t.Fatalf("selectivity = %v, want 0.5", s)
+	}
+	// Empty child.
+	_, empty := fkFixture(t, nil)
+	s, err = JoinSelectivity(empty, "pid", parent, "id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("empty selectivity = %v", s)
+	}
+}

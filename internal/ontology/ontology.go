@@ -1,0 +1,374 @@
+// Package ontology provides the lexical/semantic matching toolkit the QUEST
+// wrapper and forward module use when full-text access is unavailable or
+// insufficient: a small thesaurus (synonyms, hypernyms), a light stemmer,
+// and string similarity measures (Levenshtein, Jaro–Winkler, trigram).
+//
+// The paper's wrapper "exploits regular expressions, schema annotations,
+// database metadata and external ontologies" to map keywords onto
+// attributes of hidden (Deep Web) sources; this package is the external
+// ontology plus the similarity machinery, while regex/annotation handling
+// lives with the schema (relational.Column) and the wrapper.
+package ontology
+
+import (
+	"sort"
+	"strings"
+)
+
+// Thesaurus holds symmetric synonym sets and directed hypernym (is-a)
+// links over lower-cased terms.
+type Thesaurus struct {
+	synonyms  map[string]map[string]bool
+	hypernyms map[string]map[string]bool // term -> its broader terms
+}
+
+// NewThesaurus returns an empty thesaurus.
+func NewThesaurus() *Thesaurus {
+	return &Thesaurus{
+		synonyms:  make(map[string]map[string]bool),
+		hypernyms: make(map[string]map[string]bool),
+	}
+}
+
+// AddSynonyms declares all given terms mutually synonymous.
+func (t *Thesaurus) AddSynonyms(terms ...string) {
+	norm := make([]string, 0, len(terms))
+	for _, x := range terms {
+		norm = append(norm, strings.ToLower(strings.TrimSpace(x)))
+	}
+	for _, a := range norm {
+		if t.synonyms[a] == nil {
+			t.synonyms[a] = make(map[string]bool)
+		}
+		for _, b := range norm {
+			if a != b {
+				t.synonyms[a][b] = true
+			}
+		}
+	}
+}
+
+// AddHypernym declares that term is-a broader.
+func (t *Thesaurus) AddHypernym(term, broader string) {
+	term = strings.ToLower(strings.TrimSpace(term))
+	broader = strings.ToLower(strings.TrimSpace(broader))
+	if t.hypernyms[term] == nil {
+		t.hypernyms[term] = make(map[string]bool)
+	}
+	t.hypernyms[term][broader] = true
+}
+
+// Synonyms returns the sorted synonyms of term (excluding the term itself).
+func (t *Thesaurus) Synonyms(term string) []string {
+	set := t.synonyms[strings.ToLower(term)]
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hypernyms returns the sorted direct hypernyms of term.
+func (t *Thesaurus) Hypernyms(term string) []string {
+	set := t.hypernyms[strings.ToLower(term)]
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Related reports the semantic relatedness of two terms in [0,1]:
+// 1 for equality (after stemming), 0.9 for synonyms, 0.7 for a direct
+// hypernym link either way, 0.5 for sharing a hypernym, else 0.
+func (t *Thesaurus) Related(a, b string) float64 {
+	a = strings.ToLower(strings.TrimSpace(a))
+	b = strings.ToLower(strings.TrimSpace(b))
+	if a == b || Stem(a) == Stem(b) {
+		return 1
+	}
+	if t.synonyms[a][b] || t.synonyms[b][a] {
+		return 0.9
+	}
+	if t.hypernyms[a][b] || t.hypernyms[b][a] {
+		return 0.7
+	}
+	for h := range t.hypernyms[a] {
+		if t.hypernyms[b][h] {
+			return 0.5
+		}
+	}
+	return 0
+}
+
+// Stem applies a conservative suffix-stripping stemmer (a light cousin of
+// Porter's step-1): plural and common verbal/adjectival suffixes are
+// removed when the remaining stem stays ≥3 characters, and a final
+// "ie"→"y" normalization aligns singular/plural pairs like movie/movies
+// (both → "movy") and city/cities (both → "city"). Idempotent.
+func Stem(w string) string {
+	w = strings.ToLower(w)
+	if len(w) <= 3 {
+		return w
+	}
+	type rule struct{ suffix, repl string }
+	rules := []rule{
+		{"sses", "ss"},
+		{"ies", "y"},
+		{"ments", "ment"},
+		{"ings", ""},
+		{"ing", ""},
+		{"edly", ""},
+		{"ed", ""},
+		{"ers", "er"},
+		{"es", ""},
+		{"s", ""},
+	}
+	out := w
+	for _, r := range rules {
+		if strings.HasSuffix(w, r.suffix) {
+			stem := w[:len(w)-len(r.suffix)] + r.repl
+			if len(stem) >= 3 {
+				// Avoid stripping "ss" (e.g. "boss" -> "bos").
+				if r.suffix == "s" && strings.HasSuffix(w, "ss") {
+					break
+				}
+				out = stem
+				break
+			}
+		}
+	}
+	if strings.HasSuffix(out, "ie") && len(out) > 3 {
+		out = out[:len(out)-2] + "y"
+	}
+	return out
+}
+
+// Levenshtein returns the edit distance between two strings (unit costs).
+func Levenshtein(a, b string) int {
+	ar, br := []rune(a), []rune(b)
+	if len(ar) == 0 {
+		return len(br)
+	}
+	if len(br) == 0 {
+		return len(ar)
+	}
+	prev := make([]int, len(br)+1)
+	cur := make([]int, len(br)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ar); i++ {
+		cur[0] = i
+		for j := 1; j <= len(br); j++ {
+			cost := 1
+			if ar[i-1] == br[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(cur[j-1]+1, prev[j]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(br)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinSim maps edit distance to a similarity in [0,1].
+func LevenshteinSim(a, b string) float64 {
+	if a == "" && b == "" {
+		return 1
+	}
+	d := Levenshtein(a, b)
+	m := len([]rune(a))
+	if n := len([]rune(b)); n > m {
+		m = n
+	}
+	return 1 - float64(d)/float64(m)
+}
+
+// Jaro returns the Jaro similarity of two strings in [0,1].
+func Jaro(a, b string) float64 {
+	ar, br := []rune(a), []rune(b)
+	la, lb := len(ar), len(br)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	amatch := make([]bool, la)
+	bmatch := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if bmatch[j] || ar[i] != br[j] {
+				continue
+			}
+			amatch[i] = true
+			bmatch[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !amatch[i] {
+			continue
+		}
+		for !bmatch[j] {
+			j++
+		}
+		if ar[i] != br[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(la) + m/float64(lb) + (m-float64(transpositions)/2)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for shared prefixes (p=0.1, max 4).
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ar, br := []rune(a), []rune(b)
+	for prefix < len(ar) && prefix < len(br) && prefix < 4 && ar[prefix] == br[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// TrigramSim returns the Jaccard similarity of the character trigram sets
+// of the two strings (padded), in [0,1].
+func TrigramSim(a, b string) float64 {
+	ta, tb := trigrams(a), trigrams(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	inter := 0
+	for g := range ta {
+		if tb[g] {
+			inter++
+		}
+	}
+	union := len(ta) + len(tb) - inter
+	return float64(inter) / float64(union)
+}
+
+func trigrams(s string) map[string]bool {
+	s = "  " + strings.ToLower(s) + " "
+	out := make(map[string]bool)
+	r := []rune(s)
+	for i := 0; i+3 <= len(r); i++ {
+		out[string(r[i:i+3])] = true
+	}
+	return out
+}
+
+// NameSimilarity is the composite measure QUEST uses to match a keyword
+// against a schema term name: the max of Jaro–Winkler and trigram
+// similarity computed on stemmed, underscore-split forms. Multi-word names
+// take the best word alignment.
+func NameSimilarity(keyword, name string) float64 {
+	kw := Stem(strings.ToLower(keyword))
+	best := 0.0
+	for _, part := range splitName(name) {
+		p := Stem(part)
+		s := JaroWinkler(kw, p)
+		if ts := TrigramSim(kw, p); ts > s {
+			s = ts
+		}
+		if s > best {
+			best = s
+		}
+	}
+	// Whole-name comparison too ("firstname" vs "first_name").
+	whole := strings.ToLower(strings.ReplaceAll(name, "_", ""))
+	if s := JaroWinkler(kw, whole); s > best {
+		best = s
+	}
+	return best
+}
+
+func splitName(name string) []string {
+	name = strings.ToLower(name)
+	fields := strings.FieldsFunc(name, func(r rune) bool {
+		return r == '_' || r == ' ' || r == '-' || r == '.'
+	})
+	if len(fields) == 0 {
+		return []string{name}
+	}
+	return fields
+}
+
+// DefaultThesaurus builds the small built-in ontology covering the three
+// demo domains (movies, bibliography, geography) plus generic database
+// vocabulary. Downstream users supply their own or extend this one.
+func DefaultThesaurus() *Thesaurus {
+	t := NewThesaurus()
+	// Movie domain.
+	t.AddSynonyms("movie", "film", "picture")
+	t.AddSynonyms("actor", "performer", "star", "cast")
+	t.AddSynonyms("director", "filmmaker")
+	t.AddSynonyms("genre", "category", "kind")
+	t.AddSynonyms("title", "name")
+	t.AddSynonyms("year", "date")
+	t.AddHypernym("actor", "person")
+	t.AddHypernym("director", "person")
+	t.AddHypernym("movie", "work")
+	// Bibliography domain.
+	t.AddSynonyms("paper", "article", "publication")
+	t.AddSynonyms("author", "writer")
+	t.AddSynonyms("venue", "conference", "journal")
+	t.AddHypernym("author", "person")
+	t.AddHypernym("paper", "work")
+	t.AddHypernym("conference", "venue")
+	// Geography domain.
+	t.AddSynonyms("country", "nation", "state")
+	t.AddSynonyms("city", "town", "municipality")
+	t.AddSynonyms("river", "stream")
+	t.AddSynonyms("population", "inhabitants")
+	t.AddSynonyms("capital", "seat")
+	t.AddHypernym("city", "place")
+	t.AddHypernym("country", "place")
+	t.AddHypernym("river", "water")
+	t.AddHypernym("lake", "water")
+	// Generic.
+	t.AddSynonyms("id", "identifier", "key")
+	t.AddSynonyms("name", "label")
+	return t
+}

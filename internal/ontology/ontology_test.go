@@ -1,0 +1,230 @@
+package ontology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStemTable(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"cities", "city"},
+		{"running", "runn"},
+		{"directed", "direct"},
+		{"actors", "actor"},
+		{"writers", "writer"},
+		{"classes", "class"},
+		{"boss", "boss"},   // ss must not strip
+		{"cat", "cat"},     // too short to strip
+		{"a", "a"},         //
+		{"Title", "title"}, // lower-cased
+	}
+	for _, tt := range tests {
+		if got := Stem(tt.in); got != tt.want {
+			t.Errorf("Stem(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestStemAlignsSingularPlural(t *testing.T) {
+	pairs := [][2]string{
+		{"movie", "movies"},
+		{"city", "cities"},
+		{"country", "countries"},
+		{"actor", "actors"},
+		{"paper", "papers"},
+		{"river", "rivers"},
+	}
+	for _, p := range pairs {
+		if Stem(p[0]) != Stem(p[1]) {
+			t.Errorf("Stem(%q)=%q != Stem(%q)=%q", p[0], Stem(p[0]), p[1], Stem(p[1]))
+		}
+	}
+}
+
+func TestStemIdempotent(t *testing.T) {
+	words := []string{
+		"movies", "cities", "running", "directed", "actors", "papers",
+		"countries", "organizations", "rivers", "searching", "indexes",
+	}
+	for _, w := range words {
+		once := Stem(w)
+		if twice := Stem(once); twice != once {
+			t.Errorf("Stem not idempotent on %q: %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	tests := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"a", "b", 1},
+	}
+	for _, tt := range tests {
+		if got := Levenshtein(tt.a, tt.b); got != tt.want {
+			t.Errorf("Levenshtein(%q, %q) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	symmetric := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(symmetric, nil); err != nil {
+		t.Error("symmetry:", err)
+	}
+	identity := func(a string) bool { return Levenshtein(a, a) == 0 }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error("identity:", err)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	pairs := [][2]string{
+		{"title", "title"}, {"movie", "film"}, {"", ""}, {"a", ""},
+		{"population", "popul"}, {"abc", "xyz"}, {"year", "years"},
+	}
+	for _, p := range pairs {
+		for name, fn := range map[string]func(a, b string) float64{
+			"LevenshteinSim": LevenshteinSim,
+			"Jaro":           Jaro,
+			"JaroWinkler":    JaroWinkler,
+			"TrigramSim":     TrigramSim,
+		} {
+			got := fn(p[0], p[1])
+			if got < 0 || got > 1 {
+				t.Errorf("%s(%q, %q) = %v out of [0,1]", name, p[0], p[1], got)
+			}
+		}
+	}
+}
+
+func TestSimilarityIdentity(t *testing.T) {
+	for _, w := range []string{"title", "movie", "x", "population"} {
+		if JaroWinkler(w, w) != 1 {
+			t.Errorf("JaroWinkler(%q, %q) != 1", w, w)
+		}
+		if TrigramSim(w, w) != 1 {
+			t.Errorf("TrigramSim(%q, %q) != 1", w, w)
+		}
+		if LevenshteinSim(w, w) != 1 {
+			t.Errorf("LevenshteinSim(%q, %q) != 1", w, w)
+		}
+	}
+}
+
+func TestJaroKnownValues(t *testing.T) {
+	// Classic example: MARTHA/MARHTA = 0.944…
+	got := Jaro("martha", "marhta")
+	if got < 0.943 || got > 0.945 {
+		t.Errorf("Jaro(martha, marhta) = %v, want ~0.944", got)
+	}
+	if Jaro("abc", "xyz") != 0 {
+		t.Errorf("disjoint strings must score 0")
+	}
+	if Jaro("", "abc") != 0 {
+		t.Errorf("empty vs non-empty must be 0")
+	}
+	if Jaro("", "") != 1 {
+		t.Errorf("two empties must be 1")
+	}
+}
+
+func TestJaroWinklerPrefixBoost(t *testing.T) {
+	plain := Jaro("prefix", "prefixx")
+	boosted := JaroWinkler("prefix", "prefixx")
+	if boosted <= plain {
+		t.Errorf("shared prefix must boost: %v <= %v", boosted, plain)
+	}
+}
+
+func TestNameSimilarityHandlesUnderscores(t *testing.T) {
+	if s := NameSimilarity("name", "first_name"); s < 0.9 {
+		t.Errorf("keyword matching one part of a compound name scored %v", s)
+	}
+	if s := NameSimilarity("production", "production_year"); s < 0.9 {
+		t.Errorf("production vs production_year = %v", s)
+	}
+	if s := NameSimilarity("titles", "title"); s < 0.9 {
+		t.Errorf("plural keyword must match singular column: %v", s)
+	}
+}
+
+func TestThesaurusSynonyms(t *testing.T) {
+	th := NewThesaurus()
+	th.AddSynonyms("movie", "film", "picture")
+	syn := th.Synonyms("movie")
+	if len(syn) != 2 || syn[0] != "film" || syn[1] != "picture" {
+		t.Fatalf("Synonyms(movie) = %v", syn)
+	}
+	// Symmetric.
+	if got := th.Synonyms("film"); len(got) != 2 {
+		t.Fatalf("Synonyms(film) = %v", got)
+	}
+	// Case-insensitive.
+	if th.Related("MOVIE", "Film") != 0.9 {
+		t.Fatal("synonym relation must be case-insensitive")
+	}
+}
+
+func TestThesaurusHypernyms(t *testing.T) {
+	th := NewThesaurus()
+	th.AddHypernym("actor", "person")
+	th.AddHypernym("director", "person")
+	if got := th.Hypernyms("actor"); len(got) != 1 || got[0] != "person" {
+		t.Fatalf("Hypernyms(actor) = %v", got)
+	}
+	if th.Related("actor", "person") != 0.7 {
+		t.Fatalf("direct hypernym = %v, want 0.7", th.Related("actor", "person"))
+	}
+	if th.Related("actor", "director") != 0.5 {
+		t.Fatalf("shared hypernym = %v, want 0.5", th.Related("actor", "director"))
+	}
+}
+
+func TestRelatedHierarchy(t *testing.T) {
+	th := DefaultThesaurus()
+	if th.Related("movie", "movie") != 1 {
+		t.Error("identity must be 1")
+	}
+	if th.Related("movies", "movie") != 1 {
+		t.Error("stem equality must be 1")
+	}
+	if th.Related("movie", "film") != 0.9 {
+		t.Error("synonym must be 0.9")
+	}
+	if th.Related("quantum", "cheese") != 0 {
+		t.Error("unrelated must be 0")
+	}
+}
+
+func TestDefaultThesaurusCoverage(t *testing.T) {
+	th := DefaultThesaurus()
+	// One relation from each demo domain.
+	for _, pair := range [][2]string{
+		{"actor", "star"}, {"paper", "article"}, {"country", "nation"},
+		{"city", "town"}, {"venue", "conference"},
+	} {
+		if th.Related(pair[0], pair[1]) < 0.9 {
+			t.Errorf("Related(%q, %q) = %v, want synonym strength", pair[0], pair[1], th.Related(pair[0], pair[1]))
+		}
+	}
+}
+
+func TestTrigramSimShortStrings(t *testing.T) {
+	// Very short strings still produce padded trigrams.
+	if TrigramSim("a", "a") != 1 {
+		t.Error("single-char identity must be 1")
+	}
+	if TrigramSim("ab", "cd") != 0 {
+		t.Error("disjoint short strings must be 0")
+	}
+}

@@ -1,0 +1,101 @@
+package relational
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LoadCSV bulk-loads rows into the named table from CSV data. The first
+// record must be a header naming columns of the table (any order, subset
+// allowed — missing columns become NULL). Empty fields load as NULL.
+// Values are coerced to the column types; the first coercion error aborts
+// the load and reports the offending line.
+//
+// This is the ingestion path for users bringing their own data into the
+// engine (the synthetic generators populate programmatically instead).
+func (db *Database) LoadCSV(table string, r io.Reader) (int, error) {
+	t := db.Table(table)
+	if t == nil {
+		return 0, fmt.Errorf("relational: unknown table %s", table)
+	}
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("relational: reading CSV header: %w", err)
+	}
+	cols := make([]int, len(header))
+	seen := make(map[int]bool, len(header))
+	for i, name := range header {
+		ord := t.Schema.ColumnIndex(strings.TrimSpace(name))
+		if ord < 0 {
+			return 0, fmt.Errorf("relational: CSV header %q is not a column of %s", name, table)
+		}
+		if seen[ord] {
+			return 0, fmt.Errorf("relational: CSV header repeats column %q", name)
+		}
+		seen[ord] = true
+		cols[i] = ord
+	}
+
+	loaded := 0
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return loaded, nil
+		}
+		if err != nil {
+			return loaded, fmt.Errorf("relational: CSV line %d: %w", line, err)
+		}
+		if len(record) != len(header) {
+			return loaded, fmt.Errorf("relational: CSV line %d: %d fields, header has %d",
+				line, len(record), len(header))
+		}
+		row := make(Row, len(t.Schema.Columns))
+		for i, field := range record {
+			if field == "" {
+				continue // NULL
+			}
+			row[cols[i]] = String_(field)
+		}
+		if err := t.Insert(row); err != nil {
+			return loaded, fmt.Errorf("relational: CSV line %d: %w", line, err)
+		}
+		loaded++
+	}
+}
+
+// DumpCSV writes the table's contents as CSV with a full header row. NULLs
+// dump as empty fields, so DumpCSV → LoadCSV round-trips.
+func (db *Database) DumpCSV(table string, w io.Writer) error {
+	t := db.Table(table)
+	if t == nil {
+		return fmt.Errorf("relational: unknown table %s", table)
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Schema.Columns))
+	for i, c := range t.Schema.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	record := make([]string, len(header))
+	for _, row := range t.Rows() {
+		for i, v := range row {
+			if v.IsNull() {
+				record[i] = ""
+			} else {
+				record[i] = v.String()
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,127 @@
+package relational
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSVBasic(t *testing.T) {
+	db := MustNewDatabase("t", moviesSchemaForDB(t))
+	data := "movie_id,title,year\n1,the dark night,2008\n2,silent river,1994\n"
+	n, err := db.LoadCSV("movie", strings.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d, want 2", n)
+	}
+	row, ok := db.Table("movie").LookupPK(Int(1))
+	if !ok || row[1].AsString() != "the dark night" || row[2].AsInt() != 2008 {
+		t.Fatalf("row = %v", row)
+	}
+	// Types must be coerced, not left as strings.
+	if row[0].Type() != TypeInt || row[2].Type() != TypeInt {
+		t.Fatalf("types = %v, %v", row[0].Type(), row[2].Type())
+	}
+}
+
+func TestLoadCSVHeaderSubsetAndOrder(t *testing.T) {
+	db := MustNewDatabase("t", moviesSchemaForDB(t))
+	// Reordered header, year omitted -> NULL.
+	data := "title,movie_id\nsilent river,7\n"
+	if _, err := db.LoadCSV("movie", strings.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	row, ok := db.Table("movie").LookupPK(Int(7))
+	if !ok || !row[2].IsNull() {
+		t.Fatalf("row = %v, want NULL year", row)
+	}
+}
+
+func TestLoadCSVEmptyFieldIsNull(t *testing.T) {
+	db := MustNewDatabase("t", moviesSchemaForDB(t))
+	data := "movie_id,title,year\n1,x,\n"
+	if _, err := db.LoadCSV("movie", strings.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := db.Table("movie").LookupPK(Int(1))
+	if !row[2].IsNull() {
+		t.Fatalf("year = %v, want NULL", row[2])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	db := MustNewDatabase("t", moviesSchemaForDB(t))
+	tests := []struct {
+		name string
+		data string
+	}{
+		{"unknown column", "movie_id,nope\n1,x\n"},
+		{"repeated column", "movie_id,movie_id\n1,2\n"},
+		{"bad type", "movie_id,title,year\n1,x,not-a-year\n"},
+		{"not null violated", "movie_id,year\n1,2000\n"}, // title NOT NULL missing
+		{"duplicate pk", "movie_id,title\n1,a\n1,b\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			fresh := MustNewDatabase("t", moviesSchemaForDB(t))
+			if _, err := fresh.LoadCSV("movie", strings.NewReader(tt.data)); err == nil {
+				t.Fatalf("LoadCSV(%q) should fail", tt.data)
+			}
+		})
+	}
+	if _, err := db.LoadCSV("nope", strings.NewReader("x\n1\n")); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	db := populatedDB(t)
+	var buf bytes.Buffer
+	if err := db.DumpCSV("cast_info", &buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := MustNewDatabase("t", moviesSchemaForDB(t))
+	n, err := fresh.LoadCSV("cast_info", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := db.Table("cast_info")
+	if n != orig.Len() {
+		t.Fatalf("round trip loaded %d, want %d", n, orig.Len())
+	}
+	got := fresh.Table("cast_info")
+	for i := 0; i < orig.Len(); i++ {
+		a, b := orig.Row(i), got.Row(i)
+		for c := range a {
+			if a[c].IsNull() != b[c].IsNull() || (!a[c].IsNull() && Compare(a[c], b[c]) != 0) {
+				t.Fatalf("row %d col %d: %v vs %v", i, c, a[c], b[c])
+			}
+		}
+	}
+}
+
+func TestDumpCSVUnknownTable(t *testing.T) {
+	db := populatedDB(t)
+	if err := db.DumpCSV("nope", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+}
+
+func TestDumpCSVQuoting(t *testing.T) {
+	db := MustNewDatabase("t", moviesSchemaForDB(t))
+	db.Table("movie").MustInsert(Row{Int(1), String_(`comma, "quoted"`), Int(2000)})
+	var buf bytes.Buffer
+	if err := db.DumpCSV("movie", &buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := MustNewDatabase("t", moviesSchemaForDB(t))
+	if _, err := fresh.LoadCSV("movie", bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := fresh.Table("movie").LookupPK(Int(1))
+	if row[1].AsString() != `comma, "quoted"` {
+		t.Fatalf("quoting broke: %q", row[1].AsString())
+	}
+}

@@ -1,0 +1,244 @@
+package relational
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Column describes one attribute of a table.
+//
+// Annotations and Pattern carry the "enriched schema" the paper's wrapper
+// builds for hidden sources: free-text labels (synonyms, descriptions) and a
+// regular expression of admissible values used by the metadata-only source
+// to guess which attribute a keyword may belong to.
+type Column struct {
+	Name        string
+	Type        Type
+	NotNull     bool
+	Annotations []string // semantic labels, e.g. synonyms of the attribute name
+	Pattern     string   // regexp of admissible values ("" = unconstrained)
+
+	pattern *regexp.Regexp
+}
+
+// MatchesPattern reports whether s is an admissible value for the column
+// according to its Pattern annotation. Columns without a pattern accept
+// everything.
+func (c *Column) MatchesPattern(s string) bool {
+	if c.Pattern == "" {
+		return true
+	}
+	if c.pattern == nil {
+		p, err := regexp.Compile("^(?:" + c.Pattern + ")$")
+		if err != nil {
+			return true
+		}
+		c.pattern = p
+	}
+	return c.pattern.MatchString(s)
+}
+
+// ForeignKey declares that Column of the owning table references
+// RefTable.RefColumn.
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// TableSchema is the static description of a table.
+type TableSchema struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  string // name of the PK column ("" = none)
+	ForeignKeys []ForeignKey
+	Annotations []string // semantic labels for the table itself
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (s *TableSchema) ColumnIndex(name string) int {
+	for i := range s.Columns {
+		if strings.EqualFold(s.Columns[i].Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Column returns the named column, or nil.
+func (s *TableSchema) Column(name string) *Column {
+	if i := s.ColumnIndex(name); i >= 0 {
+		return &s.Columns[i]
+	}
+	return nil
+}
+
+// Validate checks internal consistency of the schema definition.
+func (s *TableSchema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("relational: table with empty name")
+	}
+	seen := make(map[string]bool, len(s.Columns))
+	for _, c := range s.Columns {
+		lc := strings.ToLower(c.Name)
+		if c.Name == "" {
+			return fmt.Errorf("relational: table %s has a column with empty name", s.Name)
+		}
+		if seen[lc] {
+			return fmt.Errorf("relational: table %s has duplicate column %s", s.Name, c.Name)
+		}
+		seen[lc] = true
+	}
+	if s.PrimaryKey != "" && s.ColumnIndex(s.PrimaryKey) < 0 {
+		return fmt.Errorf("relational: table %s: primary key %s is not a column", s.Name, s.PrimaryKey)
+	}
+	for _, fk := range s.ForeignKeys {
+		if s.ColumnIndex(fk.Column) < 0 {
+			return fmt.Errorf("relational: table %s: foreign key column %s is not a column", s.Name, fk.Column)
+		}
+	}
+	return nil
+}
+
+// Schema is a full database schema: a set of table schemas with resolvable
+// foreign keys. It is the primary artifact the QUEST forward and backward
+// modules operate on.
+type Schema struct {
+	tables map[string]*TableSchema
+	order  []string // insertion order, for deterministic iteration
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{tables: make(map[string]*TableSchema)}
+}
+
+// AddTable registers a table schema. It fails on duplicates or invalid
+// definitions.
+func (s *Schema) AddTable(t *TableSchema) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	key := strings.ToLower(t.Name)
+	if _, dup := s.tables[key]; dup {
+		return fmt.Errorf("relational: duplicate table %s", t.Name)
+	}
+	s.tables[key] = t
+	s.order = append(s.order, key)
+	return nil
+}
+
+// Table returns the named table schema, or nil.
+func (s *Schema) Table(name string) *TableSchema {
+	return s.tables[strings.ToLower(name)]
+}
+
+// Tables returns all table schemas in insertion order.
+func (s *Schema) Tables() []*TableSchema {
+	out := make([]*TableSchema, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, s.tables[k])
+	}
+	return out
+}
+
+// TableNames returns the table names in insertion order.
+func (s *Schema) TableNames() []string {
+	out := make([]string, 0, len(s.order))
+	for _, k := range s.order {
+		out = append(out, s.tables[k].Name)
+	}
+	return out
+}
+
+// Validate cross-checks all foreign keys against their referenced tables.
+func (s *Schema) Validate() error {
+	for _, k := range s.order {
+		t := s.tables[k]
+		for _, fk := range t.ForeignKeys {
+			ref := s.Table(fk.RefTable)
+			if ref == nil {
+				return fmt.Errorf("relational: table %s: foreign key references unknown table %s", t.Name, fk.RefTable)
+			}
+			if ref.ColumnIndex(fk.RefColumn) < 0 {
+				return fmt.Errorf("relational: table %s: foreign key references unknown column %s.%s",
+					t.Name, fk.RefTable, fk.RefColumn)
+			}
+			fc := t.Column(fk.Column)
+			rc := ref.Column(fk.RefColumn)
+			if fc.Type != rc.Type {
+				return fmt.Errorf("relational: foreign key %s.%s (%s) -> %s.%s (%s): type mismatch",
+					t.Name, fk.Column, fc.Type, fk.RefTable, fk.RefColumn, rc.Type)
+			}
+		}
+	}
+	return nil
+}
+
+// JoinEdge is an undirected PK/FK connection between two table attributes,
+// as exposed to the backward module's schema graph.
+type JoinEdge struct {
+	FromTable  string
+	FromColumn string
+	ToTable    string
+	ToColumn   string
+}
+
+// JoinEdges enumerates every PK/FK edge in the schema in deterministic
+// order (by owning table, then column).
+func (s *Schema) JoinEdges() []JoinEdge {
+	var out []JoinEdge
+	for _, k := range s.order {
+		t := s.tables[k]
+		fks := append([]ForeignKey(nil), t.ForeignKeys...)
+		sort.Slice(fks, func(i, j int) bool {
+			if fks[i].Column != fks[j].Column {
+				return fks[i].Column < fks[j].Column
+			}
+			return fks[i].RefTable < fks[j].RefTable
+		})
+		for _, fk := range fks {
+			out = append(out, JoinEdge{
+				FromTable:  t.Name,
+				FromColumn: fk.Column,
+				ToTable:    fk.RefTable,
+				ToColumn:   fk.RefColumn,
+			})
+		}
+	}
+	return out
+}
+
+// DDL renders the schema as CREATE TABLE statements (documentation aid and
+// golden-test anchor; the engine itself is populated programmatically).
+func (s *Schema) DDL() string {
+	var b strings.Builder
+	for _, k := range s.order {
+		t := s.tables[k]
+		fmt.Fprintf(&b, "CREATE TABLE %s (\n", t.Name)
+		for i, c := range t.Columns {
+			fmt.Fprintf(&b, "  %s %s", c.Name, c.Type)
+			if c.NotNull {
+				b.WriteString(" NOT NULL")
+			}
+			if t.PrimaryKey == c.Name {
+				b.WriteString(" PRIMARY KEY")
+			}
+			if i < len(t.Columns)-1 || len(t.ForeignKeys) > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		for i, fk := range t.ForeignKeys {
+			fmt.Fprintf(&b, "  FOREIGN KEY (%s) REFERENCES %s(%s)", fk.Column, fk.RefTable, fk.RefColumn)
+			if i < len(t.ForeignKeys)-1 {
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString(");\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,197 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+)
+
+func moviesSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := NewSchema()
+	if err := s.AddTable(&TableSchema{
+		Name: "movie",
+		Columns: []Column{
+			{Name: "movie_id", Type: TypeInt, NotNull: true},
+			{Name: "title", Type: TypeString, NotNull: true},
+			{Name: "year", Type: TypeInt, Pattern: `(19|20)\d\d`},
+		},
+		PrimaryKey: "movie_id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTable(&TableSchema{
+		Name: "cast_info",
+		Columns: []Column{
+			{Name: "cast_id", Type: TypeInt, NotNull: true},
+			{Name: "movie_id", Type: TypeInt, NotNull: true},
+			{Name: "person", Type: TypeString},
+		},
+		PrimaryKey: "cast_id",
+		ForeignKeys: []ForeignKey{
+			{Column: "movie_id", RefTable: "movie", RefColumn: "movie_id"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSchemaAddAndLookup(t *testing.T) {
+	s := moviesSchema(t)
+	if s.Table("movie") == nil {
+		t.Fatal("Table(movie) = nil")
+	}
+	if s.Table("MOVIE") == nil {
+		t.Fatal("table lookup must be case-insensitive")
+	}
+	if s.Table("nope") != nil {
+		t.Fatal("Table(nope) should be nil")
+	}
+	if got := len(s.Tables()); got != 2 {
+		t.Fatalf("len(Tables()) = %d, want 2", got)
+	}
+	names := s.TableNames()
+	if names[0] != "movie" || names[1] != "cast_info" {
+		t.Fatalf("TableNames() = %v, want insertion order", names)
+	}
+}
+
+func TestSchemaDuplicateTable(t *testing.T) {
+	s := moviesSchema(t)
+	err := s.AddTable(&TableSchema{
+		Name:    "Movie",
+		Columns: []Column{{Name: "x", Type: TypeInt}},
+	})
+	if err == nil {
+		t.Fatal("adding duplicate table (case-insensitive) should fail")
+	}
+}
+
+func TestTableSchemaValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		ts      *TableSchema
+		wantErr string
+	}{
+		{"empty name", &TableSchema{}, "empty name"},
+		{
+			"duplicate column",
+			&TableSchema{Name: "t", Columns: []Column{{Name: "a", Type: TypeInt}, {Name: "A", Type: TypeInt}}},
+			"duplicate column",
+		},
+		{
+			"bad pk",
+			&TableSchema{Name: "t", Columns: []Column{{Name: "a", Type: TypeInt}}, PrimaryKey: "b"},
+			"primary key",
+		},
+		{
+			"bad fk column",
+			&TableSchema{
+				Name:        "t",
+				Columns:     []Column{{Name: "a", Type: TypeInt}},
+				ForeignKeys: []ForeignKey{{Column: "x", RefTable: "t", RefColumn: "a"}},
+			},
+			"foreign key column",
+		},
+		{
+			"empty column name",
+			&TableSchema{Name: "t", Columns: []Column{{Name: "", Type: TypeInt}}},
+			"empty name",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.ts.Validate()
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSchemaValidateForeignKeys(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddTable(&TableSchema{
+		Name:        "a",
+		Columns:     []Column{{Name: "id", Type: TypeInt}, {Name: "bid", Type: TypeInt}},
+		PrimaryKey:  "id",
+		ForeignKeys: []ForeignKey{{Column: "bid", RefTable: "b", RefColumn: "id"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err == nil {
+		t.Fatal("dangling FK table reference must fail validation")
+	}
+	if err := s.AddTable(&TableSchema{
+		Name:       "b",
+		Columns:    []Column{{Name: "id", Type: TypeString}},
+		PrimaryKey: "id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "type mismatch") {
+		t.Fatalf("FK type mismatch must fail, got %v", err)
+	}
+}
+
+func TestColumnMatchesPattern(t *testing.T) {
+	c := &Column{Name: "year", Type: TypeInt, Pattern: `(19|20)\d\d`}
+	if !c.MatchesPattern("1994") {
+		t.Error("1994 should match the year pattern")
+	}
+	if c.MatchesPattern("94") {
+		t.Error("94 should not match (full anchor)")
+	}
+	if c.MatchesPattern("19940") {
+		t.Error("19940 should not match (full anchor)")
+	}
+	free := &Column{Name: "title", Type: TypeString}
+	if !free.MatchesPattern("anything at all") {
+		t.Error("pattern-less column accepts everything")
+	}
+	bad := &Column{Name: "x", Pattern: `([`}
+	if !bad.MatchesPattern("whatever") {
+		t.Error("invalid pattern must fail open (accept)")
+	}
+}
+
+func TestJoinEdgesDeterministic(t *testing.T) {
+	s := moviesSchema(t)
+	e1 := s.JoinEdges()
+	e2 := s.JoinEdges()
+	if len(e1) != 1 {
+		t.Fatalf("JoinEdges() = %d edges, want 1", len(e1))
+	}
+	if e1[0] != e2[0] {
+		t.Fatal("JoinEdges must be deterministic")
+	}
+	want := JoinEdge{FromTable: "cast_info", FromColumn: "movie_id", ToTable: "movie", ToColumn: "movie_id"}
+	if e1[0] != want {
+		t.Fatalf("JoinEdges()[0] = %+v, want %+v", e1[0], want)
+	}
+}
+
+func TestSchemaDDL(t *testing.T) {
+	ddl := moviesSchema(t).DDL()
+	for _, frag := range []string{
+		"CREATE TABLE movie", "movie_id INT NOT NULL PRIMARY KEY",
+		"title TEXT NOT NULL", "FOREIGN KEY (movie_id) REFERENCES movie(movie_id)",
+	} {
+		if !strings.Contains(ddl, frag) {
+			t.Errorf("DDL missing %q:\n%s", frag, ddl)
+		}
+	}
+}
+
+func TestColumnIndexCaseInsensitive(t *testing.T) {
+	ts := moviesSchema(t).Table("movie")
+	if ts.ColumnIndex("TITLE") != 1 {
+		t.Error("ColumnIndex must be case-insensitive")
+	}
+	if ts.ColumnIndex("nope") != -1 {
+		t.Error("missing column must be -1")
+	}
+	if ts.Column("Year") == nil {
+		t.Error("Column lookup must be case-insensitive")
+	}
+}

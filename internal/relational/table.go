@@ -1,0 +1,257 @@
+package relational
+
+import (
+	"fmt"
+)
+
+// Row is one tuple; cells are positionally aligned with the table schema.
+type Row []Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is a populated relation: schema plus rows plus maintained indexes.
+type Table struct {
+	Schema *TableSchema
+
+	rows []Row
+
+	// pkIndex maps PK value key -> row ordinal (unique).
+	pkIndex map[string]int
+	// colIndexes maps column ordinal -> (value key -> row ordinals);
+	// maintained lazily for FK columns and on demand.
+	colIndexes map[int]map[string][]int
+}
+
+// NewTable returns an empty table for the given schema.
+func NewTable(schema *TableSchema) *Table {
+	t := &Table{
+		Schema:     schema,
+		colIndexes: make(map[int]map[string][]int),
+	}
+	if schema.PrimaryKey != "" {
+		t.pkIndex = make(map[string]int)
+	}
+	return t
+}
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Row returns row i (shared, not copied).
+func (t *Table) Row(i int) Row { return t.rows[i] }
+
+// Rows returns the backing row slice (shared; callers must not mutate).
+func (t *Table) Rows() []Row { return t.rows }
+
+// Insert validates, coerces and appends a tuple, maintaining indexes.
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.Schema.Columns) {
+		return fmt.Errorf("relational: table %s: insert arity %d, want %d",
+			t.Schema.Name, len(row), len(t.Schema.Columns))
+	}
+	coerced := make(Row, len(row))
+	for i, v := range row {
+		col := &t.Schema.Columns[i]
+		if v.IsNull() {
+			if col.NotNull {
+				return fmt.Errorf("relational: table %s: NULL in NOT NULL column %s",
+					t.Schema.Name, col.Name)
+			}
+			coerced[i] = v
+			continue
+		}
+		cv, err := Coerce(v, col.Type)
+		if err != nil {
+			return fmt.Errorf("relational: table %s column %s: %w", t.Schema.Name, col.Name, err)
+		}
+		coerced[i] = cv
+	}
+	if t.pkIndex != nil {
+		pkOrd := t.Schema.ColumnIndex(t.Schema.PrimaryKey)
+		key := coerced[pkOrd].Key()
+		if coerced[pkOrd].IsNull() {
+			return fmt.Errorf("relational: table %s: NULL primary key", t.Schema.Name)
+		}
+		if _, dup := t.pkIndex[key]; dup {
+			return fmt.Errorf("relational: table %s: duplicate primary key %s",
+				t.Schema.Name, coerced[pkOrd])
+		}
+		t.pkIndex[key] = len(t.rows)
+	}
+	ord := len(t.rows)
+	t.rows = append(t.rows, coerced)
+	for colOrd, idx := range t.colIndexes {
+		k := coerced[colOrd].Key()
+		idx[k] = append(idx[k], ord)
+	}
+	return nil
+}
+
+// MustInsert inserts and panics on error; used by generators and tests where
+// schema correctness is established by construction.
+func (t *Table) MustInsert(row Row) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// LookupPK returns the row with the given primary key value, if any.
+func (t *Table) LookupPK(v Value) (Row, bool) {
+	if t.pkIndex == nil {
+		return nil, false
+	}
+	if i, ok := t.pkIndex[v.Key()]; ok {
+		return t.rows[i], true
+	}
+	return nil, false
+}
+
+// EnsureIndex builds (if needed) and returns the equality index for the
+// named column: value key -> row ordinals.
+func (t *Table) EnsureIndex(column string) (map[string][]int, error) {
+	ord := t.Schema.ColumnIndex(column)
+	if ord < 0 {
+		return nil, fmt.Errorf("relational: table %s has no column %s", t.Schema.Name, column)
+	}
+	if idx, ok := t.colIndexes[ord]; ok {
+		return idx, nil
+	}
+	idx := make(map[string][]int)
+	for i, r := range t.rows {
+		if r[ord].IsNull() {
+			continue
+		}
+		k := r[ord].Key()
+		idx[k] = append(idx[k], i)
+	}
+	t.colIndexes[ord] = idx
+	return idx, nil
+}
+
+// Lookup returns the rows whose column equals v, using (and building) the
+// equality index.
+func (t *Table) Lookup(column string, v Value) ([]Row, error) {
+	idx, err := t.EnsureIndex(column)
+	if err != nil {
+		return nil, err
+	}
+	ords := idx[v.Key()]
+	out := make([]Row, len(ords))
+	for i, o := range ords {
+		out[i] = t.rows[o]
+	}
+	return out, nil
+}
+
+// DistinctCount returns the number of distinct non-NULL values in a column.
+func (t *Table) DistinctCount(column string) (int, error) {
+	idx, err := t.EnsureIndex(column)
+	if err != nil {
+		return 0, err
+	}
+	return len(idx), nil
+}
+
+// Database is a named collection of populated tables sharing one Schema.
+type Database struct {
+	Name   string
+	Schema *Schema
+
+	tables map[string]*Table
+}
+
+// NewDatabase creates a database with empty tables for every table in the
+// schema. The schema must validate.
+func NewDatabase(name string, schema *Schema) (*Database, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	db := &Database{Name: name, Schema: schema, tables: make(map[string]*Table)}
+	for _, ts := range schema.Tables() {
+		db.tables[lower(ts.Name)] = NewTable(ts)
+	}
+	return db, nil
+}
+
+// MustNewDatabase is NewDatabase panicking on error.
+func MustNewDatabase(name string, schema *Schema) *Database {
+	db, err := NewDatabase(name, schema)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Table returns the populated table with the given name, or nil.
+func (db *Database) Table(name string) *Table {
+	return db.tables[lower(name)]
+}
+
+// Tables returns the populated tables in schema order.
+func (db *Database) Tables() []*Table {
+	out := make([]*Table, 0, len(db.tables))
+	for _, ts := range db.Schema.Tables() {
+		out = append(out, db.tables[lower(ts.Name)])
+	}
+	return out
+}
+
+// TotalRows returns the number of tuples across all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, t := range db.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// Insert adds a row to the named table.
+func (db *Database) Insert(table string, row Row) error {
+	t := db.Table(table)
+	if t == nil {
+		return fmt.Errorf("relational: unknown table %s", table)
+	}
+	return t.Insert(row)
+}
+
+// CheckForeignKeys verifies that every non-NULL FK value resolves to an
+// existing referenced row. Generators call it once after population.
+func (db *Database) CheckForeignKeys() error {
+	for _, ts := range db.Schema.Tables() {
+		t := db.Table(ts.Name)
+		for _, fk := range ts.ForeignKeys {
+			ord := ts.ColumnIndex(fk.Column)
+			ref := db.Table(fk.RefTable)
+			refIdx, err := ref.EnsureIndex(fk.RefColumn)
+			if err != nil {
+				return err
+			}
+			for i, r := range t.rows {
+				v := r[ord]
+				if v.IsNull() {
+					continue
+				}
+				if len(refIdx[v.Key()]) == 0 {
+					return fmt.Errorf("relational: %s row %d: dangling FK %s=%s -> %s.%s",
+						ts.Name, i, fk.Column, v, fk.RefTable, fk.RefColumn)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

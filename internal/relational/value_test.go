@@ -1,0 +1,230 @@
+package relational
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Value
+		typ  Type
+		str  string
+	}{
+		{"null", Null(), TypeNull, "NULL"},
+		{"int", Int(42), TypeInt, "42"},
+		{"negative int", Int(-7), TypeInt, "-7"},
+		{"float", Float(2.5), TypeFloat, "2.5"},
+		{"string", String_("hello"), TypeString, "hello"},
+		{"bool true", Bool(true), TypeBool, "true"},
+		{"bool false", Bool(false), TypeBool, "false"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Type(); got != tt.typ {
+				t.Errorf("Type() = %v, want %v", got, tt.typ)
+			}
+			if got := tt.v.String(); got != tt.str {
+				t.Errorf("String() = %q, want %q", got, tt.str)
+			}
+		})
+	}
+}
+
+func TestValueIsNull(t *testing.T) {
+	if !Null().IsNull() {
+		t.Error("Null().IsNull() = false")
+	}
+	if Int(0).IsNull() {
+		t.Error("Int(0).IsNull() = true")
+	}
+	if String_("").IsNull() {
+		t.Error("String_(\"\").IsNull() = true")
+	}
+}
+
+func TestValueNumericAccessors(t *testing.T) {
+	if got := Int(7).AsFloat(); got != 7.0 {
+		t.Errorf("Int(7).AsFloat() = %v", got)
+	}
+	if got := Float(7.9).AsInt(); got != 7 {
+		t.Errorf("Float(7.9).AsInt() = %v", got)
+	}
+	if got := Bool(true).AsInt(); got != 1 {
+		t.Errorf("Bool(true).AsInt() = %v", got)
+	}
+	if got := Int(3).AsBool(); !got {
+		t.Errorf("Int(3).AsBool() = false")
+	}
+	if got := Int(0).AsBool(); got {
+		t.Errorf("Int(0).AsBool() = true")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Float(1.5), Int(2), -1},
+		{Int(2), Float(1.5), 1},
+		{Int(3), Float(3.0), 0},
+		{String_("a"), String_("b"), -1},
+		{String_("b"), String_("b"), 0},
+		{Bool(false), Bool(true), -1},
+		{Bool(true), Bool(true), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Null(), Null(), 0},
+	}
+	for _, tt := range tests {
+		if got := Compare(tt.a, tt.b); got != tt.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareStringAntisymmetry(t *testing.T) {
+	f := func(a, b string) bool {
+		return Compare(String_(a), String_(b)) == -Compare(String_(b), String_(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(Null(), Null()) {
+		t.Error("NULL = NULL must be false (SQL semantics)")
+	}
+	if Equal(Null(), Int(1)) {
+		t.Error("NULL = 1 must be false")
+	}
+	if !Equal(Int(3), Float(3)) {
+		t.Error("3 = 3.0 must be true")
+	}
+}
+
+func TestKeyDistinguishesTypes(t *testing.T) {
+	// Int/Float with the same magnitude share a key (join compatibility)…
+	if Int(3).Key() != Float(3).Key() {
+		t.Error("Int(3) and Float(3.0) must share a key")
+	}
+	// …but a string "3" does not join with the number 3.
+	if Int(3).Key() == String_("3").Key() {
+		t.Error("Int(3) and String(\"3\") must not share a key")
+	}
+	if Bool(true).Key() == Int(1).Key() {
+		t.Error("Bool(true) and Int(1) must not share a key")
+	}
+	if Null().Key() != Null().Key() {
+		t.Error("NULL keys must agree")
+	}
+}
+
+func TestKeyConsistentWithEqual(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		return (x.Key() == y.Key()) == Equal(x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueSQLQuoting(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Int(5), "5"},
+		{String_("abc"), "'abc'"},
+		{String_("o'neil"), "'o''neil'"},
+		{Null(), "NULL"},
+		{Bool(true), "true"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.SQL(); got != tt.want {
+			t.Errorf("%v.SQL() = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	tests := []struct {
+		name    string
+		v       Value
+		to      Type
+		want    Value
+		wantErr bool
+	}{
+		{"int to float", Int(3), TypeFloat, Float(3), false},
+		{"float to int truncates", Float(3.7), TypeInt, Int(3), false},
+		{"string to int", String_(" 42 "), TypeInt, Int(42), false},
+		{"string to float", String_("2.5"), TypeFloat, Float(2.5), false},
+		{"bad string to int", String_("abc"), TypeInt, Value{}, true},
+		{"int to string", Int(7), TypeString, String_("7"), false},
+		{"string true to bool", String_("yes"), TypeBool, Bool(true), false},
+		{"string f to bool", String_("f"), TypeBool, Bool(false), false},
+		{"bad string to bool", String_("maybe"), TypeBool, Value{}, true},
+		{"null passes through", Null(), TypeInt, Null(), false},
+		{"same type", Int(1), TypeInt, Int(1), false},
+		{"bool to int", Bool(true), TypeInt, Int(1), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Coerce(tt.v, tt.to)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Coerce(%v, %v) error = %v, wantErr %v", tt.v, tt.to, err, tt.wantErr)
+			}
+			if err == nil && Compare(got, tt.want) != 0 && !(got.IsNull() && tt.want.IsNull()) {
+				t.Errorf("Coerce(%v, %v) = %v, want %v", tt.v, tt.to, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCoerceFloatRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v, err := Coerce(Float(x), TypeString)
+		if err != nil {
+			return false
+		}
+		back, err := Coerce(v, TypeFloat)
+		if err != nil {
+			return false
+		}
+		return back.AsFloat() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for typ, want := range map[Type]string{
+		TypeNull: "NULL", TypeInt: "INT", TypeFloat: "FLOAT",
+		TypeString: "TEXT", TypeBool: "BOOL",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relational"
+)
+
+// eval evaluates a scalar (non-aggregate) expression against one row of the
+// working relation.
+func eval(rel *relation, row relational.Row, e Expr) (relational.Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Value, nil
+	case *ColumnRef:
+		i, err := rel.resolve(x)
+		if err != nil {
+			return relational.Null(), err
+		}
+		return row[i], nil
+	case *NotExpr:
+		v, err := eval(rel, row, x.Inner)
+		if err != nil {
+			return relational.Null(), err
+		}
+		if v.IsNull() {
+			return relational.Null(), nil
+		}
+		return relational.Bool(!v.AsBool()), nil
+	case *IsNullExpr:
+		v, err := eval(rel, row, x.Inner)
+		if err != nil {
+			return relational.Null(), err
+		}
+		return relational.Bool(v.IsNull() != x.Negate), nil
+	case *InExpr:
+		v, err := eval(rel, row, x.Inner)
+		if err != nil {
+			return relational.Null(), err
+		}
+		if v.IsNull() {
+			return relational.Null(), nil
+		}
+		sawNull := false
+		for _, item := range x.List {
+			iv, err := eval(rel, row, item)
+			if err != nil {
+				return relational.Null(), err
+			}
+			if iv.IsNull() {
+				sawNull = true
+				continue
+			}
+			if relational.Equal(v, iv) {
+				return relational.Bool(true), nil
+			}
+		}
+		if sawNull {
+			// x IN (..., NULL) is UNKNOWN when no listed value matched.
+			return relational.Null(), nil
+		}
+		return relational.Bool(false), nil
+	case *BinaryExpr:
+		return evalBinary(rel, row, x)
+	case *AggExpr:
+		return relational.Null(), fmt.Errorf("sql: aggregate %s outside GROUP BY context", x.SQL())
+	}
+	return relational.Null(), fmt.Errorf("sql: cannot evaluate %T", e)
+}
+
+func evalBinary(rel *relation, row relational.Row, x *BinaryExpr) (relational.Value, error) {
+	// Short-circuit logical operators.
+	switch x.Op {
+	case OpAnd:
+		l, err := eval(rel, row, x.Left)
+		if err != nil {
+			return relational.Null(), err
+		}
+		if !l.IsNull() && !l.AsBool() {
+			return relational.Bool(false), nil
+		}
+		r, err := eval(rel, row, x.Right)
+		if err != nil {
+			return relational.Null(), err
+		}
+		if !r.IsNull() && !r.AsBool() {
+			return relational.Bool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return relational.Null(), nil
+		}
+		return relational.Bool(true), nil
+	case OpOr:
+		l, err := eval(rel, row, x.Left)
+		if err != nil {
+			return relational.Null(), err
+		}
+		if !l.IsNull() && l.AsBool() {
+			return relational.Bool(true), nil
+		}
+		r, err := eval(rel, row, x.Right)
+		if err != nil {
+			return relational.Null(), err
+		}
+		if !r.IsNull() && r.AsBool() {
+			return relational.Bool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return relational.Null(), nil
+		}
+		return relational.Bool(false), nil
+	}
+
+	l, err := eval(rel, row, x.Left)
+	if err != nil {
+		return relational.Null(), err
+	}
+	r, err := eval(rel, row, x.Right)
+	if err != nil {
+		return relational.Null(), err
+	}
+	if l.IsNull() || r.IsNull() {
+		return relational.Null(), nil
+	}
+
+	switch x.Op {
+	case OpEq:
+		return relational.Bool(relational.Compare(l, r) == 0), nil
+	case OpNe:
+		return relational.Bool(relational.Compare(l, r) != 0), nil
+	case OpLt:
+		return relational.Bool(relational.Compare(l, r) < 0), nil
+	case OpLe:
+		return relational.Bool(relational.Compare(l, r) <= 0), nil
+	case OpGt:
+		return relational.Bool(relational.Compare(l, r) > 0), nil
+	case OpGe:
+		return relational.Bool(relational.Compare(l, r) >= 0), nil
+	case OpAdd, OpSub, OpMul, OpDiv:
+		return evalArith(x.Op, l, r)
+	case OpLike:
+		return relational.Bool(likeMatch(l.AsString(), r.AsString())), nil
+	case OpMatch:
+		return relational.Bool(MatchText(l.AsString(), r.AsString())), nil
+	}
+	return relational.Null(), fmt.Errorf("sql: unsupported binary operator %d", x.Op)
+}
+
+func evalArith(op BinaryOp, l, r relational.Value) (relational.Value, error) {
+	if l.Type() == relational.TypeString || r.Type() == relational.TypeString {
+		if op == OpAdd {
+			return relational.String_(l.AsString() + r.AsString()), nil
+		}
+		return relational.Null(), fmt.Errorf("sql: arithmetic on strings")
+	}
+	useFloat := l.Type() == relational.TypeFloat || r.Type() == relational.TypeFloat || op == OpDiv
+	if useFloat {
+		lf, rf := l.AsFloat(), r.AsFloat()
+		switch op {
+		case OpAdd:
+			return relational.Float(lf + rf), nil
+		case OpSub:
+			return relational.Float(lf - rf), nil
+		case OpMul:
+			return relational.Float(lf * rf), nil
+		case OpDiv:
+			if rf == 0 {
+				return relational.Null(), nil
+			}
+			return relational.Float(lf / rf), nil
+		}
+	}
+	li, ri := l.AsInt(), r.AsInt()
+	switch op {
+	case OpAdd:
+		return relational.Int(li + ri), nil
+	case OpSub:
+		return relational.Int(li - ri), nil
+	case OpMul:
+		return relational.Int(li * ri), nil
+	}
+	return relational.Null(), fmt.Errorf("sql: unsupported arithmetic")
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards, case-insensitively
+// (QUEST generates LIKE predicates from user keywords, where
+// case-insensitivity is the useful behaviour; documented dialect choice).
+func likeMatch(s, pattern string) bool {
+	return likeRec(strings.ToLower(s), strings.ToLower(pattern))
+}
+
+func likeRec(s, p string) bool {
+	// Iterative matching with backtracking on '%'.
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(p) && (p[pi] == '_' || p[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(p) && p[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(p) && p[pi] == '%' {
+		pi++
+	}
+	return pi == len(p)
+}
+
+// MatchText implements the MATCH operator: every token of the query must
+// appear as a token of the text (case-insensitive containment). This is the
+// engine-level analogue of the full-text search function the paper assumes
+// the DBMS provides.
+func MatchText(text, query string) bool {
+	qt := FoldTokens(query)
+	if len(qt) == 0 {
+		return false
+	}
+	tt := FoldTokens(text)
+	set := make(map[string]bool, len(tt))
+	for _, t := range tt {
+		set[t] = true
+	}
+	for _, q := range qt {
+		if !set[q] {
+			return false
+		}
+	}
+	return true
+}
+
+// evalAggregate evaluates an expression that may contain aggregate calls
+// over a group. Non-aggregate sub-expressions are evaluated on the group's
+// first row (the usual behaviour for grouped columns).
+func evalAggregate(rel *relation, g *group, e Expr) (relational.Value, error) {
+	switch x := e.(type) {
+	case *AggExpr:
+		return computeAgg(rel, g, x)
+	case *BinaryExpr:
+		if !containsAgg(x) {
+			return evalOnFirst(rel, g, e)
+		}
+		l, err := evalAggregate(rel, g, x.Left)
+		if err != nil {
+			return relational.Null(), err
+		}
+		r, err := evalAggregate(rel, g, x.Right)
+		if err != nil {
+			return relational.Null(), err
+		}
+		tmp := &relation{}
+		return evalBinary(tmp, nil, &BinaryExpr{
+			Op:    x.Op,
+			Left:  &Literal{Value: l},
+			Right: &Literal{Value: r},
+		})
+	case *NotExpr:
+		v, err := evalAggregate(rel, g, x.Inner)
+		if err != nil {
+			return relational.Null(), err
+		}
+		if v.IsNull() {
+			return relational.Null(), nil
+		}
+		return relational.Bool(!v.AsBool()), nil
+	default:
+		return evalOnFirst(rel, g, e)
+	}
+}
+
+func evalOnFirst(rel *relation, g *group, e Expr) (relational.Value, error) {
+	if len(g.rows) == 0 {
+		return relational.Null(), nil
+	}
+	return eval(rel, g.rows[0], e)
+}
+
+func computeAgg(rel *relation, g *group, a *AggExpr) (relational.Value, error) {
+	if a.Star {
+		return relational.Int(int64(len(g.rows))), nil
+	}
+	var (
+		count int64
+		sum   float64
+		mn    relational.Value
+		mx    relational.Value
+		isInt = true
+	)
+	for _, row := range g.rows {
+		v, err := eval(rel, row, a.Arg)
+		if err != nil {
+			return relational.Null(), err
+		}
+		if v.IsNull() {
+			continue
+		}
+		count++
+		if v.Type() == relational.TypeFloat {
+			isInt = false
+		}
+		sum += v.AsFloat()
+		if mn.IsNull() || relational.Compare(v, mn) < 0 {
+			mn = v
+		}
+		if mx.IsNull() || relational.Compare(v, mx) > 0 {
+			mx = v
+		}
+	}
+	switch a.Func {
+	case AggCount:
+		return relational.Int(count), nil
+	case AggSum:
+		if count == 0 {
+			return relational.Null(), nil
+		}
+		if isInt {
+			return relational.Int(int64(sum)), nil
+		}
+		return relational.Float(sum), nil
+	case AggAvg:
+		if count == 0 {
+			return relational.Null(), nil
+		}
+		return relational.Float(sum / float64(count)), nil
+	case AggMin:
+		return mn, nil
+	case AggMax:
+		return mx, nil
+	}
+	return relational.Null(), fmt.Errorf("sql: unknown aggregate")
+}

@@ -1,0 +1,160 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relational"
+)
+
+// Explain renders a textual execution plan for the statement against the
+// database: access paths, join strategies (hash vs nested loop) with build
+// sides and key columns, filters, aggregation, ordering and limits. The
+// executor and Explain share the equi-join detection logic, so the plan
+// reflects what Execute actually does.
+func Explain(db *relational.Database, stmt *SelectStmt) (string, error) {
+	var b strings.Builder
+	indent := 0
+	line := func(format string, args ...interface{}) {
+		b.WriteString(strings.Repeat("  ", indent))
+		fmt.Fprintf(&b, format, args...)
+		b.WriteString("\n")
+	}
+
+	if stmt.Limit >= 0 || stmt.Offset > 0 {
+		line("LIMIT %s OFFSET %d", limitText(stmt.Limit), stmt.Offset)
+		indent++
+	}
+	if len(stmt.OrderBy) > 0 {
+		keys := make([]string, len(stmt.OrderBy))
+		for i, o := range stmt.OrderBy {
+			dir := "ASC"
+			if o.Desc {
+				dir = "DESC"
+			}
+			keys[i] = o.Expr.SQL() + " " + dir
+		}
+		line("SORT BY %s", strings.Join(keys, ", "))
+		indent++
+	}
+	if stmt.Distinct {
+		line("DISTINCT")
+		indent++
+	}
+
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, it := range stmt.Items {
+		if !it.Star && containsAgg(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if hasAgg {
+		if len(stmt.GroupBy) > 0 {
+			keys := make([]string, len(stmt.GroupBy))
+			for i, g := range stmt.GroupBy {
+				keys[i] = g.SQL()
+			}
+			line("AGGREGATE GROUP BY %s", strings.Join(keys, ", "))
+		} else {
+			line("AGGREGATE (single group)")
+		}
+		if stmt.Having != nil {
+			indent++
+			line("HAVING %s", stmt.Having.SQL())
+			indent--
+		}
+		indent++
+	}
+
+	line("PROJECT %s", projectText(stmt))
+	indent++
+	if stmt.Where != nil {
+		line("FILTER %s", stmt.Where.SQL())
+		indent++
+	}
+
+	// Join tree, mirroring buildFrom's left-deep order and strategy choice.
+	rel, err := baseRelation(db, stmt.From)
+	if err != nil {
+		return "", err
+	}
+	joinLines := []string{
+		fmt.Sprintf("SCAN %s (%d rows)", scanText(stmt.From), db.Table(stmt.From.Table).Len()),
+	}
+	for _, j := range stmt.Joins {
+		right, err := baseRelation(db, j.Table)
+		if err != nil {
+			return "", err
+		}
+		lk, rk, residual := equiJoinKeys(rel, right, j.On)
+		kind := "NESTED LOOP JOIN"
+		detail := "on " + j.On.SQL()
+		if len(lk) > 0 {
+			kind = "HASH JOIN"
+			keys := make([]string, len(lk))
+			for i := range lk {
+				keys[i] = rel.cols[lk[i]].display + " = " + right.cols[rk[i]].display
+			}
+			detail = "build right on " + strings.Join(keys, ", ")
+			if len(residual) > 0 {
+				parts := make([]string, len(residual))
+				for i, r := range residual {
+					parts[i] = r.SQL()
+				}
+				detail += " residual " + strings.Join(parts, " AND ")
+			}
+		}
+		if j.Left {
+			kind = "LEFT " + kind
+		}
+		joinLines = append(joinLines, fmt.Sprintf("%s %s (%d rows) %s",
+			kind, scanText(j.Table), db.Table(j.Table.Table).Len(), detail))
+		// Extend the bound columns the way the executor would, so later
+		// joins resolve against the accumulated relation.
+		rel = &relation{cols: append(append([]boundCol{}, rel.cols...), right.cols...)}
+	}
+	for i := len(joinLines) - 1; i >= 0; i-- {
+		line("%s", joinLines[i])
+		indent++
+	}
+	return b.String(), nil
+}
+
+// ExplainQuery parses and explains in one step.
+func ExplainQuery(db *relational.Database, src string) (string, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return Explain(db, stmt)
+}
+
+func limitText(n int) string {
+	if n < 0 {
+		return "ALL"
+	}
+	return fmt.Sprint(n)
+}
+
+func projectText(stmt *SelectStmt) string {
+	parts := make([]string, 0, len(stmt.Items))
+	for _, it := range stmt.Items {
+		if it.Star {
+			parts = append(parts, "*")
+			continue
+		}
+		s := it.Expr.SQL()
+		if it.Alias != "" {
+			s += " AS " + it.Alias
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func scanText(tr TableRef) string {
+	if tr.Alias != "" {
+		return tr.Table + " AS " + tr.Alias
+	}
+	return tr.Table
+}

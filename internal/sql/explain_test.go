@@ -1,0 +1,106 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainHashJoin(t *testing.T) {
+	db := testDB(t)
+	plan, err := ExplainQuery(db, `SELECT person.name FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		WHERE cast_info.role = 'actor' ORDER BY person.name LIMIT 5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"LIMIT 5",
+		"SORT BY person.name ASC",
+		"PROJECT person.name",
+		"FILTER",
+		"HASH JOIN cast_info",
+		"SCAN person",
+	} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, plan)
+		}
+	}
+}
+
+func TestExplainNestedLoop(t *testing.T) {
+	db := testDB(t)
+	plan, err := ExplainQuery(db, `SELECT m1.title FROM movie m1 JOIN movie m2 ON m1.year < m2.year`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "NESTED LOOP JOIN movie AS m2") {
+		t.Errorf("plan missing nested loop:\n%s", plan)
+	}
+}
+
+func TestExplainLeftJoin(t *testing.T) {
+	db := testDB(t)
+	plan, err := ExplainQuery(db, `SELECT movie.title FROM movie
+		LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "LEFT HASH JOIN cast_info") {
+		t.Errorf("plan missing left hash join:\n%s", plan)
+	}
+}
+
+func TestExplainAggregate(t *testing.T) {
+	db := testDB(t)
+	plan, err := ExplainQuery(db, `SELECT role, COUNT(*) FROM cast_info
+		GROUP BY role HAVING COUNT(*) > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"AGGREGATE GROUP BY role", "HAVING"} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, plan)
+		}
+	}
+	// Global aggregate.
+	plan, err = ExplainQuery(db, "SELECT COUNT(*) FROM movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "AGGREGATE (single group)") {
+		t.Errorf("plan missing global aggregate:\n%s", plan)
+	}
+}
+
+func TestExplainResidualPredicate(t *testing.T) {
+	db := testDB(t)
+	plan, err := ExplainQuery(db, `SELECT person.name FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id AND cast_info.role = 'actor'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "residual") {
+		t.Errorf("plan missing residual predicate:\n%s", plan)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db := testDB(t)
+	if _, err := ExplainQuery(db, "SELECT * FROM nope"); err == nil {
+		t.Fatal("unknown table must error")
+	}
+	if _, err := ExplainQuery(db, "not sql at all"); err == nil {
+		t.Fatal("parse error must propagate")
+	}
+}
+
+func TestExplainRowCounts(t *testing.T) {
+	db := testDB(t)
+	plan, err := ExplainQuery(db, "SELECT * FROM movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "SCAN movie (4 rows)") {
+		t.Errorf("plan missing row count:\n%s", plan)
+	}
+}

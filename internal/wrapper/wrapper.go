@@ -1,0 +1,272 @@
+// Package wrapper isolates QUEST from how a data source is accessed, the
+// role of the paper's wrapper module: QUEST itself only consumes schema
+// metadata, keyword→attribute relevance scores, optional instance
+// statistics, and a SQL execution service.
+//
+// Two implementations are provided. FullAccessSource owns the database and
+// answers relevance queries from full-text indexes and statistics from the
+// instance — the "owned database" scenario. MetadataSource sees only the
+// enriched schema (annotations, value patterns, data types) plus an
+// ontology, and executes SQL through an opaque endpoint function — the
+// hidden-source / Deep Web scenario, where QUEST still works but with
+// coarser evidence.
+package wrapper
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/fulltext"
+	"repro/internal/mi"
+	"repro/internal/ontology"
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+// ErrNoInstanceAccess is returned by instance-statistics methods of sources
+// that cannot see the data.
+var ErrNoInstanceAccess = errors.New("wrapper: source has no instance access")
+
+// Source is the contract between QUEST and a data source.
+type Source interface {
+	// Name identifies the source in diagnostics.
+	Name() string
+	// Schema returns the source's (possibly enriched) schema.
+	Schema() *relational.Schema
+	// AttributeScore returns the normalized relevance of keyword for the
+	// values of table.column, in [0,1]. This is the paper's "function that,
+	// given a keyword and the database attributes, ranks the attribute
+	// values on the basis of their importance".
+	AttributeScore(table, column, keyword string) float64
+	// HasInstanceAccess reports whether EdgeDistance uses real statistics.
+	HasInstanceAccess() bool
+	// EdgeDistance returns the mutual-information distance in [0,1] for a
+	// PK/FK edge (or intra-table PK-attribute edge when both columns are in
+	// the same table). Metadata-only sources return ErrNoInstanceAccess.
+	EdgeDistance(e relational.JoinEdge) (float64, error)
+	// Execute runs a SELECT and returns its materialized result.
+	Execute(stmt *sql.SelectStmt) (*sql.Result, error)
+}
+
+// FullAccessSource exposes an owned relational database with full-text
+// indexes built in the setup phase.
+type FullAccessSource struct {
+	db    *relational.Database
+	index *fulltext.Index
+
+	edgeCache map[string]float64
+}
+
+// NewFullAccessSource indexes the database (setup phase) and returns the
+// source.
+func NewFullAccessSource(db *relational.Database) *FullAccessSource {
+	return &FullAccessSource{
+		db:        db,
+		index:     fulltext.BuildIndex(db),
+		edgeCache: make(map[string]float64),
+	}
+}
+
+// Name implements Source.
+func (s *FullAccessSource) Name() string { return s.db.Name }
+
+// Schema implements Source.
+func (s *FullAccessSource) Schema() *relational.Schema { return s.db.Schema }
+
+// Database exposes the underlying database (used by baselines and tests).
+func (s *FullAccessSource) Database() *relational.Database { return s.db }
+
+// Index exposes the full-text index (used by baselines).
+func (s *FullAccessSource) Index() *fulltext.Index { return s.index }
+
+// AttributeScore implements Source via the full-text index.
+func (s *FullAccessSource) AttributeScore(table, column, keyword string) float64 {
+	return s.index.Score(table, column, keyword)
+}
+
+// HasInstanceAccess implements Source.
+func (s *FullAccessSource) HasInstanceAccess() bool { return true }
+
+// EdgeDistance implements Source with information-theoretic statistics
+// computed over the instance; results are cached (the backward module asks
+// repeatedly during graph construction).
+//
+// Intra-table edges (PK↔attribute of one table) use the normalized MI
+// distance between the two columns. Cross-table FK edges use
+// 1 − JoinInformativeness, so dense well-covered joins are cheap and sparse
+// link tables expensive — the signal that keeps Steiner trees on join paths
+// that lead to actual tuples.
+func (s *FullAccessSource) EdgeDistance(e relational.JoinEdge) (float64, error) {
+	key := e.FromTable + "." + e.FromColumn + ">" + e.ToTable + "." + e.ToColumn
+	if d, ok := s.edgeCache[key]; ok {
+		return d, nil
+	}
+	var d float64
+	if strings.EqualFold(e.FromTable, e.ToTable) {
+		ps, err := mi.IntraTable(s.db.Table(e.FromTable), e.FromColumn, e.ToColumn)
+		if err != nil {
+			return 1, err
+		}
+		d = ps.NormalizedDistance()
+	} else {
+		q, err := mi.JoinInformativeness(s.db.Table(e.FromTable), e.FromColumn,
+			s.db.Table(e.ToTable), e.ToColumn)
+		if err != nil {
+			return 1, err
+		}
+		d = 1 - q
+	}
+	s.edgeCache[key] = d
+	return d, nil
+}
+
+// Execute implements Source directly on the engine.
+func (s *FullAccessSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+	return sql.Execute(s.db, stmt)
+}
+
+// Endpoint executes SQL on behalf of a hidden source: the only way a
+// MetadataSource can touch data, mirroring a web form or service endpoint.
+type Endpoint func(stmt *sql.SelectStmt) (*sql.Result, error)
+
+// MetadataSource sees only schema metadata and an ontology. Keyword
+// relevance is guessed from column name similarity, annotations, value
+// patterns (regular expressions of admissible values) and data-type
+// compatibility — the paper's enriched-schema wrapper for Deep Web sources.
+type MetadataSource struct {
+	name     string
+	schema   *relational.Schema
+	thes     *ontology.Thesaurus
+	endpoint Endpoint
+}
+
+// NewMetadataSource builds a metadata-only source. The endpoint may be nil,
+// in which case Execute fails (pure planning mode).
+func NewMetadataSource(name string, schema *relational.Schema, thes *ontology.Thesaurus, endpoint Endpoint) *MetadataSource {
+	if thes == nil {
+		thes = ontology.NewThesaurus()
+	}
+	return &MetadataSource{name: name, schema: schema, thes: thes, endpoint: endpoint}
+}
+
+// Name implements Source.
+func (s *MetadataSource) Name() string { return s.name }
+
+// Schema implements Source.
+func (s *MetadataSource) Schema() *relational.Schema { return s.schema }
+
+// HasInstanceAccess implements Source.
+func (s *MetadataSource) HasInstanceAccess() bool { return false }
+
+// EdgeDistance implements Source: no instance, no statistics.
+func (s *MetadataSource) EdgeDistance(relational.JoinEdge) (float64, error) {
+	return 1, ErrNoInstanceAccess
+}
+
+// AttributeScore implements Source from metadata only. The score combines:
+//   - value-pattern admissibility (a keyword that cannot match the column's
+//     regular expression scores 0 on the value dimension),
+//   - data-type compatibility (numeric keywords fit numeric columns),
+//   - ontology relatedness and name similarity between the keyword and the
+//     column name or its annotations (a keyword "thriller" is admissible in
+//     a column annotated "genre").
+func (s *MetadataSource) AttributeScore(table, column, keyword string) float64 {
+	ts := s.schema.Table(table)
+	if ts == nil {
+		return 0
+	}
+	col := ts.Column(column)
+	if col == nil {
+		return 0
+	}
+	score := 0.0
+
+	// Pattern admissibility: a matching pattern is strong evidence that the
+	// keyword is a value of this attribute.
+	if col.Pattern != "" {
+		if col.MatchesPattern(keyword) {
+			score = 0.8
+		} else {
+			return 0
+		}
+	}
+
+	// Type compatibility.
+	if isNumericKeyword(keyword) {
+		if col.Type == relational.TypeInt || col.Type == relational.TypeFloat {
+			if score < 0.5 {
+				score = 0.5
+			}
+		} else if col.Pattern == "" {
+			// Numeric keyword against an unconstrained text column: weak.
+			score = maxf(score, 0.1)
+		}
+	} else if col.Type == relational.TypeInt || col.Type == relational.TypeFloat {
+		// Non-numeric keyword cannot be a value of a numeric column.
+		if col.Pattern == "" {
+			return 0
+		}
+	}
+
+	// Ontology / annotation evidence: the keyword names the kind of thing
+	// the column stores.
+	best := 0.0
+	for _, ann := range col.Annotations {
+		if r := s.thes.Related(keyword, ann); r > best {
+			best = r
+		}
+		if n := ontology.NameSimilarity(keyword, ann); n > best {
+			best = n * 0.8
+		}
+	}
+	if r := s.thes.Related(keyword, col.Name); r > best {
+		best = r
+	}
+	score = maxf(score, best*0.6)
+
+	// Unconstrained free-text columns accept any non-numeric keyword weakly:
+	// the wrapper cannot rule them out.
+	if score == 0 && col.Type == relational.TypeString && col.Pattern == "" && !isNumericKeyword(keyword) {
+		score = 0.05
+	}
+	return score
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func isNumericKeyword(k string) bool {
+	k = strings.TrimSpace(k)
+	if k == "" {
+		return false
+	}
+	if _, err := strconv.ParseFloat(k, 64); err == nil {
+		return true
+	}
+	return false
+}
+
+// Execute implements Source through the endpoint.
+func (s *MetadataSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+	if s.endpoint == nil {
+		return nil, fmt.Errorf("wrapper: source %s has no execution endpoint", s.name)
+	}
+	return s.endpoint(stmt)
+}
+
+// HiddenSourceFor wraps an owned database as if it were a Deep Web source:
+// QUEST sees only the schema (with whatever annotations it carries) and may
+// execute queries through the endpoint, but cannot index or scan the data.
+// Used by the deep-web example and experiment E6.
+func HiddenSourceFor(db *relational.Database, thes *ontology.Thesaurus) *MetadataSource {
+	return NewMetadataSource(db.Name+"-hidden", db.Schema, thes,
+		func(stmt *sql.SelectStmt) (*sql.Result, error) {
+			return sql.Execute(db, stmt)
+		})
+}

@@ -1,0 +1,249 @@
+package wrapper
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+func fixtureDB(t *testing.T) *relational.Database {
+	t.Helper()
+	s := relational.NewSchema()
+	add := func(ts *relational.TableSchema) {
+		t.Helper()
+		if err := s.AddTable(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&relational.TableSchema{
+		Name: "movie",
+		Columns: []relational.Column{
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "title", Type: relational.TypeString,
+				Annotations: []string{"film", "name"}},
+			{Name: "year", Type: relational.TypeInt,
+				Annotations: []string{"released"}, Pattern: `(19|20)\d\d`},
+			{Name: "genre", Type: relational.TypeString,
+				Annotations: []string{"category"}, Pattern: `drama|comedy|thriller|horror`},
+		},
+		PrimaryKey: "movie_id",
+	})
+	add(&relational.TableSchema{
+		Name: "cast_info",
+		Columns: []relational.Column{
+			{Name: "cast_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "person", Type: relational.TypeString,
+				Annotations: []string{"actor"}},
+		},
+		PrimaryKey: "cast_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "movie_id", RefTable: "movie", RefColumn: "movie_id"},
+		},
+	})
+	db := relational.MustNewDatabase("movies", s)
+	I, S := relational.Int, relational.String_
+	for _, r := range []relational.Row{
+		{I(1), S("the dark night"), I(2008), S("thriller")},
+		{I(2), S("silent river"), I(1994), S("drama")},
+		{I(3), S("dark river"), I(2001), S("drama")},
+	} {
+		if err := db.Insert("movie", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []relational.Row{
+		{I(1), I(1), S("alice smith")},
+		{I(2), I(2), S("bob jones")},
+	} {
+		if err := db.Insert("cast_info", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestFullAccessSourceBasics(t *testing.T) {
+	db := fixtureDB(t)
+	src := NewFullAccessSource(db)
+	if src.Name() != "movies" {
+		t.Errorf("Name() = %q", src.Name())
+	}
+	if !src.HasInstanceAccess() {
+		t.Error("full access source must report instance access")
+	}
+	if src.Schema() != db.Schema {
+		t.Error("Schema() must return the database schema")
+	}
+}
+
+func TestFullAccessAttributeScore(t *testing.T) {
+	src := NewFullAccessSource(fixtureDB(t))
+	if s := src.AttributeScore("movie", "title", "dark"); s <= 0 {
+		t.Errorf("score(movie.title, dark) = %v", s)
+	}
+	if s := src.AttributeScore("movie", "title", "nonexistent"); s != 0 {
+		t.Errorf("score of absent keyword = %v", s)
+	}
+	if s := src.AttributeScore("cast_info", "person", "smith"); s <= 0 {
+		t.Errorf("score(cast_info.person, smith) = %v", s)
+	}
+}
+
+func TestFullAccessEdgeDistance(t *testing.T) {
+	src := NewFullAccessSource(fixtureDB(t))
+	edge := relational.JoinEdge{
+		FromTable: "cast_info", FromColumn: "movie_id",
+		ToTable: "movie", ToColumn: "movie_id",
+	}
+	d1, err := src.EdgeDistance(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 < 0 || d1 > 1 {
+		t.Fatalf("distance = %v out of [0,1]", d1)
+	}
+	// Cached second call must agree.
+	d2, err := src.EdgeDistance(edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatalf("cache mismatch: %v vs %v", d1, d2)
+	}
+	// Intra-table edge.
+	intra := relational.JoinEdge{
+		FromTable: "movie", FromColumn: "movie_id",
+		ToTable: "movie", ToColumn: "genre",
+	}
+	if _, err := src.EdgeDistance(intra); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullAccessExecute(t *testing.T) {
+	src := NewFullAccessSource(fixtureDB(t))
+	stmt, err := sql.Parse("SELECT title FROM movie WHERE genre = 'drama' ORDER BY title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := src.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+}
+
+func TestMetadataSourcePatternGate(t *testing.T) {
+	db := fixtureDB(t)
+	src := NewMetadataSource("hidden", db.Schema, ontology.DefaultThesaurus(), nil)
+	// Year column has a pattern: keywords violating it must score 0.
+	if s := src.AttributeScore("movie", "year", "banana"); s != 0 {
+		t.Errorf("pattern-violating keyword scored %v", s)
+	}
+	if s := src.AttributeScore("movie", "year", "1994"); s <= 0 {
+		t.Errorf("pattern-matching year scored %v", s)
+	}
+	// Genre pattern accepts only listed genres.
+	if s := src.AttributeScore("movie", "genre", "drama"); s <= 0 {
+		t.Errorf("drama should be admissible in genre, got %v", s)
+	}
+	if s := src.AttributeScore("movie", "genre", "1994"); s != 0 {
+		t.Errorf("1994 in genre scored %v", s)
+	}
+}
+
+func TestMetadataSourceTypeCompatibility(t *testing.T) {
+	db := fixtureDB(t)
+	src := NewMetadataSource("hidden", db.Schema, nil, nil)
+	// Non-numeric keyword against a numeric pattern-less column: movie_id.
+	if s := src.AttributeScore("movie", "movie_id", "dark"); s != 0 {
+		t.Errorf("text keyword on INT column scored %v", s)
+	}
+	// Numeric keyword on INT column without pattern is plausible.
+	if s := src.AttributeScore("movie", "movie_id", "7"); s <= 0 {
+		t.Errorf("numeric keyword on INT column scored %v", s)
+	}
+	// Free text column weakly accepts any text keyword.
+	if s := src.AttributeScore("movie", "title", "anything"); s <= 0 {
+		t.Errorf("free text column must weakly accept, got %v", s)
+	}
+}
+
+func TestMetadataSourceOntologyEvidence(t *testing.T) {
+	db := fixtureDB(t)
+	thes := ontology.DefaultThesaurus()
+	src := NewMetadataSource("hidden", db.Schema, thes, nil)
+	// "actor" is an annotation of cast_info.person.
+	withAnn := src.AttributeScore("cast_info", "person", "actor")
+	plain := src.AttributeScore("movie", "title", "actor")
+	if withAnn <= plain {
+		t.Errorf("annotated attribute must outrank plain text: %v <= %v", withAnn, plain)
+	}
+	// Synonym via thesaurus: "star" ~ "actor".
+	if s := src.AttributeScore("cast_info", "person", "star"); s <= plain {
+		t.Errorf("synonym evidence missing: %v", s)
+	}
+}
+
+func TestMetadataSourceUnknownAttr(t *testing.T) {
+	db := fixtureDB(t)
+	src := NewMetadataSource("hidden", db.Schema, nil, nil)
+	if s := src.AttributeScore("nope", "x", "kw"); s != 0 {
+		t.Errorf("unknown table scored %v", s)
+	}
+	if s := src.AttributeScore("movie", "nope", "kw"); s != 0 {
+		t.Errorf("unknown column scored %v", s)
+	}
+}
+
+func TestMetadataSourceNoInstanceAccess(t *testing.T) {
+	db := fixtureDB(t)
+	src := NewMetadataSource("hidden", db.Schema, nil, nil)
+	if src.HasInstanceAccess() {
+		t.Error("metadata source must not report instance access")
+	}
+	_, err := src.EdgeDistance(relational.JoinEdge{})
+	if !errors.Is(err, ErrNoInstanceAccess) {
+		t.Errorf("EdgeDistance error = %v, want ErrNoInstanceAccess", err)
+	}
+}
+
+func TestMetadataSourceExecuteWithoutEndpoint(t *testing.T) {
+	db := fixtureDB(t)
+	src := NewMetadataSource("hidden", db.Schema, nil, nil)
+	stmt, _ := sql.Parse("SELECT title FROM movie")
+	if _, err := src.Execute(stmt); err == nil || !strings.Contains(err.Error(), "endpoint") {
+		t.Fatalf("execute without endpoint = %v", err)
+	}
+}
+
+func TestHiddenSourceForExecutesThroughEndpoint(t *testing.T) {
+	db := fixtureDB(t)
+	src := HiddenSourceFor(db, ontology.DefaultThesaurus())
+	if src.HasInstanceAccess() {
+		t.Error("hidden source must not have instance access")
+	}
+	stmt, _ := sql.Parse("SELECT COUNT(*) FROM movie")
+	res, err := src.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("count = %v", res.Rows[0][0])
+	}
+	if !strings.Contains(src.Name(), "hidden") {
+		t.Errorf("name = %q", src.Name())
+	}
+}
+
+func TestSourceInterfaceCompliance(t *testing.T) {
+	var _ Source = (*FullAccessSource)(nil)
+	var _ Source = (*MetadataSource)(nil)
+}

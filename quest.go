@@ -1,0 +1,178 @@
+// Package quest is the public API of the QUEST reproduction: a keyword
+// search system for relational data that translates keyword queries into
+// ranked SQL queries by combining a Hidden-Markov-Model forward step,
+// a schema-level Steiner-tree backward step, and Dempster–Shafer evidence
+// combination (Bergamaschi et al., PVLDB 6(12), 2013).
+//
+// # Quickstart
+//
+//	db := quest.BuildIMDB(quest.DatasetConfig{Seed: 42, Scale: 1})
+//	eng := quest.Open(db, quest.Defaults())
+//	results, err := eng.Search("scorsese thriller")
+//	for _, ex := range results {
+//	    fmt.Println(ex.Belief, ex.SQL)
+//	    rows, _ := eng.Execute(ex)
+//	    fmt.Println(rows)
+//	}
+//
+// The package re-exports the pieces a downstream user needs: engine
+// construction over owned databases (full access) or hidden sources
+// (metadata-only wrapper), feedback training, uncertainty tuning, dataset
+// generators and the relational engine types required to define custom
+// schemas.
+package quest
+
+import (
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/ontology"
+	"repro/internal/relational"
+	"repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// Re-exported core types. See the internal packages for full documentation.
+type (
+	// Engine is the assembled QUEST system over one source.
+	Engine = core.Engine
+	// Options configures an Engine.
+	Options = core.Options
+	// Uncertainty holds the four Dempster–Shafer ignorance degrees
+	// (OCap, OCf, OC, OI) of Algorithm 1.
+	Uncertainty = core.Uncertainty
+	// Explanation is one ranked result: configuration + join path +
+	// belief + SQL.
+	Explanation = core.Explanation
+	// Configuration maps each keyword to a database term.
+	Configuration = core.Configuration
+	// Term is a database term (table, attribute, or attribute domain).
+	Term = core.Term
+	// Interpretation is a join path over the schema graph.
+	Interpretation = core.Interpretation
+
+	// Database is a populated in-memory relational database.
+	Database = relational.Database
+	// Schema describes tables, columns and keys.
+	Schema = relational.Schema
+	// TableSchema describes one table.
+	TableSchema = relational.TableSchema
+	// Column describes one attribute, with optional annotations and value
+	// pattern used by the metadata wrapper.
+	Column = relational.Column
+	// ForeignKey declares a referential link.
+	ForeignKey = relational.ForeignKey
+	// Row is one tuple.
+	Row = relational.Row
+	// Value is one typed cell.
+	Value = relational.Value
+
+	// Source abstracts data-source access (full or metadata-only).
+	Source = wrapper.Source
+	// Result is a materialized SQL result.
+	Result = sql.Result
+
+	// Thesaurus is the ontology used for semantic matching.
+	Thesaurus = ontology.Thesaurus
+
+	// DatasetConfig sizes the built-in dataset generators.
+	DatasetConfig = datasets.Config
+)
+
+// Term kinds.
+const (
+	KindTable     = core.KindTable
+	KindAttribute = core.KindAttribute
+	KindDomain    = core.KindDomain
+)
+
+// Value constructors, re-exported for schema/population code.
+var (
+	// Int builds an integer value.
+	Int = relational.Int
+	// Float builds a float value.
+	Float = relational.Float
+	// Text builds a string value.
+	Text = relational.String_
+	// Bool builds a boolean value.
+	Bool = relational.Bool
+	// Null builds the NULL value.
+	Null = relational.Null
+)
+
+// Defaults returns the standard engine options: k=10, cold-start
+// uncertainties (a-priori trusted, feedback distrusted), MI-weighted
+// schema graph with sub-tree pruning, and the built-in thesaurus.
+func Defaults() Options {
+	o := core.DefaultOptions()
+	o.Thesaurus = ontology.DefaultThesaurus()
+	return o
+}
+
+// AdaptUncertainty re-derives the forward-mode ignorance degrees from the
+// number of accumulated validated searches (the paper's adaptation rule:
+// trust feedback more as it accumulates). Engines can do this automatically
+// via Engine.AutoAdapt(true).
+func AdaptUncertainty(u Uncertainty, feedbackCount int) Uncertainty {
+	return core.AdaptUncertainty(u, feedbackCount)
+}
+
+// Open wraps an owned database with full access (full-text indexes are
+// built here — the paper's setup phase) and assembles the engine.
+func Open(db *Database, opts Options) *Engine {
+	return core.NewEngine(wrapper.NewFullAccessSource(db), opts)
+}
+
+// OpenSource assembles the engine over any Source implementation, e.g. a
+// metadata-only wrapper for Deep Web sources.
+func OpenSource(src Source, opts Options) *Engine {
+	return core.NewEngine(src, opts)
+}
+
+// OpenHidden wraps a database as a hidden source: QUEST sees only schema
+// metadata (annotations, value patterns, types) and executes SQL through an
+// opaque endpoint, as with a web form. Quality relies on the enriched
+// schema and the ontology rather than full-text statistics.
+func OpenHidden(db *Database, thes *Thesaurus, opts Options) *Engine {
+	return core.NewEngine(wrapper.HiddenSourceFor(db, thes), opts)
+}
+
+// NewSchema returns an empty schema for custom databases.
+func NewSchema() *Schema { return relational.NewSchema() }
+
+// NewDatabase creates a database with empty tables for the schema.
+func NewDatabase(name string, schema *Schema) (*Database, error) {
+	return relational.NewDatabase(name, schema)
+}
+
+// DefaultThesaurus returns the built-in ontology covering the three demo
+// domains plus generic database vocabulary.
+func DefaultThesaurus() *Thesaurus { return ontology.DefaultThesaurus() }
+
+// BuildIMDB generates the synthetic IMDB-like database (simple star schema,
+// many rows; scalable).
+func BuildIMDB(cfg DatasetConfig) *Database { return datasets.IMDB(cfg) }
+
+// BuildMondial generates the synthetic Mondial-like database (complex
+// schema, few rows).
+func BuildMondial(cfg DatasetConfig) *Database { return datasets.Mondial(cfg) }
+
+// BuildDBLP generates the synthetic DBLP-like database (large instance,
+// non-trivial schema; scalable).
+func BuildDBLP(cfg DatasetConfig) *Database { return datasets.DBLP(cfg) }
+
+// Tokenize splits a raw query string into keywords, honoring double-quoted
+// phrases.
+func Tokenize(query string) []string { return core.Tokenize(query) }
+
+// RenderExplanation draws the database portion touched by an explanation as
+// an ASCII graph (the demo GUI's result visualization).
+func RenderExplanation(ex *Explanation) string { return core.RenderTree(ex) }
+
+// ParseSQL parses a statement of the supported SELECT dialect.
+func ParseSQL(src string) (*sql.SelectStmt, error) { return sql.Parse(src) }
+
+// RunSQL parses and executes a query against an owned database.
+func RunSQL(db *Database, src string) (*Result, error) { return sql.Run(db, src) }
+
+// ExplainSQL renders the execution plan the engine would use for a query.
+func ExplainSQL(db *Database, src string) (string, error) { return sql.ExplainQuery(db, src) }
