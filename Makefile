@@ -1,0 +1,36 @@
+# Build/test/bench entry points. `make ci` is the gate every change must
+# pass; `make bench` + `make snapshot` track the perf trajectory.
+
+GO      ?= go
+PKGS    ?= ./...
+BENCH   ?= .
+SEED    ?= 42
+
+.PHONY: all build test race vet bench snapshot ci clean
+
+all: build
+
+build:
+	$(GO) build $(PKGS)
+
+test:
+	$(GO) test $(PKGS)
+
+race:
+	$(GO) test -race $(PKGS)
+
+vet:
+	$(GO) vet $(PKGS)
+
+# Component + experiment benchmarks with allocation stats.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .
+
+# Machine-readable experiment snapshot (BENCH_<seed>.json) via questbench.
+snapshot:
+	$(GO) run ./cmd/questbench -seed $(SEED) -json BENCH_$(SEED).json
+
+ci: build vet test race
+
+clean:
+	rm -f BENCH_*.json

@@ -500,3 +500,167 @@ func BenchmarkComponent_SQLExecutorJoin(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Concurrency and caching benchmarks (the perf-PR scorecard): warm vs cold
+// query cache, sequential vs parallel backward fan-out, and whole-engine
+// parallel throughput over a shared engine.
+
+// benchQueries returns a deterministic workload of keyword strings.
+func benchQueries(db *quest.Database, n int) []string {
+	g := eval.NewGenerator(db, 7)
+	w := g.Generate("imdb", eval.IMDBTemplates(), 3)
+	out := make([]string, 0, n)
+	for i := 0; len(out) < n; i++ {
+		q := w.Queries[i%len(w.Queries)]
+		out = append(out, strings.Join(q.Keywords, " "))
+	}
+	return out
+}
+
+func BenchmarkComponent_SearchColdCache(b *testing.B) {
+	db := datasets.IMDB(datasets.Config{Seed: 42, Scale: 1})
+	opts := quest.Defaults()
+	opts.QueryCacheSize = -1     // every Search runs the full pipeline
+	opts.Backward.CacheSize = -1 // ...including a real Steiner decode
+	eng := quest.Open(db, opts)
+	qs := benchQueries(db, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Search(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComponent_SearchWarmCache(b *testing.B) {
+	db := datasets.IMDB(datasets.Config{Seed: 42, Scale: 1})
+	eng := quest.Open(db, quest.Defaults())
+	qs := benchQueries(db, 8)
+	for _, q := range qs { // warm the cache
+		if _, err := eng.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Search(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComponent_ParallelSearchThroughput drives one shared engine from
+// GOMAXPROCS goroutines (b.RunParallel), the "heavy traffic" serving shape.
+// The query mix cycles per goroutine so both cache hits and full pipeline
+// runs occur.
+func BenchmarkComponent_ParallelSearchThroughput(b *testing.B) {
+	db := datasets.IMDB(datasets.Config{Seed: 42, Scale: 1})
+	eng := quest.Open(db, quest.Defaults())
+	qs := benchQueries(db, 16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := eng.Search(qs[i%len(qs)]); err != nil {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkComponent_ParallelSearchThroughputColdCache is the same shape
+// with the query cache disabled: it isolates the concurrency win (shared
+// engine, parallel pipelines) from the caching win.
+func BenchmarkComponent_ParallelSearchThroughputColdCache(b *testing.B) {
+	db := datasets.IMDB(datasets.Config{Seed: 42, Scale: 1})
+	opts := quest.Defaults()
+	opts.QueryCacheSize = -1
+	opts.Backward.CacheSize = -1
+	eng := quest.Open(db, opts)
+	qs := benchQueries(db, 16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := eng.Search(qs[i%len(qs)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkComponent_Interpretations compares the sequential and parallel
+// backward fan-out on identical configurations (Steiner memo disabled so
+// each TopK really decodes).
+func BenchmarkComponent_Interpretations(b *testing.B) {
+	db := datasets.Mondial(datasets.Config{Seed: 42, Scale: 1})
+	for _, par := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := "sequential"
+		if par == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := quest.Defaults()
+			opts.Parallelism = par
+			opts.Backward.CacheSize = -1
+			eng := quest.Open(db, opts)
+			configs, err := eng.Configurations([]string{"italy", "city", "river"})
+			if err != nil || len(configs) == 0 {
+				b.Fatalf("no configurations: %v", err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Interpretations(configs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComponent_SteinerTopKMemoized measures the backward module's
+// memo hit path (same terminal set decoded repeatedly).
+func BenchmarkComponent_SteinerTopKMemoized(b *testing.B) {
+	db := datasets.Mondial(datasets.Config{Seed: 42, Scale: 1})
+	eng := engineFor(db)
+	c := &core.Configuration{
+		Keywords: []string{"a", "b", "c"},
+		Terms: []core.Term{
+			{Kind: core.KindDomain, Table: "city", Column: "name"},
+			{Kind: core.KindDomain, Table: "river", Column: "name"},
+			{Kind: core.KindDomain, Table: "organization", Column: "name"},
+		},
+	}
+	if _, err := eng.Backward().TopK(c, 10); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Backward().TopK(c, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComponent_Tokenize measures the zero-allocation tokenizer fast
+// path on representative cell text.
+func BenchmarkComponent_Tokenize(b *testing.B) {
+	inputs := []string{
+		"the dark night returns 2008",
+		"alice kurosawa",
+		"a fairly long movie title with many lowercase ascii tokens in it",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	n := 0
+	for i := 0; i < b.N; i++ {
+		fulltext.TokenizeEach(inputs[i%len(inputs)], func(string) { n++ })
+	}
+	_ = n
+}

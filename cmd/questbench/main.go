@@ -2,12 +2,18 @@
 // and prints the tables recorded in EXPERIMENTS.md. Each experiment is a
 // deterministic function of the seed, so re-running reproduces the report.
 //
+// With -json the same tables are also written as a machine-readable
+// BENCH_*.json snapshot (one object per table: title, headers, rows, plus
+// run metadata), so successive PRs can diff the perf/quality trajectory
+// mechanically instead of parsing report text.
+//
 // Usage:
 //
-//	questbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8] [-seed N] [-n N]
+//	questbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8] [-seed N] [-n N] [-json BENCH_42.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,9 +29,57 @@ import (
 )
 
 var (
-	seed = flag.Int64("seed", 42, "dataset and workload seed")
-	nPer = flag.Int("n", 4, "queries per workload template")
+	seed     = flag.Int64("seed", 42, "dataset and workload seed")
+	nPer     = flag.Int("n", 4, "queries per workload template")
+	jsonPath = flag.String("json", "", "write a machine-readable BENCH_*.json snapshot to this path")
 )
+
+// snapshotTable is the JSON form of one experiment table.
+type snapshotTable struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// snapshot is the whole BENCH_*.json payload. It deliberately carries no
+// timestamp: apart from the latency columns (real measurements that vary
+// run to run), every field is a deterministic function of seed and code,
+// so a diff between two snapshots shows only behavior changes and timing
+// movement — never clock noise from the file itself.
+type snapshot struct {
+	Tool       string          `json:"tool"`
+	Seed       int64           `json:"seed"`
+	QueriesPer int             `json:"queries_per_template"`
+	Tables     []snapshotTable `json:"tables"`
+}
+
+var collected []snapshotTable
+
+// emit prints a table and records it for the JSON snapshot.
+func emit(tbl *eval.Table) {
+	fmt.Println(tbl)
+	collected = append(collected, snapshotTable{Title: tbl.Title, Headers: tbl.Headers, Rows: tbl.Rows})
+}
+
+func writeSnapshot(path string) {
+	s := snapshot{
+		Tool:       "questbench",
+		Seed:       *seed,
+		QueriesPer: *nPer,
+		Tables:     collected,
+	}
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "marshal snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "write snapshot: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d tables)\n", path, len(s.Tables))
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (all, e1..e8)")
@@ -45,14 +99,17 @@ func main() {
 		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"} {
 			runners[name]()
 		}
-		return
+	} else {
+		r, ok := runners[strings.ToLower(*exp)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		r()
 	}
-	r, ok := runners[strings.ToLower(*exp)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if *jsonPath != "" {
+		writeSnapshot(*jsonPath)
 	}
-	r()
 }
 
 func buildAll() map[string]*quest.Database {
@@ -109,7 +166,7 @@ func e1Scalability() {
 			eval.F(m.SuccessAt3),
 		)
 	}
-	fmt.Println(tbl)
+	emit(tbl)
 }
 
 // e2Disagreement: rank overlap between operating modes and approaches.
@@ -152,7 +209,7 @@ func e2Disagreement() {
 		tbl.AddRow(name, "apriori-vs-combined",
 			eval.F(agreeAC/float64(n)), eval.F(jacAC/float64(n)))
 	}
-	fmt.Println(tbl)
+	emit(tbl)
 }
 
 func ids(cs []*core.Configuration) []string {
@@ -247,7 +304,7 @@ func e3Baselines() {
 		tbl.AddRow(name, "DISCOVER-style", eval.F(m.SuccessAt1), eval.F(m.SuccessAt3), eval.F(m.MRR),
 			fmt.Sprintf("%.1f", dms), "-")
 	}
-	fmt.Println(tbl)
+	emit(tbl)
 }
 
 // e4Uncertainty: grid sweep over (OCap, OCf) and (OC, OI).
@@ -274,7 +331,7 @@ func e4Uncertainty() {
 				eval.F(m.ConfigAt1), eval.F(m.ConfigMRR), eval.F(m.MRR))
 		}
 	}
-	fmt.Println(tbl)
+	emit(tbl)
 
 	tbl2 := &eval.Table{
 		Title:   "E4b — forward/backward uncertainty sweep (OC vs OI)",
@@ -288,7 +345,7 @@ func e4Uncertainty() {
 		m := eval.Aggregate(eval.RunEngine(eng, test))
 		tbl2.AddRow(eval.F(p[0]), eval.F(p[1]), eval.F(m.SuccessAt1), eval.F(m.SuccessAt3), eval.F(m.MRR))
 	}
-	fmt.Println(tbl2)
+	emit(tbl2)
 }
 
 // e5FeedbackVolume: accuracy vs number of validated searches.
@@ -325,7 +382,7 @@ func e5FeedbackVolume() {
 			tbl.AddRow(mode, fmt.Sprint(nfb), eval.F(m.ConfigAt1), eval.F(m.ConfigMRR), eval.F(m.MRR))
 		}
 	}
-	fmt.Println(tbl)
+	emit(tbl)
 }
 
 // e6DeepWeb: metadata-only wrapper vs full access on identical workloads.
@@ -348,7 +405,7 @@ func e6DeepWeb() {
 		m = eval.Aggregate(eval.RunEngine(hidden, w))
 		tbl.AddRow(name, "metadata-only", eval.F(m.SuccessAt1), eval.F(m.SuccessAt3), eval.F(m.MRR))
 	}
-	fmt.Println(tbl)
+	emit(tbl)
 }
 
 // e7Visualization: demonstrate the result-graph rendering (demo msg 5).
@@ -411,7 +468,7 @@ func e8Ablations() {
 		}
 		tbl.AddRow(fmt.Sprint(dedup), fmt.Sprint(len(ex)), fmt.Sprint(len(sets)), fmt.Sprintf("%.1f", ms))
 	}
-	fmt.Println(tbl)
+	emit(tbl)
 
 	tbl2 := &eval.Table{
 		Title:   "E8b — MI edge-weight ablation (imdb; award is the sparse decoy join path)",
@@ -442,7 +499,7 @@ func e8Ablations() {
 		}
 		tbl2.AddRow(fmt.Sprint(mi), eval.F(m.SuccessAt3), eval.F(m.MRR), eval.F(rate))
 	}
-	fmt.Println(tbl2)
+	emit(tbl2)
 
 	// A-priori heuristic weight ablation: flatten the transition rules.
 	// The probe queries anchor on the attribute keyword "title" followed by
@@ -520,7 +577,7 @@ func e8Ablations() {
 		}
 		tbl3.AddRow(label, eval.F(at1), eval.F(mrr))
 	}
-	fmt.Println(tbl3)
+	emit(tbl3)
 }
 
 var _ = sort.Strings // reserved for future table post-processing

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/relational"
 	"repro/internal/steiner"
 	"repro/internal/wrapper"
@@ -78,7 +80,18 @@ type BackwardOptions struct {
 	IntraTableWeight float64
 	// FKBaseWeight is the base weight of PK↔FK edges before MI scaling.
 	FKBaseWeight float64
+	// CacheSize caps the memoized Steiner TopK LRU (entries, keyed on the
+	// terminal set and k). The schema graph is immutable after setup, so
+	// memoized trees never go stale. 0 selects DefaultSteinerCacheSize; a
+	// negative value disables memoization.
+	CacheSize int
 }
+
+// DefaultSteinerCacheSize is the Steiner memo capacity used when
+// BackwardOptions.CacheSize is 0. Distinct terminal sets are bounded by the
+// configurations the forward module can produce, so a few hundred entries
+// cover a live workload.
+const DefaultSteinerCacheSize = 512
 
 // DefaultBackwardOptions returns the configuration used across the repo.
 func DefaultBackwardOptions() BackwardOptions {
@@ -91,11 +104,19 @@ func DefaultBackwardOptions() BackwardOptions {
 }
 
 // Backward is the backward module: it owns the schema graph and finds
-// top-k interpretations for configurations.
+// top-k interpretations for configurations. It is safe for concurrent use:
+// the schema graph is immutable after construction and the TopK memo is a
+// concurrent sharded LRU.
 type Backward struct {
 	source wrapper.Source
 	opts   BackwardOptions
 	graph  *steiner.Graph
+
+	// treeCache memoizes graph.TopK results keyed on (terminal set, k).
+	// Trees are immutable once emitted, so cached slices are shared across
+	// calls and goroutines; only the per-call Interpretation wrappers are
+	// allocated fresh.
+	treeCache *cache.LRU[string, []*steiner.Tree]
 }
 
 // NewBackward builds the schema graph for the source. With UseMIWeights and
@@ -104,6 +125,11 @@ type Backward struct {
 func NewBackward(src wrapper.Source, opts BackwardOptions) *Backward {
 	b := &Backward{source: src, opts: opts}
 	b.graph = b.buildGraph()
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultSteinerCacheSize
+	}
+	b.treeCache = cache.New[string, []*steiner.Tree](size) // nil (disabled) when size < 0
 	return b
 }
 
@@ -203,15 +229,46 @@ func (b *Backward) Terminals(c *Configuration) ([]string, error) {
 // TopK returns the top-k interpretations for a configuration, best
 // (cheapest tree) first. Configurations whose terminals cannot be connected
 // yield no interpretations.
+//
+// Steiner decoding is memoized on the terminal set: distinct configurations
+// routinely map to the same attribute vertices (same tables, different
+// keywords), and the tree enumeration is by far the most expensive step of
+// the backward module, so repeat terminal sets become a cache lookup.
 func (b *Backward) TopK(c *Configuration, k int) ([]*Interpretation, error) {
 	terminals, err := b.Terminals(c)
 	if err != nil {
 		return nil, err
 	}
+	trees, err := b.topKTrees(terminals, k)
+	if err != nil {
+		return nil, err
+	}
+	return b.wrapTrees(c, trees), nil
+}
+
+// topKTrees is the memoized tree enumeration behind TopK, keyed on the
+// sorted terminal set and k.
+func (b *Backward) topKTrees(terminals []string, k int) ([]*steiner.Tree, error) {
+	var key string
+	if b.treeCache != nil {
+		key = strconv.Itoa(k) + "|" + strings.Join(terminals, ",")
+		if trees, ok := b.treeCache.Get(key); ok {
+			return trees, nil
+		}
+	}
 	trees, err := b.graph.TopK(terminals, k, steiner.Options{Dedup: b.opts.Dedup})
 	if err != nil {
 		return nil, err
 	}
+	if b.treeCache != nil {
+		b.treeCache.Put(key, trees)
+	}
+	return trees, nil
+}
+
+// wrapTrees builds per-configuration interpretations over a (possibly
+// shared) tree slice.
+func (b *Backward) wrapTrees(c *Configuration, trees []*steiner.Tree) []*Interpretation {
 	out := make([]*Interpretation, 0, len(trees))
 	for _, t := range trees {
 		out = append(out, &Interpretation{
@@ -221,5 +278,5 @@ func (b *Backward) TopK(c *Configuration, k int) ([]*Interpretation, error) {
 			Score:  math.Exp(-t.Cost),
 		})
 	}
-	return out, nil
+	return out
 }

@@ -3,11 +3,18 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/ds"
+	"repro/internal/hmm"
 	"repro/internal/ontology"
 	"repro/internal/sql"
+	"repro/internal/steiner"
 	"repro/internal/wrapper"
 )
 
@@ -75,9 +82,38 @@ type Options struct {
 	// This is an extension beyond the paper (which relies on MI weights
 	// alone to avoid empty join paths): it trades one query execution per
 	// candidate for a guarantee the user never sees an empty answer.
-	// Requires a source with an execution endpoint.
+	// Requires a source with an execution endpoint. The validation queries
+	// run concurrently only when the source declares its Execute safe for
+	// concurrent use (wrapper.ConcurrentExecutor — true for the built-in
+	// sources) or, for sources that don't implement that marker, when
+	// Parallelism is explicitly set above 1; in every other case the
+	// engine serializes its Execute calls, so custom endpoints are never
+	// raced unless they opt in.
 	PruneEmpty bool
+	// Parallelism bounds the worker goroutines used by the engine's fan-out
+	// points: per-terminal-set Steiner decoding in Interpretations and
+	// candidate SQL execution in PruneEmpty. Both stages preserve the exact
+	// result order of the sequential path, and the budget is shared across
+	// all concurrent calls on the engine (P in-flight searches still run at
+	// most Parallelism workers in total). 0 selects runtime.GOMAXPROCS(0);
+	// 1 forces sequential execution. Setting a value above 1 also opts a
+	// non-ConcurrentExecutor source into parallel PruneEmpty validation —
+	// only do that when its Execute is goroutine-safe.
+	Parallelism int
+	// QueryCacheSize caps the engine's query→explanations LRU (entries).
+	// Entries are keyed on the tokenized keywords plus the engine's cache
+	// epoch; any state change that could alter results (feedback,
+	// uncertainty updates) bumps the epoch, making stale entries
+	// unreachable until they age out of the LRU. All other result-shaping
+	// options are immutable after construction — any future run-time
+	// setter for one of them must bump the epoch too. 0 selects
+	// DefaultQueryCacheSize; a negative value disables the cache.
+	QueryCacheSize int
 }
+
+// DefaultQueryCacheSize is the query-cache capacity used when
+// Options.QueryCacheSize is 0.
+const DefaultQueryCacheSize = 256
 
 // DefaultOptions returns the standard engine configuration.
 func DefaultOptions() Options {
@@ -89,14 +125,47 @@ func DefaultOptions() Options {
 }
 
 // Engine is the assembled QUEST system over one source.
+//
+// Engine is safe for concurrent use: any number of goroutines may call
+// Search, Configurations, Interpretations, Explain and Execute while others
+// call AddFeedback, AddNegativeFeedback, SetUncertainty or AutoAdapt.
+// Mutations invalidate the query cache by bumping an internal epoch
+// counter; in-flight searches complete against the state they started with.
 type Engine struct {
-	source           wrapper.Source
+	source   wrapper.Source
+	forward  *Forward
+	backward *Backward
+	builder  *QueryBuilder
+
+	// mu guards the mutable engine state below. The heavy pipeline stages
+	// run outside the lock against the immutable modules.
+	mu               sync.RWMutex
 	opts             Options
-	forward          *Forward
-	backward         *Backward
-	builder          *QueryBuilder
 	autoAdapt        bool
 	negativeFeedback int
+	// epoch counts result-affecting state changes; it is part of every
+	// query-cache key, so a bump makes all previous entries unreachable.
+	epoch uint64
+
+	// queryCache maps (epoch, keywords) to the final ranked explanations;
+	// nil when disabled. All other result-shaping options are immutable
+	// after construction (only SetUncertainty mutates, and it bumps the
+	// epoch), so the keywords plus the epoch identify a result exactly.
+	queryCache *cache.LRU[string, []*Explanation]
+
+	// workerSem bounds the total spawned fan-out workers across ALL
+	// concurrent pipeline calls on this engine at Parallelism, so P
+	// in-flight searches share one budget instead of spawning
+	// P×Parallelism runnable goroutines. (Work that runs inline on a
+	// caller's own goroutine — the workers<=1 path — is not counted.)
+	workerSem chan struct{}
+
+	// execSafe records whether the source declared Execute safe for
+	// concurrent use; when false, the engine serializes its own Execute
+	// calls through execMu so concurrent searches never race a custom
+	// endpoint.
+	execSafe bool
+	execMu   sync.Mutex
 }
 
 // NewEngine wires the forward module, backward module and query builder for
@@ -118,7 +187,111 @@ func NewEngine(src wrapper.Source, opts Options) *Engine {
 	e.builder = NewQueryBuilder(src.Schema())
 	e.builder.UseLike = opts.UseLike
 	e.builder.Limit = opts.ResultLimit
+	size := opts.QueryCacheSize
+	if size == 0 {
+		size = DefaultQueryCacheSize
+	}
+	e.queryCache = cache.New[string, []*Explanation](size) // nil (disabled) when size < 0
+	budget := opts.Parallelism
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	e.workerSem = make(chan struct{}, budget)
+	if ce, ok := src.(wrapper.ConcurrentExecutor); ok {
+		// A source that implements the marker knows its own endpoint; its
+		// answer wins either way (an explicit false is not overridden by
+		// Parallelism — use MetadataSource.SetConcurrentSafe for a safe
+		// custom endpoint).
+		e.execSafe = ce.ExecutesConcurrently()
+	} else {
+		// For sources that don't implement the marker, an explicit
+		// Parallelism > 1 is the documented assertion that Execute
+		// tolerates concurrent calls.
+		e.execSafe = opts.Parallelism > 1
+	}
 	return e
+}
+
+// pipelineState is one consistent view of everything that shapes a search:
+// the options (including uncertainties), the cache epoch they belong to,
+// and the two forward models (immutable snapshots; training swaps pointers
+// rather than mutating). Taken atomically under the engine lock — every
+// engine mutator holds the write lock for its whole mutation — so a search
+// running against one pipelineState cannot observe a half-applied change.
+type pipelineState struct {
+	opts     Options
+	epoch    uint64
+	apriori  *hmm.Model
+	feedback *hmm.Model
+}
+
+// snapshot captures the current pipeline state. Lock order is e.mu → f.mu.
+func (e *Engine) snapshot() pipelineState {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ap, fb := e.forward.models()
+	return pipelineState{opts: e.opts, epoch: e.epoch, apriori: ap, feedback: fb}
+}
+
+// parallelism resolves the effective worker count for n independent items.
+func parallelism(opt int, n int) int {
+	p := opt
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// forEachParallel runs fn(i) for i in [0, n) across a bounded worker pool.
+// With one worker it degrades to a plain loop (no goroutines). Each unit of
+// work additionally acquires a slot from the engine-wide semaphore, so the
+// number of simultaneously running fn bodies across all concurrent callers
+// never exceeds the engine's Parallelism budget. fn must write results into
+// per-index slots; the pool provides no other synchronization.
+func (e *Engine) forEachParallel(n, workers int, fn func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				e.workerSem <- struct{}{}
+				fn(i)
+				<-e.workerSem
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// bumpEpoch invalidates all cached query results. Callers must hold e.mu.
+func (e *Engine) bumpEpochLocked() { e.epoch++ }
+
+// InvalidateCaches makes every cached query result unreachable. It is
+// called automatically by the engine's own mutators; call it manually after
+// mutating the forward module directly (e.g. Forward().RetrainEM or
+// LoadFeedback), which the engine cannot observe.
+func (e *Engine) InvalidateCaches() {
+	e.mu.Lock()
+	e.bumpEpochLocked()
+	e.mu.Unlock()
 }
 
 // Forward exposes the forward module (feedback training, experiments).
@@ -131,29 +304,54 @@ func (e *Engine) Backward() *Backward { return e.backward }
 func (e *Engine) Source() wrapper.Source { return e.source }
 
 // Options returns a copy of the engine options.
-func (e *Engine) Options() Options { return e.opts }
+func (e *Engine) Options() Options {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.opts
+}
 
 // SetUncertainty adjusts the DS ignorance degrees at run time — the
-// adaptation knob the demonstration's fourth message is about.
-func (e *Engine) SetUncertainty(u Uncertainty) { e.opts.Uncertainty = u }
+// adaptation knob the demonstration's fourth message is about. The query
+// cache is invalidated (epoch bump).
+func (e *Engine) SetUncertainty(u Uncertainty) {
+	e.mu.Lock()
+	e.opts.Uncertainty = u
+	e.bumpEpochLocked()
+	e.mu.Unlock()
+}
 
 // AddFeedback incorporates user-validated configurations into the feedback
 // HMM. When AutoAdapt has been enabled the DS uncertainties are re-derived
-// from the accumulated feedback count afterwards.
+// from the accumulated feedback count afterwards. The query cache is
+// invalidated (epoch bump). The expensive model re-estimation runs before
+// the engine lock is taken — concurrent searches are not stalled by
+// training — while the publication (model swap + uncertainty update +
+// epoch bump) is atomic under the lock, so snapshots see either none or
+// all of it.
 func (e *Engine) AddFeedback(validated []*Configuration) {
-	e.forward.AddFeedback(validated)
-	if e.autoAdapt {
-		e.opts.Uncertainty = AdaptUncertainty(e.opts.Uncertainty, e.effectiveFeedback())
+	m, n := e.forward.prepareFeedback(validated)
+	if m == nil {
+		return
 	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.forward.publishFeedback(m, n)
+	if e.autoAdapt {
+		e.opts.Uncertainty = AdaptUncertainty(e.opts.Uncertainty, e.effectiveFeedbackLocked())
+	}
+	e.bumpEpochLocked()
 }
 
 // AutoAdapt enables (or disables) automatic re-derivation of the forward
 // uncertainties from the feedback volume on every AddFeedback call.
 func (e *Engine) AutoAdapt(on bool) {
+	e.mu.Lock()
 	e.autoAdapt = on
 	if on {
-		e.opts.Uncertainty = AdaptUncertainty(e.opts.Uncertainty, e.effectiveFeedback())
+		e.opts.Uncertainty = AdaptUncertainty(e.opts.Uncertainty, e.effectiveFeedbackLocked())
 	}
+	e.bumpEpochLocked()
+	e.mu.Unlock()
 }
 
 // AddNegativeFeedback records that the user rejected the system's
@@ -168,15 +366,18 @@ func (e *Engine) AddNegativeFeedback(n int) {
 	if n <= 0 {
 		return
 	}
+	e.mu.Lock()
 	e.negativeFeedback += n
 	if e.autoAdapt {
-		e.opts.Uncertainty = AdaptUncertainty(e.opts.Uncertainty, e.effectiveFeedback())
+		e.opts.Uncertainty = AdaptUncertainty(e.opts.Uncertainty, e.effectiveFeedbackLocked())
 	}
+	e.bumpEpochLocked()
+	e.mu.Unlock()
 }
 
-// effectiveFeedback is the adaptation count: validated searches minus
-// rejections, floored at zero.
-func (e *Engine) effectiveFeedback() int {
+// effectiveFeedbackLocked is the adaptation count: validated searches minus
+// rejections, floored at zero. Callers must hold e.mu.
+func (e *Engine) effectiveFeedbackLocked() int {
 	n := e.forward.FeedbackCount() - e.negativeFeedback
 	if n < 0 {
 		return 0
@@ -188,13 +389,21 @@ func (e *Engine) effectiveFeedback() int {
 // and returns the combined top-k configurations — exposed separately so the
 // demonstration can show each module's partial results.
 func (e *Engine) Configurations(keywords []string) ([]*Configuration, error) {
-	k := e.opts.K
+	return e.configurationsWith(e.snapshot(), keywords)
+}
+
+// configurationsWith is Configurations against one consistent pipeline
+// snapshot: both modes decode the models captured at snapshot time, so a
+// concurrent retrain cannot produce a ranking that mixes model versions.
+func (e *Engine) configurationsWith(st pipelineState, keywords []string) ([]*Configuration, error) {
+	opts := st.opts
+	k := opts.K
 	var cap_, cf []*Configuration
-	if !e.opts.DisableApriori {
-		cap_ = e.forward.TopKApriori(keywords, k)
+	if !opts.DisableApriori {
+		cap_ = e.forward.decode(st.apriori, keywords, k, "a-priori")
 	}
-	if !e.opts.DisableFeedback {
-		cf = e.forward.TopKFeedback(keywords, k)
+	if !opts.DisableFeedback {
+		cf = e.forward.decode(st.feedback, keywords, k, "feedback")
 	}
 	switch {
 	case len(cap_) == 0 && len(cf) == 0:
@@ -219,12 +428,21 @@ func (e *Engine) Configurations(keywords []string) ([]*Configuration, error) {
 		}
 		ev2 = append(ev2, ds.Evidence{Hypothesis: c.ID(), Score: c.Score})
 	}
-	ranked, err := ds.CombineScores(ev1, e.opts.Uncertainty.OCap, ev2, e.opts.Uncertainty.OCf)
+	ranked, err := ds.CombineScores(ev1, opts.Uncertainty.OCap, ev2, opts.Uncertainty.OCf)
 	if err != nil {
 		return nil, fmt.Errorf("core: combining forward modes: %w", err)
 	}
-	out := make([]*Configuration, 0, len(ranked))
+	// Trim early: ranked is sorted by belief, so materializing past k
+	// wastes allocations on configurations that are dropped immediately.
+	outCap := len(ranked)
+	if k < outCap {
+		outCap = k
+	}
+	out := make([]*Configuration, 0, outCap)
 	for _, r := range ranked {
+		if len(out) == k {
+			break
+		}
 		c := byID[r.Hypothesis]
 		out = append(out, &Configuration{
 			Keywords: c.Keywords,
@@ -233,22 +451,79 @@ func (e *Engine) Configurations(keywords []string) ([]*Configuration, error) {
 			Mode:     "combined",
 		})
 	}
-	if len(out) > k {
-		out = out[:k]
-	}
 	return out, nil
 }
 
 // Interpretations runs the backward step for a set of configurations,
 // returning all candidate interpretations (each configuration contributes
 // up to k).
+//
+// Configurations are independent, so their Steiner decodings fan out across
+// a bounded worker pool (Options.Parallelism). Results are concatenated in
+// configuration order, and on error the lowest-index error is returned, so
+// output is identical to the sequential path.
 func (e *Engine) Interpretations(configs []*Configuration) ([]*Interpretation, error) {
-	var out []*Interpretation
-	for _, c := range configs {
-		ins, err := e.backward.TopK(c, e.opts.K)
+	return e.interpretationsWith(e.snapshot().opts, configs)
+}
+
+func (e *Engine) interpretationsWith(opts Options, configs []*Configuration) ([]*Interpretation, error) {
+	k := opts.K
+
+	// Distinct configurations routinely pin the same terminal set (same
+	// attributes, different keywords). Group by terminal set first so each
+	// Steiner enumeration — the expensive step — runs at most once per
+	// search even when the group's members are dispatched concurrently,
+	// then share the resulting trees across the group's configurations.
+	type decodeGroup struct {
+		terminals []string
+		members   []int // config indices, ascending
+	}
+	groupOf := make(map[string]*decodeGroup)
+	var groups []*decodeGroup
+	termErrs := make([]error, len(configs))
+	for i, c := range configs {
+		terminals, err := e.backward.Terminals(c)
 		if err != nil {
-			return nil, err
+			termErrs[i] = err
+			continue
 		}
+		key := strings.Join(terminals, ",")
+		g := groupOf[key]
+		if g == nil {
+			g = &decodeGroup{terminals: terminals}
+			groupOf[key] = g
+			groups = append(groups, g)
+		}
+		g.members = append(g.members, i)
+	}
+
+	trees := make([][]*steiner.Tree, len(groups))
+	errs := make([]error, len(groups))
+	e.forEachParallel(len(groups), parallelism(opts.Parallelism, len(groups)), func(gi int) {
+		trees[gi], errs[gi] = e.backward.topKTrees(groups[gi].terminals, k)
+	})
+
+	// Report the lowest-config-index error, whether from terminal
+	// resolution or decoding, matching the sequential path's determinism.
+	perConfig := make([][]*Interpretation, len(configs))
+	for gi, g := range groups {
+		if errs[gi] != nil {
+			termErrs[g.members[0]] = errs[gi]
+			continue
+		}
+		for _, i := range g.members {
+			perConfig[i] = e.backward.wrapTrees(configs[i], trees[gi])
+		}
+	}
+	total := 0
+	for i := range configs {
+		if termErrs[i] != nil {
+			return nil, termErrs[i]
+		}
+		total += len(perConfig[i])
+	}
+	out := make([]*Interpretation, 0, total)
+	for _, ins := range perConfig {
 		out = append(out, ins...)
 	}
 	return out, nil
@@ -256,26 +531,71 @@ func (e *Engine) Interpretations(configs []*Configuration) ([]*Interpretation, e
 
 // Search is Algorithm 1: keywords → configurations (two modes, DS) →
 // interpretations (Steiner) → explanations (DS) → SQL.
+//
+// Results are cached in the engine's query cache (see
+// Options.QueryCacheSize): a repeated query on an unchanged engine is a
+// single LRU lookup. Cache entries are keyed on the tokenized keywords plus
+// the cache epoch; AddFeedback, SetUncertainty and the other mutators bump
+// the epoch, so no stale ranking is ever served.
+// Hits return fresh shallow copies of the Explanation structs — callers may
+// adjust Belief on their copies without poisoning the cache.
 func (e *Engine) Search(query string) ([]*Explanation, error) {
 	keywords := Tokenize(query)
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("core: empty keyword query")
 	}
-	configs, err := e.Configurations(keywords)
+	// One snapshot for the whole pipeline: a concurrent SetUncertainty or
+	// AddFeedback mid-search cannot tear the result (options and models
+	// are captured together), and the entry is stored under the epoch the
+	// snapshot belongs to.
+	st := e.snapshot()
+	var key string
+	if e.queryCache != nil {
+		key = strconv.FormatUint(st.epoch, 10) + "\x00" + strings.Join(keywords, "\x1f")
+		if hit, ok := e.queryCache.Get(key); ok {
+			return copyExplanations(hit), nil
+		}
+	}
+	configs, err := e.configurationsWith(st, keywords)
 	if err != nil {
 		return nil, err
 	}
-	if len(configs) == 0 {
-		return nil, nil
+	var out []*Explanation
+	cacheable := true
+	if len(configs) > 0 {
+		interps, err := e.interpretationsWith(st.opts, configs)
+		if err != nil {
+			return nil, err
+		}
+		if len(interps) > 0 {
+			out, cacheable, err = e.explainWith(st.opts, configs, interps)
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
-	interps, err := e.Interpretations(configs)
-	if err != nil {
-		return nil, err
+	if e.queryCache != nil && cacheable {
+		// Store a private copy: the caller owns the returned slice and may
+		// mutate beliefs in place.
+		e.queryCache.Put(key, copyExplanations(out))
 	}
-	if len(interps) == 0 {
-		return nil, nil
+	return out, nil
+}
+
+// copyExplanations shallow-copies a ranked result list. The Explanation
+// structs are duplicated (so Belief stays isolated per caller); the deeper
+// Config/Interpretation/Stmt objects are immutable after construction and
+// remain shared.
+func copyExplanations(in []*Explanation) []*Explanation {
+	if in == nil {
+		return nil
 	}
-	return e.Explain(configs, interps)
+	out := make([]*Explanation, len(in))
+	for i, ex := range in {
+		cp := *ex
+		out[i] = &cp
+	}
+	return out
 }
 
 // Explain performs the final DS combination between the forward evidence
@@ -284,6 +604,15 @@ func (e *Engine) Search(query string) ([]*Explanation, error) {
 // experiments can recombine partial results under different uncertainties
 // without recomputing the expensive steps.
 func (e *Engine) Explain(configs []*Configuration, interps []*Interpretation) ([]*Explanation, error) {
+	out, _, err := e.explainWith(e.snapshot().opts, configs, interps)
+	return out, err
+}
+
+// explainWith additionally reports whether the result is cacheable: a
+// PruneEmpty pass degraded by transient Execute failures must not be
+// cached, or a one-off endpoint outage would be served as a permanently
+// thinner ranking until the next epoch bump.
+func (e *Engine) explainWith(opts Options, configs []*Configuration, interps []*Interpretation) ([]*Explanation, bool, error) {
 	configBelief := make(map[string]float64, len(configs))
 	for _, c := range configs {
 		configBelief[c.ID()] = c.Score
@@ -303,14 +632,19 @@ func (e *Engine) Explain(configs []*Configuration, interps []*Interpretation) ([
 		evForward = append(evForward, ds.Evidence{Hypothesis: id, Score: configBelief[in.Config.ID()]})
 		evBackward = append(evBackward, ds.Evidence{Hypothesis: id, Score: in.Score})
 	}
-	ranked, err := ds.CombineScores(evForward, e.opts.Uncertainty.OC, evBackward, e.opts.Uncertainty.OI)
+	ranked, err := ds.CombineScores(evForward, opts.Uncertainty.OC, evBackward, opts.Uncertainty.OI)
 	if err != nil {
-		return nil, fmt.Errorf("core: combining forward and backward: %w", err)
+		return nil, false, fmt.Errorf("core: combining forward and backward: %w", err)
 	}
 
-	out := make([]*Explanation, 0, e.opts.K)
+	// Trim early: never allocate past min(k, len(ranked)).
+	outCap := len(ranked)
+	if opts.K < outCap {
+		outCap = opts.K
+	}
+	out := make([]*Explanation, 0, outCap)
 	for _, r := range ranked {
-		if len(out) >= e.opts.K {
+		if len(out) >= opts.K {
 			break
 		}
 		in := byID[r.Hypothesis]
@@ -334,21 +668,55 @@ func (e *Engine) Explain(configs []*Configuration, interps []*Interpretation) ([
 		}
 		return out[i].ID() < out[j].ID()
 	})
-	if e.opts.PruneEmpty {
-		out = e.pruneEmpty(out)
+	cacheable := true
+	if opts.PruneEmpty {
+		out, cacheable = e.pruneEmpty(out, e.pruneWorkers(opts, len(out)))
 	}
-	return out, nil
+	return out, cacheable, nil
+}
+
+// pruneWorkers resolves the validation-query concurrency. Unlike the
+// engine-internal fan-out, these queries call into the source's Execute —
+// possibly user-supplied endpoint code — so parallel execution requires
+// either the source declaring itself concurrency-safe
+// (wrapper.ConcurrentExecutor) or an explicit Parallelism > 1 opt-in;
+// any Parallelism <= 1 (including negative values) stays sequential for
+// unsafe sources.
+func (e *Engine) pruneWorkers(opts Options, n int) int {
+	if opts.Parallelism == 1 || !e.execSafe {
+		return 1
+	}
+	return parallelism(opts.Parallelism, n)
 }
 
 // pruneEmpty drops explanations whose execution yields no tuples and
-// renormalizes the surviving beliefs to their previous total mass.
-func (e *Engine) pruneEmpty(in []*Explanation) []*Explanation {
+// renormalizes the surviving beliefs to their previous total mass. The
+// validation queries are independent, so they run across a bounded worker
+// pool; survivors keep their original rank order. The second return is
+// false when any validation query failed (as opposed to returning zero
+// tuples) — the pruning then reflects a transient condition and the caller
+// must not cache it.
+func (e *Engine) pruneEmpty(in []*Explanation, workers int) ([]*Explanation, bool) {
+	keep := make([]bool, len(in))
+	failed := make([]bool, len(in))
+	e.forEachParallel(len(in), workers, func(i int) {
+		res, err := e.execute(in[i].Stmt)
+		failed[i] = err != nil
+		keep[i] = err == nil && len(res.Rows) > 0
+	})
+	clean := true
+	for _, f := range failed {
+		if f {
+			clean = false
+			break
+		}
+	}
+
 	kept := in[:0]
 	totalBefore, totalKept := 0.0, 0.0
-	for _, ex := range in {
+	for i, ex := range in {
 		totalBefore += ex.Belief
-		res, err := e.source.Execute(ex.Stmt)
-		if err != nil || len(res.Rows) == 0 {
+		if !keep[i] {
 			continue
 		}
 		kept = append(kept, ex)
@@ -360,10 +728,21 @@ func (e *Engine) pruneEmpty(in []*Explanation) []*Explanation {
 			ex.Belief *= scale
 		}
 	}
-	return kept
+	return kept, clean
 }
 
 // Execute runs an explanation's SQL through the source's wrapper.
 func (e *Engine) Execute(ex *Explanation) (*sql.Result, error) {
-	return e.source.Execute(ex.Stmt)
+	return e.execute(ex.Stmt)
+}
+
+// execute routes a statement to the source, serializing the calls when the
+// source did not declare Execute safe for concurrent use — the engine
+// never races a custom endpoint, even from concurrent Searches.
+func (e *Engine) execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+	if !e.execSafe {
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
+	}
+	return e.source.Execute(stmt)
 }

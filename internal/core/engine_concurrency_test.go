@@ -1,0 +1,299 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/wrapper"
+)
+
+// engineWith builds a fixture engine with custom options.
+func engineWith(t testing.TB, mutate func(*Options)) *Engine {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Thesaurus = ontology.DefaultThesaurus()
+	if mutate != nil {
+		mutate(&opts)
+	}
+	return NewEngine(wrapper.NewFullAccessSource(fixtureDB(t)), opts)
+}
+
+// TestConcurrentEngineUse hammers one engine from many goroutines mixing
+// searches, feedback training, uncertainty updates and negative feedback.
+// It exists to be run under -race (the race target of the Makefile); the
+// assertions only check basic sanity of each result.
+func TestConcurrentEngineUse(t *testing.T) {
+	eng := engineWith(t, func(o *Options) { o.PruneEmpty = true })
+	queries := []string{"dark", "drama river", "smith drama", "spielberg", "movie thriller", "person dark"}
+
+	var wg sync.WaitGroup
+	const goroutines = 8
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				switch (g + i) % 4 {
+				case 0, 1:
+					ex, err := eng.Search(queries[(g+i)%len(queries)])
+					if err != nil {
+						t.Errorf("Search: %v", err)
+						return
+					}
+					for j := 1; j < len(ex); j++ {
+						if ex[j-1].Belief < ex[j].Belief {
+							t.Error("beliefs not sorted")
+							return
+						}
+					}
+				case 2:
+					configs, err := eng.Configurations([]string{"dark", "drama"})
+					if err != nil {
+						t.Errorf("Configurations: %v", err)
+						return
+					}
+					if len(configs) > 0 {
+						eng.AddFeedback(configs[:1])
+					}
+				case 3:
+					u := DefaultUncertainty()
+					u.OC = 0.1 + 0.05*float64(g)
+					eng.SetUncertainty(u)
+					eng.AddNegativeFeedback(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestParallelInterpretationsDeterministic asserts the parallel backward
+// fan-out returns interpretations in exactly the order of the sequential
+// baseline.
+func TestParallelInterpretationsDeterministic(t *testing.T) {
+	seqEng := engineWith(t, func(o *Options) { o.Parallelism = 1 })
+	parEng := engineWith(t, func(o *Options) { o.Parallelism = 8 })
+
+	for _, kws := range [][]string{
+		{"dark"},
+		{"dark", "drama"},
+		{"smith", "drama", "2008"},
+		{"spielberg", "river", "thriller"},
+	} {
+		configs, err := seqEng.Configurations(kws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(configs) == 0 {
+			continue
+		}
+		seq, err := seqEng.Interpretations(configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := parEng.Interpretations(configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(par) {
+			t.Fatalf("keywords %v: sequential %d interpretations, parallel %d", kws, len(seq), len(par))
+		}
+		for i := range seq {
+			if seq[i].ID() != par[i].ID() {
+				t.Fatalf("keywords %v: order diverged at %d: %q vs %q", kws, i, seq[i].ID(), par[i].ID())
+			}
+		}
+	}
+}
+
+// TestParallelSearchMatchesSequential runs the full pipeline both ways.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	seqEng := engineWith(t, func(o *Options) { o.Parallelism = 1; o.QueryCacheSize = -1; o.PruneEmpty = true })
+	parEng := engineWith(t, func(o *Options) { o.Parallelism = 8; o.QueryCacheSize = -1; o.PruneEmpty = true })
+	for _, q := range []string{"dark", "drama river", "smith drama", "movie thriller"} {
+		seq, err := seqEng.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := parEng.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seq) != len(par) {
+			t.Fatalf("query %q: %d vs %d explanations", q, len(seq), len(par))
+		}
+		for i := range seq {
+			if seq[i].ID() != par[i].ID() || seq[i].SQL != par[i].SQL || seq[i].Belief != par[i].Belief {
+				t.Fatalf("query %q: result %d differs", q, i)
+			}
+		}
+	}
+}
+
+// TestQueryCacheHitsAndInvalidation checks that repeated searches are
+// served from the cache, that cached results are isolated from caller
+// mutation, and that feedback/uncertainty changes invalidate entries.
+func TestQueryCacheHitsAndInvalidation(t *testing.T) {
+	eng := engineWith(t, nil)
+	first, err := eng.Search("dark drama")
+	if err != nil || len(first) == 0 {
+		t.Fatalf("seed search failed: %v (%d results)", err, len(first))
+	}
+
+	// Mutate the caller's copy; a subsequent hit must not see it.
+	want := first[0].Belief
+	first[0].Belief = -1
+	second, err := eng.Search("dark drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second[0].Belief != want {
+		t.Fatalf("cache returned caller-mutated belief %g, want %g", second[0].Belief, want)
+	}
+	if second[0] == first[0] {
+		t.Fatal("cache hit returned aliased explanation struct")
+	}
+
+	// Uncertainty change must invalidate: beliefs shift with OI.
+	u := eng.Options().Uncertainty
+	u.OI = 0.9
+	u.OC = 0.05
+	eng.SetUncertainty(u)
+	third, err := eng.Search("dark drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third) == 0 {
+		t.Fatal("no results after uncertainty change")
+	}
+	if third[0].Belief == want && third[0].Belief == second[0].Belief {
+		// Equal beliefs alone are not proof of staleness, but an identical
+		// struct pointer is.
+		if third[0] == second[0] {
+			t.Fatal("stale cache entry served after SetUncertainty")
+		}
+	}
+
+	// Feedback must invalidate too (epoch bump).
+	configs, err := eng.Configurations([]string{"dark", "drama"})
+	if err != nil || len(configs) == 0 {
+		t.Fatalf("no configurations: %v", err)
+	}
+	eng.AddFeedback(configs[:1])
+	fourth, err := eng.Search("dark drama")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fourth) == 0 {
+		t.Fatal("no results after feedback")
+	}
+}
+
+// TestQueryCacheDisabled ensures a negative QueryCacheSize turns caching
+// off entirely.
+func TestQueryCacheDisabled(t *testing.T) {
+	eng := engineWith(t, func(o *Options) { o.QueryCacheSize = -1 })
+	if eng.queryCache != nil {
+		t.Fatal("query cache allocated despite QueryCacheSize=-1")
+	}
+	if _, err := eng.Search("dark"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSteinerMemoSharedAcrossConfigurations checks that two configurations
+// with identical terminal sets produce identical (shared) trees, and that
+// disabling the memo still works.
+func TestSteinerMemoSharedAcrossConfigurations(t *testing.T) {
+	eng := engineWith(t, nil)
+	c1 := &Configuration{
+		Keywords: []string{"x", "y"},
+		Terms: []Term{
+			{Kind: KindDomain, Table: "movie", Column: "title"},
+			{Kind: KindDomain, Table: "person", Column: "name"},
+		},
+	}
+	c2 := &Configuration{
+		Keywords: []string{"a", "b"},
+		Terms: []Term{
+			{Kind: KindDomain, Table: "person", Column: "name"},
+			{Kind: KindDomain, Table: "movie", Column: "title"},
+		},
+	}
+	in1, err := eng.Backward().TopK(c1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := eng.Backward().TopK(c2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in1) == 0 || len(in1) != len(in2) {
+		t.Fatalf("expected equal non-empty interpretation sets, got %d and %d", len(in1), len(in2))
+	}
+	for i := range in1 {
+		if in1[i].Tree != in2[i].Tree {
+			t.Fatalf("tree %d not shared via memo", i)
+		}
+	}
+
+	noMemo := engineWith(t, func(o *Options) { o.Backward.CacheSize = -1 })
+	if noMemo.Backward().treeCache != nil {
+		t.Fatal("tree cache allocated despite CacheSize=-1")
+	}
+	in3, err := noMemo.Backward().TopK(c1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in3) != len(in1) {
+		t.Fatalf("memo-less TopK returned %d interpretations, want %d", len(in3), len(in1))
+	}
+}
+
+// TestInvalidateCaches covers the manual invalidation hook for direct
+// Forward mutations.
+func TestInvalidateCaches(t *testing.T) {
+	eng := engineWith(t, nil)
+	if _, err := eng.Search("dark"); err != nil {
+		t.Fatal(err)
+	}
+	before := eng.epoch
+	eng.InvalidateCaches()
+	if eng.epoch == before {
+		t.Fatal("InvalidateCaches did not bump the epoch")
+	}
+	if _, err := eng.Search("dark"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentSearchSameQuery exercises cache races on one hot key.
+func TestConcurrentSearchSameQuery(t *testing.T) {
+	eng := engineWith(t, nil)
+	var wg sync.WaitGroup
+	results := make([][]*Explanation, 16)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ex, err := eng.Search("smith drama")
+			if err != nil {
+				t.Errorf("Search: %v", err)
+				return
+			}
+			results[g] = ex
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(results); g++ {
+		if len(results[g]) != len(results[0]) {
+			t.Fatalf("goroutine %d saw %d results, goroutine 0 saw %d", g, len(results[g]), len(results[0]))
+		}
+		for i := range results[g] {
+			if results[g][i].ID() != results[0][i].ID() {
+				t.Fatalf("goroutine %d result %d = %s, want %s", g, i, results[g][i].ID(), results[0][i].ID())
+			}
+		}
+	}
+}

@@ -5,12 +5,20 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
+	"repro/internal/cache"
 	"repro/internal/hmm"
 	"repro/internal/ontology"
 	"repro/internal/relational"
 	"repro/internal/wrapper"
 )
+
+// emissionCacheSize bounds the per-forward-module LRU of keyword→emission
+// vectors. Vectors are small (one float64 per HMM state) and the keyword
+// working set of a live system is tiny, so a few thousand entries make the
+// cache effectively unbounded in practice while still capping memory.
+const emissionCacheSize = 4096
 
 // AprioriWeights are the heuristic-rule parameters of the a-priori operating
 // mode: relative transition affinities between database terms derived from
@@ -49,11 +57,20 @@ func DefaultAprioriWeights() AprioriWeights {
 
 // Forward is the forward module: it owns the term space, the a-priori HMM
 // and the feedback HMM, and decodes keyword queries into configurations.
+//
+// Forward is safe for concurrent use and its models are copy-on-write:
+// training (AddFeedback, RetrainEM, RetrainListViterbi, SetAprioriWeights,
+// LoadFeedback) builds a new model and swaps the pointer under the write
+// lock, so a decoder that snapshots the pointers (models) works against an
+// immutable pair for its whole decode without holding any lock.
 type Forward struct {
 	source wrapper.Source
 	space  *TermSpace
 	thes   *ontology.Thesaurus
 
+	// mu guards the two model pointers and the feedback bookkeeping below.
+	// The models themselves are immutable once published (copy-on-write).
+	mu       sync.RWMutex
 	apriori  *hmm.Model
 	feedback *hmm.Model
 
@@ -63,10 +80,21 @@ type Forward struct {
 	trainedFeedback bool
 	feedbackCount   int
 	// supervisedPaths accumulates validated state sequences across feedback
-	// batches so each retraining sees the full history.
+	// batches so each retraining sees the full history. Append-only: a
+	// training pass may capture the slice under the lock and read it after
+	// release, because existing elements are never modified.
 	supervisedPaths [][]int
+	// publishedHistory is the history length the current feedback model was
+	// trained on; publishFeedback uses it to drop out-of-order publications
+	// from concurrent feedback batches (longer history wins — it is a
+	// superset).
+	publishedHistory int
 
-	emissionCache map[string][]float64
+	// emissionCache memoizes keyword→emission vectors. Emission vectors
+	// depend only on the source, schema and thesaurus — all immutable after
+	// construction — so entries never need invalidation; the sharded LRU
+	// lets concurrent decodes share them without contending on one lock.
+	emissionCache *cache.LRU[string, []float64]
 }
 
 // NewForward builds the forward module for a source. The thesaurus may be
@@ -79,7 +107,7 @@ func NewForward(src wrapper.Source, thes *ontology.Thesaurus) *Forward {
 		source:        src,
 		space:         NewTermSpace(src.Schema()),
 		thes:          thes,
-		emissionCache: make(map[string][]float64),
+		emissionCache: cache.New[string, []float64](emissionCacheSize),
 	}
 	f.apriori = f.buildAprioriHMM(DefaultAprioriWeights())
 	f.feedback = hmm.NewModel(f.space.Len())
@@ -91,7 +119,11 @@ func NewForward(src wrapper.Source, thes *ontology.Thesaurus) *Forward {
 func (f *Forward) Space() *TermSpace { return f.space }
 
 // FeedbackCount returns how many validated searches have been incorporated.
-func (f *Forward) FeedbackCount() int { return f.feedbackCount }
+func (f *Forward) FeedbackCount() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.feedbackCount
+}
 
 // buildAprioriHMM derives initial and transition distributions from the
 // schema using the heuristic rules.
@@ -197,13 +229,18 @@ func tableDistances(schema *relational.Schema) map[string]map[string]int {
 // attribute terms use ontology relatedness and name similarity against the
 // term's name and annotations.
 func (f *Forward) Emission(s int, kw string) float64 {
-	key := kw
-	cached, ok := f.emissionCache[key]
+	return f.emissions(kw)[s]
+}
+
+// emissions returns the full (immutable) emission vector for a keyword,
+// from the shared LRU or computed on miss.
+func (f *Forward) emissions(kw string) []float64 {
+	cached, ok := f.emissionCache.Get(kw)
 	if !ok {
 		cached = f.computeEmissions(kw)
-		f.emissionCache[key] = cached
+		f.emissionCache.Put(kw, cached)
 	}
-	return cached[s]
+	return cached
 }
 
 // computeEmissions builds the per-keyword emission vector. Two evidence
@@ -295,6 +332,20 @@ func (f *Forward) schemaTermScore(kw, name string, annotations []string) float64
 // keyword sequences are also kept implicitly through the supervised state
 // paths, so EM refinement in Retrain stays consistent.
 func (f *Forward) AddFeedback(validated []*Configuration) {
+	m, n := f.prepareFeedback(validated)
+	if m == nil {
+		return
+	}
+	f.publishFeedback(m, n)
+}
+
+// prepareFeedback appends the validated paths to the training history and
+// trains a replacement feedback model. The expensive re-estimation runs
+// outside any lock (on a private clone over a captured history slice), so
+// callers holding the engine lock for atomic publication don't stall
+// concurrent searches for the duration of training. Returns nil when no
+// validated configuration maps onto the term space.
+func (f *Forward) prepareFeedback(validated []*Configuration) (*hmm.Model, int) {
 	var paths [][]int
 	for _, c := range validated {
 		path := make([]int, 0, len(c.Terms))
@@ -309,14 +360,38 @@ func (f *Forward) AddFeedback(validated []*Configuration) {
 		}
 		if okAll && len(path) > 0 {
 			paths = append(paths, path)
-			f.feedbackCount++
 		}
 	}
 	if len(paths) == 0 {
+		return nil, 0
+	}
+	f.mu.Lock()
+	f.supervisedPaths = append(f.supervisedPaths, paths...)
+	history := f.supervisedPaths[:len(f.supervisedPaths):len(f.supervisedPaths)]
+	base := f.feedback
+	f.mu.Unlock()
+
+	// Copy-on-write: re-estimate into a clone of the current model;
+	// TrainSupervised derives everything from the history, so concurrent
+	// batches training from different bases still converge.
+	m := base.Clone()
+	m.TrainSupervised(history, 0.01)
+	return m, len(history)
+}
+
+// publishFeedback installs a model trained on historyLen validated paths.
+// When concurrent feedback batches race, the publication covering the
+// longer (superset) history wins and the shorter one is dropped — its
+// paths are already part of the longer history.
+func (f *Forward) publishFeedback(m *hmm.Model, historyLen int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if historyLen <= f.publishedHistory {
 		return
 	}
-	f.supervisedPaths = append(f.supervisedPaths, paths...)
-	f.feedback.TrainSupervised(f.supervisedPaths, 0.01)
+	f.feedback = m
+	f.publishedHistory = historyLen
+	f.feedbackCount = historyLen
 	f.trainedFeedback = true
 }
 
@@ -326,7 +401,16 @@ func (f *Forward) RetrainEM(keywordSeqs [][]string, maxIter int) int {
 	if len(keywordSeqs) == 0 {
 		return 0
 	}
-	it := f.feedback.TrainEM(keywordSeqs, f.Emission, maxIter, 1e-4)
+	// Train on a clone outside the lock (EM over long logs is slow); the
+	// brief swap below is the only exclusion decoders can observe.
+	f.mu.RLock()
+	base := f.feedback
+	f.mu.RUnlock()
+	m := base.Clone()
+	it := m.TrainEM(keywordSeqs, f.Emission, maxIter, 1e-4)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.feedback = m
 	if it > 0 {
 		f.trainedFeedback = true
 	}
@@ -342,7 +426,14 @@ func (f *Forward) RetrainListViterbi(keywordSeqs [][]string, k, maxIter int) int
 	if len(keywordSeqs) == 0 {
 		return 0
 	}
-	it := f.feedback.TrainListViterbi(keywordSeqs, f.Emission, k, maxIter, 1e-4)
+	f.mu.RLock()
+	base := f.feedback
+	f.mu.RUnlock()
+	m := base.Clone()
+	it := m.TrainListViterbi(keywordSeqs, f.Emission, k, maxIter, 1e-4)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.feedback = m
 	if it > 0 {
 		f.trainedFeedback = true
 	}
@@ -351,22 +442,51 @@ func (f *Forward) RetrainListViterbi(keywordSeqs [][]string, k, maxIter int) int
 
 // TopKApriori decodes the top-k configurations with the a-priori HMM.
 func (f *Forward) TopKApriori(keywords []string, k int) []*Configuration {
-	return f.decode(f.apriori, keywords, k, "a-priori")
+	ap, _ := f.models()
+	return f.decode(ap, keywords, k, "a-priori")
 }
 
 // TopKFeedback decodes the top-k configurations with the feedback HMM.
 func (f *Forward) TopKFeedback(keywords []string, k int) []*Configuration {
-	return f.decode(f.feedback, keywords, k, "feedback")
+	_, fb := f.models()
+	return f.decode(fb, keywords, k, "feedback")
 }
 
 // HasFeedback reports whether the feedback model has ever been trained.
-func (f *Forward) HasFeedback() bool { return f.trainedFeedback }
+func (f *Forward) HasFeedback() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.trainedFeedback
+}
 
+// models snapshots both HMM pointers under one read lock. The returned
+// models are immutable (training swaps pointers rather than mutating), so
+// the pair is a consistent view a caller can decode against lock-free.
+func (f *Forward) models() (apriori, feedback *hmm.Model) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.apriori, f.feedback
+}
+
+// decode runs list-Viterbi decoding against a snapshotted (immutable)
+// model; no lock is held while decoding. The emission callback memoizes
+// the current keyword's vector locally: ListViterbi asks for every state
+// of one keyword before moving to the next, so this costs one shared-LRU
+// lookup per distinct keyword instead of one per (state, keyword) pair.
 func (f *Forward) decode(m *hmm.Model, keywords []string, k int, mode string) []*Configuration {
 	if len(keywords) == 0 || k <= 0 {
 		return nil
 	}
-	paths := m.ListViterbi(keywords, f.Emission, k)
+	var curKw string
+	var curVec []float64
+	emit := func(s int, kw string) float64 {
+		if curVec == nil || kw != curKw {
+			curVec = f.emissions(kw)
+			curKw = kw
+		}
+		return curVec[s]
+	}
+	paths := m.ListViterbi(keywords, emit, k)
 	out := make([]*Configuration, 0, len(paths))
 	for _, p := range paths {
 		terms := make([]Term, len(p.States))
@@ -408,22 +528,30 @@ func (f *Forward) decode(m *hmm.Model, keywords []string, k int, mode string) []
 // SetAprioriWeights rebuilds the a-priori HMM with custom heuristic weights
 // (ablation hook for experiment E8 variants).
 func (f *Forward) SetAprioriWeights(w AprioriWeights) {
-	f.apriori = f.buildAprioriHMM(w)
+	m := f.buildAprioriHMM(w)
+	f.mu.Lock()
+	f.apriori = m
+	f.mu.Unlock()
 }
 
 // SaveFeedback serializes the trained feedback model (JSON). The state
 // space is schema-derived, so a saved model is only loadable against the
 // same schema.
 func (f *Forward) SaveFeedback(w io.Writer) error {
-	return f.feedback.Save(w)
+	_, fb := f.models()
+	return fb.Save(w) // the snapshot is immutable; serialize outside the lock
 }
 
 // LoadFeedback restores a feedback model previously saved with
 // SaveFeedback and marks the feedback mode as trained.
 func (f *Forward) LoadFeedback(r io.Reader) error {
-	if err := f.feedback.Restore(r); err != nil {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := f.feedback.Clone()
+	if err := m.Restore(r); err != nil {
 		return err
 	}
+	f.feedback = m
 	f.trainedFeedback = true
 	return nil
 }

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ontology"
+	"repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// flakySource wraps a FullAccessSource and fails Execute while `failing` is
+// set — a stand-in for a remote endpoint with a transient outage.
+type flakySource struct {
+	*wrapper.FullAccessSource
+	failing atomic.Bool
+}
+
+func (s *flakySource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+	if s.failing.Load() {
+		return nil, errors.New("transient endpoint outage")
+	}
+	return s.FullAccessSource.Execute(stmt)
+}
+
+var _ wrapper.Source = (*flakySource)(nil)
+
+// TestPruneFailureNotCached ensures a search whose PruneEmpty validation
+// queries fail is NOT stored in the query cache: once the source recovers,
+// a repeat of the same query must return the full ranking again.
+func TestPruneFailureNotCached(t *testing.T) {
+	db := fixtureDB(t)
+	src := &flakySource{FullAccessSource: wrapper.NewFullAccessSource(db)}
+	opts := DefaultOptions()
+	opts.Thesaurus = ontology.DefaultThesaurus()
+	opts.PruneEmpty = true
+	eng := NewEngine(src, opts)
+
+	const q = "smith drama"
+	healthy, err := eng.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(healthy) == 0 {
+		t.Fatal("healthy search returned no explanations")
+	}
+
+	// Different query during the outage: every validation fails, all
+	// explanations dropped. That degraded result must not be cached.
+	src.failing.Store(true)
+	const q2 = "dark drama"
+	degraded, err := eng.Search(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(degraded) != 0 {
+		t.Fatalf("expected all explanations pruned during outage, got %d", len(degraded))
+	}
+
+	src.failing.Store(false)
+	recovered, err := eng.Search(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) == 0 {
+		t.Fatal("degraded empty result was served from cache after the source recovered")
+	}
+
+	// The healthy result, by contrast, must have been cached (same pointer
+	// shape not required — just a hit-fast path returning equal content).
+	again, err := eng.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(healthy) {
+		t.Fatalf("healthy cached result changed: %d vs %d", len(again), len(healthy))
+	}
+}

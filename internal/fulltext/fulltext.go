@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 
 	"repro/internal/relational"
 )
@@ -34,6 +35,10 @@ type AttributeIndex struct {
 	docCount int     // rows with a non-NULL value
 	totalLen int     // total token count
 	normCoef float64 // setup-phase normalization coefficient
+
+	// terms caches the sorted vocabulary; addToken invalidates it whenever
+	// a new term enters the index.
+	terms []string
 }
 
 // DocCount returns the number of indexed (non-NULL) cells.
@@ -43,13 +48,34 @@ func (ai *AttributeIndex) DocCount() int { return ai.docCount }
 func (ai *AttributeIndex) VocabularySize() int { return len(ai.postings) }
 
 // Terms returns the sorted vocabulary (deterministic iteration helper).
+// The slice is cached between calls and rebuilt only after the vocabulary
+// changes; callers must treat it as read-only.
 func (ai *AttributeIndex) Terms() []string {
-	out := make([]string, 0, len(ai.postings))
-	for t := range ai.postings {
-		out = append(out, t)
+	if ai.terms == nil {
+		out := make([]string, 0, len(ai.postings))
+		for t := range ai.postings {
+			out = append(out, t)
+		}
+		sort.Strings(out)
+		ai.terms = out
 	}
-	sort.Strings(out)
-	return out
+	return ai.terms
+}
+
+// addToken records one occurrence of tok on row ri. RowOrdinals stays
+// sorted and deduplicated because BuildIndex feeds rows in order; the last
+// recorded ordinal therefore tells whether ri is already present.
+func (ai *AttributeIndex) addToken(tok string, ri int) {
+	p := ai.postings[tok]
+	if p == nil {
+		p = &Posting{}
+		ai.postings[tok] = p
+		ai.terms = nil // vocabulary changed: invalidate the sorted cache
+	}
+	p.TermFreq++
+	if n := len(p.RowOrdinals); n == 0 || p.RowOrdinals[n-1] != ri {
+		p.RowOrdinals = append(p.RowOrdinals, ri)
+	}
 }
 
 // Index is the database-wide full-text index: one AttributeIndex per text
@@ -63,10 +89,68 @@ type Index struct {
 // single tokenizer shared with the SQL MATCH operator semantics.
 func Tokenize(s string) []string {
 	var out []string
+	TokenizeEach(s, func(tok string) { out = append(out, tok) })
+	return out
+}
+
+// TokenizeEach streams the tokens of s to fn without materializing a slice.
+// It is the zero-allocation fast path behind Tokenize, index construction
+// and relevance scoring (which feeds the forward module's HMM emissions):
+// for runs of ASCII that are already lower-case, the emitted token is a
+// substring of s and no bytes are copied. Inputs containing upper-case
+// ASCII pay one strings.ToLower per token; inputs containing non-ASCII
+// runes fall back to the rune-by-rune tokenizer from their first non-ASCII
+// byte onward.
+func TokenizeEach(s string, fn func(string)) {
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if c >= utf8.RuneSelf {
+			tokenizeRunes(s[i:], fn)
+			return
+		}
+		if !isASCIIAlnum(c) {
+			i++
+			continue
+		}
+		// Token start: scan the maximal ASCII alphanumeric run.
+		j := i
+		hasUpper := false
+		for j < len(s) {
+			cj := s[j]
+			if cj >= utf8.RuneSelf {
+				// Non-ASCII continues this token: re-tokenize from the
+				// token's start with full Unicode semantics.
+				tokenizeRunes(s[i:], fn)
+				return
+			}
+			if !isASCIIAlnum(cj) {
+				break
+			}
+			if 'A' <= cj && cj <= 'Z' {
+				hasUpper = true
+			}
+			j++
+		}
+		if hasUpper {
+			fn(strings.ToLower(s[i:j]))
+		} else {
+			fn(s[i:j])
+		}
+		i = j
+	}
+}
+
+func isASCIIAlnum(c byte) bool {
+	return 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' || '0' <= c && c <= '9'
+}
+
+// tokenizeRunes is the Unicode-correct slow path of TokenizeEach.
+func tokenizeRunes(s string, fn func(string)) {
 	var cur strings.Builder
 	flush := func() {
 		if cur.Len() > 0 {
-			out = append(out, cur.String())
+			fn(cur.String())
 			cur.Reset()
 		}
 	}
@@ -78,7 +162,6 @@ func Tokenize(s string) []string {
 		}
 	}
 	flush()
-	return out
 }
 
 // BuildIndex scans every table of the database and indexes every column.
@@ -100,24 +183,14 @@ func BuildIndex(db *relational.Database) *Index {
 				if v.IsNull() {
 					continue
 				}
-				toks := Tokenize(v.AsString())
-				if len(toks) == 0 {
-					continue
-				}
-				ai.docCount++
-				ai.totalLen += len(toks)
-				seen := make(map[string]bool, len(toks))
-				for _, tok := range toks {
-					p := ai.postings[tok]
-					if p == nil {
-						p = &Posting{}
-						ai.postings[tok] = p
-					}
-					p.TermFreq++
-					if !seen[tok] {
-						p.RowOrdinals = append(p.RowOrdinals, ri)
-						seen[tok] = true
-					}
+				n := 0
+				TokenizeEach(v.AsString(), func(tok string) {
+					n++
+					ai.addToken(tok, ri)
+				})
+				if n > 0 {
+					ai.docCount++
+					ai.totalLen += n
 				}
 			}
 			ai.computeNorm()
@@ -170,19 +243,30 @@ func (ix *Index) Score(table, column, keyword string) float64 {
 	return ai.Score(keyword)
 }
 
-// Score is the per-attribute normalized relevance of keyword.
+// Score is the per-attribute normalized relevance of keyword. This is the
+// hot inner loop of emission-vector construction (one call per attribute
+// per keyword), so it streams tokens instead of allocating a slice.
 func (ai *AttributeIndex) Score(keyword string) float64 {
-	toks := Tokenize(keyword)
-	if len(toks) == 0 || ai.normCoef == 0 {
+	if ai.normCoef == 0 {
 		return 0
 	}
 	score := 1.0
-	for _, t := range toks {
+	n := 0
+	zero := false
+	TokenizeEach(keyword, func(t string) {
+		n++
+		if zero {
+			return
+		}
 		s := ai.rawScore(t) / ai.normCoef
 		if s == 0 {
-			return 0
+			zero = true
+			return
 		}
 		score *= s
+	})
+	if n == 0 || zero {
+		return 0
 	}
 	return score
 }

@@ -1,0 +1,101 @@
+package fulltext
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestTokenizeFastPathMatchesSlowPath pins the ASCII fast path to the
+// Unicode reference tokenizer for inputs spanning every branch: pure
+// lower-case, upper-case, digits, separators, non-ASCII at token start and
+// mid-token.
+func TestTokenizeFastPathMatchesSlowPath(t *testing.T) {
+	cases := []string{
+		"",
+		"   ",
+		"hello",
+		"hello world",
+		"Hello World",
+		"UPPER lower MiXeD",
+		"the dark night 2008",
+		"comma,separated;stuff!",
+		"trailing space ",
+		" leading",
+		"a",
+		"1994",
+		"café crème",      // non-ASCII inside tokens
+		"naïve approach",  // non-ASCII mid-token after ASCII start
+		"ASCII then café", // fast path handing over to slow path
+		"ÉCOLE",           // upper-case non-ASCII
+		"日本語 text",        // non-Latin script
+		"x²y",             // superscript is not a letter/digit per unicode
+		"don't stop",      // apostrophe splits
+		"a-b_c.d",         // punctuation separators
+	}
+	for _, s := range cases {
+		var slow []string
+		tokenizeRunes(s, func(tok string) { slow = append(slow, tok) })
+		fast := Tokenize(s)
+		if !reflect.DeepEqual(fast, slow) {
+			t.Errorf("Tokenize(%q) = %v, slow path = %v", s, fast, slow)
+		}
+	}
+}
+
+// TestTokenizeFastPathZeroAlloc asserts the lower-case ASCII path allocates
+// only the closure bookkeeping, never per-token copies.
+func TestTokenizeFastPathZeroAlloc(t *testing.T) {
+	s := "silent river drama 1994"
+	n := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		n = 0
+		TokenizeEach(s, func(tok string) { n++ })
+	})
+	if n != 4 {
+		t.Fatalf("token count = %d, want 4", n)
+	}
+	if allocs > 0 {
+		t.Errorf("TokenizeEach allocated %.1f times per run on lower-case ASCII; want 0", allocs)
+	}
+}
+
+func TestTermsCachedAndInvalidated(t *testing.T) {
+	ai := &AttributeIndex{Table: "t", Column: "c", postings: map[string]*Posting{}}
+	ai.addToken("beta", 0)
+	ai.addToken("alpha", 0)
+	got := ai.Terms()
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("Terms = %v, want [alpha beta]", got)
+	}
+	// Cached: same backing array on a second call.
+	again := ai.Terms()
+	if &again[0] != &got[0] {
+		t.Error("Terms rebuilt despite unchanged vocabulary")
+	}
+	// New term invalidates.
+	ai.addToken("gamma", 1)
+	after := ai.Terms()
+	if len(after) != 3 || after[2] != "gamma" {
+		t.Fatalf("Terms after mutation = %v, want [alpha beta gamma]", after)
+	}
+	// Repeat occurrences of a known term must NOT invalidate.
+	before := ai.Terms()
+	ai.addToken("gamma", 2)
+	if &ai.Terms()[0] != &before[0] {
+		t.Error("Terms rebuilt on a non-vocabulary mutation")
+	}
+}
+
+func TestAddTokenRowOrdinalsDeduped(t *testing.T) {
+	ai := &AttributeIndex{Table: "t", Column: "c", postings: map[string]*Posting{}}
+	ai.addToken("dup", 3)
+	ai.addToken("dup", 3)
+	ai.addToken("dup", 7)
+	p := ai.postings["dup"]
+	if p.TermFreq != 3 {
+		t.Fatalf("TermFreq = %d, want 3", p.TermFreq)
+	}
+	if len(p.RowOrdinals) != 2 || p.RowOrdinals[0] != 3 || p.RowOrdinals[1] != 7 {
+		t.Fatalf("RowOrdinals = %v, want [3 7]", p.RowOrdinals)
+	}
+}

@@ -144,6 +144,18 @@ func (s *Schema) Tables() []*TableSchema {
 	return out
 }
 
+// CompilePatterns eagerly compiles every column's value-pattern regexp.
+// MatchesPattern compiles lazily on first use, which would be a data race
+// once relevance queries run concurrently; sources that serve concurrent
+// traffic call this once during setup so later calls only read.
+func (s *Schema) CompilePatterns() {
+	for _, t := range s.Tables() {
+		for i := range t.Columns {
+			t.Columns[i].MatchesPattern("")
+		}
+	}
+}
+
 // TableNames returns the table names in insertion order.
 func (s *Schema) TableNames() []string {
 	out := make([]string, 0, len(s.order))

@@ -2,6 +2,7 @@ package relational
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Row is one tuple; cells are positionally aligned with the table schema.
@@ -15,6 +16,13 @@ func (r Row) Clone() Row {
 }
 
 // Table is a populated relation: schema plus rows plus maintained indexes.
+//
+// Population (Insert) is a distinct phase: it must not run concurrently
+// with any other table access, matching how the generators and loaders use
+// it. After population, all read paths are safe to share between
+// goroutines; the one lazily-written structure, colIndexes, is guarded by
+// idxMu so concurrent readers can trigger index builds (EnsureIndex,
+// Lookup, DistinctCount) without racing.
 type Table struct {
 	Schema *TableSchema
 
@@ -22,6 +30,8 @@ type Table struct {
 
 	// pkIndex maps PK value key -> row ordinal (unique).
 	pkIndex map[string]int
+	// idxMu guards colIndexes (lazily built under concurrent readers).
+	idxMu sync.Mutex
 	// colIndexes maps column ordinal -> (value key -> row ordinals);
 	// maintained lazily for FK columns and on demand.
 	colIndexes map[int]map[string][]int
@@ -85,6 +95,10 @@ func (t *Table) Insert(row Row) error {
 	}
 	ord := len(t.rows)
 	t.rows = append(t.rows, coerced)
+	// No idxMu here: Insert is population-phase only (see the type doc) and
+	// never runs concurrently with readers, so locking just the index
+	// update would suggest a safety the unguarded rows/pkIndex writes above
+	// cannot provide.
 	for colOrd, idx := range t.colIndexes {
 		k := coerced[colOrd].Key()
 		idx[k] = append(idx[k], ord)
@@ -112,12 +126,16 @@ func (t *Table) LookupPK(v Value) (Row, bool) {
 }
 
 // EnsureIndex builds (if needed) and returns the equality index for the
-// named column: value key -> row ordinals.
+// named column: value key -> row ordinals. Safe for concurrent use with
+// other readers after population; callers must treat the returned map as
+// read-only.
 func (t *Table) EnsureIndex(column string) (map[string][]int, error) {
 	ord := t.Schema.ColumnIndex(column)
 	if ord < 0 {
 		return nil, fmt.Errorf("relational: table %s has no column %s", t.Schema.Name, column)
 	}
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
 	if idx, ok := t.colIndexes[ord]; ok {
 		return idx, nil
 	}

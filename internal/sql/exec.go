@@ -1,7 +1,10 @@
 package sql
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/maphash"
+	"math"
 	"sort"
 	"strings"
 
@@ -164,14 +167,23 @@ func Execute(db *relational.Database, stmt *SelectStmt) (*Result, error) {
 	}
 
 	if stmt.Distinct {
-		seen := make(map[string]bool, len(out))
+		// Hash-keyed dedup: bucket by uint64 hash, verify with value
+		// comparison on collision.
+		seen := make(map[uint64][]relational.Row, len(out))
 		dedup := out[:0]
 		for _, o := range out {
-			k := rowKey(o.proj)
-			if seen[k] {
+			k := hashValues(o.proj)
+			dup := false
+			for _, prev := range seen[k] {
+				if valuesEqual(prev, o.proj) {
+					dup = true
+					break
+				}
+			}
+			if dup {
 				continue
 			}
-			seen[k] = true
+			seen[k] = append(seen[k], o.proj)
 			dedup = append(dedup, o)
 		}
 		out = dedup
@@ -220,13 +232,70 @@ func Run(db *relational.Database, src string) (*Result, error) {
 	return Execute(db, stmt)
 }
 
-func rowKey(r relational.Row) string {
-	var b strings.Builder
-	for _, v := range r {
-		b.WriteString(v.Key())
-		b.WriteByte('\x1f')
+// keySeed is the process-wide seed for the executor's hash keys (join
+// build sides, GROUP BY buckets, DISTINCT sets). A single seed keeps hashes
+// comparable across relations within one process.
+var keySeed = maphash.MakeSeed()
+
+// hashValue folds one value into h using an encoding aligned with
+// Value.Key() equality: integral floats hash like ints (3 joins 3.0),
+// NULLs collapse to one tag, and a type tag keeps 1, "1" and true distinct.
+func hashValue(h *maphash.Hash, v relational.Value) {
+	var buf [9]byte
+	switch v.Type() {
+	case relational.TypeNull:
+		h.WriteByte(0)
+	case relational.TypeInt:
+		buf[0] = 'i'
+		binary.LittleEndian.PutUint64(buf[1:], uint64(v.AsInt()))
+		h.Write(buf[:])
+	case relational.TypeFloat:
+		f := v.AsFloat()
+		if f == float64(int64(f)) {
+			buf[0] = 'i'
+			binary.LittleEndian.PutUint64(buf[1:], uint64(int64(f)))
+		} else {
+			buf[0] = 'f'
+			binary.LittleEndian.PutUint64(buf[1:], math.Float64bits(f))
+		}
+		h.Write(buf[:])
+	case relational.TypeString:
+		h.WriteByte('s')
+		h.WriteString(v.AsString())
+	case relational.TypeBool:
+		if v.AsBool() {
+			h.WriteByte(2)
+		} else {
+			h.WriteByte(3)
+		}
 	}
-	return b.String()
+	h.WriteByte(0x1f)
+}
+
+// hashValues returns the combined hash of a value sequence.
+func hashValues(vs []relational.Value) uint64 {
+	var h maphash.Hash
+	h.SetSeed(keySeed)
+	for _, v := range vs {
+		hashValue(&h, v)
+	}
+	return h.Sum64()
+}
+
+// valuesEqual reports key equality of two value sequences under the same
+// semantics the old string keys encoded: NULLs compare equal to each other
+// (GROUP BY / DISTINCT semantics) and numerics compare by magnitude. It is
+// the collision fallback behind every uint64 hash key.
+func valuesEqual(a, b []relational.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if relational.Compare(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func buildFrom(db *relational.Database, stmt *SelectStmt) (*relation, error) {
@@ -334,8 +403,10 @@ func join(left, right *relation, jc JoinClause) (*relation, error) {
 	}
 
 	if len(lk) > 0 {
-		// Hash join: build on the right side.
-		build := make(map[string][]int, len(right.rows))
+		// Hash join: build on the right side with uint64 keys; equality of
+		// the key columns is re-verified per candidate, so hash collisions
+		// cannot produce spurious matches.
+		build := make(map[uint64][]int, len(right.rows))
 		for i, rrow := range right.rows {
 			k, null := joinKey(rrow, rk)
 			if null {
@@ -348,6 +419,9 @@ func join(left, right *relation, jc JoinClause) (*relation, error) {
 			matched := false
 			if !null {
 				for _, ri := range build[k] {
+					if !joinKeysEqual(lrow, lk, right.rows[ri], rk) {
+						continue
+					}
 					cand := make(relational.Row, 0, len(lrow)+len(right.rows[ri]))
 					cand = append(cand, lrow...)
 					cand = append(cand, right.rows[ri]...)
@@ -391,16 +465,29 @@ func join(left, right *relation, jc JoinClause) (*relation, error) {
 	return out, nil
 }
 
-func joinKey(row relational.Row, ords []int) (string, bool) {
-	var b strings.Builder
+// joinKey hashes the join-key columns of a row; the bool reports a NULL key
+// (NULL never joins).
+func joinKey(row relational.Row, ords []int) (uint64, bool) {
+	var h maphash.Hash
+	h.SetSeed(keySeed)
 	for _, o := range ords {
 		if row[o].IsNull() {
-			return "", true
+			return 0, true
 		}
-		b.WriteString(row[o].Key())
-		b.WriteByte('\x1f')
+		hashValue(&h, row[o])
 	}
-	return b.String(), false
+	return h.Sum64(), false
+}
+
+// joinKeysEqual verifies that the key columns of a probe row and a build row
+// really are equal (collision fallback for the uint64 join keys).
+func joinKeysEqual(lrow relational.Row, lk []int, rrow relational.Row, rk []int) bool {
+	for i := range lk {
+		if relational.Compare(lrow[lk[i]], rrow[rk[i]]) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 func nullRow(n int) relational.Row {
@@ -455,32 +542,40 @@ func groupRows(rel *relation, by []Expr) ([]*group, error) {
 		// so COUNT(*) over an empty input returns 0).
 		return []*group{{rows: rel.rows}}, nil
 	}
-	idx := make(map[string]*group)
-	var order []string
+	// Hash-keyed grouping: buckets hold the evaluated key values alongside
+	// the group, so a collision degrades to a short equality scan instead of
+	// a wrong merge. First-appearance order is preserved.
+	type slot struct {
+		keys []relational.Value
+		g    *group
+	}
+	idx := make(map[uint64][]*slot)
+	var order []*group
+	keyVals := make([]relational.Value, len(by))
 	for _, row := range rel.rows {
-		var kb strings.Builder
-		for _, e := range by {
+		for i, e := range by {
 			v, err := eval(rel, row, e)
 			if err != nil {
 				return nil, err
 			}
-			kb.WriteString(v.Key())
-			kb.WriteByte('\x1f')
+			keyVals[i] = v
 		}
-		k := kb.String()
-		g, ok := idx[k]
-		if !ok {
+		k := hashValues(keyVals)
+		var g *group
+		for _, s := range idx[k] {
+			if valuesEqual(s.keys, keyVals) {
+				g = s.g
+				break
+			}
+		}
+		if g == nil {
 			g = &group{}
-			idx[k] = g
-			order = append(order, k)
+			idx[k] = append(idx[k], &slot{keys: append([]relational.Value(nil), keyVals...), g: g})
+			order = append(order, g)
 		}
 		g.rows = append(g.rows, row)
 	}
-	out := make([]*group, len(order))
-	for i, k := range order {
-		out[i] = idx[k]
-	}
-	return out, nil
+	return order, nil
 }
 
 func projectionColumns(rel *relation, stmt *SelectStmt) []string {

@@ -1,0 +1,126 @@
+package sql
+
+import (
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// TestHashValueKeyCompatibility pins the uint64 hash keys to the equality
+// semantics the old string keys encoded: integral floats hash like ints,
+// NULLs collapse, and type tags keep 1, "1" and true apart.
+func TestHashValueKeyCompatibility(t *testing.T) {
+	I, F, S, B := relational.Int, relational.Float, relational.String_, relational.Bool
+	equal := [][2]relational.Value{
+		{I(3), F(3.0)}, // numeric join compatibility
+		{relational.Null(), relational.Null()},
+		{S("abc"), S("abc")},
+		{B(true), B(true)},
+		{F(2.5), F(2.5)},
+	}
+	for _, pair := range equal {
+		ha := hashValues([]relational.Value{pair[0]})
+		hb := hashValues([]relational.Value{pair[1]})
+		if ha != hb {
+			t.Errorf("hash(%v) != hash(%v) but values are key-equal", pair[0], pair[1])
+		}
+		if !valuesEqual([]relational.Value{pair[0]}, []relational.Value{pair[1]}) {
+			t.Errorf("valuesEqual(%v, %v) = false, want true", pair[0], pair[1])
+		}
+	}
+	distinct := [][2]relational.Value{
+		{I(1), S("1")},
+		{I(1), B(true)},
+		{S("true"), B(true)},
+		{F(2.5), S("2.5")},
+		{I(0), relational.Null()},
+	}
+	for _, pair := range distinct {
+		if valuesEqual([]relational.Value{pair[0]}, []relational.Value{pair[1]}) {
+			t.Errorf("valuesEqual(%v, %v) = true, want false", pair[0], pair[1])
+		}
+	}
+}
+
+// TestJoinIntFloatCompatibility joins an INT key against a FLOAT key with
+// integral values — the coercion case the hash encoding must preserve.
+func TestJoinIntFloatCompatibility(t *testing.T) {
+	s := relational.NewSchema()
+	for _, ts := range []*relational.TableSchema{
+		{
+			Name: "a",
+			Columns: []relational.Column{
+				{Name: "id", Type: relational.TypeInt, NotNull: true},
+				{Name: "tag", Type: relational.TypeString},
+			},
+			PrimaryKey: "id",
+		},
+		{
+			Name: "b",
+			Columns: []relational.Column{
+				{Name: "ref", Type: relational.TypeFloat, NotNull: true},
+				{Name: "val", Type: relational.TypeString},
+			},
+		},
+	} {
+		if err := s.AddTable(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := relational.MustNewDatabase("hk", s)
+	I, F, S := relational.Int, relational.Float, relational.String_
+	for _, r := range []relational.Row{{I(1), S("one")}, {I(2), S("two")}, {I(3), S("three")}} {
+		if err := db.Insert("a", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range []relational.Row{{F(1.0), S("x")}, {F(2.0), S("y")}, {F(2.5), S("z")}} {
+		if err := db.Insert("b", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Run(db, "SELECT a.tag, b.val FROM a JOIN b ON a.id = b.ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("join returned %d rows, want 2 (int 1,2 matching float 1.0,2.0): %v", len(res.Rows), res.Rows)
+	}
+}
+
+// TestGroupByNullsCollapse ensures NULL group keys still land in one group
+// under the hash-keyed grouping, matching SQL GROUP BY semantics.
+func TestGroupByNullsCollapse(t *testing.T) {
+	db := testDB(t)
+	res, err := Run(db, "SELECT year, COUNT(*) AS n FROM movie GROUP BY year ORDER BY n DESC, year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fixture has one NULL-year movie; add two more. All three must
+	// collapse into the same group without creating new groups.
+	if err := db.Insert("movie", relational.Row{relational.Int(100), relational.String_("null year a"), relational.Null(), relational.Null()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("movie", relational.Row{relational.Int(101), relational.String_("null year b"), relational.Null(), relational.Null()}); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(db, "SELECT year, COUNT(*) AS n FROM movie GROUP BY year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != len(res.Rows) {
+		t.Fatalf("NULL years split into extra groups: before %d groups, after %d", len(res.Rows), len(res2.Rows))
+	}
+	foundNull := false
+	for _, r := range res2.Rows {
+		if r[0].IsNull() {
+			if n := r[1].AsInt(); n != 3 {
+				t.Fatalf("NULL group count = %d, want 3", n)
+			}
+			foundNull = true
+		}
+	}
+	if !foundNull {
+		t.Fatal("no NULL group in result")
+	}
+}

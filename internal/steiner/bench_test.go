@@ -1,0 +1,32 @@
+package steiner
+
+import "testing"
+
+// grid builds a 4x4 grid graph with diagonal shortcuts.
+func benchGraph() *Graph {
+	g := NewGraph()
+	name := func(r, c int) string { return string(rune('a'+r)) + string(rune('0'+c)) }
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if c+1 < 4 {
+				g.AddEdge(name(r, c), name(r, c+1), 1.0+float64(r)*0.1, "fk")
+			}
+			if r+1 < 4 {
+				g.AddEdge(name(r, c), name(r+1, c), 1.0+float64(c)*0.1, "fk")
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkSteinerTopKCold(b *testing.B) {
+	g := benchGraph()
+	terms := []string{"a0", "d3", "a3", "d0"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.TopK(terms, 10, Options{Dedup: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -20,7 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Graph is a mutable undirected weighted multigraph with string-labeled
@@ -100,6 +100,13 @@ type Tree struct {
 	Root  int
 	Edges []Edge // canonical: From < To, sorted
 	Cost  float64
+
+	// sig memoizes Signature. It is computed once per tree: TopK fills it
+	// before a tree is emitted (and therefore before the tree can be shared
+	// across goroutines); trees built by hand compute it lazily on first
+	// use, which is safe as long as the first Signature call happens before
+	// the tree is published to other goroutines.
+	sig string
 }
 
 // Vertices returns the sorted vertex ids covered by the tree (root included
@@ -118,13 +125,24 @@ func (t *Tree) Vertices() []int {
 	return out
 }
 
-// Signature is a canonical string identifying the tree's edge set.
+// Signature is a canonical string identifying the tree's edge set. The
+// result is memoized on the tree (the edge set is immutable once built), so
+// repeated calls — dedup checks, interpretation IDs, cache keys — pay the
+// formatting cost only once.
 func (t *Tree) Signature() string {
-	parts := make([]string, len(t.Edges))
-	for i, e := range t.Edges {
-		parts[i] = fmt.Sprintf("%d-%d", e.From, e.To)
+	if t.sig == "" && len(t.Edges) > 0 {
+		buf := make([]byte, 0, 8*len(t.Edges))
+		for i, e := range t.Edges {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = strconv.AppendInt(buf, int64(e.From), 10)
+			buf = append(buf, '-')
+			buf = strconv.AppendInt(buf, int64(e.To), 10)
+		}
+		t.sig = string(buf)
 	}
-	return strings.Join(parts, ",")
+	return t.sig
 }
 
 // ContainsAll reports whether the tree covers every given vertex.
@@ -147,7 +165,7 @@ func (t *Tree) IsSubtreeOf(other *Tree) bool {
 	if len(t.Edges) > len(other.Edges) {
 		return false
 	}
-	set := make(map[string]bool, len(other.Edges))
+	set := make(map[uint64]bool, len(other.Edges))
 	for _, e := range other.Edges {
 		set[edgeKey(e)] = true
 	}
@@ -159,12 +177,15 @@ func (t *Tree) IsSubtreeOf(other *Tree) bool {
 	return true
 }
 
-func edgeKey(e Edge) string {
+// edgeKey packs an undirected edge into one uint64 (vertex ids are dense
+// small ints), replacing the fmt.Sprintf string keys that dominated the
+// merge/dedup profile.
+func edgeKey(e Edge) uint64 {
 	f, t := e.From, e.To
 	if f > t {
 		f, t = t, f
 	}
-	return fmt.Sprintf("%d-%d", f, t)
+	return uint64(uint32(f))<<32 | uint64(uint32(t))
 }
 
 // Options tunes TopK.
@@ -360,7 +381,7 @@ func extendTree(t *Tree, e Edge) *Tree {
 // mergeTrees unions two trees rooted at the same vertex; fails when their
 // edge sets overlap or the union would contain a cycle.
 func mergeTrees(a, b *Tree) (*Tree, bool) {
-	set := make(map[string]bool, len(a.Edges))
+	set := make(map[uint64]bool, len(a.Edges))
 	for _, e := range a.Edges {
 		set[edgeKey(e)] = true
 	}

@@ -1,0 +1,48 @@
+package wrapper
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEdgeDistanceConcurrent exercises the documented concurrency safety of
+// FullAccessSource: many goroutines requesting uncached edge statistics at
+// once (which lazily builds column indexes underneath). Run under -race.
+func TestEdgeDistanceConcurrent(t *testing.T) {
+	src := NewFullAccessSource(fixtureDB(t))
+	edges := src.Schema().JoinEdges()
+	if len(edges) == 0 {
+		t.Fatal("fixture has no join edges")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				for _, e := range edges {
+					if _, err := src.EdgeDistance(e); err != nil {
+						t.Errorf("EdgeDistance(%v): %v", e, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Cached and fresh values must agree.
+	for _, e := range edges {
+		d1, err := src.EdgeDistance(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := NewFullAccessSource(src.Database()).EdgeDistance(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d1 != d2 {
+			t.Fatalf("edge %v: cached %g != fresh %g", e, d1, d2)
+		}
+	}
+}

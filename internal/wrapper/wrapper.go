@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/fulltext"
 	"repro/internal/mi"
@@ -28,6 +29,15 @@ import (
 // ErrNoInstanceAccess is returned by instance-statistics methods of sources
 // that cannot see the data.
 var ErrNoInstanceAccess = errors.New("wrapper: source has no instance access")
+
+// ConcurrentExecutor is an optional marker interface for sources whose
+// Execute method is safe to invoke from multiple goroutines at once. The
+// engine only parallelizes validation queries (PruneEmpty) by default over
+// sources that report true; other sources get sequential execution unless
+// the engine's Parallelism option explicitly opts in.
+type ConcurrentExecutor interface {
+	ExecutesConcurrently() bool
+}
 
 // Source is the contract between QUEST and a data source.
 type Source interface {
@@ -51,11 +61,14 @@ type Source interface {
 }
 
 // FullAccessSource exposes an owned relational database with full-text
-// indexes built in the setup phase.
+// indexes built in the setup phase. It is safe for concurrent use: the
+// database and index are read-only after setup and the statistics cache is
+// mutex-guarded.
 type FullAccessSource struct {
 	db    *relational.Database
 	index *fulltext.Index
 
+	edgeMu    sync.Mutex
 	edgeCache map[string]float64
 }
 
@@ -100,10 +113,12 @@ func (s *FullAccessSource) HasInstanceAccess() bool { return true }
 // that lead to actual tuples.
 func (s *FullAccessSource) EdgeDistance(e relational.JoinEdge) (float64, error) {
 	key := e.FromTable + "." + e.FromColumn + ">" + e.ToTable + "." + e.ToColumn
-	if d, ok := s.edgeCache[key]; ok {
+	s.edgeMu.Lock()
+	d, ok := s.edgeCache[key]
+	s.edgeMu.Unlock()
+	if ok {
 		return d, nil
 	}
-	var d float64
 	if strings.EqualFold(e.FromTable, e.ToTable) {
 		ps, err := mi.IntraTable(s.db.Table(e.FromTable), e.FromColumn, e.ToColumn)
 		if err != nil {
@@ -118,7 +133,9 @@ func (s *FullAccessSource) EdgeDistance(e relational.JoinEdge) (float64, error) 
 		}
 		d = 1 - q
 	}
+	s.edgeMu.Lock()
 	s.edgeCache[key] = d
+	s.edgeMu.Unlock()
 	return d, nil
 }
 
@@ -127,8 +144,15 @@ func (s *FullAccessSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
 	return sql.Execute(s.db, stmt)
 }
 
+// ExecutesConcurrently implements ConcurrentExecutor: the in-memory SQL
+// executor only reads the (post-population) database.
+func (s *FullAccessSource) ExecutesConcurrently() bool { return true }
+
 // Endpoint executes SQL on behalf of a hidden source: the only way a
 // MetadataSource can touch data, mirroring a web form or service endpoint.
+// The engine invokes the endpoint sequentially unless the source was marked
+// concurrency-safe (SetConcurrentSafe, before engine construction) — mark
+// it safe to let PruneEmpty validation fan out.
 type Endpoint func(stmt *sql.SelectStmt) (*sql.Result, error)
 
 // MetadataSource sees only schema metadata and an ontology. Keyword
@@ -140,7 +164,21 @@ type MetadataSource struct {
 	schema   *relational.Schema
 	thes     *ontology.Thesaurus
 	endpoint Endpoint
+	// concurrentSafe declares the endpoint tolerates concurrent calls;
+	// false (the default) keeps the engine's validation queries sequential.
+	concurrentSafe bool
 }
+
+// SetConcurrentSafe declares whether the endpoint may be invoked from
+// multiple goroutines at once. Leave false (the default) for endpoints
+// with shared mutable state; built-in wrappers over the in-memory engine
+// set it true. The engine reads the flag once at construction, so call
+// this before building an engine over the source — later calls have no
+// effect on existing engines.
+func (s *MetadataSource) SetConcurrentSafe(on bool) { s.concurrentSafe = on }
+
+// ExecutesConcurrently implements ConcurrentExecutor.
+func (s *MetadataSource) ExecutesConcurrently() bool { return s.concurrentSafe }
 
 // NewMetadataSource builds a metadata-only source. The endpoint may be nil,
 // in which case Execute fails (pure planning mode).
@@ -148,6 +186,10 @@ func NewMetadataSource(name string, schema *relational.Schema, thes *ontology.Th
 	if thes == nil {
 		thes = ontology.NewThesaurus()
 	}
+	// Compile value patterns now: AttributeScore may be called from many
+	// goroutines at once, and lazy compilation inside MatchesPattern would
+	// race.
+	schema.CompilePatterns()
 	return &MetadataSource{name: name, schema: schema, thes: thes, endpoint: endpoint}
 }
 
@@ -265,8 +307,10 @@ func (s *MetadataSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
 // execute queries through the endpoint, but cannot index or scan the data.
 // Used by the deep-web example and experiment E6.
 func HiddenSourceFor(db *relational.Database, thes *ontology.Thesaurus) *MetadataSource {
-	return NewMetadataSource(db.Name+"-hidden", db.Schema, thes,
+	s := NewMetadataSource(db.Name+"-hidden", db.Schema, thes,
 		func(stmt *sql.SelectStmt) (*sql.Result, error) {
 			return sql.Execute(db, stmt)
 		})
+	s.SetConcurrentSafe(true) // endpoint is the read-only in-memory executor
+	return s
 }

@@ -20,6 +20,35 @@
 // (metadata-only wrapper), feedback training, uncertainty tuning, dataset
 // generators and the relational engine types required to define custom
 // schemas.
+//
+// # Performance
+//
+// Engine is safe for concurrent use: any number of goroutines may call
+// Search while others train feedback or tune uncertainties. The fan-out
+// points of Algorithm 1 — per-terminal-set Steiner decoding and candidate
+// SQL validation under PruneEmpty — run across a bounded worker pool sized
+// by Options.Parallelism (default runtime.GOMAXPROCS(0)) and shared by all
+// concurrent calls; result order is identical to the sequential path, so
+// parallelism is purely a latency knob. Validation queries call into the
+// source, so they only fan out when the source declares Execute
+// concurrency-safe (built-in sources do) or Parallelism explicitly opts
+// in.
+//
+// Two engine-level caches serve repeat work. A query cache
+// (Options.QueryCacheSize) maps a search's tokenized keywords to its final
+// ranked explanations, and the backward module memoizes Steiner
+// decodings per terminal set (Options.Backward.CacheSize); both are
+// mutex-sharded LRUs safe under concurrent traffic.
+//
+// Cache staleness is managed with an epoch counter rather than explicit
+// invalidation: every query-cache key embeds the engine's current epoch,
+// and every state change that could alter rankings — AddFeedback,
+// AddNegativeFeedback, SetUncertainty, AutoAdapt — bumps it, making all
+// earlier entries unreachable (they age out of the LRU naturally). The
+// Steiner memo never goes stale because the schema graph is immutable
+// after setup. Mutating the forward module directly (for example
+// Engine.Forward().RetrainEM) bypasses the engine's bookkeeping; call
+// Engine.InvalidateCaches afterwards.
 package quest
 
 import (
