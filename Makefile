@@ -1,10 +1,11 @@
 # Build/test/bench entry points. `make ci` is the gate every change must
 # pass; `make bench` + `make snapshot` track the perf trajectory.
 
-GO      ?= go
-PKGS    ?= ./...
-BENCH   ?= .
-SEED    ?= 42
+GO       ?= go
+PKGS     ?= ./...
+BENCH    ?= .
+SEED     ?= 42
+SNAPSHOT ?= BENCH_pr2.json
 
 .PHONY: all build test race vet bench snapshot ci clean
 
@@ -26,9 +27,12 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .
 
-# Machine-readable experiment snapshot (BENCH_<seed>.json) via questbench.
+# Machine-readable experiment snapshot via questbench: all experiment
+# tables including the E9 executor/planner and prune-path benchmarks.
+# Committed as BENCH_pr2.json so the perf trajectory is diffable per PR;
+# override SNAPSHOT to write elsewhere.
 snapshot:
-	$(GO) run ./cmd/questbench -seed $(SEED) -json BENCH_$(SEED).json
+	$(GO) run ./cmd/questbench -seed $(SEED) -json $(SNAPSHOT)
 
 ci: build vet test race
 

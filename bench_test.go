@@ -15,6 +15,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/eval"
 	"repro/internal/fulltext"
+	"repro/internal/sql"
 	"repro/internal/wrapper"
 )
 
@@ -663,4 +664,131 @@ func BenchmarkComponent_Tokenize(b *testing.B) {
 		fulltext.TokenizeEach(inputs[i%len(inputs)], func(string) { n++ })
 	}
 	_ = n
+}
+
+// ---------------------------------------------------------------------------
+// Planner benchmarks (PR 2 scorecard): indexed selection and pushed-down
+// joins vs the retained full-scan interpreter, and the existence-only
+// validation path vs materializing execution as results grow.
+
+func mustParseSQL(b *testing.B, src string) *sql.SelectStmt {
+	b.Helper()
+	stmt, err := quest.ParseSQL(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stmt
+}
+
+// BenchmarkComponent_SQLIndexedSelection: point equality on the primary
+// key — the planner probes the hash index, the reference interprets the
+// predicate over a full scan.
+func BenchmarkComponent_SQLIndexedSelection(b *testing.B) {
+	db := datasets.IMDB(datasets.Config{Seed: 42, Scale: 16})
+	stmt := mustParseSQL(b, "SELECT title FROM movie WHERE movie_id = 100")
+	b.Run("planned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sql.Execute(db, stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sql.ExecuteFullScan(db, stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkComponent_SQLJoinPushdown: a three-way join whose single-table
+// MATCH predicate the planner evaluates below the joins, against the
+// reference that joins everything first and filters last.
+func BenchmarkComponent_SQLJoinPushdown(b *testing.B) {
+	db := datasets.IMDB(datasets.Config{Seed: 42, Scale: 4})
+	stmt := mustParseSQL(b, `SELECT DISTINCT person.name, movie.title FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		JOIN movie ON movie.movie_id = cast_info.movie_id
+		WHERE movie.genre MATCH 'drama'`)
+	b.Run("planned", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sql.Execute(db, stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-scan", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sql.ExecuteFullScan(db, stmt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkComponent_PruneValidationExists is the PruneEmpty cost model:
+// a validation query only needs to know whether any tuple survives. The
+// existence path must stay flat as the instance (and the result) grows,
+// while materializing execution scales with it.
+func BenchmarkComponent_PruneValidationExists(b *testing.B) {
+	const src = `SELECT person.name, movie.title FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		JOIN movie ON movie.movie_id = cast_info.movie_id`
+	for _, scale := range []int{1, 4, 16} {
+		db := datasets.IMDB(datasets.Config{Seed: 42, Scale: scale})
+		stmt := mustParseSQL(b, src)
+		b.Run(fmt.Sprintf("exists-scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, err := sql.Exists(db, stmt)
+				if err != nil || !ok {
+					b.Fatalf("exists = %v, %v", ok, err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("materialize-scale%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sql.Execute(db, stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkComponent_FulltextRows measures the sorted-merge posting
+// intersection behind multi-token keyword→row mapping (zero map
+// allocations; one slice for the result).
+func BenchmarkComponent_FulltextRows(b *testing.B) {
+	db := datasets.IMDB(datasets.Config{Seed: 42, Scale: 4})
+	ix := fulltext.BuildIndex(db)
+	ai := ix.Attribute("movie", "title")
+	// Pick the two most frequent title tokens for a worst-case merge.
+	terms := ai.Terms()
+	if len(terms) < 2 {
+		b.Fatal("tiny vocabulary")
+	}
+	best, second := "", ""
+	bn, sn := 0, 0
+	for _, t := range terms {
+		n := len(ai.Rows(t))
+		if n > bn {
+			second, sn = best, bn
+			best, bn = t, n
+		} else if n > sn {
+			second, sn = t, n
+		}
+	}
+	kw := best + " " + second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := ai.Rows(kw); len(rows) == 0 && i == 0 {
+			b.Logf("empty intersection for %q", kw)
+		}
+	}
 }

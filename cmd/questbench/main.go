@@ -1,6 +1,7 @@
-// Command questbench runs the full experiment suite (E1–E8 of DESIGN.md §3)
-// and prints the tables recorded in EXPERIMENTS.md. Each experiment is a
-// deterministic function of the seed, so re-running reproduces the report.
+// Command questbench runs the full experiment suite (E1–E8 of DESIGN.md §3
+// plus the E9 executor/planner scorecard) and prints the tables recorded in
+// EXPERIMENTS.md. Each experiment is a deterministic function of the seed,
+// so re-running reproduces the report.
 //
 // With -json the same tables are also written as a machine-readable
 // BENCH_*.json snapshot (one object per table: title, headers, rows, plus
@@ -9,7 +10,7 @@
 //
 // Usage:
 //
-//	questbench [-exp all|e1|e2|e3|e4|e5|e6|e7|e8] [-seed N] [-n N] [-json BENCH_42.json]
+//	questbench [-exp all|e1..e9] [-seed N] [-n N] [-json BENCH_42.json]
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/fulltext"
+	sqlpkg "repro/internal/sql"
 )
 
 var (
@@ -82,7 +84,7 @@ func writeSnapshot(path string) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, e1..e8)")
+	exp := flag.String("exp", "all", "experiment to run (all, e1..e9)")
 	flag.Parse()
 
 	runners := map[string]func(){
@@ -94,9 +96,10 @@ func main() {
 		"e6": e6DeepWeb,
 		"e7": e7Visualization,
 		"e8": e8Ablations,
+		"e9": e9Planner,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"} {
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"} {
 			runners[name]()
 		}
 	} else {
@@ -121,19 +124,8 @@ func buildAll() map[string]*quest.Database {
 	}
 }
 
-func templatesFor(name string) []eval.Template {
-	switch name {
-	case "imdb":
-		return eval.IMDBTemplates()
-	case "mondial":
-		return eval.MondialTemplates()
-	default:
-		return eval.DBLPTemplates()
-	}
-}
-
 func workloadFor(db *quest.Database, name string) *eval.Workload {
-	return eval.NewGenerator(db, *seed+100).Generate(name, templatesFor(name), *nPer)
+	return eval.NewGenerator(db, *seed+100).Generate(name, eval.TemplatesFor(name), *nPer)
 }
 
 // e1Scalability: end-to-end latency and graph sizes vs instance scale.
@@ -578,6 +570,86 @@ func e8Ablations() {
 		tbl3.AddRow(label, eval.F(at1), eval.F(mrr))
 	}
 	emit(tbl3)
+}
+
+// e9Planner: the PR 2 executor scorecard. One table times indexed
+// selection and pushed-down joins against the retained full-scan
+// interpreter; a second shows that existence-only validation (the
+// PruneEmpty path) stays near-flat while materializing execution scales
+// with the instance.
+func e9Planner() {
+	timeQuery := func(run func() error, reps int) float64 {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := run(); err != nil {
+				panic(err)
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / float64(reps)
+	}
+
+	tbl := &eval.Table{
+		Title:   "E9a — planner vs full-scan interpreter (imdb)",
+		Headers: []string{"query", "scale", "planned-us", "full-scan-us", "speedup", "access"},
+	}
+	cases := []struct {
+		name, src string
+		scale     int
+		reps      int
+	}{
+		{"pk-point", "SELECT title FROM movie WHERE movie_id = 100", 16, 50},
+		{"fk-equality", "SELECT cast_id FROM cast_info WHERE movie_id = 100", 16, 50},
+		{"pushdown-join", `SELECT DISTINCT person.name, movie.title FROM person
+			JOIN cast_info ON cast_info.person_id = person.person_id
+			JOIN movie ON movie.movie_id = cast_info.movie_id
+			WHERE movie.genre MATCH 'drama'`, 4, 10},
+	}
+	for _, c := range cases {
+		db := quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: c.scale})
+		stmt, err := quest.ParseSQL(c.src)
+		if err != nil {
+			panic(err)
+		}
+		// Warm the plan cache and lazy indexes so the steady state is measured.
+		if _, err := sqlpkg.Execute(db, stmt); err != nil {
+			panic(err)
+		}
+		planned := timeQuery(func() error { _, err := sqlpkg.Execute(db, stmt); return err }, c.reps)
+		full := timeQuery(func() error { _, err := sqlpkg.ExecuteFullScan(db, stmt); return err }, c.reps)
+		qp, err := sqlpkg.Plan(db, stmt)
+		if err != nil {
+			panic(err)
+		}
+		tbl.AddRow(c.name, fmt.Sprint(c.scale),
+			fmt.Sprintf("%.1f", planned), fmt.Sprintf("%.1f", full),
+			fmt.Sprintf("%.1fx", full/planned), qp.Scans[len(qp.Scans)-1].Access)
+	}
+	emit(tbl)
+
+	tbl2 := &eval.Table{
+		Title:   "E9b — existence-only validation (PruneEmpty path) vs materializing execution",
+		Headers: []string{"scale", "result-rows", "exists-us", "materialize-us", "speedup"},
+	}
+	const joinAll = `SELECT person.name, movie.title FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		JOIN movie ON movie.movie_id = cast_info.movie_id`
+	for _, scale := range []int{1, 4, 16} {
+		db := quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: scale})
+		stmt, err := quest.ParseSQL(joinAll)
+		if err != nil {
+			panic(err)
+		}
+		res, err := sqlpkg.Execute(db, stmt)
+		if err != nil {
+			panic(err)
+		}
+		reps := 10
+		ex := timeQuery(func() error { _, err := sqlpkg.Exists(db, stmt); return err }, reps)
+		mat := timeQuery(func() error { _, err := sqlpkg.Execute(db, stmt); return err }, reps)
+		tbl2.AddRow(fmt.Sprint(scale), fmt.Sprint(len(res.Rows)),
+			fmt.Sprintf("%.1f", ex), fmt.Sprintf("%.1f", mat), fmt.Sprintf("%.1fx", mat/ex))
+	}
+	emit(tbl2)
 }
 
 var _ = sort.Strings // reserved for future table post-processing

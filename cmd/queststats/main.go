@@ -5,10 +5,14 @@
 // the inspection companion to questcli: when a query maps somewhere
 // unexpected, this shows the evidence QUEST was working from.
 //
+// The indexes section runs the dataset workload (with PruneEmpty
+// validation) through a fresh engine first, so the reported secondary
+// indexes and planner counters reflect what production traffic builds.
+//
 // Usage:
 //
 //	queststats [-db imdb|mondial|dblp] [-scale N] [-seed N]
-//	           [-section all|terms|graph|fulltext|mi] [-sql "SELECT ..."]
+//	           [-section all|terms|graph|fulltext|indexes|mi] [-sql "SELECT ..."]
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/fulltext"
 	"repro/internal/mi"
+	sqlpkg "repro/internal/sql"
 	"repro/internal/wrapper"
 )
 
@@ -30,7 +35,7 @@ func main() {
 		dbName  = flag.String("db", "imdb", "dataset: imdb, mondial or dblp")
 		scale   = flag.Int("scale", 1, "dataset scale factor")
 		seed    = flag.Int64("seed", 42, "dataset seed")
-		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, mi")
+		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, indexes, mi")
 		sqlText = flag.String("sql", "", "explain this SQL query and exit")
 	)
 	flag.Parse()
@@ -117,6 +122,56 @@ func main() {
 			tbl.AddRow(ai.Table+"."+ai.Column, fmt.Sprint(ai.DocCount()), fmt.Sprint(ai.VocabularySize()))
 		}
 		fmt.Println(tbl)
+	}
+
+	if show("indexes") {
+		// Exercise the planner the way production traffic does — run the
+		// dataset's workload with validation queries on — then report what
+		// the planner built and which access paths it took.
+		sqlpkg.ResetStats()
+		opts := quest.Defaults()
+		opts.PruneEmpty = true
+		eng := quest.Open(db, opts)
+		w := eval.NewGenerator(db, *seed+100).Generate(*dbName, eval.TemplatesFor(*dbName), 2)
+		for _, q := range w.Queries {
+			if ex, err := eng.Search(strings.Join(q.Keywords, " ")); err == nil && len(ex) > 0 {
+				eng.Execute(ex[0])
+			}
+		}
+
+		tbl := &eval.Table{
+			Title:   "secondary indexes per table (after workload + PruneEmpty validation)",
+			Headers: []string{"table", "rows", "indexed-columns", "index-builds"},
+		}
+		for _, t := range db.Tables() {
+			cols := t.IndexedColumns()
+			tbl.AddRow(t.Schema.Name, fmt.Sprint(t.Len()),
+				strings.Join(cols, ","), fmt.Sprint(t.IndexBuildCount()))
+		}
+		fmt.Println(tbl)
+
+		st := sqlpkg.Stats()
+		tbl2 := &eval.Table{
+			Title:   "planner counters (cache, access paths, fast paths)",
+			Headers: []string{"counter", "value"},
+		}
+		for _, row := range [][2]string{
+			{"plans-built", fmt.Sprint(st.Plans)},
+			{"plan-cache-hits", fmt.Sprint(st.PlanCacheHits)},
+			{"plan-cache-misses", fmt.Sprint(st.PlanCacheMisses)},
+			{"index-scans", fmt.Sprint(st.IndexScans)},
+			{"full-scans", fmt.Sprint(st.FullScans)},
+			{"lazy-index-builds", fmt.Sprint(st.LazyIndexBuilds)},
+			{"hash-joins", fmt.Sprint(st.HashJoins)},
+			{"nested-loop-joins", fmt.Sprint(st.NestedLoopJoins)},
+			{"build-side-swaps", fmt.Sprint(st.BuildSideSwaps)},
+			{"pushed-predicates", fmt.Sprint(st.PushedPredicates)},
+			{"exists-fast-paths", fmt.Sprint(st.ExistsFastPaths)},
+			{"limit-short-circuits", fmt.Sprint(st.LimitShortCircuits)},
+		} {
+			tbl2.AddRow(row[0], row[1])
+		}
+		fmt.Println(tbl2)
 	}
 
 	if show("mi") {

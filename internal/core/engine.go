@@ -692,7 +692,10 @@ func (e *Engine) pruneWorkers(opts Options, n int) int {
 // pruneEmpty drops explanations whose execution yields no tuples and
 // renormalizes the surviving beliefs to their previous total mass. The
 // validation queries are independent, so they run across a bounded worker
-// pool; survivors keep their original rank order. The second return is
+// pool; survivors keep their original rank order. Each validation runs in
+// existence-only mode (wrapper.ExecuteExists): the source stops at the
+// first surviving tuple instead of materializing the full result, so
+// validation cost no longer scales with result size. The second return is
 // false when any validation query failed (as opposed to returning zero
 // tuples) — the pruning then reflects a transient condition and the caller
 // must not cache it.
@@ -700,9 +703,9 @@ func (e *Engine) pruneEmpty(in []*Explanation, workers int) ([]*Explanation, boo
 	keep := make([]bool, len(in))
 	failed := make([]bool, len(in))
 	e.forEachParallel(len(in), workers, func(i int) {
-		res, err := e.execute(in[i].Stmt)
+		ok, err := e.executeExists(in[i].Stmt)
 		failed[i] = err != nil
-		keep[i] = err == nil && len(res.Rows) > 0
+		keep[i] = err == nil && ok
 	})
 	clean := true
 	for _, f := range failed {
@@ -745,4 +748,14 @@ func (e *Engine) execute(stmt *sql.SelectStmt) (*sql.Result, error) {
 		defer e.execMu.Unlock()
 	}
 	return e.source.Execute(stmt)
+}
+
+// executeExists routes an existence-only validation query to the source,
+// under the same serialization rule as execute.
+func (e *Engine) executeExists(stmt *sql.SelectStmt) (bool, error) {
+	if !e.execSafe {
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
+	}
+	return wrapper.ExecuteExists(e.source, stmt)
 }

@@ -24,7 +24,18 @@ func (s *flakySource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
 	return s.FullAccessSource.Execute(stmt)
 }
 
+// ExecuteExists must model the outage too: the embedded FullAccessSource
+// would otherwise answer existence probes straight from the database,
+// promoting past the failure injection above.
+func (s *flakySource) ExecuteExists(stmt *sql.SelectStmt) (bool, error) {
+	if s.failing.Load() {
+		return false, errors.New("transient endpoint outage")
+	}
+	return s.FullAccessSource.ExecuteExists(stmt)
+}
+
 var _ wrapper.Source = (*flakySource)(nil)
+var _ wrapper.ExistsExecutor = (*flakySource)(nil)
 
 // TestPruneFailureNotCached ensures a search whose PruneEmpty validation
 // queries fail is NOT stored in the query cache: once the source recovers,

@@ -160,6 +160,20 @@ func (g *Generator) instantiate(tpl Template) *Query {
 	}
 }
 
+// TemplatesFor maps a dataset name to its workload templates (imdb,
+// mondial; everything else gets the DBLP shapes). Single home for the
+// mapping questbench and queststats share.
+func TemplatesFor(name string) []Template {
+	switch strings.ToLower(name) {
+	case "imdb":
+		return IMDBTemplates()
+	case "mondial":
+		return MondialTemplates()
+	default:
+		return DBLPTemplates()
+	}
+}
+
 // IMDBTemplates returns the movie-domain query shapes used across
 // experiments: single-table lookups, star joins, and schema-keyword mixes.
 func IMDBTemplates() []Template {

@@ -1,0 +1,72 @@
+package fulltext
+
+import "math"
+
+// exactSum accumulates float64 values with full precision (Shewchuk's
+// error-free transformation, as used by Python's math.fsum): Add maintains
+// a list of non-overlapping partials whose mathematical sum is exactly the
+// sum of everything added, and Total rounds that exact sum once. The
+// result is the float64 nearest the true sum, so it does not depend on the
+// order values were added — which is what lets BuildIndex sum raw scores
+// straight off a map without sorting the vocabulary first while staying
+// bit-identical across runs.
+//
+// The zero value is an empty sum. Inputs must be finite (the index only
+// sums finite TF-IDF weights); intermediate overflow is not handled.
+type exactSum struct {
+	partials []float64
+}
+
+// Add folds x into the running sum exactly.
+func (s *exactSum) Add(x float64) {
+	i := 0
+	for _, y := range s.partials {
+		if math.Abs(x) < math.Abs(y) {
+			x, y = y, x
+		}
+		hi := x + y
+		lo := y - (hi - x)
+		if lo != 0 {
+			s.partials[i] = lo
+			i++
+		}
+		x = hi
+	}
+	s.partials = append(s.partials[:i], x)
+}
+
+// Total returns the correctly rounded sum of everything added so far.
+// The partials are summed from largest to smallest magnitude; when the
+// first inexact addition is a round-to-even halfway case, the sign of the
+// next partial decides the direction, exactly as in CPython's fsum.
+func (s *exactSum) Total() float64 {
+	p := s.partials
+	n := len(p)
+	if n == 0 {
+		return 0
+	}
+	n--
+	total := p[n]
+	for n > 0 {
+		n--
+		x := total
+		y := p[n]
+		total = x + y
+		yr := total - x
+		lo := y - yr
+		if lo != 0 {
+			// Inexact: total is within half an ulp of the true sum. On an
+			// exact halfway case, nudge toward the remaining partials'
+			// side (they all share lo's sign ordering by construction).
+			if n > 0 && ((lo < 0) == (p[n-1] < 0)) {
+				y = lo * 2
+				x = total + y
+				if y == x-total {
+					total = x
+				}
+			}
+			break
+		}
+	}
+	return total
+}

@@ -1,0 +1,104 @@
+package fulltext
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestExactSumOrderIndependent is the property computeNorm relies on: the
+// rounded sum must be bit-identical for every permutation of the inputs,
+// which is what lets it iterate the postings map (randomized order) rather
+// than the sorted vocabulary.
+func TestExactSumOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, 200)
+	for i := range values {
+		// Wildly mixed magnitudes, like TF-IDF weights are not — if the
+		// sum is order-stable here, score sums are trivially stable.
+		values[i] = rng.Float64() * math.Pow(10, float64(rng.Intn(30)-15))
+	}
+	ref := math.NaN()
+	for trial := 0; trial < 50; trial++ {
+		rng.Shuffle(len(values), func(i, j int) { values[i], values[j] = values[j], values[i] })
+		var s exactSum
+		for _, v := range values {
+			s.Add(v)
+		}
+		got := s.Total()
+		if trial == 0 {
+			ref = got
+			continue
+		}
+		if math.Float64bits(got) != math.Float64bits(ref) {
+			t.Fatalf("trial %d: sum %x differs from reference %x", trial,
+				math.Float64bits(got), math.Float64bits(ref))
+		}
+	}
+}
+
+// TestExactSumAccuracy checks exactness on sums a naive accumulator gets
+// wrong.
+func TestExactSumAccuracy(t *testing.T) {
+	var s exactSum
+	for i := 0; i < 10; i++ {
+		s.Add(0.1)
+	}
+	if got := s.Total(); got != 1.0 {
+		t.Errorf("sum of ten 0.1 = %v, want exactly 1.0", got)
+	}
+
+	s = exactSum{}
+	for _, v := range []float64{1, 1e100, 1, -1e100} {
+		s.Add(v)
+	}
+	if got := s.Total(); got != 2.0 {
+		t.Errorf("1 + 1e100 + 1 - 1e100 = %v, want exactly 2.0", got)
+	}
+
+	s = exactSum{}
+	if got := s.Total(); got != 0 {
+		t.Errorf("empty sum = %v, want 0", got)
+	}
+}
+
+// TestRowsSortedMerge pins the merge-based intersection to the seed
+// semantics: sorted output, conjunctive multi-token matching, nil on any
+// unknown token, duplicate tokens harmless.
+func TestRowsSortedMerge(t *testing.T) {
+	ai := &AttributeIndex{postings: map[string]*Posting{
+		"dark":  {RowOrdinals: []int{0, 2, 5, 9}},
+		"river": {RowOrdinals: []int{2, 3, 5, 7}},
+		"night": {RowOrdinals: []int{0}},
+	}}
+	cases := []struct {
+		kw   string
+		want []int
+	}{
+		{"dark", []int{0, 2, 5, 9}},
+		{"dark river", []int{2, 5}},
+		{"river dark", []int{2, 5}},
+		{"dark dark", []int{0, 2, 5, 9}},
+		{"dark night", []int{0}},
+		{"dark river night", nil},
+		{"dark missing", nil},
+		{"", nil},
+	}
+	for _, c := range cases {
+		got := ai.Rows(c.kw)
+		if len(got) != len(c.want) {
+			t.Errorf("Rows(%q) = %v, want %v", c.kw, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("Rows(%q) = %v, want %v", c.kw, got, c.want)
+				break
+			}
+		}
+	}
+	// The intersection must not corrupt the shared postings.
+	if p := ai.postings["dark"]; len(p.RowOrdinals) != 4 || p.RowOrdinals[0] != 0 {
+		t.Errorf("postings mutated: %v", p.RowOrdinals)
+	}
+}

@@ -208,15 +208,17 @@ func attrKey(table, column string) string {
 
 // computeNorm derives the per-attribute normalization coefficient: the sum
 // of raw scores over the vocabulary, so that normalized scores form a
-// sub-probability distribution per attribute. The sum runs over the sorted
-// vocabulary so the coefficient — and every score derived from it — is
-// bit-identical across runs (map-ordered float sums are not).
+// sub-probability distribution per attribute. The sum runs straight off
+// the postings map through an exact accumulator (exactSum), whose result
+// is the correctly rounded true sum and therefore independent of map
+// iteration order — bit-identical across runs without forcing the
+// Terms() sort per attribute during BuildIndex.
 func (ai *AttributeIndex) computeNorm() {
-	total := 0.0
-	for _, term := range ai.Terms() {
-		total += ai.rawScore(term)
+	var sum exactSum
+	for term := range ai.postings {
+		sum.Add(ai.rawScore(term))
 	}
-	ai.normCoef = total
+	ai.normCoef = sum.Total()
 }
 
 // rawScore is a TF-IDF style weight of term inside the attribute: term
@@ -272,39 +274,66 @@ func (ai *AttributeIndex) Score(keyword string) float64 {
 }
 
 // Rows returns the row ordinals of the attribute's table whose cell
-// contains every token of the keyword.
+// contains every token of the keyword. Postings are kept sorted by
+// construction, so the multi-token conjunction is a sorted-slice merge:
+// one allocation for the result (a copy of the smallest posting list, then
+// intersected in place), no maps, no final sort.
 func (ai *AttributeIndex) Rows(keyword string) []int {
-	toks := Tokenize(keyword)
-	if len(toks) == 0 {
-		return nil
-	}
-	var acc map[int]int
-	for i, t := range toks {
+	var lists [][]int
+	missing := false
+	TokenizeEach(keyword, func(t string) {
+		if missing {
+			return
+		}
 		p := ai.postings[t]
 		if p == nil {
-			return nil
+			missing = true
+			return
 		}
-		if i == 0 {
-			acc = make(map[int]int, len(p.RowOrdinals))
-			for _, r := range p.RowOrdinals {
-				acc[r] = 1
-			}
+		lists = append(lists, p.RowOrdinals)
+	})
+	if missing || len(lists) == 0 {
+		return nil
+	}
+	// Start from the smallest list: the intersection can never be larger,
+	// and every merge after the first only shrinks the candidate set.
+	smallest := 0
+	for i, l := range lists {
+		if len(l) < len(lists[smallest]) {
+			smallest = i
+		}
+	}
+	out := append([]int(nil), lists[smallest]...)
+	for i, l := range lists {
+		if i == smallest {
 			continue
 		}
-		for _, r := range p.RowOrdinals {
-			if acc[r] == i {
-				acc[r] = i + 1
-			}
+		out = intersectSorted(out, l)
+		if len(out) == 0 {
+			return nil
 		}
 	}
-	var out []int
-	for r, c := range acc {
-		if c == len(toks) {
-			out = append(out, r)
-		}
-	}
-	sort.Ints(out)
 	return out
+}
+
+// intersectSorted intersects two ascending slices, writing the result into
+// a's prefix (the write index never passes the read index).
+func intersectSorted(a, b []int) []int {
+	k, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			a[k] = a[i]
+			k++
+			i++
+			j++
+		}
+	}
+	return a[:k]
 }
 
 // Attribute returns the index of one (table, column) pair, or nil.

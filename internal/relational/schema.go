@@ -156,6 +156,34 @@ func (s *Schema) CompilePatterns() {
 	}
 }
 
+// KeyColumns returns the lower-cased names of a table's declared key
+// columns: its primary key, its foreign-key columns, and the columns of
+// this table that other tables' foreign keys reference. These are the
+// columns the SQL planner treats as index-worthy regardless of table size,
+// because PK/FK equality predicates and joins are where hash indexes pay
+// off.
+func (s *Schema) KeyColumns(table string) map[string]bool {
+	t := s.Table(table)
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]bool)
+	if t.PrimaryKey != "" {
+		out[strings.ToLower(t.PrimaryKey)] = true
+	}
+	for _, fk := range t.ForeignKeys {
+		out[strings.ToLower(fk.Column)] = true
+	}
+	for _, k := range s.order {
+		for _, fk := range s.tables[k].ForeignKeys {
+			if strings.EqualFold(fk.RefTable, t.Name) {
+				out[strings.ToLower(fk.RefColumn)] = true
+			}
+		}
+	}
+	return out
+}
+
 // TableNames returns the table names in insertion order.
 func (s *Schema) TableNames() []string {
 	out := make([]string, 0, len(s.order))

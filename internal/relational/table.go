@@ -3,6 +3,7 @@ package relational
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Row is one tuple; cells are positionally aligned with the table schema.
@@ -23,18 +24,34 @@ func (r Row) Clone() Row {
 // goroutines; the one lazily-written structure, colIndexes, is guarded by
 // idxMu so concurrent readers can trigger index builds (EnsureIndex,
 // Lookup, DistinctCount) without racing.
+//
+// Index invalidation rules: an equality index built by EnsureIndex is
+// maintained incrementally by Insert (the new ordinal is appended to its
+// posting), so indexes built mid-population stay correct. Every Insert
+// also bumps the table's Version; consumers that cache derived state
+// outside the table (the SQL planner's plan cache, for example) key it on
+// the version and so observe mutations as cache misses rather than stale
+// reads.
 type Table struct {
 	Schema *TableSchema
 
 	rows []Row
 
+	// version counts mutations (Inserts); external caches key on it.
+	version uint64
+
 	// pkIndex maps PK value key -> row ordinal (unique).
 	pkIndex map[string]int
-	// idxMu guards colIndexes (lazily built under concurrent readers).
+	// idxMu guards colIndexes and indexBuilds (lazily built under
+	// concurrent readers).
 	idxMu sync.Mutex
 	// colIndexes maps column ordinal -> (value key -> row ordinals);
 	// maintained lazily for FK columns and on demand.
 	colIndexes map[int]map[string][]int
+	// indexBuilds counts how many times EnsureIndex actually built an
+	// index (operator-facing statistic; rebuilds after DropIndexes count
+	// again).
+	indexBuilds int
 }
 
 // NewTable returns an empty table for the given schema.
@@ -95,16 +112,24 @@ func (t *Table) Insert(row Row) error {
 	}
 	ord := len(t.rows)
 	t.rows = append(t.rows, coerced)
+	t.version++
 	// No idxMu here: Insert is population-phase only (see the type doc) and
 	// never runs concurrently with readers, so locking just the index
 	// update would suggest a safety the unguarded rows/pkIndex writes above
 	// cannot provide.
 	for colOrd, idx := range t.colIndexes {
+		if coerced[colOrd].IsNull() {
+			continue
+		}
 		k := coerced[colOrd].Key()
 		idx[k] = append(idx[k], ord)
 	}
 	return nil
 }
+
+// Version returns the table's mutation counter. It changes on every Insert,
+// so any state derived from the rows can be cached against it.
+func (t *Table) Version() uint64 { return t.version }
 
 // MustInsert inserts and panics on error; used by generators and tests where
 // schema correctness is established by construction.
@@ -139,6 +164,7 @@ func (t *Table) EnsureIndex(column string) (map[string][]int, error) {
 	if idx, ok := t.colIndexes[ord]; ok {
 		return idx, nil
 	}
+	t.indexBuilds++
 	idx := make(map[string][]int)
 	for i, r := range t.rows {
 		if r[ord].IsNull() {
@@ -166,6 +192,33 @@ func (t *Table) Lookup(column string, v Value) ([]Row, error) {
 	return out, nil
 }
 
+// LookupOrdinals returns the ordinals of the rows whose column equals v,
+// using (and building) the equality index. The returned slice is shared
+// with the index; callers must treat it as read-only. Primary-key probes
+// are answered straight from pkIndex — no duplicate index build for the
+// most common planner access path.
+func (t *Table) LookupOrdinals(column string, v Value) ([]int, error) {
+	if v.IsNull() {
+		// NULL never equals anything; indexes do not record NULL cells.
+		return nil, nil
+	}
+	ord := t.Schema.ColumnIndex(column)
+	if ord < 0 {
+		return nil, fmt.Errorf("relational: table %s has no column %s", t.Schema.Name, column)
+	}
+	if t.pkIndex != nil && ord == t.Schema.ColumnIndex(t.Schema.PrimaryKey) {
+		if i, ok := t.pkIndex[v.Key()]; ok {
+			return []int{i}, nil
+		}
+		return nil, nil
+	}
+	idx, err := t.EnsureIndex(column)
+	if err != nil {
+		return nil, err
+	}
+	return idx[v.Key()], nil
+}
+
 // DistinctCount returns the number of distinct non-NULL values in a column.
 func (t *Table) DistinctCount(column string) (int, error) {
 	idx, err := t.EnsureIndex(column)
@@ -175,13 +228,69 @@ func (t *Table) DistinctCount(column string) (int, error) {
 	return len(idx), nil
 }
 
+// HasIndex reports whether an equality index is already built for the
+// column (it does not trigger a build).
+func (t *Table) HasIndex(column string) bool {
+	ord := t.Schema.ColumnIndex(column)
+	if ord < 0 {
+		return false
+	}
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	_, ok := t.colIndexes[ord]
+	return ok
+}
+
+// IndexedColumns returns the names of the columns with a built equality
+// index, in schema order (operator-facing statistic).
+func (t *Table) IndexedColumns() []string {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	var out []string
+	for i := range t.Schema.Columns {
+		if _, ok := t.colIndexes[i]; ok {
+			out = append(out, t.Schema.Columns[i].Name)
+		}
+	}
+	return out
+}
+
+// IndexBuildCount returns how many equality-index builds this table has
+// performed (lazy builds triggered by EnsureIndex, Lookup, LookupOrdinals,
+// DistinctCount or the SQL planner).
+func (t *Table) IndexBuildCount() int {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	return t.indexBuilds
+}
+
+// DropIndexes discards every lazily built equality index (the primary-key
+// index is schema-declared and kept). Like Insert it belongs to the
+// population phase: call it after bulk row replacement, never concurrently
+// with readers.
+func (t *Table) DropIndexes() {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	t.colIndexes = make(map[int]map[string][]int)
+	t.version++
+}
+
 // Database is a named collection of populated tables sharing one Schema.
 type Database struct {
 	Name   string
 	Schema *Schema
 
+	id     uint64
 	tables map[string]*Table
 }
+
+// dbIDs hands every Database a process-unique identity (see ID).
+var dbIDs atomic.Uint64
+
+// ID returns a process-unique identifier for this database instance.
+// External caches (the SQL planner's plan cache) key on it instead of the
+// pointer, which the garbage collector could reuse for a later instance.
+func (db *Database) ID() uint64 { return db.id }
 
 // NewDatabase creates a database with empty tables for every table in the
 // schema. The schema must validate.
@@ -189,7 +298,7 @@ func NewDatabase(name string, schema *Schema) (*Database, error) {
 	if err := schema.Validate(); err != nil {
 		return nil, err
 	}
-	db := &Database{Name: name, Schema: schema, tables: make(map[string]*Table)}
+	db := &Database{Name: name, Schema: schema, id: dbIDs.Add(1), tables: make(map[string]*Table)}
 	for _, ts := range schema.Tables() {
 		db.tables[lower(ts.Name)] = NewTable(ts)
 	}
@@ -217,6 +326,20 @@ func (db *Database) Tables() []*Table {
 		out = append(out, db.tables[lower(ts.Name)])
 	}
 	return out
+}
+
+// DataVersion folds every table's mutation counter into one value: it
+// changes whenever any row of any table changes, so cross-table derived
+// state (query plans, statistics) can be cached against it. Versions only
+// grow, so the allocation-free sum over the table map is itself strictly
+// increasing (and iteration-order independent). Called on every planner
+// cache probe — keep it cheap.
+func (db *Database) DataVersion() uint64 {
+	var v uint64
+	for _, t := range db.tables {
+		v += t.Version()
+	}
+	return v
 }
 
 // TotalRows returns the number of tuples across all tables.

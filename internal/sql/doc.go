@@ -1,0 +1,62 @@
+// Package sql implements the embedded SQL engine QUEST executes its
+// generated queries against: a parser for a SELECT dialect (joins,
+// aggregation, DISTINCT, ORDER BY/LIMIT, LIKE and the full-text MATCH
+// operator), a cost-aware planner, and a streaming executor.
+//
+// # Architecture
+//
+// Execution is layered:
+//
+//	Parse → planSelect (planner) → streaming pipeline → finish (projection,
+//	aggregation, DISTINCT, ordering, limits)
+//
+// The planner (plan.go) sits between Execute and the interpreter and makes
+// three decisions per statement:
+//
+//   - Access paths. Each base table becomes a scan node. An equality
+//     conjunct `col = literal` is routed through a per-column hash index
+//     (relational.Table.EnsureIndex) when the column is a declared key —
+//     primary key, foreign key, or FK-referenced — or when the table has
+//     at least LazyIndexThreshold rows, in which case the planner builds
+//     an on-demand index on first use. Everything else is a full scan.
+//   - Predicate pushdown. The WHERE conjunction is split; single-table
+//     conjuncts are evaluated inside the owning scan, below every join.
+//     Conjuncts on the null-extended side of a LEFT JOIN are pinned above
+//     that join (pushing them below would resurrect filtered rows), and
+//     multi-table conjuncts run right after the earliest join that sees
+//     all their tables. Aggregate or unresolvable conjuncts stay in the
+//     final filter so errors surface exactly like the reference
+//     interpreter's: per joined row.
+//   - Join strategy. Equi-join conjuncts in ON drive a hash join; the
+//     build side is the side with the smaller cardinality estimate
+//     (index-probe result sizes are exact, filtered scans use a
+//     halving-per-predicate heuristic). LEFT joins always build right so
+//     unmatched left rows can be null-extended. Non-equi ONs fall back to
+//     a nested loop.
+//
+// The executor streams rows through the join pipeline with callback
+// iterators, which gives two short-circuit modes: Exists stops at the
+// first surviving tuple (the engine's PruneEmpty validation path — cost
+// independent of result size), and Execute stops at OFFSET+LIMIT rows
+// when nothing downstream reorders or merges.
+//
+// Every Result carries the QueryPlan that produced it, and Plan/Explain
+// expose the same structure without executing — tests and questbench
+// assert access paths against it.
+//
+// # Plan cache and invalidation
+//
+// Plans are memoized in a package-level LRU keyed on (database ID, data
+// version, canonical SQL). The data version is the fold of every table's
+// mutation counter, so any Insert makes previous entries unreachable —
+// cached index-probe ordinals can never go stale. Equality indexes
+// themselves are maintained incrementally by Insert and therefore never
+// invalidate; Table.DropIndexes exists for bulk reloads. Planned queries
+// are immutable after construction, so one cached plan serves concurrent
+// Execute/Exists calls.
+//
+// ExecuteFullScan retains the pre-planner interpreter (full scans, WHERE
+// evaluated per joined row) as the reference implementation; the
+// equivalence suite in equivalence_test.go continuously checks the two
+// paths agree, NULL-key join rows and LEFT JOIN edge cases included.
+package sql

@@ -1,0 +1,318 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// eqDB builds a database sized to exercise every planner path: movie is
+// past LazyIndexThreshold (on-demand index builds on non-key columns),
+// person is small, and cast_info carries NULL foreign keys — the rows that
+// must never match an equi-join but must survive LEFT JOIN null-extension.
+func eqDB(t testing.TB) *relational.Database {
+	t.Helper()
+	s := relational.NewSchema()
+	add := func(ts *relational.TableSchema) {
+		if err := s.AddTable(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&relational.TableSchema{
+		Name: "movie",
+		Columns: []relational.Column{
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "title", Type: relational.TypeString, NotNull: true},
+			{Name: "year", Type: relational.TypeInt},
+			{Name: "rating", Type: relational.TypeFloat},
+			{Name: "genre", Type: relational.TypeString},
+		},
+		PrimaryKey: "movie_id",
+	})
+	add(&relational.TableSchema{
+		Name: "person",
+		Columns: []relational.Column{
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true},
+		},
+		PrimaryKey: "person_id",
+	})
+	add(&relational.TableSchema{
+		Name: "cast_info",
+		Columns: []relational.Column{
+			{Name: "cast_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "movie_id", Type: relational.TypeInt}, // nullable FK
+			{Name: "person_id", Type: relational.TypeInt},
+			{Name: "role", Type: relational.TypeString},
+		},
+		PrimaryKey: "cast_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "movie_id", RefTable: "movie", RefColumn: "movie_id"},
+			{Column: "person_id", RefTable: "person", RefColumn: "person_id"},
+		},
+	})
+	db := relational.MustNewDatabase("equiv", s)
+	rng := rand.New(rand.NewSource(11))
+	genres := []string{"drama", "comedy", "thriller", "noir"}
+	words := []string{"dark", "river", "storm", "night", "golden", "silent", "iron", "last"}
+	I, F, S, N := relational.Int, relational.Float, relational.String_, relational.Null
+	for i := 1; i <= 350; i++ {
+		title := words[rng.Intn(len(words))] + " " + words[rng.Intn(len(words))]
+		year := relational.Value(I(int64(1960 + rng.Intn(60))))
+		if rng.Intn(10) == 0 {
+			year = N()
+		}
+		db.Insert("movie", relational.Row{
+			I(int64(i)), S(title), year, F(float64(rng.Intn(100)) / 10), S(genres[rng.Intn(len(genres))]),
+		})
+	}
+	for i := 1; i <= 120; i++ {
+		db.Insert("person", relational.Row{I(int64(i)), S(fmt.Sprintf("p%d %s", i, words[rng.Intn(len(words))]))})
+	}
+	roles := []string{"actor", "director", "writer"}
+	for i := 1; i <= 800; i++ {
+		mid := relational.Value(I(int64(1 + rng.Intn(350))))
+		pid := relational.Value(I(int64(1 + rng.Intn(120))))
+		role := relational.Value(S(roles[rng.Intn(len(roles))]))
+		// NULL-key rows: must not match any equi-join.
+		if rng.Intn(8) == 0 {
+			mid = N()
+		}
+		if rng.Intn(8) == 0 {
+			pid = N()
+		}
+		if rng.Intn(10) == 0 {
+			role = N()
+		}
+		db.Insert("cast_info", relational.Row{I(int64(i)), mid, pid, role})
+	}
+	return db
+}
+
+// rowMultiset renders a result as a sorted multiset of value keys, the
+// order-insensitive comparison both execution paths must agree on (the
+// planner may legally reorder rows of un-ORDERed results via build-side
+// swaps).
+func rowMultiset(res *Result) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(v.Key())
+			b.WriteByte('|')
+		}
+		out[i] = b.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// checkEquivalent runs src through the planned executor and the full-scan
+// reference and reports any divergence. Queries with LIMIT/OFFSET but no
+// total order compare row counts only (which rows are kept is legitimately
+// order-dependent). It is goroutine-safe so the generated suite can fan
+// out.
+func checkEquivalent(db *relational.Database, src string) error {
+	stmt, err := Parse(src)
+	if err != nil {
+		return fmt.Errorf("Parse(%q): %v", src, err)
+	}
+	planned, perr := Execute(db, stmt)
+	reference, rerr := ExecuteFullScan(db, stmt)
+	if (perr != nil) != (rerr != nil) {
+		return fmt.Errorf("error divergence for %q: planned=%v reference=%v", src, perr, rerr)
+	}
+	if perr != nil {
+		return nil
+	}
+	if strings.Join(planned.Columns, ",") != strings.Join(reference.Columns, ",") {
+		return fmt.Errorf("column divergence for %q: %v vs %v", src, planned.Columns, reference.Columns)
+	}
+	if len(planned.Rows) != len(reference.Rows) {
+		return fmt.Errorf("row-count divergence for %q: planned=%d reference=%d", src, len(planned.Rows), len(reference.Rows))
+	}
+	if stmt.Limit >= 0 || stmt.Offset > 0 {
+		return nil
+	}
+	p, r := rowMultiset(planned), rowMultiset(reference)
+	for i := range p {
+		if p[i] != r[i] {
+			return fmt.Errorf("row divergence for %q:\n  planned   %s\n  reference %s", src, p[i], r[i])
+		}
+	}
+
+	// The existence mode must agree with materialized emptiness.
+	exists, err := Exists(db, stmt)
+	if err != nil {
+		return fmt.Errorf("Exists(%q): %v", src, err)
+	}
+	if exists != (len(reference.Rows) > 0) {
+		return fmt.Errorf("Exists divergence for %q: %v vs %d rows", src, exists, len(reference.Rows))
+	}
+	return nil
+}
+
+// TestPlannerEquivalenceTableDriven pins the cases that motivated the
+// planner rules, NULL-key join rows and LEFT JOIN pushdown legality above
+// all.
+func TestPlannerEquivalenceTableDriven(t *testing.T) {
+	db := eqDB(t)
+	for _, src := range []string{
+		"SELECT * FROM movie",
+		"SELECT * FROM movie WHERE movie_id = 17",
+		"SELECT * FROM movie WHERE movie_id = -5",
+		"SELECT title FROM movie WHERE genre = 'noir'",
+		"SELECT title FROM movie WHERE title = 'dark river'",
+		"SELECT title FROM movie WHERE year IS NULL",
+		"SELECT title FROM movie WHERE year IS NOT NULL AND genre = 'drama'",
+		"SELECT title FROM movie WHERE year = NULL",
+		"SELECT title FROM movie WHERE year IN (1970, 1980, 1990)",
+		"SELECT title FROM movie WHERE NOT (year > 1980)",
+		"SELECT title FROM movie WHERE year > 1980 OR rating > 8",
+		"SELECT title FROM movie WHERE title MATCH 'dark'",
+		"SELECT title FROM movie WHERE title LIKE '%storm%'",
+		// NULL-key rows must not join.
+		`SELECT movie.title, cast_info.role FROM movie
+			JOIN cast_info ON cast_info.movie_id = movie.movie_id`,
+		`SELECT person.name, movie.title FROM person
+			JOIN cast_info ON cast_info.person_id = person.person_id
+			JOIN movie ON movie.movie_id = cast_info.movie_id
+			WHERE cast_info.role = 'director'`,
+		// LEFT JOIN: null-extension must survive pushdown decisions.
+		`SELECT movie.title, cast_info.role FROM movie
+			LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id`,
+		`SELECT movie.title, cast_info.role FROM movie
+			LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id
+			WHERE cast_info.role = 'actor'`,
+		`SELECT movie.title FROM movie
+			LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id
+			WHERE cast_info.role IS NULL`,
+		// Build-side swap territory: tiny filtered left side.
+		`SELECT person.name, cast_info.role FROM person
+			JOIN cast_info ON cast_info.person_id = person.person_id
+			WHERE person.person_id = 3`,
+		// Residual ON conjunct plus pushdown.
+		`SELECT person.name FROM person
+			JOIN cast_info ON cast_info.person_id = person.person_id AND cast_info.cast_id > 100
+			WHERE person.name LIKE 'p1%'`,
+		// Multi-table WHERE conjunct placed after its covering join.
+		`SELECT movie.title FROM movie
+			JOIN cast_info ON cast_info.movie_id = movie.movie_id
+			WHERE movie.movie_id + 1 > cast_info.person_id AND movie.genre = 'drama'`,
+		// Non-equi join: nested loop with pushdown.
+		`SELECT m1.title FROM movie m1
+			JOIN movie m2 ON m1.year < m2.year
+			WHERE m1.movie_id = 9 AND m2.genre = 'comedy'`,
+		// Aggregation over planned joins.
+		`SELECT cast_info.role, COUNT(*) FROM movie
+			JOIN cast_info ON cast_info.movie_id = movie.movie_id
+			WHERE movie.genre = 'drama' GROUP BY cast_info.role`,
+		"SELECT COUNT(*), MIN(year), MAX(year) FROM movie WHERE genre = 'noir'",
+		"SELECT DISTINCT genre FROM movie WHERE year > 1990",
+		"SELECT title FROM movie WHERE genre = 'drama' ORDER BY movie_id LIMIT 5",
+		"SELECT title FROM movie ORDER BY year DESC, title, movie_id",
+	} {
+		if err := checkEquivalent(db, src); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// TestPlannerEquivalenceGenerated is the lightweight fuzz layer: seeded
+// random SELECTs over every FROM shape and predicate kind, executed
+// concurrently so the plan cache and lazy index builds also run under the
+// race detector (make race).
+func TestPlannerEquivalenceGenerated(t *testing.T) {
+	db := eqDB(t)
+	fromShapes := []string{
+		"FROM movie",
+		"FROM movie JOIN cast_info ON cast_info.movie_id = movie.movie_id",
+		"FROM movie LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id",
+		`FROM person JOIN cast_info ON cast_info.person_id = person.person_id
+			JOIN movie ON movie.movie_id = cast_info.movie_id`,
+		`FROM person LEFT JOIN cast_info ON cast_info.person_id = person.person_id
+			LEFT JOIN movie ON movie.movie_id = cast_info.movie_id`,
+	}
+	moviePreds := []string{
+		"movie.movie_id = %d",
+		"movie.genre = 'drama'",
+		"movie.genre = 'noir'",
+		"movie.year > %d",
+		"movie.year IS NULL",
+		"movie.year IS NOT NULL",
+		"movie.title MATCH 'river'",
+		"movie.title LIKE '%%storm%%'",
+		"movie.year IN (1971, 1984, 2002)",
+		"(movie.year > %d OR movie.rating > 5)",
+	}
+	castPreds := []string{
+		"cast_info.role = 'actor'",
+		"cast_info.role IS NULL",
+		"cast_info.cast_id = %d",
+		"cast_info.person_id = %d",
+		"movie.movie_id = cast_info.person_id",
+	}
+	rng := rand.New(rand.NewSource(23))
+	queries := make([]string, 0, 240)
+	for i := 0; i < 240; i++ {
+		shape := fromShapes[rng.Intn(len(fromShapes))]
+		var preds []string
+		for n := rng.Intn(4); n > 0; n-- {
+			pool := moviePreds
+			if strings.Contains(shape, "cast_info") && rng.Intn(2) == 0 {
+				pool = castPreds
+			}
+			if !strings.Contains(shape, "FROM movie") && !strings.Contains(shape, "JOIN movie") && pool[0][:5] == "movie" {
+				continue
+			}
+			p := pool[rng.Intn(len(pool))]
+			if strings.Contains(p, "%d") {
+				p = fmt.Sprintf(p, rng.Intn(420))
+			}
+			preds = append(preds, p)
+		}
+		sel := "SELECT movie.title, movie.year"
+		if strings.Contains(shape, "cast_info") {
+			sel += ", cast_info.role"
+		}
+		if !strings.Contains(shape, "movie") {
+			sel = "SELECT person.name"
+		}
+		q := sel + " " + shape
+		if len(preds) > 0 {
+			q += " WHERE " + strings.Join(preds, " AND ")
+		}
+		switch rng.Intn(5) {
+		case 0:
+			q += " ORDER BY movie.movie_id"
+		case 1:
+			q = strings.Replace(q, "SELECT ", "SELECT DISTINCT ", 1)
+		}
+		queries = append(queries, q)
+	}
+
+	var wg sync.WaitGroup
+	const workers = 4
+	errc := make(chan error, len(queries))
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(queries); i += workers {
+				if err := checkEquivalent(db, queries[i]); err != nil {
+					errc <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -11,10 +11,13 @@ import (
 	"repro/internal/relational"
 )
 
-// Result is a materialized query result.
+// Result is a materialized query result. Plan records the execution plan
+// the planner chose (access paths, join strategies, predicate placement);
+// it is nil for results produced by ExecuteFullScan.
 type Result struct {
 	Columns []string
 	Rows    []relational.Row
+	Plan    *QueryPlan
 }
 
 // String renders the result as an aligned text table (CLI output).
@@ -98,8 +101,45 @@ func (r *relation) resolve(ref *ColumnRef) (int, error) {
 }
 
 // Execute runs a parsed SELECT against the database and materializes the
-// result. It is the single entry point the wrapper module uses.
+// result. It is the single entry point the wrapper module uses. The FROM/
+// WHERE part runs through the cost-aware planner (secondary-index access,
+// predicate pushdown, build-side selection); projection, aggregation,
+// ordering and limits run over the planned relation.
 func Execute(db *relational.Database, stmt *SelectStmt) (*Result, error) {
+	p, err := planSelect(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	limit := -1
+	if stmt.Limit >= 0 && len(stmt.OrderBy) == 0 && len(stmt.GroupBy) == 0 && !anyAgg(stmt) &&
+		(!stmt.Distinct || (stmt.Limit <= 1 && stmt.Offset == 0)) {
+		// Nothing downstream reorders or merges rows, so the pipeline can
+		// stop as soon as OFFSET+LIMIT rows survive. DISTINCT normally
+		// needs every row, but its first output row is always the first
+		// input row, so LIMIT 1 OFFSET 0 still short-circuits — the shape
+		// of every endpoint existence probe (wrapper.ExecuteExists).
+		limit = stmt.Offset + stmt.Limit
+	}
+	rel, stopped, err := p.materialize(db, limit)
+	if err != nil {
+		return nil, err
+	}
+	if stopped {
+		counters.limitShort.Add(1)
+	}
+	res, err := finish(rel, stmt)
+	if err != nil {
+		return nil, err
+	}
+	res.Plan = p.plan
+	return res, nil
+}
+
+// ExecuteFullScan runs the statement through the pre-planner interpreter:
+// full scans, WHERE evaluated per joined row, build-right hash joins. It
+// is retained as the reference implementation — the planner/interpreter
+// equivalence suite and the benchmarks compare against it.
+func ExecuteFullScan(db *relational.Database, stmt *SelectStmt) (*Result, error) {
 	rel, err := buildFrom(db, stmt)
 	if err != nil {
 		return nil, err
@@ -110,13 +150,23 @@ func Execute(db *relational.Database, stmt *SelectStmt) (*Result, error) {
 			return nil, err
 		}
 	}
+	return finish(rel, stmt)
+}
 
-	hasAgg := len(stmt.GroupBy) > 0
+// anyAgg reports whether any projection item aggregates.
+func anyAgg(stmt *SelectStmt) bool {
 	for _, it := range stmt.Items {
 		if !it.Star && containsAgg(it.Expr) {
-			hasAgg = true
+			return true
 		}
 	}
+	return false
+}
+
+// finish applies projection, aggregation, DISTINCT, ordering and limits to
+// the joined-and-filtered working relation.
+func finish(rel *relation, stmt *SelectStmt) (*Result, error) {
+	hasAgg := len(stmt.GroupBy) > 0 || anyAgg(stmt)
 
 	type outRow struct {
 		proj relational.Row

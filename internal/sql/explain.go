@@ -8,11 +8,17 @@ import (
 )
 
 // Explain renders a textual execution plan for the statement against the
-// database: access paths, join strategies (hash vs nested loop) with build
-// sides and key columns, filters, aggregation, ordering and limits. The
-// executor and Explain share the equi-join detection logic, so the plan
-// reflects what Execute actually does.
+// database: access paths (index probe vs full scan), pushed-down
+// predicates, join strategies (hash vs nested loop) with build sides and
+// key columns, filters, aggregation, ordering and limits. The rendering is
+// produced from the same QueryPlan the executor runs, so the plan reflects
+// what Execute actually does.
 func Explain(db *relational.Database, stmt *SelectStmt) (string, error) {
+	qp, err := Plan(db, stmt)
+	if err != nil {
+		return "", err
+	}
+
 	var b strings.Builder
 	indent := 0
 	line := func(format string, args ...interface{}) {
@@ -42,13 +48,7 @@ func Explain(db *relational.Database, stmt *SelectStmt) (string, error) {
 		indent++
 	}
 
-	hasAgg := len(stmt.GroupBy) > 0
-	for _, it := range stmt.Items {
-		if !it.Star && containsAgg(it.Expr) {
-			hasAgg = true
-		}
-	}
-	if hasAgg {
+	if len(stmt.GroupBy) > 0 || anyAgg(stmt) {
 		if len(stmt.GroupBy) > 0 {
 			keys := make([]string, len(stmt.GroupBy))
 			for i, g := range stmt.GroupBy {
@@ -68,56 +68,62 @@ func Explain(db *relational.Database, stmt *SelectStmt) (string, error) {
 
 	line("PROJECT %s", projectText(stmt))
 	indent++
-	if stmt.Where != nil {
-		line("FILTER %s", stmt.Where.SQL())
+	if len(qp.Filter) > 0 {
+		line("FILTER %s", strings.Join(qp.Filter, " AND "))
 		indent++
 	}
 
-	// Join tree, mirroring buildFrom's left-deep order and strategy choice.
-	rel, err := baseRelation(db, stmt.From)
-	if err != nil {
-		return "", err
-	}
-	joinLines := []string{
-		fmt.Sprintf("SCAN %s (%d rows)", scanText(stmt.From), db.Table(stmt.From.Table).Len()),
-	}
-	for _, j := range stmt.Joins {
-		right, err := baseRelation(db, j.Table)
-		if err != nil {
-			return "", err
-		}
-		lk, rk, residual := equiJoinKeys(rel, right, j.On)
+	// Join tree, innermost (base scan) last; each join step names its
+	// strategy, build side, keys and the predicates placed at that level.
+	joinLines := []string{scanLine(db, qp.Scans[0])}
+	for i, jp := range qp.Joins {
 		kind := "NESTED LOOP JOIN"
-		detail := "on " + j.On.SQL()
-		if len(lk) > 0 {
+		detail := "on " + stmt.Joins[i].On.SQL()
+		if jp.Strategy == StrategyHash {
 			kind = "HASH JOIN"
-			keys := make([]string, len(lk))
-			for i := range lk {
-				keys[i] = rel.cols[lk[i]].display + " = " + right.cols[rk[i]].display
+			side := "right"
+			if jp.BuildLeft {
+				side = "left"
 			}
-			detail = "build right on " + strings.Join(keys, ", ")
-			if len(residual) > 0 {
-				parts := make([]string, len(residual))
-				for i, r := range residual {
-					parts[i] = r.SQL()
-				}
-				detail += " residual " + strings.Join(parts, " AND ")
+			detail = "build " + side + " on " + strings.Join(jp.Keys, ", ")
+			if len(jp.Residual) > 0 {
+				detail += " residual " + strings.Join(jp.Residual, " AND ")
 			}
 		}
-		if j.Left {
+		if jp.Outer {
 			kind = "LEFT " + kind
 		}
-		joinLines = append(joinLines, fmt.Sprintf("%s %s (%d rows) %s",
-			kind, scanText(j.Table), db.Table(j.Table.Table).Len(), detail))
-		// Extend the bound columns the way the executor would, so later
-		// joins resolve against the accumulated relation.
-		rel = &relation{cols: append(append([]boundCol{}, rel.cols...), right.cols...)}
+		entry := fmt.Sprintf("%s %s %s", kind, scanText(stmt.Joins[i].Table), detail)
+		if len(jp.Filter) > 0 {
+			entry += " filter " + strings.Join(jp.Filter, " AND ")
+		}
+		joinLines = append(joinLines, entry, scanLine(db, qp.Scans[i+1]))
 	}
-	for i := len(joinLines) - 1; i >= 0; i-- {
-		line("%s", joinLines[i])
+	for i := 0; i < len(joinLines); i++ {
+		line("%s", joinLines[len(joinLines)-1-i])
 		indent++
 	}
 	return b.String(), nil
+}
+
+// scanLine renders one base-table access: full scans report the real table
+// size, index probes the matched-row estimate; pushed-down predicates are
+// shown as a scan-level FILTER.
+func scanLine(db *relational.Database, sp ScanPlan) string {
+	tr := TableRef{Table: sp.Table}
+	if sp.Binding != sp.Table {
+		tr.Alias = sp.Binding
+	}
+	var s string
+	if sp.Access == AccessIndexEq {
+		s = fmt.Sprintf("INDEX SCAN %s (%s = %s, ~%d rows)", scanText(tr), sp.IndexColumn, sp.Lookup, sp.EstRows)
+	} else {
+		s = fmt.Sprintf("SCAN %s (%d rows)", scanText(tr), db.Table(sp.Table).Len())
+	}
+	if len(sp.Pushed) > 0 {
+		s += " FILTER " + strings.Join(sp.Pushed, " AND ")
+	}
+	return s
 }
 
 // ExplainQuery parses and explains in one step.

@@ -1,0 +1,847 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/relational"
+)
+
+// LazyIndexThreshold is the table size above which the planner builds an
+// on-demand equality index for a non-key column instead of scanning: below
+// it a filtered scan is cheaper than the build, above it the build
+// amortizes after a single query. Declared key columns (PK, FK and
+// FK-referenced) always qualify for index access regardless of size.
+const LazyIndexThreshold = 256
+
+// Access-path labels used in ScanPlan.Access.
+const (
+	AccessFullScan = "full-scan"
+	AccessIndexEq  = "index-eq"
+)
+
+// Join-strategy labels used in JoinPlan.Strategy.
+const (
+	StrategyHash       = "hash"
+	StrategyNestedLoop = "nested-loop"
+)
+
+// ScanPlan describes how one base table is read: its access path, the
+// predicates pushed down below the joins, and the planner's cardinality
+// estimate.
+type ScanPlan struct {
+	Table   string
+	Binding string
+	Access  string // AccessFullScan or AccessIndexEq
+	// IndexColumn and Lookup describe the index probe (AccessIndexEq only).
+	IndexColumn string
+	Lookup      string
+	// Pushed holds the SQL text of the single-table WHERE conjuncts
+	// evaluated during the scan, below every join.
+	Pushed  []string
+	EstRows int
+}
+
+// JoinPlan describes one join step over the accumulated left relation.
+type JoinPlan struct {
+	Table    string
+	Binding  string
+	Strategy string // StrategyHash or StrategyNestedLoop
+	// BuildLeft is set when the hash join builds on the (estimated
+	// smaller) accumulated left side and probes with the right table,
+	// instead of the default build-right.
+	BuildLeft bool
+	Outer     bool
+	Keys      []string // equi-join key pairs ("l = r")
+	Residual  []string // non-equi ON conjuncts re-checked per candidate
+	Filter    []string // WHERE conjuncts placed directly after this join
+	EstRows   int
+}
+
+// QueryPlan is the introspectable execution plan of a SELECT: which access
+// path each table uses, how joins run, and where each WHERE conjunct was
+// placed. Tests and benchmarks assert against it; Explain renders it.
+type QueryPlan struct {
+	Scans []ScanPlan
+	Joins []JoinPlan
+	// Filter holds WHERE conjuncts that could not be placed below or
+	// between joins (aggregates, unresolvable references) and run over the
+	// final joined relation.
+	Filter []string
+}
+
+// PlannerStats is a snapshot of the package-wide planner counters, the
+// operator-facing view of what the planning layer is doing (surfaced by
+// cmd/queststats).
+type PlannerStats struct {
+	Plans              uint64 // plans constructed (cache misses included)
+	PlanCacheHits      uint64
+	PlanCacheMisses    uint64
+	IndexScans         uint64 // scans routed through an equality index
+	FullScans          uint64
+	LazyIndexBuilds    uint64 // index builds the planner itself triggered
+	HashJoins          uint64
+	NestedLoopJoins    uint64
+	BuildSideSwaps     uint64 // hash joins that built on the left side
+	PushedPredicates   uint64 // WHERE conjuncts pushed below a join
+	ExistsFastPaths    uint64 // Exists calls served by the streaming path
+	LimitShortCircuits uint64 // Execute calls that stopped at LIMIT early
+}
+
+type plannerCounters struct {
+	plans, cacheHits, cacheMisses      atomic.Uint64
+	indexScans, fullScans, lazyBuilds  atomic.Uint64
+	hashJoins, nestedLoops, buildSwaps atomic.Uint64
+	pushed, existsFast, limitShort     atomic.Uint64
+}
+
+var counters plannerCounters
+
+// Stats returns the current planner counters.
+func Stats() PlannerStats {
+	return PlannerStats{
+		Plans:              counters.plans.Load(),
+		PlanCacheHits:      counters.cacheHits.Load(),
+		PlanCacheMisses:    counters.cacheMisses.Load(),
+		IndexScans:         counters.indexScans.Load(),
+		FullScans:          counters.fullScans.Load(),
+		LazyIndexBuilds:    counters.lazyBuilds.Load(),
+		HashJoins:          counters.hashJoins.Load(),
+		NestedLoopJoins:    counters.nestedLoops.Load(),
+		BuildSideSwaps:     counters.buildSwaps.Load(),
+		PushedPredicates:   counters.pushed.Load(),
+		ExistsFastPaths:    counters.existsFast.Load(),
+		LimitShortCircuits: counters.limitShort.Load(),
+	}
+}
+
+// ResetStats zeroes the planner counters (tests and benchmarks).
+func ResetStats() { counters = plannerCounters{} }
+
+// planCache memoizes plans across Execute/Exists calls. The key embeds the
+// database identity, its data version (any Insert changes the version, so
+// cached index probes can never serve stale ordinals) and the canonical
+// SQL text; the engine re-executes cached explanations on every search, so
+// plan reuse is the common case.
+var planCache = cache.New[string, *plannedQuery](512)
+
+// scanNode is the planned read of one base table. It deliberately stores
+// no *relational.Table: cached plans must not pin a database's row data
+// (the plan cache outlives short-lived databases), so executions re-bind
+// tables by name (plannedQuery.bind). The captured probe ordinals are
+// plain ints and stay valid for the (database ID, data version) the plan
+// was keyed under.
+type scanNode struct {
+	tr   TableRef
+	cols []boundCol // this table's bound columns only
+	// pushed predicates are evaluated against cols during the scan.
+	pushed []Expr
+	// idxOrd/idxCol/idxVal select the equality-index probe; idxOrd < 0
+	// means full scan.
+	idxOrd int
+	idxCol string
+	idxVal relational.Value
+	// ords are the probe results captured at plan time (shared, read-only).
+	ords []int
+	est  int
+}
+
+// joinStep is one planned join of the accumulated left relation with a
+// base-table scan.
+type joinStep struct {
+	right    *scanNode
+	jc       JoinClause
+	lk, rk   []int  // equi-key ordinals (accumulated-left / right-local)
+	residual []Expr // non-equi ON conjuncts
+	where    []Expr // WHERE conjuncts placed right after this join
+	// buildLeft materializes the accumulated left side and probes with the
+	// right scan (inner hash joins whose left side is estimated smaller).
+	buildLeft bool
+	outCols   []boundCol // accumulated columns after this join
+	est       int
+}
+
+// plannedQuery is an executable plan: a base scan, join steps, and the
+// residual top-level filter. It is immutable after planning — every
+// execution keeps its own state — so one plan can serve concurrent
+// Execute/Exists calls (the engine's parallel validation relies on this).
+type plannedQuery struct {
+	base        *scanNode
+	steps       []*joinStep
+	outCols     []boundCol
+	finalFilter []Expr
+	plan        *QueryPlan
+}
+
+// errStopIteration is the internal sentinel the streaming executor uses to
+// unwind once a row limit (LIMIT short-circuit, Exists) is satisfied.
+var errStopIteration = errors.New("sql: stop iteration")
+
+// Plan returns the execution plan the executor would use for the
+// statement, without running it.
+func Plan(db *relational.Database, stmt *SelectStmt) (*QueryPlan, error) {
+	p, err := planSelect(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	return p.plan, nil
+}
+
+// planSelect builds (or retrieves from the plan cache) the execution plan
+// for a statement. The key is the canonical SQL text (re-rendered per call
+// — statements carry no cache slot, and the text is what makes the key
+// independent of pointer identity and mutation) prefixed with the database
+// identity and data version.
+func planSelect(db *relational.Database, stmt *SelectStmt) (*plannedQuery, error) {
+	var kb strings.Builder
+	kb.WriteString(strconv.FormatUint(db.ID(), 10))
+	kb.WriteByte(0)
+	kb.WriteString(strconv.FormatUint(db.DataVersion(), 10))
+	kb.WriteByte(0)
+	kb.WriteString(stmt.SQL())
+	key := kb.String()
+	if p, ok := planCache.Get(key); ok {
+		counters.cacheHits.Add(1)
+		return p, nil
+	}
+	counters.cacheMisses.Add(1)
+	p, err := buildPlan(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	planCache.Put(key, p)
+	return p, nil
+}
+
+func newScanNode(db *relational.Database, tr TableRef) (*scanNode, *relational.Table, error) {
+	t := db.Table(tr.Table)
+	if t == nil {
+		return nil, nil, fmt.Errorf("sql: unknown table %s", tr.Table)
+	}
+	binding := strings.ToLower(tr.Binding())
+	n := &scanNode{tr: tr, idxOrd: -1, est: t.Len()}
+	for _, c := range t.Schema.Columns {
+		n.cols = append(n.cols, boundCol{
+			binding: binding,
+			name:    strings.ToLower(c.Name),
+			display: tr.Binding() + "." + c.Name,
+		})
+	}
+	return n, t, nil
+}
+
+// collectRefs appends every column reference inside e to out.
+func collectRefs(e Expr, out *[]*ColumnRef) {
+	switch x := e.(type) {
+	case *ColumnRef:
+		*out = append(*out, x)
+	case *BinaryExpr:
+		collectRefs(x.Left, out)
+		collectRefs(x.Right, out)
+	case *NotExpr:
+		collectRefs(x.Inner, out)
+	case *IsNullExpr:
+		collectRefs(x.Inner, out)
+	case *InExpr:
+		collectRefs(x.Inner, out)
+		for _, i := range x.List {
+			collectRefs(i, out)
+		}
+	case *AggExpr:
+		if x.Arg != nil {
+			collectRefs(x.Arg, out)
+		}
+	}
+}
+
+func buildPlan(db *relational.Database, stmt *SelectStmt) (*plannedQuery, error) {
+	counters.plans.Add(1)
+	base, baseTable, err := newScanNode(db, stmt.From)
+	if err != nil {
+		return nil, err
+	}
+	nodes := []*scanNode{base}
+	tables := []*relational.Table{baseTable}
+	p := &plannedQuery{base: base}
+	outCols := append([]boundCol{}, base.cols...)
+	// nodeStart[i] is the ordinal in outCols where nodes[i]'s columns
+	// begin; nodeStep[i] is the join-step index that introduced nodes[i]
+	// (-1 for the base table).
+	nodeStart := []int{0}
+	nodeStep := []int{-1}
+	for si, jc := range stmt.Joins {
+		right, rightTable, err := newScanNode(db, jc.Table)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, right)
+		tables = append(tables, rightTable)
+		nodeStart = append(nodeStart, len(outCols))
+		nodeStep = append(nodeStep, si)
+		outCols = append(outCols, right.cols...)
+		p.steps = append(p.steps, &joinStep{right: right, jc: jc})
+	}
+	p.outCols = outCols
+	full := &relation{cols: outCols}
+
+	// ownerNode maps a resolved column ordinal to the scan node owning it.
+	ownerNode := func(ord int) int {
+		for i := len(nodeStart) - 1; i >= 0; i-- {
+			if ord >= nodeStart[i] {
+				return i
+			}
+		}
+		return 0
+	}
+
+	// Split the WHERE conjunction and place each conjunct as low as
+	// legality allows: single-table conjuncts go below the joins into the
+	// owning scan (unless that table is null-extended by a LEFT join —
+	// pushing below would resurrect rows the predicate must remove),
+	// multi-table conjuncts go right after the earliest join that sees all
+	// their tables, and everything else (aggregates, references that do
+	// not resolve) stays in the final filter so errors surface exactly
+	// where the un-planned interpreter would raise them: per joined row.
+	if stmt.Where != nil {
+		for _, c := range splitAnd(stmt.Where) {
+			p.placeConjunct(c, full, ownerNode, nodes, nodeStep)
+		}
+	}
+
+	// Access-path selection per scan: route one equality predicate through
+	// a hash index when the column is index-worthy.
+	for i, n := range nodes {
+		if err := n.chooseAccess(tables[i], db.Schema.KeyColumns(n.tr.Table)); err != nil {
+			return nil, err
+		}
+	}
+
+	// Join planning: equi-key detection against the accumulated relation,
+	// then build-side selection by estimated cardinality.
+	accum := &relation{cols: append([]boundCol{}, base.cols...)}
+	leftEst := base.est
+	for _, st := range p.steps {
+		rightRel := &relation{cols: st.right.cols}
+		st.lk, st.rk, st.residual = equiJoinKeys(accum, rightRel, st.jc.On)
+		accum = &relation{cols: append(append([]boundCol{}, accum.cols...), st.right.cols...)}
+		st.outCols = accum.cols
+		if len(st.lk) > 0 {
+			// Build on the estimated-smaller side. LEFT joins must probe
+			// from the left to track unmatched left rows, so they always
+			// build right.
+			st.buildLeft = !st.jc.Left && leftEst < st.right.est
+			if leftEst > st.right.est {
+				st.est = leftEst
+			} else {
+				st.est = st.right.est
+			}
+		} else {
+			st.est = leftEst * st.right.est
+			if st.est < leftEst { // overflow guard
+				st.est = leftEst
+			}
+		}
+		if st.jc.Left && st.est < leftEst {
+			st.est = leftEst // outer join preserves every left row
+		}
+		leftEst = st.est
+	}
+
+	p.plan = p.describe()
+	return p, nil
+}
+
+// placeConjunct assigns one WHERE conjunct to its lowest legal position.
+func (p *plannedQuery) placeConjunct(c Expr, full *relation, ownerNode func(int) int,
+	nodes []*scanNode, nodeStep []int) {
+	if containsAgg(c) {
+		p.finalFilter = append(p.finalFilter, c)
+		return
+	}
+	var refs []*ColumnRef
+	collectRefs(c, &refs)
+	involved := make(map[int]bool)
+	for _, r := range refs {
+		ord, err := full.resolve(r)
+		if err != nil {
+			// Unknown or ambiguous reference: keep the conjunct at the
+			// top so the interpreter raises the identical per-row error.
+			p.finalFilter = append(p.finalFilter, c)
+			return
+		}
+		involved[ownerNode(ord)] = true
+	}
+	if len(involved) == 0 {
+		// Constant conjunct: evaluate during the base scan (TRUE keeps
+		// everything, FALSE/NULL empties the result either way).
+		p.base.pushed = append(p.base.pushed, c)
+		return
+	}
+	// The conjunct must run at or after the step where its last table
+	// appears; null-extended (LEFT-joined) tables additionally pin it to
+	// after their own join.
+	at := -1
+	single := -1
+	for ni := range involved {
+		step := nodeStep[ni]
+		if step > at {
+			at = step
+		}
+		single = ni
+	}
+	if len(involved) == 1 && (single == 0 || !p.steps[nodeStep[single]].jc.Left) {
+		nodes[single].pushed = append(nodes[single].pushed, c)
+		if single != 0 {
+			counters.pushed.Add(1)
+		}
+		return
+	}
+	if at < 0 {
+		// Single-table conjunct on the base table of a LEFT join chain is
+		// handled above; at < 0 here means base-only multi-ref — push it.
+		p.base.pushed = append(p.base.pushed, c)
+		return
+	}
+	p.steps[at].where = append(p.steps[at].where, c)
+}
+
+// chooseAccess picks the scan's access path: one equality conjunct
+// `col = literal` routed through a hash index when the column is a
+// declared key, already indexed, or the table is large enough that an
+// on-demand build pays for itself. The chosen conjunct is removed from the
+// pushed list — index probes are exact under Value.Key semantics, so
+// re-evaluating it per row would be wasted work.
+func (n *scanNode) chooseAccess(t *relational.Table, keyCols map[string]bool) error {
+	local := &relation{cols: n.cols}
+	best := -1
+	bestPK := false
+	var bestOrd int
+	var bestVal relational.Value
+	for ci, c := range n.pushed {
+		be, ok := c.(*BinaryExpr)
+		if !ok || be.Op != OpEq {
+			continue
+		}
+		ref, lit := be.Left, be.Right
+		if _, isRef := ref.(*ColumnRef); !isRef {
+			ref, lit = be.Right, be.Left
+		}
+		cr, okRef := ref.(*ColumnRef)
+		l, okLit := lit.(*Literal)
+		if !okRef || !okLit || l.Value.IsNull() {
+			continue
+		}
+		ord, err := local.resolve(cr)
+		if err != nil {
+			continue
+		}
+		colName := t.Schema.Columns[ord].Name
+		indexed := keyCols[strings.ToLower(colName)] || t.HasIndex(colName)
+		if !indexed && t.Len() < LazyIndexThreshold {
+			continue
+		}
+		isPK := strings.EqualFold(t.Schema.PrimaryKey, colName)
+		if best < 0 || (isPK && !bestPK) {
+			best, bestPK, bestOrd, bestVal = ci, isPK, ord, l.Value
+		}
+	}
+	if best < 0 {
+		counters.fullScans.Add(1)
+		if len(n.pushed) > 0 {
+			// Crude selectivity: each residual predicate halves the scan.
+			n.est = t.Len() >> uint(min(len(n.pushed), 4))
+			if n.est < 1 {
+				n.est = 1
+			}
+		}
+		return nil
+	}
+	colName := t.Schema.Columns[bestOrd].Name
+	if !bestPK && !t.HasIndex(colName) {
+		counters.lazyBuilds.Add(1)
+	}
+	ords, err := t.LookupOrdinals(colName, bestVal)
+	if err != nil {
+		return err
+	}
+	counters.indexScans.Add(1)
+	n.idxOrd = bestOrd
+	n.idxCol = colName
+	n.idxVal = bestVal
+	n.ords = ords
+	n.pushed = append(n.pushed[:best:best], n.pushed[best+1:]...)
+	n.est = len(ords)
+	return nil
+}
+
+// describe freezes the plan into its introspectable form.
+func (p *plannedQuery) describe() *QueryPlan {
+	qp := &QueryPlan{}
+	nodes := []*scanNode{p.base}
+	for _, st := range p.steps {
+		nodes = append(nodes, st.right)
+	}
+	for _, n := range nodes {
+		sp := ScanPlan{
+			Table:   n.tr.Table,
+			Binding: n.tr.Binding(),
+			Access:  AccessFullScan,
+			EstRows: n.est,
+		}
+		if n.idxOrd >= 0 {
+			sp.Access = AccessIndexEq
+			sp.IndexColumn = n.idxCol
+			sp.Lookup = n.idxVal.SQL()
+		}
+		for _, c := range n.pushed {
+			sp.Pushed = append(sp.Pushed, c.SQL())
+		}
+		qp.Scans = append(qp.Scans, sp)
+	}
+	lcols := p.base.cols
+	for _, st := range p.steps {
+		jp := JoinPlan{
+			Table:     st.right.tr.Table,
+			Binding:   st.right.tr.Binding(),
+			Strategy:  StrategyNestedLoop,
+			BuildLeft: st.buildLeft,
+			Outer:     st.jc.Left,
+			EstRows:   st.est,
+		}
+		if len(st.lk) > 0 {
+			jp.Strategy = StrategyHash
+			for i := range st.lk {
+				jp.Keys = append(jp.Keys, lcols[st.lk[i]].display+" = "+st.right.cols[st.rk[i]].display)
+			}
+		}
+		for _, r := range st.residual {
+			jp.Residual = append(jp.Residual, r.SQL())
+		}
+		for _, w := range st.where {
+			jp.Filter = append(jp.Filter, w.SQL())
+		}
+		qp.Joins = append(qp.Joins, jp)
+		lcols = st.outCols
+	}
+	for _, c := range p.finalFilter {
+		qp.Filter = append(qp.Filter, c.SQL())
+	}
+	return qp
+}
+
+// ---- streaming execution ----
+
+// evalConjuncts reports whether every conjunct evaluates to TRUE for the
+// row (SQL three-valued semantics: NULL rejects).
+func evalConjuncts(rel *relation, row relational.Row, cs []Expr) (bool, error) {
+	for _, c := range cs {
+		v, err := eval(rel, row, c)
+		if err != nil {
+			return false, err
+		}
+		if !v.AsBool() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// boundTables are the per-execution table bindings of a plan: entry 0 is
+// the base scan's table, entry i+1 the right table of join step i. Cached
+// plans store no table pointers, so every run re-binds against the (same)
+// database first.
+type boundTables []*relational.Table
+
+// bind resolves the plan's table names against db. The plan cache keys on
+// the database ID, so a cached plan only ever meets the database it was
+// built for; the nil check guards programmer error, not a live code path.
+func (p *plannedQuery) bind(db *relational.Database) (boundTables, error) {
+	bt := make(boundTables, 0, len(p.steps)+1)
+	for _, tr := range append([]TableRef{p.base.tr}, joinRefs(p.steps)...) {
+		t := db.Table(tr.Table)
+		if t == nil {
+			return nil, fmt.Errorf("sql: unknown table %s", tr.Table)
+		}
+		bt = append(bt, t)
+	}
+	return bt, nil
+}
+
+func joinRefs(steps []*joinStep) []TableRef {
+	out := make([]TableRef, len(steps))
+	for i, st := range steps {
+		out[i] = st.right.tr
+	}
+	return out
+}
+
+// streamScan yields the scan's rows (index probe or full scan) that pass
+// its pushed predicates.
+func (p *plannedQuery) streamScan(n *scanNode, t *relational.Table, emit func(relational.Row) error) error {
+	local := &relation{cols: n.cols}
+	yield := func(row relational.Row) error {
+		ok, err := evalConjuncts(local, row, n.pushed)
+		if err != nil || !ok {
+			return err
+		}
+		return emit(row)
+	}
+	if n.idxOrd >= 0 {
+		for _, o := range n.ords {
+			if err := yield(t.Row(o)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, row := range t.Rows() {
+		if err := yield(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// stream yields the rows of the relation after join step i (i == -1 is the
+// base scan), with that step's placed WHERE conjuncts applied.
+func (p *plannedQuery) stream(i int, bt boundTables, emit func(relational.Row) error) error {
+	if i < 0 {
+		return p.streamScan(p.base, bt[0], emit)
+	}
+	st := p.steps[i]
+	outRel := &relation{cols: st.outCols}
+	// filtered applies the step's placed WHERE conjuncts before emitting.
+	filtered := func(row relational.Row) error {
+		ok, err := evalConjuncts(outRel, row, st.where)
+		if err != nil || !ok {
+			return err
+		}
+		return emit(row)
+	}
+	concat := func(l, r relational.Row) relational.Row {
+		row := make(relational.Row, 0, len(l)+len(r))
+		row = append(row, l...)
+		return append(row, r...)
+	}
+
+	if len(st.lk) == 0 {
+		counters.nestedLoops.Add(1)
+		var rightRows []relational.Row
+		if err := p.streamScan(st.right, bt[i+1], func(r relational.Row) error {
+			rightRows = append(rightRows, r)
+			return nil
+		}); err != nil {
+			return err
+		}
+		return p.stream(i-1, bt, func(lrow relational.Row) error {
+			matched := false
+			for _, rrow := range rightRows {
+				cand := concat(lrow, rrow)
+				v, err := eval(outRel, cand, st.jc.On)
+				if err != nil {
+					return err
+				}
+				if !v.AsBool() {
+					continue
+				}
+				matched = true
+				if err := filtered(cand); err != nil {
+					return err
+				}
+			}
+			if st.jc.Left && !matched {
+				return filtered(concat(lrow, nullRow(len(st.right.cols))))
+			}
+			return nil
+		})
+	}
+
+	counters.hashJoins.Add(1)
+	if st.buildLeft {
+		counters.buildSwaps.Add(1)
+		// Materialize the (smaller) accumulated left side, probe with the
+		// right scan. Inner joins only, so no match tracking is needed.
+		var leftRows []relational.Row
+		if err := p.stream(i-1, bt, func(l relational.Row) error {
+			leftRows = append(leftRows, l)
+			return nil
+		}); err != nil {
+			return err
+		}
+		build := make(map[uint64][]int, len(leftRows))
+		for li, lrow := range leftRows {
+			k, null := joinKey(lrow, st.lk)
+			if null {
+				continue
+			}
+			build[k] = append(build[k], li)
+		}
+		return p.streamScan(st.right, bt[i+1], func(rrow relational.Row) error {
+			k, null := joinKey(rrow, st.rk)
+			if null {
+				return nil
+			}
+			for _, li := range build[k] {
+				if !joinKeysEqual(leftRows[li], st.lk, rrow, st.rk) {
+					continue
+				}
+				cand := concat(leftRows[li], rrow)
+				ok, err := evalConjuncts(outRel, cand, st.residual)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				if err := filtered(cand); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+
+	// Default hash join: build on the right scan, probe with the streamed
+	// left side (required for LEFT joins, which null-extend unmatched left
+	// rows).
+	var rightRows []relational.Row
+	if err := p.streamScan(st.right, bt[i+1], func(r relational.Row) error {
+		rightRows = append(rightRows, r)
+		return nil
+	}); err != nil {
+		return err
+	}
+	build := make(map[uint64][]int, len(rightRows))
+	for ri, rrow := range rightRows {
+		k, null := joinKey(rrow, st.rk)
+		if null {
+			continue
+		}
+		build[k] = append(build[k], ri)
+	}
+	return p.stream(i-1, bt, func(lrow relational.Row) error {
+		matched := false
+		if k, null := joinKey(lrow, st.lk); !null {
+			for _, ri := range build[k] {
+				if !joinKeysEqual(lrow, st.lk, rightRows[ri], st.rk) {
+					continue
+				}
+				cand := concat(lrow, rightRows[ri])
+				ok, err := evalConjuncts(outRel, cand, st.residual)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+				matched = true
+				if err := filtered(cand); err != nil {
+					return err
+				}
+			}
+		}
+		if st.jc.Left && !matched {
+			return filtered(concat(lrow, nullRow(len(st.right.cols))))
+		}
+		return nil
+	})
+}
+
+// run streams the fully joined and filtered relation to emit. Returning
+// errStopIteration from emit stops the pipeline without error.
+func (p *plannedQuery) run(db *relational.Database, emit func(relational.Row) error) error {
+	bt, err := p.bind(db)
+	if err != nil {
+		return err
+	}
+	fullRel := &relation{cols: p.outCols}
+	wrapped := func(row relational.Row) error {
+		ok, err := evalConjuncts(fullRel, row, p.finalFilter)
+		if err != nil || !ok {
+			return err
+		}
+		return emit(row)
+	}
+	err = p.stream(len(p.steps)-1, bt, wrapped)
+	if errors.Is(err, errStopIteration) {
+		return nil
+	}
+	return err
+}
+
+// materialize collects at most limit rows (limit < 0 collects everything);
+// stopped reports whether the pipeline actually cut off early at the cap.
+func (p *plannedQuery) materialize(db *relational.Database, limit int) (rel *relation, stopped bool, err error) {
+	rel = &relation{cols: p.outCols}
+	err = p.run(db, func(row relational.Row) error {
+		rel.rows = append(rel.rows, row)
+		if limit >= 0 && len(rel.rows) >= limit {
+			stopped = true
+			return errStopIteration
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return rel, stopped, nil
+}
+
+// Exists reports whether the statement yields at least one row, stopping
+// at the first surviving tuple instead of materializing the result. This
+// is the execution mode behind validation queries (core's PruneEmpty):
+// their cost stops scaling with result size.
+func Exists(db *relational.Database, stmt *SelectStmt) (bool, error) {
+	if stmt.Limit == 0 {
+		return false, nil
+	}
+	if len(stmt.GroupBy) > 0 || anyAgg(stmt) || (stmt.Distinct && stmt.Offset > 0) {
+		// Aggregation changes the row count (a global aggregate always
+		// yields one row) and DISTINCT interacts with OFFSET; both are
+		// rare for validation queries, so fall back to full execution.
+		res, err := Execute(db, stmt)
+		if err != nil {
+			return false, err
+		}
+		return len(res.Rows) > 0, nil
+	}
+	p, err := planSelect(db, stmt)
+	if err != nil {
+		return false, err
+	}
+	counters.existsFast.Add(1)
+	need := stmt.Offset + 1
+	count := 0
+	fullRel := &relation{cols: p.outCols}
+	columns := projectionColumns(fullRel, stmt)
+	err = p.run(db, func(row relational.Row) error {
+		count++
+		if count == 1 {
+			// Error parity with Execute, which resolves the projection and
+			// ORDER BY per row: evaluate them once on the first surviving
+			// row so a statement Execute would reject (unknown projection
+			// column, bad order key) fails here too instead of silently
+			// reporting existence — pruneEmpty relies on that error to
+			// mark validations as failed rather than empty.
+			proj, err := projectRow(fullRel, row, stmt)
+			if err != nil {
+				return err
+			}
+			if _, err := orderKeysRow(fullRel, row, stmt, columns, proj); err != nil {
+				return err
+			}
+		}
+		if count >= need {
+			return errStopIteration
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return count >= need, nil
+}

@@ -1,0 +1,240 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+func planFor(t *testing.T, db *relational.Database, src string) *QueryPlan {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	qp, err := Plan(db, stmt)
+	if err != nil {
+		t.Fatalf("Plan(%q): %v", src, err)
+	}
+	return qp
+}
+
+// TestPlanIndexVsFullScan is the core introspection contract: an equality
+// predicate on a declared key column routes through the hash index, while
+// an equality predicate on a non-indexed column of a small table falls
+// back to a filtered full scan.
+func TestPlanIndexVsFullScan(t *testing.T) {
+	db := testDB(t)
+
+	qp := planFor(t, db, "SELECT title FROM movie WHERE movie_id = 2")
+	if qp.Scans[0].Access != AccessIndexEq {
+		t.Fatalf("PK equality access = %q, want %q (plan %+v)", qp.Scans[0].Access, AccessIndexEq, qp)
+	}
+	if qp.Scans[0].IndexColumn != "movie_id" || qp.Scans[0].EstRows != 1 {
+		t.Errorf("index scan = %+v, want movie_id probe with 1 row", qp.Scans[0])
+	}
+	if len(qp.Scans[0].Pushed) != 0 {
+		t.Errorf("index-served predicate must not be re-evaluated: pushed = %v", qp.Scans[0].Pushed)
+	}
+
+	qp = planFor(t, db, "SELECT title FROM movie WHERE title = 'dark river'")
+	if qp.Scans[0].Access != AccessFullScan {
+		t.Fatalf("non-indexed equality access = %q, want %q", qp.Scans[0].Access, AccessFullScan)
+	}
+	if len(qp.Scans[0].Pushed) != 1 {
+		t.Errorf("full scan must keep the predicate: pushed = %v", qp.Scans[0].Pushed)
+	}
+
+	// FK columns are index-worthy even on small tables.
+	qp = planFor(t, db, "SELECT cast_id FROM cast_info WHERE person_id = 1")
+	if qp.Scans[0].Access != AccessIndexEq || qp.Scans[0].IndexColumn != "person_id" {
+		t.Errorf("FK equality = %+v, want person_id index probe", qp.Scans[0])
+	}
+}
+
+// TestPlanPredicatePushdown checks that single-table WHERE conjuncts drop
+// below the join into the owning scan, leaving no top-level filter.
+func TestPlanPredicatePushdown(t *testing.T) {
+	db := testDB(t)
+	qp := planFor(t, db, `SELECT person.name FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		WHERE cast_info.role = 'actor' AND person.name LIKE 'a%'`)
+	if len(qp.Filter) != 0 {
+		t.Errorf("top-level filter should be empty after pushdown: %v", qp.Filter)
+	}
+	if got := strings.Join(qp.Scans[0].Pushed, ";"); !strings.Contains(got, "LIKE") {
+		t.Errorf("person scan should carry the LIKE predicate, got %q", got)
+	}
+	if got := strings.Join(qp.Scans[1].Pushed, ";"); !strings.Contains(got, "role") {
+		t.Errorf("cast_info scan should carry the role predicate, got %q", got)
+	}
+	if qp.Joins[0].Strategy != StrategyHash {
+		t.Errorf("join strategy = %q, want hash", qp.Joins[0].Strategy)
+	}
+}
+
+// TestPlanLeftJoinBlocksPushdown: a WHERE predicate on the null-extended
+// side of a LEFT JOIN must stay above the join (pushing it below would
+// resurrect rows the predicate filters out).
+func TestPlanLeftJoinBlocksPushdown(t *testing.T) {
+	db := testDB(t)
+	qp := planFor(t, db, `SELECT movie.title FROM movie
+		LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id
+		WHERE cast_info.role = 'actor'`)
+	if len(qp.Scans[1].Pushed) != 0 || qp.Scans[1].Access != AccessFullScan {
+		t.Errorf("predicate was pushed below a LEFT JOIN: %+v", qp.Scans[1])
+	}
+	if len(qp.Joins[0].Filter) != 1 {
+		t.Errorf("predicate should sit right after the join: %+v", qp.Joins[0])
+	}
+	if !qp.Joins[0].Outer {
+		t.Errorf("join not marked outer: %+v", qp.Joins[0])
+	}
+}
+
+// TestPlanBuildSideSelection: when an index probe makes the left side
+// provably smaller, the hash join builds on the left and probes with the
+// right table. LEFT joins must never swap (they track unmatched left
+// rows).
+func TestPlanBuildSideSelection(t *testing.T) {
+	db := testDB(t)
+	qp := planFor(t, db, `SELECT person.name FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		WHERE person.person_id = 1`)
+	if qp.Scans[0].Access != AccessIndexEq {
+		t.Fatalf("left scan = %+v, want index probe", qp.Scans[0])
+	}
+	if !qp.Joins[0].BuildLeft {
+		t.Errorf("1-row left side should be the build side: %+v", qp.Joins[0])
+	}
+
+	qp = planFor(t, db, `SELECT movie.title FROM movie
+		LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id`)
+	if qp.Joins[0].BuildLeft {
+		t.Errorf("LEFT JOIN must not build on the left: %+v", qp.Joins[0])
+	}
+}
+
+// TestPlanAggregateStaysOnTop: aggregate conjuncts cannot be pushed; they
+// remain in the final filter so the per-row error surfaces exactly like
+// the un-planned interpreter.
+func TestPlanAggregateStaysOnTop(t *testing.T) {
+	db := testDB(t)
+	qp := planFor(t, db, "SELECT COUNT(*) FROM movie WHERE COUNT(*) > 1")
+	if len(qp.Filter) != 1 {
+		t.Errorf("aggregate conjunct should be a final filter: %+v", qp)
+	}
+	if _, err := Run(db, "SELECT COUNT(*) FROM movie WHERE COUNT(*) > 1"); err == nil {
+		t.Error("aggregate in WHERE must still fail at execution")
+	}
+}
+
+// TestPlanCache: identical statements against unchanged data reuse the
+// cached plan; any table mutation changes the database version and makes
+// the cached entry unreachable.
+func TestPlanCache(t *testing.T) {
+	db := testDB(t)
+	stmt, err := Parse("SELECT title FROM movie WHERE movie_id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := planSelect(db, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := planSelect(db, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("unchanged data: second plan should be the cached pointer")
+	}
+	if err := db.Insert("movie", relational.Row{
+		relational.Int(99), relational.String_("new movie"), relational.Int(2020), relational.Float(5.0),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := planSelect(db, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Error("table mutation must invalidate the cached plan")
+	}
+}
+
+// TestResultCarriesPlan: Execute attaches the plan it ran.
+func TestResultCarriesPlan(t *testing.T) {
+	db := testDB(t)
+	res, err := Run(db, "SELECT title FROM movie WHERE movie_id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan == nil || res.Plan.Scans[0].Access != AccessIndexEq {
+		t.Errorf("Result.Plan = %+v, want attached index-scan plan", res.Plan)
+	}
+	full, err := ExecuteFullScan(db, mustParse(t, "SELECT title FROM movie WHERE movie_id = 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Plan != nil {
+		t.Error("full-scan reference path must not claim a plan")
+	}
+}
+
+// TestExists covers the existence fast path against materialized truth.
+func TestExists(t *testing.T) {
+	db := testDB(t)
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"SELECT * FROM movie WHERE movie_id = 1", true},
+		{"SELECT * FROM movie WHERE movie_id = 999", false},
+		{"SELECT * FROM movie WHERE year IS NULL", true},
+		{"SELECT * FROM movie WHERE year = 1800", false},
+		{"SELECT * FROM movie LIMIT 0", false},
+		{"SELECT * FROM movie ORDER BY title OFFSET 3", true},
+		{"SELECT * FROM movie OFFSET 4", false},
+		{`SELECT person.name FROM person
+			JOIN cast_info ON cast_info.person_id = person.person_id
+			WHERE cast_info.role = 'director'`, true},
+		{`SELECT person.name FROM person
+			JOIN cast_info ON cast_info.person_id = person.person_id
+			WHERE cast_info.role = 'producer'`, false},
+		// Aggregation fallback: a global aggregate always yields one row.
+		{"SELECT COUNT(*) FROM movie WHERE year = 1800", true},
+		{"SELECT role, COUNT(*) FROM cast_info GROUP BY role HAVING COUNT(*) > 5", false},
+		{"SELECT DISTINCT role FROM cast_info OFFSET 1", true},
+		{"SELECT DISTINCT role FROM cast_info OFFSET 2", false},
+	}
+	for _, c := range cases {
+		stmt := mustParse(t, c.src)
+		got, err := Exists(db, stmt)
+		if err != nil {
+			t.Errorf("Exists(%q): %v", c.src, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Exists(%q) = %v, want %v", c.src, got, c.want)
+		}
+		// Cross-check against full materialization.
+		res, err := ExecuteFullScan(db, stmt)
+		if err != nil {
+			t.Fatalf("reference Execute(%q): %v", c.src, err)
+		}
+		if (len(res.Rows) > 0) != c.want {
+			t.Errorf("reference disagrees for %q: %d rows", c.src, len(res.Rows))
+		}
+	}
+}
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}

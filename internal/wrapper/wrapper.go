@@ -39,6 +39,38 @@ type ConcurrentExecutor interface {
 	ExecutesConcurrently() bool
 }
 
+// ExistsExecutor is an optional interface for sources that can answer
+// "does this query return any tuple?" without materializing the result.
+// The engine's PruneEmpty validation asks exactly that question once per
+// candidate configuration, so the answer's cost should not scale with the
+// result size. Sources that do not implement it are served by the
+// ExecuteExists helper through a LIMIT 1 probe on their Execute method.
+type ExistsExecutor interface {
+	ExecuteExists(stmt *sql.SelectStmt) (bool, error)
+}
+
+// ExecuteExists reports whether the statement yields at least one tuple on
+// the source, using the cheapest available path: the source's own
+// existence mode when it implements ExistsExecutor, otherwise a LIMIT 1
+// probe through Execute (ORDER BY is dropped — ordering cannot change
+// emptiness — so pass-through endpoints do not pay a sort).
+func ExecuteExists(src Source, stmt *sql.SelectStmt) (bool, error) {
+	if ee, ok := src.(ExistsExecutor); ok {
+		return ee.ExecuteExists(stmt)
+	}
+	if stmt.Limit == 0 {
+		return false, nil
+	}
+	probe := *stmt
+	probe.OrderBy = nil
+	probe.Limit = 1
+	res, err := src.Execute(&probe)
+	if err != nil {
+		return false, err
+	}
+	return len(res.Rows) > 0, nil
+}
+
 // Source is the contract between QUEST and a data source.
 type Source interface {
 	// Name identifies the source in diagnostics.
@@ -142,6 +174,12 @@ func (s *FullAccessSource) EdgeDistance(e relational.JoinEdge) (float64, error) 
 // Execute implements Source directly on the engine.
 func (s *FullAccessSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
 	return sql.Execute(s.db, stmt)
+}
+
+// ExecuteExists implements ExistsExecutor through the engine's streaming
+// existence mode: the query stops at its first surviving tuple.
+func (s *FullAccessSource) ExecuteExists(stmt *sql.SelectStmt) (bool, error) {
+	return sql.Exists(s.db, stmt)
 }
 
 // ExecutesConcurrently implements ConcurrentExecutor: the in-memory SQL

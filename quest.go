@@ -34,6 +34,13 @@
 // concurrency-safe (built-in sources do) or Parallelism explicitly opts
 // in.
 //
+// Generated SQL runs through a cost-aware planner (internal/sql): equality
+// predicates on key columns route through secondary hash indexes,
+// single-table predicates are pushed below joins, hash joins build on the
+// estimated-smaller side, and PruneEmpty validation queries execute in
+// existence-only mode that stops at the first surviving tuple. ExplainSQL
+// (and Result.Plan) expose the chosen plan.
+//
 // Two engine-level caches serve repeat work. A query cache
 // (Options.QueryCacheSize) maps a search's tokenized keywords to its final
 // ranked explanations, and the backward module memoizes Steiner
