@@ -5,9 +5,9 @@ GO       ?= go
 PKGS     ?= ./...
 BENCH    ?= .
 SEED     ?= 42
-SNAPSHOT ?= BENCH_pr2.json
+SNAPSHOT ?= BENCH_pr3.json
 
-.PHONY: all build test race vet bench snapshot ci clean
+.PHONY: all build test race vet bench bench-smoke snapshot ci clean
 
 all: build
 
@@ -27,14 +27,20 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem .
 
+# One-iteration pass over every component benchmark: CI runs this so
+# benchmark code cannot rot between perf PRs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Component -benchtime 1x $(PKGS)
+
 # Machine-readable experiment snapshot via questbench: all experiment
-# tables including the E9 executor/planner and prune-path benchmarks.
-# Committed as BENCH_pr2.json so the perf trajectory is diffable per PR;
-# override SNAPSHOT to write elsewhere.
+# tables including the E9 executor/planner, prune-path and E10
+# statistics/join-order benchmarks. Committed as BENCH_pr3.json so the
+# perf trajectory is diffable per PR; override SNAPSHOT to write
+# elsewhere.
 snapshot:
 	$(GO) run ./cmd/questbench -seed $(SEED) -json $(SNAPSHOT)
 
-ci: build vet test race
+ci: build vet test race bench-smoke
 
 clean:
 	rm -f BENCH_*.json

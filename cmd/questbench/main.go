@@ -1,7 +1,8 @@
 // Command questbench runs the full experiment suite (E1–E8 of DESIGN.md §3
-// plus the E9 executor/planner scorecard) and prints the tables recorded in
-// EXPERIMENTS.md. Each experiment is a deterministic function of the seed,
-// so re-running reproduces the report.
+// plus the E9 executor/planner scorecard and the E10 statistics/join-order
+// scorecard) and prints the tables recorded in EXPERIMENTS.md. Each
+// experiment is a deterministic function of the seed, so re-running
+// reproduces the report.
 //
 // With -json the same tables are also written as a machine-readable
 // BENCH_*.json snapshot (one object per table: title, headers, rows, plus
@@ -10,7 +11,7 @@
 //
 // Usage:
 //
-//	questbench [-exp all|e1..e9] [-seed N] [-n N] [-json BENCH_42.json]
+//	questbench [-exp all|e1..e10] [-seed N] [-n N] [-json BENCH_42.json]
 package main
 
 import (
@@ -84,22 +85,23 @@ func writeSnapshot(path string) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, e1..e9)")
+	exp := flag.String("exp", "all", "experiment to run (all, e1..e10)")
 	flag.Parse()
 
 	runners := map[string]func(){
-		"e1": e1Scalability,
-		"e2": e2Disagreement,
-		"e3": e3Baselines,
-		"e4": e4Uncertainty,
-		"e5": e5FeedbackVolume,
-		"e6": e6DeepWeb,
-		"e7": e7Visualization,
-		"e8": e8Ablations,
-		"e9": e9Planner,
+		"e1":  e1Scalability,
+		"e2":  e2Disagreement,
+		"e3":  e3Baselines,
+		"e4":  e4Uncertainty,
+		"e5":  e5FeedbackVolume,
+		"e6":  e6DeepWeb,
+		"e7":  e7Visualization,
+		"e8":  e8Ablations,
+		"e9":  e9Planner,
+		"e10": e10Statistics,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9"} {
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"} {
 			runners[name]()
 		}
 	} else {
@@ -650,6 +652,101 @@ func e9Planner() {
 			fmt.Sprintf("%.1f", ex), fmt.Sprintf("%.1f", mat), fmt.Sprintf("%.1fx", mat/ex))
 	}
 	emit(tbl2)
+}
+
+// e10Statistics: the PR 3 statistics/join-order scorecard. A skewed
+// ≥3-table join (fact table written first, selective predicate on the last
+// dimension) is timed under the statistics-driven join-order search vs the
+// PR 2 written-order plan, and range/IN/MATCH predicates are timed through
+// their index access paths vs the full-scan interpreter. Every pairing is
+// also checked for identical row counts, so the table doubles as an
+// equivalence smoke test.
+func e10Statistics() {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: 16})
+
+	timeQuery := func(run func() error, reps int) float64 {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := run(); err != nil {
+				panic(err)
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / float64(reps)
+	}
+
+	tbl := &eval.Table{
+		Title:   "E10 — statistics-driven planning vs written-order / full-scan baselines (imdb scale 16)",
+		Headers: []string{"case", "rows", "stats-us", "baseline-us", "speedup", "plan"},
+	}
+
+	// Skewed 3-way join, fact table first: the join-order search must start
+	// from the selective dimension instead.
+	const skewed = `SELECT person.name, movie.title FROM cast_info
+		JOIN movie ON movie.movie_id = cast_info.movie_id
+		JOIN person ON person.person_id = cast_info.person_id
+		WHERE person.person_id = 33`
+	stmt, err := quest.ParseSQL(skewed)
+	if err != nil {
+		panic(err)
+	}
+	res, err := sqlpkg.Execute(db, stmt)
+	if err != nil {
+		panic(err)
+	}
+	reordered := timeQuery(func() error { _, err := sqlpkg.Execute(db, stmt); return err }, 30)
+	sqlpkg.SetJoinReorder(false)
+	wres, err := sqlpkg.Execute(db, stmt) // warm the written-order plan
+	if err != nil {
+		panic(err)
+	}
+	if len(wres.Rows) != len(res.Rows) {
+		panic(fmt.Sprintf("E10 row divergence: reordered %d vs written %d", len(res.Rows), len(wres.Rows)))
+	}
+	written := timeQuery(func() error { _, err := sqlpkg.Execute(db, stmt); return err }, 30)
+	sqlpkg.SetJoinReorder(true)
+	qp, err := sqlpkg.Plan(db, stmt)
+	if err != nil {
+		panic(err)
+	}
+	tbl.AddRow("join-reorder (3-table, skewed)", fmt.Sprint(len(res.Rows)),
+		fmt.Sprintf("%.1f", reordered), fmt.Sprintf("%.1f", written),
+		fmt.Sprintf("%.1fx", written/reordered), strings.Join(qp.JoinOrder, "→"))
+
+	// Index access paths vs the retained full-scan interpreter.
+	for _, c := range []struct {
+		name, src string
+		reps      int
+	}{
+		{"range-scan (BETWEEN)", "SELECT title FROM movie WHERE production_year BETWEEN 1972 AND 1972", 50},
+		{"in-list (unioned postings)", "SELECT title FROM movie WHERE movie_id IN (100, 2000, 4000, 4400)", 50},
+		{"match-postings", "SELECT title FROM movie WHERE title MATCH 'winter'", 50},
+	} {
+		stmt, err := quest.ParseSQL(c.src)
+		if err != nil {
+			panic(err)
+		}
+		res, err := sqlpkg.Execute(db, stmt) // warm plan, stats, indexes
+		if err != nil {
+			panic(err)
+		}
+		ref, err := sqlpkg.ExecuteFullScan(db, stmt)
+		if err != nil {
+			panic(err)
+		}
+		if len(ref.Rows) != len(res.Rows) {
+			panic(fmt.Sprintf("E10 row divergence for %s: planned %d vs reference %d", c.name, len(res.Rows), len(ref.Rows)))
+		}
+		planned := timeQuery(func() error { _, err := sqlpkg.Execute(db, stmt); return err }, c.reps)
+		full := timeQuery(func() error { _, err := sqlpkg.ExecuteFullScan(db, stmt); return err }, c.reps)
+		qp, err := sqlpkg.Plan(db, stmt)
+		if err != nil {
+			panic(err)
+		}
+		tbl.AddRow(c.name, fmt.Sprint(len(res.Rows)),
+			fmt.Sprintf("%.1f", planned), fmt.Sprintf("%.1f", full),
+			fmt.Sprintf("%.1fx", full/planned), qp.Scans[0].Access)
+	}
+	emit(tbl)
 }
 
 var _ = sort.Strings // reserved for future table post-processing

@@ -12,7 +12,12 @@
 // Usage:
 //
 //	queststats [-db imdb|mondial|dblp] [-scale N] [-seed N]
-//	           [-section all|terms|graph|fulltext|indexes|mi] [-sql "SELECT ..."]
+//	           [-section all|terms|graph|fulltext|indexes|stats|mi] [-sql "SELECT ..."]
+//
+// The stats section dumps the per-table/per-column statistics snapshots
+// the SQL planner estimates from (distinct counts, most common values,
+// histogram bounds) plus the planner counters showing how many plans were
+// join-reordered and how many scans the range/IN/MATCH index paths served.
 package main
 
 import (
@@ -35,7 +40,7 @@ func main() {
 		dbName  = flag.String("db", "imdb", "dataset: imdb, mondial or dblp")
 		scale   = flag.Int("scale", 1, "dataset scale factor")
 		seed    = flag.Int64("seed", 42, "dataset seed")
-		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, indexes, mi")
+		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, indexes, stats, mi")
 		sqlText = flag.String("sql", "", "explain this SQL query and exit")
 	)
 	flag.Parse()
@@ -150,28 +155,61 @@ func main() {
 		}
 		fmt.Println(tbl)
 
-		st := sqlpkg.Stats()
-		tbl2 := &eval.Table{
-			Title:   "planner counters (cache, access paths, fast paths)",
-			Headers: []string{"counter", "value"},
+		fmt.Println(plannerCounterTable())
+	}
+
+	if show("stats") {
+		// Plan (and run) a representative workload first so the lazy
+		// statistics the planner consults are the ones reported.
+		sqlpkg.ResetStats()
+		opts := quest.Defaults()
+		opts.PruneEmpty = true
+		eng := quest.Open(db, opts)
+		w := eval.NewGenerator(db, *seed+100).Generate(*dbName, eval.TemplatesFor(*dbName), 2)
+		for _, q := range w.Queries {
+			if ex, err := eng.Search(strings.Join(q.Keywords, " ")); err == nil && len(ex) > 0 {
+				eng.Execute(ex[0])
+			}
 		}
-		for _, row := range [][2]string{
-			{"plans-built", fmt.Sprint(st.Plans)},
-			{"plan-cache-hits", fmt.Sprint(st.PlanCacheHits)},
-			{"plan-cache-misses", fmt.Sprint(st.PlanCacheMisses)},
-			{"index-scans", fmt.Sprint(st.IndexScans)},
-			{"full-scans", fmt.Sprint(st.FullScans)},
-			{"lazy-index-builds", fmt.Sprint(st.LazyIndexBuilds)},
-			{"hash-joins", fmt.Sprint(st.HashJoins)},
-			{"nested-loop-joins", fmt.Sprint(st.NestedLoopJoins)},
-			{"build-side-swaps", fmt.Sprint(st.BuildSideSwaps)},
-			{"pushed-predicates", fmt.Sprint(st.PushedPredicates)},
-			{"exists-fast-paths", fmt.Sprint(st.ExistsFastPaths)},
-			{"limit-short-circuits", fmt.Sprint(st.LimitShortCircuits)},
-		} {
-			tbl2.AddRow(row[0], row[1])
+
+		tbl := &eval.Table{
+			Title:   "column statistics (planner snapshots at current table versions)",
+			Headers: []string{"column", "rows", "nulls", "distinct", "min..max", "buckets", "top MCVs"},
 		}
-		fmt.Println(tbl2)
+		for _, t := range db.Tables() {
+			for _, col := range t.Schema.Columns {
+				cs, err := t.Stats(col.Name)
+				if err != nil {
+					continue
+				}
+				minMax := "-"
+				if !cs.Min.IsNull() {
+					minMax = cs.Min.String() + ".." + cs.Max.String()
+				}
+				mcvs := make([]string, 0, 3)
+				for i, m := range cs.MCVs {
+					if i == 3 {
+						break
+					}
+					mcvs = append(mcvs, fmt.Sprintf("%s×%d", m.Value, m.Count))
+				}
+				mcvText := strings.Join(mcvs, " ")
+				if mcvText == "" {
+					mcvText = "-"
+				}
+				tbl.AddRow(
+					t.Schema.Name+"."+col.Name,
+					fmt.Sprint(cs.Rows),
+					fmt.Sprint(cs.NullCount),
+					fmt.Sprint(cs.Distinct),
+					minMax,
+					fmt.Sprint(len(cs.Buckets)),
+					mcvText,
+				)
+			}
+		}
+		fmt.Println(tbl)
+		fmt.Println(plannerCounterTable())
 	}
 
 	if show("mi") {
@@ -202,4 +240,35 @@ func main() {
 		}
 		fmt.Println(tbl)
 	}
+}
+
+// plannerCounterTable renders the SQL planning layer's counters, including
+// the PR 3 access paths (range/IN/MATCH) and join-reorder decisions.
+func plannerCounterTable() *eval.Table {
+	st := sqlpkg.Stats()
+	tbl := &eval.Table{
+		Title:   "planner counters (cache, access paths, join order, fast paths)",
+		Headers: []string{"counter", "value"},
+	}
+	for _, row := range [][2]string{
+		{"plans-built", fmt.Sprint(st.Plans)},
+		{"plan-cache-hits", fmt.Sprint(st.PlanCacheHits)},
+		{"plan-cache-misses", fmt.Sprint(st.PlanCacheMisses)},
+		{"index-scans", fmt.Sprint(st.IndexScans)},
+		{"range-scans", fmt.Sprint(st.RangeScans)},
+		{"in-scans", fmt.Sprint(st.InScans)},
+		{"match-scans", fmt.Sprint(st.MatchScans)},
+		{"full-scans", fmt.Sprint(st.FullScans)},
+		{"lazy-index-builds", fmt.Sprint(st.LazyIndexBuilds)},
+		{"join-reorders", fmt.Sprint(st.JoinReorders)},
+		{"hash-joins", fmt.Sprint(st.HashJoins)},
+		{"nested-loop-joins", fmt.Sprint(st.NestedLoopJoins)},
+		{"build-side-swaps", fmt.Sprint(st.BuildSideSwaps)},
+		{"pushed-predicates", fmt.Sprint(st.PushedPredicates)},
+		{"exists-fast-paths", fmt.Sprint(st.ExistsFastPaths)},
+		{"limit-short-circuits", fmt.Sprint(st.LimitShortCircuits)},
+	} {
+		tbl.AddRow(row[0], row[1])
+	}
+	return tbl
 }

@@ -734,9 +734,20 @@ func (e *Engine) pruneEmpty(in []*Explanation, workers int) ([]*Explanation, boo
 	return kept, clean
 }
 
-// Execute runs an explanation's SQL through the source's wrapper.
+// Execute runs an explanation's SQL through the source's wrapper. The
+// returned Result carries the execution plan the backend chose (access
+// paths, join order, estimated vs actual cardinalities) when the source's
+// executor exposes one.
 func (e *Engine) Execute(ex *Explanation) (*sql.Result, error) {
 	return e.execute(ex.Stmt)
+}
+
+// PlannerStats snapshots the SQL planning layer's counters — access-path
+// and join-order decisions across every query this process executed
+// (searches, validations, direct SQL). It is the engine-level view behind
+// cmd/queststats' planner table.
+func (e *Engine) PlannerStats() sql.PlannerStats {
+	return sql.Stats()
 }
 
 // execute routes a statement to the source, serializing the calls when the

@@ -173,33 +173,43 @@ func BuildIndex(db *relational.Database) *Index {
 	for _, ts := range db.Schema.Tables() {
 		t := db.Table(ts.Name)
 		for ci, col := range ts.Columns {
-			ai := &AttributeIndex{
-				Table:    ts.Name,
-				Column:   col.Name,
-				postings: make(map[string]*Posting),
-			}
-			for ri, row := range t.Rows() {
-				v := row[ci]
-				if v.IsNull() {
-					continue
-				}
-				n := 0
-				TokenizeEach(v.AsString(), func(tok string) {
-					n++
-					ai.addToken(tok, ri)
-				})
-				if n > 0 {
-					ai.docCount++
-					ai.totalLen += n
-				}
-			}
-			ai.computeNorm()
+			ai := IndexAttribute(t, ci)
 			key := attrKey(ts.Name, col.Name)
 			ix.attrs[key] = ai
 			ix.order = append(ix.order, key)
 		}
 	}
 	return ix
+}
+
+// IndexAttribute builds the inverted index of a single column (by ordinal)
+// of a populated table. It is the unit of work behind BuildIndex, exported
+// so consumers that need postings for one attribute only — the SQL
+// planner's MATCH access path — can build it lazily instead of indexing the
+// whole database.
+func IndexAttribute(t *relational.Table, ord int) *AttributeIndex {
+	ai := &AttributeIndex{
+		Table:    t.Schema.Name,
+		Column:   t.Schema.Columns[ord].Name,
+		postings: make(map[string]*Posting),
+	}
+	for ri, row := range t.Rows() {
+		v := row[ord]
+		if v.IsNull() {
+			continue
+		}
+		n := 0
+		TokenizeEach(v.AsString(), func(tok string) {
+			n++
+			ai.addToken(tok, ri)
+		})
+		if n > 0 {
+			ai.docCount++
+			ai.totalLen += n
+		}
+	}
+	ai.computeNorm()
+	return ai
 }
 
 func attrKey(table, column string) string {

@@ -2,6 +2,7 @@ package relational
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -52,6 +53,29 @@ type Table struct {
 	// index (operator-facing statistic; rebuilds after DropIndexes count
 	// again).
 	indexBuilds int
+	// sortedIndexes maps column ordinal -> row ordinals sorted by value
+	// (range-scan support). Unlike the hash indexes they are not maintained
+	// incrementally: each entry records the version it was built at and is
+	// rebuilt on access when stale.
+	sortedIndexes map[int]*sortedIndex
+	sortedBuilds  int
+	// colStats caches per-column statistics snapshots, version-checked the
+	// same way (see Stats in stats.go).
+	colStats    map[int]*ColumnStats
+	statsBuilds int
+}
+
+// sortedIndex holds a column's non-NULL row ordinals ordered by
+// (value ascending under Compare, ordinal ascending). The version pins the
+// Table.Version it reflects; a mismatch means the table mutated and the
+// index must be rebuilt before use.
+type sortedIndex struct {
+	version uint64
+	ords    []int
+}
+
+func columnError(t *Table, column string) error {
+	return fmt.Errorf("relational: table %s has no column %s", t.Schema.Name, column)
 }
 
 // NewTable returns an empty table for the given schema.
@@ -157,7 +181,7 @@ func (t *Table) LookupPK(v Value) (Row, bool) {
 func (t *Table) EnsureIndex(column string) (map[string][]int, error) {
 	ord := t.Schema.ColumnIndex(column)
 	if ord < 0 {
-		return nil, fmt.Errorf("relational: table %s has no column %s", t.Schema.Name, column)
+		return nil, columnError(t, column)
 	}
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
@@ -204,7 +228,7 @@ func (t *Table) LookupOrdinals(column string, v Value) ([]int, error) {
 	}
 	ord := t.Schema.ColumnIndex(column)
 	if ord < 0 {
-		return nil, fmt.Errorf("relational: table %s has no column %s", t.Schema.Name, column)
+		return nil, columnError(t, column)
 	}
 	if t.pkIndex != nil && ord == t.Schema.ColumnIndex(t.Schema.PrimaryKey) {
 		if i, ok := t.pkIndex[v.Key()]; ok {
@@ -226,6 +250,110 @@ func (t *Table) DistinctCount(column string) (int, error) {
 		return 0, err
 	}
 	return len(idx), nil
+}
+
+// ensureSortedLocked returns the up-to-date sorted index for the column
+// ordinal, building or rebuilding it when missing or stale. Caller holds
+// idxMu.
+func (t *Table) ensureSortedLocked(ord int) *sortedIndex {
+	if si, ok := t.sortedIndexes[ord]; ok && si.version == t.version {
+		return si
+	}
+	ords := make([]int, 0, len(t.rows))
+	for i, r := range t.rows {
+		if r[ord].IsNull() {
+			continue
+		}
+		ords = append(ords, i)
+	}
+	sort.SliceStable(ords, func(a, b int) bool {
+		return Compare(t.rows[ords[a]][ord], t.rows[ords[b]][ord]) < 0
+	})
+	si := &sortedIndex{version: t.version, ords: ords}
+	if t.sortedIndexes == nil {
+		t.sortedIndexes = make(map[int]*sortedIndex)
+	}
+	t.sortedIndexes[ord] = si
+	t.sortedBuilds++
+	return si
+}
+
+// RangeOrdinals returns the ordinals of the rows whose column value lies in
+// the [lo, hi] interval under Compare ordering, with per-bound strictness
+// (loInc/hiInc select ≥/≤ over >/<). A NULL bound is unbounded on that
+// side; NULL cells never qualify (they are absent from the sorted index,
+// matching SQL comparison semantics). The result is ordered by value and is
+// a sub-slice of the shared index — callers must treat it as read-only.
+// The sorted index is built on first use and rebuilt whenever the table
+// version moved, so a stale index is never consulted.
+func (t *Table) RangeOrdinals(column string, lo, hi Value, loInc, hiInc bool) ([]int, error) {
+	ord := t.Schema.ColumnIndex(column)
+	if ord < 0 {
+		return nil, columnError(t, column)
+	}
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	si := t.ensureSortedLocked(ord)
+	val := func(i int) Value { return t.rows[si.ords[i]][ord] }
+	start := 0
+	if !lo.IsNull() {
+		start = sort.Search(len(si.ords), func(i int) bool {
+			c := Compare(val(i), lo)
+			if loInc {
+				return c >= 0
+			}
+			return c > 0
+		})
+	}
+	end := len(si.ords)
+	if !hi.IsNull() {
+		end = sort.Search(len(si.ords), func(i int) bool {
+			c := Compare(val(i), hi)
+			if hiInc {
+				return c > 0
+			}
+			return c >= 0
+		})
+	}
+	if start >= end {
+		return nil, nil
+	}
+	return si.ords[start:end], nil
+}
+
+// HasSortedIndex reports whether an up-to-date sorted index exists for the
+// column (it does not trigger a build).
+func (t *Table) HasSortedIndex(column string) bool {
+	ord := t.Schema.ColumnIndex(column)
+	if ord < 0 {
+		return false
+	}
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	si, ok := t.sortedIndexes[ord]
+	return ok && si.version == t.version
+}
+
+// SortedIndexedColumns returns the names of the columns with an up-to-date
+// sorted index, in schema order (operator-facing statistic).
+func (t *Table) SortedIndexedColumns() []string {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	var out []string
+	for i := range t.Schema.Columns {
+		if si, ok := t.sortedIndexes[i]; ok && si.version == t.version {
+			out = append(out, t.Schema.Columns[i].Name)
+		}
+	}
+	return out
+}
+
+// SortedIndexBuildCount returns how many sorted-index builds this table has
+// performed (first builds and stale-version rebuilds alike).
+func (t *Table) SortedIndexBuildCount() int {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	return t.sortedBuilds
 }
 
 // HasIndex reports whether an equality index is already built for the
@@ -264,14 +392,16 @@ func (t *Table) IndexBuildCount() int {
 	return t.indexBuilds
 }
 
-// DropIndexes discards every lazily built equality index (the primary-key
-// index is schema-declared and kept). Like Insert it belongs to the
-// population phase: call it after bulk row replacement, never concurrently
-// with readers.
+// DropIndexes discards every lazily built equality index, sorted index and
+// statistics snapshot (the primary-key index is schema-declared and kept).
+// Like Insert it belongs to the population phase: call it after bulk row
+// replacement, never concurrently with readers.
 func (t *Table) DropIndexes() {
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
 	t.colIndexes = make(map[int]map[string][]int)
+	t.sortedIndexes = nil
+	t.colStats = nil
 	t.version++
 }
 

@@ -1,7 +1,8 @@
 // Package sql implements the embedded SQL engine QUEST executes its
 // generated queries against: a parser for a SELECT dialect (joins,
 // aggregation, DISTINCT, ORDER BY/LIMIT, LIKE and the full-text MATCH
-// operator), a cost-aware planner, and a streaming executor.
+// operator), a statistics-driven cost-based planner, and a streaming
+// executor.
 //
 // # Architecture
 //
@@ -11,14 +12,20 @@
 //	aggregation, DISTINCT, ordering, limits)
 //
 // The planner (plan.go) sits between Execute and the interpreter and makes
-// three decisions per statement:
+// four decisions per statement:
 //
 //   - Access paths. Each base table becomes a scan node. An equality
-//     conjunct `col = literal` is routed through a per-column hash index
-//     (relational.Table.EnsureIndex) when the column is a declared key —
+//     conjunct `col = literal` is routed through a per-column hash index,
+//     an `IN (literals...)` conjunct through the union of the per-literal
+//     hash postings, range conjuncts (<, <=, >, >=, BETWEEN — every bound
+//     on the chosen column combined into one interval) through a sorted
+//     secondary index (relational.Table.RangeOrdinals), and `col MATCH
+//     'kw'` through full-text postings (fulltext.AttributeIndex.Rows), so
+//     a MATCH scan touches only the rows containing every keyword token.
+//     Index structures are used when the column is a declared key —
 //     primary key, foreign key, or FK-referenced — or when the table has
 //     at least LazyIndexThreshold rows, in which case the planner builds
-//     an on-demand index on first use. Everything else is a full scan.
+//     them on demand. Everything else is a full scan.
 //   - Predicate pushdown. The WHERE conjunction is split; single-table
 //     conjuncts are evaluated inside the owning scan, below every join.
 //     Conjuncts on the null-extended side of a LEFT JOIN are pinned above
@@ -27,12 +34,38 @@
 //     all their tables. Aggregate or unresolvable conjuncts stay in the
 //     final filter so errors surface exactly like the reference
 //     interpreter's: per joined row.
-//   - Join strategy. Equi-join conjuncts in ON drive a hash join; the
-//     build side is the side with the smaller cardinality estimate
-//     (index-probe result sizes are exact, filtered scans use a
-//     halving-per-predicate heuristic). LEFT joins always build right so
-//     unmatched left rows can be null-extended. Non-equi ONs fall back to
-//     a nested loop.
+//   - Join order. For statements joining three or more relations with
+//     inner joins only, a Selinger-style enumerator (reorder.go) searches
+//     the left-deep orders bottom-up over subsets of the join graph,
+//     treating every ON conjunct and join-level WHERE conjunct as one
+//     predicate pool and re-attaching each at the earliest step that sees
+//     all its relations. Cost is the sum of estimated intermediate result
+//     sizes; cross products are only considered when the join graph is
+//     disconnected. Statements past ReorderMaxRelations, LEFT joins
+//     (order is semantics there), SELECT * (column order is the written
+//     order) and unresolvable ON conjuncts keep the written order, as
+//     does everything when SetJoinReorder(false) is in effect.
+//   - Join strategy. Equi-join conjuncts drive a hash join; the build
+//     side is the side with the smaller cardinality estimate. LEFT joins
+//     always build right so unmatched left rows can be null-extended.
+//     Non-equi ONs fall back to a nested loop.
+//
+// # Cardinality estimation
+//
+// Estimates come from per-column statistics (relational.ColumnStats:
+// distinct count, min/max, null fraction, an equi-depth histogram and a
+// most-common-values list), collected lazily per table version — a
+// snapshot built before an Insert is rebuilt, never served stale. Index
+// probes are exact at plan time (the ordinals are captured); the remaining
+// pushed conjuncts scale the estimate by statistics-based selectivities
+// (estimate.go): equality via MCV-or-uniform, ranges via histogram
+// interpolation, IN as the sum of member equalities, IS NULL from the
+// null fraction, AND/OR/NOT composed from their operands, and pattern
+// operators (LIKE, MATCH) by a fixed default. Equi-join steps use the
+// textbook 1/max(V(l), V(r)) over the key columns' distinct counts. The
+// estimates drive the join-order search and build-side selection, which
+// is what makes them matter on skewed data — the pre-statistics planner
+// halved the estimate per predicate and executed joins in written order.
 //
 // The executor streams rows through the join pipeline with callback
 // iterators, which gives two short-circuit modes: Exists stops at the
@@ -40,23 +73,27 @@
 // independent of result size), and Execute stops at OFFSET+LIMIT rows
 // when nothing downstream reorders or merges.
 //
-// Every Result carries the QueryPlan that produced it, and Plan/Explain
-// expose the same structure without executing — tests and questbench
-// assert access paths against it.
+// Every Result carries the QueryPlan that produced it — annotated with the
+// actual per-operator cardinalities the execution observed, next to the
+// planner's estimates — and Plan/Explain expose the same structure without
+// executing; ExplainAnalyze executes and renders estimated vs actual rows.
+// Tests and questbench assert access paths and join orders against it.
 //
 // # Plan cache and invalidation
 //
 // Plans are memoized in a package-level LRU keyed on (database ID, data
-// version, canonical SQL). The data version is the fold of every table's
-// mutation counter, so any Insert makes previous entries unreachable —
-// cached index-probe ordinals can never go stale. Equality indexes
-// themselves are maintained incrementally by Insert and therefore never
-// invalidate; Table.DropIndexes exists for bulk reloads. Planned queries
-// are immutable after construction, so one cached plan serves concurrent
-// Execute/Exists calls.
+// version, reorder setting, canonical SQL). The data version is the fold
+// of every table's mutation counter, so any Insert makes previous entries
+// unreachable — cached index-probe ordinals can never go stale. Equality
+// indexes are maintained incrementally by Insert; sorted indexes, MATCH
+// posting indexes and statistics snapshots are version-checked and rebuilt
+// on first use after a mutation. Planned queries are immutable after
+// construction (executions record actual cardinalities into per-run
+// copies), so one cached plan serves concurrent Execute/Exists calls.
 //
 // ExecuteFullScan retains the pre-planner interpreter (full scans, WHERE
 // evaluated per joined row) as the reference implementation; the
 // equivalence suite in equivalence_test.go continuously checks the two
-// paths agree, NULL-key join rows and LEFT JOIN edge cases included.
+// paths agree — NULL-key join rows, LEFT JOIN edge cases, reordered
+// multi-joins, range and IN probes included.
 package sql

@@ -196,6 +196,29 @@ func TestPlannerEquivalenceTableDriven(t *testing.T) {
 		`SELECT person.name, cast_info.role FROM person
 			JOIN cast_info ON cast_info.person_id = person.person_id
 			WHERE person.person_id = 3`,
+		// Range predicates through the sorted index (and NULL years
+		// which must never qualify).
+		"SELECT title FROM movie WHERE year BETWEEN 1970 AND 1980",
+		"SELECT title FROM movie WHERE year > 1990 AND year <= 2005 AND rating > 5",
+		"SELECT title FROM movie WHERE 1985 <= year",
+		"SELECT title FROM movie WHERE year BETWEEN 1990 AND 1970",
+		// IN lists through unioned postings (duplicates, NULLs, misses).
+		"SELECT title FROM movie WHERE movie_id IN (3, 3, 700, NULL, 42)",
+		"SELECT title FROM movie WHERE genre IN ('noir', 'comedy')",
+		"SELECT cast_id FROM cast_info WHERE person_id IN (1, 2, 3)",
+		// Reordered 3-table join with a selective tail predicate: the
+		// written order is the worst order.
+		`SELECT movie.title, person.name FROM cast_info
+			JOIN movie ON movie.movie_id = cast_info.movie_id
+			JOIN person ON person.person_id = cast_info.person_id
+			WHERE person.person_id = 11`,
+		// 4-relation join (self-join on movie) exercising the enumerator
+		// with range + IN predicates in the pool.
+		`SELECT person.name, m2.title FROM person
+			JOIN cast_info ON cast_info.person_id = person.person_id
+			JOIN movie ON movie.movie_id = cast_info.movie_id
+			JOIN movie m2 ON m2.movie_id = cast_info.movie_id
+			WHERE movie.year BETWEEN 1980 AND 1995 AND person.person_id IN (5, 9, 13)`,
 		// Residual ON conjunct plus pushdown.
 		`SELECT person.name FROM person
 			JOIN cast_info ON cast_info.person_id = person.person_id AND cast_info.cast_id > 100
@@ -237,6 +260,14 @@ func TestPlannerEquivalenceGenerated(t *testing.T) {
 			JOIN movie ON movie.movie_id = cast_info.movie_id`,
 		`FROM person LEFT JOIN cast_info ON cast_info.person_id = person.person_id
 			LEFT JOIN movie ON movie.movie_id = cast_info.movie_id`,
+		// ≥3-table inner shapes written in join-enumerator-hostile order
+		// (fact table first) so reordered plans are continuously pinned
+		// against the reference.
+		`FROM cast_info JOIN movie ON movie.movie_id = cast_info.movie_id
+			JOIN person ON person.person_id = cast_info.person_id`,
+		`FROM cast_info JOIN person ON person.person_id = cast_info.person_id
+			JOIN movie ON movie.movie_id = cast_info.movie_id
+			JOIN movie m2 ON m2.movie_id = cast_info.movie_id`,
 	}
 	moviePreds := []string{
 		"movie.movie_id = %d",
@@ -249,6 +280,19 @@ func TestPlannerEquivalenceGenerated(t *testing.T) {
 		"movie.title LIKE '%%storm%%'",
 		"movie.year IN (1971, 1984, 2002)",
 		"(movie.year > %d OR movie.rating > 5)",
+		// Range shapes: BETWEEN, combined bounds, literal-first spelling,
+		// empty and inverted intervals.
+		"movie.year BETWEEN 1975 AND 1995",
+		"movie.year BETWEEN %d AND 2005",
+		"movie.year > %d",
+		"movie.year >= 1980 AND movie.year < 1990",
+		"1990 <= movie.year",
+		"movie.rating > 7.5",
+		"movie.year BETWEEN 2002 AND 1999",
+		// IN shapes: strings, duplicates, NULL members, misses.
+		"movie.genre IN ('drama', 'noir')",
+		"movie.movie_id IN (%d, %d, NULL)",
+		"movie.year IN (1981, 1981, 1993)",
 	}
 	castPreds := []string{
 		"cast_info.role = 'actor'",
@@ -256,6 +300,9 @@ func TestPlannerEquivalenceGenerated(t *testing.T) {
 		"cast_info.cast_id = %d",
 		"cast_info.person_id = %d",
 		"movie.movie_id = cast_info.person_id",
+		"cast_info.cast_id BETWEEN %d AND 600",
+		"cast_info.person_id IN (%d, %d)",
+		"cast_info.role IN ('actor', 'writer', NULL)",
 	}
 	rng := rand.New(rand.NewSource(23))
 	queries := make([]string, 0, 240)
@@ -271,8 +318,12 @@ func TestPlannerEquivalenceGenerated(t *testing.T) {
 				continue
 			}
 			p := pool[rng.Intn(len(pool))]
-			if strings.Contains(p, "%d") {
-				p = fmt.Sprintf(p, rng.Intn(420))
+			if n := strings.Count(p, "%d"); n > 0 {
+				args := make([]interface{}, n)
+				for ai := range args {
+					args[ai] = rng.Intn(420)
+				}
+				p = fmt.Sprintf(p, args...)
 			}
 			preds = append(preds, p)
 		}

@@ -12,8 +12,10 @@ import (
 )
 
 // Result is a materialized query result. Plan records the execution plan
-// the planner chose (access paths, join strategies, predicate placement);
-// it is nil for results produced by ExecuteFullScan.
+// the planner chose (access paths, join strategies, predicate placement)
+// annotated with the cardinalities this execution actually observed next
+// to the planner's estimates; it is nil for results produced by
+// ExecuteFullScan.
 type Result struct {
 	Columns []string
 	Rows    []relational.Row
@@ -120,7 +122,8 @@ func Execute(db *relational.Database, stmt *SelectStmt) (*Result, error) {
 		// of every endpoint existence probe (wrapper.ExecuteExists).
 		limit = stmt.Offset + stmt.Limit
 	}
-	rel, stopped, err := p.materialize(db, limit)
+	rc := p.newRunCounts()
+	rel, stopped, err := p.materialize(db, rc, limit)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +134,7 @@ func Execute(db *relational.Database, stmt *SelectStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Plan = p.plan
+	res.Plan = p.describeActual(rc)
 	return res, nil
 }
 

@@ -8,17 +8,32 @@ import (
 )
 
 // Explain renders a textual execution plan for the statement against the
-// database: access paths (index probe vs full scan), pushed-down
-// predicates, join strategies (hash vs nested loop) with build sides and
-// key columns, filters, aggregation, ordering and limits. The rendering is
-// produced from the same QueryPlan the executor runs, so the plan reflects
-// what Execute actually does.
+// database: access paths (equality, range, IN-list or MATCH-posting index
+// probes vs full scans), pushed-down predicates, the chosen join order,
+// join strategies (hash vs nested loop) with build sides and key columns,
+// filters, aggregation, ordering and limits. The rendering is produced
+// from the same QueryPlan the executor runs, so the plan reflects what
+// Execute actually does.
 func Explain(db *relational.Database, stmt *SelectStmt) (string, error) {
 	qp, err := Plan(db, stmt)
 	if err != nil {
 		return "", err
 	}
+	return renderPlan(db, stmt, qp), nil
+}
 
+// ExplainAnalyze executes the statement and renders its plan with the
+// observed cardinality next to each estimate, the estimated-vs-actual view
+// that shows where the statistics were wrong.
+func ExplainAnalyze(db *relational.Database, stmt *SelectStmt) (string, error) {
+	res, err := Execute(db, stmt)
+	if err != nil {
+		return "", err
+	}
+	return renderPlan(db, stmt, res.Plan), nil
+}
+
+func renderPlan(db *relational.Database, stmt *SelectStmt, qp *QueryPlan) string {
 	var b strings.Builder
 	indent := 0
 	line := func(format string, args ...interface{}) {
@@ -27,6 +42,9 @@ func Explain(db *relational.Database, stmt *SelectStmt) (string, error) {
 		b.WriteString("\n")
 	}
 
+	if qp.Reordered {
+		line("JOIN ORDER %s (reordered)", strings.Join(qp.JoinOrder, ", "))
+	}
 	if stmt.Limit >= 0 || stmt.Offset > 0 {
 		line("LIMIT %s OFFSET %d", limitText(stmt.Limit), stmt.Offset)
 		indent++
@@ -78,7 +96,7 @@ func Explain(db *relational.Database, stmt *SelectStmt) (string, error) {
 	joinLines := []string{scanLine(db, qp.Scans[0])}
 	for i, jp := range qp.Joins {
 		kind := "NESTED LOOP JOIN"
-		detail := "on " + stmt.Joins[i].On.SQL()
+		detail := "on " + jp.On
 		if jp.Strategy == StrategyHash {
 			kind = "HASH JOIN"
 			side := "right"
@@ -93,35 +111,61 @@ func Explain(db *relational.Database, stmt *SelectStmt) (string, error) {
 		if jp.Outer {
 			kind = "LEFT " + kind
 		}
-		entry := fmt.Sprintf("%s %s %s", kind, scanText(stmt.Joins[i].Table), detail)
+		entry := fmt.Sprintf("%s %s %s", kind, scanText(refOf(jp.Table, jp.Binding)), detail)
 		if len(jp.Filter) > 0 {
 			entry += " filter " + strings.Join(jp.Filter, " AND ")
 		}
+		entry += rowsText("~", jp.EstRows, jp.ActualRows)
 		joinLines = append(joinLines, entry, scanLine(db, qp.Scans[i+1]))
 	}
 	for i := 0; i < len(joinLines); i++ {
 		line("%s", joinLines[len(joinLines)-1-i])
 		indent++
 	}
-	return b.String(), nil
+	return b.String()
+}
+
+// rowsText renders the estimated (and, after execution, actual) row count
+// of one plan operator.
+func rowsText(prefix string, est, actual int) string {
+	if actual >= 0 {
+		return fmt.Sprintf(" (%s%d est, %d actual rows)", prefix, est, actual)
+	}
+	return ""
+}
+
+func refOf(table, binding string) TableRef {
+	tr := TableRef{Table: table}
+	if binding != table {
+		tr.Alias = binding
+	}
+	return tr
 }
 
 // scanLine renders one base-table access: full scans report the real table
-// size, index probes the matched-row estimate; pushed-down predicates are
-// shown as a scan-level FILTER.
+// size, index probes the probe description with the matched-row estimate;
+// pushed-down predicates are shown as a scan-level FILTER. After execution
+// the actual emitted row count follows the estimate.
 func scanLine(db *relational.Database, sp ScanPlan) string {
-	tr := TableRef{Table: sp.Table}
-	if sp.Binding != sp.Table {
-		tr.Alias = sp.Binding
-	}
+	tr := refOf(sp.Table, sp.Binding)
 	var s string
-	if sp.Access == AccessIndexEq {
+	switch sp.Access {
+	case AccessIndexEq:
 		s = fmt.Sprintf("INDEX SCAN %s (%s = %s, ~%d rows)", scanText(tr), sp.IndexColumn, sp.Lookup, sp.EstRows)
-	} else {
+	case AccessIndexRange:
+		s = fmt.Sprintf("RANGE SCAN %s (%s %s, ~%d rows)", scanText(tr), sp.IndexColumn, sp.Lookup, sp.EstRows)
+	case AccessIndexIn:
+		s = fmt.Sprintf("IN SCAN %s (%s %s, ~%d rows)", scanText(tr), sp.IndexColumn, sp.Lookup, sp.EstRows)
+	case AccessMatchPostings:
+		s = fmt.Sprintf("MATCH SCAN %s (%s %s, ~%d rows)", scanText(tr), sp.IndexColumn, sp.Lookup, sp.EstRows)
+	default:
 		s = fmt.Sprintf("SCAN %s (%d rows)", scanText(tr), db.Table(sp.Table).Len())
 	}
 	if len(sp.Pushed) > 0 {
 		s += " FILTER " + strings.Join(sp.Pushed, " AND ")
+	}
+	if sp.ActualRows >= 0 {
+		s += fmt.Sprintf(" (%d actual rows)", sp.ActualRows)
 	}
 	return s
 }

@@ -8,20 +8,30 @@ import (
 	"sync/atomic"
 
 	"repro/internal/cache"
+	"repro/internal/fulltext"
 	"repro/internal/relational"
 )
 
 // LazyIndexThreshold is the table size above which the planner builds an
-// on-demand equality index for a non-key column instead of scanning: below
-// it a filtered scan is cheaper than the build, above it the build
-// amortizes after a single query. Declared key columns (PK, FK and
-// FK-referenced) always qualify for index access regardless of size.
+// on-demand index for a non-key column instead of scanning: below it a
+// filtered scan is cheaper than the build, above it the build amortizes
+// after a single query. It gates hash, sorted and MATCH-posting builds
+// alike. Declared key columns (PK, FK and FK-referenced) always qualify for
+// hash/sorted index access regardless of size.
 const LazyIndexThreshold = 256
+
+// ReorderMaxRelations caps the bottom-up join-order search: statements
+// joining more relations than this keep their written order (the DP visits
+// 2^n subsets, and QUEST's generated queries never come close to the cap).
+const ReorderMaxRelations = 8
 
 // Access-path labels used in ScanPlan.Access.
 const (
-	AccessFullScan = "full-scan"
-	AccessIndexEq  = "index-eq"
+	AccessFullScan      = "full-scan"
+	AccessIndexEq       = "index-eq"
+	AccessIndexRange    = "index-range"
+	AccessIndexIn       = "index-in"
+	AccessMatchPostings = "match-postings"
 )
 
 // Join-strategy labels used in JoinPlan.Strategy.
@@ -32,21 +42,28 @@ const (
 
 // ScanPlan describes how one base table is read: its access path, the
 // predicates pushed down below the joins, and the planner's cardinality
-// estimate.
+// estimate. ActualRows is -1 in plans that were not executed (Plan/Explain)
+// and the number of rows the scan emitted otherwise — a lower bound when a
+// LIMIT short-circuit stopped the pipeline early.
 type ScanPlan struct {
 	Table   string
 	Binding string
-	Access  string // AccessFullScan or AccessIndexEq
-	// IndexColumn and Lookup describe the index probe (AccessIndexEq only).
+	Access  string // one of the Access* labels
+	// IndexColumn names the probed column and Lookup renders the probe
+	// (index access paths only): "= 7" for an equality probe, the bound
+	// conjunction for a range scan, the literal list for IN, the keyword
+	// for MATCH postings.
 	IndexColumn string
 	Lookup      string
 	// Pushed holds the SQL text of the single-table WHERE conjuncts
 	// evaluated during the scan, below every join.
-	Pushed  []string
-	EstRows int
+	Pushed     []string
+	EstRows    int
+	ActualRows int
 }
 
 // JoinPlan describes one join step over the accumulated left relation.
+// ActualRows mirrors ScanPlan.ActualRows for the rows surviving this step.
 type JoinPlan struct {
 	Table    string
 	Binding  string
@@ -59,12 +76,16 @@ type JoinPlan struct {
 	Keys      []string // equi-join key pairs ("l = r")
 	Residual  []string // non-equi ON conjuncts re-checked per candidate
 	Filter    []string // WHERE conjuncts placed directly after this join
-	EstRows   int
+	// On renders the join condition driving a nested-loop step.
+	On         string
+	EstRows    int
+	ActualRows int
 }
 
 // QueryPlan is the introspectable execution plan of a SELECT: which access
-// path each table uses, how joins run, and where each WHERE conjunct was
-// placed. Tests and benchmarks assert against it; Explain renders it.
+// path each table uses, how joins run, where each WHERE conjunct was
+// placed, and — after execution — the actual cardinality next to each
+// estimate. Tests and benchmarks assert against it; Explain renders it.
 type QueryPlan struct {
 	Scans []ScanPlan
 	Joins []JoinPlan
@@ -72,6 +93,11 @@ type QueryPlan struct {
 	// between joins (aggregates, unresolvable references) and run over the
 	// final joined relation.
 	Filter []string
+	// JoinOrder lists the relation bindings in execution order; Reordered
+	// reports whether the join-order search moved away from the written
+	// order.
+	JoinOrder []string
+	Reordered bool
 }
 
 // PlannerStats is a snapshot of the package-wide planner counters, the
@@ -82,8 +108,12 @@ type PlannerStats struct {
 	PlanCacheHits      uint64
 	PlanCacheMisses    uint64
 	IndexScans         uint64 // scans routed through an equality index
+	RangeScans         uint64 // scans routed through a sorted-index range
+	InScans            uint64 // scans served by unioned IN-list postings
+	MatchScans         uint64 // scans served by full-text MATCH postings
 	FullScans          uint64
 	LazyIndexBuilds    uint64 // index builds the planner itself triggered
+	JoinReorders       uint64 // plans whose join order moved off the written order
 	HashJoins          uint64
 	NestedLoopJoins    uint64
 	BuildSideSwaps     uint64 // hash joins that built on the left side
@@ -95,6 +125,8 @@ type PlannerStats struct {
 type plannerCounters struct {
 	plans, cacheHits, cacheMisses      atomic.Uint64
 	indexScans, fullScans, lazyBuilds  atomic.Uint64
+	rangeScans, inScans, matchScans    atomic.Uint64
+	joinReorders                       atomic.Uint64
 	hashJoins, nestedLoops, buildSwaps atomic.Uint64
 	pushed, existsFast, limitShort     atomic.Uint64
 }
@@ -108,8 +140,12 @@ func Stats() PlannerStats {
 		PlanCacheHits:      counters.cacheHits.Load(),
 		PlanCacheMisses:    counters.cacheMisses.Load(),
 		IndexScans:         counters.indexScans.Load(),
+		RangeScans:         counters.rangeScans.Load(),
+		InScans:            counters.inScans.Load(),
+		MatchScans:         counters.matchScans.Load(),
 		FullScans:          counters.fullScans.Load(),
 		LazyIndexBuilds:    counters.lazyBuilds.Load(),
+		JoinReorders:       counters.joinReorders.Load(),
 		HashJoins:          counters.hashJoins.Load(),
 		NestedLoopJoins:    counters.nestedLoops.Load(),
 		BuildSideSwaps:     counters.buildSwaps.Load(),
@@ -122,12 +158,31 @@ func Stats() PlannerStats {
 // ResetStats zeroes the planner counters (tests and benchmarks).
 func ResetStats() { counters = plannerCounters{} }
 
+// joinReorderOff disables the join-order search when set (benchmarks and
+// ablations compare against the written-order plan). The flag participates
+// in the plan-cache key, so toggling it never serves a plan built under the
+// other setting.
+var joinReorderOff atomic.Bool
+
+// SetJoinReorder enables or disables the Selinger-style join-order search
+// and returns the previous setting. It exists for benchmarks and A/B
+// ablations (questbench E10); production traffic leaves it on.
+func SetJoinReorder(on bool) (was bool) {
+	return !joinReorderOff.Swap(!on)
+}
+
 // planCache memoizes plans across Execute/Exists calls. The key embeds the
 // database identity, its data version (any Insert changes the version, so
-// cached index probes can never serve stale ordinals) and the canonical
-// SQL text; the engine re-executes cached explanations on every search, so
-// plan reuse is the common case.
+// cached index probes can never serve stale ordinals), the reorder setting
+// and the canonical SQL text; the engine re-executes cached explanations on
+// every search, so plan reuse is the common case.
 var planCache = cache.New[string, *plannedQuery](512)
+
+// matchIndexCache memoizes per-attribute full-text indexes built for the
+// MATCH access path, keyed on (database ID, table, column ordinal, table
+// version): a table mutation changes the version, so stale postings are
+// unreachable and age out of the LRU.
+var matchIndexCache = cache.New[string, *fulltext.AttributeIndex](128)
 
 // scanNode is the planned read of one base table. It deliberately stores
 // no *relational.Table: cached plans must not pin a database's row data
@@ -140,14 +195,13 @@ type scanNode struct {
 	cols []boundCol // this table's bound columns only
 	// pushed predicates are evaluated against cols during the scan.
 	pushed []Expr
-	// idxOrd/idxCol/idxVal select the equality-index probe; idxOrd < 0
-	// means full scan.
-	idxOrd int
+	// access is the chosen access path; idxCol/lookup describe the probe
+	// and ords are its results captured at plan time (shared, read-only).
+	access string
 	idxCol string
-	idxVal relational.Value
-	// ords are the probe results captured at plan time (shared, read-only).
-	ords []int
-	est  int
+	lookup string
+	ords   []int
+	est    int
 }
 
 // joinStep is one planned join of the accumulated left relation with a
@@ -174,6 +228,7 @@ type plannedQuery struct {
 	steps       []*joinStep
 	outCols     []boundCol
 	finalFilter []Expr
+	reordered   bool
 	plan        *QueryPlan
 }
 
@@ -195,12 +250,22 @@ func Plan(db *relational.Database, stmt *SelectStmt) (*QueryPlan, error) {
 // for a statement. The key is the canonical SQL text (re-rendered per call
 // — statements carry no cache slot, and the text is what makes the key
 // independent of pointer identity and mutation) prefixed with the database
-// identity and data version.
+// identity, data version and reorder setting.
 func planSelect(db *relational.Database, stmt *SelectStmt) (*plannedQuery, error) {
+	// The reorder flag is read exactly once and threaded through the whole
+	// build, so a concurrent SetJoinReorder toggle can never cache a plan
+	// built under one setting beneath the other setting's key.
+	reorder := !joinReorderOff.Load()
 	var kb strings.Builder
 	kb.WriteString(strconv.FormatUint(db.ID(), 10))
 	kb.WriteByte(0)
 	kb.WriteString(strconv.FormatUint(db.DataVersion(), 10))
+	kb.WriteByte(0)
+	if reorder {
+		kb.WriteByte('r')
+	} else {
+		kb.WriteByte('w') // written order
+	}
 	kb.WriteByte(0)
 	kb.WriteString(stmt.SQL())
 	key := kb.String()
@@ -209,7 +274,7 @@ func planSelect(db *relational.Database, stmt *SelectStmt) (*plannedQuery, error
 		return p, nil
 	}
 	counters.cacheMisses.Add(1)
-	p, err := buildPlan(db, stmt)
+	p, err := buildPlan(db, stmt, reorder)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +288,7 @@ func newScanNode(db *relational.Database, tr TableRef) (*scanNode, *relational.T
 		return nil, nil, fmt.Errorf("sql: unknown table %s", tr.Table)
 	}
 	binding := strings.ToLower(tr.Binding())
-	n := &scanNode{tr: tr, idxOrd: -1, est: t.Len()}
+	n := &scanNode{tr: tr, access: AccessFullScan, est: t.Len()}
 	for _, c := range t.Schema.Columns {
 		n.cols = append(n.cols, boundCol{
 			binding: binding,
@@ -258,7 +323,7 @@ func collectRefs(e Expr, out *[]*ColumnRef) {
 	}
 }
 
-func buildPlan(db *relational.Database, stmt *SelectStmt) (*plannedQuery, error) {
+func buildPlan(db *relational.Database, stmt *SelectStmt, reorder bool) (*plannedQuery, error) {
 	counters.plans.Add(1)
 	base, baseTable, err := newScanNode(db, stmt.From)
 	if err != nil {
@@ -312,16 +377,26 @@ func buildPlan(db *relational.Database, stmt *SelectStmt) (*plannedQuery, error)
 		}
 	}
 
-	// Access-path selection per scan: route one equality predicate through
-	// a hash index when the column is index-worthy.
+	// Access-path selection per scan: route equality, IN-list, range and
+	// MATCH predicates through the matching index structure, estimate the
+	// rest from column statistics.
 	for i, n := range nodes {
-		if err := n.chooseAccess(tables[i], db.Schema.KeyColumns(n.tr.Table)); err != nil {
+		if err := n.chooseAccess(db, tables[i], db.Schema.KeyColumns(n.tr.Table)); err != nil {
 			return nil, err
 		}
 	}
 
-	// Join planning: equi-key detection against the accumulated relation,
-	// then build-side selection by estimated cardinality.
+	// Join-order search: for all-inner multi-joins the Selinger-style
+	// enumerator rebuilds the steps in cost order; everything else keeps
+	// the written order.
+	if tryReorder(p, stmt, nodes, tables, nodeStart, ownerNode, full, reorder) {
+		p.plan = p.describe()
+		return p, nil
+	}
+
+	// Written-order join planning: equi-key detection against the
+	// accumulated relation, statistics-driven cardinality estimates, then
+	// build-side selection.
 	accum := &relation{cols: append([]boundCol{}, base.cols...)}
 	leftEst := base.est
 	for _, st := range p.steps {
@@ -329,21 +404,23 @@ func buildPlan(db *relational.Database, stmt *SelectStmt) (*plannedQuery, error)
 		st.lk, st.rk, st.residual = equiJoinKeys(accum, rightRel, st.jc.On)
 		accum = &relation{cols: append(append([]boundCol{}, accum.cols...), st.right.cols...)}
 		st.outCols = accum.cols
+
 		if len(st.lk) > 0 {
+			sel := 1.0
+			for i := range st.lk {
+				ln := ownerNode(st.lk[i])
+				lv := columnDistinct(tables[ln], nodes[ln], st.lk[i]-nodeStart[ln])
+				rt := tableFor(tables, nodes, st.right)
+				rv := columnDistinct(rt, st.right, st.rk[i])
+				sel *= equiSelectivity(lv, rv)
+			}
+			st.est = clampEst(float64(leftEst) * float64(st.right.est) * sel)
 			// Build on the estimated-smaller side. LEFT joins must probe
 			// from the left to track unmatched left rows, so they always
 			// build right.
 			st.buildLeft = !st.jc.Left && leftEst < st.right.est
-			if leftEst > st.right.est {
-				st.est = leftEst
-			} else {
-				st.est = st.right.est
-			}
 		} else {
-			st.est = leftEst * st.right.est
-			if st.est < leftEst { // overflow guard
-				st.est = leftEst
-			}
+			st.est = clampEst(float64(leftEst) * float64(st.right.est))
 		}
 		if st.jc.Left && st.est < leftEst {
 			st.est = leftEst // outer join preserves every left row
@@ -353,6 +430,16 @@ func buildPlan(db *relational.Database, stmt *SelectStmt) (*plannedQuery, error)
 
 	p.plan = p.describe()
 	return p, nil
+}
+
+// tableFor returns the relational table backing a scan node.
+func tableFor(tables []*relational.Table, nodes []*scanNode, n *scanNode) *relational.Table {
+	for i, cand := range nodes {
+		if cand == n {
+			return tables[i]
+		}
+	}
+	return nil
 }
 
 // placeConjunct assigns one WHERE conjunct to its lowest legal position.
@@ -409,108 +496,378 @@ func (p *plannedQuery) placeConjunct(c Expr, full *relation, ownerNode func(int)
 	p.steps[at].where = append(p.steps[at].where, c)
 }
 
-// chooseAccess picks the scan's access path: one equality conjunct
-// `col = literal` routed through a hash index when the column is a
-// declared key, already indexed, or the table is large enough that an
-// on-demand build pays for itself. The chosen conjunct is removed from the
-// pushed list — index probes are exact under Value.Key semantics, so
-// re-evaluating it per row would be wasted work.
-func (n *scanNode) chooseAccess(t *relational.Table, keyCols map[string]bool) error {
+// localEqLiteral deconstructs `col = literal` (either side order) against
+// the node's local relation, rejecting NULL literals (NULL never equals
+// anything, and index postings do not record NULLs).
+func localEqLiteral(local *relation, c Expr) (ord int, v relational.Value, ok bool) {
+	be, isBin := c.(*BinaryExpr)
+	if !isBin || be.Op != OpEq {
+		return 0, relational.Null(), false
+	}
+	return localCmpLiteral(local, be)
+}
+
+// rangeBound is one direction of a column's range restriction.
+type rangeBound struct {
+	v         relational.Value
+	inclusive bool
+	set       bool
+}
+
+// tighten replaces b when nv is a stricter bound in direction dir (+1 for
+// lower bounds: larger wins; -1 for upper bounds: smaller wins).
+func (b *rangeBound) tighten(nv relational.Value, inclusive bool, dir int) {
+	if !b.set {
+		*b = rangeBound{v: nv, inclusive: inclusive, set: true}
+		return
+	}
+	c := relational.Compare(nv, b.v) * dir
+	if c > 0 || (c == 0 && !inclusive) {
+		*b = rangeBound{v: nv, inclusive: inclusive, set: true}
+	}
+}
+
+// chooseAccess picks the scan's access path, in order of preference:
+//
+//  1. an equality conjunct `col = literal` through a hash index (primary
+//     key probes answered from pkIndex),
+//  2. an IN-list conjunct through a union of hash-index postings,
+//  3. range conjuncts (<, <=, >, >=, BETWEEN) through a sorted-index
+//     range scan, combining every bound on the chosen column,
+//  4. a `col MATCH 'kw'` conjunct through full-text postings
+//     (fulltext.AttributeIndex.Rows), which scans only the rows whose cell
+//     contains every keyword token.
+//
+// Conjuncts served by the probe are removed from the pushed list — probes
+// are exact under the engine's comparison semantics, so re-evaluating them
+// per row would be wasted work. The remaining pushed conjuncts scale the
+// cardinality estimate by their statistics-based selectivity.
+func (n *scanNode) chooseAccess(db *relational.Database, t *relational.Table, keyCols map[string]bool) error {
 	local := &relation{cols: n.cols}
+	indexWorthy := func(ord int) bool {
+		colName := t.Schema.Columns[ord].Name
+		return keyCols[strings.ToLower(colName)] || t.HasIndex(colName) || t.Len() >= LazyIndexThreshold
+	}
+
+	// 1. Equality probe (PK preferred).
 	best := -1
 	bestPK := false
 	var bestOrd int
 	var bestVal relational.Value
 	for ci, c := range n.pushed {
-		be, ok := c.(*BinaryExpr)
-		if !ok || be.Op != OpEq {
+		ord, v, ok := localEqLiteral(local, c)
+		if !ok || !indexWorthy(ord) {
 			continue
 		}
-		ref, lit := be.Left, be.Right
-		if _, isRef := ref.(*ColumnRef); !isRef {
-			ref, lit = be.Right, be.Left
+		isPK := strings.EqualFold(t.Schema.PrimaryKey, t.Schema.Columns[ord].Name)
+		if best < 0 || (isPK && !bestPK) {
+			best, bestPK, bestOrd, bestVal = ci, isPK, ord, v
 		}
-		cr, okRef := ref.(*ColumnRef)
-		l, okLit := lit.(*Literal)
+	}
+	if best >= 0 {
+		colName := t.Schema.Columns[bestOrd].Name
+		if !bestPK && !t.HasIndex(colName) {
+			counters.lazyBuilds.Add(1)
+		}
+		ords, err := t.LookupOrdinals(colName, bestVal)
+		if err != nil {
+			return err
+		}
+		counters.indexScans.Add(1)
+		n.access = AccessIndexEq
+		n.idxCol = colName
+		n.lookup = bestVal.SQL()
+		n.ords = ords
+		n.pushed = append(n.pushed[:best:best], n.pushed[best+1:]...)
+		n.finishEstimate(t, len(ords))
+		return nil
+	}
+
+	// 2. IN-list probe: union of per-literal postings. NULL literals in the
+	// list are skipped — they can only turn FALSE into UNKNOWN, and both
+	// reject the row.
+	for ci, c := range n.pushed {
+		in, ok := c.(*InExpr)
+		if !ok {
+			continue
+		}
+		cr, okRef := in.Inner.(*ColumnRef)
+		if !okRef {
+			continue
+		}
+		ord, err := local.resolve(cr)
+		if err != nil || !indexWorthy(ord) {
+			continue
+		}
+		lits := make([]relational.Value, 0, len(in.List))
+		allLits := true
+		for _, item := range in.List {
+			l, isLit := item.(*Literal)
+			if !isLit {
+				allLits = false
+				break
+			}
+			if l.Value.IsNull() {
+				continue
+			}
+			lits = append(lits, l.Value)
+		}
+		if !allLits {
+			continue
+		}
+		colName := t.Schema.Columns[ord].Name
+		if !t.HasIndex(colName) && !strings.EqualFold(t.Schema.PrimaryKey, colName) {
+			counters.lazyBuilds.Add(1)
+		}
+		ords, err := unionLookups(t, colName, lits)
+		if err != nil {
+			return err
+		}
+		counters.inScans.Add(1)
+		n.access = AccessIndexIn
+		n.idxCol = colName
+		n.lookup = "IN " + literalList(lits)
+		n.ords = ords
+		n.pushed = append(n.pushed[:ci:ci], n.pushed[ci+1:]...)
+		n.finishEstimate(t, len(ords))
+		return nil
+	}
+
+	// 3. Sorted-index range scan: gather every bound per column, choose the
+	// first bounded column in conjunct order, and serve the combined
+	// interval from the sorted index.
+	type colRange struct {
+		ord      int
+		lo, hi   rangeBound
+		conjunct []int // indexes into n.pushed served by the probe
+	}
+	var ranges []*colRange
+	byOrd := make(map[int]*colRange)
+	for ci, c := range n.pushed {
+		be, ok := c.(*BinaryExpr)
+		if !ok || (be.Op != OpLt && be.Op != OpLe && be.Op != OpGt && be.Op != OpGe) {
+			continue
+		}
+		ord, v, op, okCmp := localRangeLiteral(local, be)
+		if !okCmp || !rangeWorthy(t, keyCols, ord) {
+			continue
+		}
+		r := byOrd[ord]
+		if r == nil {
+			r = &colRange{ord: ord}
+			byOrd[ord] = r
+			ranges = append(ranges, r)
+		}
+		switch op {
+		case OpGt:
+			r.lo.tighten(v, false, 1)
+		case OpGe:
+			r.lo.tighten(v, true, 1)
+		case OpLt:
+			r.hi.tighten(v, false, -1)
+		case OpLe:
+			r.hi.tighten(v, true, -1)
+		}
+		r.conjunct = append(r.conjunct, ci)
+	}
+	if len(ranges) > 0 {
+		r := ranges[0]
+		colName := t.Schema.Columns[r.ord].Name
+		if !t.HasSortedIndex(colName) {
+			counters.lazyBuilds.Add(1)
+		}
+		lo, hi := relational.Null(), relational.Null()
+		loInc, hiInc := true, true
+		if r.lo.set {
+			lo, loInc = r.lo.v, r.lo.inclusive
+		}
+		if r.hi.set {
+			hi, hiInc = r.hi.v, r.hi.inclusive
+		}
+		ords, err := t.RangeOrdinals(colName, lo, hi, loInc, hiInc)
+		if err != nil {
+			return err
+		}
+		counters.rangeScans.Add(1)
+		n.access = AccessIndexRange
+		n.idxCol = colName
+		n.lookup = rangeText(r.lo, r.hi)
+		n.ords = ords
+		served := make(map[int]bool, len(r.conjunct))
+		for _, ci := range r.conjunct {
+			served[ci] = true
+		}
+		kept := n.pushed[:0:0]
+		for ci, c := range n.pushed {
+			if !served[ci] {
+				kept = append(kept, c)
+			}
+		}
+		n.pushed = kept
+		n.finishEstimate(t, len(ords))
+		return nil
+	}
+
+	// 4. MATCH postings: `col MATCH 'kw'` scans only the posting rows.
+	for ci, c := range n.pushed {
+		be, ok := c.(*BinaryExpr)
+		if !ok || be.Op != OpMatch {
+			continue
+		}
+		cr, okRef := be.Left.(*ColumnRef)
+		l, okLit := be.Right.(*Literal)
 		if !okRef || !okLit || l.Value.IsNull() {
 			continue
 		}
 		ord, err := local.resolve(cr)
-		if err != nil {
+		if err != nil || t.Len() < LazyIndexThreshold {
 			continue
 		}
-		colName := t.Schema.Columns[ord].Name
-		indexed := keyCols[strings.ToLower(colName)] || t.HasIndex(colName)
-		if !indexed && t.Len() < LazyIndexThreshold {
-			continue
-		}
-		isPK := strings.EqualFold(t.Schema.PrimaryKey, colName)
-		if best < 0 || (isPK && !bestPK) {
-			best, bestPK, bestOrd, bestVal = ci, isPK, ord, l.Value
-		}
-	}
-	if best < 0 {
-		counters.fullScans.Add(1)
-		if len(n.pushed) > 0 {
-			// Crude selectivity: each residual predicate halves the scan.
-			n.est = t.Len() >> uint(min(len(n.pushed), 4))
-			if n.est < 1 {
-				n.est = 1
-			}
-		}
+		ai := matchIndexFor(db, t, ord)
+		counters.matchScans.Add(1)
+		n.access = AccessMatchPostings
+		n.idxCol = t.Schema.Columns[ord].Name
+		n.lookup = "MATCH " + l.Value.SQL()
+		n.ords = ai.Rows(l.Value.AsString())
+		n.pushed = append(n.pushed[:ci:ci], n.pushed[ci+1:]...)
+		n.finishEstimate(t, len(n.ords))
 		return nil
 	}
-	colName := t.Schema.Columns[bestOrd].Name
-	if !bestPK && !t.HasIndex(colName) {
-		counters.lazyBuilds.Add(1)
-	}
-	ords, err := t.LookupOrdinals(colName, bestVal)
-	if err != nil {
-		return err
-	}
-	counters.indexScans.Add(1)
-	n.idxOrd = bestOrd
-	n.idxCol = colName
-	n.idxVal = bestVal
-	n.ords = ords
-	n.pushed = append(n.pushed[:best:best], n.pushed[best+1:]...)
-	n.est = len(ords)
+
+	// Full scan: estimate from column statistics instead of the former
+	// halving-per-predicate heuristic.
+	counters.fullScans.Add(1)
+	n.finishEstimate(t, t.Len())
 	return nil
+}
+
+// rangeWorthy mirrors the hash-index worthiness rule for sorted indexes.
+func rangeWorthy(t *relational.Table, keyCols map[string]bool, ord int) bool {
+	colName := t.Schema.Columns[ord].Name
+	return keyCols[strings.ToLower(colName)] || t.HasSortedIndex(colName) || t.Len() >= LazyIndexThreshold
+}
+
+// finishEstimate sets the scan estimate: the probe result size (exact at
+// plan time) scaled by the selectivity of the remaining pushed conjuncts.
+func (n *scanNode) finishEstimate(t *relational.Table, base int) {
+	est := float64(base)
+	local := &relation{cols: n.cols}
+	for _, c := range n.pushed {
+		est *= predSelectivity(t, local, c)
+	}
+	n.est = clampEst(est)
+}
+
+// unionLookups unions the hash-index postings of several probe values into
+// one ascending, deduplicated ordinal list.
+func unionLookups(t *relational.Table, column string, vals []relational.Value) ([]int, error) {
+	seenVal := make(map[string]bool, len(vals))
+	var out []int
+	for _, v := range vals {
+		k := v.Key()
+		if seenVal[k] {
+			continue
+		}
+		seenVal[k] = true
+		ords, err := t.LookupOrdinals(column, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ords...)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	sortInts(out)
+	dedup := out[:1]
+	for _, o := range out[1:] {
+		if o != dedup[len(dedup)-1] {
+			dedup = append(dedup, o)
+		}
+	}
+	return dedup, nil
+}
+
+func literalList(vals []relational.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.SQL()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func rangeText(lo, hi rangeBound) string {
+	var parts []string
+	if lo.set {
+		op := ">"
+		if lo.inclusive {
+			op = ">="
+		}
+		parts = append(parts, op+" "+lo.v.SQL())
+	}
+	if hi.set {
+		op := "<"
+		if hi.inclusive {
+			op = "<="
+		}
+		parts = append(parts, op+" "+hi.v.SQL())
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// matchIndexFor returns the cached (or freshly built) single-attribute
+// full-text index for the MATCH access path. The cache key embeds the
+// table version, so postings built before an Insert are never served.
+func matchIndexFor(db *relational.Database, t *relational.Table, ord int) *fulltext.AttributeIndex {
+	key := strconv.FormatUint(db.ID(), 10) + "\x00" + strings.ToLower(t.Schema.Name) +
+		"\x00" + strconv.Itoa(ord) + "\x00" + strconv.FormatUint(t.Version(), 10)
+	if ai, ok := matchIndexCache.Get(key); ok {
+		return ai
+	}
+	counters.lazyBuilds.Add(1)
+	ai := fulltext.IndexAttribute(t, ord)
+	matchIndexCache.Put(key, ai)
+	return ai
 }
 
 // describe freezes the plan into its introspectable form.
 func (p *plannedQuery) describe() *QueryPlan {
-	qp := &QueryPlan{}
+	qp := &QueryPlan{Reordered: p.reordered}
 	nodes := []*scanNode{p.base}
 	for _, st := range p.steps {
 		nodes = append(nodes, st.right)
 	}
 	for _, n := range nodes {
 		sp := ScanPlan{
-			Table:   n.tr.Table,
-			Binding: n.tr.Binding(),
-			Access:  AccessFullScan,
-			EstRows: n.est,
+			Table:      n.tr.Table,
+			Binding:    n.tr.Binding(),
+			Access:     n.access,
+			EstRows:    n.est,
+			ActualRows: -1,
 		}
-		if n.idxOrd >= 0 {
-			sp.Access = AccessIndexEq
+		if n.access != AccessFullScan {
 			sp.IndexColumn = n.idxCol
-			sp.Lookup = n.idxVal.SQL()
+			sp.Lookup = n.lookup
 		}
 		for _, c := range n.pushed {
 			sp.Pushed = append(sp.Pushed, c.SQL())
 		}
 		qp.Scans = append(qp.Scans, sp)
+		qp.JoinOrder = append(qp.JoinOrder, n.tr.Binding())
 	}
 	lcols := p.base.cols
 	for _, st := range p.steps {
 		jp := JoinPlan{
-			Table:     st.right.tr.Table,
-			Binding:   st.right.tr.Binding(),
-			Strategy:  StrategyNestedLoop,
-			BuildLeft: st.buildLeft,
-			Outer:     st.jc.Left,
-			EstRows:   st.est,
+			Table:      st.right.tr.Table,
+			Binding:    st.right.tr.Binding(),
+			Strategy:   StrategyNestedLoop,
+			BuildLeft:  st.buildLeft,
+			Outer:      st.jc.Left,
+			EstRows:    st.est,
+			ActualRows: -1,
+		}
+		if st.jc.On != nil {
+			jp.On = st.jc.On.SQL()
 		}
 		if len(st.lk) > 0 {
 			jp.Strategy = StrategyHash
@@ -533,7 +890,35 @@ func (p *plannedQuery) describe() *QueryPlan {
 	return qp
 }
 
+// describeActual clones the frozen plan and annotates it with the row
+// counts one execution observed. When a LIMIT short-circuit stopped the
+// pipeline early the counts are lower bounds of the full cardinalities.
+func (p *plannedQuery) describeActual(rc *runCounts) *QueryPlan {
+	qp := *p.plan
+	qp.Scans = append([]ScanPlan(nil), p.plan.Scans...)
+	qp.Joins = append([]JoinPlan(nil), p.plan.Joins...)
+	for i := range qp.Scans {
+		if i < len(rc.scans) {
+			qp.Scans[i].ActualRows = rc.scans[i]
+		}
+	}
+	for i := range qp.Joins {
+		if i < len(rc.joins) {
+			qp.Joins[i].ActualRows = rc.joins[i]
+		}
+	}
+	return &qp
+}
+
 // ---- streaming execution ----
+
+// runCounts carries one execution's observed cardinalities: rows emitted by
+// each scan (post pushed-predicate filtering) and surviving each join step.
+// Each execution owns its runCounts, so shared plans stay immutable.
+type runCounts struct {
+	scans []int
+	joins []int
+}
 
 // evalConjuncts reports whether every conjunct evaluates to TRUE for the
 // row (SQL three-valued semantics: NULL rejects).
@@ -580,17 +965,21 @@ func joinRefs(steps []*joinStep) []TableRef {
 }
 
 // streamScan yields the scan's rows (index probe or full scan) that pass
-// its pushed predicates.
-func (p *plannedQuery) streamScan(n *scanNode, t *relational.Table, emit func(relational.Row) error) error {
+// its pushed predicates. idx is the scan's position in the plan, used for
+// cardinality accounting when rc is non-nil.
+func (p *plannedQuery) streamScan(idx int, n *scanNode, t *relational.Table, rc *runCounts, emit func(relational.Row) error) error {
 	local := &relation{cols: n.cols}
 	yield := func(row relational.Row) error {
 		ok, err := evalConjuncts(local, row, n.pushed)
 		if err != nil || !ok {
 			return err
 		}
+		if rc != nil {
+			rc.scans[idx]++
+		}
 		return emit(row)
 	}
-	if n.idxOrd >= 0 {
+	if n.access != AccessFullScan {
 		for _, o := range n.ords {
 			if err := yield(t.Row(o)); err != nil {
 				return err
@@ -608,9 +997,9 @@ func (p *plannedQuery) streamScan(n *scanNode, t *relational.Table, emit func(re
 
 // stream yields the rows of the relation after join step i (i == -1 is the
 // base scan), with that step's placed WHERE conjuncts applied.
-func (p *plannedQuery) stream(i int, bt boundTables, emit func(relational.Row) error) error {
+func (p *plannedQuery) stream(i int, bt boundTables, rc *runCounts, emit func(relational.Row) error) error {
 	if i < 0 {
-		return p.streamScan(p.base, bt[0], emit)
+		return p.streamScan(0, p.base, bt[0], rc, emit)
 	}
 	st := p.steps[i]
 	outRel := &relation{cols: st.outCols}
@@ -619,6 +1008,9 @@ func (p *plannedQuery) stream(i int, bt boundTables, emit func(relational.Row) e
 		ok, err := evalConjuncts(outRel, row, st.where)
 		if err != nil || !ok {
 			return err
+		}
+		if rc != nil {
+			rc.joins[i]++
 		}
 		return emit(row)
 	}
@@ -631,13 +1023,13 @@ func (p *plannedQuery) stream(i int, bt boundTables, emit func(relational.Row) e
 	if len(st.lk) == 0 {
 		counters.nestedLoops.Add(1)
 		var rightRows []relational.Row
-		if err := p.streamScan(st.right, bt[i+1], func(r relational.Row) error {
+		if err := p.streamScan(i+1, st.right, bt[i+1], rc, func(r relational.Row) error {
 			rightRows = append(rightRows, r)
 			return nil
 		}); err != nil {
 			return err
 		}
-		return p.stream(i-1, bt, func(lrow relational.Row) error {
+		return p.stream(i-1, bt, rc, func(lrow relational.Row) error {
 			matched := false
 			for _, rrow := range rightRows {
 				cand := concat(lrow, rrow)
@@ -666,7 +1058,7 @@ func (p *plannedQuery) stream(i int, bt boundTables, emit func(relational.Row) e
 		// Materialize the (smaller) accumulated left side, probe with the
 		// right scan. Inner joins only, so no match tracking is needed.
 		var leftRows []relational.Row
-		if err := p.stream(i-1, bt, func(l relational.Row) error {
+		if err := p.stream(i-1, bt, rc, func(l relational.Row) error {
 			leftRows = append(leftRows, l)
 			return nil
 		}); err != nil {
@@ -680,7 +1072,7 @@ func (p *plannedQuery) stream(i int, bt boundTables, emit func(relational.Row) e
 			}
 			build[k] = append(build[k], li)
 		}
-		return p.streamScan(st.right, bt[i+1], func(rrow relational.Row) error {
+		return p.streamScan(i+1, st.right, bt[i+1], rc, func(rrow relational.Row) error {
 			k, null := joinKey(rrow, st.rk)
 			if null {
 				return nil
@@ -709,7 +1101,7 @@ func (p *plannedQuery) stream(i int, bt boundTables, emit func(relational.Row) e
 	// left side (required for LEFT joins, which null-extend unmatched left
 	// rows).
 	var rightRows []relational.Row
-	if err := p.streamScan(st.right, bt[i+1], func(r relational.Row) error {
+	if err := p.streamScan(i+1, st.right, bt[i+1], rc, func(r relational.Row) error {
 		rightRows = append(rightRows, r)
 		return nil
 	}); err != nil {
@@ -723,7 +1115,7 @@ func (p *plannedQuery) stream(i int, bt boundTables, emit func(relational.Row) e
 		}
 		build[k] = append(build[k], ri)
 	}
-	return p.stream(i-1, bt, func(lrow relational.Row) error {
+	return p.stream(i-1, bt, rc, func(lrow relational.Row) error {
 		matched := false
 		if k, null := joinKey(lrow, st.lk); !null {
 			for _, ri := range build[k] {
@@ -751,9 +1143,10 @@ func (p *plannedQuery) stream(i int, bt boundTables, emit func(relational.Row) e
 	})
 }
 
-// run streams the fully joined and filtered relation to emit. Returning
-// errStopIteration from emit stops the pipeline without error.
-func (p *plannedQuery) run(db *relational.Database, emit func(relational.Row) error) error {
+// run streams the fully joined and filtered relation to emit, optionally
+// recording per-operator cardinalities into rc. Returning errStopIteration
+// from emit stops the pipeline without error.
+func (p *plannedQuery) run(db *relational.Database, rc *runCounts, emit func(relational.Row) error) error {
 	bt, err := p.bind(db)
 	if err != nil {
 		return err
@@ -766,18 +1159,26 @@ func (p *plannedQuery) run(db *relational.Database, emit func(relational.Row) er
 		}
 		return emit(row)
 	}
-	err = p.stream(len(p.steps)-1, bt, wrapped)
+	err = p.stream(len(p.steps)-1, bt, rc, wrapped)
 	if errors.Is(err, errStopIteration) {
 		return nil
 	}
 	return err
 }
 
+// newRunCounts sizes a cardinality recorder for the plan.
+func (p *plannedQuery) newRunCounts() *runCounts {
+	return &runCounts{
+		scans: make([]int, len(p.steps)+1),
+		joins: make([]int, len(p.steps)),
+	}
+}
+
 // materialize collects at most limit rows (limit < 0 collects everything);
 // stopped reports whether the pipeline actually cut off early at the cap.
-func (p *plannedQuery) materialize(db *relational.Database, limit int) (rel *relation, stopped bool, err error) {
+func (p *plannedQuery) materialize(db *relational.Database, rc *runCounts, limit int) (rel *relation, stopped bool, err error) {
 	rel = &relation{cols: p.outCols}
-	err = p.run(db, func(row relational.Row) error {
+	err = p.run(db, rc, func(row relational.Row) error {
 		rel.rows = append(rel.rows, row)
 		if limit >= 0 && len(rel.rows) >= limit {
 			stopped = true
@@ -818,7 +1219,7 @@ func Exists(db *relational.Database, stmt *SelectStmt) (bool, error) {
 	count := 0
 	fullRel := &relation{cols: p.outCols}
 	columns := projectionColumns(fullRel, stmt)
-	err = p.run(db, func(row relational.Row) error {
+	err = p.run(db, nil, func(row relational.Row) error {
 		count++
 		if count == 1 {
 			// Error parity with Execute, which resolves the projection and

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -237,4 +238,324 @@ func mustParse(t *testing.T, src string) *SelectStmt {
 		t.Fatalf("Parse(%q): %v", src, err)
 	}
 	return stmt
+}
+
+// bigDB scales testDB's shape past LazyIndexThreshold with skew: one movie
+// year dominates, cast_info is 10x movie, and person is small — the layout
+// where written-order joins and halving-based estimates fall over.
+func bigDB(t testing.TB) *relational.Database {
+	s := relational.NewSchema()
+	add := func(ts *relational.TableSchema) {
+		if err := s.AddTable(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&relational.TableSchema{
+		Name: "movie",
+		Columns: []relational.Column{
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "title", Type: relational.TypeString, NotNull: true},
+			{Name: "year", Type: relational.TypeInt},
+			{Name: "genre", Type: relational.TypeString},
+		},
+		PrimaryKey: "movie_id",
+	})
+	add(&relational.TableSchema{
+		Name: "person",
+		Columns: []relational.Column{
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "name", Type: relational.TypeString, NotNull: true},
+		},
+		PrimaryKey: "person_id",
+	})
+	add(&relational.TableSchema{
+		Name: "cast_info",
+		Columns: []relational.Column{
+			{Name: "cast_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "person_id", Type: relational.TypeInt, NotNull: true},
+		},
+		PrimaryKey: "cast_id",
+		ForeignKeys: []relational.ForeignKey{
+			{Column: "movie_id", RefTable: "movie", RefColumn: "movie_id"},
+			{Column: "person_id", RefTable: "person", RefColumn: "person_id"},
+		},
+	})
+	db := relational.MustNewDatabase("big", s)
+	I, S := relational.Int, relational.String_
+	genres := []string{"drama", "drama", "drama", "comedy", "noir"}
+	for i := 1; i <= 600; i++ {
+		year := 1950 + i%70
+		if i%3 != 0 {
+			year = 2000 // skew: two thirds of all movies share one year
+		}
+		db.Insert("movie", relational.Row{
+			I(int64(i)), S(fmt.Sprintf("title %d", i)), I(int64(year)), S(genres[i%len(genres)]),
+		})
+	}
+	for i := 1; i <= 40; i++ {
+		db.Insert("person", relational.Row{I(int64(i)), S(fmt.Sprintf("person %d", i))})
+	}
+	for i := 1; i <= 6000; i++ {
+		db.Insert("cast_info", relational.Row{I(int64(i)), I(int64(1 + i%600)), I(int64(1 + i%40))})
+	}
+	return db
+}
+
+// TestPlanRangeScan: BETWEEN and bare inequalities route through the
+// sorted index, combining every bound on the chosen column, and the probe
+// conjuncts are not re-evaluated.
+func TestPlanRangeScan(t *testing.T) {
+	db := bigDB(t)
+	qp := planFor(t, db, "SELECT title FROM movie WHERE year BETWEEN 1960 AND 1965")
+	if qp.Scans[0].Access != AccessIndexRange || qp.Scans[0].IndexColumn != "year" {
+		t.Fatalf("BETWEEN access = %+v, want range scan on year", qp.Scans[0])
+	}
+	if len(qp.Scans[0].Pushed) != 0 {
+		t.Errorf("range-served conjuncts must leave the pushed list: %v", qp.Scans[0].Pushed)
+	}
+	res, err := Run(db, "SELECT title FROM movie WHERE year BETWEEN 1960 AND 1965")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ExecuteFullScan(db, mustParse(t, "SELECT title FROM movie WHERE year BETWEEN 1960 AND 1965"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ref.Rows) || len(res.Rows) == 0 {
+		t.Errorf("range scan rows = %d, reference = %d", len(res.Rows), len(ref.Rows))
+	}
+	// Strict + redundant bounds combine into one probe.
+	qp = planFor(t, db, "SELECT title FROM movie WHERE year > 1960 AND year > 1962 AND year <= 1965")
+	if qp.Scans[0].Access != AccessIndexRange {
+		t.Fatalf("multi-bound access = %+v, want range scan", qp.Scans[0])
+	}
+	if got := qp.Scans[0].Lookup; got != "> 1962 AND <= 1965" {
+		t.Errorf("combined bounds = %q, want the tightest interval", got)
+	}
+}
+
+// TestPlanInListScan: IN over literals unions hash postings; NULLs in the
+// list are ignored (they cannot turn a row TRUE).
+func TestPlanInListScan(t *testing.T) {
+	db := bigDB(t)
+	src := "SELECT title FROM movie WHERE movie_id IN (3, 5, NULL, 5, 999999)"
+	qp := planFor(t, db, src)
+	if qp.Scans[0].Access != AccessIndexIn || qp.Scans[0].IndexColumn != "movie_id" {
+		t.Fatalf("IN access = %+v, want index-in on movie_id", qp.Scans[0])
+	}
+	if qp.Scans[0].EstRows != 2 {
+		t.Errorf("IN est = %d, want 2 (dedup + absent id)", qp.Scans[0].EstRows)
+	}
+	res, err := Run(db, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("IN rows = %d, want 2", len(res.Rows))
+	}
+	// Non-literal list members stay on the interpreted path.
+	qp = planFor(t, db, "SELECT title FROM movie WHERE movie_id IN (3, movie_id)")
+	if qp.Scans[0].Access == AccessIndexIn {
+		t.Errorf("non-literal IN list must not probe: %+v", qp.Scans[0])
+	}
+}
+
+// TestPlanMatchPostings: MATCH on a large table scans only posting rows.
+func TestPlanMatchPostings(t *testing.T) {
+	db := bigDB(t)
+	src := "SELECT title FROM movie WHERE title MATCH '77'"
+	qp := planFor(t, db, src)
+	if qp.Scans[0].Access != AccessMatchPostings {
+		t.Fatalf("MATCH access = %+v, want match-postings", qp.Scans[0])
+	}
+	res, err := Run(db, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ExecuteFullScan(db, mustParse(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ref.Rows) || len(res.Rows) == 0 {
+		t.Errorf("match postings rows = %d, reference = %d", len(res.Rows), len(ref.Rows))
+	}
+	// Small tables keep filtering the scan (index build would not pay off).
+	small := testDB(t)
+	qp = planFor(t, small, "SELECT title FROM movie WHERE title MATCH 'dark'")
+	if qp.Scans[0].Access != AccessFullScan {
+		t.Errorf("small-table MATCH = %+v, want full scan", qp.Scans[0])
+	}
+}
+
+// TestPlanStatsEstimates: the estimator must see skew — the dominant year
+// estimates high (MCV hit), a rare year low, and both far from the old
+// halving heuristic's len/2.
+func TestPlanStatsEstimates(t *testing.T) {
+	db := bigDB(t)
+	hot := planFor(t, db, "SELECT title FROM movie WHERE year = 2000")
+	cold := planFor(t, db, "SELECT title FROM movie WHERE year = 1967")
+	if hot.Scans[0].Access != AccessIndexEq {
+		t.Fatalf("year equality on a large table should probe, got %+v", hot.Scans[0])
+	}
+	if hot.Scans[0].EstRows < 300 {
+		t.Errorf("hot-year est = %d, want the skewed majority (~400)", hot.Scans[0].EstRows)
+	}
+	if cold.Scans[0].EstRows > 20 {
+		t.Errorf("cold-year est = %d, want a handful", cold.Scans[0].EstRows)
+	}
+	// Full-scan estimate on a non-indexed-worthy predicate shape: genre MATCH
+	// keeps the scan but the estimate comes from the pattern default, and a
+	// pushed genre equality consults the MCV list.
+	qp := planFor(t, db, "SELECT title FROM movie WHERE genre = 'noir' AND title LIKE '%x%'")
+	est := qp.Scans[0].EstRows
+	if est == 0 || est > 300 {
+		t.Errorf("noir+LIKE est = %d, want a statistics-scaled fraction (noir is 1/5 of rows)", est)
+	}
+}
+
+// TestPlanJoinReorder: on a skewed 3-way join written fact-table-first, the
+// enumerator must start from the selective relation, and the reordered plan
+// must return exactly the reference rows.
+func TestPlanJoinReorder(t *testing.T) {
+	db := bigDB(t)
+	src := `SELECT person.name, movie.title FROM cast_info
+		JOIN movie ON movie.movie_id = cast_info.movie_id
+		JOIN person ON person.person_id = cast_info.person_id
+		WHERE person.person_id = 7`
+	qp := planFor(t, db, src)
+	if !qp.Reordered {
+		t.Fatalf("skewed join not reordered: order %v", qp.JoinOrder)
+	}
+	if qp.JoinOrder[len(qp.JoinOrder)-1] == "person" {
+		t.Errorf("selective relation joined last: %v", qp.JoinOrder)
+	}
+	if err := checkEquivalent(db, src); err != nil {
+		t.Error(err)
+	}
+
+	// LEFT joins keep the written order: their order is semantics.
+	qp = planFor(t, db, `SELECT movie.title FROM movie
+		LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id
+		LEFT JOIN person ON person.person_id = cast_info.person_id`)
+	if qp.Reordered {
+		t.Errorf("LEFT JOIN chain must not reorder: %v", qp.JoinOrder)
+	}
+	// SELECT * pins the written order (output column order is the contract).
+	qp = planFor(t, db, `SELECT * FROM cast_info
+		JOIN movie ON movie.movie_id = cast_info.movie_id
+		JOIN person ON person.person_id = cast_info.person_id
+		WHERE person.person_id = 7`)
+	if qp.Reordered {
+		t.Errorf("SELECT * must not reorder: %v", qp.JoinOrder)
+	}
+}
+
+// TestSetJoinReorder: the toggle takes effect immediately (the plan cache
+// key embeds it) and restores cleanly.
+func TestSetJoinReorder(t *testing.T) {
+	db := bigDB(t)
+	src := `SELECT person.name FROM cast_info
+		JOIN movie ON movie.movie_id = cast_info.movie_id
+		JOIN person ON person.person_id = cast_info.person_id
+		WHERE person.person_id = 7`
+	on := planFor(t, db, src)
+	if !on.Reordered {
+		t.Fatal("expected reordered plan with the search enabled")
+	}
+	prev := SetJoinReorder(false)
+	if !prev {
+		t.Error("default reorder setting should be on")
+	}
+	defer SetJoinReorder(true)
+	off := planFor(t, db, src)
+	if off.Reordered {
+		t.Error("disabled search still reordered")
+	}
+	if got := strings.Join(off.JoinOrder, ","); got != "cast_info,movie,person" {
+		t.Errorf("written order = %q", got)
+	}
+	if err := checkEquivalent(db, src); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanActualRows: Execute annotates the plan with observed
+// cardinalities; Plan (no execution) reports -1.
+func TestPlanActualRows(t *testing.T) {
+	db := bigDB(t)
+	src := "SELECT title FROM movie WHERE year BETWEEN 1960 AND 1965"
+	qp := planFor(t, db, src)
+	if qp.Scans[0].ActualRows != -1 {
+		t.Errorf("unexecuted plan actual = %d, want -1", qp.Scans[0].ActualRows)
+	}
+	res, err := Run(db, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.Scans[0].ActualRows != len(res.Rows) {
+		t.Errorf("actual = %d, want %d emitted rows", res.Plan.Scans[0].ActualRows, len(res.Rows))
+	}
+	// The shared cached plan must stay unannotated (concurrent executions
+	// each get their own copy).
+	qp2 := planFor(t, db, src)
+	if qp2.Scans[0].ActualRows != -1 {
+		t.Error("execution leaked actuals into the shared cached plan")
+	}
+	// Joins too.
+	jres, err := Run(db, `SELECT person.name FROM cast_info
+		JOIN person ON person.person_id = cast_info.person_id
+		WHERE person.person_id = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := jres.Plan.Joins[len(jres.Plan.Joins)-1]
+	if last.ActualRows != len(jres.Rows) {
+		t.Errorf("join actual = %d, want %d", last.ActualRows, len(jres.Rows))
+	}
+}
+
+// TestPlanReorderStaysFreshAfterInsert: captured probe ordinals and join
+// orders key on the data version; inserting rows between plans must
+// re-plan with fresh statistics rather than serve stale ordinals.
+func TestPlanReorderStaysFreshAfterInsert(t *testing.T) {
+	db := bigDB(t)
+	src := "SELECT title FROM movie WHERE year BETWEEN 2100 AND 2200"
+	res, err := Run(db, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("precondition: no future movies, got %d", len(res.Rows))
+	}
+	if err := db.Insert("movie", relational.Row{
+		relational.Int(100001), relational.String_("future"), relational.Int(2150), relational.String_("scifi"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Run(db, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("post-insert range rows = %d, want the new row (stale index served?)", len(res.Rows))
+	}
+}
+
+// TestReorderForwardOnReferenceErrorParity: an ON conjunct referencing a
+// table joined later fails in the written-order executor; the join-order
+// search must not silently legalize it — both settings must error.
+func TestReorderForwardOnReferenceErrorParity(t *testing.T) {
+	db := bigDB(t)
+	src := `SELECT person.name FROM movie
+		JOIN cast_info ON cast_info.movie_id = person.person_id
+		JOIN person ON person.person_id = cast_info.person_id`
+	if _, err := Run(db, src); err == nil {
+		t.Error("forward ON reference must error with reorder enabled")
+	}
+	prev := SetJoinReorder(false)
+	defer SetJoinReorder(prev)
+	if _, err := Run(db, src); err == nil {
+		t.Error("forward ON reference must error in written order")
+	}
 }

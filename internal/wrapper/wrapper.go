@@ -171,6 +171,19 @@ func (s *FullAccessSource) EdgeDistance(e relational.JoinEdge) (float64, error) 
 	return d, nil
 }
 
+// ColumnStatistics returns the backend's statistics snapshot for one
+// column (distinct count, min/max, null fraction, histogram, most common
+// values), building it lazily at the current table version. This is the
+// instance-statistics face of the wrapper: metadata-only sources cannot
+// provide it (ErrNoInstanceAccess), mirroring EdgeDistance.
+func (s *FullAccessSource) ColumnStatistics(table, column string) (*relational.ColumnStats, error) {
+	t := s.db.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("wrapper: unknown table %s", table)
+	}
+	return t.Stats(column)
+}
+
 // Execute implements Source directly on the engine.
 func (s *FullAccessSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
 	return sql.Execute(s.db, stmt)

@@ -34,12 +34,17 @@
 // concurrency-safe (built-in sources do) or Parallelism explicitly opts
 // in.
 //
-// Generated SQL runs through a cost-aware planner (internal/sql): equality
-// predicates on key columns route through secondary hash indexes,
-// single-table predicates are pushed below joins, hash joins build on the
+// Generated SQL runs through a statistics-driven cost-based planner
+// (internal/sql): equality and IN predicates route through secondary hash
+// indexes, range predicates through sorted secondary indexes, MATCH
+// through full-text postings, single-table predicates are pushed below
+// joins, multi-joins are reordered by a Selinger-style search over
+// per-column statistics (distinct counts, histograms, most-common
+// values — collected lazily per table version), hash joins build on the
 // estimated-smaller side, and PruneEmpty validation queries execute in
 // existence-only mode that stops at the first surviving tuple. ExplainSQL
-// (and Result.Plan) expose the chosen plan.
+// and ExplainAnalyzeSQL (and Result.Plan) expose the chosen plan with
+// estimated vs actual cardinalities.
 //
 // Two engine-level caches serve repeat work. A query cache
 // (Options.QueryCacheSize) maps a search's tokenized keywords to its final
@@ -106,6 +111,14 @@ type (
 	Source = wrapper.Source
 	// Result is a materialized SQL result.
 	Result = sql.Result
+	// SQLQueryPlan is the introspectable execution plan attached to every
+	// Result: access paths, join order, estimated vs actual cardinalities.
+	SQLQueryPlan = sql.QueryPlan
+	// SQLPlannerStats snapshots the planning layer's counters.
+	SQLPlannerStats = sql.PlannerStats
+	// ColumnStats is a per-column statistics snapshot (distinct count,
+	// min/max, null fraction, histogram, most-common values).
+	ColumnStats = relational.ColumnStats
 
 	// Thesaurus is the ontology used for semantic matching.
 	Thesaurus = ontology.Thesaurus
@@ -212,3 +225,17 @@ func RunSQL(db *Database, src string) (*Result, error) { return sql.Run(db, src)
 
 // ExplainSQL renders the execution plan the engine would use for a query.
 func ExplainSQL(db *Database, src string) (string, error) { return sql.ExplainQuery(db, src) }
+
+// ExplainAnalyzeSQL executes a query and renders its plan with the
+// observed cardinality next to each estimate.
+func ExplainAnalyzeSQL(db *Database, src string) (string, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return sql.ExplainAnalyze(db, stmt)
+}
+
+// PlannerStats snapshots the SQL planning layer's process-wide counters
+// (access paths taken, join reorders applied, cache behavior).
+func PlannerStats() SQLPlannerStats { return sql.Stats() }
