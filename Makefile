@@ -5,9 +5,9 @@ GO       ?= go
 PKGS     ?= ./...
 BENCH    ?= .
 SEED     ?= 42
-SNAPSHOT ?= BENCH_pr3.json
+SNAPSHOT ?= BENCH_pr4.json
 
-.PHONY: all build test race vet bench bench-smoke snapshot ci clean
+.PHONY: all build test race vet bench bench-smoke conformance snapshot ci clean
 
 all: build
 
@@ -32,15 +32,22 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench Component -benchtime 1x $(PKGS)
 
+# Cross-backend conformance: the differential suite holds ShardedSource
+# (at 1, 3 and 7 shards, with concurrent queries and interleaved inserts)
+# and every registered backend kind to FullAccessSource's semantics, under
+# the race detector.
+conformance:
+	$(GO) test -race -count=1 -run Conformance ./internal/conformance
+
 # Machine-readable experiment snapshot via questbench: all experiment
-# tables including the E9 executor/planner, prune-path and E10
-# statistics/join-order benchmarks. Committed as BENCH_pr3.json so the
-# perf trajectory is diffable per PR; override SNAPSHOT to write
-# elsewhere.
+# tables including the E9 executor/planner, prune-path, E10
+# statistics/join-order and E11 sharded-execution benchmarks. Committed as
+# BENCH_pr4.json so the perf trajectory is diffable per PR; override
+# SNAPSHOT to write elsewhere.
 snapshot:
 	$(GO) run ./cmd/questbench -seed $(SEED) -json $(SNAPSHOT)
 
-ci: build vet test race bench-smoke
+ci: build vet test race conformance bench-smoke
 
 clean:
 	rm -f BENCH_*.json

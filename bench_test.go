@@ -15,6 +15,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/eval"
 	"repro/internal/fulltext"
+	"repro/internal/shard"
 	"repro/internal/sql"
 	"repro/internal/wrapper"
 )
@@ -492,6 +493,92 @@ func BenchmarkComponent_SQLExecutorJoin(b *testing.B) {
 		JOIN movie ON movie.movie_id = cast_info.movie_id
 		WHERE movie.genre MATCH 'drama'`)
 	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Execute(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// shardedSourceFor partitions a fresh IMDB instance and opens the sharded
+// execution layer over it.
+func shardedSourceFor(b *testing.B, shards int) *quest.ShardedSource {
+	b.Helper()
+	db := datasets.IMDB(datasets.Config{Seed: 42, Scale: 4})
+	parts, err := quest.PartitionDatabase(db, shards)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src, err := shard.New(db.Name, parts, shard.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return src
+}
+
+// BenchmarkComponent_ShardedJoinGather measures the scatter-gather join
+// path: pushed-down fragments on 4 shards, coordinator join/finish.
+// Compare against BenchmarkComponent_SQLExecutorJoin (same statement,
+// single node).
+func BenchmarkComponent_ShardedJoinGather(b *testing.B) {
+	src := shardedSourceFor(b, 4)
+	stmt, err := quest.ParseSQL(`SELECT DISTINCT person.name, movie.title FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		JOIN movie ON movie.movie_id = cast_info.movie_id
+		WHERE movie.genre MATCH 'drama'`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := src.Execute(stmt); err != nil { // warm shard plans/indexes
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Execute(stmt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkComponent_ShardedExists measures the validation shape over the
+// sharded layer: a join existence probe that gathers pushed-down fragments
+// and stops at the coordinator's first witness row.
+func BenchmarkComponent_ShardedExists(b *testing.B) {
+	src := shardedSourceFor(b, 4)
+	stmt, err := quest.ParseSQL(`SELECT person.name FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		JOIN movie ON movie.movie_id = cast_info.movie_id
+		WHERE movie.genre MATCH 'drama'`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := src.ExecuteExists(stmt); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := src.ExecuteExists(stmt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			b.Fatal("probe lost its witness rows")
+		}
+	}
+}
+
+// BenchmarkComponent_ShardedPointLookup measures a PK point query through
+// partition pruning: one fragment query against one of four shards.
+func BenchmarkComponent_ShardedPointLookup(b *testing.B) {
+	src := shardedSourceFor(b, 4)
+	stmt, err := quest.ParseSQL("SELECT title FROM movie WHERE movie_id = 100")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := src.Execute(stmt); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()

@@ -1,8 +1,8 @@
 // Command questbench runs the full experiment suite (E1–E8 of DESIGN.md §3
-// plus the E9 executor/planner scorecard and the E10 statistics/join-order
-// scorecard) and prints the tables recorded in EXPERIMENTS.md. Each
-// experiment is a deterministic function of the seed, so re-running
-// reproduces the report.
+// plus the E9 executor/planner scorecard, the E10 statistics/join-order
+// scorecard and the E11 sharded-execution scorecard) and prints the tables
+// recorded in EXPERIMENTS.md. Each experiment is a deterministic function
+// of the seed, so re-running reproduces the report.
 //
 // With -json the same tables are also written as a machine-readable
 // BENCH_*.json snapshot (one object per table: title, headers, rows, plus
@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	questbench [-exp all|e1..e10] [-seed N] [-n N] [-json BENCH_42.json]
+//	questbench [-exp all|e1..e11] [-seed N] [-n N] [-json BENCH_42.json]
 package main
 
 import (
@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/fulltext"
+	shardpkg "repro/internal/shard"
 	sqlpkg "repro/internal/sql"
 )
 
@@ -85,7 +86,7 @@ func writeSnapshot(path string) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, e1..e10)")
+	exp := flag.String("exp", "all", "experiment to run (all, e1..e11)")
 	flag.Parse()
 
 	runners := map[string]func(){
@@ -99,9 +100,10 @@ func main() {
 		"e8":  e8Ablations,
 		"e9":  e9Planner,
 		"e10": e10Statistics,
+		"e11": e11Sharded,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"} {
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"} {
 			runners[name]()
 		}
 	} else {
@@ -747,6 +749,120 @@ func e10Statistics() {
 			fmt.Sprintf("%.1fx", full/planned), qp.Scans[0].Access)
 	}
 	emit(tbl)
+}
+
+// e11Sharded: the PR 4 sharded-execution scorecard. E11a runs a join
+// workload — the PruneEmpty validation shape — through ShardedSource at
+// increasing shard counts, in pushdown mode (predicates execute on the
+// shards, only qualifying rows ship) and in the ship-rows-to-coordinator
+// ablation (SetPushdown(false)): the rows-shipped column is the bandwidth
+// story, the latency columns the wall-clock one, and the exists column
+// shows validation scaling with shard parallelism. E11b shows PK partition
+// pruning: a point lookup touches exactly one shard no matter how many
+// exist.
+func e11Sharded() {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: 8})
+
+	timeQuery := func(run func() error, reps int) float64 {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := run(); err != nil {
+				panic(err)
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / float64(reps)
+	}
+
+	const joinQ = `SELECT person.name, movie.title FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		JOIN movie ON movie.movie_id = cast_info.movie_id
+		WHERE movie.genre MATCH 'drama' AND cast_info.role = 'director'`
+	stmt, err := quest.ParseSQL(joinQ)
+	if err != nil {
+		panic(err)
+	}
+	tbl := &eval.Table{
+		Title:   "E11a — sharded join workload: pushdown vs ship-rows-to-coordinator (imdb scale 8)",
+		Headers: []string{"shards", "mode", "rows", "exec-us", "exists-us", "rows-shipped", "ship-ratio"},
+	}
+	var refRows int
+	for _, n := range []int{1, 2, 4, 8} {
+		parts, err := shardpkg.Partition(db, n)
+		if err != nil {
+			panic(err)
+		}
+		src, err := shardpkg.New(db.Name, parts, shardpkg.Options{})
+		if err != nil {
+			panic(err)
+		}
+		type mode struct {
+			name     string
+			pushdown bool
+		}
+		shipped := map[string]uint64{}
+		for _, m := range []mode{{"pushdown", true}, {"ship-rows", false}} {
+			src.SetPushdown(m.pushdown)
+			res, err := src.Execute(stmt) // warm shard plans and indexes
+			if err != nil {
+				panic(err)
+			}
+			if refRows == 0 {
+				refRows = len(res.Rows)
+			}
+			if len(res.Rows) != refRows {
+				panic(fmt.Sprintf("E11 row divergence at %d shards (%s): %d vs %d",
+					n, m.name, len(res.Rows), refRows))
+			}
+			reps := 5
+			exec := timeQuery(func() error { _, err := src.Execute(stmt); return err }, reps)
+			exists := timeQuery(func() error { _, err := src.ExecuteExists(stmt); return err }, reps)
+			src.ResetStats()
+			if _, err := src.Execute(stmt); err != nil {
+				panic(err)
+			}
+			st := src.Stats()
+			shipped[m.name] = st.RowsShipped
+			ratio := "-"
+			if m.name == "ship-rows" && shipped["pushdown"] > 0 {
+				ratio = fmt.Sprintf("%.1fx", float64(shipped["ship-rows"])/float64(shipped["pushdown"]))
+			}
+			tbl.AddRow(fmt.Sprint(n), m.name, fmt.Sprint(refRows),
+				fmt.Sprintf("%.1f", exec), fmt.Sprintf("%.1f", exists),
+				fmt.Sprint(st.RowsShipped), ratio)
+		}
+	}
+	emit(tbl)
+
+	tbl2 := &eval.Table{
+		Title:   "E11b — PK partition pruning: point lookups touch one shard",
+		Headers: []string{"shards", "fragment-queries", "pruned-probes", "point-us"},
+	}
+	point, err := quest.ParseSQL("SELECT title FROM movie WHERE movie_id = 100")
+	if err != nil {
+		panic(err)
+	}
+	for _, n := range []int{1, 4, 8} {
+		parts, err := shardpkg.Partition(db, n)
+		if err != nil {
+			panic(err)
+		}
+		src, err := shardpkg.New(db.Name, parts, shardpkg.Options{})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := src.Execute(point); err != nil { // warm
+			panic(err)
+		}
+		us := timeQuery(func() error { _, err := src.Execute(point); return err }, 50)
+		src.ResetStats()
+		if _, err := src.Execute(point); err != nil {
+			panic(err)
+		}
+		st := src.Stats()
+		tbl2.AddRow(fmt.Sprint(n), fmt.Sprint(st.FragmentQueries),
+			fmt.Sprint(st.PrunedProbes), fmt.Sprintf("%.1f", us))
+	}
+	emit(tbl2)
 }
 
 var _ = sort.Strings // reserved for future table post-processing

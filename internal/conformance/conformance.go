@@ -1,0 +1,117 @@
+// Package conformance is the cross-backend differential harness: it holds
+// every execution backend to the reference semantics of the single-node
+// FullAccessSource, query by query. A backend conforms when, for every
+// statement, it returns the same error disposition, the same columns, and
+// the same rows — byte-identical in sequence when the statement's ORDER BY
+// pins a total order, byte-identical as a canonical multiset otherwise
+// (SQL leaves tie order unspecified, and a partitioned execution may
+// legally interleave ties differently than a single scan). Statements with
+// LIMIT/OFFSET but no total order compare row counts only: which rows
+// survive the cut is legitimately order-dependent. Existence probes
+// (wrapper.ExecuteExists — the engine's PruneEmpty path) must agree with
+// materialized emptiness on both sources.
+//
+// The test suite in this package runs the harness against ShardedSource at
+// 1, 3 and 7 shards, table-driven and seeded-fuzz, with concurrent query
+// batches and interleaved insert rounds, under the race detector (`make
+// conformance`).
+package conformance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// Query is one differential case.
+type Query struct {
+	SQL string
+	// TotalOrder declares that the ORDER BY clause admits exactly one row
+	// sequence (it ends on a unique key), so the comparison is positional.
+	TotalOrder bool
+}
+
+// canonicalRow renders a row as its comparison-key encoding — the byte
+// form two backends must agree on.
+func canonicalRow(r relational.Row) string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(v.Key())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+func canonicalRows(res *sql.Result, sorted bool) []string {
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = canonicalRow(r)
+	}
+	if sorted {
+		sort.Strings(out)
+	}
+	return out
+}
+
+// Check runs one query on the reference and the candidate and returns a
+// description of the first divergence, or nil when the candidate conforms.
+func Check(ref, cand wrapper.Source, q Query) error {
+	stmt, err := sql.Parse(q.SQL)
+	if err != nil {
+		return fmt.Errorf("conformance: Parse(%q): %v", q.SQL, err)
+	}
+	want, werr := ref.Execute(stmt)
+	got, gerr := cand.Execute(stmt)
+	if (werr != nil) != (gerr != nil) {
+		return fmt.Errorf("conformance: error divergence for %q: reference=%v candidate=%v", q.SQL, werr, gerr)
+	}
+	if werr != nil {
+		return nil // both reject; message wording is not part of the contract
+	}
+	if strings.Join(got.Columns, "\x1f") != strings.Join(want.Columns, "\x1f") {
+		return fmt.Errorf("conformance: column divergence for %q: %v vs %v", q.SQL, got.Columns, want.Columns)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		return fmt.Errorf("conformance: row-count divergence for %q: candidate=%d reference=%d",
+			q.SQL, len(got.Rows), len(want.Rows))
+	}
+	limited := stmt.Limit >= 0 || stmt.Offset > 0
+	switch {
+	case q.TotalOrder:
+		g, w := canonicalRows(got, false), canonicalRows(want, false)
+		for i := range g {
+			if g[i] != w[i] {
+				return fmt.Errorf("conformance: ordered row %d divergence for %q:\n  candidate %s\n  reference %s",
+					i, q.SQL, g[i], w[i])
+			}
+		}
+	case limited:
+		// Row count already compared; the surviving set is order-dependent.
+	default:
+		g, w := canonicalRows(got, true), canonicalRows(want, true)
+		for i := range g {
+			if g[i] != w[i] {
+				return fmt.Errorf("conformance: multiset divergence for %q:\n  candidate %s\n  reference %s",
+					q.SQL, g[i], w[i])
+			}
+		}
+	}
+
+	// Existence must agree with materialized emptiness on both backends.
+	wex, werr := wrapper.ExecuteExists(ref, stmt)
+	gex, gerr := wrapper.ExecuteExists(cand, stmt)
+	if werr != nil || gerr != nil {
+		return fmt.Errorf("conformance: exists error for %q: reference=%v candidate=%v", q.SQL, werr, gerr)
+	}
+	if wex != gex {
+		return fmt.Errorf("conformance: exists divergence for %q: candidate=%v reference=%v", q.SQL, gex, wex)
+	}
+	if wantEmpty := len(want.Rows) == 0; stmt.Limit != 0 && stmt.Offset == 0 && wex == wantEmpty {
+		return fmt.Errorf("conformance: reference exists=%v contradicts its own %d rows for %q", wex, len(want.Rows), q.SQL)
+	}
+	return nil
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/ds"
 	"repro/internal/hmm"
 	"repro/internal/ontology"
+	"repro/internal/relational"
 	"repro/internal/sql"
 	"repro/internal/steiner"
 	"repro/internal/wrapper"
@@ -748,6 +749,18 @@ func (e *Engine) Execute(ex *Explanation) (*sql.Result, error) {
 // cmd/queststats' planner table.
 func (e *Engine) PlannerStats() sql.PlannerStats {
 	return sql.Stats()
+}
+
+// ColumnStatistics surfaces the source's per-column statistics snapshot.
+// The engine does not care how the source produces it — the single-node
+// wrapper reads its own tables, the sharded source merges per-shard
+// summaries — it only requires the wrapper-level StatisticsProvider
+// contract; sources without instance access report ErrNoInstanceAccess.
+func (e *Engine) ColumnStatistics(table, column string) (*relational.ColumnStats, error) {
+	if sp, ok := e.source.(wrapper.StatisticsProvider); ok {
+		return sp.ColumnStatistics(table, column)
+	}
+	return nil, wrapper.ErrNoInstanceAccess
 }
 
 // execute routes a statement to the source, serializing the calls when the

@@ -1,0 +1,816 @@
+// Package shard is the sharded multi-backend execution layer: a
+// ShardedSource implements the full wrapper source surface over N
+// hash-partitioned per-shard backends, so QUEST's engine (and any SQL
+// client of the wrapper) runs unchanged against partitioned data.
+//
+// The division of labor follows the pushdown-fragment contract documented
+// in internal/sql (see the package doc there): the coordinator splits each
+// statement into per-table fragments carrying the pushed-down single-table
+// predicates (sql.Fragments), ships every fragment to the shards that can
+// hold qualifying rows — a fragment pinning a primary key to literals is
+// routed only to the shards those values hash to — and scatter-gathers the
+// filtered rows over a bounded worker pool. Joins, residual predicates,
+// projection, aggregation, DISTINCT, ordering and limits then run at the
+// coordinator (sql.ExecuteRows) with the reference interpreter's
+// semantics, so results are multiset-identical to single-node execution;
+// the internal/conformance differential suite holds every backend to that
+// contract.
+//
+// Two fast paths shortcut the general scatter-gather. Single-table
+// statements without aggregation are pushed down whole: each shard runs
+// the statement locally (ORDER BY included, LIMIT widened to
+// OFFSET+LIMIT), and the coordinator merge-sorts the pre-sorted shard
+// streams and applies LIMIT/OFFSET post-merge. Existence probes
+// (ExecuteExists, the engine's PruneEmpty validation) fan out per shard
+// and short-circuit on the first witness row, canceling probes that have
+// not started yet — validation latency scales with the fastest shard
+// holding a match, not with the shard count.
+//
+// Statistics stay pushdown-friendly too: ColumnStatistics merges the
+// per-shard snapshots (relational.MergeColumnStats) instead of shipping
+// rows, giving engine-level consumers (core.Engine.ColumnStatistics,
+// operator tooling, a future coordinator-side join planner) a whole-data
+// view without row movement; each shard's own planner meanwhile keeps
+// using its local statistics for fragment access paths. Note the
+// coordinator's join step itself is the reference interpreter — it joins
+// gathered fragments in written order and does not consult the merged
+// statistics yet. AttributeScore/EdgeDistance combine per-shard relevance
+// evidence (max, respectively row-agnostic mean) — approximate where
+// exact merging would need global recomputation, and documented as such.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// DefaultShardCount is the partition count used by the registered
+// "sharded" backend factory (wrapper.OpenBackend) when the caller does not
+// choose one explicitly.
+const DefaultShardCount = 4
+
+// Backend is the per-shard contract: materializing execution, the
+// existence-only mode, and column statistics. Implementations MUST be safe
+// for concurrent use — the coordinator fans fragment executions and
+// existence probes out over a worker pool, so one query alone can hit a
+// backend from several goroutines at once. A *wrapper.FullAccessSource
+// over a shard's database satisfies both requirements; tests substitute
+// stubs to model slow or failing shards.
+type Backend interface {
+	wrapper.SourceExecutor
+	wrapper.StatisticsProvider
+}
+
+// scorer is the optional per-shard interface behind AttributeScore and
+// EdgeDistance; backends without it contribute no relevance evidence.
+type scorer interface {
+	AttributeScore(table, column, keyword string) float64
+	EdgeDistance(e relational.JoinEdge) (float64, error)
+}
+
+// Options tunes a ShardedSource.
+type Options struct {
+	// Workers bounds the shard requests in flight per coordinator call
+	// (fragment fetches and existence probes alike). 0 selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Stats is a snapshot of a source's coordinator counters, the
+// operator-facing view of what the sharded layer is doing (questbench E11
+// reports them).
+type Stats struct {
+	PushdownQueries     uint64 // single-table statements pushed down whole
+	GatherQueries       uint64 // statements served by scatter-gather + coordinator merge
+	FragmentQueries     uint64 // per-shard fragment executions
+	RowsShipped         uint64 // rows crossing a shard→coordinator boundary
+	PrunedProbes        uint64 // shard requests skipped by PK partition pruning
+	ExistsProbes        uint64 // per-shard existence probes issued
+	ExistsShortCircuits uint64 // exists calls answered before every probe ran
+}
+
+type counters struct {
+	pushdown, gather, fragments atomic.Uint64
+	rowsShipped, pruned         atomic.Uint64
+	existsProbes, existsShort   atomic.Uint64
+}
+
+// ShardedSource implements wrapper.Source (plus the ExistsExecutor,
+// StatisticsProvider and ConcurrentExecutor extensions) over hash
+// partitions. It is safe for concurrent use after population: coordinator
+// state is immutable or atomic, and per-shard backends are only read.
+type ShardedSource struct {
+	name     string
+	schema   *relational.Schema
+	backends []Backend
+	scorers  []scorer
+	// dbs holds the owned per-shard databases when the source was built by
+	// New/Partition; nil for backend-injected sources, which are read-only
+	// through the coordinator and never partition-pruned (the coordinator
+	// cannot know a foreign backend's routing).
+	dbs      []*relational.Database
+	workers  int
+	prunable bool
+	// pushdownOff disables predicate pushdown and partition pruning:
+	// fragments ship whole tables. It exists as the A/B ablation knob
+	// behind questbench E11's ship-rows baseline, mirroring
+	// sql.SetJoinReorder.
+	pushdownOff atomic.Bool
+
+	edgeMu    sync.Mutex
+	edgeCache map[string]float64
+
+	// probes tracks in-flight existence probe goroutines: existsFanOut
+	// returns on the first witness without waiting for slow shards, so a
+	// probe can outlive its call. Population-phase writes (Insert) and
+	// Quiesce wait for it — a straggler probe must never observe a
+	// concurrent mutation.
+	probes sync.WaitGroup
+
+	c counters
+}
+
+// Partition splits a database into n databases over the same schema: rows
+// of tables with a primary key are routed by an FNV-1a hash of the
+// (coerced) key value, rows of keyless tables round-robin by insert
+// ordinal. Routing is deterministic, so a coordinator can re-derive a
+// row's shard from its key — the basis of partition pruning — and
+// ShardedSource.Insert keeps later rows consistent with the initial split.
+// Rows are cloned; the shards own their copies.
+func Partition(db *relational.Database, n int) ([]*relational.Database, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("shard: partition count %d, want >= 1", n)
+	}
+	out := make([]*relational.Database, n)
+	for i := range out {
+		sh, err := relational.NewDatabase(fmt.Sprintf("%s-shard%d", db.Name, i), db.Schema)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sh
+	}
+	for _, ts := range db.Schema.Tables() {
+		t := db.Table(ts.Name)
+		for i, row := range t.Rows() {
+			si := routeFor(ts, row, i, n)
+			if err := out[si].Insert(ts.Name, row.Clone()); err != nil {
+				return nil, fmt.Errorf("shard: partitioning %s: %w", ts.Name, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// routeValue hashes one key value onto [0, n). FNV-1a over the value's
+// comparison key makes routing independent of process and insertion order.
+func routeValue(v relational.Value, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(v.Key()))
+	return int(h.Sum32() % uint32(n))
+}
+
+// routeFor picks the shard for one row: PK hash when the table declares a
+// usable key, insert-ordinal round-robin otherwise.
+func routeFor(ts *relational.TableSchema, row relational.Row, ordinal, n int) int {
+	if ts.PrimaryKey != "" {
+		ord := ts.ColumnIndex(ts.PrimaryKey)
+		if ord >= 0 && ord < len(row) && !row[ord].IsNull() {
+			if cv, err := relational.Coerce(row[ord], ts.Columns[ord].Type); err == nil {
+				return routeValue(cv, n)
+			}
+		}
+	}
+	return ordinal % n
+}
+
+// New builds a ShardedSource over owned per-shard databases (normally the
+// output of Partition), wrapping each in a FullAccessSource — the setup
+// phase builds per-shard full-text indexes, mirroring the single-node
+// wrapper. Partition pruning is enabled: the shards are known to follow
+// this package's routing.
+func New(name string, shards []*relational.Database, opt Options) (*ShardedSource, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: no shards")
+	}
+	backends := make([]Backend, len(shards))
+	for i, db := range shards {
+		if db.Schema != shards[0].Schema {
+			return nil, fmt.Errorf("shard: shard %d has a different schema", i)
+		}
+		backends[i] = wrapper.NewFullAccessSource(db)
+	}
+	s := NewFromBackends(name, shards[0].Schema, backends, opt)
+	s.dbs = shards
+	s.prunable = true
+	return s, nil
+}
+
+// NewFromBackends builds a ShardedSource over caller-provided backends
+// (remote endpoints, test stubs). Partition pruning stays off — the
+// coordinator cannot assume foreign backends follow this package's
+// routing — and Insert is unavailable.
+func NewFromBackends(name string, schema *relational.Schema, backends []Backend, opt Options) *ShardedSource {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &ShardedSource{
+		name:      name,
+		schema:    schema,
+		backends:  backends,
+		scorers:   make([]scorer, len(backends)),
+		workers:   workers,
+		edgeCache: map[string]float64{},
+	}
+	for i, b := range backends {
+		if sc, ok := b.(scorer); ok {
+			s.scorers[i] = sc
+		}
+	}
+	return s
+}
+
+// SetPushdown enables or disables predicate pushdown and partition pruning
+// and returns the previous setting. Off, every fragment ships its whole
+// table — the ship-rows-to-coordinator baseline questbench E11 measures
+// against. Results are identical either way; only bandwidth and latency
+// move.
+func (s *ShardedSource) SetPushdown(on bool) (was bool) {
+	return !s.pushdownOff.Swap(!on)
+}
+
+// ShardCount returns the number of shards.
+func (s *ShardedSource) ShardCount() int { return len(s.backends) }
+
+// Stats snapshots the coordinator counters.
+func (s *ShardedSource) Stats() Stats {
+	return Stats{
+		PushdownQueries:     s.c.pushdown.Load(),
+		GatherQueries:       s.c.gather.Load(),
+		FragmentQueries:     s.c.fragments.Load(),
+		RowsShipped:         s.c.rowsShipped.Load(),
+		PrunedProbes:        s.c.pruned.Load(),
+		ExistsProbes:        s.c.existsProbes.Load(),
+		ExistsShortCircuits: s.c.existsShort.Load(),
+	}
+}
+
+// ResetStats zeroes the coordinator counters (benchmarks). It first waits
+// out straggler existence probes — their atomic increments would race a
+// plain struct overwrite and pollute the fresh measurement window — then
+// clears each counter atomically.
+func (s *ShardedSource) ResetStats() {
+	s.probes.Wait()
+	s.c.pushdown.Store(0)
+	s.c.gather.Store(0)
+	s.c.fragments.Store(0)
+	s.c.rowsShipped.Store(0)
+	s.c.pruned.Store(0)
+	s.c.existsProbes.Store(0)
+	s.c.existsShort.Store(0)
+}
+
+// Quiesce blocks until every in-flight shard probe has drained — the
+// boundary callers must cross before any population-phase operation on the
+// shard databases that bypasses this source's own Insert.
+func (s *ShardedSource) Quiesce() { s.probes.Wait() }
+
+// Name implements wrapper.Source.
+func (s *ShardedSource) Name() string { return s.name }
+
+// Schema implements wrapper.Source.
+func (s *ShardedSource) Schema() *relational.Schema { return s.schema }
+
+// HasInstanceAccess implements wrapper.Source: shard backends see rows.
+func (s *ShardedSource) HasInstanceAccess() bool { return true }
+
+// ExecutesConcurrently implements wrapper.ConcurrentExecutor. Coordinator
+// state is atomic or immutable, and the Backend contract requires every
+// shard to tolerate concurrent calls (see Backend), so the source as a
+// whole does too.
+func (s *ShardedSource) ExecutesConcurrently() bool { return true }
+
+// Insert routes a row to its shard (PK hash, or round-robin for keyless
+// tables) and inserts it there. Like relational.Table.Insert it belongs to
+// the population phase: never call it concurrently with queries. Only
+// sources built by New own their shards; backend-injected sources reject
+// writes.
+func (s *ShardedSource) Insert(table string, row relational.Row) error {
+	if s.dbs == nil {
+		return fmt.Errorf("shard: source %s has injected backends and is read-only", s.name)
+	}
+	// Existence probes abandoned by a short-circuiting ExecuteExists may
+	// still be reading shard tables; entering the population phase waits
+	// them out.
+	s.probes.Wait()
+	ts := s.schema.Table(table)
+	if ts == nil {
+		return fmt.Errorf("shard: unknown table %s", table)
+	}
+	total := 0
+	for _, db := range s.dbs {
+		total += db.Table(table).Len()
+	}
+	si := routeFor(ts, row, total, len(s.dbs))
+	return s.dbs[si].Insert(table, row)
+}
+
+// AttributeScore implements wrapper.Source as the maximum per-shard score:
+// a keyword relevant to an attribute in any partition is relevant to the
+// attribute. (Exact global tf-idf would need a merged index; the max is a
+// monotone, partition-stable approximation.)
+func (s *ShardedSource) AttributeScore(table, column, keyword string) float64 {
+	best := 0.0
+	for _, sc := range s.scorers {
+		if sc == nil {
+			continue
+		}
+		if v := sc.AttributeScore(table, column, keyword); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// EdgeDistance implements wrapper.Source as the mean of the per-shard
+// mutual-information distances (shards that cannot answer — empty
+// partitions — are skipped). Results are cached like the single-node
+// wrapper's.
+func (s *ShardedSource) EdgeDistance(e relational.JoinEdge) (float64, error) {
+	key := e.FromTable + "." + e.FromColumn + ">" + e.ToTable + "." + e.ToColumn
+	s.edgeMu.Lock()
+	d, ok := s.edgeCache[key]
+	s.edgeMu.Unlock()
+	if ok {
+		return d, nil
+	}
+	sum, n := 0.0, 0
+	var lastErr error
+	for _, sc := range s.scorers {
+		if sc == nil {
+			continue
+		}
+		v, err := sc.EdgeDistance(e)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		sum += v
+		n++
+	}
+	if n == 0 {
+		if lastErr == nil {
+			lastErr = wrapper.ErrNoInstanceAccess
+		}
+		return 1, lastErr
+	}
+	d = sum / float64(n)
+	s.edgeMu.Lock()
+	s.edgeCache[key] = d
+	s.edgeMu.Unlock()
+	return d, nil
+}
+
+// ColumnStatistics implements wrapper.StatisticsProvider by merging the
+// per-shard snapshots — statistics pushdown: shards ship summaries, never
+// rows. The merged Version sums the shard versions, so consumers can cache
+// against it exactly like a single table's.
+func (s *ShardedSource) ColumnStatistics(table, column string) (*relational.ColumnStats, error) {
+	parts := make([]*relational.ColumnStats, len(s.backends))
+	for i, b := range s.backends {
+		cs, err := b.ColumnStatistics(table, column)
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = cs
+	}
+	return relational.MergeColumnStats(parts), nil
+}
+
+// forEach runs fn(i) for i in [0, n) over the source's bounded worker pool
+// (inline when one worker suffices).
+func (s *ShardedSource) forEach(n int, fn func(int)) {
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// shardsFor resolves which shards a fragment must visit: all of them,
+// unless pruning is legal (owned shards, pushdown on) and the fragment
+// pins the table's primary key, in which case only the shards the pinned
+// values route to. Values that cannot coerce to the key's column type fall
+// back to the full set — such a predicate may still match under the
+// engine's cross-type comparison rules, and pruning must never drop a
+// potential witness.
+func (s *ShardedSource) shardsFor(f *sql.TableFragment) []int {
+	n := len(s.backends)
+	all := func() []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	if !s.prunable || s.pushdownOff.Load() || f.PKValues == nil {
+		return all()
+	}
+	ts := s.schema.Table(f.Ref.Table)
+	if ts == nil || ts.PrimaryKey == "" {
+		return all()
+	}
+	col := ts.Column(ts.PrimaryKey)
+	seen := make(map[int]bool, len(f.PKValues))
+	out := make([]int, 0, len(f.PKValues))
+	for _, v := range f.PKValues {
+		cv, err := relational.Coerce(v, col.Type)
+		if err != nil {
+			return all()
+		}
+		si := routeValue(cv, n)
+		if !seen[si] {
+			seen[si] = true
+			out = append(out, si)
+		}
+	}
+	sort.Ints(out)
+	s.c.pruned.Add(uint64(n - len(out)))
+	return out
+}
+
+// Execute implements wrapper.Source. Single-table statements without
+// aggregation push down whole (per-shard ORDER BY, widened LIMIT,
+// coordinator merge-sort); everything else scatter-gathers the per-table
+// fragments and finishes at the coordinator.
+func (s *ShardedSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+	// The ship-rows ablation routes everything through the gather path: the
+	// single-table fast path delegates WHERE evaluation to the shards, and
+	// with pushdown off only the coordinator filters.
+	if !s.pushdownOff.Load() && s.fullPushdownOK(stmt) {
+		return s.executePushdown(stmt)
+	}
+	return s.executeGather(stmt)
+}
+
+// ExecuteExists implements wrapper.ExistsExecutor. Single-table probes fan
+// out one existence query per (non-pruned) shard and return on the first
+// witness row, canceling probes that have not started; join probes gather
+// the pushed-down fragments and decide emptiness at the coordinator with a
+// LIMIT 1 rewrite, so their cost is the gather cost, never the full join
+// result.
+func (s *ShardedSource) ExecuteExists(stmt *sql.SelectStmt) (bool, error) {
+	if stmt.Limit == 0 {
+		return false, nil
+	}
+	if len(stmt.Joins) == 0 && len(stmt.GroupBy) == 0 && stmt.Having == nil &&
+		!itemsHaveAgg(stmt) && stmt.Offset == 0 {
+		return s.existsFanOut(stmt)
+	}
+	probe := stmt.Clone()
+	probe.OrderBy = nil
+	probe.Limit = 1
+	res, err := s.Execute(probe)
+	if err != nil {
+		return false, err
+	}
+	return len(res.Rows) > 0, nil
+}
+
+// existsFanOut probes every candidate shard concurrently and
+// short-circuits on the first hit. Probes not yet started when the hit
+// lands are skipped (context check before each probe); in-flight probes
+// finish on their own goroutine and exit via the buffered results channel,
+// so early return leaks nothing. A witness row on any shard answers true
+// even if another shard fails — existence has been proven; errors only
+// surface when no shard can prove it.
+func (s *ShardedSource) existsFanOut(stmt *sql.SelectStmt) (bool, error) {
+	probe := stmt.Clone()
+	probe.OrderBy = nil
+	frags, err := sql.Fragments(s.schema, probe)
+	if err != nil {
+		return false, err
+	}
+	shards := s.shardsFor(&frags[0])
+	if len(shards) == 0 {
+		return false, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type probeResult struct {
+		shard int
+		ok    bool
+		err   error
+	}
+	results := make(chan probeResult, len(shards))
+	jobs := make(chan int, len(shards))
+	for _, si := range shards {
+		jobs <- si
+	}
+	close(jobs)
+	w := s.workers
+	if w > len(shards) {
+		w = len(shards)
+	}
+	if w < 1 {
+		w = 1
+	}
+	for k := 0; k < w; k++ {
+		s.probes.Add(1)
+		go func() {
+			defer s.probes.Done()
+			for si := range jobs {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				s.c.existsProbes.Add(1)
+				ok, perr := s.backends[si].ExecuteExists(probe)
+				results <- probeResult{shard: si, ok: ok, err: perr}
+			}
+		}()
+	}
+	var firstErr error
+	firstErrShard := -1
+	for received := 0; received < len(shards); received++ {
+		r := <-results
+		if r.err != nil {
+			if firstErrShard < 0 || r.shard < firstErrShard {
+				firstErr, firstErrShard = r.err, r.shard
+			}
+			continue
+		}
+		if r.ok {
+			if received < len(shards)-1 {
+				s.c.existsShort.Add(1)
+			}
+			return true, nil
+		}
+	}
+	return false, firstErr
+}
+
+// executeGather is the general path: fetch every fragment's qualifying
+// rows from its candidate shards in parallel, then run the statement over
+// the gathered base tables at the coordinator.
+func (s *ShardedSource) executeGather(stmt *sql.SelectStmt) (*sql.Result, error) {
+	s.c.gather.Add(1)
+	frags, err := sql.Fragments(s.schema, stmt)
+	if err != nil {
+		return nil, err
+	}
+	if s.pushdownOff.Load() {
+		for i := range frags {
+			frags[i].Pushed = nil
+			frags[i].PKValues = nil
+			frags[i].Stmt.Where = nil
+		}
+	}
+	type job struct{ frag, shard int }
+	var jobs []job
+	perShard := make([][][]relational.Row, len(frags))
+	for fi := range frags {
+		perShard[fi] = make([][]relational.Row, len(s.backends))
+		for _, si := range s.shardsFor(&frags[fi]) {
+			jobs = append(jobs, job{frag: fi, shard: si})
+		}
+	}
+	errs := make([]error, len(jobs))
+	s.forEach(len(jobs), func(i int) {
+		j := jobs[i]
+		s.c.fragments.Add(1)
+		res, ferr := s.backends[j.shard].Execute(frags[j.frag].Stmt)
+		if ferr != nil {
+			errs[i] = ferr
+			return
+		}
+		s.c.rowsShipped.Add(uint64(len(res.Rows)))
+		perShard[j.frag][j.shard] = res.Rows
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	tables := make([][]relational.Row, len(frags))
+	for fi := range frags {
+		var rows []relational.Row
+		for _, shardRows := range perShard[fi] {
+			rows = append(rows, shardRows...)
+		}
+		tables[fi] = rows
+	}
+	return sql.ExecuteRows(s.schema, stmt, tables)
+}
+
+// fullPushdownOK reports whether the whole statement can run per shard
+// with only a merge left for the coordinator: one table, no aggregation or
+// grouping, no DISTINCT (cross-shard duplicates would survive), and ORDER
+// BY keys the shards can evaluate from base columns (alias-only order keys
+// take the gather path, whose finish step resolves them).
+func (s *ShardedSource) fullPushdownOK(stmt *sql.SelectStmt) bool {
+	if len(stmt.Joins) > 0 || len(stmt.GroupBy) > 0 || stmt.Having != nil ||
+		stmt.Distinct || itemsHaveAgg(stmt) {
+		return false
+	}
+	ts := s.schema.Table(stmt.From.Table)
+	if ts == nil {
+		return false
+	}
+	binding := strings.ToLower(stmt.From.Binding())
+	for _, ob := range stmt.OrderBy {
+		if sql.ContainsAggregate(ob.Expr) {
+			return false
+		}
+		for _, r := range sql.ColumnRefs(ob.Expr) {
+			if r.Table != "" && strings.ToLower(r.Table) != binding {
+				return false
+			}
+			if ts.Column(r.Column) == nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// executePushdown ships the whole single-table statement to every
+// candidate shard — ORDER BY kept so each shard returns a sorted stream,
+// LIMIT widened to OFFSET+LIMIT, OFFSET cleared (offsets only make sense
+// globally) — then merge-sorts the streams on appended order-key columns
+// and applies the original LIMIT/OFFSET post-merge.
+func (s *ShardedSource) executePushdown(stmt *sql.SelectStmt) (*sql.Result, error) {
+	s.c.pushdown.Add(1)
+	frags, err := sql.Fragments(s.schema, stmt)
+	if err != nil {
+		return nil, err
+	}
+	shards := s.shardsFor(&frags[0])
+	if len(shards) == 0 {
+		// Fully pruned (an IN list of NULLs): no shard to merge columns
+		// from — the gather path derives the projection from the schema.
+		s.c.pushdown.Add(^uint64(0))
+		return s.executeGather(stmt)
+	}
+	shardStmt := stmt.Clone()
+	shardStmt.Offset = 0
+	if stmt.Limit >= 0 {
+		shardStmt.Limit = stmt.Offset + stmt.Limit
+	}
+	// Append each ORDER BY expression as a trailing projected column so the
+	// coordinator can merge without re-resolving expressions; stripped
+	// before returning.
+	nKeys := len(shardStmt.OrderBy)
+	for i, ob := range shardStmt.OrderBy {
+		shardStmt.Items = append(shardStmt.Items, sql.SelectItem{
+			Expr: ob.Expr, Alias: fmt.Sprintf("__mergekey%d", i),
+		})
+	}
+	results := make([]*sql.Result, len(s.backends))
+	errs := make([]error, len(s.backends))
+	s.forEach(len(shards), func(i int) {
+		si := shards[i]
+		s.c.fragments.Add(1)
+		res, ferr := s.backends[si].Execute(shardStmt)
+		if ferr != nil {
+			errs[si] = ferr
+			return
+		}
+		s.c.rowsShipped.Add(uint64(len(res.Rows)))
+		results[si] = res
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	merged := mergeShardResults(results, stmt.OrderBy)
+	// Post-merge LIMIT/OFFSET, then strip the merge-key columns.
+	rows := merged.Rows
+	if stmt.Offset > 0 {
+		if stmt.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[stmt.Offset:]
+		}
+	}
+	if stmt.Limit >= 0 && stmt.Limit < len(rows) {
+		rows = rows[:stmt.Limit]
+	}
+	if nKeys > 0 {
+		merged.Columns = merged.Columns[:len(merged.Columns)-nKeys]
+		for i, r := range rows {
+			rows[i] = r[: len(r)-nKeys : len(r)-nKeys]
+		}
+	}
+	return &sql.Result{Columns: merged.Columns, Rows: rows}, nil
+}
+
+// mergeShardResults concatenates per-shard results in shard order, or —
+// when the statement orders — k-way merges the pre-sorted shard streams on
+// the trailing merge-key columns, breaking ties by shard index so the
+// merge is deterministic.
+func mergeShardResults(results []*sql.Result, orderBy []sql.OrderItem) *sql.Result {
+	var columns []string
+	for _, r := range results {
+		if r != nil {
+			columns = r.Columns
+			break
+		}
+	}
+	out := &sql.Result{Columns: columns}
+	if len(orderBy) == 0 {
+		for _, r := range results {
+			if r != nil {
+				out.Rows = append(out.Rows, r.Rows...)
+			}
+		}
+		return out
+	}
+	heads := make([]int, len(results))
+	nKeys := len(orderBy)
+	keyAt := func(row relational.Row, k int) relational.Value {
+		return row[len(row)-nKeys+k]
+	}
+	less := func(a, b relational.Row) bool {
+		for k, ob := range orderBy {
+			c := relational.Compare(keyAt(a, k), keyAt(b, k))
+			if c == 0 {
+				continue
+			}
+			if ob.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+	for {
+		best := -1
+		for si, r := range results {
+			if r == nil || heads[si] >= len(r.Rows) {
+				continue
+			}
+			if best < 0 || less(r.Rows[heads[si]], results[best].Rows[heads[best]]) {
+				best = si
+			}
+		}
+		if best < 0 {
+			return out
+		}
+		out.Rows = append(out.Rows, results[best].Rows[heads[best]])
+		heads[best]++
+	}
+}
+
+// itemsHaveAgg reports whether any projection item aggregates.
+func itemsHaveAgg(stmt *sql.SelectStmt) bool {
+	for _, it := range stmt.Items {
+		if !it.Star && sql.ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func init() {
+	wrapper.RegisterBackend("sharded", func(db *relational.Database) (wrapper.Source, error) {
+		parts, err := Partition(db, DefaultShardCount)
+		if err != nil {
+			return nil, err
+		}
+		return New(db.Name, parts, Options{})
+	})
+}

@@ -96,4 +96,40 @@
 // equivalence suite in equivalence_test.go continuously checks the two
 // paths agree — NULL-key join rows, LEFT JOIN edge cases, reordered
 // multi-joins, range and IN probes included.
+//
+// # Pushdown fragments (distributed execution contract)
+//
+// Fragments and ExecuteRows split a statement along the coordinator/backend
+// seam the sharded execution layer (internal/shard) is built on. The
+// contract:
+//
+//   - What a backend executes. One TableFragment per FROM/JOIN table
+//     reference, whose Stmt is `SELECT * FROM <table> [WHERE <pushed>]` —
+//     the single-table WHERE conjuncts that are legal below every join
+//     (the planner's own pushdown rule: conjuncts on the null-extended
+//     side of a LEFT JOIN stay above, as do aggregate, multi-table,
+//     constant and unresolvable conjuncts). A backend runs the fragment
+//     with whatever local plan it likes — the in-memory shards use their
+//     own index access paths — and returns the qualifying rows in schema
+//     column order. Fragment SQL()-serializes, so any engine that answers
+//     a single-table SELECT can serve it.
+//   - What the coordinator merges. ExecuteRows runs joins, the full WHERE
+//     (re-evaluating pushed conjuncts is harmless — pushdown is a
+//     bandwidth optimization, never the only evaluation), projection,
+//     aggregation, DISTINCT, ordering and limits over the gathered rows
+//     with the reference interpreter's semantics, so the result is
+//     multiset-identical to single-node execution over the union of the
+//     partitions. Errors keep their per-row surfacing: a conjunct no
+//     backend could check still fails at the coordinator exactly where
+//     the interpreter would fail it.
+//   - Partition pruning. A fragment whose pushed conjuncts pin the
+//     table's primary key to an equality literal or an all-literal IN
+//     list carries those values as PKValues; a hash-partitioned
+//     deployment needs to consult only the shards they route to (an
+//     IN list of NULLs prunes every shard). Values that do not coerce to
+//     the key's type must not be pruned on — cross-type comparisons can
+//     still match.
+//
+// The internal/conformance differential suite holds both halves to this
+// contract against FullAccessSource at 1, 3 and 7 shards.
 package sql

@@ -1,0 +1,249 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relational"
+)
+
+// TableFragment is the per-table unit of distributed execution: the part of
+// a statement a remote backend can run entirely on its own rows. The
+// coordinator ships Stmt — `SELECT * FROM <table> [WHERE <pushed
+// conjuncts>]` — to every backend holding a partition of the table, gathers
+// the (already filtered) rows, and finishes joins, residual predicates,
+// projection, ordering and limits itself (ExecuteRows). Stmt.SQL() is the
+// fragment's wire form; any engine that can answer a single-table SELECT
+// can serve it.
+type TableFragment struct {
+	// Ref is the FROM/JOIN table reference the fragment covers, alias
+	// included so pushed conjuncts resolve on the backend exactly as they
+	// did in the original statement.
+	Ref TableRef
+	// Stmt is the executable fragment: SELECT * over Ref with the pushed
+	// conjuncts as its WHERE. It is freshly built per Fragments call and
+	// owned by the caller.
+	Stmt *SelectStmt
+	// Pushed lists the WHERE conjuncts the fragment evaluates remotely.
+	// Conjuncts not claimed by any fragment (multi-table, aggregate,
+	// unresolvable, constant) remain the coordinator's responsibility.
+	Pushed []Expr
+	// PKValues is the partition-pruning hint: when the pushed conjuncts pin
+	// the table's primary key to an equality literal or an IN list, these
+	// are the only PK values any qualifying row can carry, so a
+	// hash-partitioned deployment needs to consult only the shards those
+	// values route to. nil means no restriction (consult every shard); an
+	// empty non-nil slice means no row can qualify at all (an IN list of
+	// NULLs) and every shard may be skipped.
+	PKValues []relational.Value
+}
+
+// SQL renders the fragment's executable statement (the serialized form the
+// coordinator ships to a backend).
+func (f *TableFragment) SQL() string { return f.Stmt.SQL() }
+
+// ColumnRefs returns every column reference inside an expression, in
+// traversal order. Exported for coordinators (internal/shard) that must
+// apply the same resolution rules as the planner — one walker, not a
+// drifting copy per consumer.
+func ColumnRefs(e Expr) []*ColumnRef {
+	var out []*ColumnRef
+	collectRefs(e, &out)
+	return out
+}
+
+// ContainsAggregate reports whether the expression contains an aggregate
+// call (exported for the same reason as ColumnRefs).
+func ContainsAggregate(e Expr) bool { return containsAgg(e) }
+
+// fragmentRelation builds the resolver relation for one table reference
+// from schema metadata alone (no row access — Fragments must work on a
+// coordinator that holds no data).
+func fragmentRelation(schema *relational.Schema, tr TableRef) (*relation, error) {
+	ts := schema.Table(tr.Table)
+	if ts == nil {
+		return nil, fmt.Errorf("sql: unknown table %s", tr.Table)
+	}
+	binding := strings.ToLower(tr.Binding())
+	rel := &relation{}
+	for _, c := range ts.Columns {
+		rel.cols = append(rel.cols, boundCol{
+			binding: binding,
+			name:    strings.ToLower(c.Name),
+			display: tr.Binding() + "." + c.Name,
+		})
+	}
+	return rel, nil
+}
+
+// Fragments splits a statement into its per-table pushdown fragments under
+// the same legality rules the single-node planner applies: a WHERE conjunct
+// is pushed into the fragment of the one table it references unless that
+// table is null-extended by a LEFT join (evaluating the conjunct below the
+// join would resurrect rows it must remove); aggregate, multi-table,
+// constant and unresolvable conjuncts are left for the coordinator, which
+// re-checks the full WHERE over the joined rows anyway — a pushed conjunct
+// is a bandwidth optimization, never the only evaluation.
+//
+// Fragments come back in clause order (FROM first, then each JOIN), one per
+// table reference, so the result aligns with stmt.Tables() and with the
+// tables argument of ExecuteRows.
+func Fragments(schema *relational.Schema, stmt *SelectStmt) ([]TableFragment, error) {
+	refs := stmt.Tables()
+	frags := make([]TableFragment, len(refs))
+	locals := make([]*relation, len(refs))
+	full := &relation{}
+	// nodeStart[i] is the ordinal in full.cols where table i's columns
+	// begin; table i>0 was introduced by join i-1.
+	nodeStart := make([]int, len(refs))
+	for i, tr := range refs {
+		local, err := fragmentRelation(schema, tr)
+		if err != nil {
+			return nil, err
+		}
+		locals[i] = local
+		nodeStart[i] = len(full.cols)
+		full.cols = append(full.cols, local.cols...)
+		frags[i] = TableFragment{Ref: tr}
+	}
+	ownerNode := func(ord int) int {
+		for i := len(nodeStart) - 1; i >= 0; i-- {
+			if ord >= nodeStart[i] {
+				return i
+			}
+		}
+		return 0
+	}
+
+	if stmt.Where != nil {
+		for _, c := range splitAnd(stmt.Where) {
+			if containsAgg(c) {
+				continue
+			}
+			var crefs []*ColumnRef
+			collectRefs(c, &crefs)
+			involved := map[int]bool{}
+			resolvable := true
+			for _, r := range crefs {
+				ord, err := full.resolve(r)
+				if err != nil {
+					resolvable = false
+					break
+				}
+				involved[ownerNode(ord)] = true
+			}
+			if !resolvable || len(involved) != 1 {
+				continue
+			}
+			var single int
+			for ni := range involved {
+				single = ni
+			}
+			// LEFT-join legality: conjuncts on a null-extended table must
+			// run above its join, i.e. at the coordinator.
+			if single > 0 && stmt.Joins[single-1].Left {
+				continue
+			}
+			frags[single].Pushed = append(frags[single].Pushed, c)
+		}
+	}
+
+	for i := range frags {
+		var where Expr
+		if len(frags[i].Pushed) > 0 {
+			where = andAll(frags[i].Pushed)
+		}
+		frags[i].Stmt = &SelectStmt{
+			Items: []SelectItem{{Star: true}},
+			From:  frags[i].Ref,
+			Where: where,
+			Limit: -1,
+		}
+		frags[i].PKValues = pkRestriction(schema, locals[i], &frags[i])
+	}
+	return frags, nil
+}
+
+// pkRestriction inspects a fragment's pushed conjuncts for an equality or
+// IN-list restriction on the table's primary key and returns the admissible
+// PK values (see TableFragment.PKValues). The restriction is sound because
+// pushed conjuncts are ANDed: any qualifying row satisfies all of them.
+func pkRestriction(schema *relational.Schema, local *relation, f *TableFragment) []relational.Value {
+	ts := schema.Table(f.Ref.Table)
+	if ts == nil || ts.PrimaryKey == "" {
+		return nil
+	}
+	pkOrd := ts.ColumnIndex(ts.PrimaryKey)
+	for _, c := range f.Pushed {
+		if ord, v, ok := localEqLiteral(local, c); ok && ord == pkOrd {
+			return []relational.Value{v}
+		}
+		in, ok := c.(*InExpr)
+		if !ok {
+			continue
+		}
+		cr, ok := in.Inner.(*ColumnRef)
+		if !ok {
+			continue
+		}
+		if ord, err := local.resolve(cr); err != nil || ord != pkOrd {
+			continue
+		}
+		vals := make([]relational.Value, 0, len(in.List))
+		allLits := true
+		for _, item := range in.List {
+			l, isLit := item.(*Literal)
+			if !isLit {
+				allLits = false
+				break
+			}
+			if l.Value.IsNull() {
+				continue // NULL never equals the PK; contributes no shard
+			}
+			vals = append(vals, l.Value)
+		}
+		if allLits {
+			return vals
+		}
+	}
+	return nil
+}
+
+// ExecuteRows runs a statement over externally supplied base-table row
+// sets — the coordinator half of distributed execution. tables[i] holds the
+// rows standing in for stmt.Tables()[i] (positionally aligned with that
+// table's schema columns, exactly what the matching TableFragment ships
+// back); joins, the full WHERE, projection, aggregation, DISTINCT, ordering
+// and limits all run here with the reference interpreter's semantics, so
+// re-evaluating already-pushed conjuncts is redundant but harmless and the
+// result is multiset-identical to single-node execution over the union of
+// the partitions.
+func ExecuteRows(schema *relational.Schema, stmt *SelectStmt, tables [][]relational.Row) (*Result, error) {
+	refs := stmt.Tables()
+	if len(tables) != len(refs) {
+		return nil, fmt.Errorf("sql: ExecuteRows got %d row sets for %d tables", len(tables), len(refs))
+	}
+	rel, err := fragmentRelation(schema, refs[0])
+	if err != nil {
+		return nil, err
+	}
+	rel.rows = tables[0]
+	for i, j := range stmt.Joins {
+		right, err := fragmentRelation(schema, j.Table)
+		if err != nil {
+			return nil, err
+		}
+		right.rows = tables[i+1]
+		rel, err = join(rel, right, j)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Where != nil {
+		rel, err = filter(rel, stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return finish(rel, stmt)
+}

@@ -1,0 +1,149 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+func TestFragmentsPushdownAndPruning(t *testing.T) {
+	db := eqDB(t)
+	stmt, err := Parse(`SELECT person.name, movie.title FROM movie
+		JOIN cast_info ON cast_info.movie_id = movie.movie_id
+		JOIN person ON person.person_id = cast_info.person_id
+		WHERE movie.movie_id = 17 AND cast_info.role = 'actor'
+			AND movie.year > cast_info.person_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := Fragments(db.Schema, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("got %d fragments, want 3", len(frags))
+	}
+	if got := frags[0].SQL(); !strings.Contains(got, "WHERE (movie.movie_id = 17)") {
+		t.Errorf("movie fragment did not push the PK equality: %s", got)
+	}
+	if got := frags[1].SQL(); !strings.Contains(got, "cast_info.role = 'actor'") {
+		t.Errorf("cast_info fragment did not push the role equality: %s", got)
+	}
+	if len(frags[2].Pushed) != 0 {
+		t.Errorf("person fragment pushed %v, want none", frags[2].Pushed)
+	}
+	// The multi-table conjunct must stay with the coordinator.
+	for _, f := range frags {
+		for _, c := range f.Pushed {
+			if strings.Contains(c.SQL(), "person_id") && strings.Contains(c.SQL(), "year") {
+				t.Errorf("multi-table conjunct was pushed into %s", f.Ref.Table)
+			}
+		}
+	}
+	// Partition pruning: the movie fragment pins the PK to one value.
+	if len(frags[0].PKValues) != 1 || frags[0].PKValues[0].AsInt() != 17 {
+		t.Errorf("movie fragment PKValues = %v, want [17]", frags[0].PKValues)
+	}
+	if frags[1].PKValues != nil || frags[2].PKValues != nil {
+		t.Errorf("unexpected PK restriction on unpinned fragments: %v %v",
+			frags[1].PKValues, frags[2].PKValues)
+	}
+}
+
+func TestFragmentsPKInListAndNulls(t *testing.T) {
+	db := eqDB(t)
+	stmt, err := Parse("SELECT title FROM movie WHERE movie_id IN (3, 9, NULL, 3)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := Fragments(db.Schema, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(frags[0].PKValues); got != 3 {
+		t.Fatalf("PKValues = %v, want the 3 non-NULL members", frags[0].PKValues)
+	}
+	// An IN list of only NULLs can match nothing: empty but non-nil, so the
+	// shard layer may skip every partition.
+	stmt, err = Parse("SELECT title FROM movie WHERE movie_id IN (NULL)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err = Fragments(db.Schema, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frags[0].PKValues == nil || len(frags[0].PKValues) != 0 {
+		t.Fatalf("PKValues = %#v, want empty non-nil", frags[0].PKValues)
+	}
+}
+
+func TestFragmentsLeftJoinLegality(t *testing.T) {
+	db := eqDB(t)
+	stmt, err := Parse(`SELECT movie.title FROM movie
+		LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id
+		WHERE cast_info.role = 'actor' AND movie.genre = 'drama'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frags, err := Fragments(db.Schema, stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags[1].Pushed) != 0 {
+		t.Errorf("conjunct on the null-extended side was pushed: %v", frags[1].Pushed)
+	}
+	if len(frags[0].Pushed) != 1 {
+		t.Errorf("base-table conjunct was not pushed: %v", frags[0].Pushed)
+	}
+}
+
+// TestExecuteRowsMatchesReference feeds ExecuteRows the tables' own rows and
+// checks it reproduces the reference interpreter byte for byte — the
+// coordinator half must be a drop-in finish for gathered fragments.
+func TestExecuteRowsMatchesReference(t *testing.T) {
+	db := eqDB(t)
+	for _, src := range []string{
+		"SELECT title FROM movie WHERE year BETWEEN 1975 AND 1990 ORDER BY movie_id",
+		`SELECT person.name, cast_info.role FROM person
+			JOIN cast_info ON cast_info.person_id = person.person_id
+			WHERE cast_info.role = 'director' ORDER BY cast_info.cast_id LIMIT 7 OFFSET 2`,
+		`SELECT movie.title, cast_info.role FROM movie
+			LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id
+			WHERE cast_info.role IS NULL ORDER BY movie.movie_id`,
+		`SELECT cast_info.role, COUNT(*) FROM movie
+			JOIN cast_info ON cast_info.movie_id = movie.movie_id
+			GROUP BY cast_info.role ORDER BY cast_info.role`,
+		"SELECT DISTINCT genre FROM movie ORDER BY genre",
+	} {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tables [][]relational.Row
+		for _, tr := range stmt.Tables() {
+			tables = append(tables, db.Table(tr.Table).Rows())
+		}
+		got, err := ExecuteRows(db.Schema, stmt, tables)
+		if err != nil {
+			t.Fatalf("ExecuteRows(%q): %v", src, err)
+		}
+		want, err := ExecuteFullScan(db, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(got.Columns, ",") != strings.Join(want.Columns, ",") {
+			t.Errorf("%q: columns %v vs %v", src, got.Columns, want.Columns)
+		}
+		g, w := rowMultiset(got), rowMultiset(want)
+		if len(g) != len(w) {
+			t.Fatalf("%q: %d rows vs %d", src, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Errorf("%q: row divergence %s vs %s", src, g[i], w[i])
+			}
+		}
+	}
+}

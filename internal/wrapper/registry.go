@@ -1,0 +1,62 @@
+package wrapper
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/relational"
+)
+
+// BackendFactory builds a Source over an owned database. Factories are how
+// execution backends (single-node full access, hash-sharded, future remote
+// wrappers) plug into the system without the consumer naming a concrete
+// type: the conformance harness iterates every registered kind and holds
+// each to the same differential contract, and quest.OpenBackend selects one
+// by name. A factory may reorganize the data it is handed (the sharded
+// backend partitions the rows into per-shard databases); callers must treat
+// the database as owned by the returned source afterwards.
+type BackendFactory func(db *relational.Database) (Source, error)
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[string]BackendFactory{}
+)
+
+// RegisterBackend makes a backend kind available to OpenBackend under the
+// given name. Registration happens in package init functions (the shard
+// package registers "sharded"); re-registering a name replaces the factory.
+func RegisterBackend(kind string, f BackendFactory) {
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	backends[kind] = f
+}
+
+// OpenBackend builds the named backend kind over the database.
+func OpenBackend(kind string, db *relational.Database) (Source, error) {
+	backendMu.RLock()
+	f, ok := backends[kind]
+	backendMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("wrapper: unknown backend kind %q (registered: %v)", kind, BackendKinds())
+	}
+	return f(db)
+}
+
+// BackendKinds returns the registered backend names, sorted.
+func BackendKinds() []string {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	out := make([]string, 0, len(backends))
+	for k := range backends {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	RegisterBackend("full", func(db *relational.Database) (Source, error) {
+		return NewFullAccessSource(db), nil
+	})
+}

@@ -49,6 +49,25 @@ type ExistsExecutor interface {
 	ExecuteExists(stmt *sql.SelectStmt) (bool, error)
 }
 
+// SourceExecutor generalizes ExistsExecutor to the full execution surface a
+// query coordinator needs from a backend: materializing execution plus the
+// existence-only mode. It is the per-shard contract of the sharded
+// execution layer (internal/shard) — anything that can run a SELECT and
+// answer an emptiness probe can hold a partition of the data.
+// FullAccessSource implements it over the in-memory engine.
+type SourceExecutor interface {
+	Execute(stmt *sql.SelectStmt) (*sql.Result, error)
+	ExistsExecutor
+}
+
+// StatisticsProvider is the instance-statistics face of a source: per-column
+// distribution snapshots the SQL planner (and a sharding coordinator
+// merging shard statistics) estimates from. Sources without instance access
+// do not implement it.
+type StatisticsProvider interface {
+	ColumnStatistics(table, column string) (*relational.ColumnStats, error)
+}
+
 // ExecuteExists reports whether the statement yields at least one tuple on
 // the source, using the cheapest available path: the source's own
 // existence mode when it implements ExistsExecutor, otherwise a LIMIT 1
@@ -61,10 +80,13 @@ func ExecuteExists(src Source, stmt *sql.SelectStmt) (bool, error) {
 	if stmt.Limit == 0 {
 		return false, nil
 	}
-	probe := *stmt
+	// Clone rather than mutate: the caller's statement may be cached (the
+	// engine re-executes explanation statements across searches) and must
+	// come back exactly as it went in, clause slices included.
+	probe := stmt.Clone()
 	probe.OrderBy = nil
 	probe.Limit = 1
-	res, err := src.Execute(&probe)
+	res, err := src.Execute(probe)
 	if err != nil {
 		return false, err
 	}

@@ -68,6 +68,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/ontology"
 	"repro/internal/relational"
+	"repro/internal/shard"
 	"repro/internal/sql"
 	"repro/internal/wrapper"
 )
@@ -109,6 +110,11 @@ type (
 
 	// Source abstracts data-source access (full or metadata-only).
 	Source = wrapper.Source
+	// ShardedSource executes over N hash-partitioned backends with
+	// predicate pushdown, partition pruning and scatter-gather merge.
+	ShardedSource = shard.ShardedSource
+	// ShardStats snapshots a sharded source's coordinator counters.
+	ShardStats = shard.Stats
 	// Result is a materialized SQL result.
 	Result = sql.Result
 	// SQLQueryPlan is the introspectable execution plan attached to every
@@ -183,6 +189,47 @@ func OpenSource(src Source, opts Options) *Engine {
 // schema and the ontology rather than full-text statistics.
 func OpenHidden(db *Database, thes *Thesaurus, opts Options) *Engine {
 	return core.NewEngine(wrapper.HiddenSourceFor(db, thes), opts)
+}
+
+// OpenSharded hash-partitions the database into n shards and assembles the
+// engine over the sharded execution layer: generated SQL is split into
+// pushdown fragments executed where the rows live (each shard plans its
+// fragment with its own local indexes and statistics), existence
+// validations fan out per shard and short-circuit on the first witness,
+// and Engine.ColumnStatistics reports whole-data summaries merged from the
+// shards instead of shipped rows. The engine behaves like Open
+// semantically; only the execution topology changes. The database's rows
+// are copied into the shards — treat the returned engine's source as the
+// owner from here on.
+func OpenSharded(db *Database, n int, opts Options) (*Engine, error) {
+	parts, err := shard.Partition(db, n)
+	if err != nil {
+		return nil, err
+	}
+	src, err := shard.New(db.Name, parts, shard.Options{Workers: opts.Parallelism})
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(src, opts), nil
+}
+
+// PartitionDatabase hash-partitions a database into n databases over the
+// same schema (PK hash routing; round-robin for keyless tables), the raw
+// material for a custom sharded deployment.
+func PartitionDatabase(db *Database, n int) ([]*Database, error) {
+	return shard.Partition(db, n)
+}
+
+// OpenBackend assembles the engine over a registered execution backend
+// kind ("full", "sharded", or anything registered through
+// wrapper.RegisterBackend). Every registered kind is held to the same
+// differential contract by the internal/conformance suite.
+func OpenBackend(kind string, db *Database, opts Options) (*Engine, error) {
+	src, err := wrapper.OpenBackend(kind, db)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(src, opts), nil
 }
 
 // NewSchema returns an empty schema for custom databases.
