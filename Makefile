@@ -5,9 +5,9 @@ GO       ?= go
 PKGS     ?= ./...
 BENCH    ?= .
 SEED     ?= 42
-SNAPSHOT ?= BENCH_pr4.json
+SNAPSHOT ?= BENCH_pr5.json
 
-.PHONY: all build test race vet bench bench-smoke conformance snapshot ci clean
+.PHONY: all build test race vet bench bench-smoke conformance conformance-remote snapshot ci clean
 
 all: build
 
@@ -34,20 +34,28 @@ bench-smoke:
 
 # Cross-backend conformance: the differential suite holds ShardedSource
 # (at 1, 3 and 7 shards, with concurrent queries and interleaved inserts)
-# and every registered backend kind to FullAccessSource's semantics, under
-# the race detector.
+# and every registered backend kind — the loopback-wire "remote" kind
+# included — to FullAccessSource's semantics, under the race detector.
 conformance:
 	$(GO) test -race -count=1 -run Conformance ./internal/conformance
 
+# Remote-transport conformance and fault injection: every query shape
+# against shards behind the wire protocol (loopback and TCP) at 1/3/7
+# shards, the goroutine-leak bound, and the transport package's
+# dropped-connection / slow-shard-hedge / malformed-frame tests.
+conformance-remote:
+	$(GO) test -race -count=1 -run 'ConformanceRemote|RemoteNoGoroutineLeak' ./internal/conformance
+	$(GO) test -race -count=1 ./internal/transport
+
 # Machine-readable experiment snapshot via questbench: all experiment
 # tables including the E9 executor/planner, prune-path, E10
-# statistics/join-order and E11 sharded-execution benchmarks. Committed as
-# BENCH_pr4.json so the perf trajectory is diffable per PR; override
-# SNAPSHOT to write elsewhere.
+# statistics/join-order, E11 sharded-execution and E12 remote-transport/
+# hedged-read benchmarks. Committed as BENCH_pr5.json so the perf
+# trajectory is diffable per PR; override SNAPSHOT to write elsewhere.
 snapshot:
 	$(GO) run ./cmd/questbench -seed $(SEED) -json $(SNAPSHOT)
 
-ci: build vet test race conformance bench-smoke
+ci: build vet test race conformance conformance-remote bench-smoke
 
 clean:
 	rm -f BENCH_*.json

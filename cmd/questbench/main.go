@@ -1,8 +1,9 @@
 // Command questbench runs the full experiment suite (E1–E8 of DESIGN.md §3
 // plus the E9 executor/planner scorecard, the E10 statistics/join-order
-// scorecard and the E11 sharded-execution scorecard) and prints the tables
-// recorded in EXPERIMENTS.md. Each experiment is a deterministic function
-// of the seed, so re-running reproduces the report.
+// scorecard, the E11 sharded-execution scorecard and the E12 remote
+// transport / hedged-read scorecard) and prints the tables recorded in
+// EXPERIMENTS.md. Each experiment is a deterministic function of the
+// seed, so re-running reproduces the report.
 //
 // With -json the same tables are also written as a machine-readable
 // BENCH_*.json snapshot (one object per table: title, headers, rows, plus
@@ -11,7 +12,7 @@
 //
 // Usage:
 //
-//	questbench [-exp all|e1..e11] [-seed N] [-n N] [-json BENCH_42.json]
+//	questbench [-exp all|e1..e12] [-seed N] [-n N] [-json BENCH_42.json]
 package main
 
 import (
@@ -19,8 +20,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	quest "repro"
@@ -30,6 +33,8 @@ import (
 	"repro/internal/fulltext"
 	shardpkg "repro/internal/shard"
 	sqlpkg "repro/internal/sql"
+	"repro/internal/transport"
+	"repro/internal/wrapper"
 )
 
 var (
@@ -86,7 +91,7 @@ func writeSnapshot(path string) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, e1..e11)")
+	exp := flag.String("exp", "all", "experiment to run (all, e1..e12)")
 	flag.Parse()
 
 	runners := map[string]func(){
@@ -101,9 +106,10 @@ func main() {
 		"e9":  e9Planner,
 		"e10": e10Statistics,
 		"e11": e11Sharded,
+		"e12": e12Remote,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"} {
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"} {
 			runners[name]()
 		}
 	} else {
@@ -865,4 +871,196 @@ func e11Sharded() {
 	emit(tbl2)
 }
 
-var _ = sort.Strings // reserved for future table post-processing
+// flakyBackend injects server-side latency on every Nth Execute — the
+// slow-shard model behind E12b's tail-latency measurement.
+type flakyBackend struct {
+	wrapper.SourceExecutor
+	n     atomic.Uint64
+	every uint64
+	delay time.Duration
+}
+
+func (b *flakyBackend) Execute(stmt *sqlpkg.SelectStmt) (*sqlpkg.Result, error) {
+	if b.n.Add(1)%b.every == 0 {
+		time.Sleep(b.delay)
+	}
+	return b.SourceExecutor.Execute(stmt)
+}
+
+// e12Remote: the PR 5 network-transport scorecard. E12a reruns the E11
+// join workload plus a grouped aggregate with every shard behind the wire
+// protocol (loopback transport: frames, row codec, pooled connections) —
+// the delta against the in-process rows is the transport tax, and the
+// agg-rows-shipped column shows partial-aggregate pushdown collapsing the
+// aggregate's gather bandwidth. E12b runs a point-lookup workload against
+// a fleet whose primary replicas stall every 25th execution by 8ms:
+// hedged reads race the clean replica after the adaptive latency quantile
+// and cut the p99 while leaving the p50 alone, with zero goroutines
+// leaked once the sources close.
+func e12Remote() {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: 8})
+
+	timeQuery := func(run func() error, reps int) float64 {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := run(); err != nil {
+				panic(err)
+			}
+		}
+		return float64(time.Since(start).Microseconds()) / float64(reps)
+	}
+
+	const joinQ = `SELECT person.name, movie.title FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		JOIN movie ON movie.movie_id = cast_info.movie_id
+		WHERE movie.genre MATCH 'drama' AND cast_info.role = 'director'`
+	const aggQ = `SELECT genre, COUNT(*), MIN(production_year), MAX(production_year)
+		FROM movie GROUP BY genre`
+	joinStmt, err := quest.ParseSQL(joinQ)
+	if err != nil {
+		panic(err)
+	}
+	aggStmt, err := quest.ParseSQL(aggQ)
+	if err != nil {
+		panic(err)
+	}
+
+	tbl := &eval.Table{
+		Title:   "E12a — remote vs in-process pushdown (loopback wire protocol, imdb scale 8)",
+		Headers: []string{"shards", "mode", "join-us", "agg-us", "agg-rows-shipped", "agg-partials"},
+	}
+	for _, n := range []int{4, 8} {
+		type mode struct {
+			name string
+			src  *shardpkg.ShardedSource
+		}
+		parts, err := shardpkg.Partition(db, n)
+		if err != nil {
+			panic(err)
+		}
+		local, err := shardpkg.New(db.Name, parts, shardpkg.Options{})
+		if err != nil {
+			panic(err)
+		}
+		rparts, err := shardpkg.Partition(db, n)
+		if err != nil {
+			panic(err)
+		}
+		backends := make([]shardpkg.Backend, n)
+		for i, p := range rparts {
+			c, err := transport.NewLoopbackClient(wrapper.NewFullAccessSource(p), transport.Options{})
+			if err != nil {
+				panic(err)
+			}
+			backends[i] = c
+		}
+		remote := shardpkg.NewFromBackends(db.Name, db.Schema, backends,
+			shardpkg.Options{AssumeHashRouting: true})
+		for _, m := range []mode{{"in-process", local}, {"remote", remote}} {
+			if _, err := m.src.Execute(joinStmt); err != nil { // warm shard plans
+				panic(err)
+			}
+			joinUs := timeQuery(func() error { _, err := m.src.Execute(joinStmt); return err }, 5)
+			aggUs := timeQuery(func() error { _, err := m.src.Execute(aggStmt); return err }, 10)
+			m.src.ResetStats()
+			if _, err := m.src.Execute(aggStmt); err != nil {
+				panic(err)
+			}
+			st := m.src.Stats()
+			tbl.AddRow(fmt.Sprint(n), m.name,
+				fmt.Sprintf("%.1f", joinUs), fmt.Sprintf("%.1f", aggUs),
+				fmt.Sprint(st.RowsShipped), fmt.Sprint(st.AggPushdownQueries))
+		}
+		remote.Close()
+	}
+	emit(tbl)
+
+	// E12b: hedged vs unhedged tail latency against flaky primaries.
+	tbl2 := &eval.Table{
+		Title:   "E12b — hedged reads vs slow shard: point-lookup tail latency (8ms stall every 25th primary execute)",
+		Headers: []string{"mode", "queries", "p50-us", "p99-us", "hedges", "hedge-wins", "retries", "leaked-goroutines"},
+	}
+	const (
+		shards  = 4
+		queries = 10000
+	)
+	points := make([]*sqlpkg.SelectStmt, 16)
+	for i := range points {
+		stmt, err := quest.ParseSQL(fmt.Sprintf("SELECT title FROM movie WHERE movie_id = %d", 50+i*37))
+		if err != nil {
+			panic(err)
+		}
+		points[i] = stmt
+	}
+	for _, hedge := range []bool{false, true} {
+		name := "unhedged"
+		if hedge {
+			name = "hedged"
+		}
+		baseline := runtime.NumGoroutine()
+		parts, err := shardpkg.Partition(db, shards)
+		if err != nil {
+			panic(err)
+		}
+		clients := make([]*transport.Client, shards)
+		backends := make([]shardpkg.Backend, shards)
+		for i, p := range parts {
+			src := wrapper.NewFullAccessSource(p)
+			primary := transport.NewServer(&flakyBackend{
+				SourceExecutor: src, every: 25, delay: 8 * time.Millisecond,
+			})
+			replica := transport.NewServer(src)
+			c, err := transport.NewClient(
+				[]transport.Dialer{transport.LoopbackDialer(primary), transport.LoopbackDialer(replica)},
+				transport.Options{Hedge: hedge},
+			)
+			if err != nil {
+				panic(err)
+			}
+			clients[i] = c
+			backends[i] = c
+		}
+		fleet := shardpkg.NewFromBackends(db.Name, db.Schema, backends,
+			shardpkg.Options{AssumeHashRouting: true})
+		if _, err := fleet.Execute(points[0]); err != nil { // warm
+			panic(err)
+		}
+		lat := make([]time.Duration, 0, queries)
+		for i := 0; i < queries; i++ {
+			start := time.Now()
+			if _, err := fleet.Execute(points[i%len(points)]); err != nil {
+				panic(err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		var st transport.ClientStats
+		for _, c := range clients {
+			s := c.Stats()
+			st.Hedges += s.Hedges
+			st.HedgeWins += s.HedgeWins
+			st.Retries += s.Retries
+		}
+		fleet.Close()
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		leaked := runtime.NumGoroutine() - baseline
+		if leaked < 0 {
+			leaked = 0
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(q float64) float64 {
+			i := int(q * float64(len(lat)))
+			if i >= len(lat) {
+				i = len(lat) - 1
+			}
+			return float64(lat[i].Microseconds())
+		}
+		tbl2.AddRow(name, fmt.Sprint(queries),
+			fmt.Sprintf("%.0f", pct(0.50)), fmt.Sprintf("%.0f", pct(0.99)),
+			fmt.Sprint(st.Hedges), fmt.Sprint(st.HedgeWins), fmt.Sprint(st.Retries),
+			fmt.Sprint(leaked))
+	}
+	emit(tbl2)
+}

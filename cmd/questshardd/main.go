@@ -1,0 +1,97 @@
+// Command questshardd serves one shard of a QUEST database over the wire
+// protocol of internal/transport, turning the sharded execution layer into
+// a multi-process deployment: a coordinator opened with quest.OpenRemote
+// sends pushdown-fragment SQL to N questshardd processes and merges their
+// length-prefixed row streams, with retries and hedged reads handled by
+// the client side.
+//
+// Each process owns one hash partition of the dataset: -shards picks the
+// partition count (which must match the coordinator's shard list), -index
+// which partition this process holds. Identical -dataset/-seed/-scale
+// flags on every process reproduce the same split deterministically, so a
+// fleet can be started with nothing shared but the command line:
+//
+//	questshardd -addr :4730 -dataset imdb -shards 3 -index 0 &
+//	questshardd -addr :4731 -dataset imdb -shards 3 -index 1 &
+//	questshardd -addr :4732 -dataset imdb -shards 3 -index 2 &
+//
+// and dialed with quest.OpenRemote(schema, [][]string{{":4730"}, {":4731"},
+// {":4732"}}, ...). Several replicas of the same -index behind one shard's
+// address list give hedged reads a second target.
+//
+// The served backend is a full-access wrapper over the partition: fragment
+// execution uses the shard-local planner and indexes, existence probes use
+// the streaming existence mode, and the statistics/relevance faces
+// (ColumnStatistics, AttributeScore, EdgeDistance) answer from shard-local
+// evidence for the coordinator to merge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	quest "repro"
+	"repro/internal/shard"
+	"repro/internal/transport"
+	"repro/internal/wrapper"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:4730", "listen address")
+		dataset = flag.String("dataset", "imdb", "dataset served: imdb, mondial or dblp")
+		seed    = flag.Int64("seed", 42, "dataset seed (must match the coordinator's fleet)")
+		scale   = flag.Int("scale", 1, "dataset scale")
+		shards  = flag.Int("shards", 1, "total hash partitions in the fleet")
+		index   = flag.Int("index", 0, "which partition this process serves (0-based)")
+		batch   = flag.Int("batch", transport.DefaultBatchRows, "rows per response frame")
+	)
+	flag.Parse()
+
+	cfg := quest.DatasetConfig{Seed: *seed, Scale: *scale}
+	var db *quest.Database
+	switch *dataset {
+	case "imdb":
+		db = quest.BuildIMDB(cfg)
+	case "mondial":
+		db = quest.BuildMondial(cfg)
+	case "dblp":
+		db = quest.BuildDBLP(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "questshardd: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if *shards < 1 || *index < 0 || *index >= *shards {
+		fmt.Fprintf(os.Stderr, "questshardd: index %d out of range for %d shards\n", *index, *shards)
+		os.Exit(2)
+	}
+	if *shards > 1 {
+		parts, err := shard.Partition(db, *shards)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "questshardd: partition: %v\n", err)
+			os.Exit(1)
+		}
+		db = parts[*index]
+	}
+
+	src := wrapper.NewFullAccessSource(db)
+	srv := transport.NewServer(src)
+	srv.BatchRows = *batch
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "questshardd: listen: %v\n", err)
+		os.Exit(1)
+	}
+	rows := 0
+	for _, ts := range db.Schema.Tables() {
+		rows += db.Table(ts.Name).Len()
+	}
+	fmt.Printf("questshardd: serving %s shard %d/%d (%d rows) on %s\n",
+		*dataset, *index, *shards, rows, l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintf(os.Stderr, "questshardd: serve: %v\n", err)
+		os.Exit(1)
+	}
+}

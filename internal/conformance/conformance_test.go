@@ -157,6 +157,24 @@ func tableCases() []Query {
 			JOIN cast_info ON cast_info.movie_id = movie.movie_id
 			WHERE movie.genre = 'drama' GROUP BY cast_info.role ORDER BY cast_info.role`},
 		{SQL: "SELECT COUNT(*), MIN(year), MAX(year) FROM movie WHERE genre = 'noir'"},
+		// Partial-aggregate pushdown shapes: global and grouped integer
+		// aggregates (exactly decomposable), empty groups, NULL group keys,
+		// pruned-to-one-shard and pruned-to-zero-shards aggregates, aliased
+		// aggregate order keys. (Float SUM/AVG is excluded by design: its
+		// answer depends on summation order even between the gather path and
+		// a single scan.)
+		{SQL: "SELECT COUNT(*) FROM movie"},
+		{SQL: "SELECT COUNT(year), SUM(year), AVG(year) FROM movie WHERE genre = 'drama'"},
+		{SQL: "SELECT COUNT(*), SUM(movie_id) FROM movie WHERE year > 2100"},
+		{SQL: "SELECT COUNT(*) FROM movie WHERE movie_id = 17"},
+		{SQL: "SELECT COUNT(*) FROM movie WHERE movie_id IN (NULL)"},
+		{SQL: "SELECT genre, COUNT(*), MIN(year), MAX(year) FROM movie GROUP BY genre ORDER BY genre", TotalOrder: true},
+		{SQL: "SELECT year, COUNT(*) FROM movie GROUP BY year ORDER BY year", TotalOrder: true},
+		{SQL: "SELECT year, COUNT(*) AS c FROM movie GROUP BY year ORDER BY c DESC, year", TotalOrder: true},
+		{SQL: "SELECT genre, AVG(year) FROM movie WHERE year IS NOT NULL GROUP BY genre ORDER BY genre", TotalOrder: true},
+		{SQL: "SELECT genre FROM movie GROUP BY genre ORDER BY genre LIMIT 2 OFFSET 1", TotalOrder: true},
+		{SQL: "SELECT role, COUNT(*) FROM cast_info GROUP BY role ORDER BY role", TotalOrder: true},
+		{SQL: "SELECT genre, COUNT(*) FROM movie GROUP BY genre HAVING COUNT(*) > 40 ORDER BY genre", TotalOrder: true},
 		{SQL: "SELECT DISTINCT genre FROM movie WHERE year > 1990 ORDER BY genre", TotalOrder: true},
 		{SQL: "SELECT DISTINCT genre, year FROM movie WHERE year > 2010"},
 		// Error parity: both sides must reject, neither may half-answer.

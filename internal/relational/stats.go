@@ -48,6 +48,18 @@ type ColumnStats struct {
 	mcvTotal int      // sum of MCV counts
 }
 
+// Rehydrate recomputes the derived unexported state (the MCV count total)
+// from the exported fields. It is the last step of decoding a ColumnStats
+// that crossed a process boundary — the wire codec (internal/sql) ships
+// only the exported fields, and an un-rehydrated snapshot would
+// over-estimate the non-MCV remainder in EstimateEq.
+func (cs *ColumnStats) Rehydrate() {
+	cs.mcvTotal = 0
+	for _, m := range cs.MCVs {
+		cs.mcvTotal += m.Count
+	}
+}
+
 // NullFraction returns the fraction of rows that are NULL.
 func (cs *ColumnStats) NullFraction() float64 {
 	if cs.Rows == 0 {

@@ -1,0 +1,406 @@
+package shard
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+// Partial aggregate pushdown: single-table aggregate statements decompose
+// into per-shard partial aggregates merged at the coordinator, so
+// `SELECT genre, COUNT(*) FROM movie GROUP BY genre` ships one row per
+// (shard, group) instead of every qualifying base row. The decompositions
+// are the textbook ones — COUNT sums partial counts, SUM sums partial
+// sums, MIN/MAX fold partial extrema, AVG travels as (SUM, COUNT) and
+// divides at the coordinator — and each merge is bit-identical to
+// single-node evaluation over the union of the partitions, which the
+// conformance harness's byte-level comparison demands. That exactness
+// requirement is why SUM and AVG only decompose for non-float arguments:
+// float addition is not associative, so re-ordering a float sum across
+// shards could diverge from the reference in the last ulp, and integer
+// sums are order-independent exactly as far as the reference's own
+// float64 accumulator is exact (totals within ±2^53 — beyond that the
+// engine's single-node answer is itself rounded, and this path shares
+// its accumulator width, not its accumulation order). Float SUM/AVG
+// statements take the gather path instead.
+//
+// Statements with joins, HAVING, DISTINCT, aggregate-bearing expressions
+// (COUNT(*)+1), or ORDER BY keys that are not projected outputs also fall
+// back to the gather path, whose coordinator finish already has reference
+// semantics for all of them.
+
+// aggItem maps one output column to its merge rule.
+type aggItem struct {
+	// groupIdx >= 0 selects group-key column groupIdx; the aggregate
+	// fields below are then unused.
+	groupIdx int
+	fn       sql.AggFunc
+	// slot is the partial column's ordinal in the per-shard result row;
+	// slot2 is the companion COUNT partial for AVG (-1 otherwise).
+	slot, slot2 int
+}
+
+// aggPlan is a decomposed aggregate statement: the per-shard partial
+// statement plus the coordinator's merge recipe.
+type aggPlan struct {
+	shardStmt *sql.SelectStmt
+	items     []aggItem
+	nGroup    int
+	// orderCols[i] is the output-column ordinal ORDER BY key i sorts on.
+	orderCols []int
+}
+
+// exprKey canonicalizes an expression for structural matching.
+func exprKey(e sql.Expr) string { return strings.ToLower(e.SQL()) }
+
+// planAggPushdown reports whether the statement decomposes into exact
+// per-shard partial aggregates, and builds the plan when it does.
+func planAggPushdown(schema *relational.Schema, stmt *sql.SelectStmt) (*aggPlan, bool) {
+	if len(stmt.Joins) > 0 || stmt.Having != nil || stmt.Distinct || len(stmt.Items) == 0 {
+		return nil, false
+	}
+	hasAgg := false
+	for _, it := range stmt.Items {
+		if it.Star {
+			return nil, false
+		}
+		if sql.ContainsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	if !hasAgg && len(stmt.GroupBy) == 0 {
+		return nil, false // not an aggregate statement
+	}
+	ts := schema.Table(stmt.From.Table)
+	if ts == nil {
+		return nil, false
+	}
+	for _, g := range stmt.GroupBy {
+		if sql.ContainsAggregate(g) {
+			return nil, false
+		}
+	}
+
+	plan := &aggPlan{nGroup: len(stmt.GroupBy)}
+	shardItems := make([]sql.SelectItem, 0, len(stmt.GroupBy)+len(stmt.Items))
+	for gi, g := range stmt.GroupBy {
+		shardItems = append(shardItems, sql.SelectItem{Expr: g, Alias: fmt.Sprintf("__g%d", gi)})
+	}
+	nextSlot := len(stmt.GroupBy)
+	addPartial := func(e sql.Expr) int {
+		shardItems = append(shardItems, sql.SelectItem{
+			Expr: e, Alias: fmt.Sprintf("__a%d", nextSlot),
+		})
+		nextSlot++
+		return nextSlot - 1
+	}
+
+	for _, it := range stmt.Items {
+		if !sql.ContainsAggregate(it.Expr) {
+			// Plain output column: must be one of the group keys. (The
+			// reference interpreter would evaluate a non-grouped column on
+			// each group's first row — an order-dependent answer no
+			// partitioned execution can reproduce, so it stays on the
+			// gather path.)
+			gi := -1
+			for i, g := range stmt.GroupBy {
+				if exprKey(g) == exprKey(it.Expr) {
+					gi = i
+					break
+				}
+			}
+			if gi < 0 {
+				return nil, false
+			}
+			plan.items = append(plan.items, aggItem{groupIdx: gi})
+			continue
+		}
+		agg, ok := it.Expr.(*sql.AggExpr)
+		if !ok {
+			return nil, false // aggregate inside a larger expression
+		}
+		item := aggItem{groupIdx: -1, fn: agg.Func, slot2: -1}
+		switch agg.Func {
+		case sql.AggCount, sql.AggMin, sql.AggMax:
+			item.slot = addPartial(agg)
+		case sql.AggSum, sql.AggAvg:
+			if !exactSumArg(schema, stmt, ts, agg) {
+				return nil, false
+			}
+			item.slot = addPartial(&sql.AggExpr{Func: sql.AggSum, Arg: agg.Arg})
+			if agg.Func == sql.AggAvg {
+				item.slot2 = addPartial(&sql.AggExpr{Func: sql.AggCount, Arg: agg.Arg})
+			}
+		default:
+			return nil, false
+		}
+		plan.items = append(plan.items, item)
+	}
+
+	// ORDER BY keys must be projected outputs, matched the way the
+	// reference resolves them: structurally first (a group expression or a
+	// projected aggregate evaluates to the output column), then — only
+	// for identifiers that are NOT base columns — by output alias. The
+	// reference tries base-column evaluation before its alias fallback,
+	// so an alias shadowing a real column (genre AS year ... ORDER BY
+	// year) sorts by the column there; that shape must take the gather
+	// path, not silently sort by the alias.
+	for _, ob := range stmt.OrderBy {
+		ord := -1
+		for oi, it := range stmt.Items {
+			if exprKey(ob.Expr) == exprKey(it.Expr) {
+				ord = oi
+				break
+			}
+		}
+		if ord < 0 {
+			if cr, ok := ob.Expr.(*sql.ColumnRef); ok && cr.Table == "" && ts.Column(cr.Column) == nil {
+				for oi, it := range stmt.Items {
+					if it.Alias != "" && strings.EqualFold(cr.Column, it.Alias) {
+						ord = oi
+						break
+					}
+				}
+			}
+		}
+		if ord < 0 {
+			return nil, false
+		}
+		plan.orderCols = append(plan.orderCols, ord)
+	}
+
+	plan.shardStmt = &sql.SelectStmt{
+		Items:   shardItems,
+		From:    stmt.From,
+		Where:   stmt.Where,
+		GroupBy: stmt.GroupBy,
+		Limit:   -1,
+	}
+	return plan, true
+}
+
+// exactSumArg reports whether a SUM/AVG argument is safe to decompose: a
+// bare column whose type makes the reference's float64 accumulator exact
+// and therefore order-independent (integers and everything the engine
+// coerces to 0 — only genuine floats can pick up rounding that depends on
+// addition order).
+func exactSumArg(schema *relational.Schema, stmt *sql.SelectStmt, ts *relational.TableSchema, agg *sql.AggExpr) bool {
+	cr, ok := agg.Arg.(*sql.ColumnRef)
+	if !ok {
+		return false
+	}
+	if cr.Table != "" && !strings.EqualFold(cr.Table, stmt.From.Binding()) {
+		return false
+	}
+	col := ts.Column(cr.Column)
+	if col == nil {
+		return false
+	}
+	return col.Type != relational.TypeFloat
+}
+
+// aggAcc folds one output aggregate across shard partials.
+type aggAcc struct {
+	seen  bool
+	isInt bool
+	sum   float64
+	cnt   int64
+	mn    relational.Value
+	mx    relational.Value
+}
+
+// mergeGroup is one output group under construction.
+type mergeGroup struct {
+	keys relational.Row
+	accs []aggAcc
+}
+
+// executeAggPushdown runs the decomposed statement: the partial statement
+// on every candidate shard in parallel, then the merge, ordering and
+// limits at the coordinator.
+func (s *ShardedSource) executeAggPushdown(stmt *sql.SelectStmt, plan *aggPlan) (*sql.Result, error) {
+	s.c.aggPushdown.Add(1)
+	frags, err := sql.Fragments(s.schema, stmt)
+	if err != nil {
+		return nil, err
+	}
+	shards := s.shardsFor(&frags[0])
+	if len(shards) == 0 {
+		// Fully pruned (an IN list of NULLs): a global aggregate must still
+		// produce its one row — let the gather path synthesize it from the
+		// empty row set with reference semantics.
+		s.c.aggPushdown.Add(^uint64(0))
+		return s.executeGather(stmt)
+	}
+	results := make([]*sql.Result, len(s.backends))
+	errs := make([]error, len(s.backends))
+	s.forEach(len(shards), func(i int) {
+		si := shards[i]
+		s.c.fragments.Add(1)
+		res, ferr := s.backends[si].Execute(plan.shardStmt)
+		if ferr != nil {
+			errs[si] = ferr
+			return
+		}
+		s.c.rowsShipped.Add(uint64(len(res.Rows)))
+		results[si] = res
+	})
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	// Merge partial rows by group key, first-appearance order (shard index
+	// ascending, then the shard's own row order) so the merge is
+	// deterministic. Key components are length-prefixed: Value.Key()
+	// carries exactly the reference interpreter's grouping equality (NULLs
+	// group together, numerics by magnitude), and the prefix keeps
+	// adjacent string keys from bleeding into each other — ("a|b", "c")
+	// and ("a", "b|c") must stay distinct groups.
+	var order []*mergeGroup
+	groups := map[string]*mergeGroup{}
+	var kb []byte
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		for _, row := range res.Rows {
+			kb = kb[:0]
+			for k := 0; k < plan.nGroup; k++ {
+				vk := row[k].Key()
+				kb = binary.AppendUvarint(kb, uint64(len(vk)))
+				kb = append(kb, vk...)
+			}
+			key := string(kb)
+			g := groups[key]
+			if g == nil {
+				g = &mergeGroup{
+					keys: append(relational.Row(nil), row[:plan.nGroup]...),
+					accs: make([]aggAcc, len(plan.items)),
+				}
+				for i := range g.accs {
+					g.accs[i].isInt = true
+				}
+				groups[key] = g
+				order = append(order, g)
+			}
+			for i, it := range plan.items {
+				if it.groupIdx >= 0 {
+					continue
+				}
+				g.accs[i].fold(it, row)
+			}
+		}
+	}
+
+	rows := make([]relational.Row, len(order))
+	for ri, g := range order {
+		row := make(relational.Row, len(plan.items))
+		for i, it := range plan.items {
+			if it.groupIdx >= 0 {
+				row[i] = g.keys[it.groupIdx]
+				continue
+			}
+			row[i] = g.accs[i].final(it.fn)
+		}
+		rows[ri] = row
+	}
+
+	if len(plan.orderCols) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for k, ord := range plan.orderCols {
+				c := relational.Compare(rows[i][ord], rows[j][ord])
+				if c == 0 {
+					continue
+				}
+				if stmt.OrderBy[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	rows = trimOffsetLimit(rows, stmt)
+	return &sql.Result{Columns: aggColumns(stmt), Rows: rows}, nil
+}
+
+// fold accumulates one shard's partial value for one output aggregate.
+func (a *aggAcc) fold(it aggItem, row relational.Row) {
+	switch it.fn {
+	case sql.AggCount:
+		a.cnt += row[it.slot].AsInt()
+	case sql.AggSum:
+		v := row[it.slot]
+		if v.IsNull() {
+			return
+		}
+		a.seen = true
+		if v.Type() == relational.TypeFloat {
+			a.isInt = false
+		}
+		a.sum += v.AsFloat()
+	case sql.AggMin:
+		v := row[it.slot]
+		if !v.IsNull() && (a.mn.IsNull() || relational.Compare(v, a.mn) < 0) {
+			a.mn = v
+		}
+	case sql.AggMax:
+		v := row[it.slot]
+		if !v.IsNull() && (a.mx.IsNull() || relational.Compare(v, a.mx) > 0) {
+			a.mx = v
+		}
+	case sql.AggAvg:
+		cnt := row[it.slot2]
+		if cnt.AsInt() == 0 {
+			return
+		}
+		a.cnt += cnt.AsInt()
+		a.sum += row[it.slot].AsFloat()
+	}
+}
+
+// final renders the merged aggregate with the reference interpreter's
+// result typing: COUNT is an integer, SUM keeps integer-ness when every
+// input was integral, AVG is always a float, MIN/MAX return the extremum
+// value itself (NULL over an empty input).
+func (a *aggAcc) final(fn sql.AggFunc) relational.Value {
+	switch fn {
+	case sql.AggCount:
+		return relational.Int(a.cnt)
+	case sql.AggSum:
+		if !a.seen {
+			return relational.Null()
+		}
+		if a.isInt {
+			return relational.Int(int64(a.sum))
+		}
+		return relational.Float(a.sum)
+	case sql.AggMin:
+		return a.mn
+	case sql.AggMax:
+		return a.mx
+	case sql.AggAvg:
+		if a.cnt == 0 {
+			return relational.Null()
+		}
+		return relational.Float(a.sum / float64(a.cnt))
+	}
+	return relational.Null()
+}
+
+// aggColumns names the output columns with the reference interpreter's
+// own rule (sql.ItemColumnName) so results are indistinguishable from
+// single-node execution.
+func aggColumns(stmt *sql.SelectStmt) []string {
+	out := make([]string, len(stmt.Items))
+	for i, it := range stmt.Items {
+		out[i] = sql.ItemColumnName(it, i)
+	}
+	return out
+}

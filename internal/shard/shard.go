@@ -16,15 +16,28 @@
 // the internal/conformance differential suite holds every backend to that
 // contract.
 //
-// Two fast paths shortcut the general scatter-gather. Single-table
+// Backends are addressed through one executor interface (Backend) whether
+// they live in this process or behind the wire: wrapper.FullAccessSource
+// serves the in-process case, internal/transport's Client serves remote
+// shards (questshardd servers or loopback pipes) with streaming rows,
+// retries and hedged reads, and the coordinator cannot tell them apart.
+// Fragment fetches consume a backend's row stream incrementally when it
+// offers one (wrapper.StreamExecutor), so merging starts before a remote
+// shard finishes sending.
+//
+// Three fast paths shortcut the general scatter-gather. Single-table
 // statements without aggregation are pushed down whole: each shard runs
 // the statement locally (ORDER BY included, LIMIT widened to
 // OFFSET+LIMIT), and the coordinator merge-sorts the pre-sorted shard
-// streams and applies LIMIT/OFFSET post-merge. Existence probes
-// (ExecuteExists, the engine's PruneEmpty validation) fan out per shard
-// and short-circuit on the first witness row, canceling probes that have
-// not started yet — validation latency scales with the fastest shard
-// holding a match, not with the shard count.
+// streams and applies LIMIT/OFFSET post-merge. Single-table aggregations
+// decompose into per-shard partial aggregates (COUNT/SUM/MIN/MAX, AVG as
+// sum+count — see agg.go) merged exactly at the coordinator, so aggregate
+// queries ship one row per shard and group instead of their fragment
+// rows. Existence probes (ExecuteExists, the engine's PruneEmpty
+// validation) fan out per shard and short-circuit on the first witness
+// row, canceling probes that have not started yet — validation latency
+// scales with the fastest shard holding a match, not with the shard
+// count.
 //
 // Statistics stay pushdown-friendly too: ColumnStatistics merges the
 // per-shard snapshots (relational.MergeColumnStats) instead of shipping
@@ -43,6 +56,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"runtime"
 	"sort"
 	"strings"
@@ -51,6 +65,7 @@ import (
 
 	"repro/internal/relational"
 	"repro/internal/sql"
+	"repro/internal/transport"
 	"repro/internal/wrapper"
 )
 
@@ -84,6 +99,12 @@ type Options struct {
 	// (fragment fetches and existence probes alike). 0 selects
 	// runtime.GOMAXPROCS(0).
 	Workers int
+	// AssumeHashRouting declares that injected backends hold partitions
+	// produced by this package's routing (Partition with the same shard
+	// count), enabling PK partition pruning over them. Leave false for
+	// backends with unknown row placement — pruning must never drop a
+	// shard that could hold a witness. Sources built by New always prune.
+	AssumeHashRouting bool
 }
 
 // Stats is a snapshot of a source's coordinator counters, the
@@ -91,6 +112,7 @@ type Options struct {
 // reports them).
 type Stats struct {
 	PushdownQueries     uint64 // single-table statements pushed down whole
+	AggPushdownQueries  uint64 // aggregate statements decomposed into per-shard partials
 	GatherQueries       uint64 // statements served by scatter-gather + coordinator merge
 	FragmentQueries     uint64 // per-shard fragment executions
 	RowsShipped         uint64 // rows crossing a shard→coordinator boundary
@@ -100,9 +122,10 @@ type Stats struct {
 }
 
 type counters struct {
-	pushdown, gather, fragments atomic.Uint64
-	rowsShipped, pruned         atomic.Uint64
-	existsProbes, existsShort   atomic.Uint64
+	pushdown, aggPushdown, gather atomic.Uint64
+	fragments                     atomic.Uint64
+	rowsShipped, pruned           atomic.Uint64
+	existsProbes, existsShort     atomic.Uint64
 }
 
 // ShardedSource implements wrapper.Source (plus the ExistsExecutor,
@@ -216,9 +239,9 @@ func New(name string, shards []*relational.Database, opt Options) (*ShardedSourc
 }
 
 // NewFromBackends builds a ShardedSource over caller-provided backends
-// (remote endpoints, test stubs). Partition pruning stays off — the
-// coordinator cannot assume foreign backends follow this package's
-// routing — and Insert is unavailable.
+// (remote transport clients, test stubs). Partition pruning stays off
+// unless Options.AssumeHashRouting declares the backends follow this
+// package's routing; Insert is unavailable either way.
 func NewFromBackends(name string, schema *relational.Schema, backends []Backend, opt Options) *ShardedSource {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -230,6 +253,7 @@ func NewFromBackends(name string, schema *relational.Schema, backends []Backend,
 		backends:  backends,
 		scorers:   make([]scorer, len(backends)),
 		workers:   workers,
+		prunable:  opt.AssumeHashRouting,
 		edgeCache: map[string]float64{},
 	}
 	for i, b := range backends {
@@ -256,6 +280,7 @@ func (s *ShardedSource) ShardCount() int { return len(s.backends) }
 func (s *ShardedSource) Stats() Stats {
 	return Stats{
 		PushdownQueries:     s.c.pushdown.Load(),
+		AggPushdownQueries:  s.c.aggPushdown.Load(),
 		GatherQueries:       s.c.gather.Load(),
 		FragmentQueries:     s.c.fragments.Load(),
 		RowsShipped:         s.c.rowsShipped.Load(),
@@ -272,6 +297,7 @@ func (s *ShardedSource) Stats() Stats {
 func (s *ShardedSource) ResetStats() {
 	s.probes.Wait()
 	s.c.pushdown.Store(0)
+	s.c.aggPushdown.Store(0)
 	s.c.gather.Store(0)
 	s.c.fragments.Store(0)
 	s.c.rowsShipped.Store(0)
@@ -284,6 +310,23 @@ func (s *ShardedSource) ResetStats() {
 // boundary callers must cross before any population-phase operation on the
 // shard databases that bypasses this source's own Insert.
 func (s *ShardedSource) Quiesce() { s.probes.Wait() }
+
+// Close waits out straggler probes and releases backend resources:
+// backends that implement io.Closer (remote transport clients with pooled
+// connections) are closed. Sources over in-process backends close to a
+// no-op.
+func (s *ShardedSource) Close() error {
+	s.probes.Wait()
+	var first error
+	for _, b := range s.backends {
+		if c, ok := b.(io.Closer); ok {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
 
 // Name implements wrapper.Source.
 func (s *ShardedSource) Name() string { return s.name }
@@ -384,15 +427,20 @@ func (s *ShardedSource) EdgeDistance(e relational.JoinEdge) (float64, error) {
 // ColumnStatistics implements wrapper.StatisticsProvider by merging the
 // per-shard snapshots — statistics pushdown: shards ship summaries, never
 // rows. The merged Version sums the shard versions, so consumers can cache
-// against it exactly like a single table's.
+// against it exactly like a single table's. The per-shard fetches fan out
+// over the source's bounded worker pool — one round-trip per shard in
+// parallel (remote backends pay network latency per snapshot), never an
+// unbounded goroutine per shard per column.
 func (s *ShardedSource) ColumnStatistics(table, column string) (*relational.ColumnStats, error) {
 	parts := make([]*relational.ColumnStats, len(s.backends))
-	for i, b := range s.backends {
-		cs, err := b.ColumnStatistics(table, column)
+	errs := make([]error, len(s.backends))
+	s.forEach(len(s.backends), func(i int) {
+		parts[i], errs[i] = s.backends[i].ColumnStatistics(table, column)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		parts[i] = cs
 	}
 	return relational.MergeColumnStats(parts), nil
 }
@@ -472,14 +520,21 @@ func (s *ShardedSource) shardsFor(f *sql.TableFragment) []int {
 
 // Execute implements wrapper.Source. Single-table statements without
 // aggregation push down whole (per-shard ORDER BY, widened LIMIT,
-// coordinator merge-sort); everything else scatter-gathers the per-table
-// fragments and finishes at the coordinator.
+// coordinator merge-sort); single-table aggregations decompose into
+// per-shard partial aggregates merged at the coordinator (agg.go);
+// everything else scatter-gathers the per-table fragments and finishes at
+// the coordinator.
 func (s *ShardedSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
 	// The ship-rows ablation routes everything through the gather path: the
 	// single-table fast path delegates WHERE evaluation to the shards, and
 	// with pushdown off only the coordinator filters.
-	if !s.pushdownOff.Load() && s.fullPushdownOK(stmt) {
-		return s.executePushdown(stmt)
+	if !s.pushdownOff.Load() {
+		if s.fullPushdownOK(stmt) {
+			return s.executePushdown(stmt)
+		}
+		if plan, ok := planAggPushdown(s.schema, stmt); ok {
+			return s.executeAggPushdown(stmt, plan)
+		}
 	}
 	return s.executeGather(stmt)
 }
@@ -611,13 +666,13 @@ func (s *ShardedSource) executeGather(stmt *sql.SelectStmt) (*sql.Result, error)
 	s.forEach(len(jobs), func(i int) {
 		j := jobs[i]
 		s.c.fragments.Add(1)
-		res, ferr := s.backends[j.shard].Execute(frags[j.frag].Stmt)
+		rows, ferr := fetchFragment(s.backends[j.shard], frags[j.frag].Stmt)
 		if ferr != nil {
 			errs[i] = ferr
 			return
 		}
-		s.c.rowsShipped.Add(uint64(len(res.Rows)))
-		perShard[j.frag][j.shard] = res.Rows
+		s.c.rowsShipped.Add(uint64(len(rows)))
+		perShard[j.frag][j.shard] = rows
 	})
 	for _, e := range errs {
 		if e != nil {
@@ -633,6 +688,44 @@ func (s *ShardedSource) executeGather(stmt *sql.SelectStmt) (*sql.Result, error)
 		tables[fi] = rows
 	}
 	return sql.ExecuteRows(s.schema, stmt, tables)
+}
+
+// fetchFragment pulls one fragment's qualifying rows from a backend,
+// consuming the row stream incrementally when the backend offers one
+// (remote transport clients deliver length-prefixed row frames as they
+// arrive) and falling back to materializing Execute otherwise. A
+// streaming backend may replay from the top on a mid-stream retry; the
+// sink's Reset keeps the gathered rows exactly-once either way.
+func fetchFragment(b Backend, stmt *sql.SelectStmt) ([]relational.Row, error) {
+	if se, ok := b.(wrapper.StreamExecutor); ok {
+		var sink wrapper.RowBuffer
+		if _, err := se.ExecuteStream(stmt, &sink); err != nil {
+			return nil, err
+		}
+		return sink.Rows, nil
+	}
+	res, err := b.Execute(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return res.Rows, nil
+}
+
+// trimOffsetLimit applies a statement's OFFSET/LIMIT to coordinator-merged
+// rows — the one post-merge trimming rule shared by the full-pushdown and
+// aggregate-pushdown paths.
+func trimOffsetLimit(rows []relational.Row, stmt *sql.SelectStmt) []relational.Row {
+	if stmt.Offset > 0 {
+		if stmt.Offset >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[stmt.Offset:]
+		}
+	}
+	if stmt.Limit >= 0 && stmt.Limit < len(rows) {
+		rows = rows[:stmt.Limit]
+	}
+	return rows
 }
 
 // fullPushdownOK reports whether the whole statement can run per shard
@@ -718,17 +811,7 @@ func (s *ShardedSource) executePushdown(stmt *sql.SelectStmt) (*sql.Result, erro
 	}
 	merged := mergeShardResults(results, stmt.OrderBy)
 	// Post-merge LIMIT/OFFSET, then strip the merge-key columns.
-	rows := merged.Rows
-	if stmt.Offset > 0 {
-		if stmt.Offset >= len(rows) {
-			rows = nil
-		} else {
-			rows = rows[stmt.Offset:]
-		}
-	}
-	if stmt.Limit >= 0 && stmt.Limit < len(rows) {
-		rows = rows[:stmt.Limit]
-	}
+	rows := trimOffsetLimit(merged.Rows, stmt)
 	if nKeys > 0 {
 		merged.Columns = merged.Columns[:len(merged.Columns)-nKeys]
 		for i, r := range rows {
@@ -812,5 +895,25 @@ func init() {
 			return nil, err
 		}
 		return New(db.Name, parts, Options{})
+	})
+	// "remote": the same partitioning, but every shard is reached through
+	// the wire protocol — an in-process transport server per shard, dialed
+	// over loopback pipes. Registering it here keeps the conformance
+	// harness's registered-backend sweep exercising the full remote
+	// execution path (frames, row codec, retries) on every run.
+	wrapper.RegisterBackend("remote", func(db *relational.Database) (wrapper.Source, error) {
+		parts, err := Partition(db, DefaultShardCount)
+		if err != nil {
+			return nil, err
+		}
+		backends := make([]Backend, len(parts))
+		for i, p := range parts {
+			c, err := transport.NewLoopbackClient(wrapper.NewFullAccessSource(p), transport.Options{})
+			if err != nil {
+				return nil, err
+			}
+			backends[i] = c
+		}
+		return NewFromBackends(db.Name, db.Schema, backends, Options{AssumeHashRouting: true}), nil
 	})
 }

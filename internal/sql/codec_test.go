@@ -1,0 +1,160 @@
+package sql
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []relational.Value{
+		relational.Null(),
+		relational.Int(0),
+		relational.Int(-1),
+		relational.Int(math.MaxInt64),
+		relational.Int(math.MinInt64),
+		relational.Float(0),
+		relational.Float(3.5),
+		relational.Float(-1e300),
+		relational.Float(math.Inf(1)),
+		relational.String_(""),
+		relational.String_("dark river"),
+		relational.String_("quote ' and \x00 byte"),
+		relational.Bool(true),
+		relational.Bool(false),
+	}
+	var buf []byte
+	for _, v := range vals {
+		buf = AppendValue(buf, v)
+	}
+	off := 0
+	for i, want := range vals {
+		got, n, err := DecodeValue(buf[off:])
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		off += n
+		if got.Type() != want.Type() || got.Key() != want.Key() {
+			t.Errorf("value %d: got %v (%v), want %v (%v)", i, got, got.Type(), want, want.Type())
+		}
+	}
+	if off != len(buf) {
+		t.Errorf("decoded %d of %d bytes", off, len(buf))
+	}
+	// Int(3) and Float(3) must stay distinct types on the wire even though
+	// their comparison keys coincide.
+	b := AppendValue(nil, relational.Float(3))
+	v, _, err := DecodeValue(b)
+	if err != nil || v.Type() != relational.TypeFloat {
+		t.Errorf("Float(3) round-tripped to %v (%v), err=%v", v, v.Type(), err)
+	}
+}
+
+func TestRowAndColumnsCodecRoundTrip(t *testing.T) {
+	row := relational.Row{
+		relational.Int(7), relational.Null(), relational.String_("x"), relational.Float(1.25),
+	}
+	buf := AppendRow(nil, row)
+	got, n, err := DecodeRow(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("DecodeRow: n=%d err=%v", n, err)
+	}
+	if len(got) != len(row) {
+		t.Fatalf("row length %d, want %d", len(got), len(row))
+	}
+	for i := range row {
+		if got[i].Key() != row[i].Key() || got[i].Type() != row[i].Type() {
+			t.Errorf("cell %d: got %v, want %v", i, got[i], row[i])
+		}
+	}
+
+	cols := []string{"movie.title", "c", ""}
+	cb := AppendColumns(nil, cols)
+	gcols, cn, err := DecodeColumns(cb)
+	if err != nil || cn != len(cb) {
+		t.Fatalf("DecodeColumns: n=%d err=%v", cn, err)
+	}
+	for i := range cols {
+		if gcols[i] != cols[i] {
+			t.Errorf("column %d: got %q, want %q", i, gcols[i], cols[i])
+		}
+	}
+}
+
+// TestCodecMalformed pins the decoder's behavior on truncated or
+// corrupted input: a typed error, never a panic or oversized allocation.
+func TestCodecMalformed(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{tagInt},           // varint missing
+		{tagFloat, 1, 2},   // float truncated
+		{tagStr, 0xff, 10}, // string length exceeds payload
+		{0x7f},             // unknown tag
+	}
+	for i, b := range cases {
+		if _, _, err := DecodeValue(b); err == nil {
+			t.Errorf("case %d: malformed value accepted", i)
+		}
+	}
+	// Row claiming 2^30 cells in a 3-byte payload must be rejected up front.
+	rowHdr := []byte{0x80, 0x80, 0x80, 0x80, 0x04}
+	if _, _, err := DecodeRow(rowHdr); err == nil {
+		t.Error("oversized row cell count accepted")
+	}
+	if _, _, err := DecodeColumns(rowHdr); err == nil {
+		t.Error("oversized column count accepted")
+	}
+	if _, _, err := DecodeColumnStats([]byte{0x02, 'a'}); err == nil {
+		t.Error("truncated stats accepted")
+	}
+}
+
+func TestColumnStatsCodecRoundTrip(t *testing.T) {
+	s := relational.NewSchema()
+	if err := s.AddTable(&relational.TableSchema{
+		Name: "t",
+		Columns: []relational.Column{
+			{Name: "id", Type: relational.TypeInt, NotNull: true},
+			{Name: "v", Type: relational.TypeInt},
+		},
+		PrimaryKey: "id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db := relational.MustNewDatabase("codec", s)
+	for i := 0; i < 200; i++ {
+		v := relational.Value(relational.Int(int64(i % 7)))
+		if i%11 == 0 {
+			v = relational.Null()
+		}
+		if err := db.Insert("t", relational.Row{relational.Int(int64(i)), v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := db.Table("t").Stats("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := AppendColumnStats(nil, want)
+	got, n, err := DecodeColumnStats(buf)
+	if err != nil || n != len(buf) {
+		t.Fatalf("DecodeColumnStats: n=%d err=%v", n, err)
+	}
+	if got.Column != want.Column || got.Version != want.Version ||
+		got.Rows != want.Rows || got.NullCount != want.NullCount || got.Distinct != want.Distinct {
+		t.Errorf("scalar fields diverge: got %+v want %+v", got, want)
+	}
+	if got.Min.Key() != want.Min.Key() || got.Max.Key() != want.Max.Key() {
+		t.Errorf("min/max diverge")
+	}
+	if len(got.MCVs) != len(want.MCVs) || len(got.Buckets) != len(want.Buckets) {
+		t.Fatalf("MCV/bucket counts diverge: %d/%d vs %d/%d",
+			len(got.MCVs), len(got.Buckets), len(want.MCVs), len(want.Buckets))
+	}
+	// Rehydrate must restore the derived MCV total: the estimator's answer
+	// for a non-MCV equality must match the original snapshot's exactly.
+	if ge, we := got.EstimateEq(relational.Int(5)), want.EstimateEq(relational.Int(5)); ge != we {
+		t.Errorf("EstimateEq after decode: got %d, want %d", ge, we)
+	}
+}

@@ -131,5 +131,46 @@
 //     still match.
 //
 // The internal/conformance differential suite holds both halves to this
-// contract against FullAccessSource at 1, 3 and 7 shards.
+// contract against FullAccessSource at 1, 3 and 7 shards — with the
+// backends in-process and behind the wire protocol alike.
+//
+// # Wire protocol (fragment transport framing)
+//
+// When a backend lives in another process (internal/transport,
+// cmd/questshardd), the fragment contract crosses the network in
+// length-prefixed frames:
+//
+//	uint32 big-endian payload length | 1 frame-type byte | payload
+//
+// Requests travel as canonical SQL text — a fragment serializes as its
+// Stmt.SQL(), so the statement itself is the wire form and any engine
+// that parses the dialect can serve a shard. Responses use the binary row
+// codec in codec.go:
+//
+//   - A value is one tag byte (NULL, INT, FLOAT, TEXT, TRUE, FALSE)
+//     followed by its payload: varint integers, 8-byte big-endian IEEE
+//     754 floats, uvarint-length-prefixed strings. The encoding is exact
+//     and type-preserving — Int(3) and Float(3) stay distinct — because
+//     the conformance contract compares results byte for byte.
+//   - A row is a uvarint cell count followed by its values; a result
+//     header is a uvarint column count followed by length-prefixed names.
+//   - A query response is one header frame (the columns), any number of
+//     row-batch frames (uvarint row count, then that many rows — batches
+//     default to 256 rows so large results stream and the coordinator
+//     can start merging before the shard finishes), and one end frame
+//     carrying the total row count as an integrity check. Existence
+//     probes answer with a single bool frame; statistics requests return
+//     an encoded relational.ColumnStats (AppendColumnStats/
+//     DecodeColumnStats — exported fields only, with derived state
+//     rehydrated on decode); relevance requests return an 8-byte float.
+//   - Backend rejections arrive as an error frame (kind byte + message)
+//     in place of the response: query-level errors are final and are
+//     never retried, preserving error-disposition parity with local
+//     execution. Frames that are truncated, over-long or undecodable are
+//     typed protocol errors — the transport closes the connection and
+//     retries elsewhere rather than hanging.
+//
+// Exchanges are strict request/response per connection (no pipelining);
+// clients get concurrency from a connection pool, and resilience from
+// retry-with-backoff plus hedged reads (see internal/transport).
 package sql

@@ -631,6 +631,21 @@ func groupRows(rel *relation, by []Expr) ([]*group, error) {
 	return order, nil
 }
 
+// ItemColumnName renders a non-star projection item's output column name
+// — explicit alias, a column reference's written form, or the positional
+// "colN" fallback. Exported so distributed coordinators (internal/shard's
+// aggregate merge) name their synthesized results with exactly the
+// reference interpreter's rule instead of a drifting copy.
+func ItemColumnName(it SelectItem, i int) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	if cr, ok := it.Expr.(*ColumnRef); ok {
+		return cr.SQL()
+	}
+	return fmt.Sprintf("col%d", i+1)
+}
+
 func projectionColumns(rel *relation, stmt *SelectStmt) []string {
 	var out []string
 	for i, it := range stmt.Items {
@@ -640,16 +655,7 @@ func projectionColumns(rel *relation, stmt *SelectStmt) []string {
 			}
 			continue
 		}
-		switch {
-		case it.Alias != "":
-			out = append(out, it.Alias)
-		default:
-			if cr, ok := it.Expr.(*ColumnRef); ok {
-				out = append(out, cr.SQL())
-			} else {
-				out = append(out, fmt.Sprintf("col%d", i+1))
-			}
-		}
+		out = append(out, ItemColumnName(it, i))
 	}
 	return out
 }

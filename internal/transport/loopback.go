@@ -1,0 +1,28 @@
+package transport
+
+import (
+	"net"
+
+	"repro/internal/wrapper"
+)
+
+// LoopbackDialer serves every dialed connection from srv over an
+// in-process net.Pipe: same frames, same codec, no sockets. It is the
+// degenerate transport that keeps single-process deployments on the exact
+// code path remote shards use — the conformance suite runs the full wire
+// protocol through it at every shard count — and each pipe's server
+// goroutine exits when its connection closes, so a loopback client leaks
+// nothing beyond its pooled connections.
+func LoopbackDialer(srv *Server) Dialer {
+	return func() (net.Conn, error) {
+		cl, sv := net.Pipe()
+		go srv.ServeConn(sv)
+		return cl, nil
+	}
+}
+
+// NewLoopbackClient wraps a backend in a Server and returns a Client
+// dialing it in-process — a remote executor whose "network" is a pipe.
+func NewLoopbackClient(backend wrapper.SourceExecutor, opt Options) (*Client, error) {
+	return NewClient([]Dialer{LoopbackDialer(NewServer(backend))}, opt)
+}

@@ -1,0 +1,240 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"math"
+	"net"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// DefaultBatchRows is how many rows a server packs into one frameRows
+// before flushing, so large results stream instead of arriving as one
+// frame and small ones do not pay per-row syscalls.
+const DefaultBatchRows = 256
+
+// BatchByteCap is the encoded-size cut for a row batch: a batch flushes
+// once it crosses this many bytes even before reaching the row-count cut.
+// It is deliberately far below DefaultMaxFrame so that a client with a
+// smaller configured frame cap (Options.MaxFrame, bounding coordinator
+// memory) can still read default-configured servers — clients should not
+// set MaxFrame below this value plus their widest row.
+const BatchByteCap = 256 << 10
+
+// scorer is the optional relevance face of a backend (mirrors the
+// unexported interface in internal/shard): full-access backends answer
+// keyword relevance and join-edge statistics, pure executors do not.
+type scorer interface {
+	AttributeScore(table, column, keyword string) float64
+	EdgeDistance(e relational.JoinEdge) (float64, error)
+}
+
+// Server serves one backend over the wire protocol. The zero limits mean
+// defaults; a Server is safe for concurrent use when its backend is (the
+// sharded coordinator requires that of every Backend anyway).
+type Server struct {
+	backend wrapper.SourceExecutor
+	stats   wrapper.StatisticsProvider // nil when the backend has none
+	score   scorer                     // nil when the backend has none
+
+	// MaxFrame caps accepted request frames (DefaultMaxFrame when 0).
+	MaxFrame int
+	// BatchRows is the row-batch size per frameRows (DefaultBatchRows when 0).
+	BatchRows int
+}
+
+// NewServer wraps a backend, discovering its optional statistics and
+// relevance faces by type assertion — a *wrapper.FullAccessSource exposes
+// all of them, a bare executor only the query surface.
+func NewServer(backend wrapper.SourceExecutor) *Server {
+	s := &Server{backend: backend}
+	if sp, ok := backend.(wrapper.StatisticsProvider); ok {
+		s.stats = sp
+	}
+	if sc, ok := backend.(scorer); ok {
+		s.score = sc
+	}
+	return s
+}
+
+// Serve accepts connections until the listener closes, serving each on its
+// own goroutine. It returns the listener's accept error (net.ErrClosed
+// after a clean Close).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// ServeConn runs the request loop on one connection until the peer hangs
+// up or violates the protocol, then closes it. Requests on a connection
+// are strictly sequential, matching the client's request/response
+// discipline.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	maxFrame := s.MaxFrame
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	br := bufio.NewReader(conn)
+	for {
+		typ, payload, err := readFrame(br, maxFrame)
+		if err != nil {
+			return // disconnect or corrupt stream: drop the connection
+		}
+		if err := s.handle(conn, typ, payload); err != nil {
+			return // write-side failure: peer is gone
+		}
+	}
+}
+
+// handle dispatches one request. A returned error means the connection is
+// unusable (write failed); backend-level rejections are answered in-band
+// with frameError and keep the connection alive.
+func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
+	switch typ {
+	case framePing:
+		return writeFrame(conn, framePong, nil)
+	case frameQuery:
+		return s.handleQuery(conn, payload)
+	case frameExists:
+		stmt, err := sql.Parse(string(payload))
+		if err != nil {
+			return writeError(conn, err)
+		}
+		ok, err := s.backend.ExecuteExists(stmt)
+		if err != nil {
+			return writeError(conn, err)
+		}
+		b := byte(0)
+		if ok {
+			b = 1
+		}
+		return writeFrame(conn, frameBool, []byte{b})
+	case frameStats:
+		args, _, err := sql.DecodeColumns(payload)
+		if err != nil || len(args) != 2 {
+			return writeError(conn, &ProtocolError{Detail: "bad stats request"})
+		}
+		if s.stats == nil {
+			return writeErrorKind(conn, errKindNoInstance, wrapper.ErrNoInstanceAccess.Error())
+		}
+		cs, err := s.stats.ColumnStatistics(args[0], args[1])
+		if err != nil {
+			if errors.Is(err, wrapper.ErrNoInstanceAccess) {
+				return writeErrorKind(conn, errKindNoInstance, err.Error())
+			}
+			return writeError(conn, err)
+		}
+		return writeFrame(conn, frameStatsRes, sql.AppendColumnStats(nil, cs))
+	case frameScore:
+		args, _, err := sql.DecodeColumns(payload)
+		if err != nil || len(args) != 3 {
+			return writeError(conn, &ProtocolError{Detail: "bad score request"})
+		}
+		v := 0.0
+		if s.score != nil {
+			v = s.score.AttributeScore(args[0], args[1], args[2])
+		}
+		return writeFloat(conn, v)
+	case frameEdge:
+		args, _, err := sql.DecodeColumns(payload)
+		if err != nil || len(args) != 4 {
+			return writeError(conn, &ProtocolError{Detail: "bad edge request"})
+		}
+		if s.score == nil {
+			return writeErrorKind(conn, errKindNoInstance, wrapper.ErrNoInstanceAccess.Error())
+		}
+		d, err := s.score.EdgeDistance(relational.JoinEdge{
+			FromTable: args[0], FromColumn: args[1], ToTable: args[2], ToColumn: args[3],
+		})
+		if err != nil {
+			if errors.Is(err, wrapper.ErrNoInstanceAccess) {
+				return writeErrorKind(conn, errKindNoInstance, err.Error())
+			}
+			return writeError(conn, err)
+		}
+		return writeFloat(conn, d)
+	}
+	// Unknown request type: the peer speaks a different protocol. Answer
+	// in-band once, then let the caller keep the loop; a client that sent
+	// garbage will fail decoding anyway.
+	return writeError(conn, &ProtocolError{Detail: "unknown request frame"})
+}
+
+// handleQuery executes a statement and streams the result: header frame,
+// row batches, end frame. Rejections surface as a frameError in place of
+// the header.
+func (s *Server) handleQuery(conn net.Conn, payload []byte) error {
+	stmt, err := sql.Parse(string(payload))
+	if err != nil {
+		return writeError(conn, err)
+	}
+	res, err := s.backend.Execute(stmt)
+	if err != nil {
+		return writeError(conn, err)
+	}
+	if err := writeFrame(conn, frameColumns, sql.AppendColumns(nil, res.Columns)); err != nil {
+		return err
+	}
+	batch := s.BatchRows
+	if batch <= 0 {
+		batch = DefaultBatchRows
+	}
+	// Batches are cut by row count AND by encoded size: wide rows must
+	// never accumulate past the peer's frame cap, or every replica would
+	// deterministically send an unreadable frame and the query could
+	// never succeed. The byte cut is a fixed conservative threshold —
+	// NOT this server's own MaxFrame, which the client never sees — so a
+	// coordinator with a smaller configured cap still reads every frame;
+	// it only needs to accept BatchByteCap plus one row.
+	byteCap := BatchByteCap
+	if s.MaxFrame > 0 && s.MaxFrame/4 < byteCap {
+		byteCap = s.MaxFrame / 4
+	}
+	var rowBuf []byte
+	count := 0
+	flush := func() error {
+		if count == 0 {
+			return nil
+		}
+		payload := binary.AppendUvarint(make([]byte, 0, len(rowBuf)+binary.MaxVarintLen64), uint64(count))
+		payload = append(payload, rowBuf...)
+		rowBuf, count = rowBuf[:0], 0
+		return writeFrame(conn, frameRows, payload)
+	}
+	for _, r := range res.Rows {
+		rowBuf = sql.AppendRow(rowBuf, r)
+		count++
+		if count >= batch || len(rowBuf) >= byteCap {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return writeFrame(conn, frameEnd, binary.AppendUvarint(nil, uint64(len(res.Rows))))
+}
+
+func writeFloat(conn net.Conn, v float64) error {
+	return writeFrame(conn, frameFloat, binary.BigEndian.AppendUint64(nil, math.Float64bits(v)))
+}
+
+func writeError(conn net.Conn, err error) error {
+	return writeErrorKind(conn, errKindQuery, err.Error())
+}
+
+func writeErrorKind(conn net.Conn, kind byte, msg string) error {
+	payload := append([]byte{kind}, msg...)
+	return writeFrame(conn, frameError, payload)
+}

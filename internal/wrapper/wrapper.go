@@ -60,6 +60,43 @@ type SourceExecutor interface {
 	ExistsExecutor
 }
 
+// RowSink receives a streamed result's rows. Push is called once per row,
+// in stream order; Reset discards everything delivered so far and restarts
+// the stream from the top — the hook that lets a transport retry a failed
+// attempt mid-stream without duplicating rows at the consumer. A Push
+// error aborts the stream and propagates to the ExecuteStream caller.
+type RowSink interface {
+	Reset()
+	Push(row relational.Row) error
+}
+
+// StreamExecutor is the streaming face of a backend: rows are delivered to
+// the sink as they arrive instead of materializing the whole result first,
+// so a coordinator can start merging while a shard is still sending. The
+// returned slice is the result's column header. Implementations may call
+// sink.Reset and replay from the beginning (retries); consumers must treat
+// the row set as final only when ExecuteStream returns nil.
+type StreamExecutor interface {
+	ExecuteStream(stmt *sql.SelectStmt, sink RowSink) ([]string, error)
+}
+
+// RowBuffer is the trivial materializing RowSink: it accumulates pushed
+// rows in memory. It is the sink both the sharded coordinator (gathering
+// a fragment) and the transport client (materializing Execute from
+// ExecuteStream) use; one type, one Reset semantics.
+type RowBuffer struct {
+	Rows []relational.Row
+}
+
+// Reset implements RowSink.
+func (b *RowBuffer) Reset() { b.Rows = b.Rows[:0] }
+
+// Push implements RowSink.
+func (b *RowBuffer) Push(r relational.Row) error {
+	b.Rows = append(b.Rows, r)
+	return nil
+}
+
 // StatisticsProvider is the instance-statistics face of a source: per-column
 // distribution snapshots the SQL planner (and a sharding coordinator
 // merging shard statistics) estimates from. Sources without instance access

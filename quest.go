@@ -64,12 +64,15 @@
 package quest
 
 import (
+	"errors"
+
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/ontology"
 	"repro/internal/relational"
 	"repro/internal/shard"
 	"repro/internal/sql"
+	"repro/internal/transport"
 	"repro/internal/wrapper"
 )
 
@@ -115,6 +118,18 @@ type (
 	ShardedSource = shard.ShardedSource
 	// ShardStats snapshots a sharded source's coordinator counters.
 	ShardStats = shard.Stats
+	// ShardBackend is the per-shard executor contract a ShardedSource
+	// coordinates (local sources and remote transport clients alike).
+	ShardBackend = shard.Backend
+	// RemoteClient executes against one remote shard (a questshardd
+	// process) with connection pooling, retries and hedged reads.
+	RemoteClient = transport.Client
+	// RemoteClientStats snapshots a remote client's transport counters
+	// (attempts, retries, hedges, hedge wins, dials).
+	RemoteClientStats = transport.ClientStats
+	// TransportOptions tunes the remote transport: retry policy, pool
+	// size, timeouts, hedged-read arming.
+	TransportOptions = transport.Options
 	// Result is a materialized SQL result.
 	Result = sql.Result
 	// SQLQueryPlan is the introspectable execution plan attached to every
@@ -218,6 +233,64 @@ func OpenSharded(db *Database, n int, opts Options) (*Engine, error) {
 // material for a custom sharded deployment.
 func PartitionDatabase(db *Database, n int) ([]*Database, error) {
 	return shard.Partition(db, n)
+}
+
+// errNoShards rejects an empty remote topology.
+var errNoShards = errors.New("quest: no remote shards given")
+
+// RemoteOptions configures a coordinator over remote shards.
+type RemoteOptions struct {
+	// Transport tunes every shard client: retry policy, connection pool
+	// size, timeouts, and hedged reads (Transport.Hedge arms racing a
+	// second replica when a shard exceeds its recent latency quantile).
+	Transport TransportOptions
+	// AssumeHashRouting declares the remote shards hold partitions
+	// produced by PartitionDatabase with the same shard count (questshardd
+	// started with matching -shards flags), enabling PK partition pruning.
+	// Leave false for shards with unknown row placement.
+	AssumeHashRouting bool
+	// Workers bounds the coordinator's in-flight shard requests per query;
+	// 0 selects GOMAXPROCS.
+	Workers int
+}
+
+// DialShards connects a sharded coordinator source to remote shard
+// servers (questshardd). shardAddrs[i] lists the address of shard i's
+// server, plus any replicas of it — hedged reads race the replica list.
+// The returned source implements the full wrapper surface: generated SQL
+// ships as pushdown fragments, rows stream back in length-prefixed
+// frames, statistics and relevance evidence are merged shard summaries.
+// Close it to release the pooled connections.
+func DialShards(schema *Schema, name string, shardAddrs [][]string, ropt RemoteOptions) (*ShardedSource, error) {
+	if len(shardAddrs) == 0 {
+		return nil, errNoShards
+	}
+	backends := make([]shard.Backend, len(shardAddrs))
+	for i, addrs := range shardAddrs {
+		c, err := transport.Dial(addrs, ropt.Transport)
+		if err != nil {
+			return nil, err
+		}
+		backends[i] = c
+	}
+	return shard.NewFromBackends(name, schema, backends, shard.Options{
+		Workers:           ropt.Workers,
+		AssumeHashRouting: ropt.AssumeHashRouting,
+	}), nil
+}
+
+// OpenRemote assembles the engine over remote shards: a network-
+// transparent variant of OpenSharded where each shard lives in its own
+// process behind questshardd. The schema must describe the partitioned
+// database (the dataset builders and NewSchema produce it); everything
+// else — fragment execution, existence fan-out, statistics merge — runs
+// over the wire.
+func OpenRemote(schema *Schema, name string, shardAddrs [][]string, ropt RemoteOptions, opts Options) (*Engine, error) {
+	src, err := DialShards(schema, name, shardAddrs, ropt)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewEngine(src, opts), nil
 }
 
 // OpenBackend assembles the engine over a registered execution backend

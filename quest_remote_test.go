@@ -1,0 +1,105 @@
+package quest_test
+
+import (
+	"net"
+	"testing"
+
+	quest "repro"
+	"repro/internal/transport"
+	"repro/internal/wrapper"
+)
+
+// TestOpenRemoteEndToEnd stands up a questshardd-shaped fleet — one TCP
+// transport server per hash partition — and runs the public remote engine
+// against the in-process sharded engine over the same partitioning. The
+// two coordinators merge identical shard evidence (relevance maxima,
+// mean edge distances, merged statistics), so searches must rank the same
+// explanations and executing them must return the same tuples: the
+// process boundary is invisible to results.
+func TestOpenRemoteEndToEnd(t *testing.T) {
+	const shards = 3
+	build := func() *quest.Database {
+		return quest.BuildIMDB(quest.DatasetConfig{Seed: 42, Scale: 1})
+	}
+	opts := quest.Defaults()
+	opts.PruneEmpty = true
+
+	local, err := quest.OpenSharded(build(), shards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The remote fleet: partition an identical instance, serve each shard
+	// on its own listener, dial the fleet through the public API.
+	db := build()
+	parts, err := quest.PartitionDatabase(db, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([][]string, shards)
+	for i, p := range parts {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go transport.NewServer(wrapper.NewFullAccessSource(p)).Serve(l)
+		addrs[i] = []string{l.Addr().String()}
+	}
+	remote, err := quest.OpenRemote(db.Schema, db.Name, addrs,
+		quest.RemoteOptions{AssumeHashRouting: true}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, ok := remote.Source().(*quest.ShardedSource)
+	if !ok {
+		t.Fatalf("remote engine source = %T", remote.Source())
+	}
+	defer src.Close()
+	if src.ShardCount() != shards {
+		t.Fatalf("ShardCount = %d, want %d", src.ShardCount(), shards)
+	}
+
+	for _, query := range []string{"spielberg drama", "scorsese thriller"} {
+		lx, err := local.Search(query)
+		if err != nil {
+			t.Fatalf("local search %q: %v", query, err)
+		}
+		rx, err := remote.Search(query)
+		if err != nil {
+			t.Fatalf("remote search %q: %v", query, err)
+		}
+		if len(rx) == 0 || len(lx) != len(rx) {
+			t.Fatalf("%q: %d remote explanations vs %d local", query, len(rx), len(lx))
+		}
+		for i := range lx {
+			if lx[i].SQL != rx[i].SQL {
+				t.Fatalf("%q: explanation %d diverges:\n  local  %s\n  remote %s", query, i, lx[i].SQL, rx[i].SQL)
+			}
+		}
+		lres, err := local.Execute(lx[0])
+		if err != nil {
+			t.Fatalf("local execute: %v", err)
+		}
+		rres, err := remote.Execute(rx[0])
+		if err != nil {
+			t.Fatalf("remote execute: %v", err)
+		}
+		if len(lres.Rows) != len(rres.Rows) {
+			t.Fatalf("%q: %d remote rows vs %d local for %s", query, len(rres.Rows), len(lres.Rows), lx[0].SQL)
+		}
+	}
+
+	// Statistics flow over the wire as merged summaries.
+	lcs, err := local.ColumnStatistics("movie", "production_year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcs, err := remote.ColumnStatistics("movie", "production_year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lcs.Rows != rcs.Rows || lcs.Distinct != rcs.Distinct || lcs.NullCount != rcs.NullCount {
+		t.Errorf("remote statistics diverge: %+v vs %+v", rcs, lcs)
+	}
+}
