@@ -5,9 +5,9 @@ GO       ?= go
 PKGS     ?= ./...
 BENCH    ?= .
 SEED     ?= 42
-SNAPSHOT ?= BENCH_pr5.json
+SNAPSHOT ?= BENCH_pr6.json
 
-.PHONY: all build test race vet bench bench-smoke conformance conformance-remote snapshot ci clean
+.PHONY: all build test race vet bench bench-smoke fuzz-smoke conformance conformance-remote snapshot ci clean
 
 all: build
 
@@ -32,6 +32,11 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench Component -benchtime 1x $(PKGS)
 
+# Short fuzz pass over the columnar frame decoder: malformed dictionary /
+# RLE payloads must surface as typed protocol errors, never a panic.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzColumnarDecode -fuzztime 10s ./internal/transport
+
 # Cross-backend conformance: the differential suite holds ShardedSource
 # (at 1, 3 and 7 shards, with concurrent queries and interleaved inserts)
 # and every registered backend kind — the loopback-wire "remote" kind
@@ -49,13 +54,14 @@ conformance-remote:
 
 # Machine-readable experiment snapshot via questbench: all experiment
 # tables including the E9 executor/planner, prune-path, E10
-# statistics/join-order, E11 sharded-execution and E12 remote-transport/
-# hedged-read benchmarks. Committed as BENCH_pr5.json so the perf
-# trajectory is diffable per PR; override SNAPSHOT to write elsewhere.
+# statistics/join-order, E11 sharded-execution, E12 remote-transport/
+# hedged-read and E13 streaming/columnar benchmarks. Committed as
+# BENCH_pr6.json so the perf trajectory is diffable per PR; override
+# SNAPSHOT to write elsewhere.
 snapshot:
 	$(GO) run ./cmd/questbench -seed $(SEED) -json $(SNAPSHOT)
 
-ci: build vet test race conformance conformance-remote bench-smoke
+ci: build vet test race conformance conformance-remote bench-smoke fuzz-smoke
 
 clean:
 	rm -f BENCH_*.json

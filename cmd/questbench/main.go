@@ -1,9 +1,10 @@
 // Command questbench runs the full experiment suite (E1–E8 of DESIGN.md §3
 // plus the E9 executor/planner scorecard, the E10 statistics/join-order
-// scorecard, the E11 sharded-execution scorecard and the E12 remote
-// transport / hedged-read scorecard) and prints the tables recorded in
-// EXPERIMENTS.md. Each experiment is a deterministic function of the
-// seed, so re-running reproduces the report.
+// scorecard, the E11 sharded-execution scorecard, the E12 remote
+// transport / hedged-read scorecard and the E13 streaming/columnar
+// scorecard) and prints the tables recorded in EXPERIMENTS.md. Each
+// experiment is a deterministic function of the seed, so re-running
+// reproduces the report.
 //
 // With -json the same tables are also written as a machine-readable
 // BENCH_*.json snapshot (one object per table: title, headers, rows, plus
@@ -12,7 +13,7 @@
 //
 // Usage:
 //
-//	questbench [-exp all|e1..e12] [-seed N] [-n N] [-json BENCH_42.json]
+//	questbench [-exp all|e1..e13] [-seed N] [-n N] [-json BENCH_42.json]
 package main
 
 import (
@@ -91,7 +92,7 @@ func writeSnapshot(path string) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, e1..e12)")
+	exp := flag.String("exp", "all", "experiment to run (all, e1..e13)")
 	flag.Parse()
 
 	runners := map[string]func(){
@@ -107,9 +108,10 @@ func main() {
 		"e10": e10Statistics,
 		"e11": e11Sharded,
 		"e12": e12Remote,
+		"e13": e13Streaming,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12"} {
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"} {
 			runners[name]()
 		}
 	} else {
@@ -1061,6 +1063,146 @@ func e12Remote() {
 			fmt.Sprintf("%.0f", pct(0.50)), fmt.Sprintf("%.0f", pct(0.99)),
 			fmt.Sprint(st.Hedges), fmt.Sprint(st.HedgeWins), fmt.Sprint(st.Retries),
 			fmt.Sprint(leaked))
+	}
+	emit(tbl2)
+}
+
+// materializedBackend hides a backend's streaming face so the transport
+// server falls back to Execute — the "old server" shape E13b compares the
+// streaming sink against.
+type materializedBackend struct {
+	wrapper.SourceExecutor
+}
+
+// e13Streaming: the PR 6 streaming/columnar scorecard. E13a reruns the
+// E11-style join workload plus a no-LIMIT full-table scan with every
+// shard behind the wire, once pinned to protocol v1 (plain row frames)
+// and once at v2 (columnar frames with dictionary/RLE encodings chosen
+// from column statistics): identical rows either way, fewer bytes on the
+// wire under v2. E13b sends the full-table fragment through a streaming
+// server and an Execute-only server and reports each side's buffer
+// high-water mark — the streaming sink holds at most one batch no matter
+// how large the result, the materialized fallback holds all of it.
+func e13Streaming() {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: 8})
+
+	const joinQ = `SELECT person.name, movie.title FROM person
+		JOIN cast_info ON cast_info.person_id = person.person_id
+		JOIN movie ON movie.movie_id = cast_info.movie_id
+		WHERE movie.genre MATCH 'drama' AND cast_info.role = 'director'`
+	const scanQ = `SELECT * FROM movie`
+	joinStmt, err := quest.ParseSQL(joinQ)
+	if err != nil {
+		panic(err)
+	}
+	scanStmt, err := quest.ParseSQL(scanQ)
+	if err != nil {
+		panic(err)
+	}
+
+	tbl := &eval.Table{
+		Title:   "E13a — columnar vs row frames: gather bytes on the wire (loopback remote, imdb scale 8)",
+		Headers: []string{"shards", "protocol", "join-us", "scan-us", "wire-bytes", "row-frames", "col-frames", "bytes-vs-v1"},
+	}
+	for _, n := range []int{4, 8} {
+		var v1Bytes uint64
+		for _, proto := range []int{transport.ProtocolV1, transport.ProtocolV2} {
+			parts, err := shardpkg.Partition(db, n)
+			if err != nil {
+				panic(err)
+			}
+			clients := make([]*transport.Client, n)
+			backends := make([]shardpkg.Backend, n)
+			for i, p := range parts {
+				c, err := transport.NewLoopbackClient(wrapper.NewFullAccessSource(p),
+					transport.Options{Protocol: proto})
+				if err != nil {
+					panic(err)
+				}
+				clients[i] = c
+				backends[i] = c
+			}
+			remote := shardpkg.NewFromBackends(db.Name, db.Schema, backends,
+				shardpkg.Options{AssumeHashRouting: true})
+			// Both protocols run the exact same query count (warm-up
+			// included), so the summed byte counters compare like for like.
+			if _, err := remote.Execute(joinStmt); err != nil {
+				panic(err)
+			}
+			if _, err := remote.Execute(scanStmt); err != nil {
+				panic(err)
+			}
+			var joinUs, scanUs float64
+			for _, run := range []struct {
+				stmt *sqlpkg.SelectStmt
+				reps int
+				us   *float64
+			}{{joinStmt, 5, &joinUs}, {scanStmt, 5, &scanUs}} {
+				start := time.Now()
+				for i := 0; i < run.reps; i++ {
+					if _, err := remote.Execute(run.stmt); err != nil {
+						panic(err)
+					}
+				}
+				*run.us = float64(time.Since(start).Microseconds()) / float64(run.reps)
+			}
+			var st transport.ClientStats
+			for _, c := range clients {
+				s := c.Stats()
+				st.BytesReceived += s.BytesReceived
+				st.RowFrames += s.RowFrames
+				st.ColumnarFrames += s.ColumnarFrames
+			}
+			remote.Close()
+			name, ratio := "v1 rows", "1.00x"
+			if proto == transport.ProtocolV2 {
+				name = "v2 columnar"
+				ratio = fmt.Sprintf("%.2fx", float64(st.BytesReceived)/float64(v1Bytes))
+			} else {
+				v1Bytes = st.BytesReceived
+			}
+			tbl.AddRow(fmt.Sprint(n), name,
+				fmt.Sprintf("%.1f", joinUs), fmt.Sprintf("%.1f", scanUs),
+				fmt.Sprint(st.BytesReceived), fmt.Sprint(st.RowFrames),
+				fmt.Sprint(st.ColumnarFrames), ratio)
+		}
+	}
+	emit(tbl)
+
+	// E13b: server-side buffering on the no-LIMIT full-table fragment.
+	src := wrapper.NewFullAccessSource(db)
+	res, err := src.Execute(scanStmt)
+	if err != nil {
+		panic(err)
+	}
+	resultBytes := 0
+	for _, r := range res.Rows {
+		resultBytes += sqlpkg.EncodedRowSize(r)
+	}
+	tbl2 := &eval.Table{
+		Title:   "E13b — server buffer high-water on a no-LIMIT full-table fragment (imdb scale 8)",
+		Headers: []string{"server", "result-rows", "result-bytes", "buffer-high-water", "hw/result"},
+	}
+	for _, m := range []struct {
+		name    string
+		backend wrapper.SourceExecutor
+	}{
+		{"streaming", src},
+		{"materialized", &materializedBackend{SourceExecutor: src}},
+	} {
+		srv := transport.NewServer(m.backend)
+		c, err := transport.NewClient(
+			[]transport.Dialer{transport.LoopbackDialer(srv)}, transport.Options{})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := c.Execute(scanStmt); err != nil {
+			panic(err)
+		}
+		c.Close()
+		hw := srv.BufferHighWater()
+		tbl2.AddRow(m.name, fmt.Sprint(len(res.Rows)), fmt.Sprint(resultBytes),
+			fmt.Sprint(hw), fmt.Sprintf("%.3f", float64(hw)/float64(resultBytes)))
 	}
 	emit(tbl2)
 }

@@ -177,6 +177,19 @@ func tableCases() []Query {
 		{SQL: "SELECT genre, COUNT(*) FROM movie GROUP BY genre HAVING COUNT(*) > 40 ORDER BY genre", TotalOrder: true},
 		{SQL: "SELECT DISTINCT genre FROM movie WHERE year > 1990 ORDER BY genre", TotalOrder: true},
 		{SQL: "SELECT DISTINCT genre, year FROM movie WHERE year > 2010"},
+		// Columnar-encoding shapes: wide rows (every column of a 3-way join),
+		// a low-cardinality projection (dictionary), sorted and constant
+		// columns (run-length). The remote suites run these through both the
+		// v2 columnar frames and the pinned-v1 row frames; either way the
+		// bytes must match the reference.
+		{SQL: `SELECT * FROM movie
+			JOIN cast_info ON cast_info.movie_id = movie.movie_id
+			JOIN person ON person.person_id = cast_info.person_id
+			ORDER BY cast_info.cast_id`, TotalOrder: true},
+		{SQL: "SELECT genre FROM movie ORDER BY genre, movie_id", TotalOrder: true},
+		{SQL: "SELECT movie_id, year FROM movie ORDER BY year, movie_id"}, // NULL years tie: multiset compare
+		{SQL: "SELECT genre, title FROM movie WHERE genre = 'noir' ORDER BY movie_id", TotalOrder: true},
+		{SQL: "SELECT movie.genre, cast_info.role FROM movie JOIN cast_info ON cast_info.movie_id = movie.movie_id"},
 		// Error parity: both sides must reject, neither may half-answer.
 		{SQL: "SELECT nosuch FROM movie WHERE movie_id = 3"},
 		{SQL: "SELECT title FROM movie WHERE nosuch = 1"},

@@ -95,6 +95,29 @@ func TestConformanceRemote(t *testing.T) {
 	}
 }
 
+// TestConformanceRemoteProtocolV1 re-runs the table-driven cases with the
+// clients pinned to protocol version 1 at every shard count: the legacy
+// row-frame path must stay byte-identical to the reference even while the
+// servers prefer columnar v2 frames for everyone else. This is the
+// compatibility half of the columnar rollout — old clients keep working
+// against new servers with no semantic drift.
+func TestConformanceRemoteProtocolV1(t *testing.T) {
+	for _, shards := range []int{1, 3, 7} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			db := conformanceDB(t)
+			ref := wrapper.NewFullAccessSource(db)
+			parts, err := shard.Partition(db, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote := newRemoteSharded(t, db.Name, parts, transport.Options{Protocol: transport.ProtocolV1})
+			defer remote.Close()
+			runBatch(t, ref, remote, tableCases())
+		})
+	}
+}
+
 // TestConformanceRemoteTCP runs the table-driven cases against questshardd-
 // shaped servers on real sockets — one TCP listener per shard — to keep the
 // socket path (dialing, pooling, partial reads) under the same contract as

@@ -21,9 +21,13 @@
 // serves the in-process case, internal/transport's Client serves remote
 // shards (questshardd servers or loopback pipes) with streaming rows,
 // retries and hedged reads, and the coordinator cannot tell them apart.
-// Fragment fetches consume a backend's row stream incrementally when it
-// offers one (wrapper.StreamExecutor), so merging starts before a remote
-// shard finishes sending.
+// Fragment fetches and the pushdown merge consume a backend's row stream
+// incrementally when it offers one (wrapper.StreamExecutor), so merging
+// starts before a remote shard finishes sending and the shard server never
+// materializes the fragment. On protocol-v2 connections remote shards ship
+// row batches as columnar frames (per-column dictionary/RLE encodings
+// chosen from statistics — see the wire-protocol notes in internal/sql),
+// which the gather consumes a decoded batch at a time.
 //
 // Three fast paths shortcut the general scatter-gather. Single-table
 // statements without aggregation are pushed down whole: each shard runs
@@ -690,21 +694,30 @@ func (s *ShardedSource) executeGather(stmt *sql.SelectStmt) (*sql.Result, error)
 	return sql.ExecuteRows(s.schema, stmt, tables)
 }
 
-// fetchFragment pulls one fragment's qualifying rows from a backend,
-// consuming the row stream incrementally when the backend offers one
-// (remote transport clients deliver length-prefixed row frames as they
-// arrive) and falling back to materializing Execute otherwise. A
-// streaming backend may replay from the top on a mid-stream retry; the
-// sink's Reset keeps the gathered rows exactly-once either way.
-func fetchFragment(b Backend, stmt *sql.SelectStmt) ([]relational.Row, error) {
+// fetchResult pulls one statement's result from a backend, consuming the
+// row stream incrementally when the backend offers one (remote transport
+// clients deliver row or columnar frames as they arrive; columnar batches
+// land through the buffer's PushBatch face without a per-row loop) and
+// falling back to materializing Execute otherwise. A streaming backend may
+// replay from the top on a mid-stream retry; the sink's Reset keeps the
+// gathered rows exactly-once either way. Both the gather path and the
+// single-table pushdown merge fetch through here, so a shard's own memory
+// stays bounded by its batch size whenever the backend can stream.
+func fetchResult(b Backend, stmt *sql.SelectStmt) (*sql.Result, error) {
 	if se, ok := b.(wrapper.StreamExecutor); ok {
 		var sink wrapper.RowBuffer
-		if _, err := se.ExecuteStream(stmt, &sink); err != nil {
+		cols, err := se.ExecuteStream(stmt, &sink)
+		if err != nil {
 			return nil, err
 		}
-		return sink.Rows, nil
+		return &sql.Result{Columns: cols, Rows: sink.Rows}, nil
 	}
-	res, err := b.Execute(stmt)
+	return b.Execute(stmt)
+}
+
+// fetchFragment is fetchResult for fragment fetches, which only need rows.
+func fetchFragment(b Backend, stmt *sql.SelectStmt) ([]relational.Row, error) {
+	res, err := fetchResult(b, stmt)
 	if err != nil {
 		return nil, err
 	}
@@ -796,7 +809,7 @@ func (s *ShardedSource) executePushdown(stmt *sql.SelectStmt) (*sql.Result, erro
 	s.forEach(len(shards), func(i int) {
 		si := shards[i]
 		s.c.fragments.Add(1)
-		res, ferr := s.backends[si].Execute(shardStmt)
+		res, ferr := fetchResult(s.backends[si], shardStmt)
 		if ferr != nil {
 			errs[si] = ferr
 			return

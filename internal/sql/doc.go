@@ -156,19 +156,60 @@
 //     header is a uvarint column count followed by length-prefixed names.
 //   - A query response is one header frame (the columns), any number of
 //     row-batch frames (uvarint row count, then that many rows — batches
-//     default to 256 rows so large results stream and the coordinator
-//     can start merging before the shard finishes), and one end frame
-//     carrying the total row count as an integrity check. Existence
-//     probes answer with a single bool frame; statistics requests return
-//     an encoded relational.ColumnStats (AppendColumnStats/
-//     DecodeColumnStats — exported fields only, with derived state
-//     rehydrated on decode); relevance requests return an 8-byte float.
+//     default to 256 rows, cut early at a byte cap, so large results
+//     stream and the coordinator can start merging before the shard
+//     finishes), and one end frame carrying the total row count as an
+//     integrity check. Servers produce batches incrementally through
+//     ExecuteStream when the backend supports it, so a shard never holds
+//     more than one batch of a result in memory. Existence probes answer
+//     with a single bool frame; statistics requests return an encoded
+//     relational.ColumnStats (AppendColumnStats/DecodeColumnStats —
+//     exported fields only, with derived state rehydrated on decode);
+//     relevance requests return an 8-byte float.
 //   - Backend rejections arrive as an error frame (kind byte + message)
 //     in place of the response: query-level errors are final and are
 //     never retried, preserving error-disposition parity with local
-//     execution. Frames that are truncated, over-long or undecodable are
-//     typed protocol errors — the transport closes the connection and
-//     retries elsewhere rather than hanging.
+//     execution. An error frame after row batches have already been
+//     written aborts the stream (the connection is dropped — the header
+//     cannot be unsent). Frames that are truncated, over-long or
+//     undecodable are typed protocol errors — the transport closes the
+//     connection and retries elsewhere rather than hanging.
+//
+// # Columnar row batches (protocol v2)
+//
+// Protocol version 2 adds a columnar row-batch frame alongside the plain
+// one, negotiated per connection: a client opens with a hello frame naming
+// the highest version it speaks, the server clamps to what it implements
+// and acknowledges. A connection that never says hello is a v1 connection
+// (exactly how pre-hello clients behave), and a pre-hello server answers
+// the unknown frame with an in-band error the client takes as "v1" — both
+// directions degrade to row frames without breaking.
+//
+// The columnar payload (columnar.go) is a uvarint row count and column
+// count followed by one encoded vector per column, each opening with an
+// encoding tag:
+//
+//   - Plain (0): the column's cells in row order, value codec as above.
+//   - Dictionary (1): uvarint dictionary size, the distinct encoded
+//     values, then one uvarint index per row — chosen for low-cardinality
+//     columns (at most 512 distinct values, and never wider than plain).
+//   - Run-length (2): uvarint run count, then (uvarint length, value)
+//     pairs that must tile the batch exactly — chosen when sorted or
+//     constant columns make runs pay.
+//
+// The encoder picks per column by measuring: each candidate is built and
+// kept only if strictly smaller, with distinct counts from the backend's
+// column statistics (sql.EncodingHint) vetoing hopeless dictionary
+// attempts up front. Equality is on encoded bytes, so type-preservation
+// survives compression (Int(3) and Float(3) never share a dictionary
+// slot or a run). Decoding enforces the same caps the encoder obeys
+// (rows, columns, total cells, dictionary size); truncated payloads,
+// out-of-range indexes, runs that do not tile and trailing bytes are
+// typed protocol errors — fuzzed continuously (FuzzColumnarDecode). A v2
+// stream may interleave plain row-batch frames (a batch the encoder
+// could not improve falls back), so v2 is a superset of v1, and a batch
+// whose columnar form would be larger than its row form always ships as
+// rows — v2 never costs bytes.
 //
 // Exchanges are strict request/response per connection (no pipelining);
 // clients get concurrency from a connection pool, and resilience from

@@ -1,0 +1,124 @@
+package sql
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/relational"
+)
+
+// streamAll collects ExecuteStream's output for parity checks.
+func streamAll(t *testing.T, db *relational.Database, src string) ([]string, []relational.Row, error) {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	var cols []string
+	var rows []relational.Row
+	starts := 0
+	err = ExecuteStream(db, stmt,
+		func(c []string) error { starts++; cols = c; return nil },
+		func(r relational.Row) error { rows = append(rows, r); return nil })
+	if err == nil && starts != 1 {
+		t.Fatalf("start called %d times for %q", starts, src)
+	}
+	return cols, rows, err
+}
+
+// TestExecuteStreamParity replays a spread of query shapes — streamable
+// pipelines, the materialized fallbacks, LIMIT/OFFSET edges, vectorizable
+// and non-vectorizable filters — and demands the exact Execute result.
+func TestExecuteStreamParity(t *testing.T) {
+	db := testDB(t)
+	queries := []string{
+		"SELECT * FROM movie",
+		"SELECT title FROM movie WHERE year > 2000",
+		"SELECT title FROM movie WHERE year = NULL",
+		"SELECT title FROM movie WHERE year IS NULL",
+		"SELECT title FROM movie WHERE year IS NOT NULL AND rating >= 6.5",
+		"SELECT title FROM movie WHERE title LIKE '%river%'",
+		"SELECT title FROM movie WHERE year IN (1994, 2008, NULL)",
+		"SELECT title FROM movie WHERE 2000 < year",
+		"SELECT title FROM movie WHERE year + 0 > 2000", // not vectorizable
+		"SELECT title FROM movie LIMIT 2",
+		"SELECT title FROM movie LIMIT 0",
+		"SELECT title FROM movie LIMIT 2 OFFSET 1",
+		"SELECT title FROM movie LIMIT 10 OFFSET 3",
+		"SELECT title FROM movie ORDER BY year DESC LIMIT 2",
+		"SELECT DISTINCT role FROM cast_info",
+		"SELECT COUNT(*) FROM cast_info",
+		`SELECT person.name, movie.title FROM person
+			JOIN cast_info ON cast_info.person_id = person.person_id
+			JOIN movie ON movie.movie_id = cast_info.movie_id`,
+		`SELECT movie.title, cast_info.role FROM movie
+			LEFT JOIN cast_info ON cast_info.movie_id = movie.movie_id
+			WHERE movie.year IS NOT NULL`,
+		`SELECT person.name FROM person
+			JOIN cast_info ON cast_info.person_id = person.person_id
+			WHERE cast_info.role = 'actor' LIMIT 1`,
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		want, werr := Execute(db, stmt)
+		cols, rows, gerr := streamAll(t, db, q)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("%q: Execute err=%v, ExecuteStream err=%v", q, werr, gerr)
+		}
+		if werr != nil {
+			continue
+		}
+		if len(cols) != len(want.Columns) {
+			t.Fatalf("%q: columns %v, want %v", q, cols, want.Columns)
+		}
+		for i := range cols {
+			if cols[i] != want.Columns[i] {
+				t.Fatalf("%q: columns %v, want %v", q, cols, want.Columns)
+			}
+		}
+		if len(rows) != len(want.Rows) {
+			t.Fatalf("%q: %d rows, want %d", q, len(rows), len(want.Rows))
+		}
+		for i := range rows {
+			if !bytes.Equal(AppendRow(nil, rows[i]), AppendRow(nil, want.Rows[i])) {
+				t.Fatalf("%q row %d: got %v want %v", q, i, rows[i], want.Rows[i])
+			}
+		}
+	}
+}
+
+func TestExecuteStreamSinkErrorAborts(t *testing.T) {
+	db := testDB(t)
+	stmt, err := Parse("SELECT title FROM movie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("sink full")
+	emitted := 0
+	err = ExecuteStream(db, stmt,
+		func([]string) error { return nil },
+		func(relational.Row) error {
+			emitted++
+			if emitted == 2 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if emitted != 2 {
+		t.Fatalf("emit called %d times after abort", emitted)
+	}
+
+	err = ExecuteStream(db, stmt,
+		func([]string) error { return boom },
+		func(relational.Row) error { t.Fatal("emit after failed start"); return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("start err = %v, want sink error", err)
+	}
+}

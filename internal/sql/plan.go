@@ -202,6 +202,11 @@ type scanNode struct {
 	lookup string
 	ords   []int
 	est    int
+	// vec holds the pushed conjuncts compiled for the selection-vector
+	// filter; vecOK reports whether every conjunct compiled (all-or-nothing,
+	// so the interpreted and vectorized paths never mix per scan).
+	vec   []colPred
+	vecOK bool
 }
 
 // joinStep is one planned join of the accumulated left relation with a
@@ -390,6 +395,7 @@ func buildPlan(db *relational.Database, stmt *SelectStmt, reorder bool) (*planne
 	// enumerator rebuilds the steps in cost order; everything else keeps
 	// the written order.
 	if tryReorder(p, stmt, nodes, tables, nodeStart, ownerNode, full, reorder) {
+		p.compileVec()
 		p.plan = p.describe()
 		return p, nil
 	}
@@ -428,6 +434,7 @@ func buildPlan(db *relational.Database, stmt *SelectStmt, reorder bool) (*planne
 		leftEst = st.est
 	}
 
+	p.compileVec()
 	p.plan = p.describe()
 	return p, nil
 }
@@ -968,6 +975,9 @@ func joinRefs(steps []*joinStep) []TableRef {
 // its pushed predicates. idx is the scan's position in the plan, used for
 // cardinality accounting when rc is non-nil.
 func (p *plannedQuery) streamScan(idx int, n *scanNode, t *relational.Table, rc *runCounts, emit func(relational.Row) error) error {
+	if n.vecOK {
+		return p.streamScanVec(idx, n, t, rc, emit)
+	}
 	local := &relation{cols: n.cols}
 	yield := func(row relational.Row) error {
 		ok, err := evalConjuncts(local, row, n.pushed)
@@ -1072,29 +1082,51 @@ func (p *plannedQuery) stream(i int, bt boundTables, rc *runCounts, emit func(re
 			}
 			build[k] = append(build[k], li)
 		}
-		return p.streamScan(i+1, st.right, bt[i+1], rc, func(rrow relational.Row) error {
-			k, null := joinKey(rrow, st.rk)
-			if null {
-				return nil
+		// Probe in blocks: keys for the whole block are hashed first, then
+		// the build map is walked with hot caches. Emission order matches
+		// the row-at-a-time loop exactly, and a stop sentinel raised
+		// mid-block propagates before any later probe row is touched.
+		blk := make([]relational.Row, 0, joinProbeBlock)
+		keys := make([]uint64, joinProbeBlock)
+		nulls := make([]bool, joinProbeBlock)
+		flush := func() error {
+			for bi, rrow := range blk {
+				keys[bi], nulls[bi] = joinKey(rrow, st.rk)
 			}
-			for _, li := range build[k] {
-				if !joinKeysEqual(leftRows[li], st.lk, rrow, st.rk) {
+			for bi, rrow := range blk {
+				if nulls[bi] {
 					continue
 				}
-				cand := concat(leftRows[li], rrow)
-				ok, err := evalConjuncts(outRel, cand, st.residual)
-				if err != nil {
-					return err
+				for _, li := range build[keys[bi]] {
+					if !joinKeysEqual(leftRows[li], st.lk, rrow, st.rk) {
+						continue
+					}
+					cand := concat(leftRows[li], rrow)
+					ok, err := evalConjuncts(outRel, cand, st.residual)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					if err := filtered(cand); err != nil {
+						return err
+					}
 				}
-				if !ok {
-					continue
-				}
-				if err := filtered(cand); err != nil {
-					return err
-				}
+			}
+			blk = blk[:0]
+			return nil
+		}
+		if err := p.streamScan(i+1, st.right, bt[i+1], rc, func(rrow relational.Row) error {
+			blk = append(blk, rrow)
+			if len(blk) == joinProbeBlock {
+				return flush()
 			}
 			return nil
-		})
+		}); err != nil {
+			return err
+		}
+		return flush()
 	}
 
 	// Default hash join: build on the right scan, probe with the streamed
@@ -1115,32 +1147,56 @@ func (p *plannedQuery) stream(i int, bt boundTables, rc *runCounts, emit func(re
 		}
 		build[k] = append(build[k], ri)
 	}
-	return p.stream(i-1, bt, rc, func(lrow relational.Row) error {
-		matched := false
-		if k, null := joinKey(lrow, st.lk); !null {
-			for _, ri := range build[k] {
-				if !joinKeysEqual(lrow, st.lk, rightRows[ri], st.rk) {
-					continue
+	// Batched probe, mirroring the build-left path; LEFT joins track
+	// per-row match state inside the block to null-extend unmatched rows in
+	// their original positions.
+	blk := make([]relational.Row, 0, joinProbeBlock)
+	keys := make([]uint64, joinProbeBlock)
+	nulls := make([]bool, joinProbeBlock)
+	flush := func() error {
+		for bi, lrow := range blk {
+			keys[bi], nulls[bi] = joinKey(lrow, st.lk)
+		}
+		for bi, lrow := range blk {
+			matched := false
+			if !nulls[bi] {
+				for _, ri := range build[keys[bi]] {
+					if !joinKeysEqual(lrow, st.lk, rightRows[ri], st.rk) {
+						continue
+					}
+					cand := concat(lrow, rightRows[ri])
+					ok, err := evalConjuncts(outRel, cand, st.residual)
+					if err != nil {
+						return err
+					}
+					if !ok {
+						continue
+					}
+					matched = true
+					if err := filtered(cand); err != nil {
+						return err
+					}
 				}
-				cand := concat(lrow, rightRows[ri])
-				ok, err := evalConjuncts(outRel, cand, st.residual)
-				if err != nil {
-					return err
-				}
-				if !ok {
-					continue
-				}
-				matched = true
-				if err := filtered(cand); err != nil {
+			}
+			if st.jc.Left && !matched {
+				if err := filtered(concat(lrow, nullRow(len(st.right.cols)))); err != nil {
 					return err
 				}
 			}
 		}
-		if st.jc.Left && !matched {
-			return filtered(concat(lrow, nullRow(len(st.right.cols))))
+		blk = blk[:0]
+		return nil
+	}
+	if err := p.stream(i-1, bt, rc, func(lrow relational.Row) error {
+		blk = append(blk, lrow)
+		if len(blk) == joinProbeBlock {
+			return flush()
 		}
 		return nil
-	})
+	}); err != nil {
+		return err
+	}
+	return flush()
 }
 
 // run streams the fully joined and filtered relation to emit, optionally

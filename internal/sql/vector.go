@@ -1,0 +1,284 @@
+package sql
+
+import (
+	"repro/internal/relational"
+)
+
+// This file vectorizes the scan's pushed-predicate filter. Pushed
+// conjuncts of simple single-column shapes (column vs literal comparison,
+// LIKE/MATCH against a literal, IS [NOT] NULL, IN over a literal list)
+// compile at plan time into closures over one column ordinal; execution
+// then evaluates them column-wise over blocks of rows with a selection
+// vector, instead of walking the expression tree per row. Compilation is
+// all-or-nothing per scan: one conjunct outside the compilable shapes and
+// the scan keeps the interpreted row-at-a-time loop, so semantics (and
+// error behaviour — compiled shapes cannot raise) never fork.
+//
+// The compiled closures replicate eval's three-valued logic exactly: a
+// NULL operand makes a comparison UNKNOWN and an UNKNOWN conjunct rejects
+// the row, so every closure returns "is TRUE", never "is not FALSE".
+
+// vecBlock is how many rows a vectorized scan filters per selection-vector
+// pass. A satisfied LIMIT still stops mid-block: survivors are emitted in
+// order and the stop sentinel propagates immediately.
+const vecBlock = 1024
+
+// joinProbeBlock is how many probe-side rows a hash join hashes before
+// walking the build map; see the flush closures in plannedQuery.stream.
+const joinProbeBlock = 256
+
+// colPred is one compiled pushed conjunct: fn reports whether the conjunct
+// is TRUE for a value of column ord.
+type colPred struct {
+	ord int
+	fn  func(relational.Value) bool
+}
+
+// compileVecPreds compiles every pushed conjunct of a scan, or reports
+// failure when any conjunct falls outside the vectorizable shapes.
+func compileVecPreds(local *relation, preds []Expr) ([]colPred, bool) {
+	out := make([]colPred, 0, len(preds))
+	for _, c := range preds {
+		p, ok := compileVecPred(local, c)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, p)
+	}
+	return out, true
+}
+
+func compileVecPred(local *relation, c Expr) (colPred, bool) {
+	switch x := c.(type) {
+	case *IsNullExpr:
+		cr, ok := x.Inner.(*ColumnRef)
+		if !ok {
+			return colPred{}, false
+		}
+		ord, err := local.resolve(cr)
+		if err != nil {
+			return colPred{}, false
+		}
+		negate := x.Negate
+		return colPred{ord: ord, fn: func(v relational.Value) bool {
+			return v.IsNull() != negate
+		}}, true
+	case *InExpr:
+		cr, ok := x.Inner.(*ColumnRef)
+		if !ok {
+			return colPred{}, false
+		}
+		ord, err := local.resolve(cr)
+		if err != nil {
+			return colPred{}, false
+		}
+		// Only literal lists compile. NULL list items can turn FALSE into
+		// UNKNOWN, but both reject, so they drop out of the compiled form.
+		lits := make([]relational.Value, 0, len(x.List))
+		for _, item := range x.List {
+			l, isLit := item.(*Literal)
+			if !isLit {
+				return colPred{}, false
+			}
+			if l.Value.IsNull() {
+				continue
+			}
+			lits = append(lits, l.Value)
+		}
+		return colPred{ord: ord, fn: func(v relational.Value) bool {
+			if v.IsNull() {
+				return false
+			}
+			for _, lit := range lits {
+				if relational.Equal(v, lit) {
+					return true
+				}
+			}
+			return false
+		}}, true
+	case *BinaryExpr:
+		return compileVecBinary(local, x)
+	}
+	return colPred{}, false
+}
+
+// compileVecBinary compiles `col op literal` (either operand order) for
+// the comparison operators plus LIKE and MATCH.
+func compileVecBinary(local *relation, x *BinaryExpr) (colPred, bool) {
+	cr, colLeft := x.Left.(*ColumnRef)
+	lit, litRight := x.Right.(*Literal)
+	if !colLeft || !litRight {
+		cr2, colRight := x.Right.(*ColumnRef)
+		lit2, litLeft := x.Left.(*Literal)
+		if !colRight || !litLeft {
+			return colPred{}, false
+		}
+		cr, lit = cr2, lit2
+		colLeft = false
+	}
+	ord, err := local.resolve(cr)
+	if err != nil {
+		return colPred{}, false
+	}
+	litv := lit.Value
+	if litv.IsNull() {
+		// NULL operand: the comparison is UNKNOWN for every row, LIKE and
+		// MATCH likewise — nothing passes.
+		switch x.Op {
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpLike, OpMatch:
+			return colPred{ord: ord, fn: func(relational.Value) bool { return false }}, true
+		}
+		return colPred{}, false
+	}
+	op := x.Op
+	if !colLeft {
+		// Normalize `lit op col` to `col op' lit`: Eq/Ne are symmetric,
+		// order comparisons flip direction.
+		switch op {
+		case OpLt:
+			op = OpGt
+		case OpLe:
+			op = OpGe
+		case OpGt:
+			op = OpLt
+		case OpGe:
+			op = OpLe
+		case OpEq, OpNe:
+		default:
+			// LIKE/MATCH are not symmetric; compile only the column-left
+			// orientation below.
+			return colPred{}, false
+		}
+	}
+	switch op {
+	case OpEq:
+		return colPred{ord: ord, fn: func(v relational.Value) bool {
+			return !v.IsNull() && relational.Compare(v, litv) == 0
+		}}, true
+	case OpNe:
+		return colPred{ord: ord, fn: func(v relational.Value) bool {
+			return !v.IsNull() && relational.Compare(v, litv) != 0
+		}}, true
+	case OpLt:
+		return colPred{ord: ord, fn: func(v relational.Value) bool {
+			return !v.IsNull() && relational.Compare(v, litv) < 0
+		}}, true
+	case OpLe:
+		return colPred{ord: ord, fn: func(v relational.Value) bool {
+			return !v.IsNull() && relational.Compare(v, litv) <= 0
+		}}, true
+	case OpGt:
+		return colPred{ord: ord, fn: func(v relational.Value) bool {
+			return !v.IsNull() && relational.Compare(v, litv) > 0
+		}}, true
+	case OpGe:
+		return colPred{ord: ord, fn: func(v relational.Value) bool {
+			return !v.IsNull() && relational.Compare(v, litv) >= 0
+		}}, true
+	case OpLike:
+		pat := litv.AsString()
+		return colPred{ord: ord, fn: func(v relational.Value) bool {
+			return !v.IsNull() && likeMatch(v.AsString(), pat)
+		}}, true
+	case OpMatch:
+		// Fold the query tokens once at compile time; MatchText re-folds
+		// them per row.
+		qt := FoldTokens(litv.AsString())
+		if len(qt) == 0 {
+			return colPred{ord: ord, fn: func(relational.Value) bool { return false }}, true
+		}
+		return colPred{ord: ord, fn: func(v relational.Value) bool {
+			if v.IsNull() {
+				return false
+			}
+			set := make(map[string]bool)
+			for _, t := range FoldTokens(v.AsString()) {
+				set[t] = true
+			}
+			for _, q := range qt {
+				if !set[q] {
+					return false
+				}
+			}
+			return true
+		}}, true
+	}
+	return colPred{}, false
+}
+
+// compileVec compiles the vectorized filter of every scan in the plan.
+// Called once at the end of planning; the compiled closures are stateless,
+// so the shared plan stays safe for concurrent executions.
+func (p *plannedQuery) compileVec() {
+	nodes := []*scanNode{p.base}
+	for _, st := range p.steps {
+		nodes = append(nodes, st.right)
+	}
+	for _, n := range nodes {
+		if preds, ok := compileVecPreds(&relation{cols: n.cols}, n.pushed); ok {
+			n.vec, n.vecOK = preds, true
+		}
+	}
+}
+
+// streamScanVec is streamScan's vectorized body: rows are filtered in
+// blocks, each compiled conjunct sweeping the survivors of the previous
+// one through a selection vector, and survivors are emitted in row order.
+func (p *plannedQuery) streamScanVec(idx int, n *scanNode, t *relational.Table, rc *runCounts, emit func(relational.Row) error) error {
+	sel := make([]int, 0, vecBlock)
+	process := func(rows []relational.Row) error {
+		sel = sel[:0]
+		if len(n.vec) == 0 {
+			for i := range rows {
+				sel = append(sel, i)
+			}
+		} else {
+			first := n.vec[0]
+			for i, row := range rows {
+				if first.fn(row[first.ord]) {
+					sel = append(sel, i)
+				}
+			}
+			for _, pr := range n.vec[1:] {
+				kept := sel[:0]
+				for _, i := range sel {
+					if pr.fn(rows[i][pr.ord]) {
+						kept = append(kept, i)
+					}
+				}
+				sel = kept
+			}
+		}
+		for _, i := range sel {
+			if rc != nil {
+				rc.scans[idx]++
+			}
+			if err := emit(rows[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if n.access != AccessFullScan {
+		block := make([]relational.Row, 0, min(vecBlock, len(n.ords)))
+		for _, o := range n.ords {
+			block = append(block, t.Row(o))
+			if len(block) == vecBlock {
+				if err := process(block); err != nil {
+					return err
+				}
+				block = block[:0]
+			}
+		}
+		return process(block)
+	}
+	rows := t.Rows()
+	for len(rows) > 0 {
+		end := min(vecBlock, len(rows))
+		if err := process(rows[:end]); err != nil {
+			return err
+		}
+		rows = rows[end:]
+	}
+	return nil
+}

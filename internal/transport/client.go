@@ -39,6 +39,13 @@ type Options struct {
 	// not set it below the server's BatchByteCap plus one encoded row, or
 	// legitimate row batches become unreadable.
 	MaxFrame int
+	// Protocol is the highest protocol version to request per connection
+	// (default ProtocolLatest). Each fresh connection negotiates with a
+	// hello frame and the server grants min(requested, spoken); a pre-hello
+	// server answers with an in-band error, which the client takes as v1.
+	// Set to ProtocolV1 to pin the legacy row-frame protocol (the hello is
+	// skipped entirely).
+	Protocol int
 
 	// Hedge enables hedged reads: when an attempt's first response frame
 	// has not arrived within the hedge delay, a second attempt races it on
@@ -82,6 +89,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxFrame <= 0 {
 		o.MaxFrame = DefaultMaxFrame
 	}
+	if o.Protocol <= 0 || o.Protocol > ProtocolLatest {
+		o.Protocol = ProtocolLatest
+	}
 	if o.HedgeQuantile <= 0 || o.HedgeQuantile >= 1 {
 		o.HedgeQuantile = 0.9
 	}
@@ -108,6 +118,10 @@ type ClientStats struct {
 	Hedges     uint64 // secondary attempts launched by the hedge timer
 	HedgeWins  uint64 // operations won by the hedged attempt
 	Dials      uint64 // connections established (pool misses)
+
+	BytesReceived  uint64 // response bytes read, frame headers included
+	RowFrames      uint64 // plain row-batch frames decoded
+	ColumnarFrames uint64 // columnar row-batch frames decoded
 }
 
 // ErrClientClosed is returned by operations on a closed client.
@@ -130,8 +144,20 @@ type Client struct {
 	next   atomic.Uint32
 	closed atomic.Bool
 
-	ops, attempts, retries   atomic.Uint64
-	hedges, hedgeWins, dials atomic.Uint64
+	ops, attempts, retries          atomic.Uint64
+	hedges, hedgeWins, dials        atomic.Uint64
+	bytesRecv, rowFrames, colFrames atomic.Uint64
+}
+
+// readFrameCounted reads one response frame and feeds the received-bytes
+// counter (header included) — the measurement behind the columnar wire
+// savings in the benchmark suite.
+func (c *Client) readFrameCounted(r *bufio.Reader) (byte, []byte, error) {
+	typ, payload, err := readFrame(r, c.opt.MaxFrame)
+	if err == nil {
+		c.bytesRecv.Add(uint64(frameHeaderSize + len(payload)))
+	}
+	return typ, payload, err
 }
 
 // NewClient builds a client over one dialer per replica.
@@ -142,13 +168,49 @@ func NewClient(dialers []Dialer, opt Options) (*Client, error) {
 	c := &Client{opt: opt.withDefaults()}
 	for _, d := range dialers {
 		c.pools = append(c.pools, &connPool{
-			dial:   d,
-			idle:   make(chan *pooledConn, c.opt.PoolSize),
-			closed: &c.closed,
-			dials:  &c.dials,
+			dial:      d,
+			idle:      make(chan *pooledConn, c.opt.PoolSize),
+			closed:    &c.closed,
+			dials:     &c.dials,
+			handshake: c.handshake,
 		})
 	}
 	return c, nil
+}
+
+// handshake negotiates the protocol version on a freshly dialed
+// connection. Requesting v1 skips the hello entirely — a v1 connection is
+// indistinguishable from a pre-hello client. A server that does not know
+// the hello frame answers it in-band with frameError and keeps the
+// connection; the client takes that as "v1 spoken here" and the
+// connection stays usable, so new clients work against old servers.
+func (c *Client) handshake(pc *pooledConn) error {
+	want := c.opt.Protocol
+	if want <= ProtocolV1 {
+		pc.version = ProtocolV1
+		return nil
+	}
+	pc.conn.SetDeadline(time.Now().Add(c.opt.RequestTimeout))
+	defer pc.conn.SetDeadline(time.Time{})
+	if err := writeFrame(pc.conn, frameHello, []byte{byte(want)}); err != nil {
+		return err
+	}
+	typ, payload, err := c.readFrameCounted(pc.br)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case frameHelloAck:
+		if len(payload) != 1 || payload[0] == 0 || int(payload[0]) > want {
+			return &ProtocolError{Detail: "bad hello ack"}
+		}
+		pc.version = int(payload[0])
+		return nil
+	case frameError:
+		pc.version = ProtocolV1
+		return nil
+	}
+	return &ProtocolError{Detail: fmt.Sprintf("unexpected frame 0x%02x in hello handshake", typ)}
 }
 
 // Dial builds a client over TCP replica addresses.
@@ -181,12 +243,15 @@ func (c *Client) Close() error {
 // Stats snapshots the client counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Operations: c.ops.Load(),
-		Attempts:   c.attempts.Load(),
-		Retries:    c.retries.Load(),
-		Hedges:     c.hedges.Load(),
-		HedgeWins:  c.hedgeWins.Load(),
-		Dials:      c.dials.Load(),
+		Operations:     c.ops.Load(),
+		Attempts:       c.attempts.Load(),
+		Retries:        c.retries.Load(),
+		Hedges:         c.hedges.Load(),
+		HedgeWins:      c.hedgeWins.Load(),
+		Dials:          c.dials.Load(),
+		BytesReceived:  c.bytesRecv.Load(),
+		RowFrames:      c.rowFrames.Load(),
+		ColumnarFrames: c.colFrames.Load(),
 	}
 }
 
@@ -237,12 +302,13 @@ func (c *Client) ExecuteStream(stmt *sql.SelectStmt, sink wrapper.RowSink) ([]st
 		total := uint64(0)
 		for {
 			e.pc.conn.SetReadDeadline(time.Now().Add(c.opt.RequestTimeout))
-			typ, payload, err := readFrame(e.pc.br, c.opt.MaxFrame)
+			typ, payload, err := c.readFrameCounted(e.pc.br)
 			if err != nil {
 				return err
 			}
 			switch typ {
 			case frameRows:
+				c.rowFrames.Add(1)
 				n, sz := binary.Uvarint(payload)
 				if sz <= 0 {
 					return &ProtocolError{Detail: "bad row batch header"}
@@ -259,6 +325,34 @@ func (c *Client) ExecuteStream(stmt *sql.SelectStmt, sink wrapper.RowSink) ([]st
 					}
 					total++
 				}
+			case frameRowsCol:
+				if e.pc.version < ProtocolV2 {
+					return &ProtocolError{Detail: "columnar frame on a v1 connection"}
+				}
+				rows, err := decodeColumnarFrame(payload)
+				if err != nil {
+					return err
+				}
+				c.colFrames.Add(1)
+				if bs, ok := sink.(wrapper.BatchSink); ok {
+					if perr := bs.PushBatch(rows); perr != nil {
+						return &sinkAbort{err: perr}
+					}
+				} else {
+					for _, row := range rows {
+						if perr := sink.Push(row); perr != nil {
+							return &sinkAbort{err: perr}
+						}
+					}
+				}
+				total += uint64(len(rows))
+			case frameError:
+				// A mid-stream error is the server relaying a backend
+				// failure it discovered after frames went out. The failure
+				// is deterministic — every replica would fail the same way
+				// after the same prefix — so it rides the sinkAbort path:
+				// final, never retried, surfaced as-is.
+				return &sinkAbort{err: decodeRemoteError(payload)}
 			case frameEnd:
 				n, sz := binary.Uvarint(payload)
 				if sz <= 0 || n != total {
@@ -456,7 +550,7 @@ func (c *Client) startExchange(replica int, reqType byte, req []byte, slot *atom
 		pc.close()
 		return nil, err
 	}
-	typ, payload, err := readFrame(pc.br, c.opt.MaxFrame)
+	typ, payload, err := c.readFrameCounted(pc.br)
 	if err != nil {
 		pc.close()
 		return nil, err
@@ -569,9 +663,10 @@ func (c *Client) hedgeDelay() time.Duration {
 // ---- connection pool ----
 
 type pooledConn struct {
-	conn net.Conn
-	br   *bufio.Reader
-	pool *connPool
+	conn    net.Conn
+	br      *bufio.Reader
+	pool    *connPool
+	version int // negotiated protocol version (sticky per connection)
 }
 
 // release returns the connection to its pool (protocol state clean: the
@@ -584,10 +679,11 @@ func (pc *pooledConn) release() { pc.pool.put(pc) }
 func (pc *pooledConn) close() { pc.conn.Close() }
 
 type connPool struct {
-	dial   Dialer
-	idle   chan *pooledConn
-	closed *atomic.Bool
-	dials  *atomic.Uint64
+	dial      Dialer
+	idle      chan *pooledConn
+	closed    *atomic.Bool
+	dials     *atomic.Uint64
+	handshake func(*pooledConn) error
 }
 
 func (p *connPool) get() (*pooledConn, error) {
@@ -604,7 +700,16 @@ func (p *connPool) get() (*pooledConn, error) {
 		return nil, err
 	}
 	p.dials.Add(1)
-	return &pooledConn{conn: conn, br: bufio.NewReader(conn), pool: p}, nil
+	pc := &pooledConn{conn: conn, br: bufio.NewReader(conn), pool: p}
+	if p.handshake != nil {
+		// Negotiate once per connection; the granted version rides along
+		// through the pool for every later exchange.
+		if err := p.handshake(pc); err != nil {
+			pc.conn.Close()
+			return nil, err
+		}
+	}
+	return pc, nil
 }
 
 func (p *connPool) put(pc *pooledConn) {

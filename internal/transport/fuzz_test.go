@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+// FuzzColumnarDecode throws arbitrary bytes at the columnar frame decoder
+// — the surface a hostile or corrupt shard reaches first on a v2
+// connection. The contract under fuzz: every rejection is a typed
+// *ProtocolError wrapping ErrMalformedFrame (so callers never have to
+// string-match), every acceptance yields rows that re-encode, and nothing
+// panics, hangs, or over-allocates past the decoder's caps.
+func FuzzColumnarDecode(f *testing.F) {
+	// Seed with well-formed batches of each encoding so mutation starts
+	// from deep inside the format, plus the malformation families the unit
+	// suite pins.
+	genres := []string{"noir", "drama", "comedy"}
+	var dictish, rleish, mixed [][]relational.Value
+	n := 64
+	dcol := make([]relational.Value, n)
+	rcol := make([]relational.Value, n)
+	mcol := make([]relational.Value, n)
+	for i := 0; i < n; i++ {
+		dcol[i] = relational.String_(genres[i%len(genres)])
+		rcol[i] = relational.Int(int64(i / 16))
+		switch i % 4 {
+		case 0:
+			mcol[i] = relational.Null()
+		case 1:
+			mcol[i] = relational.Float(float64(i) / 2)
+		case 2:
+			mcol[i] = relational.Bool(i%8 == 2)
+		default:
+			mcol[i] = relational.String_("x")
+		}
+	}
+	dictish = [][]relational.Value{dcol}
+	rleish = [][]relational.Value{rcol}
+	mixed = [][]relational.Value{dcol, rcol, mcol}
+	f.Add(sql.AppendColumnarBatch(nil, n, dictish, nil))
+	f.Add(sql.AppendColumnarBatch(nil, n, rleish, nil))
+	f.Add(sql.AppendColumnarBatch(nil, n, mixed, nil))
+	valid := sql.AppendColumnarBatch(nil, n, mixed, nil)
+	f.Add(valid[:len(valid)/2])                     // truncated mid-column
+	f.Add(append(valid[:len(valid):len(valid)], 0)) // trailing byte
+	f.Add([]byte{})
+	f.Add(binary.AppendUvarint(binary.AppendUvarint(nil, uint64(sql.MaxColumnarRows)), uint64(sql.MaxColumnarCols)))
+	f.Add(append(binary.AppendUvarint(binary.AppendUvarint(nil, 4), 1), sql.ColEncDict, 1, 0, 5, 5, 5, 5))
+	f.Add(append(binary.AppendUvarint(binary.AppendUvarint(nil, 4), 1), sql.ColEncRLE, 1, 200, 0))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		rows, err := decodeColumnarFrame(payload)
+		if err != nil {
+			var pe *ProtocolError
+			if !errors.As(err, &pe) {
+				t.Fatalf("decode error is %T (%v), want *ProtocolError", err, err)
+			}
+			if !errors.Is(err, ErrMalformedFrame) {
+				t.Fatalf("decode error %v does not wrap ErrMalformedFrame", err)
+			}
+			if rows != nil {
+				t.Fatal("rows returned alongside an error")
+			}
+			return
+		}
+		// Accepted payloads must describe a batch the encoder could have
+		// produced: every row re-encodes through the row codec.
+		if len(rows) > sql.MaxColumnarRows {
+			t.Fatalf("decoder exceeded its row cap: %d", len(rows))
+		}
+		for _, r := range rows {
+			if len(r) > sql.MaxColumnarCols {
+				t.Fatalf("decoder exceeded its column cap: %d", len(r))
+			}
+			_ = sql.AppendRow(nil, r)
+		}
+	})
+}

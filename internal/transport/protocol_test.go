@@ -1,0 +1,158 @@
+package transport
+
+import (
+	"bufio"
+	"net"
+	"testing"
+
+	"repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// materializedOnly hides the backend's streaming face, forcing the server
+// onto the Execute fallback (the embedded interface carries only the
+// SourceExecutor methods).
+type materializedOnly struct {
+	wrapper.SourceExecutor
+}
+
+// TestProtocolNegotiation covers the version matrix: a v2 client against a
+// v2 server ships columnar frames; pinning Protocol 1 keeps the stream on
+// plain row frames; and a pre-hello server (simulated: answers the hello
+// with an in-band error and keeps the connection, exactly what the old
+// request loop did with an unknown frame) degrades the client to v1 with
+// identical results.
+func TestProtocolNegotiation(t *testing.T) {
+	db := testDB(t)
+	src := wrapper.NewFullAccessSource(db)
+	srv := NewServer(src)
+	stmt := mustParse(t, "SELECT title, year FROM movie ORDER BY year")
+	want, err := src.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(t *testing.T, c *Client) ClientStats {
+		t.Helper()
+		defer c.Close()
+		got, err := c.Execute(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, got, want)
+		return c.Stats()
+	}
+
+	t.Run("v2", func(t *testing.T) {
+		c, err := NewLoopbackClient(src, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := run(t, c)
+		if st.ColumnarFrames == 0 {
+			t.Errorf("v2 connection shipped no columnar frames: %+v", st)
+		}
+	})
+	t.Run("pinned v1", func(t *testing.T) {
+		c, err := NewLoopbackClient(src, Options{Protocol: ProtocolV1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := run(t, c)
+		if st.ColumnarFrames != 0 {
+			t.Errorf("pinned-v1 connection received columnar frames: %+v", st)
+		}
+		if st.RowFrames == 0 {
+			t.Errorf("pinned-v1 connection decoded no row frames: %+v", st)
+		}
+	})
+	t.Run("legacy server", func(t *testing.T) {
+		legacy := func() (net.Conn, error) {
+			cl, sv := net.Pipe()
+			go func() {
+				defer sv.Close()
+				br := bufio.NewReader(sv)
+				for {
+					typ, payload, err := readFrame(br, DefaultMaxFrame)
+					if err != nil {
+						return
+					}
+					if typ == frameHello {
+						if writeError(sv, &ProtocolError{Detail: "unknown request frame"}) != nil {
+							return
+						}
+						continue
+					}
+					if srv.handle(sv, typ, payload, ProtocolV1) != nil {
+						return
+					}
+				}
+			}()
+			return cl, nil
+		}
+		c, err := NewClient([]Dialer{legacy}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := run(t, c)
+		if st.ColumnarFrames != 0 {
+			t.Errorf("legacy server somehow produced columnar frames: %+v", st)
+		}
+	})
+}
+
+// TestServerBufferHighWaterBounded is the memory-bound evidence for the
+// tentpole: a no-LIMIT full-table query through a streaming backend holds
+// at most one batch server-side, while the same query against an
+// Execute-only backend records the whole materialized result.
+func TestServerBufferHighWaterBounded(t *testing.T) {
+	db := testDB(t)
+	src := wrapper.NewFullAccessSource(db)
+	stmt := mustParse(t, "SELECT * FROM movie")
+
+	res, err := src.Execute(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range res.Rows {
+		total += sql.EncodedRowSize(r)
+	}
+
+	streaming := NewServer(src)
+	c, err := NewClient([]Dialer{LoopbackDialer(streaming)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(stmt); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	hw := streaming.BufferHighWater()
+	// One batch plus the row that crossed the cut, never the result.
+	bound := int64(streaming.batchByteCap() + 4096)
+	if hw == 0 || hw > bound {
+		t.Errorf("streaming high-water %d, want (0, %d]", hw, bound)
+	}
+	if hw >= int64(total) {
+		t.Errorf("streaming high-water %d not below materialized size %d", hw, total)
+	}
+
+	mat := NewServer(&materializedOnly{SourceExecutor: src})
+	c2, err := NewClient([]Dialer{LoopbackDialer(mat)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Execute(stmt); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	if hw := mat.BufferHighWater(); hw < int64(total) {
+		t.Errorf("materialized high-water %d, want >= %d", hw, total)
+	}
+
+	mat.ResetBufferHighWater()
+	if mat.BufferHighWater() != 0 {
+		t.Error("reset did not clear the gauge")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"math"
 	"net"
+	"strings"
+	"sync/atomic"
 
 	"repro/internal/relational"
 	"repro/internal/sql"
@@ -45,6 +47,29 @@ type Server struct {
 	MaxFrame int
 	// BatchRows is the row-batch size per frameRows (DefaultBatchRows when 0).
 	BatchRows int
+
+	// bufHighWater tracks the most result bytes any single query held
+	// buffered server-side before a flush — the memory-bound evidence for
+	// the streaming path. A streaming query plateaus around one batch; a
+	// materialized fallback records the whole encoded result.
+	bufHighWater atomic.Int64
+}
+
+// BufferHighWater reports the largest number of result bytes a single
+// query has held buffered since the last reset.
+func (s *Server) BufferHighWater() int64 { return s.bufHighWater.Load() }
+
+// ResetBufferHighWater clears the gauge (benchmark harnesses measure one
+// workload at a time).
+func (s *Server) ResetBufferHighWater() { s.bufHighWater.Store(0) }
+
+func (s *Server) noteBuffered(n int) {
+	for {
+		cur := s.bufHighWater.Load()
+		if int64(n) <= cur || s.bufHighWater.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
 }
 
 // NewServer wraps a backend, discovering its optional statistics and
@@ -85,12 +110,33 @@ func (s *Server) ServeConn(conn net.Conn) {
 		maxFrame = DefaultMaxFrame
 	}
 	br := bufio.NewReader(conn)
+	ver := ProtocolV1 // no hello yet: the original row-frame protocol
 	for {
 		typ, payload, err := readFrame(br, maxFrame)
 		if err != nil {
 			return // disconnect or corrupt stream: drop the connection
 		}
-		if err := s.handle(conn, typ, payload); err != nil {
+		if typ == frameHello {
+			// Version negotiation: grant the requested version clamped to
+			// what this server speaks. The granted version sticks to the
+			// connection; a client that never says hello stays on v1.
+			if len(payload) != 1 || payload[0] == 0 {
+				if err := writeError(conn, &ProtocolError{Detail: "bad hello payload"}); err != nil {
+					return
+				}
+				continue
+			}
+			v := int(payload[0])
+			if v > ProtocolLatest {
+				v = ProtocolLatest
+			}
+			ver = v
+			if err := writeFrame(conn, frameHelloAck, []byte{byte(v)}); err != nil {
+				return
+			}
+			continue
+		}
+		if err := s.handle(conn, typ, payload, ver); err != nil {
 			return // write-side failure: peer is gone
 		}
 	}
@@ -99,12 +145,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 // handle dispatches one request. A returned error means the connection is
 // unusable (write failed); backend-level rejections are answered in-band
 // with frameError and keep the connection alive.
-func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
+func (s *Server) handle(conn net.Conn, typ byte, payload []byte, ver int) error {
 	switch typ {
 	case framePing:
 		return writeFrame(conn, framePong, nil)
 	case frameQuery:
-		return s.handleQuery(conn, payload)
+		return s.handleQuery(conn, payload, ver)
 	case frameExists:
 		stmt, err := sql.Parse(string(payload))
 		if err != nil {
@@ -172,58 +218,116 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte) error {
 
 // handleQuery executes a statement and streams the result: header frame,
 // row batches, end frame. Rejections surface as a frameError in place of
-// the header.
-func (s *Server) handleQuery(conn net.Conn, payload []byte) error {
+// the header. When the backend exposes its streaming face the result
+// flows through it — the server never buffers more than one batch — and
+// only Execute-only backends pay full materialization. A failure after
+// frames have been written cannot be retracted: it is relayed as a
+// mid-stream frameError and the connection is dropped (the client treats
+// it as final).
+func (s *Server) handleQuery(conn net.Conn, payload []byte, ver int) error {
 	stmt, err := sql.Parse(string(payload))
 	if err != nil {
 		return writeError(conn, err)
+	}
+	sink := &frameSink{
+		conn:    conn,
+		srv:     s,
+		ver:     ver,
+		stmt:    stmt,
+		batch:   s.batchRows(),
+		byteCap: s.batchByteCap(),
+	}
+	if se, ok := s.backend.(wrapper.StreamExecutor); ok {
+		cols, err := se.ExecuteStream(stmt, sink)
+		if err != nil {
+			var we *sinkWriteError
+			if errors.As(err, &we) {
+				return we.err // the connection itself failed
+			}
+			if sink.wroteAny {
+				// Frames are out; the error cannot replace the header.
+				// Relay it mid-stream and drop the connection.
+				writeError(conn, err)
+				return errMidStreamAbort
+			}
+			return writeError(conn, err)
+		}
+		sink.setCols(cols)
+		return sink.finish()
 	}
 	res, err := s.backend.Execute(stmt)
 	if err != nil {
 		return writeError(conn, err)
 	}
-	if err := writeFrame(conn, frameColumns, sql.AppendColumns(nil, res.Columns)); err != nil {
-		return err
+	// Materialized fallback: the whole result was resident at once; the
+	// gauge records it so the contrast with the streaming path is visible.
+	total := 0
+	for _, r := range res.Rows {
+		total += sql.EncodedRowSize(r)
 	}
-	batch := s.BatchRows
-	if batch <= 0 {
-		batch = DefaultBatchRows
+	s.noteBuffered(total)
+	sink.setCols(res.Columns)
+	for _, r := range res.Rows {
+		if err := sink.Push(r); err != nil {
+			return unwrapSinkWrite(err)
+		}
 	}
-	// Batches are cut by row count AND by encoded size: wide rows must
-	// never accumulate past the peer's frame cap, or every replica would
-	// deterministically send an unreadable frame and the query could
-	// never succeed. The byte cut is a fixed conservative threshold —
-	// NOT this server's own MaxFrame, which the client never sees — so a
-	// coordinator with a smaller configured cap still reads every frame;
-	// it only needs to accept BatchByteCap plus one row.
+	return sink.finish()
+}
+
+func (s *Server) batchRows() int {
+	if s.BatchRows > 0 {
+		return s.BatchRows
+	}
+	return DefaultBatchRows
+}
+
+// batchByteCap is the encoded-size cut for a row batch. Wide rows must
+// never accumulate past the peer's frame cap, or every replica would
+// deterministically send an unreadable frame and the query could never
+// succeed. The cut is a fixed conservative threshold — NOT this server's
+// own MaxFrame, which the client never sees — so a coordinator with a
+// smaller configured cap still reads every frame; it only needs to accept
+// BatchByteCap plus one row.
+func (s *Server) batchByteCap() int {
 	byteCap := BatchByteCap
 	if s.MaxFrame > 0 && s.MaxFrame/4 < byteCap {
 		byteCap = s.MaxFrame / 4
 	}
-	var rowBuf []byte
-	count := 0
-	flush := func() error {
-		if count == 0 {
-			return nil
-		}
-		payload := binary.AppendUvarint(make([]byte, 0, len(rowBuf)+binary.MaxVarintLen64), uint64(count))
-		payload = append(payload, rowBuf...)
-		rowBuf, count = rowBuf[:0], 0
-		return writeFrame(conn, frameRows, payload)
+	return byteCap
+}
+
+// encodingHints looks up per-column distinct counts for the statement's
+// projection, feeding the columnar encoder's dictionary veto. Hints are
+// best-effort: only single-table statements resolve (a joined projection's
+// provenance is not tracked here), and any lookup failure degrades to the
+// unhinted encoder, never to an error.
+func (s *Server) encodingHints(stmt *sql.SelectStmt, cols []string) []sql.EncodingHint {
+	if s.stats == nil || len(stmt.Joins) > 0 {
+		return nil
 	}
-	for _, r := range res.Rows {
-		rowBuf = sql.AppendRow(rowBuf, r)
-		count++
-		if count >= batch || len(rowBuf) >= byteCap {
-			if err := flush(); err != nil {
-				return err
+	star := len(stmt.Items) == 1 && stmt.Items[0].Star
+	hints := make([]sql.EncodingHint, len(cols))
+	for i, name := range cols {
+		col := ""
+		if star {
+			// Star projections emit qualified "table.column" names.
+			if j := strings.IndexByte(name, '.'); j >= 0 {
+				col = name[j+1:]
+			}
+		} else if i < len(stmt.Items) {
+			if cr, ok := stmt.Items[i].Expr.(*sql.ColumnRef); ok {
+				col = cr.Column
 			}
 		}
+		if col == "" {
+			continue
+		}
+		if cs, err := s.stats.ColumnStatistics(stmt.From.Table, col); err == nil {
+			hints[i] = sql.EncodingHint{Distinct: cs.Distinct, HasStats: true}
+		}
 	}
-	if err := flush(); err != nil {
-		return err
-	}
-	return writeFrame(conn, frameEnd, binary.AppendUvarint(nil, uint64(len(res.Rows))))
+	return hints
 }
 
 func writeFloat(conn net.Conn, v float64) error {

@@ -37,6 +37,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
 )
 
 // Request frame types (client → server).
@@ -47,6 +50,7 @@ const (
 	frameScore  byte = 0x04 // payload: table, column, keyword strings; response: float
 	frameEdge   byte = 0x05 // payload: fromTable, fromCol, toTable, toCol; response: float
 	framePing   byte = 0x06 // payload: empty; response: pong
+	frameHello  byte = 0x07 // payload: 1 byte requested version; response: helloAck
 )
 
 // Response frame types (server → client).
@@ -59,6 +63,23 @@ const (
 	frameStatsRes byte = 0x15 // encoded relational.ColumnStats
 	frameError    byte = 0x16 // 1 error-kind byte + message string
 	framePong     byte = 0x17 // payload: empty
+	frameHelloAck byte = 0x18 // 1 byte granted version
+	frameRowsCol  byte = 0x19 // columnar row batch (sql.AppendColumnarBatch payload), v2 only
+)
+
+// Protocol versions, negotiated per connection by frameHello. Version 1 is
+// the original row-frame protocol and needs no handshake — a connection
+// that never says hello is a v1 connection, which is exactly how pre-hello
+// clients behave. Version 2 adds columnar row batches (frameRowsCol); a v2
+// server may still interleave plain frameRows in the same stream (a batch
+// the encoder cannot improve, a stray wide row), so v2 is a superset, not
+// a replacement. Servers clamp the requested version to what they speak;
+// old servers answer the unknown hello with an in-band frameError, which
+// clients take as "v1" — both directions degrade without breaking.
+const (
+	ProtocolV1     = 1
+	ProtocolV2     = 2
+	ProtocolLatest = ProtocolV2
 )
 
 // Error kinds carried by frameError. Query-level rejections are part of
@@ -108,6 +129,19 @@ type RemoteError struct {
 
 // Error implements error.
 func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+// decodeColumnarFrame decodes a frameRowsCol payload as the client does:
+// any malformation — truncated dictionary, out-of-range index, runs that
+// do not tile the batch, trailing bytes — comes back as a *ProtocolError
+// (wrapping ErrMalformedFrame), never a panic and never a hang. The fuzz
+// target FuzzColumnarDecode pins that contract.
+func decodeColumnarFrame(payload []byte) ([]relational.Row, error) {
+	rows, err := sql.DecodeColumnarRows(payload)
+	if err != nil {
+		return nil, &ProtocolError{Detail: err.Error()}
+	}
+	return rows, nil
+}
 
 // writeFrame writes one frame as a single Write call.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {

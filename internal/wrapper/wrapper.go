@@ -70,6 +70,24 @@ type RowSink interface {
 	Push(row relational.Row) error
 }
 
+// ColumnSink is an optional RowSink face for sinks that want the column
+// header before the first row. When a streaming executor knows the header
+// up front it calls StartColumns exactly once, before any Push (and again
+// after each Reset that replays the stream). A StartColumns error aborts
+// the stream like a Push error.
+type ColumnSink interface {
+	StartColumns(cols []string) error
+}
+
+// BatchSink is an optional RowSink face for sinks that accept rows a batch
+// at a time — the columnar transport client hands a whole decoded frame
+// over in one call instead of re-looping per row. Semantics are identical
+// to calling Push for each row in order; the sink must not retain the
+// slice.
+type BatchSink interface {
+	PushBatch(rows []relational.Row) error
+}
+
 // StreamExecutor is the streaming face of a backend: rows are delivered to
 // the sink as they arrive instead of materializing the whole result first,
 // so a coordinator can start merging while a shard is still sending. The
@@ -94,6 +112,12 @@ func (b *RowBuffer) Reset() { b.Rows = b.Rows[:0] }
 // Push implements RowSink.
 func (b *RowBuffer) Push(r relational.Row) error {
 	b.Rows = append(b.Rows, r)
+	return nil
+}
+
+// PushBatch implements BatchSink.
+func (b *RowBuffer) PushBatch(rows []relational.Row) error {
+	b.Rows = append(b.Rows, rows...)
 	return nil
 }
 
@@ -252,6 +276,29 @@ func (s *FullAccessSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
 // existence mode: the query stops at its first surviving tuple.
 func (s *FullAccessSource) ExecuteExists(stmt *sql.SelectStmt) (bool, error) {
 	return sql.Exists(s.db, stmt)
+}
+
+// ExecuteStream implements StreamExecutor directly on the engine's
+// streaming executor: order-insensitive statements flow row by row with
+// O(1) working memory, others fall back to materialized execution and
+// replay. The sink's ColumnSink face, when present, receives the header
+// before the first row.
+func (s *FullAccessSource) ExecuteStream(stmt *sql.SelectStmt, sink RowSink) ([]string, error) {
+	sink.Reset()
+	var cols []string
+	err := sql.ExecuteStream(s.db, stmt,
+		func(c []string) error {
+			cols = c
+			if cs, ok := sink.(ColumnSink); ok {
+				return cs.StartColumns(c)
+			}
+			return nil
+		},
+		sink.Push)
+	if err != nil {
+		return nil, err
+	}
+	return cols, nil
 }
 
 // ExecutesConcurrently implements ConcurrentExecutor: the in-memory SQL
