@@ -5,9 +5,9 @@ GO       ?= go
 PKGS     ?= ./...
 BENCH    ?= .
 SEED     ?= 42
-SNAPSHOT ?= BENCH_pr6.json
+SNAPSHOT ?= BENCH_pr7.json
 
-.PHONY: all build test race vet bench bench-smoke fuzz-smoke conformance conformance-remote snapshot ci clean
+.PHONY: all build test race vet bench bench-smoke fuzz-smoke conformance conformance-remote conformance-faults snapshot ci clean
 
 all: build
 
@@ -52,16 +52,24 @@ conformance-remote:
 	$(GO) test -race -count=1 -run 'ConformanceRemote|RemoteNoGoroutineLeak' ./internal/conformance
 	$(GO) test -race -count=1 ./internal/transport
 
+# Fault-injection conformance: replicated shard groups with replicas
+# killed mid-batch, partitioned, restarted and rejoined, held
+# byte-identical to FullAccessSource at 1/3/7 shards; plus the
+# probe-window failover bound and the goroutine-leak sweep with faults
+# active. All under the race detector.
+conformance-faults:
+	$(GO) test -race -count=1 -run 'ConformanceFaults|FaultFailoverWithinProbeWindow|FaultNoGoroutineLeak' ./internal/conformance
+
 # Machine-readable experiment snapshot via questbench: all experiment
 # tables including the E9 executor/planner, prune-path, E10
 # statistics/join-order, E11 sharded-execution, E12 remote-transport/
-# hedged-read and E13 streaming/columnar benchmarks. Committed as
-# BENCH_pr6.json so the perf trajectory is diffable per PR; override
-# SNAPSHOT to write elsewhere.
+# hedged-read, E13 streaming/columnar and E14 replication/failover
+# benchmarks. Committed as BENCH_pr7.json so the perf trajectory is
+# diffable per PR; override SNAPSHOT to write elsewhere.
 snapshot:
 	$(GO) run ./cmd/questbench -seed $(SEED) -json $(SNAPSHOT)
 
-ci: build vet test race conformance conformance-remote bench-smoke fuzz-smoke
+ci: build vet test race conformance conformance-remote conformance-faults bench-smoke fuzz-smoke
 
 clean:
 	rm -f BENCH_*.json

@@ -1,10 +1,10 @@
 // Command questbench runs the full experiment suite (E1–E8 of DESIGN.md §3
 // plus the E9 executor/planner scorecard, the E10 statistics/join-order
 // scorecard, the E11 sharded-execution scorecard, the E12 remote
-// transport / hedged-read scorecard and the E13 streaming/columnar
-// scorecard) and prints the tables recorded in EXPERIMENTS.md. Each
-// experiment is a deterministic function of the seed, so re-running
-// reproduces the report.
+// transport / hedged-read scorecard, the E13 streaming/columnar
+// scorecard and the E14 replication/failover scorecard) and prints the
+// tables recorded in EXPERIMENTS.md. Each experiment is a deterministic
+// function of the seed, so re-running reproduces the report.
 //
 // With -json the same tables are also written as a machine-readable
 // BENCH_*.json snapshot (one object per table: title, headers, rows, plus
@@ -13,17 +13,19 @@
 //
 // Usage:
 //
-//	questbench [-exp all|e1..e13] [-seed N] [-n N] [-json BENCH_42.json]
+//	questbench [-exp all|e1..e14] [-seed N] [-n N] [-json BENCH_42.json]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/fulltext"
+	"repro/internal/relational"
 	shardpkg "repro/internal/shard"
 	sqlpkg "repro/internal/sql"
 	"repro/internal/transport"
@@ -92,7 +95,7 @@ func writeSnapshot(path string) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, e1..e13)")
+	exp := flag.String("exp", "all", "experiment to run (all, e1..e14)")
 	flag.Parse()
 
 	runners := map[string]func(){
@@ -109,9 +112,10 @@ func main() {
 		"e11": e11Sharded,
 		"e12": e12Remote,
 		"e13": e13Streaming,
+		"e14": e14Failover,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13"} {
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"} {
 			runners[name]()
 		}
 	} else {
@@ -1203,6 +1207,216 @@ func e13Streaming() {
 		hw := srv.BufferHighWater()
 		tbl2.AddRow(m.name, fmt.Sprint(len(res.Rows)), fmt.Sprint(resultBytes),
 			fmt.Sprint(hw), fmt.Sprintf("%.3f", float64(hw)/float64(resultBytes)))
+	}
+	emit(tbl2)
+}
+
+// replGroup is E14's fault-injectable replica group: servers reached
+// through net.Pipe, where killing a replica makes it undialable and
+// severs its live connections — the same model the conformance fault
+// harness uses.
+type replGroup struct {
+	mu    sync.Mutex
+	srvs  map[string]*transport.Server
+	down  map[string]bool
+	conns map[string][]net.Conn
+}
+
+func (g *replGroup) dial(name string) (net.Conn, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	srv := g.srvs[name]
+	if srv == nil || g.down[name] {
+		return nil, fmt.Errorf("replica %s is down", name)
+	}
+	cc, sc := net.Pipe()
+	g.conns[name] = append(g.conns[name], cc, sc)
+	go srv.ServeConn(sc)
+	return cc, nil
+}
+
+func (g *replGroup) kill(name string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.down[name] = true
+	for _, c := range g.conns[name] {
+		c.Close()
+	}
+	g.conns[name] = nil
+}
+
+func (g *replGroup) killAll() {
+	g.mu.Lock()
+	names := make([]string, 0, len(g.srvs))
+	for name := range g.srvs {
+		names = append(names, name)
+	}
+	g.mu.Unlock()
+	for _, name := range names {
+		g.kill(name)
+	}
+}
+
+// newReplGroup builds one shard group of n replicas, each a server over
+// its own copy of db, and a replicated client over them.
+func newReplGroup(db *quest.Database, n int, opt transport.Options) (*replGroup, *transport.Client) {
+	g := &replGroup{
+		srvs:  map[string]*transport.Server{},
+		down:  map[string]bool{},
+		conns: map[string][]net.Conn{},
+	}
+	specs := make([]transport.ReplicaSpec, n)
+	for i := 0; i < n; i++ {
+		copies, err := shardpkg.Partition(db, 1)
+		if err != nil {
+			panic(err)
+		}
+		srv := transport.NewServer(wrapper.NewFullAccessSource(copies[0]))
+		srv.Resolver = g.dial
+		name := fmt.Sprintf("replica-%d", i)
+		g.srvs[name] = srv
+		specs[i] = transport.ReplicaSpec{Name: name, Dial: func() (net.Conn, error) { return g.dial(name) }}
+	}
+	c, err := transport.NewReplicatedClient(specs, opt)
+	if err != nil {
+		panic(err)
+	}
+	return g, c
+}
+
+// benchRow synthesizes the i-th replicated write: a movie row with a key
+// space far above the dataset generator's.
+func benchRow(ts *quest.TableSchema, i int) quest.Row {
+	row := make(quest.Row, len(ts.Columns))
+	for c, col := range ts.Columns {
+		switch col.Type {
+		case relational.TypeInt:
+			row[c] = quest.Int(int64(9_000_000 + 100*i + c))
+		case relational.TypeFloat:
+			row[c] = quest.Float(float64(i) + 0.5)
+		case relational.TypeBool:
+			row[c] = quest.Bool(i%2 == 0)
+		default:
+			row[c] = quest.Text(fmt.Sprintf("bench-%d-%d", i, c))
+		}
+	}
+	return row
+}
+
+// e14Failover: the PR 7 replication/failover scorecard. E14a times the
+// synchronous replicated write path as backups are added to the group —
+// each backup adds one in-line replicate round trip, so the latency
+// deltas are the price of the durability. E14b kills the primary and
+// times recovery two ways: write-driven (the next Insert itself detects
+// the dead primary, demotes it and promotes the freshest backup — the
+// recovery time IS that insert's latency) and probe-driven (a background
+// prober detects the death with no write traffic; recovery is the time
+// until the catalog shows a new primary). Both modes then run a
+// point-lookup burst against the degraded group and report query
+// failures, which must be zero: reads rotate around the dead replica.
+func e14Failover() {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: 1})
+	ts := db.Schema.Table("movie")
+	if ts == nil {
+		panic("e14: no movie table")
+	}
+
+	tbl := &eval.Table{
+		Title:   "E14a — replicated write latency vs backup count (imdb scale 1, synchronous fan-out)",
+		Headers: []string{"backups", "writes", "avg-us", "p99-us", "repl-acks", "epoch"},
+	}
+	const writes = 300
+	for _, replicas := range []int{1, 2, 3} {
+		g, c := newReplGroup(db, replicas, transport.Options{
+			MaxAttempts:  4,
+			RetryBackoff: time.Millisecond,
+		})
+		if err := c.Insert(ts.Name, benchRow(ts, 0)); err != nil { // configure + warm
+			panic(err)
+		}
+		lat := make([]time.Duration, 0, writes)
+		for i := 1; i <= writes; i++ {
+			start := time.Now()
+			if err := c.Insert(ts.Name, benchRow(ts, i)); err != nil {
+				panic(err)
+			}
+			lat = append(lat, time.Since(start))
+		}
+		st := c.Stats()
+		fs := c.FleetStatus()
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		avg := time.Duration(0)
+		for _, d := range lat {
+			avg += d
+		}
+		avg /= time.Duration(len(lat))
+		p99 := lat[len(lat)*99/100]
+		tbl.AddRow(fmt.Sprint(replicas-1), fmt.Sprint(writes),
+			fmt.Sprintf("%.1f", float64(avg.Microseconds())),
+			fmt.Sprintf("%.1f", float64(p99.Microseconds())),
+			fmt.Sprint(st.ReplicationAcks), fmt.Sprint(fs.Epoch))
+		c.Close()
+		g.killAll()
+	}
+	emit(tbl)
+
+	tbl2 := &eval.Table{
+		Title:   "E14b — kill-primary recovery (3 replicas): failover time and reads through the outage",
+		Headers: []string{"mode", "writes-before", "recovery-ms", "demotions", "promotions", "probe-failures", "queries", "query-failures"},
+	}
+	point, err := quest.ParseSQL("SELECT title FROM movie WHERE movie_id = 100")
+	if err != nil {
+		panic(err)
+	}
+	for _, mode := range []string{"write-driven", "probe-driven"} {
+		opt := transport.Options{
+			MaxAttempts:        6,
+			RetryBackoff:       time.Millisecond,
+			ProbeFailThreshold: 2,
+		}
+		if mode == "probe-driven" {
+			opt.ProbeInterval = 2 * time.Millisecond
+		}
+		g, c := newReplGroup(db, 3, opt)
+		const before = 20
+		for i := 0; i < before; i++ {
+			if err := c.Insert(ts.Name, benchRow(ts, i)); err != nil {
+				panic(err)
+			}
+		}
+		oldPrimary := c.FleetStatus().Primary
+		g.kill(oldPrimary)
+		start := time.Now()
+		var recovery time.Duration
+		if mode == "write-driven" {
+			if err := c.Insert(ts.Name, benchRow(ts, before)); err != nil {
+				panic(err)
+			}
+			recovery = time.Since(start)
+		} else {
+			deadline := time.Now().Add(10 * time.Second)
+			for c.FleetStatus().Primary == oldPrimary && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			recovery = time.Since(start)
+			if err := c.Insert(ts.Name, benchRow(ts, before)); err != nil {
+				panic(err)
+			}
+		}
+		const queries = 500
+		failures := 0
+		for i := 0; i < queries; i++ {
+			if _, err := c.Execute(point); err != nil {
+				failures++
+			}
+		}
+		st := c.Stats()
+		tbl2.AddRow(mode, fmt.Sprint(before),
+			fmt.Sprintf("%.2f", float64(recovery.Microseconds())/1000),
+			fmt.Sprint(st.Demotions), fmt.Sprint(st.Promotions),
+			fmt.Sprint(st.ProbeFailures), fmt.Sprint(queries), fmt.Sprint(failures))
+		c.Close()
+		g.killAll()
 	}
 	emit(tbl2)
 }

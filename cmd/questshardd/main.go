@@ -16,8 +16,14 @@
 //	questshardd -addr :4732 -dataset imdb -shards 3 -index 2 &
 //
 // and dialed with quest.OpenRemote(schema, [][]string{{":4730"}, {":4731"},
-// {":4732"}}, ...). Several replicas of the same -index behind one shard's
-// address list give hedged reads a second target.
+// {":4732"}}, ...). Several processes with the same -index behind one
+// shard's address list form a replica group: the coordinator elects one
+// primary per group (writes route there and replicate synchronously to
+// the backups, who are dialed by the very addresses in the shard list),
+// health-probes every member, fails over to a backup when the primary
+// dies, and replays rejoining replicas from the primary's op log —
+// -repl-timeout and -max-oplog tune that path. Reads rotate across the
+// group, and hedged reads get a second target.
 //
 // The served backend is a full-access wrapper over the partition: fragment
 // execution uses the shard-local planner and indexes, existence probes use
@@ -47,6 +53,10 @@ func main() {
 		shards  = flag.Int("shards", 1, "total hash partitions in the fleet")
 		index   = flag.Int("index", 0, "which partition this process serves (0-based)")
 		batch   = flag.Int("batch", transport.DefaultBatchRows, "rows per response frame")
+		replTO  = flag.Duration("repl-timeout", transport.DefaultReplTimeout,
+			"deadline for one synchronous replicate round trip to a backup")
+		maxOplog = flag.Int("max-oplog", transport.DefaultMaxOpLog,
+			"replicated ops retained in memory for replay-on-rejoin")
 	)
 	flag.Parse()
 
@@ -79,6 +89,8 @@ func main() {
 	src := wrapper.NewFullAccessSource(db)
 	srv := transport.NewServer(src)
 	srv.BatchRows = *batch
+	srv.ReplTimeout = *replTO
+	srv.MaxOpLog = *maxOplog
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "questshardd: listen: %v\n", err)

@@ -12,26 +12,39 @@
 // Usage:
 //
 //	queststats [-db imdb|mondial|dblp] [-scale N] [-seed N]
-//	           [-section all|terms|graph|fulltext|indexes|stats|mi] [-sql "SELECT ..."]
+//	           [-section all|terms|graph|fulltext|indexes|stats|mi|fleet] [-sql "SELECT ..."]
 //
 // The stats section dumps the per-table/per-column statistics snapshots
 // the SQL planner estimates from (distinct counts, most common values,
 // histogram bounds) plus the planner counters showing how many plans were
 // join-reordered and how many scans the range/IN/MATCH index paths served.
+//
+// The fleet section stands up an in-process replica group (three copies of
+// the dataset behind one replicated transport client), scripts a failure
+// sequence — replicated writes, a backup crash mid-traffic, a rejoin with
+// op-log replay, then a primary crash forcing a failover — and reports the
+// resulting fleet topology and the client's replication counters. It is the
+// inspection view for the same counters a production coordinator exposes
+// through RemoteClientStats.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	quest "repro"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/fulltext"
 	"repro/internal/mi"
+	"repro/internal/relational"
 	sqlpkg "repro/internal/sql"
+	"repro/internal/transport"
 	"repro/internal/wrapper"
 )
 
@@ -40,7 +53,7 @@ func main() {
 		dbName  = flag.String("db", "imdb", "dataset: imdb, mondial or dblp")
 		scale   = flag.Int("scale", 1, "dataset scale factor")
 		seed    = flag.Int64("seed", 42, "dataset seed")
-		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, indexes, stats, mi")
+		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, indexes, stats, mi, fleet")
 		sqlText = flag.String("sql", "", "explain this SQL query and exit")
 	)
 	flag.Parse()
@@ -212,6 +225,13 @@ func main() {
 		fmt.Println(plannerCounterTable())
 	}
 
+	if show("fleet") {
+		if err := fleetSection(db); err != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if show("mi") {
 		src := wrapper.NewFullAccessSource(db)
 		tbl := &eval.Table{
@@ -240,6 +260,202 @@ func main() {
 		}
 		fmt.Println(tbl)
 	}
+}
+
+// demoNet is the in-process network for the fleet section: every replica
+// is a transport.Server reached through net.Pipe, and killing a replica
+// marks it undialable and severs its live connections — the same fault
+// model the conformance fault harness uses.
+type demoNet struct {
+	mu    sync.Mutex
+	srvs  map[string]*transport.Server
+	down  map[string]bool
+	conns map[string][]net.Conn
+}
+
+func (n *demoNet) dial(name string) (net.Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	srv := n.srvs[name]
+	if srv == nil || n.down[name] {
+		return nil, fmt.Errorf("replica %s is down", name)
+	}
+	cc, sc := net.Pipe()
+	n.conns[name] = append(n.conns[name], cc, sc)
+	go srv.ServeConn(sc)
+	return cc, nil
+}
+
+func (n *demoNet) kill(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[name] = true
+	for _, c := range n.conns[name] {
+		c.Close()
+	}
+	n.conns[name] = nil
+}
+
+func (n *demoNet) heal(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[name] = false
+}
+
+func (n *demoNet) killAll() {
+	n.mu.Lock()
+	names := make([]string, 0, len(n.srvs))
+	for name := range n.srvs {
+		names = append(names, name)
+	}
+	n.mu.Unlock()
+	for _, name := range names {
+		n.kill(name)
+	}
+}
+
+// fleetRow synthesizes the i-th write for the fleet exercise: a row of ts
+// with type-correct values and a collision-free integer key space well
+// above anything the dataset generators emit.
+func fleetRow(ts *quest.TableSchema, i int) quest.Row {
+	row := make(quest.Row, len(ts.Columns))
+	for c, col := range ts.Columns {
+		switch col.Type {
+		case relational.TypeInt:
+			row[c] = quest.Int(int64(9_000_000 + 100*i + c))
+		case relational.TypeFloat:
+			row[c] = quest.Float(float64(i) + 0.5)
+		case relational.TypeBool:
+			row[c] = quest.Bool(i%2 == 0)
+		default:
+			row[c] = quest.Text(fmt.Sprintf("fleet-demo-%d-%d", i, c))
+		}
+	}
+	return row
+}
+
+// fleetSection stands up a three-replica group over copies of db, scripts
+// the failure sequence described in the package doc, and prints the
+// resulting catalog and the client's replication counters.
+func fleetSection(db *quest.Database) error {
+	dnet := &demoNet{
+		srvs:  map[string]*transport.Server{},
+		down:  map[string]bool{},
+		conns: map[string][]net.Conn{},
+	}
+	defer dnet.killAll()
+
+	const replicas = 3
+	specs := make([]transport.ReplicaSpec, replicas)
+	for i := 0; i < replicas; i++ {
+		copies, err := quest.PartitionDatabase(db, 1)
+		if err != nil {
+			return err
+		}
+		srv := transport.NewServer(wrapper.NewFullAccessSource(copies[0]))
+		srv.Resolver = dnet.dial
+		name := fmt.Sprintf("replica-%d", i)
+		dnet.srvs[name] = srv
+		specs[i] = transport.ReplicaSpec{Name: name, Dial: func() (net.Conn, error) { return dnet.dial(name) }}
+	}
+	client, err := transport.NewReplicatedClient(specs, transport.Options{
+		MaxAttempts:        4,
+		RetryBackoff:       time.Millisecond,
+		ProbeFailThreshold: 2,
+	})
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	ts := db.Schema.Tables()[0]
+	writes := 0
+	insert := func(n int) error {
+		for i := 0; i < n; i++ {
+			if err := client.Insert(ts.Name, fleetRow(ts, writes)); err != nil {
+				return fmt.Errorf("insert %d: %w", writes, err)
+			}
+			writes++
+		}
+		return nil
+	}
+
+	// The scripted exercise: replicated writes, a backup crash under
+	// traffic, a rejoin replayed from the primary's op log, then a primary
+	// crash that Insert itself fails over, and the old primary rejoining
+	// as a backup.
+	steps := []struct {
+		what string
+		run  func() error
+	}{
+		{"replicate 6 writes across 3 replicas", func() error { return insert(6) }},
+		{"kill backup replica-1, write 4 more (demoted from rotation)", func() error {
+			dnet.kill("replica-1")
+			return insert(4)
+		}},
+		{"heal replica-1, probe (rejoins via op-log replay)", func() error {
+			dnet.heal("replica-1")
+			client.ProbeNow()
+			return nil
+		}},
+		{"kill primary replica-0, write 2 more (failover mid-write)", func() error {
+			dnet.kill("replica-0")
+			return insert(2)
+		}},
+		{"heal replica-0, probe (old primary rejoins as backup)", func() error {
+			dnet.heal("replica-0")
+			client.ProbeNow()
+			return nil
+		}},
+	}
+	fmt.Printf("== replica fleet — %d writes into %s through a scripted failover ==\n", 12, ts.Name)
+	for _, s := range steps {
+		if err := s.run(); err != nil {
+			return fmt.Errorf("%s: %w", s.what, err)
+		}
+		fmt.Printf("  * %s\n", s.what)
+	}
+	fmt.Println()
+
+	fs := client.FleetStatus()
+	tbl := &eval.Table{
+		Title:   fmt.Sprintf("replica catalog (epoch %d, primary %s)", fs.Epoch, fs.Primary),
+		Headers: []string{"replica", "role", "in-rotation", "last-seq", "suspect"},
+	}
+	for _, r := range fs.Replicas {
+		role := "backup"
+		if r.Primary {
+			role = "primary"
+		}
+		if r.Diverged {
+			role = "diverged"
+		}
+		tbl.AddRow(r.Name, role, fmt.Sprint(r.InRotation), fmt.Sprint(r.LastSeq), fmt.Sprint(r.Suspect))
+	}
+	fmt.Println(tbl)
+
+	st := client.Stats()
+	ctbl := &eval.Table{
+		Title:   "replication counters (coordinator client)",
+		Headers: []string{"counter", "value"},
+	}
+	for _, row := range [][2]string{
+		{"inserts", fmt.Sprint(st.Inserts)},
+		{"replication-acks", fmt.Sprint(st.ReplicationAcks)},
+		{"fenced-writes", fmt.Sprint(st.FencedWrites)},
+		{"probes", fmt.Sprint(st.Probes)},
+		{"probe-failures", fmt.Sprint(st.ProbeFailures)},
+		{"demotions", fmt.Sprint(st.Demotions)},
+		{"promotions", fmt.Sprint(st.Promotions)},
+		{"replays", fmt.Sprint(st.Replays)},
+		{"transport-attempts", fmt.Sprint(st.Attempts)},
+		{"transport-retries", fmt.Sprint(st.Retries)},
+		{"dials", fmt.Sprint(st.Dials)},
+	} {
+		ctbl.AddRow(row[0], row[1])
+	}
+	fmt.Println(ctbl)
+	return nil
 }
 
 // plannerCounterTable renders the SQL planning layer's counters, including

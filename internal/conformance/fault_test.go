@@ -1,0 +1,418 @@
+package conformance
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relational"
+	"repro/internal/shard"
+	"repro/internal/sql"
+	"repro/internal/transport"
+	"repro/internal/wrapper"
+)
+
+// faultNet is the deterministic fault injector behind the replicated
+// conformance suite: a named in-process network of replica servers whose
+// links can be killed (dial refused, established connections severed —
+// coordinator pools and primary replication links alike), healed, or
+// handed to a fresh server to model a process restart. Coordinator
+// dialers and every server's backup resolver both route through it, so
+// one kill partitions a replica from the whole fleet at once.
+type faultNet struct {
+	mu    sync.Mutex
+	srvs  map[string]*transport.Server
+	down  map[string]bool
+	conns map[string][]net.Conn
+}
+
+func newFaultNet() *faultNet {
+	return &faultNet{
+		srvs:  map[string]*transport.Server{},
+		down:  map[string]bool{},
+		conns: map[string][]net.Conn{},
+	}
+}
+
+func (n *faultNet) add(name string, srv *transport.Server) {
+	srv.Resolver = n.dial
+	n.mu.Lock()
+	n.srvs[name] = srv
+	n.mu.Unlock()
+}
+
+func (n *faultNet) dial(name string) (net.Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	srv := n.srvs[name]
+	if srv == nil || n.down[name] {
+		return nil, fmt.Errorf("faultnet: %s is unreachable", name)
+	}
+	cc, sc := net.Pipe()
+	n.conns[name] = append(n.conns[name], cc, sc)
+	go srv.ServeConn(sc)
+	return cc, nil
+}
+
+func (n *faultNet) dialer(name string) transport.Dialer {
+	return func() (net.Conn, error) { return n.dial(name) }
+}
+
+// kill severs the named replica from the fleet. The server object keeps
+// its state, so a later heal models a network partition ending; pairing
+// it with a fresh server models a crash.
+func (n *faultNet) kill(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[name] = true
+	for _, c := range n.conns[name] {
+		c.Close()
+	}
+	n.conns[name] = nil
+}
+
+func (n *faultNet) heal(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[name] = false
+}
+
+func (n *faultNet) restart(name string, srv *transport.Server) {
+	n.add(name, srv)
+	n.heal(name)
+}
+
+func (n *faultNet) killAll() {
+	n.mu.Lock()
+	names := make([]string, 0, len(n.srvs))
+	for name := range n.srvs {
+		names = append(names, name)
+	}
+	n.mu.Unlock()
+	for _, name := range names {
+		n.kill(name)
+	}
+}
+
+// replicatedFleet is the full replicated topology: NS shard groups of R
+// replicas each, every replica a transport server over its own copy of
+// the shard's partition, fronted by one replicated client per group and a
+// ShardedSource over those clients.
+type replicatedFleet struct {
+	net     *faultNet
+	dbs     [][]*relational.Database // [shard][replica]
+	srvs    [][]*transport.Server
+	clients []*transport.Client
+	src     *shard.ShardedSource
+}
+
+func replicaName(shard, replica int) string { return fmt.Sprintf("s%dr%d", shard, replica) }
+
+// newReplicatedFleet partitions the reference database NS ways, R times
+// over — Partition is deterministic, so replica copies are identical —
+// and wires the whole fleet through one fault net.
+func newReplicatedFleet(t testing.TB, db *relational.Database, ns, r int, opt transport.Options) *replicatedFleet {
+	t.Helper()
+	f := &replicatedFleet{net: newFaultNet()}
+	f.dbs = make([][]*relational.Database, ns)
+	f.srvs = make([][]*transport.Server, ns)
+	for rep := 0; rep < r; rep++ {
+		parts, err := shard.Partition(db, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := 0; si < ns; si++ {
+			srv := transport.NewServer(wrapper.NewFullAccessSource(parts[si]))
+			f.net.add(replicaName(si, rep), srv)
+			f.dbs[si] = append(f.dbs[si], parts[si])
+			f.srvs[si] = append(f.srvs[si], srv)
+		}
+	}
+	backends := make([]shard.Backend, ns)
+	for si := 0; si < ns; si++ {
+		specs := make([]transport.ReplicaSpec, r)
+		for rep := 0; rep < r; rep++ {
+			name := replicaName(si, rep)
+			specs[rep] = transport.ReplicaSpec{Name: name, Dial: f.net.dialer(name)}
+		}
+		c, err := transport.NewReplicatedClient(specs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.clients = append(f.clients, c)
+		backends[si] = c
+	}
+	f.src = shard.NewFromBackends(db.Name, db.Schema, backends, shard.Options{AssumeHashRouting: true})
+	t.Cleanup(func() {
+		f.src.Close() // closes the clients
+		f.net.killAll()
+	})
+	return f
+}
+
+// quiesce crosses the population-phase boundary fleet-wide: coordinator
+// probe stragglers and in-flight server dispatches both drain.
+func (f *replicatedFleet) quiesce() {
+	f.src.Quiesce()
+	for _, group := range f.srvs {
+		for _, srv := range group {
+			srv.Quiesce()
+		}
+	}
+}
+
+func (f *replicatedFleet) probeAll() {
+	for _, c := range f.clients {
+		c.ProbeNow()
+	}
+}
+
+// requireFullRotation asserts every replica of every shard group is back
+// in the read rotation at a common op sequence.
+func (f *replicatedFleet) requireFullRotation(t *testing.T) {
+	t.Helper()
+	for si, c := range f.clients {
+		st := c.FleetStatus()
+		for _, rs := range st.Replicas {
+			if !rs.InRotation {
+				t.Fatalf("shard %d replica %s out of rotation: %+v", si, rs.Name, st)
+			}
+			if rs.LastSeq != st.Replicas[0].LastSeq {
+				t.Fatalf("shard %d replica %s at seq %d, others at %d", si, rs.Name, rs.LastSeq, st.Replicas[0].LastSeq)
+			}
+		}
+	}
+}
+
+// faultInsertBatch writes one batch of movies and casts to the reference
+// database and through the replicated coordinator alike, invoking fault
+// at the halfway point — the "replica dies mid-batch" moment.
+func faultInsertBatch(t *testing.T, db *relational.Database, f *replicatedFleet, base int64, fault func()) {
+	t.Helper()
+	I, S, N := relational.Int, relational.String_, relational.Null
+	apply := func(table string, row relational.Row) {
+		if err := db.Insert(table, row.Clone()); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.src.Insert(table, row.Clone()); err != nil {
+			t.Fatalf("replicated insert (table %s, base %d): %v", table, base, err)
+		}
+	}
+	for i := int64(0); i < 10; i++ {
+		if i == 5 && fault != nil {
+			fault()
+		}
+		apply("movie", relational.Row{
+			I(base + i), S(fmt.Sprintf("aftermath storm %d", base+i)), I(1970 + (base+i)%50),
+			relational.Float(float64(i) / 3), S("noir"),
+		})
+	}
+	for i := int64(0); i < 8; i++ {
+		mid := relational.Value(I(base + i%10))
+		if i%5 == 0 {
+			mid = N()
+		}
+		apply("cast_info", relational.Row{I(base + i), mid, I(1 + i%120), S("actor")})
+	}
+}
+
+// TestConformanceFaults is the fault-injection differential suite: at 1,
+// 3 and 7 shard groups of three replicas each, it kills a backup
+// mid-insert-batch, kills the primary (forcing promotion), partitions a
+// replica across a query batch, and restarts a replica over retained
+// storage — and holds every degraded and healed topology byte-identical
+// to the reference FullAccessSource throughout. Run under the race
+// detector via `make conformance-faults`.
+func TestConformanceFaults(t *testing.T) {
+	const replicas = 3
+	for _, shards := range []int{1, 3, 7} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			db := conformanceDB(t)
+			ref := wrapper.NewFullAccessSource(db)
+			f := newReplicatedFleet(t, db, shards, replicas, transport.Options{
+				MaxAttempts:        6,
+				RetryBackoff:       time.Millisecond,
+				ProbeFailThreshold: 2,
+			})
+			queries := append(tableCases(), fuzzCases(211+int64(shards), 60)...)
+
+			// Healthy baseline.
+			runBatch(t, ref, f.src, queries)
+
+			// Scenario 1: a backup dies mid-insert-batch. The batch must
+			// complete (the primary reports the dead backup, the catalog
+			// demotes it), and the degraded topology must stay
+			// byte-identical.
+			f.quiesce()
+			faultInsertBatch(t, db, f, 2000, func() { f.net.kill(replicaName(0, 1)) })
+			f.quiesce()
+			runBatch(t, ref, f.src, queries)
+			if st := f.clients[0].FleetStatus(); st.Replicas[1].InRotation {
+				t.Fatal("backup killed mid-batch still in rotation")
+			}
+			// Heal: replay-on-rejoin readmits it, and the fleet is whole.
+			f.net.heal(replicaName(0, 1))
+			f.probeAll()
+			f.requireFullRotation(t)
+			runBatch(t, ref, f.src, queries)
+
+			// Scenario 2: the primary dies. The next insert batch rides the
+			// failover — a backup is promoted at a bumped epoch — and both
+			// degraded and healed topologies answer identically. The deposed
+			// primary later rejoins as a fenced, replayed backup.
+			f.quiesce()
+			f.net.kill(replicaName(0, 0))
+			faultInsertBatch(t, db, f, 2100, nil)
+			st := f.clients[0].FleetStatus()
+			if st.Primary == replicaName(0, 0) {
+				t.Fatalf("dead primary still leads shard 0: %+v", st)
+			}
+			if cs := f.clients[0].Stats(); cs.Promotions == 0 {
+				t.Fatalf("no promotion counted after primary death: %+v", cs)
+			}
+			f.quiesce()
+			runBatch(t, ref, f.src, queries)
+			f.net.heal(replicaName(0, 0))
+			f.probeAll()
+			f.requireFullRotation(t)
+			runBatch(t, ref, f.src, queries)
+
+			// Scenario 3: a replica is partitioned away across a whole query
+			// batch (server state intact, links dead), then healed. Reads
+			// must never fail in between — retries walk the rotation.
+			f.net.kill(replicaName(0, 2))
+			runBatch(t, ref, f.src, queries)
+			f.net.heal(replicaName(0, 2))
+			f.probeAll()
+			f.requireFullRotation(t)
+
+			// Scenario 4: restart over retained storage. The replica's
+			// database survives, its in-memory replication state does not;
+			// the recovered sequence (the durability layer's contract) plus
+			// replay-on-rejoin brings it back with no duplicate and no gap.
+			f.quiesce()
+			f.net.kill(replicaName(0, 1))
+			_, _, seqAtCrash := f.srvs[0][1].ReplicationStatus()
+			faultInsertBatch(t, db, f, 2200, nil)
+			srv2 := transport.NewServer(wrapper.NewFullAccessSource(f.dbs[0][1]))
+			srv2.RecoverReplicaState(seqAtCrash)
+			f.srvs[0][1] = srv2
+			f.net.restart(replicaName(0, 1), srv2)
+			f.probeAll()
+			f.requireFullRotation(t)
+
+			// Final pass including probes that only exist post-insert.
+			queries = append(queries,
+				Query{SQL: "SELECT title FROM movie WHERE movie_id = 2205"},
+				Query{SQL: "SELECT COUNT(*) FROM movie WHERE genre = 'noir' AND year > 1969"},
+				Query{SQL: `SELECT movie.title, cast_info.role FROM movie
+					JOIN cast_info ON cast_info.movie_id = movie.movie_id
+					WHERE cast_info.cast_id >= 2000 ORDER BY cast_info.cast_id`, TotalOrder: true},
+			)
+			runBatch(t, ref, f.src, queries)
+		})
+	}
+}
+
+// TestFaultFailoverWithinProbeWindow exercises the background prober: the
+// primary of a shard group dies with no write traffic at all, and within
+// a few probe intervals the fleet demotes it and promotes a backup. After
+// promotion, queries — including ones that land on the failed-over group
+// — must all succeed.
+func TestFaultFailoverWithinProbeWindow(t *testing.T) {
+	db := conformanceDB(t)
+	ref := wrapper.NewFullAccessSource(db)
+	f := newReplicatedFleet(t, db, 3, 3, transport.Options{
+		MaxAttempts:        4,
+		RetryBackoff:       time.Millisecond,
+		ProbeInterval:      2 * time.Millisecond,
+		ProbeFailThreshold: 2,
+	})
+	// One write configures every group (electing s*r0 primary).
+	faultInsertBatch(t, db, f, 3000, nil)
+	f.quiesce()
+
+	f.net.kill(replicaName(1, 0))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := f.clients[1].FleetStatus()
+		if st.Primary != "" && st.Primary != replicaName(1, 0) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prober did not fail over shard 1: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cs := f.clients[1].Stats()
+	if cs.Demotions == 0 || cs.Promotions == 0 || cs.ProbeFailures == 0 {
+		t.Fatalf("failover counters unmoved: %+v", cs)
+	}
+	// Zero failed queries after promotion.
+	runBatch(t, ref, f.src, tableCases())
+}
+
+// TestFaultNoGoroutineLeak pins the acceptance bound: ten thousand
+// queries through the replicated topology while replicas are killed and
+// healed underneath it, with the prober running — then a Close, and the
+// process must settle back to its goroutine baseline.
+func TestFaultNoGoroutineLeak(t *testing.T) {
+	db := conformanceDB(t)
+	before := runtime.NumGoroutine()
+	f := newReplicatedFleet(t, db, 3, 2, transport.Options{
+		MaxAttempts:        4,
+		RetryBackoff:       time.Millisecond,
+		ProbeInterval:      time.Millisecond,
+		ProbeFailThreshold: 2,
+	})
+	queries := []string{
+		"SELECT title FROM movie WHERE movie_id = 17",
+		"SELECT COUNT(*) FROM movie WHERE genre = 'drama'",
+		"SELECT person.name FROM person JOIN cast_info ON cast_info.person_id = person.person_id WHERE cast_info.cast_id = 40",
+	}
+	stmts := make([]*sql.SelectStmt, len(queries))
+	for i, q := range queries {
+		stmt, err := sql.Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stmts[i] = stmt
+	}
+	n := 10000
+	if testing.Short() {
+		n = 1000
+	}
+	// Rotate a single fault around the fleet: kill one replica, run
+	// queries against the degraded topology, heal it, move on. At most one
+	// replica per shard group is ever down, so every query has a live
+	// target within its retry budget.
+	faulty := 0
+	for i := 0; i < n; i++ {
+		if i%500 == 0 {
+			f.net.heal(replicaName(faulty%3, faulty%2))
+			faulty++
+			f.net.kill(replicaName(faulty%3, faulty%2))
+		}
+		stmt := stmts[i%len(stmts)]
+		if _, err := f.src.Execute(stmt); err != nil {
+			t.Fatalf("query %d with faults active: %v", i, err)
+		}
+		if _, err := f.src.ExecuteExists(stmt); err != nil {
+			t.Fatalf("exists %d with faults active: %v", i, err)
+		}
+	}
+	f.net.heal(replicaName(faulty%3, faulty%2))
+	f.src.Close()
+	f.net.killAll()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Errorf("%d goroutines leaked after %d queries with faults active", g-before, n)
+	}
+}

@@ -50,9 +50,11 @@ func TestConformanceRemote(t *testing.T) {
 			}
 			remote := newRemoteSharded(t, db.Name, parts, transport.Options{})
 			defer remote.Close()
-			// The remote source is read-only through the coordinator; an
-			// owned source over the same shard databases supplies the
-			// routing-consistent Insert for the mutation rounds.
+			// Mutations go through an owned source over the same shard
+			// databases: this sweep pins the read path against shared
+			// backends, while the remote write path (single-replica
+			// groups here would exercise it trivially) is covered with
+			// real fault topologies in fault_test.go.
 			owned, err := shard.New(db.Name, parts, shard.Options{})
 			if err != nil {
 				t.Fatal(err)

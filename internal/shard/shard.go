@@ -58,6 +58,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -77,6 +78,15 @@ import (
 // "sharded" backend factory (wrapper.OpenBackend) when the caller does not
 // choose one explicitly.
 const DefaultShardCount = 4
+
+// ErrReadOnlyTopology is returned by ShardedSource.Insert when the
+// source's backends cannot accept writes: injected backends that do not
+// implement wrapper.Inserter, or remote shards whose connections
+// negotiated a protocol below v3 (replication frames unavailable). Test
+// with errors.Is — callers distinguish "this topology cannot take
+// writes" from a row-level rejection, which surfaces as the backend's
+// own error.
+var ErrReadOnlyTopology = fmt.Errorf("shard: topology is read-only")
 
 // Backend is the per-shard contract: materializing execution, the
 // existence-only mode, and column statistics. Implementations MUST be safe
@@ -145,7 +155,17 @@ type ShardedSource struct {
 	// New/Partition; nil for backend-injected sources, which are read-only
 	// through the coordinator and never partition-pruned (the coordinator
 	// cannot know a foreign backend's routing).
-	dbs      []*relational.Database
+	dbs []*relational.Database
+	// inserters holds the per-shard write surface when every injected
+	// backend offers one (remote transport clients to replicated shard
+	// groups); nil when any backend is read-only. Owned sources (dbs set)
+	// write to their databases directly instead.
+	inserters []wrapper.Inserter
+	// ordMu/ordinals track rows inserted per keyless table through this
+	// coordinator, continuing Partition's round-robin placement where the
+	// initial split left off. PK-routed rows never consult it.
+	ordMu    sync.Mutex
+	ordinals map[string]int
 	workers  int
 	prunable bool
 	// pushdownOff disables predicate pushdown and partition pruning:
@@ -245,7 +265,9 @@ func New(name string, shards []*relational.Database, opt Options) (*ShardedSourc
 // NewFromBackends builds a ShardedSource over caller-provided backends
 // (remote transport clients, test stubs). Partition pruning stays off
 // unless Options.AssumeHashRouting declares the backends follow this
-// package's routing; Insert is unavailable either way.
+// package's routing. Insert works when every backend implements
+// wrapper.Inserter (transport clients to replicated shard groups do) and
+// returns ErrReadOnlyTopology otherwise.
 func NewFromBackends(name string, schema *relational.Schema, backends []Backend, opt Options) *ShardedSource {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -265,6 +287,16 @@ func NewFromBackends(name string, schema *relational.Schema, backends []Backend,
 			s.scorers[i] = sc
 		}
 	}
+	ins := make([]wrapper.Inserter, len(backends))
+	for i, b := range backends {
+		w, ok := b.(wrapper.Inserter)
+		if !ok {
+			ins = nil
+			break
+		}
+		ins[i] = w
+	}
+	s.inserters = ins
 	return s
 }
 
@@ -349,13 +381,13 @@ func (s *ShardedSource) ExecutesConcurrently() bool { return true }
 
 // Insert routes a row to its shard (PK hash, or round-robin for keyless
 // tables) and inserts it there. Like relational.Table.Insert it belongs to
-// the population phase: never call it concurrently with queries. Only
-// sources built by New own their shards; backend-injected sources reject
-// writes.
+// the population phase: never call it concurrently with queries. Sources
+// built by New write to their owned shard databases; backend-injected
+// sources write through each backend's wrapper.Inserter — remote
+// transport clients route the row to the shard group's primary and
+// replicate it — and return ErrReadOnlyTopology when the backends (or
+// the protocol their connections negotiated) cannot take writes.
 func (s *ShardedSource) Insert(table string, row relational.Row) error {
-	if s.dbs == nil {
-		return fmt.Errorf("shard: source %s has injected backends and is read-only", s.name)
-	}
 	// Existence probes abandoned by a short-circuiting ExecuteExists may
 	// still be reading shard tables; entering the population phase waits
 	// them out.
@@ -364,12 +396,41 @@ func (s *ShardedSource) Insert(table string, row relational.Row) error {
 	if ts == nil {
 		return fmt.Errorf("shard: unknown table %s", table)
 	}
-	total := 0
-	for _, db := range s.dbs {
-		total += db.Table(table).Len()
+	if s.dbs != nil {
+		total := 0
+		for _, db := range s.dbs {
+			total += db.Table(table).Len()
+		}
+		si := routeFor(ts, row, total, len(s.dbs))
+		return s.dbs[si].Insert(table, row)
 	}
-	si := routeFor(ts, row, total, len(s.dbs))
-	return s.dbs[si].Insert(table, row)
+	if s.inserters == nil {
+		return fmt.Errorf("source %s has backends without a write surface: %w", s.name, ErrReadOnlyTopology)
+	}
+	// PK routing re-derives the shard from the key alone, matching
+	// Partition wherever the backends hold partitions of the same shard
+	// count. Keyless tables continue round-robin from a coordinator-local
+	// ordinal: placement stays balanced, and since injected backends are
+	// never ordinal-pruned, any offset from the original split is
+	// invisible to queries.
+	ordinal := 0
+	if ts.PrimaryKey == "" {
+		s.ordMu.Lock()
+		if s.ordinals == nil {
+			s.ordinals = map[string]int{}
+		}
+		ordinal = s.ordinals[table]
+		s.ordinals[table] = ordinal + 1
+		s.ordMu.Unlock()
+	}
+	si := routeFor(ts, row, ordinal, len(s.inserters))
+	if err := s.inserters[si].Insert(table, row); err != nil {
+		if errors.Is(err, transport.ErrReadOnly) {
+			return fmt.Errorf("shard %d of source %s: %v: %w", si, s.name, err, ErrReadOnlyTopology)
+		}
+		return fmt.Errorf("shard %d of source %s: %w", si, s.name, err)
+	}
+	return nil
 }
 
 // AttributeScore implements wrapper.Source as the maximum per-shard score:

@@ -211,6 +211,46 @@
 // whose columnar form would be larger than its row form always ships as
 // rows — v2 never costs bytes.
 //
+// # Replicated writes and fleet control (protocol v3)
+//
+// Protocol version 3 adds the write-path and fleet-control frames, under
+// the same hello negotiation as v2 (a server that clamps below v3
+// answers them with an unknown-frame error, which the client surfaces as
+// a typed read-only rejection — mixed-version fleets degrade to
+// read-only rather than misbehaving). Liveness probing reuses the ping
+// frame every version has had: an empty-payload request answered by an
+// empty pong, the transport's lowest-cost health check.
+//
+// The five v3 requests and their responses:
+//
+//   - insert (0x08): uvarint epoch, then table name and one encoded row.
+//     Sent by the coordinator to the shard group's primary. The primary
+//     applies the row, synchronously replicates it to its backups, and
+//     answers with an insert-ack: uvarint epoch, uvarint op sequence,
+//     then a per-backup list of (name, ok byte) — the coordinator pulls
+//     any not-ok backup from its read rotation until replay.
+//   - replicate (0x09): uvarint epoch, uvarint sequence, table, row.
+//     Sent primary → backup (and coordinator → backup during replay). A
+//     backup applies sequences strictly in order: seq == lastSeq+1
+//     applies, seq <= lastSeq acks idempotently (duplicate delivery
+//     after a retry), a gap answers a lagging error that routes the
+//     backup into replay.
+//   - configure (0x0a): uvarint epoch, role byte (none/primary/backup),
+//     then the primary's backup name list. Installs a replica's role and
+//     fences the epoch; answers a status response.
+//   - status (0x0b): empty; answers uvarint epoch, role byte, uvarint
+//     last applied sequence — what probes and failover decisions read.
+//   - ops (0x0c): uvarint after-sequence, uvarint max; answers the
+//     retained op-log suffix as (uvarint seq, table, row) entries — the
+//     replay feed for a rejoining replica.
+//
+// Writes are epoch-fenced: every insert, replicate and configure carries
+// the coordinator's epoch, and a replica that has seen a newer epoch
+// rejects older ones with a fenced error (distinct error kinds exist for
+// fenced, lagging and read-only, each surfaced as a typed sentinel
+// client-side). A failover bumps the epoch, so a deposed primary's
+// in-flight writes die at the replicas instead of forking history.
+//
 // Exchanges are strict request/response per connection (no pipelining);
 // clients get concurrency from a connection pool, and resilience from
 // retry-with-backoff plus hedged reads (see internal/transport).

@@ -68,6 +68,18 @@ type Options struct {
 	// HedgeFixedDelay, when positive, bypasses the adaptive quantile and
 	// hedges after exactly this long (tests, operators with known SLOs).
 	HedgeFixedDelay time.Duration
+
+	// ProbeInterval, when positive on a replicated client
+	// (NewReplicatedClient), starts a background prober that round-trips a
+	// status frame per replica each tick: consecutive failures past
+	// ProbeFailThreshold demote the replica (promoting a backup when it
+	// was the primary), and recovered replicas are replayed back into the
+	// read rotation. Zero leaves health transitions to the write path and
+	// explicit ProbeNow calls.
+	ProbeInterval time.Duration
+	// ProbeFailThreshold is how many consecutive probe (or write) failures
+	// demote a replica. Default 3.
+	ProbeFailThreshold int
 }
 
 func (o Options) withDefaults() Options {
@@ -104,13 +116,18 @@ func (o Options) withDefaults() Options {
 	if o.HedgeMaxDelay <= 0 {
 		o.HedgeMaxDelay = 100 * time.Millisecond
 	}
+	if o.ProbeFailThreshold <= 0 {
+		o.ProbeFailThreshold = 3
+	}
 	return o
 }
 
 // Dialer opens one connection to a replica.
 type Dialer func() (net.Conn, error)
 
-// ClientStats snapshots a client's counters.
+// ClientStats snapshots a client's counters. The fleet block is zero on
+// clients built without a replica catalog (NewClient / Dial with no
+// names): only NewReplicatedClient runs the write path and the prober.
 type ClientStats struct {
 	Operations uint64 // top-level calls (Execute, ExecuteExists, ...)
 	Attempts   uint64 // exchanges started, hedges included
@@ -122,6 +139,15 @@ type ClientStats struct {
 	BytesReceived  uint64 // response bytes read, frame headers included
 	RowFrames      uint64 // plain row-batch frames decoded
 	ColumnarFrames uint64 // columnar row-batch frames decoded
+
+	Inserts         uint64 // replicated writes issued (Insert calls)
+	ReplicationAcks uint64 // positive per-backup acks inside insert acks
+	FencedWrites    uint64 // writes rejected by the epoch fence and re-routed
+	Probes          uint64 // status round trips issued by probes
+	ProbeFailures   uint64 // status round trips that failed
+	Demotions       uint64 // replicas pulled from rotation at the failure threshold
+	Promotions      uint64 // backups promoted to primary
+	Replays         uint64 // rejoins that replayed ops from the primary's log
 }
 
 // ErrClientClosed is returned by operations on a closed client.
@@ -140,13 +166,19 @@ var errLostRace = errors.New("transport: lost hedge race")
 type Client struct {
 	opt    Options
 	pools  []*connPool
+	names  []string // replica names (catalog identity); nil without a catalog
+	all    []int    // every replica index: the rotation fallback
 	lat    latencyTracker
 	next   atomic.Uint32
 	closed atomic.Bool
+	fleet  *fleetState // nil on clients built without a replica catalog
 
 	ops, attempts, retries          atomic.Uint64
 	hedges, hedgeWins, dials        atomic.Uint64
 	bytesRecv, rowFrames, colFrames atomic.Uint64
+	inserts, replAcks, fencedW      atomic.Uint64
+	probesN, probeFails             atomic.Uint64
+	demotions, promotions, replays  atomic.Uint64
 }
 
 // readFrameCounted reads one response frame and feeds the received-bytes
@@ -166,7 +198,7 @@ func NewClient(dialers []Dialer, opt Options) (*Client, error) {
 		return nil, fmt.Errorf("transport: no replica dialers")
 	}
 	c := &Client{opt: opt.withDefaults()}
-	for _, d := range dialers {
+	for i, d := range dialers {
 		c.pools = append(c.pools, &connPool{
 			dial:      d,
 			idle:      make(chan *pooledConn, c.opt.PoolSize),
@@ -174,6 +206,7 @@ func NewClient(dialers []Dialer, opt Options) (*Client, error) {
 			dials:     &c.dials,
 			handshake: c.handshake,
 		})
+		c.all = append(c.all, i)
 	}
 	return c, nil
 }
@@ -213,18 +246,24 @@ func (c *Client) handshake(pc *pooledConn) error {
 	return &ProtocolError{Detail: fmt.Sprintf("unexpected frame 0x%02x in hello handshake", typ)}
 }
 
-// Dial builds a client over TCP replica addresses.
+// Dial builds a replicated client over TCP replica addresses. Each
+// address is also the replica's catalog name, which is what lets a
+// primary resolve and dial its backups with the server's default
+// resolver.
 func Dial(addrs []string, opt Options) (*Client, error) {
 	opt = opt.withDefaults()
-	dialers := make([]Dialer, len(addrs))
+	specs := make([]ReplicaSpec, len(addrs))
 	for i, addr := range addrs {
 		addr := addr
 		timeout := opt.DialTimeout
-		dialers[i] = func() (net.Conn, error) {
-			return net.DialTimeout("tcp", addr, timeout)
+		specs[i] = ReplicaSpec{
+			Name: addr,
+			Dial: func() (net.Conn, error) {
+				return net.DialTimeout("tcp", addr, timeout)
+			},
 		}
 	}
-	return NewClient(dialers, opt)
+	return NewReplicatedClient(specs, opt)
 }
 
 // Close marks the client closed and closes every idle pooled connection.
@@ -233,6 +272,9 @@ func Dial(addrs []string, opt Options) (*Client, error) {
 func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
+	}
+	if c.fleet != nil {
+		c.fleet.stopProber()
 	}
 	for _, p := range c.pools {
 		p.drainClose()
@@ -252,6 +294,15 @@ func (c *Client) Stats() ClientStats {
 		BytesReceived:  c.bytesRecv.Load(),
 		RowFrames:      c.rowFrames.Load(),
 		ColumnarFrames: c.colFrames.Load(),
+
+		Inserts:         c.inserts.Load(),
+		ReplicationAcks: c.replAcks.Load(),
+		FencedWrites:    c.fencedW.Load(),
+		Probes:          c.probesN.Load(),
+		ProbeFailures:   c.probeFails.Load(),
+		Demotions:       c.demotions.Load(),
+		Promotions:      c.promotions.Load(),
+		Replays:         c.replays.Load(),
 	}
 }
 
@@ -456,17 +507,32 @@ type sinkAbort struct{ err error }
 func (s *sinkAbort) Error() string { return s.err.Error() }
 func (s *sinkAbort) Unwrap() error { return s.err }
 
+// readTargets returns the replica indexes reads may use this moment: the
+// fleet's published rotation (healthy, caught-up replicas) when one
+// exists and is non-empty, every replica otherwise — a fully degraded
+// fleet still tries everything rather than refusing reads outright.
+func (c *Client) readTargets() []int {
+	if c.fleet != nil {
+		if rot := c.fleet.rotation.Load(); rot != nil && len(*rot) > 0 {
+			return *rot
+		}
+	}
+	return c.all
+}
+
 // do runs one operation: hedged start, response handling, retry with
 // backoff across replicas on transport failures. handle reads the rest of
 // the response from e.pc; do owns the connection's fate (pool on success,
-// close on failure).
+// close on failure). Replica choice walks the current read rotation —
+// demoted and lagging replicas are skipped until the fleet layer readmits
+// them — and transport failures feed the rotation's failure counts, so
+// reads accelerate demotion instead of waiting out the probe interval.
 func (c *Client) do(reqType byte, req []byte, handle func(e *exchange) error) error {
 	if c.closed.Load() {
 		return ErrClientClosed
 	}
 	c.ops.Add(1)
-	n := len(c.pools)
-	start := int(c.next.Add(1)-1) % n
+	start := int(c.next.Add(1) - 1)
 	backoff := c.opt.RetryBackoff
 	var lastErr error
 	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
@@ -478,9 +544,12 @@ func (c *Client) do(reqType byte, req []byte, handle func(e *exchange) error) er
 		if c.closed.Load() {
 			return ErrClientClosed
 		}
-		e, hedged, err := c.startHedged((start+attempt)%n, reqType, req)
+		rot := c.readTargets()
+		replica := rot[(start+attempt)%len(rot)]
+		e, hedged, err := c.startHedged(rot, (start+attempt)%len(rot), reqType, req)
 		if err != nil {
 			lastErr = err
+			c.noteReadFailure(replica)
 			continue
 		}
 		// Only un-hedged completions feed the latency tracker: a hedged
@@ -503,6 +572,7 @@ func (c *Client) do(reqType byte, req []byte, handle func(e *exchange) error) er
 				return sa.err
 			}
 			lastErr = herr
+			c.noteReadFailure(replica)
 			continue
 		}
 		e.pc.release()
@@ -516,8 +586,15 @@ func decodeRemoteError(payload []byte) error {
 		return &ProtocolError{Detail: "empty error frame"}
 	}
 	kind, msg := payload[0], string(payload[1:])
-	if kind == errKindNoInstance {
+	switch kind {
+	case errKindNoInstance:
 		return wrapper.ErrNoInstanceAccess
+	case errKindFenced:
+		return fmt.Errorf("%w: %s", ErrFenced, msg)
+	case errKindLagging:
+		return fmt.Errorf("%w: %s", ErrLagging, msg)
+	case errKindReadOnly:
+		return fmt.Errorf("%w: %s", ErrReadOnly, msg)
 	}
 	return &RemoteError{Msg: msg}
 }
@@ -559,13 +636,15 @@ func (c *Client) startExchange(replica int, reqType byte, req []byte, slot *atom
 }
 
 // startHedged races the attempt against a delayed second attempt on the
-// next replica. The first attempt to deliver a response frame wins; the
-// loser's connection is closed immediately (canceling its server-side
-// read promptly) and its goroutine unwinds through the buffered results
-// channel — nothing blocks, nothing leaks. hedged reports whether the
-// secondary attempt was launched (regardless of which attempt won).
-func (c *Client) startHedged(replica int, reqType byte, req []byte) (e *exchange, hedged bool, err error) {
+// next replica in the read rotation. The first attempt to deliver a
+// response frame wins; the loser's connection is closed immediately
+// (canceling its server-side read promptly) and its goroutine unwinds
+// through the buffered results channel — nothing blocks, nothing leaks.
+// hedged reports whether the secondary attempt was launched (regardless
+// of which attempt won).
+func (c *Client) startHedged(rot []int, pos int, reqType byte, req []byte) (e *exchange, hedged bool, err error) {
 	c.attempts.Add(1)
+	replica := rot[pos%len(rot)]
 	delay := c.hedgeDelay()
 	if delay < 0 {
 		e, err = c.startExchange(replica, reqType, req, nil)
@@ -631,7 +710,7 @@ func (c *Client) startHedged(replica int, reqType byte, req []byte) (e *exchange
 				c.hedges.Add(1)
 				c.attempts.Add(1)
 				launched = 2
-				go run(1, (replica+1)%len(c.pools))
+				go run(1, rot[(pos+1)%len(rot)])
 			}
 		}
 	}

@@ -7,7 +7,9 @@ import (
 	"math"
 	"net"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/relational"
 	"repro/internal/sql"
@@ -37,16 +39,42 @@ type scorer interface {
 
 // Server serves one backend over the wire protocol. The zero limits mean
 // defaults; a Server is safe for concurrent use when its backend is (the
-// sharded coordinator requires that of every Backend anyway).
+// sharded coordinator requires that of every Backend anyway). When the
+// backend exposes a write face (wrapper.Inserter) the server also speaks
+// the protocol-v3 replication frames: direct inserts as a primary,
+// sequenced applies as a backup, role configuration and op-log replay —
+// see replication.go.
 type Server struct {
 	backend wrapper.SourceExecutor
 	stats   wrapper.StatisticsProvider // nil when the backend has none
 	score   scorer                     // nil when the backend has none
+	ins     wrapper.Inserter           // nil when the backend is read-only
 
 	// MaxFrame caps accepted request frames (DefaultMaxFrame when 0).
 	MaxFrame int
 	// BatchRows is the row-batch size per frameRows (DefaultBatchRows when 0).
 	BatchRows int
+	// Resolver dials a replication peer by the name the coordinator
+	// configured (nil means the name is a TCP address). Tests inject
+	// loopback registries with per-link fault switches through it.
+	Resolver func(name string) (net.Conn, error)
+	// ReplTimeout bounds one synchronous replicate round trip to a backup
+	// (DefaultReplTimeout when 0).
+	ReplTimeout time.Duration
+	// MaxOpLog bounds the retained replay log (DefaultMaxOpLog when 0).
+	MaxOpLog int
+
+	replMu sync.Mutex
+	repl   replState
+
+	// inflight is held (read side) by every request handler while it
+	// executes, so Quiesce can fence population-phase writes off
+	// straggling reads (a killed connection's handler may still be
+	// mid-execute after the client gave up on it). An RWMutex rather than
+	// a WaitGroup because requests keep arriving while Quiesce drains —
+	// probes, replication traffic — and WaitGroup forbids Add concurrent
+	// with Wait; here late arrivals just block until the barrier lifts.
+	inflight sync.RWMutex
 
 	// bufHighWater tracks the most result bytes any single query held
 	// buffered server-side before a flush — the memory-bound evidence for
@@ -83,7 +111,26 @@ func NewServer(backend wrapper.SourceExecutor) *Server {
 	if sc, ok := backend.(scorer); ok {
 		s.score = sc
 	}
+	if in, ok := backend.(wrapper.Inserter); ok {
+		s.ins = in
+	}
 	return s
+}
+
+// Quiesce blocks until every request handler currently executing has
+// returned. Population-phase discipline for a fleet: a client-side abort
+// (killed connection, abandoned hedge) can leave a server handler
+// mid-execute after the coordinator moved on, and a write racing that
+// straggler would violate the engine's population-phase contract.
+// Requests arriving while Quiesce drains (probes, replication) block at
+// the barrier and proceed once it lifts; it remains the caller's job not
+// to issue new *writes* across a quiesce, exactly as with
+// relational.Database.Insert.
+func (s *Server) Quiesce() {
+	s.inflight.Lock()
+	//lint:ignore SA2001 the critical section is the barrier itself:
+	// acquiring the write lock proves every handler's read lock drained.
+	s.inflight.Unlock()
 }
 
 // Serve accepts connections until the listener closes, serving each on its
@@ -136,7 +183,10 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 			continue
 		}
-		if err := s.handle(conn, typ, payload, ver); err != nil {
+		s.inflight.RLock()
+		err = s.handle(conn, typ, payload, ver)
+		s.inflight.RUnlock()
+		if err != nil {
 			return // write-side failure: peer is gone
 		}
 	}
@@ -209,6 +259,14 @@ func (s *Server) handle(conn net.Conn, typ byte, payload []byte, ver int) error 
 			return writeError(conn, err)
 		}
 		return writeFloat(conn, d)
+	case frameInsert, frameReplicate, frameConfigure, frameStatus, frameOps:
+		// Replication frames are honored only on a connection that
+		// negotiated v3; on older connections they fall through to the
+		// unknown-frame answer below, exactly like any pre-v3 server —
+		// a mixed-version fleet degrades to read-only, never to garbage.
+		if ver >= ProtocolV3 {
+			return s.handleRepl(conn, typ, payload)
+		}
 	}
 	// Unknown request type: the peer speaks a different protocol. Answer
 	// in-band once, then let the caller keep the loop; a client that sent

@@ -51,6 +51,15 @@ const (
 	frameEdge   byte = 0x05 // payload: fromTable, fromCol, toTable, toCol; response: float
 	framePing   byte = 0x06 // payload: empty; response: pong
 	frameHello  byte = 0x07 // payload: 1 byte requested version; response: helloAck
+
+	// Replication requests, protocol v3 (see replication.go). frameInsert
+	// and frameReplicate carry a row plus the coordinator's epoch so a
+	// stale primary is fenced instead of silently diverging.
+	frameInsert    byte = 0x08 // uvarint epoch, table, row; response: insertAck
+	frameReplicate byte = 0x09 // uvarint epoch, uvarint seq, table, row; response: insertAck
+	frameConfigure byte = 0x0a // uvarint epoch, role byte, backup names; response: statusRes
+	frameStatus    byte = 0x0b // payload: empty; response: statusRes
+	frameOps       byte = 0x0c // uvarint afterSeq, uvarint max; response: opsRes
 )
 
 // Response frame types (server → client).
@@ -65,6 +74,11 @@ const (
 	framePong     byte = 0x17 // payload: empty
 	frameHelloAck byte = 0x18 // 1 byte granted version
 	frameRowsCol  byte = 0x19 // columnar row batch (sql.AppendColumnarBatch payload), v2 only
+
+	// Replication responses, protocol v3.
+	frameInsertAck byte = 0x1a // uvarint epoch, uvarint seq, per-backup name+ok list
+	frameStatusRes byte = 0x1b // uvarint epoch, role byte, uvarint lastSeq
+	frameOpsRes    byte = 0x1c // uvarint count, then (uvarint seq, table, row) entries
 )
 
 // Protocol versions, negotiated per connection by frameHello. Version 1 is
@@ -76,18 +90,31 @@ const (
 // a replacement. Servers clamp the requested version to what they speak;
 // old servers answer the unknown hello with an in-band frameError, which
 // clients take as "v1" — both directions degrade without breaking.
+// Version 3 adds the replicated-write frames (insert, replicate,
+// configure, status, ops): a server only honors them on a connection
+// that negotiated v3, so pre-v3 servers answer them with the in-band
+// unknown-frame error and the fleet layer surfaces ErrReadOnly instead
+// of corrupting an old shard.
 const (
 	ProtocolV1     = 1
 	ProtocolV2     = 2
-	ProtocolLatest = ProtocolV2
+	ProtocolV3     = 3
+	ProtocolLatest = ProtocolV3
 )
 
 // Error kinds carried by frameError. Query-level rejections are part of
 // the result (the reference executor would reject too) and are never
-// retried; transport-level failures are.
+// retried; transport-level failures are. The replication kinds (fenced,
+// lagging, read-only) are catalog signals the fleet layer acts on — a
+// fenced write refreshes the replica catalog and retries at the new
+// primary, a lagging replica is pulled from the read rotation until
+// replay catches it up.
 const (
 	errKindQuery      byte = 0 // backend rejected the request
 	errKindNoInstance byte = 1 // maps back to wrapper.ErrNoInstanceAccess
+	errKindFenced     byte = 2 // write carried a stale epoch, or target is not primary
+	errKindLagging    byte = 3 // replica is behind the primary's op sequence
+	errKindReadOnly   byte = 4 // backend accepts no writes
 )
 
 // DefaultMaxFrame bounds a frame payload. Row batches are cut well below
@@ -129,6 +156,26 @@ type RemoteError struct {
 
 // Error implements error.
 func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+// ErrFenced marks a write rejected by the epoch fence: the request carried
+// a stale epoch, or reached a replica that is no longer (or not yet) the
+// primary. The fleet layer refreshes its catalog and retries at the
+// current primary; a stale coordinator can never make a demoted replica
+// diverge.
+var ErrFenced = errors.New("transport: write fenced")
+
+// ErrLagging marks a replicate or op-log request a replica cannot serve
+// in sequence: the replica is behind (a gap in the op stream) or the
+// primary has trimmed the requested range. The fleet layer keeps such a
+// replica out of the read rotation and replays it from the primary's op
+// log.
+var ErrLagging = errors.New("transport: replica lagging")
+
+// ErrReadOnly marks a write addressed at something that cannot accept it:
+// a backend without an insert face, a replica speaking a pre-v3 protocol,
+// or a client built without a replica catalog (NewClient instead of
+// NewReplicatedClient).
+var ErrReadOnly = errors.New("transport: backend is read-only")
 
 // decodeColumnarFrame decodes a frameRowsCol payload as the client does:
 // any malformation — truncated dictionary, out-of-range index, runs that

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -493,5 +494,150 @@ func TestConcurrentClientNoLeak(t *testing.T) {
 	}
 	if _, err := c.Execute(queries[0]); !errors.Is(err, ErrClientClosed) {
 		t.Errorf("closed client returned %v, want ErrClientClosed", err)
+	}
+}
+
+// gateBackend parks every Execute until `need` of them are in flight at
+// once — operations that reached the server hold their connections, so
+// the rest of the client's concurrency can only proceed on fresh dials.
+type gateBackend struct {
+	wrapper.SourceExecutor
+	arrivals atomic.Int32
+	need     int32
+	release  chan struct{}
+	once     sync.Once
+}
+
+func (b *gateBackend) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+	if b.arrivals.Add(1) >= b.need {
+		b.once.Do(func() { close(b.release) })
+	}
+	<-b.release
+	return b.SourceExecutor.Execute(stmt)
+}
+
+// TestRetryBackoffUnderPoolExhaustion covers the client's behavior when a
+// replica's connections cannot be had: dials that fail are retried with
+// exponential backoff until the attempt budget runs out, and a pool
+// under more concurrency than it can hold keeps every operation moving on
+// fresh dials instead of deadlocking on the idle channel.
+func TestRetryBackoffUnderPoolExhaustion(t *testing.T) {
+	db := testDB(t)
+	gate := &gateBackend{
+		SourceExecutor: wrapper.NewFullAccessSource(db),
+		need:           4,
+		release:        make(chan struct{}),
+	}
+	srv := NewServer(gate)
+
+	// Phase 1: the endpoint refuses the first two dials. The operation must
+	// survive on its third attempt, and the backoff sleeps (2ms, then 4ms)
+	// put a floor under the elapsed time.
+	var failsLeft atomic.Int32
+	failsLeft.Store(2)
+	gated := func() (net.Conn, error) {
+		if failsLeft.Add(-1) >= 0 {
+			return nil, errors.New("injected dial failure")
+		}
+		return LoopbackDialer(srv)()
+	}
+	c, err := NewClient([]Dialer{gated}, Options{
+		MaxAttempts: 4, RetryBackoff: 2 * time.Millisecond, PoolSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping across dial failures: %v", err)
+	}
+	if took := time.Since(start); took < 6*time.Millisecond {
+		t.Errorf("retries took %v, backoff (2ms+4ms) not applied", took)
+	}
+	st := c.Stats()
+	if st.Retries != 2 {
+		t.Errorf("Retries = %d, want 2", st.Retries)
+	}
+
+	// Phase 2: exhaust the pool. One idle slot, 16 concurrent operations,
+	// and a server gate that parks executes until 4 are in flight at once
+	// — operations beyond the pooled connection must dial fresh and
+	// complete; none may block forever on a slot.
+	stmt := mustParse(t, "SELECT title FROM movie WHERE movie_id = 7")
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Execute(stmt); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("operations deadlocked under pool exhaustion")
+	}
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent execute: %v", err)
+	}
+	if got := c.Stats().Dials; got < 4 {
+		t.Errorf("Dials = %d; exhausted pool should have forced fresh dials", got)
+	}
+	c.Close()
+}
+
+// TestHedgedReadRacesReplicaDyingMidFrame points the primary attempt at a
+// replica that is both slow and doomed to die partway through its row
+// stream. The hedge must win on the healthy replica with a complete
+// result, and the dying loser's attempt must unwind without leaking a
+// goroutine.
+func TestHedgedReadRacesReplicaDyingMidFrame(t *testing.T) {
+	db := testDB(t)
+	src := wrapper.NewFullAccessSource(db)
+	baseline := runtime.NumGoroutine()
+
+	dying := NewServer(&delayBackend{SourceExecutor: src, delay: 50 * time.Millisecond})
+	dying.BatchRows = 16 // many frames, so the byte budget cuts mid-stream
+	doomed := func() (net.Conn, error) {
+		cl, sv := net.Pipe()
+		go dying.ServeConn(sv)
+		return &limitConn{Conn: cl, remaining: 700}, nil
+	}
+	healthy := NewServer(src)
+	c, err := NewClient([]Dialer{doomed, LoopbackDialer(healthy)}, Options{
+		Hedge: true, HedgeFixedDelay: 5 * time.Millisecond,
+		MaxAttempts: 2, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stmt := mustParse(t, "SELECT title, year FROM movie ORDER BY movie_id")
+	want, _ := src.Execute(stmt)
+	res, err := c.Execute(stmt) // starts on replica 0: slow, dies mid-frame
+	if err != nil {
+		t.Fatalf("hedged execute: %v", err)
+	}
+	sameResult(t, res, want)
+	st := c.Stats()
+	if st.Hedges == 0 {
+		t.Errorf("hedge never launched: %+v", st)
+	}
+	if st.HedgeWins == 0 {
+		t.Errorf("healthy replica should have won the race: %+v", st)
+	}
+	c.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Errorf("%d goroutines leaked by the dying loser", g-baseline)
 	}
 }

@@ -129,6 +129,15 @@ type StatisticsProvider interface {
 	ColumnStatistics(table, column string) (*relational.ColumnStats, error)
 }
 
+// Inserter is the write face of a backend: population-phase row inserts.
+// Like relational.Table.Insert, implementations need not tolerate Insert
+// racing queries on the same data — callers (the sharded coordinator, the
+// transport server's replication path) serialize writes and quiesce reads
+// around them. Backends without it are read-only to coordinators.
+type Inserter interface {
+	Insert(table string, row relational.Row) error
+}
+
 // ExecuteExists reports whether the statement yields at least one tuple on
 // the source, using the cheapest available path: the source's own
 // existence mode when it implements ExistsExecutor, otherwise a LIMIT 1
@@ -265,6 +274,15 @@ func (s *FullAccessSource) ColumnStatistics(table, column string) (*relational.C
 		return nil, fmt.Errorf("wrapper: unknown table %s", table)
 	}
 	return t.Stats(column)
+}
+
+// Insert implements Inserter directly on the owned database. It belongs
+// to the population phase — the engine's equality indexes and statistics
+// versions track the mutation (see internal/sql's invalidation rules),
+// but the full-text relevance index is built once at setup and does not
+// fold new rows in, exactly like the owned-shards sharded source.
+func (s *FullAccessSource) Insert(table string, row relational.Row) error {
+	return s.db.Insert(table, row)
 }
 
 // Execute implements Source directly on the engine.

@@ -122,11 +122,21 @@ type (
 	// coordinates (local sources and remote transport clients alike).
 	ShardBackend = shard.Backend
 	// RemoteClient executes against one remote shard (a questshardd
-	// process) with connection pooling, retries and hedged reads.
+	// process) with connection pooling, retries and hedged reads. Clients
+	// over a replica group additionally carry the fleet surface: Insert
+	// (the replicated write path), FleetStatus, ProbeNow.
 	RemoteClient = transport.Client
-	// RemoteClientStats snapshots a remote client's transport counters
-	// (attempts, retries, hedges, hedge wins, dials).
+	// RemoteClientStats snapshots a remote client's transport counters:
+	// the read path (attempts, retries, hedges, hedge wins, dials, bytes)
+	// and the replication path (inserts, replication acks, fenced writes,
+	// probes, probe failures, demotions, promotions, replays).
 	RemoteClientStats = transport.ClientStats
+	// FleetStatus snapshots a replicated client's replica catalog: the
+	// fenced epoch, the elected primary, and each replica's rotation
+	// membership and applied sequence.
+	FleetStatus = transport.FleetStatus
+	// ReplicaStatus is one replica's row in a FleetStatus.
+	ReplicaStatus = transport.ReplicaStatus
 	// TransportOptions tunes the remote transport: retry policy, pool
 	// size, timeouts, hedged-read arming.
 	TransportOptions = transport.Options
@@ -238,11 +248,20 @@ func PartitionDatabase(db *Database, n int) ([]*Database, error) {
 // errNoShards rejects an empty remote topology.
 var errNoShards = errors.New("quest: no remote shards given")
 
+// ErrReadOnlyTopology is returned (wrapped — test with errors.Is) by
+// ShardedSource.Insert when the topology has no write surface: a backend
+// without an insert path, or a remote fleet whose servers predate the
+// replicated-write protocol.
+var ErrReadOnlyTopology = shard.ErrReadOnlyTopology
+
 // RemoteOptions configures a coordinator over remote shards.
 type RemoteOptions struct {
 	// Transport tunes every shard client: retry policy, connection pool
-	// size, timeouts, and hedged reads (Transport.Hedge arms racing a
-	// second replica when a shard exceeds its recent latency quantile).
+	// size, timeouts, hedged reads (Transport.Hedge arms racing a second
+	// replica when a shard exceeds its recent latency quantile), and
+	// fleet health probing (Transport.ProbeInterval starts a background
+	// prober per shard group; Transport.ProbeFailThreshold failures
+	// demote a replica, promoting a backup when it was the primary).
 	Transport TransportOptions
 	// AssumeHashRouting declares the remote shards hold partitions
 	// produced by PartitionDatabase with the same shard count (questshardd
@@ -256,11 +275,16 @@ type RemoteOptions struct {
 
 // DialShards connects a sharded coordinator source to remote shard
 // servers (questshardd). shardAddrs[i] lists the address of shard i's
-// server, plus any replicas of it — hedged reads race the replica list.
-// The returned source implements the full wrapper surface: generated SQL
-// ships as pushdown fragments, rows stream back in length-prefixed
-// frames, statistics and relevance evidence are merged shard summaries.
-// Close it to release the pooled connections.
+// server, plus any replicas of it: hedged reads race the replica list,
+// and each group gets a replica catalog — writes (ShardedSource.Insert)
+// route to an elected, epoch-fenced primary that replicates to its
+// backups synchronously, health probes demote dead replicas and fail
+// over the primary, and rejoining replicas are replayed from the
+// primary's op log. The returned source implements the full wrapper
+// surface: generated SQL ships as pushdown fragments, rows stream back
+// in length-prefixed frames, statistics and relevance evidence are
+// merged shard summaries. Close it to release the pooled connections
+// and stop the probers.
 func DialShards(schema *Schema, name string, shardAddrs [][]string, ropt RemoteOptions) (*ShardedSource, error) {
 	if len(shardAddrs) == 0 {
 		return nil, errNoShards
