@@ -5,9 +5,9 @@ GO       ?= go
 PKGS     ?= ./...
 BENCH    ?= .
 SEED     ?= 42
-SNAPSHOT ?= BENCH_pr7.json
+SNAPSHOT ?= BENCH_pr8.json
 
-.PHONY: all build test race vet bench bench-smoke fuzz-smoke conformance conformance-remote conformance-faults snapshot ci clean
+.PHONY: all build test race vet bench bench-smoke fuzz-smoke conformance conformance-remote conformance-faults conformance-durability snapshot ci clean
 
 all: build
 
@@ -60,16 +60,26 @@ conformance-remote:
 conformance-faults:
 	$(GO) test -race -count=1 -run 'ConformanceFaults|FaultFailoverWithinProbeWindow|FaultNoGoroutineLeak' ./internal/conformance
 
+# Durability conformance: WAL-backed replicated shard groups at 1/3/7
+# shards with a backup, the primary, and a whole shard group killed
+# mid-insert-batch and restarted from their WAL directories alone —
+# recovery, duplicate-free rejoin and every degraded topology held
+# byte-identical to FullAccessSource; plus the wal package's
+# torn-write/corruption codec tests. All under the race detector.
+conformance-durability:
+	$(GO) test -race -count=1 -run ConformanceDurability ./internal/conformance
+	$(GO) test -race -count=1 ./internal/wal
+
 # Machine-readable experiment snapshot via questbench: all experiment
 # tables including the E9 executor/planner, prune-path, E10
 # statistics/join-order, E11 sharded-execution, E12 remote-transport/
-# hedged-read, E13 streaming/columnar and E14 replication/failover
-# benchmarks. Committed as BENCH_pr7.json so the perf trajectory is
-# diffable per PR; override SNAPSHOT to write elsewhere.
+# hedged-read, E13 streaming/columnar, E14 replication/failover and E15
+# shard-durability benchmarks. Committed as BENCH_pr8.json so the perf
+# trajectory is diffable per PR; override SNAPSHOT to write elsewhere.
 snapshot:
 	$(GO) run ./cmd/questbench -seed $(SEED) -json $(SNAPSHOT)
 
-ci: build vet test race conformance conformance-remote conformance-faults bench-smoke fuzz-smoke
+ci: build vet test race conformance conformance-remote conformance-faults conformance-durability bench-smoke fuzz-smoke
 
 clean:
 	rm -f BENCH_*.json

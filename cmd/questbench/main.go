@@ -2,9 +2,10 @@
 // plus the E9 executor/planner scorecard, the E10 statistics/join-order
 // scorecard, the E11 sharded-execution scorecard, the E12 remote
 // transport / hedged-read scorecard, the E13 streaming/columnar
-// scorecard and the E14 replication/failover scorecard) and prints the
-// tables recorded in EXPERIMENTS.md. Each experiment is a deterministic
-// function of the seed, so re-running reproduces the report.
+// scorecard, the E14 replication/failover scorecard and the E15 shard
+// durability scorecard) and prints the tables recorded in EXPERIMENTS.md.
+// Each experiment is a deterministic function of the seed, so re-running
+// reproduces the report.
 //
 // With -json the same tables are also written as a machine-readable
 // BENCH_*.json snapshot (one object per table: title, headers, rows, plus
@@ -13,7 +14,7 @@
 //
 // Usage:
 //
-//	questbench [-exp all|e1..e14] [-seed N] [-n N] [-json BENCH_42.json]
+//	questbench [-exp all|e1..e15] [-seed N] [-n N] [-json BENCH_42.json]
 package main
 
 import (
@@ -95,7 +96,7 @@ func writeSnapshot(path string) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, e1..e14)")
+	exp := flag.String("exp", "all", "experiment to run (all, e1..e15)")
 	flag.Parse()
 
 	runners := map[string]func(){
@@ -113,9 +114,10 @@ func main() {
 		"e12": e12Remote,
 		"e13": e13Streaming,
 		"e14": e14Failover,
+		"e15": e15Durability,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14"} {
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"} {
 			runners[name]()
 		}
 	} else {
@@ -1419,4 +1421,196 @@ func e14Failover() {
 		g.killAll()
 	}
 	emit(tbl2)
+}
+
+// e15Durability: the PR 8 shard-durability scorecard. E15a sweeps the
+// group-commit grid — batch size, linger, fsync on/off — with eight
+// concurrent appenders mirroring the server's write discipline (sequence
+// assignment and submission under one mutex, durability awaited outside
+// it), showing fsyncs amortize across writers while per-append commit
+// latency stays bounded. E15b times a snapshot checkpoint against each
+// dataset, the cost the SnapshotEvery policy pays to truncate the log.
+// E15c measures cold recovery — reopen a directory with a schema-only
+// base — as the replayed log tail grows, the restart-time cost of
+// checkpointing rarely.
+func e15Durability() {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: 1})
+	ts := db.Schema.Table("movie")
+	if ts == nil {
+		panic("e15: no movie table")
+	}
+
+	tbl := &eval.Table{
+		Title:   "E15a — group commit grid: 8 writers, 2000 appends (imdb movie rows)",
+		Headers: []string{"fsync", "batch", "wait", "batches", "ops/batch", "fsyncs", "avg-commit-us", "p99-commit-us", "appends/sec"},
+	}
+	const total, writers = 2000, 8
+	for _, c := range []struct {
+		fsync bool
+		batch int
+		wait  time.Duration
+	}{
+		{true, 1, 0}, {true, 16, 0}, {true, 64, 200 * time.Microsecond},
+		{false, 1, 0}, {false, 16, 0}, {false, 64, 200 * time.Microsecond},
+	} {
+		dir, err := os.MkdirTemp("", "questbench-e15a-*")
+		if err != nil {
+			panic(err)
+		}
+		// Empty base: E15a measures the commit path, not replay.
+		base, err := quest.NewDatabase(db.Name, db.Schema)
+		if err != nil {
+			panic(err)
+		}
+		l, _, err := quest.OpenShardWAL(dir, base, quest.WALOptions{
+			BatchSize: c.batch, MaxWait: c.wait, NoFsync: !c.fsync,
+		})
+		if err != nil {
+			panic(err)
+		}
+		var (
+			mu   sync.Mutex
+			seqv uint64
+			next int64 = -1
+			wg   sync.WaitGroup
+		)
+		lat := make([]time.Duration, total)
+		start := time.Now()
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= total {
+						return
+					}
+					row := benchRow(ts, i)
+					t0 := time.Now()
+					mu.Lock()
+					seqv++
+					cm := l.Append(seqv, ts.Name, row)
+					mu.Unlock()
+					if err := cm.Wait(); err != nil {
+						panic(err)
+					}
+					lat[i] = time.Since(t0)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		st := l.Stats()
+		l.Close()
+		os.RemoveAll(dir)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		avg := time.Duration(0)
+		for _, d := range lat {
+			avg += d
+		}
+		avg /= time.Duration(len(lat))
+		tbl.AddRow(fmt.Sprint(c.fsync), fmt.Sprint(c.batch), c.wait.String(),
+			fmt.Sprint(st.Batches),
+			fmt.Sprintf("%.1f", float64(st.Appends)/float64(st.Batches)),
+			fmt.Sprint(st.Fsyncs),
+			fmt.Sprintf("%.1f", float64(avg.Microseconds())),
+			fmt.Sprintf("%.1f", float64(lat[total*99/100].Microseconds())),
+			fmt.Sprintf("%.0f", float64(total)/elapsed.Seconds()))
+	}
+	emit(tbl)
+
+	tbl2 := &eval.Table{
+		Title:   "E15b — snapshot checkpoint cost per dataset (write temp + fsync + rename + truncate)",
+		Headers: []string{"dataset", "rows", "snapshot-ms", "snapshot-bytes"},
+	}
+	for _, d := range []struct {
+		name  string
+		build func() *quest.Database
+	}{
+		{"mondial", func() *quest.Database { return quest.BuildMondial(quest.DatasetConfig{Seed: *seed, Scale: 1}) }},
+		{"imdb", func() *quest.Database { return quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: 1}) }},
+		{"dblp", func() *quest.Database { return quest.BuildDBLP(quest.DatasetConfig{Seed: *seed, Scale: 1}) }},
+	} {
+		db2 := d.build()
+		copies, err := shardpkg.Partition(db2, 1)
+		if err != nil {
+			panic(err)
+		}
+		dir, err := os.MkdirTemp("", "questbench-e15b-*")
+		if err != nil {
+			panic(err)
+		}
+		l, _, err := quest.OpenShardWAL(dir, copies[0], quest.WALOptions{})
+		if err != nil {
+			panic(err)
+		}
+		const rounds = 3
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if err := l.Checkpoint(); err != nil {
+				panic(err)
+			}
+		}
+		per := time.Since(start) / rounds
+		fi, err := os.Stat(dir + "/snapshot")
+		if err != nil {
+			panic(err)
+		}
+		l.Close()
+		os.RemoveAll(dir)
+		tbl2.AddRow(d.name, fmt.Sprint(db2.TotalRows()),
+			fmt.Sprintf("%.2f", float64(per.Microseconds())/1000), fmt.Sprint(fi.Size()))
+	}
+	emit(tbl2)
+
+	tbl3 := &eval.Table{
+		Title:   "E15c — cold recovery vs log length (imdb base snapshot + replayed tail)",
+		Headers: []string{"log-ops", "replayed", "recovery-ms", "rows-recovered"},
+	}
+	for _, logOps := range []int{100, 1000, 5000} {
+		copies, err := shardpkg.Partition(db, 1)
+		if err != nil {
+			panic(err)
+		}
+		dir, err := os.MkdirTemp("", "questbench-e15c-*")
+		if err != nil {
+			panic(err)
+		}
+		wopt := quest.WALOptions{NoFsync: true}
+		l, rec, err := quest.OpenShardWAL(dir, copies[0], wopt)
+		if err != nil {
+			panic(err)
+		}
+		waits := make([]func() error, 0, 128)
+		for i := 0; i < logOps; i++ {
+			row := benchRow(ts, i)
+			if err := rec.DB.Insert(ts.Name, row); err != nil {
+				panic(err)
+			}
+			waits = append(waits, l.Append(uint64(i+1), ts.Name, row).Wait)
+			if len(waits) == cap(waits) || i == logOps-1 {
+				for _, wait := range waits {
+					if err := wait(); err != nil {
+						panic(err)
+					}
+				}
+				waits = waits[:0]
+			}
+		}
+		l.Close()
+		empty, err := quest.NewDatabase(db.Name, db.Schema)
+		if err != nil {
+			panic(err)
+		}
+		l2, rec2, err := quest.OpenShardWAL(dir, empty, wopt)
+		if err != nil {
+			panic(err)
+		}
+		rows := rec2.DB.TotalRows()
+		l2.Close()
+		os.RemoveAll(dir)
+		tbl3.AddRow(fmt.Sprint(logOps), fmt.Sprint(rec2.ReplayedOps),
+			fmt.Sprintf("%.2f", float64(rec2.Elapsed.Microseconds())/1000), fmt.Sprint(rows))
+	}
+	emit(tbl3)
 }

@@ -25,6 +25,19 @@
 // -repl-timeout and -max-oplog tune that path. Reads rotate across the
 // group, and hedged reads get a second target.
 //
+// With -wal-dir the shard is durable: every replicated write is appended
+// to a group-committed write-ahead log in that directory before it is
+// acked, and periodic snapshots bound the log. A crashed process
+// restarted with the same -wal-dir recovers its data and its replication
+// sequence from disk (a torn final record — a crash mid group-commit —
+// is discarded cleanly), resumes where it left off, and rejoins its
+// replica group with the missed tail replayed from the primary and zero
+// duplicate applies. -fsync, -commit-batch, -commit-wait and
+// -snapshot-interval tune the commit and checkpoint policy. On a fresh
+// directory the generated partition is snapshotted at startup; on
+// restart the recovered snapshot supersedes the generated rows, so the
+// writes the process accepted are never lost to a rebuild.
+//
 // The served backend is a full-access wrapper over the partition: fragment
 // execution uses the shard-local planner and indexes, existence probes use
 // the streaming existence mode, and the statistics/relevance faces
@@ -37,10 +50,12 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	quest "repro"
 	"repro/internal/shard"
 	"repro/internal/transport"
+	"repro/internal/wal"
 	"repro/internal/wrapper"
 )
 
@@ -57,6 +72,16 @@ func main() {
 			"deadline for one synchronous replicate round trip to a backup")
 		maxOplog = flag.Int("max-oplog", transport.DefaultMaxOpLog,
 			"replicated ops retained in memory for replay-on-rejoin")
+		walDir = flag.String("wal-dir", "",
+			"durability directory: group-committed WAL + snapshots; restart with the same directory to recover")
+		fsync = flag.Bool("fsync", true,
+			"fsync each group commit (with -wal-dir); false trades crash durability for latency")
+		snapInterval = flag.Int("snapshot-interval", 4096,
+			"ops between snapshots that truncate the WAL (with -wal-dir); 0 disables periodic snapshots")
+		commitBatch = flag.Int("commit-batch", 0,
+			"max appends folded into one group commit (with -wal-dir); 0 selects the default")
+		commitWait = flag.Duration("commit-wait", 0,
+			"how long a group commit lingers for more appends (with -wal-dir); 0 never delays a lone writer")
 	)
 	flag.Parse()
 
@@ -86,11 +111,32 @@ func main() {
 		db = parts[*index]
 	}
 
+	var shardWAL *wal.Log
+	if *walDir != "" {
+		l, rec, err := wal.Open(*walDir, db, wal.Options{
+			BatchSize:     *commitBatch,
+			MaxWait:       *commitWait,
+			NoFsync:       !*fsync,
+			SnapshotEvery: *snapInterval,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "questshardd: wal: %v\n", err)
+			os.Exit(1)
+		}
+		shardWAL, db = l, rec.DB
+		fmt.Printf("questshardd: wal %s recovered seq %d (%d ops replayed, snapshot=%v, torn=%d bytes) in %v\n",
+			*walDir, rec.LastSeq, rec.ReplayedOps, rec.FromSnapshot, rec.TornBytes, rec.Elapsed.Round(time.Millisecond))
+	}
+
 	src := wrapper.NewFullAccessSource(db)
 	srv := transport.NewServer(src)
 	srv.BatchRows = *batch
 	srv.ReplTimeout = *replTO
 	srv.MaxOpLog = *maxOplog
+	if shardWAL != nil {
+		srv.AttachWAL(shardWAL) // resumes replication at the recovered sequence
+		defer shardWAL.Close()
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "questshardd: listen: %v\n", err)

@@ -12,7 +12,7 @@
 // Usage:
 //
 //	queststats [-db imdb|mondial|dblp] [-scale N] [-seed N]
-//	           [-section all|terms|graph|fulltext|indexes|stats|mi|fleet] [-sql "SELECT ..."]
+//	           [-section all|terms|graph|fulltext|indexes|stats|mi|fleet|durability] [-sql "SELECT ..."]
 //
 // The stats section dumps the per-table/per-column statistics snapshots
 // the SQL planner estimates from (distinct counts, most common values,
@@ -26,6 +26,12 @@
 // resulting fleet topology and the client's replication counters. It is the
 // inspection view for the same counters a production coordinator exposes
 // through RemoteClientStats.
+//
+// The durability section opens a shard WAL over a scratch directory, runs
+// replicated writes through it (group commits, fsyncs, policy snapshots),
+// restarts from the directory alone, and then drives a burst of pipelined
+// appends against the recovered log — reporting the commit, snapshot and
+// recovery counters a durable questshardd exposes through DurabilityStats.
 package main
 
 import (
@@ -53,7 +59,7 @@ func main() {
 		dbName  = flag.String("db", "imdb", "dataset: imdb, mondial or dblp")
 		scale   = flag.Int("scale", 1, "dataset scale factor")
 		seed    = flag.Int64("seed", 42, "dataset seed")
-		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, indexes, stats, mi, fleet")
+		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, indexes, stats, mi, fleet, durability")
 		sqlText = flag.String("sql", "", "explain this SQL query and exit")
 	)
 	flag.Parse()
@@ -228,6 +234,13 @@ func main() {
 	if show("fleet") {
 		if err := fleetSection(db); err != nil {
 			fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if show("durability") {
+		if err := durabilitySection(db); err != nil {
+			fmt.Fprintf(os.Stderr, "durability: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -456,6 +469,143 @@ func fleetSection(db *quest.Database) error {
 	}
 	fmt.Println(ctbl)
 	return nil
+}
+
+// durabilitySection opens a shard WAL over a scratch directory, runs
+// writes through a WAL-backed replica, restarts from the directory alone,
+// then drives a pipelined append burst against the recovered log — the
+// scripted tour of the durability counters (DurabilityStats) and the
+// recovery surface (WALRecovery).
+func durabilitySection(db *quest.Database) error {
+	dir, err := os.MkdirTemp("", "queststats-wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	copies, err := quest.PartitionDatabase(db, 1)
+	if err != nil {
+		return err
+	}
+	wopt := quest.WALOptions{BatchSize: 16, MaxWait: time.Millisecond, SnapshotEvery: 10}
+	l, rec, err := quest.OpenShardWAL(dir, copies[0], wopt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== shard durability — WAL over %s (fsync on, snapshot every %d ops) ==\n",
+		dir, wopt.SnapshotEvery)
+	fmt.Printf("  * fresh directory: base snapshot of %d rows written at open\n", rec.DB.TotalRows())
+
+	// Writes ride the replicated server path: append → group commit →
+	// fsync → ack, with the checkpoint policy snapshotting along the way.
+	dnet := &demoNet{
+		srvs:  map[string]*transport.Server{},
+		down:  map[string]bool{},
+		conns: map[string][]net.Conn{},
+	}
+	defer dnet.killAll()
+	srv := transport.NewServer(wrapper.NewFullAccessSource(rec.DB))
+	srv.AttachWAL(l)
+	dnet.srvs["durable-0"] = srv
+	client, err := transport.NewReplicatedClient([]transport.ReplicaSpec{
+		{Name: "durable-0", Dial: func() (net.Conn, error) { return dnet.dial("durable-0") }},
+	}, transport.Options{MaxAttempts: 3, RetryBackoff: time.Millisecond})
+	if err != nil {
+		l.Close()
+		return err
+	}
+	ts := db.Schema.Tables()[0]
+	const writes = 24
+	for i := 0; i < writes; i++ {
+		if err := client.Insert(ts.Name, fleetRow(ts, 10_000+i)); err != nil {
+			client.Close()
+			l.Close()
+			return fmt.Errorf("insert %d: %w", i, err)
+		}
+	}
+	client.Close()
+	fmt.Printf("  * %d replicated writes acked after reaching disk\n", writes)
+	fmt.Println()
+	fmt.Println(walCounterTable("durability counters (live shard, server write path)", l.Stats()))
+
+	// Restart from the directory alone: every acked write was on disk
+	// before its ack, so closing the log is byte-equivalent to a crash.
+	l.Close()
+	empty, err := quest.NewDatabase(db.Name, db.Schema)
+	if err != nil {
+		return err
+	}
+	l2, rec2, err := quest.OpenShardWAL(dir, empty, wopt)
+	if err != nil {
+		return err
+	}
+	defer l2.Close()
+	rtbl := &eval.Table{
+		Title:   "recovery (restart from the WAL directory, schema-only base)",
+		Headers: []string{"field", "value"},
+	}
+	for _, row := range [][2]string{
+		{"recovered-seq", fmt.Sprint(rec2.LastSeq)},
+		{"replayed-ops", fmt.Sprint(rec2.ReplayedOps)},
+		{"from-snapshot", fmt.Sprint(rec2.FromSnapshot)},
+		{"torn-bytes-discarded", fmt.Sprint(rec2.TornBytes)},
+		{"rows-recovered", fmt.Sprint(rec2.DB.TotalRows())},
+		{"elapsed", rec2.Elapsed.Round(time.Microsecond).String()},
+	} {
+		rtbl.AddRow(row[0], row[1])
+	}
+	fmt.Println(rtbl)
+
+	// A pipelined burst against the recovered log shows group commit
+	// amortizing fsyncs: many appends in flight, far fewer batches.
+	const burst = 64
+	seq := rec2.LastSeq
+	waits := make([]func() error, 0, burst)
+	for i := 0; i < burst; i++ {
+		row := fleetRow(ts, 20_000+i)
+		if err := rec2.DB.Insert(ts.Name, row); err != nil {
+			return err
+		}
+		seq++
+		waits = append(waits, l2.Append(seq, ts.Name, row).Wait)
+	}
+	for _, wait := range waits {
+		if err := wait(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("  * %d pipelined appends committed on the recovered log\n\n", burst)
+	fmt.Println(walCounterTable("durability counters (recovered log, pipelined burst)", l2.Stats()))
+	return nil
+}
+
+// walCounterTable renders one DurabilityStats snapshot.
+func walCounterTable(title string, st quest.DurabilityStats) *eval.Table {
+	tbl := &eval.Table{
+		Title:   title,
+		Headers: []string{"counter", "value"},
+	}
+	avgWait := time.Duration(0)
+	if st.Batches > 0 {
+		avgWait = time.Duration(st.CommitWaitNs / st.Batches)
+	}
+	for _, row := range [][2]string{
+		{"appends", fmt.Sprint(st.Appends)},
+		{"group-commit-batches", fmt.Sprint(st.Batches)},
+		{"max-batch", fmt.Sprint(st.BatchMax)},
+		{"fsyncs", fmt.Sprint(st.Fsyncs)},
+		{"avg-commit-wait", avgWait.Round(time.Microsecond).String()},
+		{"bytes-appended", fmt.Sprint(st.BytesAppended)},
+		{"snapshots", fmt.Sprint(st.Snapshots)},
+		{"snapshot-time", time.Duration(st.SnapshotNs).Round(time.Microsecond).String()},
+		{"snapshot-failures", fmt.Sprint(st.SnapshotFailures)},
+		{"recovered-seq", fmt.Sprint(st.RecoveredSeq)},
+		{"recovery-replayed-ops", fmt.Sprint(st.RecoveryReplayedOps)},
+		{"recovery-time", time.Duration(st.RecoveryNs).Round(time.Microsecond).String()},
+	} {
+		tbl.AddRow(row[0], row[1])
+	}
+	return tbl
 }
 
 // plannerCounterTable renders the SQL planning layer's counters, including

@@ -1,0 +1,229 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/relational"
+	"repro/internal/shard"
+	"repro/internal/transport"
+	"repro/internal/wal"
+	"repro/internal/wrapper"
+)
+
+// durableFleet is a replicatedFleet whose replicas are WAL-backed: every
+// server logs its applies to its own directory, so a crash-then-restart
+// rebuilds the replica from disk alone (schema-only base, no copy of the
+// reference data) and rejoins through op-log replay.
+type durableFleet struct {
+	*replicatedFleet
+	dirs   [][]string // [shard][replica] WAL directory
+	logs   [][]*wal.Log
+	schema *relational.Schema
+	name   string
+	wopt   wal.Options
+}
+
+// newDurableFleet mirrors newReplicatedFleet with a WAL under every
+// replica. Partition is deterministic, so replica copies are identical;
+// each replica's first Open snapshots its partition into its directory.
+func newDurableFleet(t testing.TB, db *relational.Database, ns, r int, opt transport.Options, wopt wal.Options) *durableFleet {
+	t.Helper()
+	f := &durableFleet{
+		replicatedFleet: &replicatedFleet{net: newFaultNet()},
+		schema:          db.Schema,
+		name:            db.Name,
+		wopt:            wopt,
+	}
+	f.dbs = make([][]*relational.Database, ns)
+	f.srvs = make([][]*transport.Server, ns)
+	f.dirs = make([][]string, ns)
+	f.logs = make([][]*wal.Log, ns)
+	for rep := 0; rep < r; rep++ {
+		parts, err := shard.Partition(db, ns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := 0; si < ns; si++ {
+			dir := t.TempDir()
+			l, rec, err := wal.Open(dir, parts[si], wopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := transport.NewServer(wrapper.NewFullAccessSource(rec.DB))
+			srv.AttachWAL(l)
+			f.net.add(replicaName(si, rep), srv)
+			f.dbs[si] = append(f.dbs[si], rec.DB)
+			f.srvs[si] = append(f.srvs[si], srv)
+			f.dirs[si] = append(f.dirs[si], dir)
+			f.logs[si] = append(f.logs[si], l)
+		}
+	}
+	backends := make([]shard.Backend, ns)
+	for si := 0; si < ns; si++ {
+		specs := make([]transport.ReplicaSpec, r)
+		for rep := 0; rep < r; rep++ {
+			name := replicaName(si, rep)
+			specs[rep] = transport.ReplicaSpec{Name: name, Dial: f.net.dialer(name)}
+		}
+		c, err := transport.NewReplicatedClient(specs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.clients = append(f.clients, c)
+		backends[si] = c
+	}
+	f.src = shard.NewFromBackends(db.Name, db.Schema, backends, shard.Options{AssumeHashRouting: true})
+	t.Cleanup(func() {
+		f.src.Close()
+		f.net.killAll()
+		for _, group := range f.logs {
+			for _, l := range group {
+				l.Close()
+			}
+		}
+	})
+	return f
+}
+
+// restartFromWAL rebuilds replica (si, rep) purely from its WAL
+// directory — the process-crash restart: the old log is closed (a real
+// crash just abandons it; torn-tail handling is pinned by the wal
+// package's own tests), and the new server starts from a schema-only
+// base, recovering data and sequence off disk. AttachWAL seeds the
+// replication state; no RecoverReplicaState call.
+func (f *durableFleet) restartFromWAL(t *testing.T, si, rep int) *wal.Recovery {
+	t.Helper()
+	f.logs[si][rep].Close()
+	empty, err := relational.NewDatabase(f.name, f.schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := wal.Open(f.dirs[si][rep], empty, f.wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := transport.NewServer(wrapper.NewFullAccessSource(rec.DB))
+	srv.AttachWAL(l)
+	f.dbs[si][rep] = rec.DB
+	f.srvs[si][rep] = srv
+	f.logs[si][rep] = l
+	f.net.restart(replicaName(si, rep), srv)
+	return rec
+}
+
+// TestConformanceDurability is the crash-recovery differential suite: at
+// 1, 3 and 7 shard groups of three WAL-backed replicas each, it kills a
+// backup and then the primary mid-insert-batch, restarts each from its
+// WAL directory alone, and finally crashes an entire shard group at
+// once — holding every degraded, recovering and healed topology
+// byte-identical to the reference FullAccessSource. Run under the race
+// detector via `make conformance-durability`.
+func TestConformanceDurability(t *testing.T) {
+	const replicas = 3
+	for _, shards := range []int{1, 3, 7} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			db := conformanceDB(t)
+			ref := wrapper.NewFullAccessSource(db)
+			f := newDurableFleet(t, db, shards, replicas, transport.Options{
+				MaxAttempts:        6,
+				RetryBackoff:       time.Millisecond,
+				ProbeFailThreshold: 2,
+			}, wal.Options{
+				NoFsync:       true, // page-cache durability: plenty for an in-process crash model
+				SnapshotEvery: 25,   // exercise checkpoints on the live write path
+			})
+			queries := append(tableCases(), fuzzCases(977+int64(shards), 60)...)
+
+			// Healthy baseline over WAL-backed replicas: the durable write
+			// path must change nothing semantically.
+			runBatch(t, ref, f.src, queries)
+
+			// Scenario 1: a backup dies mid-insert-batch and restarts from
+			// its WAL directory. Recovery must land on the pre-crash
+			// sequence, rejoin must replay only the missed tail (a duplicate
+			// apply would blow the primary-key check and knock it back out),
+			// and the healed fleet stays byte-identical.
+			f.quiesce()
+			faultInsertBatch(t, db, f.replicatedFleet, 2000, func() { f.net.kill(replicaName(0, 1)) })
+			f.quiesce()
+			runBatch(t, ref, f.src, queries)
+			seqBefore := f.serverSeq(0, 1)
+			rec := f.restartFromWAL(t, 0, 1)
+			if rec.LastSeq != seqBefore {
+				t.Fatalf("backup recovered at seq %d, want %d", rec.LastSeq, seqBefore)
+			}
+			if !rec.FromSnapshot {
+				t.Fatal("backup recovery ignored its snapshot")
+			}
+			f.probeAll()
+			f.requireFullRotation(t)
+			runBatch(t, ref, f.src, queries)
+
+			// Scenario 2: the primary dies mid-insert-batch (the write fails
+			// over to a promoted backup inside the batch), then restarts from
+			// its WAL. Its recovered history is a prefix of the new
+			// primary's — same ops, same sequences — so replay reconciles it
+			// as a backup with zero duplicate applies.
+			f.quiesce()
+			faultInsertBatch(t, db, f.replicatedFleet, 2100, func() { f.net.kill(replicaName(0, 0)) })
+			st := f.clients[0].FleetStatus()
+			if st.Primary == replicaName(0, 0) {
+				t.Fatalf("dead primary still leads shard 0: %+v", st)
+			}
+			f.quiesce()
+			runBatch(t, ref, f.src, queries)
+			f.restartFromWAL(t, 0, 0)
+			f.probeAll()
+			f.probeAll() // first round may only demote the stale restartee
+			f.requireFullRotation(t)
+			runBatch(t, ref, f.src, queries)
+
+			// Scenario 3: the whole of shard group 0 crashes at once — no
+			// survivor holds the data in memory — and every replica restarts
+			// from disk. The group re-elects, takes writes again, and the
+			// topology stays byte-identical.
+			f.quiesce()
+			for rep := 0; rep < replicas; rep++ {
+				f.net.kill(replicaName(0, rep))
+			}
+			for rep := 0; rep < replicas; rep++ {
+				f.restartFromWAL(t, 0, rep)
+			}
+			f.probeAll()
+			faultInsertBatch(t, db, f.replicatedFleet, 2200, nil)
+			f.quiesce()
+			f.probeAll()
+			f.requireFullRotation(t)
+
+			// Recovery stats made it to the server surface.
+			for rep := 0; rep < replicas; rep++ {
+				ws, ok := f.srvs[0][rep].WALStats()
+				if !ok {
+					t.Fatalf("replica (0,%d) lost its WAL", rep)
+				}
+				if ws.RecoveredSeq == 0 {
+					t.Fatalf("replica (0,%d) recovered nothing: %+v", rep, ws)
+				}
+			}
+
+			// Final pass including probes that only exist post-insert.
+			queries = append(queries,
+				Query{SQL: "SELECT title FROM movie WHERE movie_id = 2205"},
+				Query{SQL: "SELECT COUNT(*) FROM movie WHERE genre = 'noir' AND year > 1969"},
+				Query{SQL: `SELECT movie.title, cast_info.role FROM movie
+					JOIN cast_info ON cast_info.movie_id = movie.movie_id
+					WHERE cast_info.cast_id >= 2000 ORDER BY cast_info.cast_id`, TotalOrder: true},
+			)
+			runBatch(t, ref, f.src, queries)
+		})
+	}
+}
+
+// serverSeq reads a replica's applied sequence straight off the server.
+func (f *durableFleet) serverSeq(si, rep int) uint64 {
+	_, _, seq := f.srvs[si][rep].ReplicationStatus()
+	return seq
+}

@@ -1,0 +1,287 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relational"
+	"repro/internal/wal"
+	"repro/internal/wrapper"
+)
+
+// walFleet is a testFleet whose replicas are WAL-backed: every server
+// has a log over its own directory, so a "restart" rebuilds the replica
+// from disk alone.
+type walFleet struct {
+	*testFleet
+	dirs   []string
+	logs   []*wal.Log
+	schema *relational.Schema
+}
+
+func newWALFleet(t *testing.T, r int, opt Options, wopt wal.Options) *walFleet {
+	t.Helper()
+	base := testDB(t)
+	wf := &walFleet{testFleet: &testFleet{net: newReplNet()}, schema: base.Schema}
+	specs := make([]ReplicaSpec, r)
+	for i := 0; i < r; i++ {
+		name := fmt.Sprintf("r%d", i)
+		dir := t.TempDir()
+		l, rec, err := wal.Open(dir, copyDB(t, base, name), wopt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(wrapper.NewFullAccessSource(rec.DB))
+		srv.AttachWAL(l)
+		wf.net.add(name, srv)
+		wf.dbs = append(wf.dbs, rec.DB)
+		wf.srvs = append(wf.srvs, srv)
+		wf.dirs = append(wf.dirs, dir)
+		wf.logs = append(wf.logs, l)
+		specs[i] = ReplicaSpec{Name: name, Dial: wf.net.dialer(name)}
+	}
+	cl, err := NewReplicatedClient(specs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf.cl = cl
+	t.Cleanup(func() {
+		cl.Close()
+		wf.net.killAll()
+		for _, l := range wf.logs {
+			l.Close()
+		}
+	})
+	return wf
+}
+
+// restartFromWAL rebuilds replica i purely from its directory: the old
+// log is closed (the "crash"), and the new server gets a schema-only
+// base — everything else must come off disk. No RecoverReplicaState:
+// AttachWAL derives the sequence from recovery.
+func (wf *walFleet) restartFromWAL(t *testing.T, i int, wopt wal.Options) *wal.Recovery {
+	t.Helper()
+	wf.logs[i].Close()
+	empty, err := relational.NewDatabase(wf.dbs[i].Name, wf.schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := wal.Open(wf.dirs[i], empty, wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(wrapper.NewFullAccessSource(rec.DB))
+	srv.AttachWAL(l)
+	wf.dbs[i] = rec.DB
+	wf.srvs[i] = srv
+	wf.logs[i] = l
+	wf.net.restart(fmt.Sprintf("r%d", i), srv)
+	return rec
+}
+
+// TestWALRestartRecoversAndRejoins is TestRestartRecoversAndRejoins
+// with real retained storage: the replica recovers from its WAL
+// directory, resumes at the recovered sequence automatically, and
+// rejoin replays exactly the missed ops — zero duplicate applies (a
+// duplicate would hit the movie PK and knock the replica out of
+// rotation).
+func TestWALRestartRecoversAndRejoins(t *testing.T) {
+	wopt := wal.Options{NoFsync: true}
+	wf := newWALFleet(t, 2, Options{RetryBackoff: 1}, wopt)
+	for i := 0; i < 4; i++ {
+		if err := wf.cl.Insert("movie", movieRow(int64(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wf.net.kill("r1")
+	for i := 4; i < 8; i++ {
+		if err := wf.cl.Insert("movie", movieRow(int64(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rec := wf.restartFromWAL(t, 1, wopt)
+	if !rec.FromSnapshot {
+		t.Fatal("restart did not load the snapshot")
+	}
+	if rec.LastSeq != 4 || rec.ReplayedOps != 4 {
+		t.Fatalf("recovery = %+v, want LastSeq 4 ReplayedOps 4", rec)
+	}
+	if got := movieCount(wf.dbs[1]); got != 504 {
+		t.Fatalf("recovered rows = %d, want 504", got)
+	}
+	// AttachWAL seeded the sequence: the server reports it before any
+	// fleet contact.
+	if _, _, lastSeq := wf.srvs[1].ReplicationStatus(); lastSeq != 4 {
+		t.Fatalf("recovered server lastSeq = %d, want 4", lastSeq)
+	}
+
+	wf.cl.ProbeNow()
+	st := wf.cl.FleetStatus()
+	if !st.Replicas[1].InRotation || st.Replicas[1].LastSeq != 8 {
+		t.Fatalf("restarted replica: %+v", st.Replicas[1])
+	}
+	wf.srvs[1].Quiesce()
+	if a, b := movieCount(wf.dbs[0]), movieCount(wf.dbs[1]); a != b || a != 508 {
+		t.Fatalf("restart replay wrong: %d vs %d rows, want 508", a, b)
+	}
+	// The replayed ops were logged too: another restart recovers them
+	// without the fleet's help.
+	rec2 := wf.restartFromWAL(t, 1, wopt)
+	if rec2.LastSeq != 8 {
+		t.Fatalf("second recovery LastSeq = %d, want 8", rec2.LastSeq)
+	}
+	if got := movieCount(wf.dbs[1]); got != 508 {
+		t.Fatalf("second recovery rows = %d, want 508", got)
+	}
+}
+
+// TestWALDivergedBackupStaysFenced is the regression for automatic
+// recovery seeding: a restarted backup whose WAL holds ops the primary
+// never saw (a deposed primary that kept acking) must stay fenced out —
+// recovery faithfully restoring the diverged history is exactly why the
+// fence, not replay, has to win.
+func TestWALDivergedBackupStaysFenced(t *testing.T) {
+	wopt := wal.Options{NoFsync: true}
+	wf := newWALFleet(t, 2, Options{RetryBackoff: 1}, wopt)
+	for i := 0; i < 3; i++ {
+		if err := wf.cl.Insert("movie", movieRow(int64(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wf.net.kill("r1")
+
+	// Behind the fleet's back, r1's WAL grows past the primary's
+	// history: ops 4 and 5 that r0 never saw.
+	wf.logs[1].Close()
+	empty := relational.MustNewDatabase("r1", wf.schema)
+	l, rec, err := wal.Open(wf.dirs[1], empty, wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.LastSeq != 3 {
+		t.Fatalf("recovered seq = %d, want 3", rec.LastSeq)
+	}
+	for seq := uint64(4); seq <= 5; seq++ {
+		row := movieRow(int64(8000 + seq))
+		if err := rec.DB.Insert("movie", row); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(seq, "movie", row).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Restart from the diverged directory. Recovery resumes at seq 5;
+	// the primary is at 3.
+	rec2 := wf.restartFromWAL(t, 1, wopt)
+	if rec2.LastSeq != 5 {
+		t.Fatalf("diverged recovery seq = %d, want 5", rec2.LastSeq)
+	}
+	// First probe notices the restarted replica is out of sync and
+	// demotes it; the second attempts the rejoin that must fence it.
+	wf.cl.ProbeNow()
+	wf.cl.ProbeNow()
+	st := wf.cl.FleetStatus()
+	if !st.Replicas[1].Diverged || st.Replicas[1].InRotation {
+		t.Fatalf("diverged replica not fenced: %+v", st.Replicas[1])
+	}
+	// The fence is permanent: more writes and probes never readmit it.
+	if err := wf.cl.Insert("movie", movieRow(1100)); err != nil {
+		t.Fatal(err)
+	}
+	wf.cl.ProbeNow()
+	if st := wf.cl.FleetStatus(); st.Replicas[1].InRotation {
+		t.Fatal("diverged replica re-entered rotation")
+	}
+	wf.srvs[1].Quiesce()
+	if got := movieCount(wf.dbs[1]); got != 505 {
+		t.Fatalf("fenced replica mutated: %d rows, want 505", got)
+	}
+}
+
+// TestWALServerCheckpointPolicy drives enough writes through a
+// WAL-backed fleet to trip SnapshotEvery on the server's apply path and
+// checks the log truncation actually happened.
+func TestWALServerCheckpointPolicy(t *testing.T) {
+	wopt := wal.Options{NoFsync: true, SnapshotEvery: 5}
+	wf := newWALFleet(t, 2, Options{RetryBackoff: 1}, wopt)
+	for i := 0; i < 12; i++ {
+		if err := wf.cl.Insert("movie", movieRow(int64(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, srv := range wf.srvs {
+		st, ok := srv.WALStats()
+		if !ok {
+			t.Fatalf("replica %d reports no WAL", i)
+		}
+		// Open-time base snapshot + at least two policy checkpoints.
+		if st.Snapshots < 3 || st.SnapshotFailures != 0 {
+			t.Fatalf("replica %d snapshots = %+v", i, st)
+		}
+		if st.Appends != 12 {
+			t.Fatalf("replica %d appends = %d, want 12", i, st.Appends)
+		}
+	}
+	// Recovery after checkpoints: snapshot carries most of the history,
+	// the log only the tail.
+	rec := wf.restartFromWAL(t, 1, wopt)
+	if rec.LastSeq != 12 || rec.ReplayedOps > 5 {
+		t.Fatalf("recovery = %+v, want LastSeq 12 with a short log tail", rec)
+	}
+	if got := movieCount(wf.dbs[1]); got != 512 {
+		t.Fatalf("recovered rows = %d, want 512", got)
+	}
+	// The memory-only server answers ok=false.
+	plain := NewServer(wrapper.NewFullAccessSource(testDB(t)))
+	if _, ok := plain.WALStats(); ok {
+		t.Fatal("memory-only server claims WAL stats")
+	}
+}
+
+// TestWALAckAfterDurable pins the ordering contract: by the time Insert
+// returns, the op is on disk — a reopen of the directory (no fleet, no
+// replay) already holds it.
+func TestWALAckAfterDurable(t *testing.T) {
+	wopt := wal.Options{NoFsync: true}
+	wf := newWALFleet(t, 1, Options{RetryBackoff: 1}, wopt)
+	if err := wf.cl.Insert("movie", movieRow(4242)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash immediately after the ack: no Close flush —
+	// read the directory as it sits. The record must already be there.
+	raw, err := os.ReadFile(filepath.Join(wf.dirs[0], "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("acked insert not in the log")
+	}
+	// Recover from a byte-for-byte copy of the live directory (the live
+	// log stays open — a real crash would just abandon it).
+	cp := t.TempDir()
+	for _, name := range []string{"wal.log", "snapshot"} {
+		b, err := os.ReadFile(filepath.Join(wf.dirs[0], name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(cp, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l3, rec3, err := wal.Open(cp, relational.MustNewDatabase("r0", wf.schema), wopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if rec3.LastSeq != 1 {
+		t.Fatalf("copied-dir recovery seq = %d, want 1", rec3.LastSeq)
+	}
+	if got := movieCount(rec3.DB); got != 501 {
+		t.Fatalf("copied-dir rows = %d, want 501", got)
+	}
+}

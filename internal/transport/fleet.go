@@ -533,8 +533,10 @@ func (c *Client) probeOnceLocked() {
 // this returns nil the replica's sequence equals the primary's exactly.
 // A replica that applied ops the primary never saw (a stale primary that
 // kept writing) has diverged: it is fenced out of the rotation for good
-// rather than served with conflicting data. The durability PR's log
-// truncation is the planned repair path.
+// rather than served with conflicting data. That holds for WAL-backed
+// replicas too — recovery faithfully restores the diverged history, so
+// the fence is the only safe answer; repair means discarding the
+// replica's WAL directory and rebuilding it from the current primary.
 func (c *Client) rejoinLocked(i int) error {
 	f := c.fleet
 	lastSeq, err := c.configureReplica(i, f.epoch, RoleBackup, nil)

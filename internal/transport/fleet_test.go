@@ -159,7 +159,7 @@ func TestReplicatedInsertFanOut(t *testing.T) {
 	f := newTestFleet(t, 3, Options{RetryBackoff: 1})
 	const n = 10
 	for i := 0; i < n; i++ {
-		if err := f.cl.Insert("movie", movieRow(int64(1000 + i))); err != nil {
+		if err := f.cl.Insert("movie", movieRow(int64(1000+i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -243,13 +243,13 @@ func TestEpochFencing(t *testing.T) {
 func TestBackupFailureDemotesAndRejoinReplays(t *testing.T) {
 	f := newTestFleet(t, 2, Options{RetryBackoff: 1})
 	for i := 0; i < 5; i++ {
-		if err := f.cl.Insert("movie", movieRow(int64(1000 + i))); err != nil {
+		if err := f.cl.Insert("movie", movieRow(int64(1000+i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	f.net.kill("r1")
 	for i := 5; i < 10; i++ {
-		if err := f.cl.Insert("movie", movieRow(int64(1000 + i))); err != nil {
+		if err := f.cl.Insert("movie", movieRow(int64(1000+i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -296,7 +296,7 @@ func TestBackupFailureDemotesAndRejoinReplays(t *testing.T) {
 func TestPrimaryFailurePromotesFreshestBackup(t *testing.T) {
 	f := newTestFleet(t, 3, Options{RetryBackoff: 1, MaxAttempts: 6})
 	for i := 0; i < 3; i++ {
-		if err := f.cl.Insert("movie", movieRow(int64(1000 + i))); err != nil {
+		if err := f.cl.Insert("movie", movieRow(int64(1000+i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -352,14 +352,14 @@ func TestPrimaryFailurePromotesFreshestBackup(t *testing.T) {
 func TestRestartRecoversAndRejoins(t *testing.T) {
 	f := newTestFleet(t, 2, Options{RetryBackoff: 1})
 	for i := 0; i < 4; i++ {
-		if err := f.cl.Insert("movie", movieRow(int64(1000 + i))); err != nil {
+		if err := f.cl.Insert("movie", movieRow(int64(1000+i))); err != nil {
 			t.Fatal(err)
 		}
 	}
 	f.net.kill("r1")
 	_, _, seqAtCrash := f.srvs[1].ReplicationStatus()
 	for i := 4; i < 8; i++ {
-		if err := f.cl.Insert("movie", movieRow(int64(1000 + i))); err != nil {
+		if err := f.cl.Insert("movie", movieRow(int64(1000+i))); err != nil {
 			t.Fatal(err)
 		}
 	}

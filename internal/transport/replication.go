@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/relational"
 	"repro/internal/sql"
+	"repro/internal/wal"
 )
 
 // Replica roles, as carried by frameConfigure and frameStatusRes. A server
@@ -25,7 +26,8 @@ const (
 // replay-on-rejoin. A replica that fell further behind than the retained
 // window cannot catch up from the log and is answered errKindLagging
 // ("op log trimmed") — the coordinator keeps it out of the read rotation.
-// The durability PR's WAL replaces this bound with disk.
+// The internal/wal subsystem retains every op durably on disk, but
+// replay-on-rejoin is still served from this in-memory window.
 const DefaultMaxOpLog = 1 << 16
 
 // DefaultReplTimeout bounds one synchronous replicate round trip from a
@@ -78,10 +80,10 @@ func (s *Server) ReplicationStatus() (epoch uint64, role byte, lastSeq uint64) {
 // RecoverReplicaState seeds a fresh server's applied-op sequence, the way
 // a restart recovers it after reloading retained storage: a replica that
 // comes back holding its data but a zero sequence would be replayed the
-// whole op log on top of rows it already has. Callers with their own
-// persistence (and the fault-injection harness, which models exactly this
-// restart) set it before the server accepts connections; the durability
-// PR moves this into the server's own WAL recovery.
+// whole op log on top of rows it already has. A WAL-backed server never
+// calls this — AttachWAL derives the sequence from recovery itself; it
+// remains for callers with their own persistence (and for tests that
+// model retained storage without a WAL directory).
 func (s *Server) RecoverReplicaState(lastSeq uint64) {
 	s.replMu.Lock()
 	defer s.replMu.Unlock()
@@ -107,11 +109,19 @@ func (s *Server) handleRepl(conn net.Conn, typ byte, payload []byte) error {
 }
 
 // handleInsert is the primary write path: apply locally, assign the next
-// op sequence, append to the op log, synchronously replicate to every
-// live backup, and ack with the epoch plus the per-backup outcome. Writes
-// carrying a stale epoch — or arriving at a backup — are fenced, never
-// applied: promotion bumps the epoch, so a coordinator that missed a
-// failover cannot make the old primary diverge.
+// op sequence, append to the op log (and submit to the WAL when one is
+// attached), synchronously replicate to every live backup, and ack with
+// the epoch plus the per-backup outcome. Writes carrying a stale epoch —
+// or arriving at a backup — are fenced, never applied: promotion bumps
+// the epoch, so a coordinator that missed a failover cannot make the old
+// primary diverge.
+//
+// The durability wait happens after replMu is released: the WAL append
+// is submitted in sequence order under the lock, but the fsync it joins
+// is awaited outside it, so concurrent writers share one group commit
+// instead of serializing fsyncs behind the mutex. The ack still follows
+// durability — a crash between apply and flush loses only unacked ops,
+// which recovery's torn-tail truncation drops as a unit.
 func (s *Server) handleInsert(conn net.Conn, payload []byte) error {
 	epoch, table, row, err := decodeInsertReq(payload)
 	if err != nil {
@@ -121,26 +131,54 @@ func (s *Server) handleInsert(conn net.Conn, payload []byte) error {
 		return writeErrorKind(conn, errKindReadOnly, "backend accepts no writes")
 	}
 	s.replMu.Lock()
-	defer s.replMu.Unlock()
 	if s.repl.role == RoleBackup {
+		epoch := s.repl.epoch
+		s.replMu.Unlock()
 		return writeErrorKind(conn, errKindFenced,
-			fmt.Sprintf("not primary (epoch %d)", s.repl.epoch))
+			fmt.Sprintf("not primary (epoch %d)", epoch))
 	}
 	if epoch != s.repl.epoch {
+		cur := s.repl.epoch
+		s.replMu.Unlock()
 		return writeErrorKind(conn, errKindFenced,
-			fmt.Sprintf("stale epoch %d, current %d", epoch, s.repl.epoch))
+			fmt.Sprintf("stale epoch %d, current %d", epoch, cur))
 	}
 	if err := s.ins.Insert(table, row); err != nil {
+		s.replMu.Unlock()
 		return writeError(conn, err)
 	}
 	s.repl.lastSeq++
 	seq := s.repl.lastSeq
 	s.appendOpLocked(seq, table, row)
+	commit := s.walAppendLocked(seq, table, row)
 	acks := make([]backupAck, len(s.repl.backups))
 	for i, b := range s.repl.backups {
 		acks[i] = backupAck{name: b.name, ok: s.replicateTo(b, epoch, seq, table, row)}
 	}
-	return writeFrame(conn, frameInsertAck, encodeInsertAck(s.repl.epoch, seq, acks))
+	ackEpoch := s.repl.epoch
+	s.replMu.Unlock()
+	if commit != nil {
+		if err := commit.Wait(); err != nil {
+			return writeError(conn, err)
+		}
+	}
+	return writeFrame(conn, frameInsertAck, encodeInsertAck(ackEpoch, seq, acks))
+}
+
+// walAppendLocked submits one applied op to the WAL (nil without one)
+// and runs the snapshot policy. Caller holds replMu — the order appends
+// enter the flusher is the order sequences were assigned. A checkpoint
+// failure is counted but does not fail the write: the snapshot is an
+// optimization, the log already holds the op.
+func (s *Server) walAppendLocked(seq uint64, table string, row relational.Row) *wal.Commit {
+	if s.wal == nil {
+		return nil
+	}
+	commit := s.wal.Append(seq, table, row)
+	if s.wal.ShouldCheckpoint() {
+		s.wal.Checkpoint() // failures land in Stats().SnapshotFailures
+	}
+	return commit
 }
 
 // handleReplicate is the backup apply path. Ops apply strictly in
@@ -148,7 +186,9 @@ func (s *Server) handleInsert(conn net.Conn, payload []byte) error {
 // coordinator's replay can overlap a primary's own fan-out without double
 // inserts, and a gap is refused as lagging — the replica needs replay,
 // not this op. An op from a newer epoch adopts that epoch (the configure
-// may still be in flight); one from an older epoch is fenced.
+// may still be in flight); one from an older epoch is fenced. With a WAL
+// attached the apply is logged before the ack, durability awaited
+// outside replMu exactly like the primary path.
 func (s *Server) handleReplicate(conn net.Conn, payload []byte) error {
 	epoch, seq, table, row, err := decodeReplicateReq(payload)
 	if err != nil {
@@ -158,10 +198,11 @@ func (s *Server) handleReplicate(conn net.Conn, payload []byte) error {
 		return writeErrorKind(conn, errKindReadOnly, "backend accepts no writes")
 	}
 	s.replMu.Lock()
-	defer s.replMu.Unlock()
 	if epoch < s.repl.epoch {
+		cur := s.repl.epoch
+		s.replMu.Unlock()
 		return writeErrorKind(conn, errKindFenced,
-			fmt.Sprintf("stale epoch %d, current %d", epoch, s.repl.epoch))
+			fmt.Sprintf("stale epoch %d, current %d", epoch, cur))
 	}
 	if epoch > s.repl.epoch {
 		s.repl.epoch = epoch
@@ -169,18 +210,35 @@ func (s *Server) handleReplicate(conn net.Conn, payload []byte) error {
 		s.closeBackupsLocked()
 	}
 	if seq <= s.repl.lastSeq {
-		return writeFrame(conn, frameInsertAck, encodeInsertAck(s.repl.epoch, s.repl.lastSeq, nil))
+		// Already applied (and, with a WAL, already durable): ack
+		// idempotently without re-inserting — this is what makes
+		// replay-on-rejoin duplicate-free when it overlaps a recovered
+		// replica's own history.
+		ackEpoch, ackSeq := s.repl.epoch, s.repl.lastSeq
+		s.replMu.Unlock()
+		return writeFrame(conn, frameInsertAck, encodeInsertAck(ackEpoch, ackSeq, nil))
 	}
 	if seq != s.repl.lastSeq+1 {
+		cur := s.repl.lastSeq
+		s.replMu.Unlock()
 		return writeErrorKind(conn, errKindLagging,
-			fmt.Sprintf("replica at seq %d, got %d", s.repl.lastSeq, seq))
+			fmt.Sprintf("replica at seq %d, got %d", cur, seq))
 	}
 	if err := s.ins.Insert(table, row); err != nil {
+		s.replMu.Unlock()
 		return writeError(conn, err)
 	}
 	s.repl.lastSeq = seq
 	s.appendOpLocked(seq, table, row)
-	return writeFrame(conn, frameInsertAck, encodeInsertAck(s.repl.epoch, seq, nil))
+	commit := s.walAppendLocked(seq, table, row)
+	ackEpoch := s.repl.epoch
+	s.replMu.Unlock()
+	if commit != nil {
+		if err := commit.Wait(); err != nil {
+			return writeError(conn, err)
+		}
+	}
+	return writeFrame(conn, frameInsertAck, encodeInsertAck(ackEpoch, seq, nil))
 }
 
 // handleConfigure installs a role at an epoch. Only equal-or-newer epochs

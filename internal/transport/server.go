@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/relational"
 	"repro/internal/sql"
+	"repro/internal/wal"
 	"repro/internal/wrapper"
 )
 
@@ -66,6 +67,10 @@ type Server struct {
 
 	replMu sync.Mutex
 	repl   replState
+	// wal, when attached, makes the write path durable: every applied op
+	// is appended before the ack and the ack waits for its group-commit
+	// batch to reach disk (see AttachWAL).
+	wal *wal.Log
 
 	// inflight is held (read side) by every request handler while it
 	// executes, so Quiesce can fence population-phase writes off
@@ -115,6 +120,36 @@ func NewServer(backend wrapper.SourceExecutor) *Server {
 		s.ins = in
 	}
 	return s
+}
+
+// AttachWAL arms the durable write path: every apply (direct insert or
+// replicated op) is appended to l before its ack, and the ack waits for
+// the op's group-commit batch to reach disk. Attaching also seeds the
+// replication state from the log's recovered sequence — the restart
+// contract RecoverReplicaState describes, derived automatically from
+// the WAL instead of handed in by the operator — so a restarted replica
+// resumes exactly where its directory left off and fleet replay skips
+// everything it already holds. Attach before the server accepts
+// connections; the backend must be the database the log recovered.
+func (s *Server) AttachWAL(l *wal.Log) {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	s.wal = l
+	if seq := l.LastSeq(); seq > s.repl.lastSeq {
+		s.repl.lastSeq = seq
+	}
+}
+
+// WALStats snapshots the attached log's durability counters; ok is
+// false for a memory-only server.
+func (s *Server) WALStats() (st wal.Stats, ok bool) {
+	s.replMu.Lock()
+	l := s.wal
+	s.replMu.Unlock()
+	if l == nil {
+		return wal.Stats{}, false
+	}
+	return l.Stats(), true
 }
 
 // Quiesce blocks until every request handler currently executing has

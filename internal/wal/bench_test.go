@@ -1,0 +1,68 @@
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// BenchmarkComponent_WALGroupCommit measures the durable append path
+// with pipelined writers sharing fsyncs (bench-smoke keeps it alive).
+func BenchmarkComponent_WALGroupCommit(b *testing.B) {
+	l, _, err := Open(b.TempDir(), walBase(b, 0), Options{BatchSize: 64, MaxWait: 200 * time.Microsecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	const window = 8
+	var mu sync.Mutex
+	var seq uint64
+	b.ResetTimer()
+	for n := 0; n < b.N; n += window {
+		var commits []*Commit
+		for w := 0; w < window && n+w < b.N; w++ {
+			mu.Lock()
+			seq++
+			commits = append(commits, l.Append(seq, "movie", opRow(seq)))
+			mu.Unlock()
+		}
+		for _, c := range commits {
+			if err := c.Wait(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	st := l.Stats()
+	b.ReportMetric(float64(st.Appends)/float64(max(st.Batches, 1)), "ops/batch")
+}
+
+// BenchmarkComponent_WALRecovery measures cold recovery of a populated
+// directory (snapshot + log tail).
+func BenchmarkComponent_WALRecovery(b *testing.B) {
+	dir := b.TempDir()
+	l, _, err := Open(dir, walBase(b, 100), Options{NoFsync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 500; seq++ {
+		l.db.Insert("movie", opRow(seq))
+		if err := l.Append(seq, "movie", opRow(seq)).Wait(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2, rec, err := Open(dir, emptyBase(b), Options{NoFsync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rec.LastSeq != 500 {
+			b.Fatalf("recovered seq %d", rec.LastSeq)
+		}
+		l2.Close()
+	}
+}

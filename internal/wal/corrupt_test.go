@@ -1,0 +1,227 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sql"
+)
+
+// corruptDir builds a directory whose log holds nOps single-op records
+// (MaxWait 0, every append waited, one writer → one record per op) and
+// returns it along with each record's start offset and the total size.
+func corruptDir(t *testing.T, nOps int) (dir string, offsets []int64, size int64) {
+	t.Helper()
+	dir = t.TempDir()
+	l, _, err := Open(dir, walBase(t, 2), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, 1, nOps)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := readLog(t, dir)
+	size = int64(len(raw))
+	for off := int64(0); off < size; {
+		offsets = append(offsets, off)
+		n := binary.BigEndian.Uint32(raw[off : off+4])
+		off += recordHeader + int64(n)
+	}
+	if len(offsets) != nOps {
+		t.Fatalf("built %d records, want %d (batching in a serial test?)", len(offsets), nOps)
+	}
+	return dir, offsets, size
+}
+
+func readLog(t *testing.T, dir string) []byte {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join(dir, logFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func writeLog(t *testing.T, dir string, raw []byte) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, logFile), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTornFinalRecordRecoversToLastBatch(t *testing.T) {
+	for _, cut := range []struct {
+		name string
+		trim int64 // bytes to keep past the final record's start
+	}{
+		{"mid-header", 3},
+		{"mid-payload", recordHeader + 5},
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			dir, offsets, _ := corruptDir(t, 5)
+			last := offsets[len(offsets)-1]
+			raw := readLog(t, dir)
+			writeLog(t, dir, raw[:last+cut.trim])
+
+			l, rec, err := Open(dir, emptyBase(t), Options{NoFsync: true})
+			if err != nil {
+				t.Fatalf("torn final record must recover, got %v", err)
+			}
+			defer l.Close()
+			if rec.LastSeq != 4 || rec.ReplayedOps != 4 {
+				t.Fatalf("recovery = %+v, want LastSeq 4 ReplayedOps 4", rec)
+			}
+			if rec.TornBytes != cut.trim {
+				t.Fatalf("TornBytes = %d, want %d", rec.TornBytes, cut.trim)
+			}
+			if n := rec.DB.Table("movie").Len(); n != 6 { // 2 base + 4 ops
+				t.Fatalf("rows = %d, want 6", n)
+			}
+			// The torn tail is gone: the file ends on the last complete
+			// record and appending continues from there.
+			if fi, _ := os.Stat(filepath.Join(dir, logFile)); fi.Size() != last {
+				t.Fatalf("log size %d after torn recovery, want %d", fi.Size(), last)
+			}
+			appendOps(t, l, 5, 1)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			l2, rec2, err := Open(dir, emptyBase(t), Options{NoFsync: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if rec2.LastSeq != 5 || rec2.TornBytes != 0 {
+				t.Fatalf("second recovery = %+v", rec2)
+			}
+		})
+	}
+}
+
+func TestMidLogCRCMismatchIsTypedCorruption(t *testing.T) {
+	dir, offsets, _ := corruptDir(t, 5)
+	raw := readLog(t, dir)
+	raw[offsets[2]+recordHeader] ^= 0xff // flip a payload byte mid-log
+	writeLog(t, dir, raw)
+
+	_, _, err := Open(dir, emptyBase(t), Options{NoFsync: true})
+	if err == nil {
+		t.Fatal("corrupt mid-log record did not fail recovery")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrCorrupt)", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T, want *CorruptError", err)
+	}
+	if ce.Offset != offsets[2] {
+		t.Fatalf("corruption offset = %d, want %d", ce.Offset, offsets[2])
+	}
+}
+
+func TestImpossibleLengthIsTypedCorruption(t *testing.T) {
+	for _, bad := range []uint32{0, 0xffffffff} {
+		dir, offsets, _ := corruptDir(t, 4)
+		raw := readLog(t, dir)
+		binary.BigEndian.PutUint32(raw[offsets[1]:offsets[1]+4], bad)
+		writeLog(t, dir, raw)
+		_, _, err := Open(dir, emptyBase(t), Options{NoFsync: true})
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("length %d: err = %v, want ErrCorrupt", bad, err)
+		}
+	}
+}
+
+func TestSequenceRegressionIsTypedCorruption(t *testing.T) {
+	dir, _, _ := corruptDir(t, 2)
+	// Append a validly framed record whose sequence rolls back to 1.
+	payload := binary.AppendUvarint(nil, 1) // opCount
+	payload = binary.AppendUvarint(payload, 1)
+	payload = appendString(payload, "movie")
+	payload = sql.AppendRow(payload, opRow(99))
+	raw := readLog(t, dir)
+	raw = appendFramed(raw, payload)
+	writeLog(t, dir, raw)
+	_, _, err := Open(dir, emptyBase(t), Options{NoFsync: true})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sequence regression: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTrailingPayloadBytesAreTypedCorruption(t *testing.T) {
+	dir, _, _ := corruptDir(t, 1)
+	payload := binary.AppendUvarint(nil, 1)
+	payload = binary.AppendUvarint(payload, 2)
+	payload = appendString(payload, "movie")
+	payload = sql.AppendRow(payload, opRow(2))
+	payload = append(payload, 0xde, 0xad) // CRC covers them, decode must not
+	raw := appendFramed(readLog(t, dir), payload)
+	writeLog(t, dir, raw)
+	_, _, err := Open(dir, emptyBase(t), Options{NoFsync: true})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing payload bytes: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReplayIntoConflictingTableIsTypedCorruption(t *testing.T) {
+	// A log op whose PK duplicates a snapshotted row can only mean the
+	// dir's files disagree — surfaced as corruption, not a panic.
+	dir, offsets, _ := corruptDir(t, 3)
+	raw := readLog(t, dir)
+	// Duplicate record 1 (seq 2) after itself at a bumped sequence.
+	rec1 := raw[offsets[1]:offsets[2]]
+	n := binary.BigEndian.Uint32(rec1[0:4])
+	dup := make([]byte, n)
+	copy(dup, rec1[recordHeader:])
+	// rewrite seq 2 → 4 (single-byte uvarints: opCount at 0, seq at 1)
+	if dup[1] != 2 {
+		t.Fatalf("test assumes single-byte seq, got %d", dup[1])
+	}
+	dup[1] = 4
+	raw = appendFramed(raw, dup)
+	writeLog(t, dir, raw)
+	_, _, err := Open(dir, emptyBase(t), Options{NoFsync: true})
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("duplicate-PK replay: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptSnapshotIsTypedError(t *testing.T) {
+	dir, _, _ := corruptDir(t, 2)
+	path := filepath.Join(dir, snapshotFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, emptyBase(t), Options{NoFsync: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt snapshot: err = %v, want ErrCorrupt", err)
+	}
+
+	// Truncated below the header is equally typed.
+	if err := os.WriteFile(path, raw[:4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, emptyBase(t), Options{NoFsync: true}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated snapshot: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// appendFramed frames payload as a record (correct length + CRC) and
+// appends it to raw.
+func appendFramed(raw, payload []byte) []byte {
+	var hdr [recordHeader]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, castagnoli))
+	raw = append(raw, hdr[:]...)
+	return append(raw, payload...)
+}

@@ -1,0 +1,89 @@
+// Package wal gives a shard durable storage: a write-ahead log with
+// group-commit batching plus periodic snapshots of the shard's tables,
+// so a questshardd process killed at any point restarts from its
+// -wal-dir with a prefix of its history ending on a group-commit
+// boundary and rejoins its replica group without duplicate applies.
+//
+// # On-disk layout
+//
+// A WAL directory holds exactly two files:
+//
+//	wal.log   — append-only sequence of group-commit records
+//	snapshot  — the most recent checkpoint (atomically replaced)
+//
+// plus a transient snapshot.tmp while a checkpoint is being written
+// (ignored and removed on open).
+//
+// # WAL record format
+//
+// One record is one group-commit batch. The whole batch shares a single
+// length prefix and CRC, so a torn write of the final record can only
+// ever lose the batch as a unit — recovery lands on a group-commit
+// boundary by construction:
+//
+//	uint32 BE  payload length
+//	uint32 BE  CRC-32C (Castagnoli) of payload
+//	payload:
+//	    uvarint opCount
+//	    opCount × op:
+//	        uvarint seq          — replication sequence (replState.lastSeq)
+//	        uvarint len + bytes  — table name
+//	        sql row codec        — the inserted row (sql.AppendRow)
+//
+// Sequences are strictly increasing across the log (after skipping ops
+// already covered by the snapshot); a regression mid-log is corruption.
+//
+// # Snapshot format
+//
+//	8 bytes    magic "QSTWSNP1"
+//	uint32 BE  body length
+//	uint32 BE  CRC-32C of body
+//	body:
+//	    uvarint seq          — every op ≤ seq is reflected in the tables
+//	    uvarint tableCount
+//	    tableCount × table:
+//	        uvarint len + bytes  — table name
+//	        uvarint rowCount
+//	        rowCount × sql row codec
+//
+// Checkpoint writes the body to snapshot.tmp, fsyncs (when enabled),
+// renames over snapshot, then truncates wal.log. A crash between the
+// rename and the truncate is benign: replay skips log ops with
+// seq ≤ snapshot seq.
+//
+// # Group commit
+//
+// Append never writes directly; it hands the encoded op to a single
+// flusher goroutine and returns a Commit handle. The flusher batches
+// everything submitted while it was busy, up to Options.BatchSize ops,
+// optionally lingering Options.MaxWait for stragglers when more appends
+// are known to be in flight, then writes one record and issues one
+// fsync for the whole batch. Commit.Wait returns once the op's batch is
+// durable, so callers ack only durable writes while concurrent writers
+// share fsyncs.
+//
+// # Recovery and rejoin
+//
+// Open replays the directory into a database:
+//
+//  1. Load snapshot (if present) into a fresh Database; corruption is a
+//     typed error (errors.Is(err, ErrCorrupt)).
+//  2. Scan wal.log record by record. Incomplete trailing bytes — a torn
+//     final record — end the scan cleanly and are truncated away. A
+//     complete record with a CRC mismatch, an impossible length, a
+//     malformed payload, or a sequence regression fails recovery with
+//     ErrCorrupt: mid-log damage is never silently skipped.
+//  3. Apply each op with seq above the snapshot's, tracking the highest
+//     sequence seen.
+//
+// The recovered sequence seeds the server's replication state
+// (Server.AttachWAL), so when the replica rejoins its fleet the
+// coordinator replays only ops after it from the primary's op log —
+// ops the replica already holds are acked idempotently, never
+// re-applied. A replica whose recovered sequence runs past the
+// primary's history has diverged and stays fenced out of rotation.
+//
+// An Open of an empty directory writes an initial snapshot of the base
+// database immediately, making the directory self-contained: later
+// recoveries need only the directory, not the original data load.
+package wal

@@ -1,0 +1,244 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+// ErrCorrupt marks unrecoverable damage: a mid-log CRC mismatch, an
+// impossible record length, a malformed payload, a sequence regression,
+// or a damaged snapshot. Wrapped errors answer
+// errors.Is(err, ErrCorrupt). A torn final record (incomplete trailing
+// bytes) is NOT corruption — recovery truncates it and continues.
+var ErrCorrupt = errors.New("wal: corrupt")
+
+// CorruptError carries the byte offset and detail of detected damage.
+type CorruptError struct {
+	Offset int64
+	Detail string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("wal: corrupt at offset %d: %s", e.Offset, e.Detail)
+}
+
+// Unwrap makes errors.Is(err, ErrCorrupt) hold.
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+func corruptf(off int64, format string, args ...any) error {
+	return &CorruptError{Offset: off, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Recovery reports what Open reconstructed.
+type Recovery struct {
+	// DB is the recovered database: snapshot (or base) plus log tail.
+	DB *relational.Database
+	// LastSeq is the highest replication sequence recovered; the server
+	// resumes from it (Server.AttachWAL).
+	LastSeq uint64
+	// ReplayedOps counts ops applied from the log tail.
+	ReplayedOps int
+	// FromSnapshot reports whether a snapshot file was loaded (false
+	// only for a brand-new directory, which starts from base).
+	FromSnapshot bool
+	// TornBytes counts trailing bytes truncated from a torn final
+	// record (0 for a cleanly closed log).
+	TornBytes int64
+	// Elapsed is the wall time recovery took.
+	Elapsed time.Duration
+}
+
+// Open recovers the WAL directory and returns a running Log over the
+// recovered database. base supplies the database for a brand-new
+// directory (an initial snapshot of it is written immediately, making
+// the directory self-contained); on later opens only base.Name and
+// base.Schema are used, so passing a fresh empty database is fine.
+func Open(dir string, base *relational.Database, opt Options) (*Log, *Recovery, error) {
+	if base == nil {
+		return nil, nil, errors.New("wal: nil base database")
+	}
+	opt = opt.withDefaults()
+	start := time.Now()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	// A leftover tmp is an unfinished checkpoint; the real snapshot (if
+	// any) is still authoritative.
+	os.Remove(filepath.Join(dir, snapshotTmp))
+
+	rec := &Recovery{}
+	db := base
+	var snapSeq uint64
+	snapPath := filepath.Join(dir, snapshotFile)
+	if _, err := os.Stat(snapPath); err == nil {
+		db, snapSeq, err = loadSnapshot(snapPath, base.Name, base.Schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.FromSnapshot = true
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, logFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	lastSeq, replayed, validEnd, torn, err := replayLog(f, db, snapSeq, opt.MaxRecord)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if torn > 0 {
+		if err := f.Truncate(validEnd); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+
+	l := &Log{
+		dir:   dir,
+		opt:   opt,
+		db:    db,
+		f:     f,
+		reqs:  make(chan *appendReq, 4*opt.BatchSize),
+		stopc: make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	l.lastSeq.Store(lastSeq)
+
+	// First open of an empty directory: persist the base immediately so
+	// the directory alone reproduces the shard from now on.
+	if !rec.FromSnapshot && validEnd == 0 {
+		if err := writeSnapshot(dir, db, lastSeq, !opt.NoFsync); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.snapshots.Add(1)
+	} else {
+		// Replayed log ops count toward the snapshot policy.
+		l.sinceSnap.Store(uint64(replayed))
+	}
+
+	rec.DB = db
+	rec.LastSeq = lastSeq
+	rec.ReplayedOps = replayed
+	rec.TornBytes = torn
+	rec.Elapsed = time.Since(start)
+	l.recoveredSeq = lastSeq
+	l.recoveredOps = uint64(replayed)
+	l.recoveryNs = uint64(rec.Elapsed)
+
+	go l.flusher()
+	return l, rec, nil
+}
+
+// replayLog scans the log from the start, applying every op with
+// seq > snapSeq to db. It returns the highest sequence seen (at least
+// snapSeq), the number of ops applied, the offset of the last complete
+// record (the valid prefix), and how many torn trailing bytes follow
+// it. Damage before the final record — or any complete-but-invalid
+// record — is ErrCorrupt.
+func replayLog(f *os.File, db *relational.Database, snapSeq uint64, maxRecord int) (lastSeq uint64, replayed int, validEnd int64, torn int64, err error) {
+	size, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	lastSeq = snapSeq
+	var off int64
+	var hdr [recordHeader]byte
+	for {
+		n, rerr := io.ReadFull(br, hdr[:])
+		if rerr == io.EOF && n == 0 {
+			break // clean end of log
+		}
+		if rerr == io.ErrUnexpectedEOF {
+			return lastSeq, replayed, off, size - off, nil // torn header
+		}
+		if rerr != nil {
+			return 0, 0, 0, 0, fmt.Errorf("wal: read log: %w", rerr)
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		crc := binary.BigEndian.Uint32(hdr[4:8])
+		if length == 0 || length > uint32(maxRecord) {
+			return 0, 0, 0, 0, corruptf(off, "impossible record length %d", length)
+		}
+		payload := make([]byte, length)
+		if _, rerr := io.ReadFull(br, payload); rerr != nil {
+			if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+				return lastSeq, replayed, off, size - off, nil // torn payload
+			}
+			return 0, 0, 0, 0, fmt.Errorf("wal: read log: %w", rerr)
+		}
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return 0, 0, 0, 0, corruptf(off, "record CRC mismatch")
+		}
+		applied, aerr := applyRecord(payload, db, snapSeq, &lastSeq, off)
+		if aerr != nil {
+			return 0, 0, 0, 0, aerr
+		}
+		replayed += applied
+		off += recordHeader + int64(length)
+	}
+	return lastSeq, replayed, off, 0, nil
+}
+
+// applyRecord decodes one group-commit payload and applies its ops.
+func applyRecord(payload []byte, db *relational.Database, snapSeq uint64, lastSeq *uint64, recOff int64) (int, error) {
+	opCount, sz := binary.Uvarint(payload)
+	if sz <= 0 {
+		return 0, corruptf(recOff, "bad op count")
+	}
+	off := sz
+	applied := 0
+	for i := uint64(0); i < opCount; i++ {
+		seq, sz := binary.Uvarint(payload[off:])
+		if sz <= 0 {
+			return 0, corruptf(recOff, "op %d: bad sequence", i)
+		}
+		off += sz
+		table, sz, err := decodeString(payload[off:])
+		if err != nil {
+			return 0, corruptf(recOff, "op %d: %v", i, err)
+		}
+		off += sz
+		row, sz, err := sql.DecodeRow(payload[off:])
+		if err != nil {
+			return 0, corruptf(recOff, "op %d (%s): %v", i, table, err)
+		}
+		off += sz
+		if seq <= snapSeq {
+			continue // already covered by the snapshot
+		}
+		if seq <= *lastSeq {
+			return 0, corruptf(recOff, "op %d: sequence %d regresses below %d", i, seq, *lastSeq)
+		}
+		if err := db.Insert(table, row); err != nil {
+			return 0, corruptf(recOff, "op %d: replay seq %d into %s: %v", i, seq, table, err)
+		}
+		*lastSeq = seq
+		applied++
+	}
+	if off != len(payload) {
+		return 0, corruptf(recOff, "%d trailing payload bytes", len(payload)-off)
+	}
+	return applied, nil
+}

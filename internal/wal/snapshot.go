@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+// snapMagic identifies a snapshot file (format v1).
+const snapMagic = "QSTWSNP1"
+
+// Checkpoint flushes every submitted append, writes a snapshot of the
+// database, and truncates the log. The caller must hold the shard's
+// write serialization (transport.Server runs it under replMu), so no
+// Append or table mutation races the table scan. On failure the log is
+// kept intact — durability is unaffected, the log just keeps growing.
+func (l *Log) Checkpoint() error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	start := time.Now()
+	err := l.checkpoint()
+	if err != nil {
+		l.snapFailures.Add(1)
+		return err
+	}
+	l.snapshots.Add(1)
+	l.snapshotNs.Add(uint64(time.Since(start)))
+	l.sinceSnap.Store(0)
+	return nil
+}
+
+func (l *Log) checkpoint() error {
+	// Barrier first: every acked append must be in the log before we
+	// declare the snapshot covers lastSeq (it flushes them, and a flush
+	// error aborts the checkpoint).
+	if err := l.barrier(); err != nil {
+		return fmt.Errorf("wal: checkpoint barrier: %w", err)
+	}
+	if err := writeSnapshot(l.dir, l.db, l.lastSeq.Load(), !l.opt.NoFsync); err != nil {
+		return err
+	}
+	// The snapshot now covers everything in the log; drop it. A crash
+	// before the truncate is benign (replay skips ops ≤ snapshot seq).
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate log: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: rewind log: %w", err)
+	}
+	return nil
+}
+
+// writeSnapshot serializes db at seq into dir/snapshot via an atomic
+// tmp-file rename.
+func writeSnapshot(dir string, db *relational.Database, seq uint64, fsync bool) error {
+	body := binary.AppendUvarint(nil, seq)
+	tables := db.Schema.Tables()
+	body = binary.AppendUvarint(body, uint64(len(tables)))
+	for _, ts := range tables {
+		t := db.Table(ts.Name)
+		body = appendString(body, ts.Name)
+		body = binary.AppendUvarint(body, uint64(t.Len()))
+		for _, r := range t.Rows() {
+			body = sql.AppendRow(body, r)
+		}
+	}
+	buf := make([]byte, 0, len(snapMagic)+8+len(body))
+	buf = append(buf, snapMagic...)
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(body, castagnoli))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, body...)
+
+	tmp := filepath.Join(dir, snapshotTmp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot write: %w", err)
+	}
+	if fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("wal: snapshot fsync: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if fsync {
+		if d, err := os.Open(dir); err == nil {
+			d.Sync()
+			d.Close()
+		}
+	}
+	return nil
+}
+
+// loadSnapshot rebuilds a database (named name, shaped by schema) from
+// dir/snapshot. It returns the covered sequence. Damage of any kind is
+// ErrCorrupt: a snapshot is written atomically, so unlike the log tail
+// there is no benign torn state to tolerate.
+func loadSnapshot(path, name string, schema *relational.Schema) (*relational.Database, uint64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(raw) < len(snapMagic)+8 || string(raw[:len(snapMagic)]) != snapMagic {
+		return nil, 0, corruptf(0, "snapshot: bad magic or truncated header")
+	}
+	n := binary.BigEndian.Uint32(raw[len(snapMagic) : len(snapMagic)+4])
+	crc := binary.BigEndian.Uint32(raw[len(snapMagic)+4 : len(snapMagic)+8])
+	body := raw[len(snapMagic)+8:]
+	if uint32(len(body)) != n {
+		return nil, 0, corruptf(0, "snapshot: body length %d, header says %d", len(body), n)
+	}
+	if crc32.Checksum(body, castagnoli) != crc {
+		return nil, 0, corruptf(0, "snapshot: CRC mismatch")
+	}
+	db, err := relational.NewDatabase(name, schema)
+	if err != nil {
+		return nil, 0, err
+	}
+	seq, sz := binary.Uvarint(body)
+	if sz <= 0 {
+		return nil, 0, corruptf(0, "snapshot: bad sequence")
+	}
+	off := sz
+	tableCount, sz := binary.Uvarint(body[off:])
+	if sz <= 0 {
+		return nil, 0, corruptf(0, "snapshot: bad table count")
+	}
+	off += sz
+	for i := uint64(0); i < tableCount; i++ {
+		tname, sz, err := decodeString(body[off:])
+		if err != nil {
+			return nil, 0, corruptf(int64(off), "snapshot: table name: %v", err)
+		}
+		off += sz
+		rows, sz2 := binary.Uvarint(body[off:])
+		if sz2 <= 0 {
+			return nil, 0, corruptf(int64(off), "snapshot: row count for %s", tname)
+		}
+		off += sz2
+		t := db.Table(tname)
+		if t == nil {
+			return nil, 0, corruptf(int64(off), "snapshot: unknown table %s", tname)
+		}
+		for j := uint64(0); j < rows; j++ {
+			row, sz3, err := sql.DecodeRow(body[off:])
+			if err != nil {
+				return nil, 0, corruptf(int64(off), "snapshot: %s row %d: %v", tname, j, err)
+			}
+			off += sz3
+			if err := t.Insert(row); err != nil {
+				return nil, 0, corruptf(int64(off), "snapshot: %s row %d: %v", tname, j, err)
+			}
+		}
+	}
+	if off != len(body) {
+		return nil, 0, corruptf(int64(off), "snapshot: %d trailing bytes", len(body)-off)
+	}
+	return db, seq, nil
+}

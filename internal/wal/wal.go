@@ -1,0 +1,399 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
+)
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+// castagnoli is the CRC-32C polynomial table shared by records and
+// snapshots.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	logFile      = "wal.log"
+	snapshotFile = "snapshot"
+	snapshotTmp  = "snapshot.tmp"
+
+	recordHeader = 8 // uint32 length + uint32 CRC-32C
+)
+
+// Options tunes group commit and the snapshot policy. The zero value is
+// safe: every batch is fsynced, flushes never linger, and snapshots are
+// taken only when Checkpoint is called explicitly.
+type Options struct {
+	// BatchSize caps how many appends share one record (and one fsync).
+	// 0 means DefaultBatchSize.
+	BatchSize int
+
+	// MaxWait bounds how long a flush lingers for more appends once at
+	// least one more is known to be in flight. 0 means no lingering:
+	// the flusher writes whatever has been submitted by the time it is
+	// free, which already batches concurrent writers (appends queue
+	// while the previous fsync runs) without adding latency for a lone
+	// writer.
+	MaxWait time.Duration
+
+	// NoFsync skips the fsync after each batch (and after snapshots).
+	// The log is then only as durable as the OS page cache — fine for
+	// tests and process-crash tolerance, wrong for power failure.
+	NoFsync bool
+
+	// SnapshotEvery asks ShouldCheckpoint to request a checkpoint after
+	// this many appends since the last one. 0 disables the policy;
+	// Checkpoint can always be called explicitly.
+	SnapshotEvery int
+
+	// MaxRecord bounds a record's payload length; anything larger found
+	// in the log is corruption ("impossible length"). 0 means
+	// DefaultMaxRecord.
+	MaxRecord int
+}
+
+// Defaults for Options zero fields.
+const (
+	DefaultBatchSize = 64
+	DefaultMaxRecord = 16 << 20
+)
+
+func (o Options) withDefaults() Options {
+	if o.BatchSize <= 0 {
+		o.BatchSize = DefaultBatchSize
+	}
+	if o.MaxWait < 0 {
+		o.MaxWait = 0
+	}
+	if o.MaxRecord <= 0 {
+		o.MaxRecord = DefaultMaxRecord
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of a Log's counters, flat uint64
+// fields in the transport.ClientStats style so callers can diff
+// snapshots without histogram dependencies.
+type Stats struct {
+	Appends       uint64 // ops appended
+	Batches       uint64 // group-commit records written
+	Fsyncs        uint64 // fsyncs issued for batches
+	BatchMax      uint64 // largest batch (ops) written — high-water mark
+	CommitWaitNs  uint64 // total ns appenders spent from submit to durable
+	BytesAppended uint64 // log bytes written, headers included
+
+	Snapshots        uint64 // checkpoints completed
+	SnapshotNs       uint64 // total ns spent checkpointing
+	SnapshotFailures uint64 // checkpoints that failed (log kept intact)
+
+	RecoveredSeq        uint64 // sequence recovered at Open
+	RecoveryReplayedOps uint64 // ops replayed from the log tail at Open
+	RecoveryNs          uint64 // wall time of Open's recovery
+}
+
+// Commit is the handle returned by Append. Wait blocks until the op's
+// group-commit batch is durable (or failed) and is safe to call more
+// than once.
+type Commit struct {
+	ch   chan error
+	once sync.Once
+	err  error
+}
+
+// Wait returns the outcome of the batch flush covering this append.
+func (c *Commit) Wait() error {
+	c.once.Do(func() {
+		if c.ch != nil {
+			c.err = <-c.ch
+		}
+	})
+	return c.err
+}
+
+// appendReq is one unit of work for the flusher: either an encoded op
+// or a barrier (flush everything submitted before me, then ack).
+type appendReq struct {
+	payload   []byte
+	submitted time.Time
+	barrier   bool
+	done      chan error
+}
+
+// Log is a shard's durability subsystem: an append-only group-commit
+// log plus a snapshot of the recovered database. Append may be called
+// concurrently, but sequences must be handed out in increasing order
+// (the transport server's replMu provides that). Checkpoint and Close
+// must not race Append.
+type Log struct {
+	dir string
+	opt Options
+	db  *relational.Database
+
+	f    *os.File
+	reqs chan *appendReq
+	// pending counts appends submitted but not yet flushed; the flusher
+	// uses it to flush immediately when every in-flight append is
+	// already in hand (a lone writer never pays MaxWait).
+	pending atomic.Int64
+	stopc   chan struct{}
+	done    chan struct{}
+	closed  atomic.Bool
+
+	lastSeq   atomic.Uint64
+	sinceSnap atomic.Uint64
+
+	appends       atomic.Uint64
+	batches       atomic.Uint64
+	fsyncs        atomic.Uint64
+	batchMax      atomic.Uint64
+	commitWaitNs  atomic.Uint64
+	bytesAppended atomic.Uint64
+	snapshots     atomic.Uint64
+	snapshotNs    atomic.Uint64
+	snapFailures  atomic.Uint64
+
+	// set once during Open, before the flusher starts
+	recoveredSeq uint64
+	recoveredOps uint64
+	recoveryNs   uint64
+
+	// testFlushDelay stretches every flush (tests only: it stands in
+	// for fsync latency so group-commit pileup is deterministic).
+	testFlushDelay time.Duration
+}
+
+// Database returns the recovered database this log is attached to.
+func (l *Log) Database() *relational.Database { return l.db }
+
+// Dir returns the WAL directory.
+func (l *Log) Dir() string { return l.dir }
+
+// LastSeq returns the highest sequence appended or recovered.
+func (l *Log) LastSeq() uint64 { return l.lastSeq.Load() }
+
+// SinceCheckpoint returns the number of appends since the last
+// checkpoint (or since Open).
+func (l *Log) SinceCheckpoint() uint64 { return l.sinceSnap.Load() }
+
+// Stats snapshots the counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:             l.appends.Load(),
+		Batches:             l.batches.Load(),
+		Fsyncs:              l.fsyncs.Load(),
+		BatchMax:            l.batchMax.Load(),
+		CommitWaitNs:        l.commitWaitNs.Load(),
+		BytesAppended:       l.bytesAppended.Load(),
+		Snapshots:           l.snapshots.Load(),
+		SnapshotNs:          l.snapshotNs.Load(),
+		SnapshotFailures:    l.snapFailures.Load(),
+		RecoveredSeq:        l.recoveredSeq,
+		RecoveryReplayedOps: l.recoveredOps,
+		RecoveryNs:          l.recoveryNs,
+	}
+}
+
+// Append submits one op for durable logging and returns immediately
+// with a Commit handle; the write is acknowledged by Commit.Wait once
+// its batch reaches disk. seq is the op's replication sequence and must
+// exceed every previously appended sequence.
+func (l *Log) Append(seq uint64, table string, row relational.Row) *Commit {
+	if l.closed.Load() {
+		return &Commit{err: ErrClosed}
+	}
+	p := binary.AppendUvarint(nil, seq)
+	p = appendString(p, table)
+	p = sql.AppendRow(p, row)
+	req := &appendReq{payload: p, submitted: time.Now(), done: make(chan error, 1)}
+	for {
+		cur := l.lastSeq.Load()
+		if seq <= cur || l.lastSeq.CompareAndSwap(cur, seq) {
+			break
+		}
+	}
+	l.sinceSnap.Add(1)
+	l.pending.Add(1)
+	l.reqs <- req
+	return &Commit{ch: req.done}
+}
+
+// barrier blocks until every append submitted before it is flushed.
+func (l *Log) barrier() error {
+	if l.closed.Load() {
+		return ErrClosed
+	}
+	req := &appendReq{barrier: true, done: make(chan error, 1)}
+	l.reqs <- req
+	return <-req.done
+}
+
+// ShouldCheckpoint reports whether the snapshot policy asks for a
+// checkpoint now.
+func (l *Log) ShouldCheckpoint() bool {
+	return l.opt.SnapshotEvery > 0 && l.sinceSnap.Load() >= uint64(l.opt.SnapshotEvery)
+}
+
+// Close flushes whatever has been submitted and releases the log file.
+// It must not race Append or Checkpoint.
+func (l *Log) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	close(l.stopc)
+	<-l.done
+	return l.f.Close()
+}
+
+// flusher is the single goroutine that owns log-file writes.
+func (l *Log) flusher() {
+	defer close(l.done)
+	for {
+		select {
+		case <-l.stopc:
+			l.drainRemaining()
+			return
+		case r := <-l.reqs:
+			if r.barrier {
+				r.done <- nil
+				continue
+			}
+			l.collectAndFlush(r)
+		}
+	}
+}
+
+// collectAndFlush gathers a batch starting at first and writes it as
+// one record. It flushes as soon as every submitted append is in hand;
+// with MaxWait > 0 it lingers for stragglers known to be in flight.
+func (l *Log) collectAndFlush(first *appendReq) {
+	batch := []*appendReq{first}
+	var barriers []*appendReq
+	var timer *time.Timer
+collect:
+	for len(batch) < l.opt.BatchSize {
+		select {
+		case r := <-l.reqs:
+			if r.barrier {
+				barriers = append(barriers, r)
+				break collect
+			}
+			batch = append(batch, r)
+			continue
+		default:
+		}
+		if l.pending.Load() <= int64(len(batch)) {
+			break // everything in flight is already in the batch
+		}
+		if l.opt.MaxWait <= 0 {
+			break
+		}
+		if timer == nil {
+			timer = time.NewTimer(l.opt.MaxWait)
+			defer timer.Stop()
+		}
+		select {
+		case r := <-l.reqs:
+			if r.barrier {
+				barriers = append(barriers, r)
+				break collect
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			break collect
+		case <-l.stopc:
+			break collect
+		}
+	}
+	err := l.flush(batch)
+	for _, r := range batch {
+		r.done <- err
+	}
+	for _, b := range barriers {
+		b.done <- err
+	}
+}
+
+// drainRemaining empties the queue during Close: one final batch, then
+// every straggler is answered.
+func (l *Log) drainRemaining() {
+	var batch []*appendReq
+	for {
+		select {
+		case r := <-l.reqs:
+			if r.barrier {
+				r.done <- nil
+				continue
+			}
+			batch = append(batch, r)
+		default:
+			if len(batch) == 0 {
+				return
+			}
+			err := l.flush(batch)
+			for _, r := range batch {
+				r.done <- err
+			}
+			batch = nil
+		}
+	}
+}
+
+// flush writes one group-commit record covering batch and fsyncs it
+// (unless NoFsync).
+func (l *Log) flush(batch []*appendReq) error {
+	if l.testFlushDelay > 0 {
+		time.Sleep(l.testFlushDelay)
+	}
+	payload := binary.AppendUvarint(nil, uint64(len(batch)))
+	for _, r := range batch {
+		payload = append(payload, r.payload...)
+	}
+	rec := make([]byte, recordHeader, recordHeader+len(payload))
+	binary.BigEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	rec = append(rec, payload...)
+	_, err := l.f.Write(rec)
+	if err == nil && !l.opt.NoFsync {
+		err = l.f.Sync()
+		l.fsyncs.Add(1)
+	}
+	now := time.Now()
+	for _, r := range batch {
+		l.commitWaitNs.Add(uint64(now.Sub(r.submitted)))
+	}
+	l.appends.Add(uint64(len(batch)))
+	l.batches.Add(1)
+	l.bytesAppended.Add(uint64(len(rec)))
+	for {
+		cur := l.batchMax.Load()
+		if uint64(len(batch)) <= cur || l.batchMax.CompareAndSwap(cur, uint64(len(batch))) {
+			break
+		}
+	}
+	l.pending.Add(-int64(len(batch)))
+	return err
+}
+
+// appendString writes a uvarint length-prefixed string (the same shape
+// sql's codec uses for strings, kept local to pin the WAL format).
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decodeString reads a uvarint length-prefixed string.
+func decodeString(b []byte) (string, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > uint64(len(b)-sz) {
+		return "", 0, errors.New("wal: truncated string")
+	}
+	return string(b[sz : sz+int(n)]), sz + int(n), nil
+}

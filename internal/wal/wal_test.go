@@ -1,0 +1,350 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/relational"
+)
+
+// walSchema builds the two-table schema the tests log against.
+func walSchema(t testing.TB) *relational.Schema {
+	t.Helper()
+	s := relational.NewSchema()
+	add := func(ts *relational.TableSchema) {
+		if err := s.AddTable(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(&relational.TableSchema{
+		Name: "movie",
+		Columns: []relational.Column{
+			{Name: "movie_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "title", Type: relational.TypeString, NotNull: true},
+			{Name: "year", Type: relational.TypeInt},
+		},
+		PrimaryKey: "movie_id",
+	})
+	add(&relational.TableSchema{
+		Name: "tagline",
+		Columns: []relational.Column{
+			{Name: "tag_id", Type: relational.TypeInt, NotNull: true},
+			{Name: "text", Type: relational.TypeString},
+		},
+		PrimaryKey: "tag_id",
+	})
+	return s
+}
+
+// walBase builds a base database with nBase pre-loaded movies.
+func walBase(t testing.TB, nBase int) *relational.Database {
+	t.Helper()
+	db, err := relational.NewDatabase("waltest", walSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nBase; i++ {
+		if err := db.Insert("movie", baseRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func baseRow(i int) relational.Row {
+	return relational.Row{relational.Int(int64(i)), relational.String_(fmt.Sprintf("base %d", i)), relational.Int(1990)}
+}
+
+// opRow is the row appended at sequence seq (PKs offset past the base).
+func opRow(seq uint64) relational.Row {
+	return relational.Row{relational.Int(int64(1000 + seq)), relational.String_(fmt.Sprintf("op %d", seq)), relational.Int(2000)}
+}
+
+// emptyBase returns a fresh schema-only database, the shape a restart
+// passes to Open once the directory is self-contained.
+func emptyBase(t testing.TB) *relational.Database {
+	t.Helper()
+	db, err := relational.NewDatabase("waltest", walSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// appendOps appends seqs (first..first+n-1) one by one, waiting each.
+func appendOps(t testing.TB, l *Log, first uint64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		seq := first + uint64(i)
+		if err := l.db.Insert("movie", opRow(seq)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(seq, "movie", opRow(seq)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRoundTripThroughRestart(t *testing.T) {
+	dir := t.TempDir()
+	l, rec, err := Open(dir, walBase(t, 5), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FromSnapshot || rec.LastSeq != 0 || rec.ReplayedOps != 0 {
+		t.Fatalf("fresh open recovery = %+v", rec)
+	}
+	// The first open must have made the directory self-contained.
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("no base snapshot after first open: %v", err)
+	}
+	appendOps(t, l, 1, 7)
+	if got := l.LastSeq(); got != 7 {
+		t.Fatalf("LastSeq = %d, want 7", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart with only the schema: snapshot restores the base, replay
+	// restores the appends.
+	l2, rec2, err := Open(dir, emptyBase(t), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if !rec2.FromSnapshot {
+		t.Fatal("restart did not load the snapshot")
+	}
+	if rec2.LastSeq != 7 || rec2.ReplayedOps != 7 {
+		t.Fatalf("recovery = %+v, want LastSeq 7 ReplayedOps 7", rec2)
+	}
+	if n := rec2.DB.Table("movie").Len(); n != 12 {
+		t.Fatalf("recovered movie rows = %d, want 12", n)
+	}
+	st := l2.Stats()
+	if st.RecoveredSeq != 7 || st.RecoveryReplayedOps != 7 || st.RecoveryNs == 0 {
+		t.Fatalf("recovery stats = %+v", st)
+	}
+	// Appends resume past the recovered sequence.
+	appendOps(t, l2, 8, 2)
+	if got := l2.LastSeq(); got != 9 {
+		t.Fatalf("LastSeq after resume = %d, want 9", got)
+	}
+}
+
+func TestGroupCommitBatchesConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, walBase(t, 0), Options{BatchSize: 16, MaxWait: 10 * time.Millisecond, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stand in for fsync latency: while one batch "syncs", concurrent
+	// writers pile up and the next flush covers all of them.
+	l.testFlushDelay = 2 * time.Millisecond
+	// Mimic the server: sequence assignment + submit under one lock
+	// (replMu), durability wait outside it, many writers at once.
+	const writers, perWriter = 8, 20
+	var mu sync.Mutex
+	var seq uint64
+	var wg sync.WaitGroup
+	errc := make(chan error, writers*perWriter)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				mu.Lock()
+				seq++
+				s := seq
+				l.db.Insert("movie", opRow(s))
+				c := l.Append(s, "movie", opRow(s))
+				mu.Unlock()
+				errc <- c.Wait()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != writers*perWriter {
+		t.Fatalf("Appends = %d, want %d", st.Appends, writers*perWriter)
+	}
+	if st.Batches >= st.Appends {
+		t.Fatalf("no group commit: %d batches for %d appends", st.Batches, st.Appends)
+	}
+	if st.BatchMax < 2 || st.BatchMax > 16 {
+		t.Fatalf("BatchMax = %d, want within [2,16]", st.BatchMax)
+	}
+	if st.Fsyncs != 0 {
+		t.Fatalf("Fsyncs = %d with NoFsync", st.Fsyncs)
+	}
+	if st.CommitWaitNs == 0 || st.BytesAppended == 0 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Multi-op records replay exactly.
+	l2, rec, err := Open(dir, emptyBase(t), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.LastSeq != writers*perWriter || rec.ReplayedOps != writers*perWriter {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if n := rec.DB.Table("movie").Len(); n != writers*perWriter {
+		t.Fatalf("recovered rows = %d", n)
+	}
+}
+
+func TestFsyncPerBatch(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, walBase(t, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendOps(t, l, 1, 3)
+	st := l.Stats()
+	if st.Fsyncs != st.Batches || st.Fsyncs == 0 {
+		t.Fatalf("Fsyncs = %d, Batches = %d; want one fsync per batch", st.Fsyncs, st.Batches)
+	}
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, walBase(t, 3), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, 1, 10)
+	logPath := filepath.Join(dir, logFile)
+	if fi, _ := os.Stat(logPath); fi.Size() == 0 {
+		t.Fatal("log empty before checkpoint")
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(logPath); fi.Size() != 0 {
+		t.Fatalf("log size %d after checkpoint, want 0", fi.Size())
+	}
+	if st := l.Stats(); st.Snapshots != 2 || st.SnapshotNs == 0 { // open-time + explicit
+		t.Fatalf("snapshot stats = %+v", st)
+	}
+	if got := l.SinceCheckpoint(); got != 0 {
+		t.Fatalf("SinceCheckpoint = %d", got)
+	}
+	// Ops after the checkpoint land at the head of the truncated log.
+	appendOps(t, l, 11, 4)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec, err := Open(dir, emptyBase(t), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.LastSeq != 14 || rec.ReplayedOps != 4 {
+		t.Fatalf("recovery = %+v, want LastSeq 14 ReplayedOps 4", rec)
+	}
+	if n := rec.DB.Table("movie").Len(); n != 17 {
+		t.Fatalf("recovered rows = %d, want 17", n)
+	}
+}
+
+func TestSnapshotPolicy(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, walBase(t, 0), Options{NoFsync: true, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.ShouldCheckpoint() {
+		t.Fatal("ShouldCheckpoint before any append")
+	}
+	appendOps(t, l, 1, 4)
+	if !l.ShouldCheckpoint() {
+		t.Fatal("ShouldCheckpoint false after SnapshotEvery appends")
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if l.ShouldCheckpoint() {
+		t.Fatal("ShouldCheckpoint true right after a checkpoint")
+	}
+	// Replayed-but-unsnapshotted ops count toward the policy after a
+	// restart.
+	appendOps(t, l, 5, 3)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := Open(dir, emptyBase(t), Options{NoFsync: true, SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.SinceCheckpoint(); got != 3 {
+		t.Fatalf("SinceCheckpoint after restart = %d, want 3", got)
+	}
+}
+
+func TestClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, walBase(t, 0), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendOps(t, l, 1, 2)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := l.Append(3, "movie", opRow(3)).Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close = %v, want ErrClosed", err)
+	}
+	if err := l.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Checkpoint after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestBarrierFlushesPending(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, walBase(t, 0), Options{BatchSize: 64, MaxWait: time.Second, NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Submit without waiting, then checkpoint: the barrier must flush
+	// the stragglers before the snapshot claims to cover them.
+	var commits []*Commit
+	for seq := uint64(1); seq <= 5; seq++ {
+		l.db.Insert("movie", opRow(seq))
+		commits = append(commits, l.Append(seq, "movie", opRow(seq)))
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range commits {
+		if err := c.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := l.Stats(); st.Appends != 5 {
+		t.Fatalf("Appends = %d", st.Appends)
+	}
+}
