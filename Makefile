@@ -5,9 +5,9 @@ GO       ?= go
 PKGS     ?= ./...
 BENCH    ?= .
 SEED     ?= 42
-SNAPSHOT ?= BENCH_pr8.json
+SNAPSHOT ?= BENCH_pr9.json
 
-.PHONY: all build test race vet bench bench-smoke fuzz-smoke conformance conformance-remote conformance-faults conformance-durability snapshot ci clean
+.PHONY: all build test race vet bench bench-smoke fuzz-smoke serve-smoke conformance conformance-remote conformance-faults conformance-durability snapshot ci clean
 
 all: build
 
@@ -36,6 +36,13 @@ bench-smoke:
 # RLE payloads must surface as typed protocol errors, never a panic.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzColumnarDecode -fuzztime 10s ./internal/transport
+
+# Serving-tier smoke: questd's HTTP surface against an in-process engine
+# under an open-loop burst — a rate-limited tenant must draw typed 429s
+# with Retry-After while an interactive tenant stays unaffected, and the
+# /v1/stats counters must reconcile with what the client observed.
+serve-smoke:
+	$(GO) test -race -count=1 -run TestServeSmoke ./internal/serve
 
 # Cross-backend conformance: the differential suite holds ShardedSource
 # (at 1, 3 and 7 shards, with concurrent queries and interleaved inserts)
@@ -74,12 +81,13 @@ conformance-durability:
 # tables including the E9 executor/planner, prune-path, E10
 # statistics/join-order, E11 sharded-execution, E12 remote-transport/
 # hedged-read, E13 streaming/columnar, E14 replication/failover and E15
-# shard-durability benchmarks. Committed as BENCH_pr8.json so the perf
-# trajectory is diffable per PR; override SNAPSHOT to write elsewhere.
+# shard-durability benchmarks and the E16 open-loop serving-tier overload
+# sweep. Committed as BENCH_pr9.json so the perf trajectory is diffable
+# per PR; override SNAPSHOT to write elsewhere.
 snapshot:
 	$(GO) run ./cmd/questbench -seed $(SEED) -json $(SNAPSHOT)
 
-ci: build vet test race conformance conformance-remote conformance-faults conformance-durability bench-smoke fuzz-smoke
+ci: build vet test race conformance conformance-remote conformance-faults conformance-durability bench-smoke fuzz-smoke serve-smoke
 
 clean:
 	rm -f BENCH_*.json

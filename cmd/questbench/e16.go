@@ -1,0 +1,298 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	quest "repro"
+	"repro/internal/eval"
+	"repro/internal/serve"
+	sqlpkg "repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// e16Serving: the serving-tier overload scorecard. Unlike every earlier
+// latency experiment, the load generator here is open-loop: arrivals
+// follow a Poisson process at a fixed rate whether or not earlier
+// requests have finished, the way real front-door traffic behaves. A
+// closed-loop generator (issue, wait, issue) can never push a server past
+// its capacity — each stalled response throttles the generator — so it
+// structurally cannot see what overload does to the tail. Latency is
+// measured from each request's *scheduled* arrival, not from when the
+// client goroutine got around to sending it, so coordinated omission
+// doesn't flatter the percentiles.
+//
+// E16a estimates the server's closed-loop capacity (the denominator for
+// the load factors). E16b then drives 1x, 1.5x and 2x that rate at the
+// HTTP surface of a questd-shaped server — MaxConcurrent pinned to 2,
+// query cache and coalescing disabled so every admitted request pays the
+// full pipeline — once with load shedding (small admission queue, typed
+// 503s past it) and once without (unbounded queue). The point the table
+// makes: past capacity, the unbounded queue's admitted p99 grows with the
+// length of the run (every arrival waits behind an ever-longer line),
+// while the shedding server holds its admitted tail near the 1x tail and
+// pays for it in 503s — which is the trade a front door wants.
+func e16Serving() {
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: 1})
+	opts := quest.Defaults()
+	opts.QueryCacheSize = -1 // every search pays the full pipeline
+	opts.PruneEmpty = true   // and validates candidates, questd's -prune shape
+	// The engine runs over a source whose existence probes cost wall-clock
+	// time but no CPU — the deployment shape questd actually fronts, a
+	// coordinator whose validation work is dominated by remote shard round
+	// trips. On this single-CPU machine a CPU-bound workload can't show
+	// admission control doing its job: past capacity the generator, the
+	// accept loop and the handlers all starve together, so requests queue
+	// in the kernel before the admission check ever sees them. With
+	// waiting-dominated service the CPU stays unsaturated at every tested
+	// load and overload manifests exactly where the serving tier manages
+	// it: in the execution-slot queue.
+	eng := quest.OpenSource(&slowExistsSource{
+		FullAccessSource: wrapper.NewFullAccessSource(db),
+		delay:            4 * time.Millisecond,
+	}, opts)
+
+	w := workloadFor(db, "imdb")
+	queries := make([]string, 0, len(w.Queries))
+	for _, q := range w.Queries {
+		queries = append(queries, strings.Join(q.Keywords, " "))
+	}
+	if len(queries) == 0 {
+		panic("e16: empty workload")
+	}
+
+	const concurrency = 2
+
+	// startServer boots a questd-shaped HTTP server on a loopback port.
+	// maxQueue < 0 is the no-shedding configuration.
+	startServer := func(maxQueue int) (*serve.Server, *http.Server, string) {
+		sv := serve.New(eng, serve.Options{
+			MaxConcurrent:   concurrency,
+			MaxQueue:        maxQueue,
+			TenantRate:      -1, // admission rate limiting off: E16 studies shedding
+			DisableCoalesce: true,
+			DefaultDeadline: 60 * time.Second,
+			MaxDeadline:     120 * time.Second,
+		})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		hs := &http.Server{Handler: sv}
+		go hs.Serve(l)
+		return sv, hs, "http://" + l.Addr().String()
+	}
+
+	// Idle-pool limits sized so the open-loop bursts reuse connections:
+	// a cold dial per request on this machine would cost more than the
+	// pipeline itself and the measured queue would be TCP setup, not the
+	// server's admission queue.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2048,
+		MaxIdleConnsPerHost: 1024,
+	}}
+	get := func(base, q string) (int, error) {
+		req, err := http.NewRequest(http.MethodGet, base+"/v1/search?q="+strings.ReplaceAll(q, " ", "+"), nil)
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set(serve.DeadlineHeader, "60000")
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// E16a: closed-loop capacity estimate — `concurrency` workers in
+	// lockstep with the execution slots, zero queueing. This is the best
+	// sustained throughput the engine can give this server; the open-loop
+	// scenarios express their arrival rates as multiples of it.
+	_, hs, base := startServer(-1)
+	warm, measured := 2*len(queries), 120
+	for i := 0; i < warm; i++ {
+		if code, err := get(base, queries[i%len(queries)]); err != nil || code != http.StatusOK {
+			panic(fmt.Sprintf("e16 warmup: code %d err %v", code, err))
+		}
+	}
+	var wg sync.WaitGroup
+	var next int64
+	var mu sync.Mutex
+	start := time.Now()
+	for wkr := 0; wkr < concurrency; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= int64(measured) {
+					return
+				}
+				if _, err := get(base, queries[int(i)%len(queries)]); err != nil {
+					panic(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	capacity := float64(measured) / elapsed.Seconds()
+	hs.Close()
+
+	tblA := &eval.Table{
+		Title:   "E16a — closed-loop capacity estimate (2 workers, cache and coalescing off)",
+		Headers: []string{"requests", "elapsed-ms", "mean-service-ms", "est-capacity-rps"},
+	}
+	tblA.AddRow(
+		fmt.Sprint(measured),
+		fmt.Sprintf("%.1f", float64(elapsed.Milliseconds())),
+		fmt.Sprintf("%.2f", elapsed.Seconds()/float64(measured)*float64(concurrency)*1000),
+		fmt.Sprintf("%.1f", capacity),
+	)
+	emit(tblA)
+
+	// E16b: open-loop overload sweep. Scale the arrival count so a run is
+	// a fixed multiple of capacity-seconds regardless of how fast this
+	// machine is.
+	arrivals := int(capacity * 3)
+	if arrivals < 120 {
+		arrivals = 120
+	}
+	if arrivals > 600 {
+		arrivals = 600
+	}
+
+	tblB := &eval.Table{
+		Title:   "E16b — open-loop overload: admitted-request latency vs Poisson arrival rate, with and without load shedding",
+		Headers: []string{"load", "shedding", "arrivals", "admitted", "shed-503", "p50-ms", "p99-ms", "p999-ms"},
+	}
+	rng := rand.New(rand.NewSource(*seed + 1600))
+
+	// One long-lived server per configuration: every scenario against the
+	// same host reuses the warmed connection pool, and a discard burst up
+	// front pays the cold costs (dials, heap growth, GC ramp) outside the
+	// measured windows. Per-scenario shed counts come from counter deltas.
+	svShed, hsShed, baseShed := startServer(8)
+	svNo, hsNo, baseNo := startServer(-1)
+	defer hsShed.Close()
+	defer hsNo.Close()
+	for _, base := range []string{baseShed, baseNo} {
+		openLoop(rng, base, get, queries, 1.5*capacity, arrivals/2)
+	}
+
+	for _, factor := range []float64{1.0, 1.5, 2.0} {
+		for _, shedding := range []bool{true, false} {
+			sv, base, mode := svShed, baseShed, "on"
+			if !shedding {
+				sv, base, mode = svNo, baseNo, "off"
+			}
+			before := sv.Stats().Shed
+			admitted, shed, other := openLoop(rng, base, get, queries, factor*capacity, arrivals)
+			if got := int(sv.Stats().Shed - before); got != shed {
+				panic(fmt.Sprintf("e16: shed count mismatch: stats %d vs observed %d", got, shed))
+			}
+			if other > 0 {
+				panic(fmt.Sprintf("e16: %d requests failed with unexpected statuses", other))
+			}
+			sort.Slice(admitted, func(i, j int) bool { return admitted[i] < admitted[j] })
+			tblB.AddRow(
+				fmt.Sprintf("%.1fx", factor),
+				mode,
+				fmt.Sprint(arrivals),
+				fmt.Sprint(len(admitted)),
+				fmt.Sprint(shed),
+				fmt.Sprintf("%.1f", ms(pctl(admitted, 50))),
+				fmt.Sprintf("%.1f", ms(pctl(admitted, 99))),
+				fmt.Sprintf("%.1f", ms(pctl(admitted, 99.9))),
+			)
+		}
+	}
+	emit(tblB)
+}
+
+// slowExistsSource charges a fixed wall-clock delay per existence probe,
+// honoring cancellation — a stand-in for the shard round trips a remote
+// coordinator pays during PruneEmpty validation.
+type slowExistsSource struct {
+	*wrapper.FullAccessSource
+	delay time.Duration
+}
+
+func (s *slowExistsSource) ExecuteExistsCtx(ctx context.Context, stmt *sqlpkg.SelectStmt) (bool, error) {
+	t := time.NewTimer(s.delay)
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		t.Stop()
+		return false, ctx.Err()
+	}
+	return s.FullAccessSource.ExecuteExists(stmt)
+}
+
+// openLoop fires n requests with Poisson (exponential inter-arrival)
+// spacing at rate req/s, never waiting for responses. Each request's
+// latency runs from its scheduled arrival instant; a generator running
+// late inflates the recorded latency rather than hiding it.
+func openLoop(rng *rand.Rand, base string, get func(base, q string) (int, error),
+	queries []string, rate float64, n int) (admitted []time.Duration, shed, other int) {
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	start := time.Now()
+	offset := time.Duration(0)
+	for i := 0; i < n; i++ {
+		offset += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		scheduled := start.Add(offset)
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		q := queries[i%len(queries)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, err := get(base, q)
+			lat := time.Since(scheduled)
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil && code == http.StatusOK:
+				admitted = append(admitted, lat)
+			case err == nil && code == http.StatusServiceUnavailable:
+				shed++
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+	return admitted, shed, other
+}
+
+func pctl(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted)) * p / 100)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}

@@ -2,8 +2,9 @@
 // plus the E9 executor/planner scorecard, the E10 statistics/join-order
 // scorecard, the E11 sharded-execution scorecard, the E12 remote
 // transport / hedged-read scorecard, the E13 streaming/columnar
-// scorecard, the E14 replication/failover scorecard and the E15 shard
-// durability scorecard) and prints the tables recorded in EXPERIMENTS.md.
+// scorecard, the E14 replication/failover scorecard, the E15 shard
+// durability scorecard and the E16 serving-tier overload scorecard) and
+// prints the tables recorded in EXPERIMENTS.md.
 // Each experiment is a deterministic function of the seed, so re-running
 // reproduces the report.
 //
@@ -14,7 +15,7 @@
 //
 // Usage:
 //
-//	questbench [-exp all|e1..e15] [-seed N] [-n N] [-json BENCH_42.json]
+//	questbench [-exp all|e1..e16] [-seed N] [-n N] [-json BENCH_42.json]
 package main
 
 import (
@@ -96,7 +97,7 @@ func writeSnapshot(path string) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, e1..e15)")
+	exp := flag.String("exp", "all", "experiment to run (all, e1..e16)")
 	flag.Parse()
 
 	runners := map[string]func(){
@@ -115,9 +116,10 @@ func main() {
 		"e13": e13Streaming,
 		"e14": e14Failover,
 		"e15": e15Durability,
+		"e16": e16Serving,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15"} {
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"} {
 			runners[name]()
 		}
 	} else {

@@ -59,6 +59,30 @@ import (
 	"repro/internal/wrapper"
 )
 
+// validateFlags rejects flag combinations that would build a nonsense
+// shard rather than letting them surface later as a confusing partition
+// or WAL failure. -snapshot-interval 0 is legal: it is documented to
+// disable periodic snapshots (wal.Options.SnapshotEvery), so only
+// negative values are refused.
+func validateFlags(shards, index, scale, snapInterval, commitBatch int) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1, got %d", shards)
+	}
+	if index < 0 || index >= shards {
+		return fmt.Errorf("-index %d out of range for %d shards (want 0..%d)", index, shards, shards-1)
+	}
+	if scale < 1 {
+		return fmt.Errorf("-scale must be >= 1, got %d", scale)
+	}
+	if snapInterval < 0 {
+		return fmt.Errorf("-snapshot-interval must be >= 0 (0 disables periodic snapshots), got %d", snapInterval)
+	}
+	if commitBatch < 0 {
+		return fmt.Errorf("-commit-batch must be >= 0 (0 selects the default), got %d", commitBatch)
+	}
+	return nil
+}
+
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:4730", "listen address")
@@ -98,8 +122,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "questshardd: unknown dataset %q\n", *dataset)
 		os.Exit(2)
 	}
-	if *shards < 1 || *index < 0 || *index >= *shards {
-		fmt.Fprintf(os.Stderr, "questshardd: index %d out of range for %d shards\n", *index, *shards)
+	if err := validateFlags(*shards, *index, *scale, *snapInterval, *commitBatch); err != nil {
+		fmt.Fprintf(os.Stderr, "questshardd: %v\n", err)
 		os.Exit(2)
 	}
 	if *shards > 1 {

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                                       string
+		shards, index, scale, snapInt, commitBatch int
+		wantErr                                    string // substring; "" means valid
+	}{
+		{name: "defaults", shards: 1, index: 0, scale: 1, snapInt: 4096},
+		{name: "last index of fleet", shards: 3, index: 2, scale: 1, snapInt: 4096},
+		{name: "snapshots disabled", shards: 1, index: 0, scale: 1, snapInt: 0},
+		{name: "explicit commit batch", shards: 1, index: 0, scale: 1, snapInt: 1, commitBatch: 64},
+
+		{name: "zero shards", shards: 0, index: 0, scale: 1, snapInt: 1, wantErr: "-shards"},
+		{name: "negative shards", shards: -2, index: 0, scale: 1, snapInt: 1, wantErr: "-shards"},
+		{name: "negative index", shards: 2, index: -1, scale: 1, snapInt: 1, wantErr: "-index"},
+		{name: "index past fleet", shards: 2, index: 2, scale: 1, snapInt: 1, wantErr: "-index"},
+		{name: "zero scale", shards: 1, index: 0, scale: 0, snapInt: 1, wantErr: "-scale"},
+		{name: "negative scale", shards: 1, index: 0, scale: -1, snapInt: 1, wantErr: "-scale"},
+		{name: "negative snapshot interval", shards: 1, index: 0, scale: 1, snapInt: -1, wantErr: "-snapshot-interval"},
+		{name: "negative commit batch", shards: 1, index: 0, scale: 1, snapInt: 1, commitBatch: -1, wantErr: "-commit-batch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateFlags(tc.shards, tc.index, tc.scale, tc.snapInt, tc.commitBatch)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateFlags = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateFlags = nil, want error naming %s", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("validateFlags = %q, want it to name %s", err, tc.wantErr)
+			}
+		})
+	}
+}

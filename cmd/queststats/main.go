@@ -12,7 +12,7 @@
 // Usage:
 //
 //	queststats [-db imdb|mondial|dblp] [-scale N] [-seed N]
-//	           [-section all|terms|graph|fulltext|indexes|stats|mi|fleet|durability] [-sql "SELECT ..."]
+//	           [-section all|terms|graph|fulltext|indexes|stats|mi|fleet|durability|serve] [-sql "SELECT ..."]
 //
 // The stats section dumps the per-table/per-column statistics snapshots
 // the SQL planner estimates from (distinct counts, most common values,
@@ -26,6 +26,14 @@
 // resulting fleet topology and the client's replication counters. It is the
 // inspection view for the same counters a production coordinator exposes
 // through RemoteClientStats.
+//
+// The serve section stands up an in-process questd serving tier (the same
+// serve.Server the daemon mounts) and scripts front-door traffic against
+// its HTTP surface: the dataset workload as an interactive tenant, a burst
+// of identical concurrent searches that coalesce into one engine call, a
+// bulk tenant hammered past its token bucket into typed 429s, one SQL
+// query and one malformed request — then reports the flat counter snapshot
+// the /v1/stats endpoint serves.
 //
 // The durability section opens a shard WAL over a scratch directory, runs
 // replicated writes through it (group commits, fsyncs, policy snapshots),
@@ -59,7 +67,7 @@ func main() {
 		dbName  = flag.String("db", "imdb", "dataset: imdb, mondial or dblp")
 		scale   = flag.Int("scale", 1, "dataset scale factor")
 		seed    = flag.Int64("seed", 42, "dataset seed")
-		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, indexes, stats, mi, fleet, durability")
+		section = flag.String("section", "all", "what to print: all, terms, graph, fulltext, indexes, stats, mi, fleet, durability, serve")
 		sqlText = flag.String("sql", "", "explain this SQL query and exit")
 	)
 	flag.Parse()
@@ -241,6 +249,13 @@ func main() {
 	if show("durability") {
 		if err := durabilitySection(db); err != nil {
 			fmt.Fprintf(os.Stderr, "durability: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if show("serve") {
+		if err := serveSection(db, *dbName, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	quest "repro"
+	"repro/internal/eval"
+	"repro/internal/serve"
+	sqlpkg "repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// probeDelaySource charges a small wall-clock delay per existence probe —
+// the shape of a coordinator whose PruneEmpty validation waits on remote
+// shard round trips. On a single-CPU machine a purely CPU-bound search
+// runs to completion before concurrently issued requests are even
+// scheduled, so no coalesce window ever opens; waiting-dominated service
+// is the deployment shape whose concurrency the section demonstrates.
+type probeDelaySource struct {
+	*wrapper.FullAccessSource
+	delay time.Duration
+}
+
+func (s *probeDelaySource) ExecuteExistsCtx(ctx context.Context, stmt *sqlpkg.SelectStmt) (bool, error) {
+	t := time.NewTimer(s.delay)
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+		t.Stop()
+		return false, ctx.Err()
+	}
+	return s.FullAccessSource.ExecuteExists(stmt)
+}
+
+// serveSection mounts the questd serving tier over an in-process engine
+// and scripts the traffic shapes the front door exists to manage, then
+// reports the counter snapshot /v1/stats serves. The engine runs with
+// PruneEmpty validation and the query cache off so every admitted search
+// pays the full pipeline — the shape under which coalescing and queue
+// wait are visible at all.
+func serveSection(db *quest.Database, dbName string, seed int64) error {
+	opts := quest.Defaults()
+	opts.PruneEmpty = true
+	opts.QueryCacheSize = -1
+	eng := quest.OpenSource(&probeDelaySource{
+		FullAccessSource: wrapper.NewFullAccessSource(db),
+		delay:            time.Millisecond,
+	}, opts)
+	sv := serve.New(eng, serve.Options{
+		TenantRate:  200,
+		TenantBurst: 32,
+	})
+
+	do := func(method, target, tenant, body string) int {
+		var rd *strings.Reader
+		if body == "" {
+			rd = strings.NewReader("")
+		} else {
+			rd = strings.NewReader(body)
+		}
+		req := httptest.NewRequest(method, target, rd)
+		if tenant != "" {
+			req.Header.Set(serve.TenantHeader, tenant)
+		}
+		if body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		rr := httptest.NewRecorder()
+		sv.ServeHTTP(rr, req)
+		return rr.Code
+	}
+	search := func(tenant, q string) int {
+		return do("GET", "/v1/search?k=3&q="+url.QueryEscape(q), tenant, "")
+	}
+
+	w := eval.NewGenerator(db, seed+100).Generate(dbName, eval.TemplatesFor(dbName), 2)
+	if len(w.Queries) == 0 {
+		return fmt.Errorf("empty workload for %s", dbName)
+	}
+	queries := make([]string, 0, len(w.Queries))
+	for _, q := range w.Queries {
+		queries = append(queries, strings.Join(q.Keywords, " "))
+	}
+
+	fmt.Printf("== serving tier — questd's HTTP surface over an in-process engine ==\n")
+
+	// Interactive tenant: the dataset workload, one search at a time.
+	okCount := 0
+	for _, q := range queries {
+		if search("interactive", q) == 200 {
+			okCount++
+		}
+	}
+	fmt.Printf("  * interactive tenant: %d/%d workload searches returned 200\n", okCount, len(queries))
+
+	// A burst of identical concurrent searches: one leader runs the
+	// engine, the rest coalesce onto its in-flight result.
+	const dup = 6
+	var wg sync.WaitGroup
+	for i := 0; i < dup; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			search("interactive", queries[0])
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("  * %d identical searches issued concurrently (coalesce window)\n", dup)
+
+	// Bulk tenant: a burst far past its token bucket; the overflow is
+	// rejected with typed 429s before it ever reaches the engine.
+	const burst = 48
+	var admitted, limited int
+	var mu sync.Mutex
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code := search("bulk", queries[i%len(queries)])
+			mu.Lock()
+			defer mu.Unlock()
+			switch code {
+			case 200:
+				admitted++
+			case 429:
+				limited++
+			}
+		}(i)
+	}
+	wg.Wait()
+	fmt.Printf("  * bulk tenant: %d-request burst -> %d admitted, %d rate-limited (429)\n", burst, admitted, limited)
+
+	// One SQL statement through /v1/sql and one malformed request.
+	ts := db.Schema.Tables()[0]
+	stmt := fmt.Sprintf("SELECT %s FROM %s LIMIT 5", ts.Columns[0].Name, ts.Name)
+	if code := do("POST", "/v1/sql", "interactive", fmt.Sprintf(`{"sql":%q}`, stmt)); code != 200 {
+		return fmt.Errorf("POST /v1/sql %q returned %d", stmt, code)
+	}
+	fmt.Printf("  * POST /v1/sql %q -> 200\n", stmt)
+	if code := do("GET", "/v1/search", "interactive", ""); code != 400 {
+		return fmt.Errorf("search without q returned %d, want 400", code)
+	}
+	fmt.Printf("  * GET /v1/search without q -> typed 400\n")
+	fmt.Println()
+
+	// Read the snapshot the way an operator would: off /v1/stats itself.
+	req := httptest.NewRequest("GET", "/v1/stats", nil)
+	rr := httptest.NewRecorder()
+	sv.ServeHTTP(rr, req)
+	var st serve.Stats
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		return fmt.Errorf("decode /v1/stats: %w", err)
+	}
+
+	tbl := &eval.Table{
+		Title:   "serving counters (/v1/stats snapshot)",
+		Headers: []string{"counter", "value"},
+	}
+	for _, row := range [][2]string{
+		{"requests", fmt.Sprint(st.Requests)},
+		{"searches-executed", fmt.Sprint(st.Searches)},
+		{"coalesced", fmt.Sprint(st.Coalesced)},
+		{"sql-queries", fmt.Sprint(st.SQLQueries)},
+		{"rate-limited-429", fmt.Sprint(st.RateLimited)},
+		{"shed-503", fmt.Sprint(st.Shed)},
+		{"deadline-exceeded-504", fmt.Sprint(st.DeadlineExceeded)},
+		{"client-canceled-499", fmt.Sprint(st.ClientCanceled)},
+		{"bad-requests-400", fmt.Sprint(st.BadRequests)},
+		{"errors-500", fmt.Sprint(st.Errors)},
+		{"rows-returned", fmt.Sprint(st.RowsReturned)},
+		{"total-queue-wait", time.Duration(st.QueueWaitNs).Round(time.Microsecond).String()},
+		{"total-exec-time", time.Duration(st.ExecNs).Round(time.Microsecond).String()},
+	} {
+		tbl.AddRow(row[0], row[1])
+	}
+	fmt.Println(tbl)
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -541,9 +542,24 @@ func (e *Engine) interpretationsWith(opts Options, configs []*Configuration) ([]
 // Hits return fresh shallow copies of the Explanation structs — callers may
 // adjust Belief on their copies without poisoning the cache.
 func (e *Engine) Search(query string) ([]*Explanation, error) {
+	return e.SearchCtx(context.Background(), query)
+}
+
+// SearchCtx is Search bounded by a caller context — the deadline
+// propagation entry point of the serving tier. The context is checked
+// between pipeline stages and rides the PruneEmpty validation fan-out
+// down into the source (a sharded source cancels its scatter-gather, a
+// remote backend closes the in-flight connection), so a caller that gives
+// up stops paying for shard work promptly. A cancelled search returns the
+// context's error and is never cached — partial validation must not be
+// served as a permanently thinner ranking.
+func (e *Engine) SearchCtx(ctx context.Context, query string) ([]*Explanation, error) {
 	keywords := Tokenize(query)
 	if len(keywords) == 0 {
 		return nil, fmt.Errorf("core: empty keyword query")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// One snapshot for the whole pipeline: a concurrent SetUncertainty or
 	// AddFeedback mid-search cannot tear the result (options and models
@@ -564,16 +580,28 @@ func (e *Engine) Search(query string) ([]*Explanation, error) {
 	var out []*Explanation
 	cacheable := true
 	if len(configs) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		interps, err := e.interpretationsWith(st.opts, configs)
 		if err != nil {
 			return nil, err
 		}
 		if len(interps) > 0 {
-			out, cacheable, err = e.explainWith(st.opts, configs, interps)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out, cacheable, err = e.explainCtx(ctx, st.opts, configs, interps)
 			if err != nil {
 				return nil, err
 			}
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		// The pipeline may have completed degraded under a context that
+		// fired mid-validation; surface the cancellation rather than a
+		// silently thinner ranking.
+		return nil, err
 	}
 	if e.queryCache != nil && cacheable {
 		// Store a private copy: the caller owns the returned slice and may
@@ -605,15 +633,16 @@ func copyExplanations(in []*Explanation) []*Explanation {
 // experiments can recombine partial results under different uncertainties
 // without recomputing the expensive steps.
 func (e *Engine) Explain(configs []*Configuration, interps []*Interpretation) ([]*Explanation, error) {
-	out, _, err := e.explainWith(e.snapshot().opts, configs, interps)
+	out, _, err := e.explainCtx(context.Background(), e.snapshot().opts, configs, interps)
 	return out, err
 }
 
-// explainWith additionally reports whether the result is cacheable: a
+// explainCtx additionally reports whether the result is cacheable: a
 // PruneEmpty pass degraded by transient Execute failures must not be
 // cached, or a one-off endpoint outage would be served as a permanently
-// thinner ranking until the next epoch bump.
-func (e *Engine) explainWith(opts Options, configs []*Configuration, interps []*Interpretation) ([]*Explanation, bool, error) {
+// thinner ranking until the next epoch bump. ctx bounds the PruneEmpty
+// validation queries.
+func (e *Engine) explainCtx(ctx context.Context, opts Options, configs []*Configuration, interps []*Interpretation) ([]*Explanation, bool, error) {
 	configBelief := make(map[string]float64, len(configs))
 	for _, c := range configs {
 		configBelief[c.ID()] = c.Score
@@ -671,7 +700,7 @@ func (e *Engine) explainWith(opts Options, configs []*Configuration, interps []*
 	})
 	cacheable := true
 	if opts.PruneEmpty {
-		out, cacheable = e.pruneEmpty(out, e.pruneWorkers(opts, len(out)))
+		out, cacheable = e.pruneEmpty(ctx, out, e.pruneWorkers(opts, len(out)))
 	}
 	return out, cacheable, nil
 }
@@ -700,11 +729,11 @@ func (e *Engine) pruneWorkers(opts Options, n int) int {
 // false when any validation query failed (as opposed to returning zero
 // tuples) — the pruning then reflects a transient condition and the caller
 // must not cache it.
-func (e *Engine) pruneEmpty(in []*Explanation, workers int) ([]*Explanation, bool) {
+func (e *Engine) pruneEmpty(ctx context.Context, in []*Explanation, workers int) ([]*Explanation, bool) {
 	keep := make([]bool, len(in))
 	failed := make([]bool, len(in))
 	e.forEachParallel(len(in), workers, func(i int) {
-		ok, err := e.executeExists(in[i].Stmt)
+		ok, err := e.executeExists(ctx, in[i].Stmt)
 		failed[i] = err != nil
 		keep[i] = err == nil && ok
 	})
@@ -740,7 +769,27 @@ func (e *Engine) pruneEmpty(in []*Explanation, workers int) ([]*Explanation, boo
 // paths, join order, estimated vs actual cardinalities) when the source's
 // executor exposes one.
 func (e *Engine) Execute(ex *Explanation) (*sql.Result, error) {
-	return e.execute(ex.Stmt)
+	return e.execute(context.Background(), ex.Stmt)
+}
+
+// ExecuteCtx is Execute bounded by a caller context: the statement is
+// dispatched through the source's context-aware execution face when it
+// has one (wrapper.ContextExecutor — sharded and remote sources do), so
+// cancellation reaches in-flight shard work.
+func (e *Engine) ExecuteCtx(ctx context.Context, ex *Explanation) (*sql.Result, error) {
+	return e.execute(ctx, ex.Stmt)
+}
+
+// RunSQL parses and executes one SELECT statement against the engine's
+// source under a caller context — the serving tier's /v1/sql path. The
+// same serialization rule as every engine-issued execution applies:
+// sources that did not declare Execute concurrency-safe are never raced.
+func (e *Engine) RunSQL(ctx context.Context, query string) (*sql.Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.execute(ctx, stmt)
 }
 
 // PlannerStats snapshots the SQL planning layer's counters — access-path
@@ -766,20 +815,20 @@ func (e *Engine) ColumnStatistics(table, column string) (*relational.ColumnStats
 // execute routes a statement to the source, serializing the calls when the
 // source did not declare Execute safe for concurrent use — the engine
 // never races a custom endpoint, even from concurrent Searches.
-func (e *Engine) execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+func (e *Engine) execute(ctx context.Context, stmt *sql.SelectStmt) (*sql.Result, error) {
 	if !e.execSafe {
 		e.execMu.Lock()
 		defer e.execMu.Unlock()
 	}
-	return e.source.Execute(stmt)
+	return wrapper.ExecuteContext(ctx, e.source, stmt)
 }
 
 // executeExists routes an existence-only validation query to the source,
 // under the same serialization rule as execute.
-func (e *Engine) executeExists(stmt *sql.SelectStmt) (bool, error) {
+func (e *Engine) executeExists(ctx context.Context, stmt *sql.SelectStmt) (bool, error) {
 	if !e.execSafe {
 		e.execMu.Lock()
 		defer e.execMu.Unlock()
 	}
-	return wrapper.ExecuteExists(e.source, stmt)
+	return wrapper.ExecuteExistsContext(ctx, e.source, stmt)
 }

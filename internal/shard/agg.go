@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -222,7 +223,7 @@ type mergeGroup struct {
 // executeAggPushdown runs the decomposed statement: the partial statement
 // on every candidate shard in parallel, then the merge, ordering and
 // limits at the coordinator.
-func (s *ShardedSource) executeAggPushdown(stmt *sql.SelectStmt, plan *aggPlan) (*sql.Result, error) {
+func (s *ShardedSource) executeAggPushdown(ctx context.Context, stmt *sql.SelectStmt, plan *aggPlan) (*sql.Result, error) {
 	s.c.aggPushdown.Add(1)
 	frags, err := sql.Fragments(s.schema, stmt)
 	if err != nil {
@@ -234,14 +235,18 @@ func (s *ShardedSource) executeAggPushdown(stmt *sql.SelectStmt, plan *aggPlan) 
 		// produce its one row — let the gather path synthesize it from the
 		// empty row set with reference semantics.
 		s.c.aggPushdown.Add(^uint64(0))
-		return s.executeGather(stmt)
+		return s.executeGather(ctx, stmt)
 	}
 	results := make([]*sql.Result, len(s.backends))
 	errs := make([]error, len(s.backends))
 	s.forEach(len(shards), func(i int) {
 		si := shards[i]
+		if cerr := ctx.Err(); cerr != nil {
+			errs[si] = cerr
+			return
+		}
 		s.c.fragments.Add(1)
-		res, ferr := s.backends[si].Execute(plan.shardStmt)
+		res, ferr := fetchResult(ctx, s.backends[si], plan.shardStmt)
 		if ferr != nil {
 			errs[si] = ferr
 			return

@@ -1,0 +1,238 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/relational"
+	"repro/internal/sql"
+	"repro/internal/transport"
+	"repro/internal/wrapper"
+)
+
+// ctxStalledBackend stalls every context-aware call until the caller's
+// context fires. The non-context faces fail loudly: once a context rides
+// the scatter-gather, dispatch falling back to a context-blind face would
+// silently lose cancellation, and these tests must catch that.
+type ctxStalledBackend struct {
+	started chan struct{} // one signal per call that began stalling
+}
+
+var errCtxFaceSkipped = errors.New("dispatch skipped the context-aware face")
+
+func (b *ctxStalledBackend) note() {
+	select {
+	case b.started <- struct{}{}:
+	default:
+	}
+}
+
+func (b *ctxStalledBackend) ExecuteCtx(ctx context.Context, stmt *sql.SelectStmt) (*sql.Result, error) {
+	b.note()
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (b *ctxStalledBackend) ExecuteExistsCtx(ctx context.Context, stmt *sql.SelectStmt) (bool, error) {
+	b.note()
+	<-ctx.Done()
+	return false, ctx.Err()
+}
+
+func (b *ctxStalledBackend) Execute(*sql.SelectStmt) (*sql.Result, error) {
+	return nil, errCtxFaceSkipped
+}
+func (b *ctxStalledBackend) ExecuteExists(*sql.SelectStmt) (bool, error) {
+	return false, errCtxFaceSkipped
+}
+func (b *ctxStalledBackend) ColumnStatistics(string, string) (*relational.ColumnStats, error) {
+	return nil, wrapper.ErrNoInstanceAccess
+}
+
+// waitGoroutineBaseline polls until the goroutine count settles back to
+// the captured baseline, failing after a deadline.
+func waitGoroutineBaseline(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestExecuteCtxCancellationPrompt pins deadline propagation through the
+// gather fan-out: with every shard backend stalled, cancelling the
+// caller's context returns context.Canceled promptly and leaks nothing.
+// Before the scatter-gather was rooted in the caller's context it built
+// its fan-out on context.Background(), so a cancelled search kept paying
+// for every in-flight shard request.
+func TestExecuteCtxCancellationPrompt(t *testing.T) {
+	schema := relational.NewSchema()
+	if err := schema.AddTable(&relational.TableSchema{
+		Name:       "m",
+		Columns:    []relational.Column{{Name: "id", Type: relational.TypeInt, NotNull: true}},
+		PrimaryKey: "id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stall := &ctxStalledBackend{started: make(chan struct{}, 8)}
+	src := NewFromBackends("stub", schema, []Backend{stall, stall, stall}, Options{Workers: 2})
+	stmt := mustParse(t, "SELECT id FROM m")
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	type answer struct {
+		err error
+	}
+	done := make(chan answer, 1)
+	go func() {
+		_, err := src.ExecuteCtx(ctx, stmt)
+		done <- answer{err}
+	}()
+	<-stall.started // at least one shard request is stalled in flight
+	cancel()
+	select {
+	case a := <-done:
+		if !errors.Is(a.err, context.Canceled) {
+			t.Fatalf("ExecuteCtx after cancel = %v, want context.Canceled", a.err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled ExecuteCtx did not return promptly")
+	}
+	waitGoroutineBaseline(t, before)
+}
+
+// TestExistsFanOutCancellationStalledShard pins the fan-out's receive
+// loop against a shard that never answers and is not context-aware: the
+// caller's cancellation must unblock the coordinator immediately — it
+// cannot wait for the stalled probe — and once the backend finally
+// returns, the probe goroutines drain without a leak.
+func TestExistsFanOutCancellationStalledShard(t *testing.T) {
+	schema := relational.NewSchema()
+	if err := schema.AddTable(&relational.TableSchema{
+		Name:       "m",
+		Columns:    []relational.Column{{Name: "id", Type: relational.TypeInt, NotNull: true}},
+		PrimaryKey: "id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	stalled := &stubBackend{exists: func(*sql.SelectStmt) (bool, error) {
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return false, nil
+	}}
+	src := NewFromBackends("stub", schema, []Backend{stalled, stalled}, Options{Workers: 2})
+	stmt := mustParse(t, "SELECT id FROM m")
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	type answer struct {
+		ok  bool
+		err error
+	}
+	done := make(chan answer, 1)
+	go func() {
+		ok, err := src.ExecuteExistsCtx(ctx, stmt)
+		done <- answer{ok, err}
+	}()
+	<-started // a probe is stalled inside a shard backend
+	cancel()
+	select {
+	case a := <-done:
+		if !errors.Is(a.err, context.Canceled) {
+			t.Fatalf("ExecuteExistsCtx after cancel = (%v, %v), want context.Canceled", a.ok, a.err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled existence probe did not return promptly despite the stalled shard")
+	}
+
+	// The stalled probes are still parked in the backend; release them and
+	// require every fan-out goroutine to drain.
+	close(release)
+	waitGoroutineBaseline(t, before)
+}
+
+// slowStreamSource delays each streamed execution — a remote shard whose
+// responses are in flight when the coordinator's caller gives up.
+type slowStreamSource struct {
+	*wrapper.FullAccessSource
+	delay time.Duration
+}
+
+func (s *slowStreamSource) ExecuteStream(stmt *sql.SelectStmt, sink wrapper.RowSink) ([]string, error) {
+	time.Sleep(s.delay)
+	return s.FullAccessSource.ExecuteStream(stmt, sink)
+}
+
+// TestRemoteCancellationPrompt runs the same promptness contract over the
+// wire: shard backends are transport clients against servers whose
+// execution stalls, and cancelling the coordinator context must abandon
+// the in-flight remote requests (the client closes their connections)
+// rather than wait out the stall — then everything drains goroutine-clean.
+func TestRemoteCancellationPrompt(t *testing.T) {
+	db := testDB(t, 40, 10, 60)
+	parts, err := Partition(db, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const stall = 400 * time.Millisecond
+	backends := make([]Backend, len(parts))
+	clients := make([]*transport.Client, len(parts))
+	for i, p := range parts {
+		srv := transport.NewServer(&slowStreamSource{
+			FullAccessSource: wrapper.NewFullAccessSource(p),
+			delay:            stall,
+		})
+		c, err := transport.NewClient([]transport.Dialer{transport.LoopbackDialer(srv)}, transport.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+		backends[i] = c
+	}
+	src := NewFromBackends(db.Name, db.Schema, backends, Options{AssumeHashRouting: true})
+	stmt := mustParse(t, "SELECT title FROM movie WHERE year > 1960")
+
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := src.ExecuteCtx(ctx, stmt)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // both remote requests are in flight, stalled server-side
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("remote ExecuteCtx after cancel = %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > stall {
+			t.Fatalf("cancel took %v, longer than the server stall %v — cancellation waited out the request", waited, stall)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("cancelled remote ExecuteCtx did not return promptly")
+	}
+
+	// The loopback servers finish their stalled executions in the
+	// background; after closing the clients everything must drain.
+	for _, c := range clients {
+		c.Close()
+	}
+	waitGoroutineBaseline(t, before)
+}

@@ -590,18 +590,27 @@ func (s *ShardedSource) shardsFor(f *sql.TableFragment) []int {
 // everything else scatter-gathers the per-table fragments and finishes at
 // the coordinator.
 func (s *ShardedSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+	return s.ExecuteCtx(context.Background(), stmt)
+}
+
+// ExecuteCtx implements wrapper.ContextExecutor: Execute bounded by a
+// caller context. The context rides the scatter-gather fan-out — shard
+// requests not yet started are skipped, and context-aware backends
+// (remote transport clients) abandon in-flight requests — so a caller
+// that gives up stops paying for shard work promptly.
+func (s *ShardedSource) ExecuteCtx(ctx context.Context, stmt *sql.SelectStmt) (*sql.Result, error) {
 	// The ship-rows ablation routes everything through the gather path: the
 	// single-table fast path delegates WHERE evaluation to the shards, and
 	// with pushdown off only the coordinator filters.
 	if !s.pushdownOff.Load() {
 		if s.fullPushdownOK(stmt) {
-			return s.executePushdown(stmt)
+			return s.executePushdown(ctx, stmt)
 		}
 		if plan, ok := planAggPushdown(s.schema, stmt); ok {
-			return s.executeAggPushdown(stmt, plan)
+			return s.executeAggPushdown(ctx, stmt, plan)
 		}
 	}
-	return s.executeGather(stmt)
+	return s.executeGather(ctx, stmt)
 }
 
 // ExecuteExists implements wrapper.ExistsExecutor. Single-table probes fan
@@ -611,17 +620,26 @@ func (s *ShardedSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
 // LIMIT 1 rewrite, so their cost is the gather cost, never the full join
 // result.
 func (s *ShardedSource) ExecuteExists(stmt *sql.SelectStmt) (bool, error) {
+	return s.ExecuteExistsCtx(context.Background(), stmt)
+}
+
+// ExecuteExistsCtx implements wrapper.ContextExistsExecutor: the
+// existence fan-out is rooted in the caller's context, so cancelling the
+// request cancels probes that have not started and unblocks the wait on
+// in-flight ones — the coordinator returns the context's error promptly
+// even when a shard backend has stalled.
+func (s *ShardedSource) ExecuteExistsCtx(ctx context.Context, stmt *sql.SelectStmt) (bool, error) {
 	if stmt.Limit == 0 {
 		return false, nil
 	}
 	if len(stmt.Joins) == 0 && len(stmt.GroupBy) == 0 && stmt.Having == nil &&
 		!itemsHaveAgg(stmt) && stmt.Offset == 0 {
-		return s.existsFanOut(stmt)
+		return s.existsFanOut(ctx, stmt)
 	}
 	probe := stmt.Clone()
 	probe.OrderBy = nil
 	probe.Limit = 1
-	res, err := s.Execute(probe)
+	res, err := s.ExecuteCtx(ctx, probe)
 	if err != nil {
 		return false, err
 	}
@@ -630,12 +648,26 @@ func (s *ShardedSource) ExecuteExists(stmt *sql.SelectStmt) (bool, error) {
 
 // existsFanOut probes every candidate shard concurrently and
 // short-circuits on the first hit. Probes not yet started when the hit
-// lands are skipped (context check before each probe); in-flight probes
-// finish on their own goroutine and exit via the buffered results channel,
-// so early return leaks nothing. A witness row on any shard answers true
-// even if another shard fails — existence has been proven; errors only
-// surface when no shard can prove it.
-func (s *ShardedSource) existsFanOut(stmt *sql.SelectStmt) (bool, error) {
+// lands are skipped (stop check before each probe); in-flight probes run
+// to completion on their own goroutine under the probes WaitGroup and
+// exit via the buffered results channel, so early return leaks nothing.
+// A witness row on any shard answers true even if another shard fails —
+// existence has been proven; errors only surface when no shard can prove
+// it.
+//
+// The short-circuit deliberately does NOT cancel in-flight backend calls:
+// probes.Wait() is the population-phase barrier (Insert, Quiesce, Close),
+// and for remote backends a probe counts as drained only once its wire
+// exchange finishes — which is also when the server-side handler is done
+// touching shard tables. Abandoning the exchange early (closing the
+// connection) would let probes.Wait() pass while a loopback server still
+// reads the very tables a write is about to mutate. Only the CALLER's
+// context abandons in-flight probes — context-aware backends return
+// early, the receive loop returns ctx.Err() without waiting for stalled
+// probes to drain, and crossing from a cancelled query into the
+// population phase takes the same quiesce discipline as an abandoned
+// hedge (transport.Server.Quiesce).
+func (s *ShardedSource) existsFanOut(ctx context.Context, stmt *sql.SelectStmt) (bool, error) {
 	probe := stmt.Clone()
 	probe.OrderBy = nil
 	frags, err := sql.Fragments(s.schema, probe)
@@ -646,8 +678,8 @@ func (s *ShardedSource) existsFanOut(stmt *sql.SelectStmt) (bool, error) {
 	if len(shards) == 0 {
 		return false, nil
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
 	type probeResult struct {
 		shard int
 		ok    bool
@@ -672,12 +704,14 @@ func (s *ShardedSource) existsFanOut(stmt *sql.SelectStmt) (bool, error) {
 			defer s.probes.Done()
 			for si := range jobs {
 				select {
+				case <-stop:
+					return
 				case <-ctx.Done():
 					return
 				default:
 				}
 				s.c.existsProbes.Add(1)
-				ok, perr := s.backends[si].ExecuteExists(probe)
+				ok, perr := backendExists(ctx, s.backends[si], probe)
 				results <- probeResult{shard: si, ok: ok, err: perr}
 			}
 		}()
@@ -685,7 +719,12 @@ func (s *ShardedSource) existsFanOut(stmt *sql.SelectStmt) (bool, error) {
 	var firstErr error
 	firstErrShard := -1
 	for received := 0; received < len(shards); received++ {
-		r := <-results
+		var r probeResult
+		select {
+		case r = <-results:
+		case <-ctx.Done():
+			return false, ctx.Err()
+		}
 		if r.err != nil {
 			if firstErrShard < 0 || r.shard < firstErrShard {
 				firstErr, firstErrShard = r.err, r.shard
@@ -705,7 +744,7 @@ func (s *ShardedSource) existsFanOut(stmt *sql.SelectStmt) (bool, error) {
 // executeGather is the general path: fetch every fragment's qualifying
 // rows from its candidate shards in parallel, then run the statement over
 // the gathered base tables at the coordinator.
-func (s *ShardedSource) executeGather(stmt *sql.SelectStmt) (*sql.Result, error) {
+func (s *ShardedSource) executeGather(ctx context.Context, stmt *sql.SelectStmt) (*sql.Result, error) {
 	s.c.gather.Add(1)
 	frags, err := sql.Fragments(s.schema, stmt)
 	if err != nil {
@@ -729,9 +768,13 @@ func (s *ShardedSource) executeGather(stmt *sql.SelectStmt) (*sql.Result, error)
 	}
 	errs := make([]error, len(jobs))
 	s.forEach(len(jobs), func(i int) {
+		if cerr := ctx.Err(); cerr != nil {
+			errs[i] = cerr
+			return
+		}
 		j := jobs[i]
 		s.c.fragments.Add(1)
-		rows, ferr := fetchFragment(s.backends[j.shard], frags[j.frag].Stmt)
+		rows, ferr := fetchFragment(ctx, s.backends[j.shard], frags[j.frag].Stmt)
 		if ferr != nil {
 			errs[i] = ferr
 			return
@@ -764,7 +807,19 @@ func (s *ShardedSource) executeGather(stmt *sql.SelectStmt) (*sql.Result, error)
 // gathered rows exactly-once either way. Both the gather path and the
 // single-table pushdown merge fetch through here, so a shard's own memory
 // stays bounded by its batch size whenever the backend can stream.
-func fetchResult(b Backend, stmt *sql.SelectStmt) (*sql.Result, error) {
+//
+// Dispatch prefers a backend's context-aware face at equal streaming
+// capability, so cancellation reaches as deep as the backend allows:
+// ContextStreamExecutor > StreamExecutor > ContextExecutor > Execute.
+func fetchResult(ctx context.Context, b Backend, stmt *sql.SelectStmt) (*sql.Result, error) {
+	if se, ok := b.(wrapper.ContextStreamExecutor); ok {
+		var sink wrapper.RowBuffer
+		cols, err := se.ExecuteStreamCtx(ctx, stmt, &sink)
+		if err != nil {
+			return nil, err
+		}
+		return &sql.Result{Columns: cols, Rows: sink.Rows}, nil
+	}
 	if se, ok := b.(wrapper.StreamExecutor); ok {
 		var sink wrapper.RowBuffer
 		cols, err := se.ExecuteStream(stmt, &sink)
@@ -773,16 +828,31 @@ func fetchResult(b Backend, stmt *sql.SelectStmt) (*sql.Result, error) {
 		}
 		return &sql.Result{Columns: cols, Rows: sink.Rows}, nil
 	}
+	if ce, ok := b.(wrapper.ContextExecutor); ok {
+		return ce.ExecuteCtx(ctx, stmt)
+	}
 	return b.Execute(stmt)
 }
 
 // fetchFragment is fetchResult for fragment fetches, which only need rows.
-func fetchFragment(b Backend, stmt *sql.SelectStmt) ([]relational.Row, error) {
-	res, err := fetchResult(b, stmt)
+func fetchFragment(ctx context.Context, b Backend, stmt *sql.SelectStmt) ([]relational.Row, error) {
+	res, err := fetchResult(ctx, b, stmt)
 	if err != nil {
 		return nil, err
 	}
 	return res.Rows, nil
+}
+
+// backendExists routes an existence probe through a backend's
+// context-aware face when it has one, a plain ExecuteExists otherwise.
+func backendExists(ctx context.Context, b Backend, stmt *sql.SelectStmt) (bool, error) {
+	if ce, ok := b.(wrapper.ContextExistsExecutor); ok {
+		return ce.ExecuteExistsCtx(ctx, stmt)
+	}
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return b.ExecuteExists(stmt)
 }
 
 // trimOffsetLimit applies a statement's OFFSET/LIMIT to coordinator-merged
@@ -838,7 +908,7 @@ func (s *ShardedSource) fullPushdownOK(stmt *sql.SelectStmt) bool {
 // LIMIT widened to OFFSET+LIMIT, OFFSET cleared (offsets only make sense
 // globally) — then merge-sorts the streams on appended order-key columns
 // and applies the original LIMIT/OFFSET post-merge.
-func (s *ShardedSource) executePushdown(stmt *sql.SelectStmt) (*sql.Result, error) {
+func (s *ShardedSource) executePushdown(ctx context.Context, stmt *sql.SelectStmt) (*sql.Result, error) {
 	s.c.pushdown.Add(1)
 	frags, err := sql.Fragments(s.schema, stmt)
 	if err != nil {
@@ -849,7 +919,7 @@ func (s *ShardedSource) executePushdown(stmt *sql.SelectStmt) (*sql.Result, erro
 		// Fully pruned (an IN list of NULLs): no shard to merge columns
 		// from — the gather path derives the projection from the schema.
 		s.c.pushdown.Add(^uint64(0))
-		return s.executeGather(stmt)
+		return s.executeGather(ctx, stmt)
 	}
 	shardStmt := stmt.Clone()
 	shardStmt.Offset = 0
@@ -869,8 +939,12 @@ func (s *ShardedSource) executePushdown(stmt *sql.SelectStmt) (*sql.Result, erro
 	errs := make([]error, len(s.backends))
 	s.forEach(len(shards), func(i int) {
 		si := shards[i]
+		if cerr := ctx.Err(); cerr != nil {
+			errs[si] = cerr
+			return
+		}
 		s.c.fragments.Add(1)
-		res, ferr := fetchResult(s.backends[si], shardStmt)
+		res, ferr := fetchResult(ctx, s.backends[si], shardStmt)
 		if ferr != nil {
 			errs[si] = ferr
 			return

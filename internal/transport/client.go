@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -323,8 +324,16 @@ func (c *Client) Ping() error {
 // stream. Retries and hedging are handled below; the returned result is
 // always a complete, single-attempt stream.
 func (c *Client) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+	return c.ExecuteCtx(context.Background(), stmt)
+}
+
+// ExecuteCtx implements wrapper.ContextExecutor: Execute bounded by a
+// caller context. Cancellation (or an expired deadline) closes the
+// in-flight attempt's connection, so the call unwinds promptly instead of
+// riding out RequestTimeout, and the context error is returned.
+func (c *Client) ExecuteCtx(ctx context.Context, stmt *sql.SelectStmt) (*sql.Result, error) {
 	var sink wrapper.RowBuffer
-	cols, err := c.ExecuteStream(stmt, &sink)
+	cols, err := c.ExecuteStreamCtx(ctx, stmt, &sink)
 	if err != nil {
 		return nil, err
 	}
@@ -337,8 +346,15 @@ func (c *Client) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
 // and replays the statement on the next attempt — the sink sees each
 // aborted prefix retracted, never a duplicated row.
 func (c *Client) ExecuteStream(stmt *sql.SelectStmt, sink wrapper.RowSink) ([]string, error) {
+	return c.ExecuteStreamCtx(context.Background(), stmt, sink)
+}
+
+// ExecuteStreamCtx implements wrapper.ContextStreamExecutor: ExecuteStream
+// bounded by a caller context (see ExecuteCtx for the cancellation
+// mechanics).
+func (c *Client) ExecuteStreamCtx(ctx context.Context, stmt *sql.SelectStmt, sink wrapper.RowSink) ([]string, error) {
 	var cols []string
-	err := c.do(frameQuery, []byte(stmt.SQL()), func(e *exchange) error {
+	err := c.do(ctx, frameQuery, []byte(stmt.SQL()), func(e *exchange) error {
 		sink.Reset()
 		if e.typ != frameColumns {
 			return &ProtocolError{Detail: fmt.Sprintf("unexpected frame 0x%02x in place of result header", e.typ)}
@@ -425,7 +441,14 @@ func (c *Client) ExecuteStream(stmt *sql.SelectStmt, sink wrapper.RowSink) ([]st
 // own existence mode answers, so the probe's cost does not scale with the
 // result size on either side of the wire.
 func (c *Client) ExecuteExists(stmt *sql.SelectStmt) (bool, error) {
-	payload, err := c.call(frameExists, []byte(stmt.SQL()), frameBool)
+	return c.ExecuteExistsCtx(context.Background(), stmt)
+}
+
+// ExecuteExistsCtx implements wrapper.ContextExistsExecutor: ExecuteExists
+// bounded by a caller context (see ExecuteCtx for the cancellation
+// mechanics).
+func (c *Client) ExecuteExistsCtx(ctx context.Context, stmt *sql.SelectStmt) (bool, error) {
+	payload, err := c.callCtx(ctx, frameExists, []byte(stmt.SQL()), frameBool)
 	if err != nil {
 		return false, err
 	}
@@ -441,7 +464,7 @@ func (c *Client) ExecuteExists(stmt *sql.SelectStmt) (bool, error) {
 // gets retried on another connection like any other transport fault.
 func (c *Client) ColumnStatistics(table, column string) (*relational.ColumnStats, error) {
 	var out *relational.ColumnStats
-	err := c.do(frameStats, sql.AppendColumns(nil, []string{table, column}), func(e *exchange) error {
+	err := c.do(context.Background(), frameStats, sql.AppendColumns(nil, []string{table, column}), func(e *exchange) error {
 		if e.typ != frameStatsRes {
 			return &ProtocolError{Detail: fmt.Sprintf("unexpected frame 0x%02x, want 0x%02x", e.typ, frameStatsRes)}
 		}
@@ -486,8 +509,13 @@ func (c *Client) EdgeDistance(e relational.JoinEdge) (float64, error) {
 
 // call runs a single-frame request/response operation.
 func (c *Client) call(reqType byte, req []byte, wantType byte) ([]byte, error) {
+	return c.callCtx(context.Background(), reqType, req, wantType)
+}
+
+// callCtx is call bounded by a caller context.
+func (c *Client) callCtx(ctx context.Context, reqType byte, req []byte, wantType byte) ([]byte, error) {
 	var out []byte
-	err := c.do(reqType, req, func(e *exchange) error {
+	err := c.do(ctx, reqType, req, func(e *exchange) error {
 		if e.typ != wantType {
 			return &ProtocolError{Detail: fmt.Sprintf("unexpected frame 0x%02x, want 0x%02x", e.typ, wantType)}
 		}
@@ -527,9 +555,17 @@ func (c *Client) readTargets() []int {
 // demoted and lagging replicas are skipped until the fleet layer readmits
 // them — and transport failures feed the rotation's failure counts, so
 // reads accelerate demotion instead of waiting out the probe interval.
-func (c *Client) do(reqType byte, req []byte, handle func(e *exchange) error) error {
+//
+// ctx bounds the whole operation, backoff sleeps included: cancellation
+// closes the in-flight attempt's connection (the same mechanism a hedge
+// winner uses on the loser), which unblocks any pending read immediately,
+// and the context's error is returned instead of the induced read error.
+func (c *Client) do(ctx context.Context, reqType byte, req []byte, handle func(e *exchange) error) error {
 	if c.closed.Load() {
 		return ErrClientClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	c.ops.Add(1)
 	start := int(c.next.Add(1) - 1)
@@ -538,7 +574,13 @@ func (c *Client) do(reqType byte, req []byte, handle func(e *exchange) error) er
 	for attempt := 0; attempt < c.opt.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
-			time.Sleep(backoff)
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
 			backoff *= 2
 		}
 		if c.closed.Load() {
@@ -546,8 +588,11 @@ func (c *Client) do(reqType byte, req []byte, handle func(e *exchange) error) er
 		}
 		rot := c.readTargets()
 		replica := rot[(start+attempt)%len(rot)]
-		e, hedged, err := c.startHedged(rot, (start+attempt)%len(rot), reqType, req)
+		e, hedged, err := c.startHedged(ctx, rot, (start+attempt)%len(rot), reqType, req)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			lastErr = err
 			c.noteReadFailure(replica)
 			continue
@@ -565,15 +610,30 @@ func (c *Client) do(reqType byte, req []byte, handle func(e *exchange) error) er
 			e.pc.release()
 			return decodeRemoteError(e.payload)
 		}
-		if herr := handle(e); herr != nil {
+		// While handle reads the rest of the response, a context fire must
+		// unblock it: closing the connection fails the pending read.
+		stop := context.AfterFunc(ctx, e.pc.close)
+		herr := handle(e)
+		if herr != nil {
+			stop()
 			e.pc.close()
 			var sa *sinkAbort
 			if errors.As(herr, &sa) {
 				return sa.err
 			}
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			lastErr = herr
 			c.noteReadFailure(replica)
 			continue
+		}
+		if !stop() {
+			// The context fired after handle finished: the response is
+			// complete (return it), but the connection may have been closed
+			// mid-pooling and cannot be reused.
+			e.pc.close()
+			return nil
 		}
 		e.pc.release()
 		return nil
@@ -612,8 +672,10 @@ type exchange struct {
 // startExchange acquires a connection to the replica, sends the request
 // and reads the first response frame. The attempt's connection is
 // published to slot (when non-nil) as soon as it is acquired, so a
-// concurrent winner can cancel this attempt by closing it.
-func (c *Client) startExchange(replica int, reqType byte, req []byte, slot *atomic.Pointer[pooledConn]) (*exchange, error) {
+// concurrent winner can cancel this attempt by closing it. A context fire
+// during the request write or the first-frame read closes the connection
+// the same way.
+func (c *Client) startExchange(ctx context.Context, replica int, reqType byte, req []byte, slot *atomic.Pointer[pooledConn]) (*exchange, error) {
 	pc, err := c.pools[replica].get()
 	if err != nil {
 		return nil, err
@@ -621,16 +683,25 @@ func (c *Client) startExchange(replica int, reqType byte, req []byte, slot *atom
 	if slot != nil {
 		slot.Store(pc)
 	}
+	stop := context.AfterFunc(ctx, pc.close)
 	pc.conn.SetDeadline(time.Now().Add(c.opt.RequestTimeout))
 	startT := time.Now()
 	if err := writeFrame(pc.conn, reqType, req); err != nil {
+		stop()
 		pc.close()
 		return nil, err
 	}
 	typ, payload, err := c.readFrameCounted(pc.br)
 	if err != nil {
+		stop()
 		pc.close()
 		return nil, err
+	}
+	if !stop() {
+		// The context fired between the frame landing and this check: the
+		// connection is (being) closed and the exchange cannot continue.
+		pc.close()
+		return nil, ctx.Err()
 	}
 	return &exchange{pc: pc, typ: typ, payload: payload, firstFrame: time.Since(startT)}, nil
 }
@@ -642,12 +713,12 @@ func (c *Client) startExchange(replica int, reqType byte, req []byte, slot *atom
 // through the buffered results channel — nothing blocks, nothing leaks.
 // hedged reports whether the secondary attempt was launched (regardless
 // of which attempt won).
-func (c *Client) startHedged(rot []int, pos int, reqType byte, req []byte) (e *exchange, hedged bool, err error) {
+func (c *Client) startHedged(ctx context.Context, rot []int, pos int, reqType byte, req []byte) (e *exchange, hedged bool, err error) {
 	c.attempts.Add(1)
 	replica := rot[pos%len(rot)]
-	delay := c.hedgeDelay()
-	if delay < 0 {
-		e, err = c.startExchange(replica, reqType, req, nil)
+	delay, armed := c.hedgeDelay()
+	if !armed {
+		e, err = c.startExchange(ctx, replica, reqType, req, nil)
 		return e, false, err
 	}
 	type hres struct {
@@ -659,7 +730,7 @@ func (c *Client) startHedged(rot []int, pos int, reqType byte, req []byte) (e *e
 	var conns [2]atomic.Pointer[pooledConn]
 	resc := make(chan hres, 2)
 	run := func(slot, rep int) {
-		e, err := c.startExchange(rep, reqType, req, &conns[slot])
+		e, err := c.startExchange(ctx, rep, reqType, req, &conns[slot])
 		if err != nil {
 			resc <- hres{slot: slot, err: err}
 			return
@@ -716,19 +787,24 @@ func (c *Client) startHedged(rot []int, pos int, reqType byte, req []byte) (e *e
 	}
 }
 
-// hedgeDelay returns the delay before launching a hedge, or -1 when
-// hedging should not arm (disabled, or the latency distribution is still
-// cold).
-func (c *Client) hedgeDelay() time.Duration {
+// hedgeDelay returns the delay before launching a hedge and whether
+// hedging should arm at all. armed is false when hedging is disabled or
+// the latency distribution is still cold (fewer than HedgeMinSamples
+// completions recorded) — callers must take the single-attempt path then,
+// never hand the sentinel to a timer: a non-positive duration would fire
+// it immediately and hedge every request at double load. When armed, the
+// returned delay is always positive (clamped to [HedgeMinDelay,
+// HedgeMaxDelay], or the positive HedgeFixedDelay).
+func (c *Client) hedgeDelay() (time.Duration, bool) {
 	if !c.opt.Hedge {
-		return -1
+		return 0, false
 	}
 	if c.opt.HedgeFixedDelay > 0 {
-		return c.opt.HedgeFixedDelay
+		return c.opt.HedgeFixedDelay, true
 	}
 	d, ok := c.lat.quantile(c.opt.HedgeQuantile, c.opt.HedgeMinSamples)
 	if !ok {
-		return -1
+		return 0, false
 	}
 	if d < c.opt.HedgeMinDelay {
 		d = c.opt.HedgeMinDelay
@@ -736,7 +812,7 @@ func (c *Client) hedgeDelay() time.Duration {
 	if d > c.opt.HedgeMaxDelay {
 		d = c.opt.HedgeMaxDelay
 	}
-	return d
+	return d, true
 }
 
 // ---- connection pool ----

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -61,10 +62,26 @@ func (f *fleetState) stopProber() {
 // failover on top of the read surface every client has. Reads start with
 // every replica in rotation; the catalog configures itself (choosing a
 // primary, fencing an epoch) on the first write or probe.
+//
+// Specs repeating a name (the same address fat-fingered twice in a shard
+// group) collapse to their first occurrence before the catalog is built.
+// A duplicate entering rotation twice would race the same process against
+// itself on retries and hedged reads, double-count it in replication
+// acks, and let one dead process demote "two" replicas.
 func NewReplicatedClient(specs []ReplicaSpec, opt Options) (*Client, error) {
 	if len(specs) == 0 {
 		return nil, fmt.Errorf("transport: no replicas")
 	}
+	uniq := make([]ReplicaSpec, 0, len(specs))
+	seen := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		if seen[sp.Name] {
+			continue
+		}
+		seen[sp.Name] = true
+		uniq = append(uniq, sp)
+	}
+	specs = uniq
 	dialers := make([]Dialer, len(specs))
 	names := make([]string, len(specs))
 	for i, sp := range specs {
@@ -606,7 +623,7 @@ func (c *Client) exchangeRepl(replica int, reqType byte, req []byte, wantType by
 			c.retries.Add(1)
 		}
 		c.attempts.Add(1)
-		e, err = c.startExchange(replica, reqType, req, nil)
+		e, err = c.startExchange(context.Background(), replica, reqType, req, nil)
 		if err == nil {
 			break
 		}

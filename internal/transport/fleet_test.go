@@ -400,3 +400,62 @@ func TestInsertV1PinnedReadOnly(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDuplicateReplicaSpecsCollapse: a shard group listing the same
+// replica address twice (a copy-pasted fleet config) must collapse to
+// one catalog entry before the fleet is built. Without the dedupe the
+// duplicate enters the read rotation and the replication fan-out twice:
+// a single write replicates to the same process twice (the second apply
+// rejects the duplicate primary key), and one dead process demotes "two"
+// replicas' worth of rotation.
+func TestDuplicateReplicaSpecsCollapse(t *testing.T) {
+	base := testDB(t)
+	net := newReplNet()
+	names := []string{"r0", "r1"}
+	dbs := make([]*relational.Database, len(names))
+	for i, name := range names {
+		dbs[i] = copyDB(t, base, name)
+		net.add(name, NewServer(wrapper.NewFullAccessSource(dbs[i])))
+	}
+	specs := []ReplicaSpec{
+		{Name: "r0", Dial: net.dialer("r0")},
+		{Name: "r0", Dial: net.dialer("r0")}, // fat-fingered duplicate
+		{Name: "r1", Dial: net.dialer("r1")},
+		{Name: "r0", Dial: net.dialer("r0")}, // and again
+	}
+	c, err := NewReplicatedClient(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		c.Close()
+		net.killAll()
+	}()
+
+	if got := c.Replicas(); got != len(names) {
+		t.Fatalf("Replicas() = %d, want %d unique", got, len(names))
+	}
+	st := c.FleetStatus()
+	seen := map[string]bool{}
+	for _, r := range st.Replicas {
+		if seen[r.Name] {
+			t.Fatalf("replica %q appears twice in the catalog: %+v", r.Name, st.Replicas)
+		}
+		seen[r.Name] = true
+	}
+	for _, name := range names {
+		if !seen[name] {
+			t.Fatalf("replica %q missing from the catalog: %+v", name, st.Replicas)
+		}
+	}
+
+	// A write through the deduped fleet lands exactly once per process.
+	if err := c.Insert("movie", movieRow(7700)); err != nil {
+		t.Fatal(err)
+	}
+	for i, db := range dbs {
+		if got, want := movieCount(db), movieCount(base)+1; got != want {
+			t.Fatalf("replica %s: %d movies after insert, want %d", names[i], got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sql"
+	"repro/internal/wrapper"
+)
+
+// tunableDelayBackend injects adjustable server-side latency.
+type tunableDelayBackend struct {
+	wrapper.SourceExecutor
+	delayNs atomic.Int64
+}
+
+func (b *tunableDelayBackend) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+	time.Sleep(time.Duration(b.delayNs.Load()))
+	return b.SourceExecutor.Execute(stmt)
+}
+
+// TestColdDistributionNeverHedges pins the hedge-arming contract: until
+// the latency distribution holds HedgeMinSamples observations, adaptive
+// hedging must not launch secondary attempts — hedgeDelay reports "not
+// armed" and the caller takes the single-attempt path. The regression
+// this guards: the unarmed state was once a -1 sentinel duration, and a
+// caller handing that to a timer would fire it immediately, hedging
+// every cold request at double load. Half the cold requests here land on
+// a replica slow enough that any armed timer would have fired.
+func TestColdDistributionNeverHedges(t *testing.T) {
+	db := testDB(t)
+	src := wrapper.NewFullAccessSource(db)
+	baseline := runtime.NumGoroutine()
+	slowBackend := &tunableDelayBackend{SourceExecutor: src}
+	slowBackend.delayNs.Store(int64(10 * time.Millisecond))
+	slow := NewServer(slowBackend)
+	fast := NewServer(src)
+	const minSamples = 8
+	c, err := NewClient(
+		[]Dialer{LoopbackDialer(slow), LoopbackDialer(fast)},
+		Options{Hedge: true, HedgeMinSamples: minSamples},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stmt := mustParse(t, "SELECT title FROM movie WHERE movie_id = 42")
+	run := func(i int) {
+		t.Helper()
+		res, err := c.Execute(stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("request %d: %d rows, want 1", i, len(res.Rows))
+		}
+	}
+	for i := 0; i < minSamples-1; i++ {
+		run(i)
+	}
+	if st := c.Stats(); st.Hedges != 0 {
+		t.Fatalf("cold distribution launched %d hedges before %d samples accumulated", st.Hedges, minSamples)
+	}
+
+	// One more request reaches the sample floor. Then stall the slow
+	// replica far past the now-armed adaptive delay (the ~10ms quantile of
+	// the cold samples): the next read starts there — the rotation walks
+	// request-count order — so a hedge must launch and win on the fast
+	// replica. This half proves arming really was sample-gated, not off.
+	run(minSamples - 1)
+	slowBackend.delayNs.Store(int64(500 * time.Millisecond))
+	start := time.Now()
+	run(minSamples)
+	if took := time.Since(start); took > 400*time.Millisecond {
+		t.Errorf("armed read took %v; the hedge should have cut the stalled replica short", took)
+	}
+	if st := c.Stats(); st.Hedges == 0 {
+		t.Fatalf("distribution armed (%d samples) but no hedge launched: %+v", minSamples, st)
+	}
+
+	c.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -13,6 +13,7 @@
 package wrapper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -119,6 +120,54 @@ func (b *RowBuffer) Push(r relational.Row) error {
 func (b *RowBuffer) PushBatch(rows []relational.Row) error {
 	b.Rows = append(b.Rows, rows...)
 	return nil
+}
+
+// ContextExecutor is the optional context-aware face of Execute: sources
+// that can abandon work when the caller gives up (remote transport
+// clients closing the in-flight connection, coordinators cancelling their
+// fan-out) implement it, and ExecuteContext dispatches through it. The
+// contract mirrors the standard library's: on cancellation or an expired
+// deadline the call returns promptly with the context's error (test with
+// errors.Is against context.Canceled / context.DeadlineExceeded).
+type ContextExecutor interface {
+	ExecuteCtx(ctx context.Context, stmt *sql.SelectStmt) (*sql.Result, error)
+}
+
+// ContextExistsExecutor is the context-aware face of ExecuteExists.
+type ContextExistsExecutor interface {
+	ExecuteExistsCtx(ctx context.Context, stmt *sql.SelectStmt) (bool, error)
+}
+
+// ContextStreamExecutor is the context-aware face of ExecuteStream.
+type ContextStreamExecutor interface {
+	ExecuteStreamCtx(ctx context.Context, stmt *sql.SelectStmt, sink RowSink) ([]string, error)
+}
+
+// ExecuteContext runs a statement under a caller context, using the
+// deepest cancellation support the source offers: its ContextExecutor
+// face when present, a plain Execute otherwise (checked-at-entry only —
+// an in-process source that has started executing cannot be interrupted,
+// it just finishes and the result is discarded by the caller).
+func ExecuteContext(ctx context.Context, src Source, stmt *sql.SelectStmt) (*sql.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if ce, ok := src.(ContextExecutor); ok {
+		return ce.ExecuteCtx(ctx, stmt)
+	}
+	return src.Execute(stmt)
+}
+
+// ExecuteExistsContext is ExecuteExists under a caller context, with the
+// same dispatch rule as ExecuteContext.
+func ExecuteExistsContext(ctx context.Context, src Source, stmt *sql.SelectStmt) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	if ce, ok := src.(ContextExistsExecutor); ok {
+		return ce.ExecuteExistsCtx(ctx, stmt)
+	}
+	return ExecuteExists(src, stmt)
 }
 
 // StatisticsProvider is the instance-statistics face of a source: per-column
@@ -321,6 +370,14 @@ func (s *FullAccessSource) ExecuteStream(stmt *sql.SelectStmt, sink RowSink) ([]
 
 // ExecutesConcurrently implements ConcurrentExecutor: the in-memory SQL
 // executor only reads the (post-population) database.
+//
+// FullAccessSource deliberately does NOT implement the Context* execution
+// faces: the in-memory executor cannot be interrupted mid-plan, so they
+// could only repeat the entry check ExecuteContext/ExecuteExistsContext
+// already perform — and their presence would be promoted through types
+// that embed FullAccessSource and override only Execute/ExecuteExists
+// (test doubles, decorators), silently routing context-aware callers
+// around the override.
 func (s *FullAccessSource) ExecutesConcurrently() bool { return true }
 
 // Endpoint executes SQL on behalf of a hidden source: the only way a
