@@ -5,7 +5,7 @@ GO       ?= go
 PKGS     ?= ./...
 BENCH    ?= .
 SEED     ?= 42
-SNAPSHOT ?= BENCH_pr9.json
+SNAPSHOT ?= BENCH_pr10.json
 
 .PHONY: all build test race vet bench bench-smoke fuzz-smoke serve-smoke conformance conformance-remote conformance-faults conformance-durability snapshot ci clean
 
@@ -82,7 +82,7 @@ conformance-durability:
 # statistics/join-order, E11 sharded-execution, E12 remote-transport/
 # hedged-read, E13 streaming/columnar, E14 replication/failover and E15
 # shard-durability benchmarks and the E16 open-loop serving-tier overload
-# sweep. Committed as BENCH_pr9.json so the perf trajectory is diffable
+# sweep. Committed as BENCH_pr10.json so the perf trajectory is diffable
 # per PR; override SNAPSHOT to write elsewhere.
 snapshot:
 	$(GO) run ./cmd/questbench -seed $(SEED) -json $(SNAPSHOT)

@@ -1,0 +1,265 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	quest "repro"
+	"repro/internal/eval"
+	"repro/internal/relational"
+	"repro/internal/serve"
+)
+
+// e17Mixed: the mixed read/write scorecard. Every earlier experiment
+// treats population and querying as separate phases; E17 interleaves
+// them the way a served instance actually runs — an open-loop Poisson
+// stream where a fraction of arrivals are row inserts and the rest are
+// SQL reads whose plans are costed from column statistics and whose
+// range predicates run off sorted indexes. Each insert bumps its table's
+// version, so every post-write read re-plans (the plan cache key carries
+// per-table versions) and re-consults statistics.
+//
+// The comparison is the maintenance strategy on that hot path:
+//
+//   - rebuild: incremental maintenance off — a post-write read pays a
+//     from-scratch statistics build per consulted column and a full
+//     sorted-index rebuild per range scan;
+//   - incremental: deltas fold into the last statistics snapshot within
+//     the staleness budget, and inserts land in a sorted side-run merged
+//     on read.
+//
+// Both modes run the identical questd-shaped server — response cache on,
+// invalidated by the same per-table versions — at the same arrival rate
+// (1x the closed-loop read capacity), for a 90/10 and a 50/50 read/write
+// mix. Half the read shapes never touch the written table, pinning the
+// other tentpole claim: writes to movie leave person responses cache-hot
+// instead of flushing a global epoch.
+func e17Mixed() {
+	const scale = 20 // ~6000 movies: big enough that a from-scratch rebuild costs real time
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: *seed, Scale: scale})
+	eng := quest.Open(db, quest.Defaults())
+
+	// Read shapes: range predicates over movie (the written table — these
+	// re-plan and re-consult statistics after every insert) and over
+	// person (never written — these stay plan- and response-cached).
+	var reads []string
+	for y := 1960; y < 2000; y += 2 {
+		reads = append(reads,
+			fmt.Sprintf("SELECT COUNT(*) AS n FROM movie WHERE production_year >= %d AND rating >= %.1f", y, 3+float64(y%5)),
+			fmt.Sprintf("SELECT COUNT(*) AS n FROM person WHERE birth_year >= %d AND birth_year < %d", y, y+25),
+		)
+	}
+
+	startServer := func(cacheSize int) (*serve.Server, *http.Server, string) {
+		sv := serve.New(eng, serve.Options{
+			MaxConcurrent:     2,
+			MaxQueue:          -1, // E17 studies maintenance cost, not shedding
+			TenantRate:        -1,
+			ResponseCacheSize: cacheSize,
+			DefaultDeadline:   60 * time.Second,
+			MaxDeadline:       120 * time.Second,
+		})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		hs := &http.Server{Handler: sv}
+		go hs.Serve(l)
+		return sv, hs, "http://" + l.Addr().String()
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2048,
+		MaxIdleConnsPerHost: 1024,
+	}}
+	post := func(base, path, body string) int {
+		req, err := http.NewRequest(http.MethodPost, base+path, strings.NewReader(body))
+		if err != nil {
+			panic(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(serve.DeadlineHeader, "60000")
+		resp, err := client.Do(req)
+		if err != nil {
+			panic(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	readReq := func(base string, i int) {
+		q := reads[i%len(reads)]
+		if code := post(base, "/v1/sql", `{"sql": "`+q+`"}`); code != http.StatusOK {
+			panic(fmt.Sprintf("e17 read: status %d", code))
+		}
+	}
+	// Insert PKs start far above the generated id range and never repeat
+	// across scenarios (nextID is shared), so every write lands.
+	nextID := 1_000_000
+	var idMu sync.Mutex
+	writeReq := func(base string) {
+		idMu.Lock()
+		id := nextID
+		nextID++
+		idMu.Unlock()
+		body := fmt.Sprintf(`{"table": "movie", "rows": [[%d, "Benchmark Movie %d", %d, "drama", %.1f]]}`,
+			id, id, 1960+id%60, 1+float64(id%90)/10)
+		if code := post(base, "/v1/insert", body); code != http.StatusOK {
+			panic(fmt.Sprintf("e17 write: status %d", code))
+		}
+	}
+
+	// Closed-loop read capacity with the response cache off: every
+	// measured read pays planning and execution, so the estimate is the
+	// engine's sustainable uncached read rate. The mixed scenarios run
+	// with the cache on at this rate — cache hits then buy headroom that
+	// the maintenance strategy either preserves (incremental) or burns on
+	// rebuilds (baseline).
+	relational.SetIncrementalMaintenance(true)
+	_, hs, base := startServer(0)
+	for i := 0; i < len(reads); i++ {
+		readReq(base, i)
+	}
+	const measured = 300
+	var wg sync.WaitGroup
+	var next int64
+	var mu sync.Mutex
+	start := time.Now()
+	for wkr := 0; wkr < 2; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= int64(measured) {
+					return
+				}
+				readReq(base, int(i))
+			}
+		}()
+	}
+	wg.Wait()
+	capacity := float64(measured) / time.Since(start).Seconds()
+	hs.Close()
+
+	tblA := &eval.Table{
+		Title:   "E17a — closed-loop read capacity (2 workers, response cache off)",
+		Headers: []string{"reads", "est-capacity-rps"},
+	}
+	tblA.AddRow(fmt.Sprint(measured), fmt.Sprintf("%.1f", capacity))
+	emit(tblA)
+
+	arrivals := int(capacity * 4)
+	if arrivals < 200 {
+		arrivals = 200
+	}
+	if arrivals > 1000 {
+		arrivals = 1000
+	}
+
+	tblB := &eval.Table{
+		Title: "E17b — mixed read/write at 1x read capacity: incremental maintenance vs rebuild-per-write",
+		Headers: []string{"mix", "maintenance", "reads", "writes",
+			"read-p50-ms", "read-p99-ms", "write-p99-ms",
+			"full-rebuilds", "incr-updates", "side-merges", "index-rebuilds",
+			"cache-hits", "cache-inval"},
+	}
+	rng := rand.New(rand.NewSource(*seed + 1700))
+
+	for _, writeFrac := range []float64{0.10, 0.50} {
+		for _, incremental := range []bool{false, true} {
+			relational.SetIncrementalMaintenance(incremental)
+			mode := "rebuild"
+			if incremental {
+				mode = "incremental"
+			}
+			sv, hs, base := startServer(1024)
+			// Warm the connection pool and the caches outside the window.
+			for i := 0; i < len(reads); i++ {
+				readReq(base, i)
+			}
+			maintBefore := db.MaintenanceStats()
+			statsBefore := sv.Stats()
+
+			readLat, writeLat := openLoopMixed(rng, base, capacity, arrivals, writeFrac, readReq, writeReq)
+
+			maint := db.MaintenanceStats()
+			maint.StatsFullRebuilds -= maintBefore.StatsFullRebuilds
+			maint.StatsIncrementalUpdates -= maintBefore.StatsIncrementalUpdates
+			maint.SortedIndexMerges -= maintBefore.SortedIndexMerges
+			maint.SortedIndexRebuilds -= maintBefore.SortedIndexRebuilds
+			st := sv.Stats()
+			hs.Close()
+
+			sort.Slice(readLat, func(i, j int) bool { return readLat[i] < readLat[j] })
+			sort.Slice(writeLat, func(i, j int) bool { return writeLat[i] < writeLat[j] })
+			tblB.AddRow(
+				fmt.Sprintf("%.0f/%.0f", (1-writeFrac)*100, writeFrac*100),
+				mode,
+				fmt.Sprint(len(readLat)),
+				fmt.Sprint(len(writeLat)),
+				fmt.Sprintf("%.1f", ms(pctl(readLat, 50))),
+				fmt.Sprintf("%.1f", ms(pctl(readLat, 99))),
+				fmt.Sprintf("%.1f", ms(pctl(writeLat, 99))),
+				fmt.Sprint(maint.StatsFullRebuilds),
+				fmt.Sprint(maint.StatsIncrementalUpdates),
+				fmt.Sprint(maint.SortedIndexMerges),
+				fmt.Sprint(maint.SortedIndexRebuilds),
+				fmt.Sprint(st.ResponseCacheHits-statsBefore.ResponseCacheHits),
+				fmt.Sprint(st.ResponseCacheInvalidations-statsBefore.ResponseCacheInvalidations),
+			)
+		}
+	}
+	relational.SetIncrementalMaintenance(true)
+	emit(tblB)
+}
+
+// openLoopMixed fires n Poisson arrivals at rate req/s; each arrival is a
+// write with probability writeFrac, a read otherwise. Like openLoop,
+// latency runs from the scheduled arrival instant, so generator lag
+// inflates rather than hides queueing.
+func openLoopMixed(rng *rand.Rand, base string, rate float64, n int, writeFrac float64,
+	read func(base string, i int), write func(base string)) (readLat, writeLat []time.Duration) {
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	start := time.Now()
+	offset := time.Duration(0)
+	for i := 0; i < n; i++ {
+		offset += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		scheduled := start.Add(offset)
+		if d := time.Until(scheduled); d > 0 {
+			time.Sleep(d)
+		}
+		isWrite := rng.Float64() < writeFrac
+		idx := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if isWrite {
+				write(base)
+			} else {
+				read(base, idx)
+			}
+			lat := time.Since(scheduled)
+			mu.Lock()
+			defer mu.Unlock()
+			if isWrite {
+				writeLat = append(writeLat, lat)
+			} else {
+				readLat = append(readLat, lat)
+			}
+		}()
+	}
+	wg.Wait()
+	return readLat, writeLat
+}

@@ -15,7 +15,7 @@
 //
 // Usage:
 //
-//	questbench [-exp all|e1..e16] [-seed N] [-n N] [-json BENCH_42.json]
+//	questbench [-exp all|e1..e17] [-seed N] [-n N] [-json BENCH_42.json]
 package main
 
 import (
@@ -97,7 +97,7 @@ func writeSnapshot(path string) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (all, e1..e16)")
+	exp := flag.String("exp", "all", "experiment to run (all, e1..e17)")
 	flag.Parse()
 
 	runners := map[string]func(){
@@ -117,9 +117,10 @@ func main() {
 		"e14": e14Failover,
 		"e15": e15Durability,
 		"e16": e16Serving,
+		"e17": e17Mixed,
 	}
 	if *exp == "all" {
-		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16"} {
+		for _, name := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17"} {
 			runners[name]()
 		}
 	} else {

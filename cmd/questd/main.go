@@ -58,6 +58,8 @@ func main() {
 		defDeadline   = flag.Duration("default-deadline", 0, "deadline for requests without a deadline header (0 selects 5s)")
 		maxDeadline   = flag.Duration("max-deadline", 0, "upper clamp on client-requested deadlines (0 selects 30s)")
 		noCoalesce    = flag.Bool("no-coalesce", false, "disable singleflight coalescing of identical concurrent searches")
+		respCache     = flag.Int("response-cache", 0,
+			"response cache entries, invalidated by per-table versions (0 disables)")
 	)
 	flag.Parse()
 
@@ -117,6 +119,8 @@ func main() {
 		TenantRate:      *rate,
 		TenantBurst:     *burst,
 		DisableCoalesce: *noCoalesce,
+
+		ResponseCacheSize: *respCache,
 	})
 
 	l, err := net.Listen("tcp", *addr)

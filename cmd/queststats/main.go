@@ -201,7 +201,7 @@ func main() {
 
 		tbl := &eval.Table{
 			Title:   "column statistics (planner snapshots at current table versions)",
-			Headers: []string{"column", "rows", "nulls", "distinct", "min..max", "buckets", "top MCVs"},
+			Headers: []string{"column", "rows", "nulls", "distinct", "min..max", "buckets", "freshness", "top MCVs"},
 		}
 		for _, t := range db.Tables() {
 			for _, col := range t.Schema.Columns {
@@ -224,6 +224,10 @@ func main() {
 				if mcvText == "" {
 					mcvText = "-"
 				}
+				freshness := cs.Freshness
+				if freshness == "" {
+					freshness = "-"
+				}
 				tbl.AddRow(
 					t.Schema.Name+"."+col.Name,
 					fmt.Sprint(cs.Rows),
@@ -231,11 +235,32 @@ func main() {
 					fmt.Sprint(cs.Distinct),
 					minMax,
 					fmt.Sprint(len(cs.Buckets)),
+					freshness,
 					mcvText,
 				)
 			}
 		}
 		fmt.Println(tbl)
+
+		// Incremental-maintenance counters: how the snapshots above were
+		// produced (delta folds vs full/sampled rebuilds) and how the
+		// sorted indexes absorbed writes (side-run inserts merged on read
+		// vs threshold-triggered rebuilds).
+		m := db.MaintenanceStats()
+		mt := &eval.Table{
+			Title: "incremental maintenance (instance-wide counters)",
+			Headers: []string{"stats-incremental", "stats-full-rebuilds", "stats-sampled",
+				"side-inserts", "side-merges", "index-rebuilds"},
+		}
+		mt.AddRow(
+			fmt.Sprint(m.StatsIncrementalUpdates),
+			fmt.Sprint(m.StatsFullRebuilds),
+			fmt.Sprint(m.StatsSampledRebuilds),
+			fmt.Sprint(m.SortedIndexSideInserts),
+			fmt.Sprint(m.SortedIndexMerges),
+			fmt.Sprint(m.SortedIndexRebuilds),
+		)
+		fmt.Println(mt)
 		fmt.Println(plannerCounterTable())
 	}
 

@@ -407,3 +407,108 @@ func TestConformanceRegisteredBackends(t *testing.T) {
 		})
 	}
 }
+
+// exactColumnStats recomputes one column's summary by a plain scan of the
+// reference table — deliberately independent of the Stats code path it
+// checks against.
+func exactColumnStats(tbl *relational.Table, column string) (rows, nulls, distinct int, min, max relational.Value) {
+	ord := tbl.Schema.ColumnIndex(column)
+	seen := map[string]struct{}{}
+	for _, row := range tbl.Rows() {
+		rows++
+		v := row[ord]
+		if v.IsNull() {
+			nulls++
+			continue
+		}
+		seen[v.Key()] = struct{}{}
+		if min.IsNull() || relational.Compare(v, min) < 0 {
+			min = v
+		}
+		if max.IsNull() || relational.Compare(v, max) > 0 {
+			max = v
+		}
+	}
+	distinct = len(seen)
+	return
+}
+
+// checkInterleavedStats asserts the candidate's (delta-maintained, shard-
+// merged) statistics against a from-scratch scan of the mutated reference:
+// Rows, NullCount, Min and Max must be exact — a post-insert snapshot that
+// still reports the pre-insert extrema is precisely the staleness bug the
+// maintenance budget must never allow — and Distinct must sit within the
+// merge's documented bounds (at least the biggest partition's share, at
+// most non-NULL rows; within insertedSlack of exact on one shard).
+func checkInterleavedStats(t *testing.T, db *relational.Database, cand wrapper.StatisticsProvider, shards, insertedSlack int) {
+	t.Helper()
+	for table, columns := range map[string][]string{
+		"movie":     {"movie_id", "year", "rating", "genre"},
+		"cast_info": {"cast_id", "movie_id", "role"},
+	} {
+		for _, column := range columns {
+			got, err := cand.ColumnStatistics(table, column)
+			if err != nil {
+				t.Fatalf("%s.%s: %v", table, column, err)
+			}
+			rows, nulls, distinct, min, max := exactColumnStats(db.Table(table), column)
+			if got.Rows != rows || got.NullCount != nulls {
+				t.Errorf("%s.%s: rows/nulls = %d/%d, want exact %d/%d", table, column, got.Rows, got.NullCount, rows, nulls)
+			}
+			if relational.Compare(got.Min, min) != 0 || relational.Compare(got.Max, max) != 0 {
+				t.Errorf("%s.%s: min/max = %v/%v, want exact %v/%v (stale extrema past an insert)",
+					table, column, got.Min, got.Max, min, max)
+			}
+			lo, hi := distinct/shards, rows-nulls
+			if shards == 1 && distinct+insertedSlack < hi {
+				hi = distinct + insertedSlack
+			}
+			if got.Distinct < lo || got.Distinct > hi {
+				t.Errorf("%s.%s: distinct = %d, want within [%d, %d] of exact %d",
+					table, column, got.Distinct, lo, hi, distinct)
+			}
+		}
+	}
+}
+
+// TestConformanceInterleavedStats interleaves insert rounds with
+// statistics checks at 1, 3 and 7 shards, in both maintenance modes: the
+// delta-maintained snapshots must track the mutated instance exactly on
+// rows/nulls/min/max and within bounds on distinct, and query results must
+// be byte-identical to the rebuild-per-write baseline throughout.
+func TestConformanceInterleavedStats(t *testing.T) {
+	for _, incremental := range []bool{true, false} {
+		name := "rebuild"
+		if incremental {
+			name = "incremental"
+		}
+		t.Run(name, func(t *testing.T) {
+			defer relational.SetIncrementalMaintenance(relational.SetIncrementalMaintenance(incremental))
+			for _, shards := range []int{1, 3, 7} {
+				t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+					db := conformanceDB(t)
+					ref := wrapper.NewFullAccessSource(db)
+					parts, err := shard.Partition(db, shards)
+					if err != nil {
+						t.Fatal(err)
+					}
+					src, err := shard.New(db.Name, parts, shard.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					queries := tableCases()
+					inserted := 0
+					for round := 0; round < 3; round++ {
+						// Warm the statistics so later rounds exercise the
+						// delta path rather than a first-touch build.
+						checkInterleavedStats(t, db, src, shards, inserted)
+						insertRound(t, db, src, round)
+						inserted += 12 // movies per round; cast_info grows by 20
+						checkInterleavedStats(t, db, src, shards, inserted+8)
+						runBatch(t, ref, src, queries)
+					}
+				})
+			}
+		})
+	}
+}

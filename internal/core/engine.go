@@ -149,11 +149,15 @@ type Engine struct {
 	// query-cache key, so a bump makes all previous entries unreachable.
 	epoch uint64
 
-	// queryCache maps (epoch, keywords) to the final ranked explanations;
-	// nil when disabled. All other result-shaping options are immutable
-	// after construction (only SetUncertainty mutates, and it bumps the
-	// epoch), so the keywords plus the epoch identify a result exactly.
-	queryCache *cache.LRU[string, []*Explanation]
+	// queryCache maps (epoch, keywords) to the final ranked explanations
+	// plus the per-table versions they were computed at; nil when disabled.
+	// All other result-shaping options are immutable after construction
+	// (only SetUncertainty mutates, and it bumps the epoch), so the
+	// keywords plus the epoch identify a result exactly — modulo data
+	// mutations, which are validated per entry against the versions of the
+	// tables that entry actually touches (see cachedSearch), not with a
+	// global flush.
+	queryCache *cache.LRU[string, *cachedSearch]
 
 	// workerSem bounds the total spawned fan-out workers across ALL
 	// concurrent pipeline calls on this engine at Parallelism, so P
@@ -193,7 +197,7 @@ func NewEngine(src wrapper.Source, opts Options) *Engine {
 	if size == 0 {
 		size = DefaultQueryCacheSize
 	}
-	e.queryCache = cache.New[string, []*Explanation](size) // nil (disabled) when size < 0
+	e.queryCache = cache.New[string, *cachedSearch](size) // nil (disabled) when size < 0
 	budget := opts.Parallelism
 	if budget <= 0 {
 		budget = runtime.GOMAXPROCS(0)
@@ -567,17 +571,23 @@ func (e *Engine) SearchCtx(ctx context.Context, query string) ([]*Explanation, e
 	// snapshot belongs to.
 	st := e.snapshot()
 	var key string
+	var versions map[string]uint64
 	if e.queryCache != nil {
 		key = strconv.FormatUint(st.epoch, 10) + "\x00" + strings.Join(keywords, "\x1f")
-		if hit, ok := e.queryCache.Get(key); ok {
-			return copyExplanations(hit), nil
+		if hit, ok := e.queryCache.Get(key); ok && e.depsCurrent(hit.deps) {
+			return copyExplanations(hit.exps), nil
 		}
+		// Capture table versions BEFORE the pipeline runs: if a write lands
+		// mid-search, the stored entry validates as already stale rather
+		// than serving pre-write results under a post-write version.
+		versions = e.tableVersions()
 	}
 	configs, err := e.configurationsWith(st, keywords)
 	if err != nil {
 		return nil, err
 	}
 	var out []*Explanation
+	var touched []string
 	cacheable := true
 	if len(configs) > 0 {
 		if err := ctx.Err(); err != nil {
@@ -591,7 +601,7 @@ func (e *Engine) SearchCtx(ctx context.Context, query string) ([]*Explanation, e
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			out, cacheable, err = e.explainCtx(ctx, st.opts, configs, interps)
+			out, touched, cacheable, err = e.explainCtx(ctx, st.opts, configs, interps)
 			if err != nil {
 				return nil, err
 			}
@@ -606,9 +616,76 @@ func (e *Engine) SearchCtx(ctx context.Context, query string) ([]*Explanation, e
 	if e.queryCache != nil && cacheable {
 		// Store a private copy: the caller owns the returned slice and may
 		// mutate beliefs in place.
-		e.queryCache.Put(key, copyExplanations(out))
+		e.queryCache.Put(key, &cachedSearch{
+			exps: copyExplanations(out),
+			deps: depsFor(touched, versions),
+		})
 	}
 	return out, nil
+}
+
+// cachedSearch is one query-cache entry: the ranked result plus the
+// version of every table its candidate statements referenced, captured
+// before the search ran. A hit is served only while those tables are
+// unchanged — an insert can both add result tuples and resurrect
+// candidates PruneEmpty dropped, so any referenced-table mutation makes
+// the entry stale. Writes to unreferenced tables leave it servable:
+// invalidation is scoped per table, not a global epoch flush.
+type cachedSearch struct {
+	exps []*Explanation
+	deps map[string]uint64
+}
+
+// tableVersions snapshots every schema table's mutation counter through
+// the source's TableVersioner face; nil when the source has none (then
+// entries carry no deps and keep the legacy epoch-only lifetime).
+func (e *Engine) tableVersions() map[string]uint64 {
+	tv, ok := e.source.(wrapper.TableVersioner)
+	if !ok {
+		return nil
+	}
+	out := make(map[string]uint64)
+	for _, ts := range e.source.Schema().Tables() {
+		if v, ok := tv.TableVersion(ts.Name); ok {
+			out[strings.ToLower(ts.Name)] = v
+		}
+	}
+	return out
+}
+
+// depsFor restricts a pre-search version snapshot to the tables a search
+// actually touched.
+func depsFor(touched []string, versions map[string]uint64) map[string]uint64 {
+	if len(touched) == 0 || versions == nil {
+		return nil
+	}
+	deps := make(map[string]uint64, len(touched))
+	for _, tbl := range touched {
+		if v, ok := versions[strings.ToLower(tbl)]; ok {
+			deps[strings.ToLower(tbl)] = v
+		}
+	}
+	return deps
+}
+
+// depsCurrent reports whether every table a cached entry depends on is
+// still at the version the entry was computed at. Entries without deps
+// (no TableVersioner source, or a result that touched no tables) are
+// always current.
+func (e *Engine) depsCurrent(deps map[string]uint64) bool {
+	if len(deps) == 0 {
+		return true
+	}
+	tv, ok := e.source.(wrapper.TableVersioner)
+	if !ok {
+		return true
+	}
+	for tbl, v := range deps {
+		if cur, ok := tv.TableVersion(tbl); ok && cur != v {
+			return false
+		}
+	}
+	return true
 }
 
 // copyExplanations shallow-copies a ranked result list. The Explanation
@@ -633,16 +710,19 @@ func copyExplanations(in []*Explanation) []*Explanation {
 // experiments can recombine partial results under different uncertainties
 // without recomputing the expensive steps.
 func (e *Engine) Explain(configs []*Configuration, interps []*Interpretation) ([]*Explanation, error) {
-	out, _, err := e.explainCtx(context.Background(), e.snapshot().opts, configs, interps)
+	out, _, _, err := e.explainCtx(context.Background(), e.snapshot().opts, configs, interps)
 	return out, err
 }
 
-// explainCtx additionally reports whether the result is cacheable: a
+// explainCtx additionally reports the tables the top-k candidate
+// statements reference — collected before PruneEmpty, because a pruned
+// candidate can be resurrected by an insert and so still counts as a data
+// dependency of the result — and whether the result is cacheable: a
 // PruneEmpty pass degraded by transient Execute failures must not be
 // cached, or a one-off endpoint outage would be served as a permanently
 // thinner ranking until the next epoch bump. ctx bounds the PruneEmpty
 // validation queries.
-func (e *Engine) explainCtx(ctx context.Context, opts Options, configs []*Configuration, interps []*Interpretation) ([]*Explanation, bool, error) {
+func (e *Engine) explainCtx(ctx context.Context, opts Options, configs []*Configuration, interps []*Interpretation) ([]*Explanation, []string, bool, error) {
 	configBelief := make(map[string]float64, len(configs))
 	for _, c := range configs {
 		configBelief[c.ID()] = c.Score
@@ -664,7 +744,7 @@ func (e *Engine) explainCtx(ctx context.Context, opts Options, configs []*Config
 	}
 	ranked, err := ds.CombineScores(evForward, opts.Uncertainty.OC, evBackward, opts.Uncertainty.OI)
 	if err != nil {
-		return nil, false, fmt.Errorf("core: combining forward and backward: %w", err)
+		return nil, nil, false, fmt.Errorf("core: combining forward and backward: %w", err)
 	}
 
 	// Trim early: never allocate past min(k, len(ranked)).
@@ -698,11 +778,24 @@ func (e *Engine) explainCtx(ctx context.Context, opts Options, configs []*Config
 		}
 		return out[i].ID() < out[j].ID()
 	})
+	// Data dependencies, pre-prune: every table any surviving candidate's
+	// SQL reads.
+	seen := make(map[string]bool)
+	var touched []string
+	for _, ex := range out {
+		for _, tr := range ex.Stmt.Tables() {
+			k := strings.ToLower(tr.Table)
+			if !seen[k] {
+				seen[k] = true
+				touched = append(touched, k)
+			}
+		}
+	}
 	cacheable := true
 	if opts.PruneEmpty {
 		out, cacheable = e.pruneEmpty(ctx, out, e.pruneWorkers(opts, len(out)))
 	}
-	return out, cacheable, nil
+	return out, touched, cacheable, nil
 }
 
 // pruneWorkers resolves the validation-query concurrency. Unlike the
@@ -811,6 +904,39 @@ func (e *Engine) ColumnStatistics(table, column string) (*relational.ColumnStats
 	}
 	return nil, wrapper.ErrNoInstanceAccess
 }
+
+// Insert routes one row append through the source's write face
+// (wrapper.Inserter) — the serving tier's /v1/insert path. Sources
+// without the face are read-only and return an error. No cache flush
+// happens here: the plan cache, the engine query cache and the serving
+// tier's response cache all validate against per-table versions, so only
+// entries that read the written table go stale.
+func (e *Engine) Insert(table string, row relational.Row) error {
+	ins, ok := e.source.(wrapper.Inserter)
+	if !ok {
+		return fmt.Errorf("core: source %s is read-only (no insert face)", e.source.Name())
+	}
+	if !e.execSafe {
+		e.execMu.Lock()
+		defer e.execMu.Unlock()
+	}
+	return ins.Insert(table, row)
+}
+
+// TableVersion surfaces the source's per-table mutation counter
+// (wrapper.TableVersioner); ok is false when the source has no version
+// face or the table is unknown. External caches (the serving tier's
+// response cache) key entries on it.
+func (e *Engine) TableVersion(table string) (uint64, bool) {
+	if tv, ok := e.source.(wrapper.TableVersioner); ok {
+		return tv.TableVersion(table)
+	}
+	return 0, false
+}
+
+// TableVersions snapshots every schema table's version, or nil when the
+// source has no version face.
+func (e *Engine) TableVersions() map[string]uint64 { return e.tableVersions() }
 
 // execute routes a statement to the source, serializing the calls when the
 // source did not declare Execute safe for concurrent use — the engine

@@ -46,6 +46,13 @@ type ColumnStats struct {
 	MCVs     []MCV    // most common values, by descending count
 	Buckets  []Bucket // equi-depth histogram over all non-NULL rows
 	mcvTotal int      // sum of MCV counts
+
+	// Freshness labels how the snapshot was produced: StatsFresh (full
+	// rebuild), StatsBudgetStale (delta folded into an older base; exact
+	// rows/nulls/min/max, stale histogram) or StatsSampled (stride-sampled
+	// rebuild). Process-local diagnostics only — the wire codec does not
+	// ship it, so decoded snapshots read "" (treated as fresh).
+	Freshness string
 }
 
 // Rehydrate recomputes the derived unexported state (the MCV count total)
@@ -181,9 +188,10 @@ func interpolate(lo, hi, x Value) float64 {
 // runs) and the equi-depth histogram (quantile cuts) without any hashing.
 func buildColumnStats(t *Table, ord int) *ColumnStats {
 	cs := &ColumnStats{
-		Column:  t.Schema.Columns[ord].Name,
-		Version: t.version,
-		Rows:    len(t.rows),
+		Column:    t.Schema.Columns[ord].Name,
+		Version:   t.version.Load(),
+		Rows:      len(t.rows),
+		Freshness: StatsFresh,
 	}
 	vals := make([]Value, 0, len(t.rows))
 	for _, r := range t.rows {
@@ -258,10 +266,15 @@ func buildColumnStats(t *Table, ord int) *ColumnStats {
 }
 
 // Stats returns the statistics snapshot for the named column, building it
-// on first use and rebuilding it whenever the table has been mutated since
+// on first use and refreshing it whenever the table has been mutated since
 // the cached snapshot was taken: a snapshot whose Version trails the
-// table's current Version is never served. Safe for concurrent use after
-// population; the returned object is immutable.
+// table's current Version is never served. With incremental maintenance on
+// (the default) a refresh within the staleness budget folds the per-column
+// insert delta into the last full snapshot instead of rebuilding —
+// rows/nulls/min/max stay exact, the histogram rides along budget-stale —
+// and budget-exceeding refreshes of large tables rebuild by sampling; see
+// maintain.go. Safe for concurrent use, including concurrently with
+// Insert; the returned object is immutable.
 func (t *Table) Stats(column string) (*ColumnStats, error) {
 	ord := t.Schema.ColumnIndex(column)
 	if ord < 0 {
@@ -269,16 +282,67 @@ func (t *Table) Stats(column string) (*ColumnStats, error) {
 	}
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
-	if cs, ok := t.colStats[ord]; ok && cs.Version == t.version {
+	version := t.version.Load()
+	if cs, ok := t.colStats[ord]; ok && cs.Version == version {
 		return cs, nil
 	}
-	cs := buildColumnStats(t, ord)
+	incremental := IncrementalMaintenance()
+	if incremental {
+		if m, ok := t.statsMaint[ord]; ok && m.withinBudget() {
+			cs := t.applyDeltaLocked(ord, m)
+			t.colStats[ord] = cs
+			t.statsIncremental++
+			return cs, nil
+		}
+	}
+	var cs *ColumnStats
+	if incremental && len(t.rows) >= StatsSampleRows {
+		cs = sampleColumnStats(t, ord)
+		t.statsSampled++
+	} else {
+		cs = buildColumnStats(t, ord)
+	}
 	if t.colStats == nil {
 		t.colStats = make(map[int]*ColumnStats)
 	}
 	t.colStats[ord] = cs
 	t.statsBuilds++
+	if incremental {
+		if t.statsMaint == nil {
+			t.statsMaint = make(map[int]*colMaint)
+		}
+		t.statsMaint[ord] = &colMaint{base: cs}
+	} else {
+		delete(t.statsMaint, ord)
+	}
 	return cs, nil
+}
+
+// StatsFreshnessSummary returns the worst freshness label among the
+// table's currently cached, current-version statistics snapshots — the
+// ones the planner just consulted — or "" when none are cached.
+// ExplainAnalyze uses it to report what kind of estimates a scan was
+// costed from.
+func (t *Table) StatsFreshnessSummary() string {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	version := t.version.Load()
+	out := ""
+	for _, cs := range t.colStats {
+		if cs.Version != version {
+			continue
+		}
+		f := cs.Freshness
+		if f == "" {
+			f = StatsFresh
+		}
+		if out == "" {
+			out = f
+		} else {
+			out = worseFreshness(out, f)
+		}
+	}
+	return out
 }
 
 // StatsBuildCount returns how many column-statistics snapshots this table

@@ -202,10 +202,11 @@ func TestRangeOrdinals(t *testing.T) {
 	}
 }
 
-// TestSortedIndexStaleVersionRebuild: like statistics, a sorted index built
-// before an Insert must be rebuilt on next use, so range scans never miss
-// new rows.
+// TestSortedIndexStaleVersionRebuild: with incremental maintenance off, a
+// sorted index built before an Insert must be rebuilt on next use, so range
+// scans never miss new rows (the rebuild-per-write baseline).
 func TestSortedIndexStaleVersionRebuild(t *testing.T) {
+	defer SetIncrementalMaintenance(SetIncrementalMaintenance(false))
 	tbl := statsTable(t)
 	if _, err := tbl.RangeOrdinals("year", Int(2100), Null(), true, true); err != nil {
 		t.Fatal(err)
@@ -227,6 +228,213 @@ func TestSortedIndexStaleVersionRebuild(t *testing.T) {
 	}
 	if tbl.SortedIndexBuildCount() != builds+1 {
 		t.Errorf("build count = %d, want %d (one rebuild)", tbl.SortedIndexBuildCount(), builds+1)
+	}
+}
+
+// TestSortedIndexSideRun: with incremental maintenance on (the default),
+// inserts land in a sorted side-run instead of invalidating the index —
+// range scans merge the runs on read, no rebuild happens until the run
+// outgrows SortedSideRunThreshold, and results never miss a row.
+func TestSortedIndexSideRun(t *testing.T) {
+	tbl := statsTable(t)
+	if _, err := tbl.RangeOrdinals("year", Int(1970), Int(1980), true, true); err != nil {
+		t.Fatal(err)
+	}
+	builds := tbl.SortedIndexBuildCount()
+	tbl.MustInsert(Row{Int(9999), Int(2150), String_("scifi")})
+	if !tbl.HasSortedIndex("year") {
+		t.Error("side-run-maintained index must stay up to date across Insert")
+	}
+	ords, err := tbl.RangeOrdinals("year", Int(2100), Null(), true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ords) != 1 || tbl.Row(ords[0])[1].AsInt() != 2150 {
+		t.Fatalf("post-insert range = %v, want the new row", ords)
+	}
+	if got := tbl.SortedIndexBuildCount(); got != builds {
+		t.Errorf("build count = %d, want %d (no rebuild within the side-run budget)", got, builds)
+	}
+	// Interleaved range results stay ordered by (value, ordinal) when both
+	// runs contribute.
+	tbl.MustInsert(Row{Int(10000), Int(1975), String_("drama")})
+	mixed, err := tbl.RangeOrdinals("year", Int(1974), Int(1976), true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i, o := range mixed {
+		y := tbl.Row(o)[1]
+		if y.IsNull() || y.AsInt() < 1974 || y.AsInt() > 1976 {
+			t.Fatalf("ordinal %d outside range: %v", o, y)
+		}
+		if i > 0 {
+			prev := tbl.Row(mixed[i-1])[1]
+			if c := Compare(prev, y); c > 0 || (c == 0 && mixed[i-1] > o) {
+				t.Fatalf("merged range out of (value, ordinal) order at %d", i)
+			}
+		}
+		if o == tbl.Len()-1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("merged range missed the side-run row")
+	}
+	if tbl.MaintenanceStats().SortedIndexMerges == 0 {
+		t.Error("read-time merge not counted")
+	}
+	// Overflow the side-run: the collapse counts as one rebuild and the
+	// index stays current.
+	for i := 0; i <= SortedSideRunThreshold; i++ {
+		tbl.MustInsert(Row{Int(int64(20000 + i)), Int(int64(1960 + i%50)), String_("drama")})
+	}
+	if got := tbl.SortedIndexBuildCount(); got != builds+1 {
+		t.Errorf("build count after overflow = %d, want %d (one collapse)", got, builds+1)
+	}
+	if !tbl.HasSortedIndex("year") {
+		t.Error("index must stay current after side-run collapse")
+	}
+	all, err := tbl.RangeOrdinals("year", Null(), Null(), true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, r := range tbl.Rows() {
+		if !r[1].IsNull() {
+			want++
+		}
+	}
+	if len(all) != want {
+		t.Errorf("unbounded range after collapse = %d ordinals, want %d", len(all), want)
+	}
+}
+
+// TestStatsIncrementalDelta: within the staleness budget Stats folds the
+// insert delta into the base snapshot instead of rebuilding — exact
+// rows/nulls/min/max, labeled budget-stale — and a budget-exceeding burst
+// forces a fresh full rebuild.
+func TestStatsIncrementalDelta(t *testing.T) {
+	tbl := statsTable(t)
+	cs0, err := tbl.Stats("year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs0.Freshness != StatsFresh {
+		t.Errorf("initial freshness = %q, want %q", cs0.Freshness, StatsFresh)
+	}
+	builds := tbl.StatsBuildCount()
+	for i := 0; i < 5; i++ {
+		tbl.MustInsert(Row{Int(int64(5000 + i)), Int(int64(2200 + i)), String_("scifi")})
+	}
+	cs, err := tbl.Stats("year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Freshness != StatsBudgetStale {
+		t.Errorf("freshness = %q, want %q", cs.Freshness, StatsBudgetStale)
+	}
+	if tbl.StatsBuildCount() != builds {
+		t.Errorf("stats builds = %d, want %d (delta fold, not rebuild)", tbl.StatsBuildCount(), builds)
+	}
+	if cs.Rows != cs0.Rows+5 || cs.NullCount != cs0.NullCount {
+		t.Errorf("rows/nulls = %d/%d, want %d/%d", cs.Rows, cs.NullCount, cs0.Rows+5, cs0.NullCount)
+	}
+	if Compare(cs.Max, Int(2204)) != 0 || Compare(cs.Min, cs0.Min) != 0 {
+		t.Errorf("min/max = %v/%v, want %v/2204", cs.Min, cs.Max, cs0.Min)
+	}
+	if cs.Distinct != cs0.Distinct+5 {
+		t.Errorf("distinct = %d, want %d", cs.Distinct, cs0.Distinct+5)
+	}
+	if got := tbl.MaintenanceStats().StatsIncrementalUpdates; got == 0 {
+		t.Error("incremental update not counted")
+	}
+	// Past the budget the next Stats call rebuilds from scratch.
+	budget := StatsStalenessInserts
+	if f := int(StatsStalenessFraction * float64(cs.Rows)); f > budget {
+		budget = f
+	}
+	for i := 0; i <= budget; i++ {
+		tbl.MustInsert(Row{Int(int64(6000 + i)), Int(int64(1960 + i%50)), String_("drama")})
+	}
+	cs2, err := tbl.Stats("year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.Freshness != StatsFresh {
+		t.Errorf("post-budget freshness = %q, want %q", cs2.Freshness, StatsFresh)
+	}
+	if tbl.StatsBuildCount() != builds+1 {
+		t.Errorf("stats builds = %d, want %d (budget exceeded forces rebuild)", tbl.StatsBuildCount(), builds+1)
+	}
+}
+
+// TestStatsConcurrentWithInsert hammers Stats and RangeOrdinals against
+// concurrent Inserts — run with -race. Every snapshot served must be
+// internally consistent (rows ≥ nulls, min ≤ max) even while writes land.
+func TestStatsConcurrentWithInsert(t *testing.T) {
+	tbl := statsTable(t)
+	var wg sync.WaitGroup
+	errc := make(chan error, 32)
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			year := Value(Int(int64(1960 + i%80)))
+			if i%13 == 0 {
+				year = Null()
+			}
+			if err := tbl.Insert(Row{Int(int64(50000 + i)), year, String_("drama")}); err != nil {
+				errc <- err
+				return
+			}
+		}
+		close(stop)
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cs, err := tbl.Stats([]string{"year", "genre"}[w%2])
+				if err != nil {
+					errc <- err
+					return
+				}
+				if cs.Rows < cs.NullCount {
+					errc <- fmt.Errorf("inconsistent snapshot: rows %d < nulls %d", cs.Rows, cs.NullCount)
+					return
+				}
+				if cs.Rows > cs.NullCount && Compare(cs.Min, cs.Max) > 0 {
+					errc <- fmt.Errorf("inconsistent snapshot: min %v > max %v", cs.Min, cs.Max)
+					return
+				}
+				if _, err := tbl.RangeOrdinals("year", Int(1970), Int(1990), true, true); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	// After the dust settles a final snapshot must be exact on the fields
+	// the delta maintains exactly.
+	cs, err := tbl.Stats("year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Rows != tbl.Len() {
+		t.Errorf("final rows = %d, want %d", cs.Rows, tbl.Len())
 	}
 }
 

@@ -23,6 +23,14 @@ import "sort"
 // The merged Version is the sum of the partition versions: any partition
 // mutation changes it, so coordinators can cache merged snapshots against
 // it the same way single-table consumers cache against Table.Version.
+//
+// Freshness propagates pessimistically: the merged snapshot carries the
+// worst label among the partitions (sampled > budget-stale > fresh), so a
+// coordinator plan built over one budget-stale shard reports as
+// budget-stale. Partitions that crossed the wire carry "" and read as
+// fresh. Incremental per-shard maintenance thus flows straight through
+// the scatter-gather merge: shards fold their deltas locally and the
+// coordinator never forces an N-shard full rebuild.
 func MergeColumnStats(parts []*ColumnStats) *ColumnStats {
 	if len(parts) == 0 {
 		return nil
@@ -31,6 +39,18 @@ func MergeColumnStats(parts []*ColumnStats) *ColumnStats {
 		return parts[0]
 	}
 	out := &ColumnStats{Column: parts[0].Column}
+	rank, labeled := 0, false
+	for _, p := range parts {
+		if p.Freshness != "" {
+			labeled = true
+		}
+		if r := freshnessRank(p.Freshness); r > rank {
+			rank = r
+		}
+	}
+	if labeled {
+		out.Freshness = freshnessRankName(rank)
+	}
 	maxDistinct := 0
 	sumDistinct := 0
 	for _, p := range parts {

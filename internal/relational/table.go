@@ -19,32 +19,41 @@ func (r Row) Clone() Row {
 
 // Table is a populated relation: schema plus rows plus maintained indexes.
 //
-// Population (Insert) is a distinct phase: it must not run concurrently
-// with any other table access, matching how the generators and loaders use
-// it. After population, all read paths are safe to share between
-// goroutines; the one lazily-written structure, colIndexes, is guarded by
-// idxMu so concurrent readers can trigger index builds (EnsureIndex,
-// Lookup, DistinctCount) without racing.
+// Bulk population (loaders, generators) remains a distinct phase that must
+// not run concurrently with reads. After population, all read paths are
+// safe to share between goroutines, and the index/statistics read paths
+// (EnsureIndex, Lookup, RangeOrdinals, Stats, DistinctCount) additionally
+// tolerate concurrent Inserts: Insert performs every shared-structure
+// mutation — row append, version bump, index and statistics maintenance —
+// under idxMu, the same lock those readers take. Unlocked row access
+// (Rows, Row, LookupPK, executor scans) is still reads-only territory;
+// callers that interleave scans with writes serialize at a higher layer
+// (wrapper.FullAccessSource holds an RWMutex around Execute/Insert).
 //
 // Index invalidation rules: an equality index built by EnsureIndex is
 // maintained incrementally by Insert (the new ordinal is appended to its
-// posting), so indexes built mid-population stay correct. Every Insert
-// also bumps the table's Version; consumers that cache derived state
-// outside the table (the SQL planner's plan cache, for example) key it on
-// the version and so observe mutations as cache misses rather than stale
-// reads.
+// posting), so indexes built mid-population stay correct. Sorted indexes
+// and statistics snapshots are version-checked; with incremental
+// maintenance on (the default, see maintain.go) Insert keeps sorted
+// indexes current through a sorted side-run and accrues per-column
+// statistics deltas, so reads after writes avoid full rebuilds. Every
+// Insert also bumps the table's Version; consumers that cache derived
+// state outside the table (the SQL planner's plan cache, the serving
+// tier's response cache) key it on the version and so observe mutations
+// as cache misses rather than stale reads.
 type Table struct {
 	Schema *TableSchema
 
 	rows []Row
 
 	// version counts mutations (Inserts); external caches key on it.
-	version uint64
+	// Atomic so cache-key reads (Version, DataVersion) never race Insert.
+	version atomic.Uint64
 
 	// pkIndex maps PK value key -> row ordinal (unique).
 	pkIndex map[string]int
-	// idxMu guards colIndexes and indexBuilds (lazily built under
-	// concurrent readers).
+	// idxMu guards every lazily written structure below and the
+	// shared-state mutations Insert performs.
 	idxMu sync.Mutex
 	// colIndexes maps column ordinal -> (value key -> row ordinals);
 	// maintained lazily for FK columns and on demand.
@@ -54,24 +63,35 @@ type Table struct {
 	// again).
 	indexBuilds int
 	// sortedIndexes maps column ordinal -> row ordinals sorted by value
-	// (range-scan support). Unlike the hash indexes they are not maintained
-	// incrementally: each entry records the version it was built at and is
-	// rebuilt on access when stale.
+	// (range-scan support). Each entry records the version it reflects;
+	// with incremental maintenance Insert keeps current entries current by
+	// absorbing rows into a sorted side-run, otherwise a stale entry is
+	// rebuilt on next access.
 	sortedIndexes map[int]*sortedIndex
 	sortedBuilds  int
+	sortedMerges  int // read-time main+side merges (see RangeOrdinals)
+	sideInserts   int // inserts absorbed into side-runs
 	// colStats caches per-column statistics snapshots, version-checked the
-	// same way (see Stats in stats.go).
-	colStats    map[int]*ColumnStats
-	statsBuilds int
+	// same way (see Stats in stats.go); statsMaint holds the incremental
+	// maintenance state per column (see maintain.go).
+	colStats         map[int]*ColumnStats
+	statsBuilds      int
+	statsSampled     int
+	statsIncremental int
+	statsMaint       map[int]*colMaint
 }
 
 // sortedIndex holds a column's non-NULL row ordinals ordered by
 // (value ascending under Compare, ordinal ascending). The version pins the
-// Table.Version it reflects; a mismatch means the table mutated and the
-// index must be rebuilt before use.
+// Table.Version it reflects; a mismatch means the table mutated without
+// maintenance and the index must be rebuilt before use. Under incremental
+// maintenance, inserts land in side — also (value, ordinal)-ordered, and
+// ordinal-disjoint above ords — which range reads merge on the fly until
+// it exceeds SortedSideRunThreshold and is collapsed into ords.
 type sortedIndex struct {
 	version uint64
 	ords    []int
+	side    []int
 }
 
 func columnError(t *Table, column string) error {
@@ -122,6 +142,8 @@ func (t *Table) Insert(row Row) error {
 		}
 		coerced[i] = cv
 	}
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
 	if t.pkIndex != nil {
 		pkOrd := t.Schema.ColumnIndex(t.Schema.PrimaryKey)
 		key := coerced[pkOrd].Key()
@@ -136,11 +158,8 @@ func (t *Table) Insert(row Row) error {
 	}
 	ord := len(t.rows)
 	t.rows = append(t.rows, coerced)
-	t.version++
-	// No idxMu here: Insert is population-phase only (see the type doc) and
-	// never runs concurrently with readers, so locking just the index
-	// update would suggest a safety the unguarded rows/pkIndex writes above
-	// cannot provide.
+	oldVersion := t.version.Load()
+	newVersion := t.version.Add(1)
 	for colOrd, idx := range t.colIndexes {
 		if coerced[colOrd].IsNull() {
 			continue
@@ -148,12 +167,73 @@ func (t *Table) Insert(row Row) error {
 		k := coerced[colOrd].Key()
 		idx[k] = append(idx[k], ord)
 	}
+	if IncrementalMaintenance() {
+		t.maintainInsertLocked(coerced, ord, oldVersion, newVersion)
+	} else if len(t.statsMaint) > 0 {
+		// Maintenance was toggled off mid-stream: deltas would silently
+		// miss this insert, so drop them and fall back to full rebuilds.
+		t.statsMaint = nil
+	}
 	return nil
+}
+
+// maintainInsertLocked absorbs one inserted row into the incremental
+// maintenance structures: each current sorted index takes the row into its
+// side-run (collapsing when the run outgrows SortedSideRunThreshold), and
+// each column with built statistics accrues the new cell in its delta.
+// Caller holds idxMu.
+func (t *Table) maintainInsertLocked(row Row, ord int, oldVersion, newVersion uint64) {
+	for colOrd, si := range t.sortedIndexes {
+		if si.version != oldVersion {
+			continue // already stale; next read rebuilds it wholesale
+		}
+		si.version = newVersion
+		v := row[colOrd]
+		if v.IsNull() {
+			continue // NULL cells are absent from sorted indexes
+		}
+		pos := sort.Search(len(si.side), func(i int) bool {
+			return Compare(t.rows[si.side[i]][colOrd], v) > 0
+		})
+		si.side = append(si.side, 0)
+		copy(si.side[pos+1:], si.side[pos:])
+		si.side[pos] = ord
+		t.sideInserts++
+		if len(si.side) > SortedSideRunThreshold {
+			t.collapseSideLocked(colOrd, si)
+		}
+	}
+	for colOrd, m := range t.statsMaint {
+		m.delta.note(row[colOrd])
+	}
+}
+
+// collapseSideLocked folds an overgrown side-run back into the main sorted
+// run with one linear merge (side ordinals all postdate main ordinals, so
+// ties keep main first and (value, ordinal) order holds). It replaces the
+// main run, so it counts as a rebuild. Caller holds idxMu.
+func (t *Table) collapseSideLocked(colOrd int, si *sortedIndex) {
+	merged := make([]int, 0, len(si.ords)+len(si.side))
+	i, j := 0, 0
+	for i < len(si.ords) && j < len(si.side) {
+		if Compare(t.rows[si.ords[i]][colOrd], t.rows[si.side[j]][colOrd]) <= 0 {
+			merged = append(merged, si.ords[i])
+			i++
+		} else {
+			merged = append(merged, si.side[j])
+			j++
+		}
+	}
+	merged = append(merged, si.ords[i:]...)
+	merged = append(merged, si.side[j:]...)
+	si.ords = merged
+	si.side = nil
+	t.sortedBuilds++
 }
 
 // Version returns the table's mutation counter. It changes on every Insert,
 // so any state derived from the rows can be cached against it.
-func (t *Table) Version() uint64 { return t.version }
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // MustInsert inserts and panics on error; used by generators and tests where
 // schema correctness is established by construction.
@@ -256,7 +336,7 @@ func (t *Table) DistinctCount(column string) (int, error) {
 // ordinal, building or rebuilding it when missing or stale. Caller holds
 // idxMu.
 func (t *Table) ensureSortedLocked(ord int) *sortedIndex {
-	if si, ok := t.sortedIndexes[ord]; ok && si.version == t.version {
+	if si, ok := t.sortedIndexes[ord]; ok && si.version == t.version.Load() {
 		return si
 	}
 	ords := make([]int, 0, len(t.rows))
@@ -269,7 +349,7 @@ func (t *Table) ensureSortedLocked(ord int) *sortedIndex {
 	sort.SliceStable(ords, func(a, b int) bool {
 		return Compare(t.rows[ords[a]][ord], t.rows[ords[b]][ord]) < 0
 	})
-	si := &sortedIndex{version: t.version, ords: ords}
+	si := &sortedIndex{version: t.version.Load(), ords: ords}
 	if t.sortedIndexes == nil {
 		t.sortedIndexes = make(map[int]*sortedIndex)
 	}
@@ -282,10 +362,12 @@ func (t *Table) ensureSortedLocked(ord int) *sortedIndex {
 // the [lo, hi] interval under Compare ordering, with per-bound strictness
 // (loInc/hiInc select ≥/≤ over >/<). A NULL bound is unbounded on that
 // side; NULL cells never qualify (they are absent from the sorted index,
-// matching SQL comparison semantics). The result is ordered by value and is
-// a sub-slice of the shared index — callers must treat it as read-only.
-// The sorted index is built on first use and rebuilt whenever the table
-// version moved, so a stale index is never consulted.
+// matching SQL comparison semantics). The result is ordered by value;
+// unless the sorted side-run contributes rows (in which case a fresh merged
+// slice is allocated) it is a sub-slice of the shared index — callers must
+// treat it as read-only either way. A sorted index is built on first use
+// and rebuilt whenever the table version moved without maintenance, so a
+// stale index is never consulted: range scans always see every row.
 func (t *Table) RangeOrdinals(column string, lo, hi Value, loInc, hiInc bool) ([]int, error) {
 	ord := t.Schema.ColumnIndex(column)
 	if ord < 0 {
@@ -294,31 +376,65 @@ func (t *Table) RangeOrdinals(column string, lo, hi Value, loInc, hiInc bool) ([
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
 	si := t.ensureSortedLocked(ord)
-	val := func(i int) Value { return t.rows[si.ords[i]][ord] }
-	start := 0
-	if !lo.IsNull() {
-		start = sort.Search(len(si.ords), func(i int) bool {
-			c := Compare(val(i), lo)
-			if loInc {
-				return c >= 0
-			}
-			return c > 0
-		})
-	}
-	end := len(si.ords)
-	if !hi.IsNull() {
-		end = sort.Search(len(si.ords), func(i int) bool {
-			c := Compare(val(i), hi)
-			if hiInc {
+	cut := func(ords []int) (int, int) {
+		val := func(i int) Value { return t.rows[ords[i]][ord] }
+		start := 0
+		if !lo.IsNull() {
+			start = sort.Search(len(ords), func(i int) bool {
+				c := Compare(val(i), lo)
+				if loInc {
+					return c >= 0
+				}
 				return c > 0
-			}
-			return c >= 0
-		})
+			})
+		}
+		end := len(ords)
+		if !hi.IsNull() {
+			end = sort.Search(len(ords), func(i int) bool {
+				c := Compare(val(i), hi)
+				if hiInc {
+					return c > 0
+				}
+				return c >= 0
+			})
+		}
+		return start, end
 	}
-	if start >= end {
+	start, end := cut(si.ords)
+	if len(si.side) == 0 {
+		if start >= end {
+			return nil, nil
+		}
+		return si.ords[start:end], nil
+	}
+	s2, e2 := cut(si.side)
+	switch {
+	case s2 >= e2 && start >= end:
 		return nil, nil
+	case s2 >= e2:
+		return si.ords[start:end], nil
+	case start >= end:
+		return si.side[s2:e2], nil
 	}
-	return si.ords[start:end], nil
+	// Both runs contribute: merge the two value-ordered slices. Side
+	// ordinals postdate main ordinals, so ties keep main first and the
+	// (value, ordinal) contract holds.
+	main, side := si.ords[start:end], si.side[s2:e2]
+	merged := make([]int, 0, len(main)+len(side))
+	i, j := 0, 0
+	for i < len(main) && j < len(side) {
+		if Compare(t.rows[main[i]][ord], t.rows[side[j]][ord]) <= 0 {
+			merged = append(merged, main[i])
+			i++
+		} else {
+			merged = append(merged, side[j])
+			j++
+		}
+	}
+	merged = append(merged, main[i:]...)
+	merged = append(merged, side[j:]...)
+	t.sortedMerges++
+	return merged, nil
 }
 
 // HasSortedIndex reports whether an up-to-date sorted index exists for the
@@ -331,7 +447,7 @@ func (t *Table) HasSortedIndex(column string) bool {
 	t.idxMu.Lock()
 	defer t.idxMu.Unlock()
 	si, ok := t.sortedIndexes[ord]
-	return ok && si.version == t.version
+	return ok && si.version == t.version.Load()
 }
 
 // SortedIndexedColumns returns the names of the columns with an up-to-date
@@ -341,7 +457,7 @@ func (t *Table) SortedIndexedColumns() []string {
 	defer t.idxMu.Unlock()
 	var out []string
 	for i := range t.Schema.Columns {
-		if si, ok := t.sortedIndexes[i]; ok && si.version == t.version {
+		if si, ok := t.sortedIndexes[i]; ok && si.version == t.version.Load() {
 			out = append(out, t.Schema.Columns[i].Name)
 		}
 	}
@@ -402,7 +518,8 @@ func (t *Table) DropIndexes() {
 	t.colIndexes = make(map[int]map[string][]int)
 	t.sortedIndexes = nil
 	t.colStats = nil
-	t.version++
+	t.statsMaint = nil
+	t.version.Add(1)
 }
 
 // Database is a named collection of populated tables sharing one Schema.

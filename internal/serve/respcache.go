@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"repro/internal/cache"
+)
+
+// respCache is the serving tier's response cache: whole JSON payloads
+// keyed by the tenant-visible request shape (endpoint plus every
+// response-shaping parameter), validated against per-table versions
+// instead of a TTL. Each entry stores the version of every table the
+// response depends on, snapshotted BEFORE the request executed — a write
+// that lands mid-execution therefore makes the stored entry validate
+// stale rather than serving a response that half-saw it. A probe whose
+// entry carries a mismatched version counts an invalidation and falls
+// through to execution, which overwrites the entry in place (the LRU has
+// no delete; overwrite-on-refill is the eviction).
+//
+// The cache layers above the engine's query cache and the planner's
+// plan cache deliberately: those save recomputation, this one saves the
+// whole execute-and-encode path, and all three invalidate by the same
+// per-table version counters, so an insert into one table leaves
+// responses over every other table servable.
+type respCache struct {
+	lru *cache.LRU[string, *respEntry]
+
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+// respEntry is one cached response: the encoded payload and the table
+// versions it was computed against.
+type respEntry struct {
+	payload any
+	deps    map[string]uint64
+}
+
+func newRespCache(size int) *respCache {
+	if size <= 0 {
+		return nil
+	}
+	return &respCache{lru: cache.New[string, *respEntry](size)}
+}
+
+// get probes the cache; current reports each dependency's live version.
+// A nil receiver (cache disabled) always misses without counting.
+func (rc *respCache) get(key string, current func(table string) (uint64, bool)) (any, bool) {
+	if rc == nil {
+		return nil, false
+	}
+	e, ok := rc.lru.Get(key)
+	if !ok {
+		rc.misses.Add(1)
+		return nil, false
+	}
+	for tbl, ver := range e.deps {
+		v, ok := current(tbl)
+		if !ok || v != ver {
+			rc.invalidations.Add(1)
+			return nil, false
+		}
+	}
+	rc.hits.Add(1)
+	return e.payload, true
+}
+
+// put stores a response. Entries without dependencies are refused: a
+// source that exposes no per-table versions gives the cache nothing to
+// invalidate on, so caching would serve stale data forever.
+func (rc *respCache) put(key string, payload any, deps map[string]uint64) {
+	if rc == nil || len(deps) == 0 {
+		return
+	}
+	rc.lru.Put(key, &respEntry{payload: payload, deps: deps})
+}

@@ -1,0 +1,221 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	quest "repro"
+	"repro/internal/core"
+	"repro/internal/serve"
+	"repro/internal/wrapper"
+)
+
+// newCachingServer builds a serve.Server with the response cache on over
+// a plain full-access source (which exposes wrapper.TableVersioner, so
+// entries are cachable and version-invalidated).
+func newCachingServer(t *testing.T) *serve.Server {
+	t.Helper()
+	db := quest.BuildIMDB(quest.DatasetConfig{Seed: 42, Scale: 1})
+	src := wrapper.NewFullAccessSource(db)
+	opts := quest.Defaults()
+	eng := core.NewEngine(src, opts)
+	return serve.New(eng, serve.Options{
+		TenantRate:        -1,
+		ResponseCacheSize: 64,
+	})
+}
+
+func postJSON(s *serve.Server, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+func decodeSQL(t *testing.T, w *httptest.ResponseRecorder) (rowCount int, cached bool) {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var body struct {
+		RowCount int     `json:"row_count"`
+		Cached   bool    `json:"cached"`
+		Rows     [][]any `json:"rows"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	return body.RowCount, body.Cached
+}
+
+// countMovies runs the count query and returns the counted value plus the
+// cached marker.
+func countMovies(t *testing.T, s *serve.Server) (int64, bool) {
+	t.Helper()
+	w := postJSON(s, "/v1/sql", `{"sql": "SELECT COUNT(*) AS n FROM movie"}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var body struct {
+		Rows   [][]any `json:"rows"`
+		Cached bool    `json:"cached"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Rows) != 1 || len(body.Rows[0]) != 1 {
+		t.Fatalf("want one count cell, got %v", body.Rows)
+	}
+	n, ok := body.Rows[0][0].(float64)
+	if !ok {
+		t.Fatalf("count cell %v is not a number", body.Rows[0][0])
+	}
+	return int64(n), body.Cached
+}
+
+// TestResponseCacheSQLInvalidation is the response cache's core contract:
+// a repeat of the same statement is served from cache, a write to the
+// scanned table invalidates exactly that entry, and writes to unrelated
+// tables leave it servable.
+func TestResponseCacheSQLInvalidation(t *testing.T) {
+	s := newCachingServer(t)
+
+	n0, cached := countMovies(t, s)
+	if cached {
+		t.Fatal("first request must miss the response cache")
+	}
+	_, cached = countMovies(t, s)
+	if !cached {
+		t.Fatal("repeat request must hit the response cache")
+	}
+
+	// A write to the scanned table invalidates the entry; the next read
+	// sees the new row, not the cached count.
+	w := postJSON(s, "/v1/insert", `{"table": "movie", "rows": [[9001, "Cache Buster", 2025, "drama", 7.5]]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("insert status %d: %s", w.Code, w.Body.String())
+	}
+	n1, cached := countMovies(t, s)
+	if cached {
+		t.Fatal("post-insert request must not be served from cache")
+	}
+	if n1 != n0+1 {
+		t.Fatalf("count after insert = %d, want %d", n1, n0+1)
+	}
+
+	// Warm the entry again, then write to an UNRELATED table: the movie
+	// count entry must stay servable — that is the point of per-table
+	// versions over a global epoch.
+	if _, cached := countMovies(t, s); !cached {
+		t.Fatal("rewarmed entry must hit")
+	}
+	w = postJSON(s, "/v1/insert", `{"table": "person", "rows": [[9001, "New Person", 1990, "f"]]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("insert status %d: %s", w.Code, w.Body.String())
+	}
+	if _, cached := countMovies(t, s); !cached {
+		t.Fatal("write to person must not invalidate the movie count entry")
+	}
+
+	st := s.Stats()
+	if st.ResponseCacheHits < 3 || st.ResponseCacheMisses < 1 || st.ResponseCacheInvalidations < 1 {
+		t.Fatalf("counters hits=%d misses=%d invalidations=%d, want >=3/>=1/>=1",
+			st.ResponseCacheHits, st.ResponseCacheMisses, st.ResponseCacheInvalidations)
+	}
+	if st.Inserts != 2 || st.RowsInserted != 2 {
+		t.Fatalf("insert counters = %d/%d, want 2/2", st.Inserts, st.RowsInserted)
+	}
+}
+
+// TestResponseCacheSearch covers the keyword endpoint: the second
+// identical request is a cache hit marked cached, and any insert
+// invalidates search entries (they depend on every table).
+func TestResponseCacheSearch(t *testing.T) {
+	s := newCachingServer(t)
+
+	w := doSearch(s, testQuery, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	var first struct {
+		Cached       bool  `json:"cached"`
+		Explanations []any `json:"explanations"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first search must miss")
+	}
+
+	w = doSearch(s, testQuery, nil)
+	var second struct {
+		Cached       bool  `json:"cached"`
+		Explanations []any `json:"explanations"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("repeat search must be served from the response cache")
+	}
+	if len(second.Explanations) != len(first.Explanations) {
+		t.Fatalf("cached search returned %d explanations, want %d", len(second.Explanations), len(first.Explanations))
+	}
+
+	w = postJSON(s, "/v1/insert", `{"table": "movie", "rows": [[9002, "Another Movie", 2025, "comedy", 6.5]]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("insert status %d: %s", w.Code, w.Body.String())
+	}
+	w = doSearch(s, testQuery, nil)
+	var third struct {
+		Cached bool `json:"cached"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.Cached {
+		t.Fatal("search after a write must re-execute")
+	}
+}
+
+// TestInsertEndpointErrors pins the write endpoint's typed failures:
+// unknown table, malformed values, and mid-batch failures that report how
+// many rows landed before the bad one.
+func TestInsertEndpointErrors(t *testing.T) {
+	s := newCachingServer(t)
+
+	w := postJSON(s, "/v1/insert", `{"table": "nope", "rows": [[1]]}`)
+	if w.Code != http.StatusBadRequest || errorCode(t, w) != "bad_request" {
+		t.Fatalf("unknown table: status %d body %s", w.Code, w.Body.String())
+	}
+
+	w = postJSON(s, "/v1/insert", `{"table": "movie", "rows": [[9003, ["nested"], 2025, "drama", 1.0]]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("nested value: status %d body %s", w.Code, w.Body.String())
+	}
+
+	w = postJSON(s, "/v1/insert", `{"rows": [[1]]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("missing table: status %d body %s", w.Code, w.Body.String())
+	}
+	w = postJSON(s, "/v1/insert", `{"table": "movie"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("missing rows: status %d body %s", w.Code, w.Body.String())
+	}
+
+	// A duplicate primary key mid-batch: the first row lands, the second
+	// fails, and the error says so.
+	w = postJSON(s, "/v1/insert",
+		`{"table": "movie", "rows": [[9004, "First", 2025, "drama", 5.0], [9004, "Dup", 2025, "drama", 5.0]]}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("dup pk: status %d body %s", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "1 rows inserted before the failure") {
+		t.Fatalf("dup pk error should report partial progress: %s", w.Body.String())
+	}
+}

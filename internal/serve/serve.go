@@ -12,6 +12,7 @@
 //	GET  /v1/search  ?q=keywords [&k=N] [&execute=1] [&limit=N]
 //	POST /v1/search  same parameters as a form body
 //	POST /v1/sql     {"sql": "SELECT ..."} or sql=... form body
+//	POST /v1/insert  {"table": ..., "rows": [[...], ...]} row appends
 //
 // Request headers:
 //
@@ -36,6 +37,13 @@
 // own query cache, so a thundering herd on a cold key runs the pipeline
 // once.
 //
+// Options.ResponseCacheSize (off by default) adds a response cache in
+// front of the execution path: whole payloads keyed by the
+// tenant-visible request shape and invalidated by per-table versions,
+// never by TTL — an insert into one table evicts exactly the responses
+// that read it and keeps every other table's responses servable. See
+// respCache for the validation contract.
+//
 // Every typed failure is a JSON body {"error": code, "message": ...} with
 // code one of bad_request, rate_limited, overloaded, deadline_exceeded,
 // canceled, internal.
@@ -57,6 +65,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/relational"
+	"repro/internal/sql"
 )
 
 // Request headers understood by the server.
@@ -102,6 +111,14 @@ type Options struct {
 	// concurrent keyword searches (ablation knob; E16 disables it so the
 	// load generator measures uncoalesced engine capacity).
 	DisableCoalesce bool
+	// ResponseCacheSize caps the response cache (entries). 0 — the
+	// default — disables it: response caching changes what a request
+	// costs, so it is opt-in rather than silently inflating capacity
+	// estimates (E16 measures the uncached path). Entries are
+	// invalidated by per-table versions, so the cache is only effective
+	// over engines whose source exposes wrapper.TableVersioner;
+	// responses from sources without the face are never cached.
+	ResponseCacheSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -137,6 +154,7 @@ type Stats struct {
 	Requests   uint64 // HTTP requests received across all endpoints
 	Searches   uint64 // keyword searches executed (coalesce leaders)
 	SQLQueries uint64 // /v1/sql statements executed
+	Inserts    uint64 // /v1/insert requests executed
 	Coalesced  uint64 // searches served by another request's in-flight result
 
 	RateLimited      uint64 // 429s: tenant bucket empty
@@ -147,8 +165,17 @@ type Stats struct {
 	Errors           uint64 // 500s
 
 	RowsReturned uint64 // data rows written into responses
+	RowsInserted uint64 // data rows appended via /v1/insert
 	QueueWaitNs  uint64 // total ns admitted requests waited for a slot
 	ExecNs       uint64 // total ns spent executing searches and SQL
+
+	// Response-cache outcomes; all zero when the cache is disabled.
+	// An invalidation is a probe that found its entry but a dependency
+	// table's version moved — the stale entry is overwritten when the
+	// re-executed response is stored.
+	ResponseCacheHits          uint64
+	ResponseCacheMisses        uint64
+	ResponseCacheInvalidations uint64
 }
 
 type counters struct {
@@ -156,6 +183,7 @@ type counters struct {
 	rateLimited, shed, deadlineExceeded       atomic.Uint64
 	clientCanceled, badRequests, errors       atomic.Uint64
 	rowsReturned, queueWaitNs, execNs         atomic.Uint64
+	inserts, rowsInserted                     atomic.Uint64
 }
 
 // tenantBucket is one tenant's token bucket; the server's tenant map is
@@ -192,6 +220,10 @@ type Server struct {
 	fmu    sync.Mutex
 	flight map[string]*flightCall
 
+	// rcache is the per-table-version response cache; nil when
+	// Options.ResponseCacheSize is 0.
+	rcache *respCache
+
 	c counters
 }
 
@@ -204,11 +236,13 @@ func New(eng *core.Engine, opt Options) *Server {
 		flight:  map[string]*flightCall{},
 	}
 	s.sem = make(chan struct{}, s.opt.MaxConcurrent)
+	s.rcache = newRespCache(s.opt.ResponseCacheSize)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/v1/search", s.handleSearch)
 	s.mux.HandleFunc("/v1/sql", s.handleSQL)
+	s.mux.HandleFunc("/v1/insert", s.handleInsert)
 	return s
 }
 
@@ -219,10 +253,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Requests:   s.c.requests.Load(),
 		Searches:   s.c.searches.Load(),
 		SQLQueries: s.c.sqlQueries.Load(),
+		Inserts:    s.c.inserts.Load(),
 		Coalesced:  s.c.coalesced.Load(),
 
 		RateLimited:      s.c.rateLimited.Load(),
@@ -233,9 +268,16 @@ func (s *Server) Stats() Stats {
 		Errors:           s.c.errors.Load(),
 
 		RowsReturned: s.c.rowsReturned.Load(),
+		RowsInserted: s.c.rowsInserted.Load(),
 		QueueWaitNs:  s.c.queueWaitNs.Load(),
 		ExecNs:       s.c.execNs.Load(),
 	}
+	if s.rcache != nil {
+		st.ResponseCacheHits = s.rcache.hits.Load()
+		st.ResponseCacheMisses = s.rcache.misses.Load()
+		st.ResponseCacheInvalidations = s.rcache.invalidations.Load()
+	}
+	return st
 }
 
 // ---- typed error responses ----
@@ -398,6 +440,7 @@ type searchPayload struct {
 	Keywords     []string          `json:"keywords"`
 	Explanations []explanationJSON `json:"explanations"`
 	Coalesced    bool              `json:"coalesced,omitempty"`
+	Cached       bool              `json:"cached,omitempty"`
 	ElapsedMs    float64           `json:"elapsed_ms"`
 }
 
@@ -438,6 +481,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+
+	// Response-cache probe: after admission (cached responses still
+	// spend the tenant's tokens) but before the execution slot — a hit
+	// costs no engine work at all. A keyword search can read any table,
+	// so entries depend on every table; versions are snapshotted before
+	// execution so a mid-flight write invalidates the stored entry.
+	ckey := "search\x00" + q + "\x00" + strconv.Itoa(k) + "\x00" +
+		strconv.FormatBool(execute) + "\x00" + strconv.Itoa(limit)
+	if hit, ok := s.rcache.get(ckey, s.eng.TableVersion); ok {
+		cp := *hit.(*searchPayload)
+		cp.Cached = true
+		writeJSON(w, http.StatusOK, &cp)
+		return
+	}
+	deps := s.eng.TableVersions()
+
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
 		s.failBadRequest(w, err.Error())
@@ -455,6 +514,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "internal", Message: err.Error()})
 		return
 	}
+	// Cache the leader's payload (not the per-request Coalesced copy) so
+	// later hits don't inherit this request's delivery flags.
+	s.rcache.put(ckey, res, deps)
 	if coalesced {
 		s.c.coalesced.Add(1)
 		cp := *res
@@ -561,6 +623,7 @@ type sqlPayload struct {
 	Columns   []string `json:"columns"`
 	Rows      [][]any  `json:"rows"`
 	RowCount  int      `json:"row_count"`
+	Cached    bool     `json:"cached,omitempty"`
 	ElapsedMs float64  `json:"elapsed_ms"`
 }
 
@@ -587,6 +650,20 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+
+	// Response-cache probe (see handleSearch). SQL entries depend only
+	// on the tables the plan scanned, so writes to unrelated tables
+	// never invalidate them; the full version snapshot is taken before
+	// execution and narrowed after the plan is known.
+	ckey := "sql\x00" + query + "\x00" + strconv.Itoa(limit)
+	if hit, ok := s.rcache.get(ckey, s.eng.TableVersion); ok {
+		cp := *hit.(*sqlPayload)
+		cp.Cached = true
+		writeJSON(w, http.StatusOK, &cp)
+		return
+	}
+	versions := s.eng.TableVersions()
+
 	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
 		s.failBadRequest(w, err.Error())
@@ -616,12 +693,151 @@ func (s *Server) handleSQL(w http.ResponseWriter, r *http.Request) {
 	}
 	rows := encodeRows(res.Rows, limit)
 	s.c.rowsReturned.Add(uint64(len(rows)))
-	writeJSON(w, http.StatusOK, sqlPayload{
+	payload := &sqlPayload{
 		Columns:   res.Columns,
 		Rows:      rows,
 		RowCount:  len(res.Rows),
 		ElapsedMs: float64(time.Since(started)) / float64(time.Millisecond),
+	}
+	s.rcache.put(ckey, payload, scanDeps(res.Plan, versions))
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// scanDeps narrows a pre-execution version snapshot to the tables the
+// executed plan actually scanned. Nil when the plan (or snapshot) is
+// unavailable — the entry is then not cached.
+func scanDeps(qp *sql.QueryPlan, versions map[string]uint64) map[string]uint64 {
+	if qp == nil || len(versions) == 0 {
+		return nil
+	}
+	deps := make(map[string]uint64, len(qp.Scans))
+	for _, sp := range qp.Scans {
+		name := strings.ToLower(sp.Table)
+		v, ok := versions[name]
+		if !ok {
+			return nil
+		}
+		deps[name] = v
+	}
+	return deps
+}
+
+// insertPayload is /v1/insert's response body.
+type insertPayload struct {
+	Table     string  `json:"table"`
+	Inserted  int     `json:"inserted"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// handleInsert appends rows through the engine's write face — the
+// serving tier's half of the mixed read/write hot path. Each insert
+// bumps the written table's version, which is what invalidates exactly
+// the response-cache (and engine/plan cache) entries that read it;
+// nothing here flushes any cache explicitly.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.c.requests.Add(1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		s.failBadRequest(w, "use POST")
+		return
+	}
+	var body struct {
+		Table string  `json:"table"`
+		Rows  [][]any `json:"rows"`
+	}
+	dec := json.NewDecoder(r.Body)
+	// Numbers arrive as json.Number so integer keys survive without a
+	// float64 round-trip.
+	dec.UseNumber()
+	if err := dec.Decode(&body); err != nil {
+		s.failBadRequest(w, fmt.Sprintf("bad JSON body: %v", err))
+		return
+	}
+	if strings.TrimSpace(body.Table) == "" {
+		s.failBadRequest(w, `missing "table" field`)
+		return
+	}
+	if len(body.Rows) == 0 {
+		s.failBadRequest(w, `missing "rows" field`)
+		return
+	}
+
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		s.failBadRequest(w, err.Error())
+		return
+	}
+	defer cancel()
+	// Writes take an execution slot like queries: they contend for the
+	// same table locks, so admitting unbounded writers would starve the
+	// read path the slots exist to protect.
+	releaseSlot, err := s.acquireSlot(ctx)
+	if err != nil {
+		s.failCtx(w, err)
+		return
+	}
+	defer releaseSlot()
+
+	started := time.Now()
+	s.c.inserts.Add(1)
+	inserted := 0
+	for i, raw := range body.Rows {
+		row, err := decodeInsertRow(raw)
+		if err == nil {
+			err = s.eng.Insert(body.Table, row)
+		}
+		if err != nil {
+			s.c.execNs.Add(uint64(time.Since(started)))
+			s.c.rowsInserted.Add(uint64(inserted))
+			// Earlier rows of the batch stay inserted; the error names
+			// the row that failed so the client can resume after it.
+			s.failBadRequest(w, fmt.Sprintf("row %d: %v (%d rows inserted before the failure)", i, err, inserted))
+			return
+		}
+		inserted++
+	}
+	s.c.execNs.Add(uint64(time.Since(started)))
+	s.c.rowsInserted.Add(uint64(inserted))
+	writeJSON(w, http.StatusOK, insertPayload{
+		Table:     body.Table,
+		Inserted:  inserted,
+		ElapsedMs: float64(time.Since(started)) / float64(time.Millisecond),
 	})
+}
+
+// decodeInsertRow maps JSON-native values onto relational ones: null,
+// bool, string, and json.Number (integer when it parses exactly, float
+// otherwise). Nested arrays/objects are rejected.
+func decodeInsertRow(raw []any) (relational.Row, error) {
+	row := make(relational.Row, len(raw))
+	for j, v := range raw {
+		switch x := v.(type) {
+		case nil:
+			row[j] = relational.Null()
+		case bool:
+			row[j] = relational.Bool(x)
+		case string:
+			row[j] = relational.String_(x)
+		case json.Number:
+			if n, err := strconv.ParseInt(string(x), 10, 64); err == nil {
+				row[j] = relational.Int(n)
+			} else {
+				f, err := x.Float64()
+				if err != nil {
+					return nil, fmt.Errorf("column %d: bad number %q", j, x)
+				}
+				row[j] = relational.Float(f)
+			}
+		default:
+			return nil, fmt.Errorf("column %d: unsupported JSON value %T (want null, bool, string or number)", j, v)
+		}
+	}
+	return row, nil
 }
 
 // sqlOf extracts the statement from a JSON body ({"sql": ...}) or a form

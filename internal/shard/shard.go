@@ -510,6 +510,40 @@ func (s *ShardedSource) ColumnStatistics(table, column string) (*relational.Colu
 	return relational.MergeColumnStats(parts), nil
 }
 
+// TableVersion implements wrapper.TableVersioner as the sum of the
+// per-shard table versions — the same convention ColumnStatistics uses
+// for its merged Version, so any shard's insert bumps the logical
+// version and version-keyed caches (plan, query, response) invalidate
+// exactly the entries that read the table. Only available when every
+// backend exposes the face (owned databases always do; injected
+// backends must implement it themselves).
+func (s *ShardedSource) TableVersion(table string) (uint64, bool) {
+	if s.dbs != nil {
+		var sum uint64
+		for _, db := range s.dbs {
+			t := db.Table(table)
+			if t == nil {
+				return 0, false
+			}
+			sum += t.Version()
+		}
+		return sum, true
+	}
+	var sum uint64
+	for _, b := range s.backends {
+		tv, ok := b.(wrapper.TableVersioner)
+		if !ok {
+			return 0, false
+		}
+		v, ok := tv.TableVersion(table)
+		if !ok {
+			return 0, false
+		}
+		sum += v
+	}
+	return sum, true
+}
+
 // forEach runs fn(i) for i in [0, n) over the source's bounded worker pool
 // (inline when one worker suffices).
 func (s *ShardedSource) forEach(n int, fn func(int)) {

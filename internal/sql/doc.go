@@ -81,15 +81,28 @@
 //
 // # Plan cache and invalidation
 //
-// Plans are memoized in a package-level LRU keyed on (database ID, data
-// version, reorder setting, canonical SQL). The data version is the fold
-// of every table's mutation counter, so any Insert makes previous entries
-// unreachable — cached index-probe ordinals can never go stale. Equality
-// indexes are maintained incrementally by Insert; sorted indexes, MATCH
-// posting indexes and statistics snapshots are version-checked and rebuilt
-// on first use after a mutation. Planned queries are immutable after
-// construction (executions record actual cardinalities into per-run
-// copies), so one cached plan serves concurrent Execute/Exists calls.
+// Plans are memoized in a package-level LRU keyed on (database ID, the
+// referenced tables' individual versions, reorder setting, canonical
+// SQL). The per-table-version contract: the key embeds one
+// (table, mutation counter) pair for each table the statement references
+// — and only those — so an Insert into one table makes exactly the
+// cached plans that read it unreachable, while plans over every other
+// table keep serving. Cached index-probe ordinals can therefore never go
+// stale: any mutation of a scanned table changes that table's version
+// and thus the key. The same contract extends upward — the engine's
+// query cache and the serving tier's response cache validate their
+// entries against the same per-table counters (wrapper.TableVersioner)
+// instead of a global epoch.
+//
+// Equality indexes are maintained incrementally by Insert; sorted
+// indexes, MATCH posting indexes and statistics snapshots are
+// version-checked on first use after a mutation and either delta-updated
+// within the staleness budget or rebuilt (relational's incremental
+// maintenance; the planner tolerates budget-stale histograms — the scan
+// annotates its estimate provenance — but never serves stale index
+// postings). Planned queries are immutable after construction
+// (executions record actual cardinalities into per-run copies), so one
+// cached plan serves concurrent Execute/Exists calls.
 //
 // ExecuteFullScan retains the pre-planner interpreter (full scans, WHERE
 // evaluated per joined row) as the reference implementation; the

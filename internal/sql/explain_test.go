@@ -3,6 +3,8 @@ package sql
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/relational"
 )
 
 func TestExplainHashJoin(t *testing.T) {
@@ -102,5 +104,52 @@ func TestExplainRowCounts(t *testing.T) {
 	}
 	if !strings.Contains(plan, "SCAN movie (4 rows)") {
 		t.Errorf("plan missing row count:\n%s", plan)
+	}
+}
+
+// TestExplainAnalyzeStatsFreshness pins the estimate-provenance rendering:
+// a scan costed from freshly built statistics is annotated fresh, a scan
+// costed after an in-budget insert is annotated budget-stale (the delta
+// path served the estimate), and a scan over a sampled rebuild says so.
+func TestExplainAnalyzeStatsFreshness(t *testing.T) {
+	defer relational.SetIncrementalMaintenance(relational.SetIncrementalMaintenance(true))
+	db := testDB(t)
+	stmt, err := Parse("SELECT title FROM movie WHERE year > 1990")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyze := func() string {
+		t.Helper()
+		plan, err := ExplainAnalyze(db, stmt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return plan
+	}
+
+	if plan := analyze(); !strings.Contains(plan, "[stats: fresh]") {
+		t.Errorf("first analyze should cost from fresh statistics:\n%s", plan)
+	}
+
+	// One in-budget insert: the next plan re-consults statistics (the
+	// table version moved), the delta path serves them, and the scan
+	// reports the estimate as budget-stale.
+	I, F, S := relational.Int, relational.Float, relational.String_
+	if err := db.Insert("movie", relational.Row{I(99), S("delta movie"), I(2020), F(6.0)}); err != nil {
+		t.Fatal(err)
+	}
+	if plan := analyze(); !strings.Contains(plan, "[stats: budget-stale]") {
+		t.Errorf("post-insert analyze should report budget-stale statistics:\n%s", plan)
+	}
+
+	// Force the sampled path: lower the sampling threshold so the rebuild
+	// triggered by dropping the cached state is a sampled one.
+	defer func(rows, size int) {
+		relational.StatsSampleRows, relational.StatsSampleSize = rows, size
+	}(relational.StatsSampleRows, relational.StatsSampleSize)
+	relational.StatsSampleRows, relational.StatsSampleSize = 1, 3
+	db.Table("movie").DropIndexes()
+	if plan := analyze(); !strings.Contains(plan, "[stats: sampled]") {
+		t.Errorf("analyze over a sampled rebuild should say so:\n%s", plan)
 	}
 }

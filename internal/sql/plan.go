@@ -60,6 +60,11 @@ type ScanPlan struct {
 	Pushed     []string
 	EstRows    int
 	ActualRows int
+	// StatsFreshness labels the statistics the estimate was costed from:
+	// relational.StatsFresh, StatsBudgetStale or StatsSampled, or "" when
+	// no column statistics were consulted for this table. ExplainAnalyze
+	// renders it so estimate drift under write traffic is diagnosable.
+	StatsFreshness string
 }
 
 // JoinPlan describes one join step over the accumulated left relation.
@@ -172,10 +177,12 @@ func SetJoinReorder(on bool) (was bool) {
 }
 
 // planCache memoizes plans across Execute/Exists calls. The key embeds the
-// database identity, its data version (any Insert changes the version, so
-// cached index probes can never serve stale ordinals), the reorder setting
-// and the canonical SQL text; the engine re-executes cached explanations on
-// every search, so plan reuse is the common case.
+// database identity, the version of every table the statement references
+// (an Insert into a referenced table changes that version, so cached index
+// probes can never serve stale ordinals — while inserts into unreferenced
+// tables leave the key, and the cached plan, untouched), the reorder
+// setting and the canonical SQL text; the engine re-executes cached
+// explanations on every search, so plan reuse is the common case.
 var planCache = cache.New[string, *plannedQuery](512)
 
 // matchIndexCache memoizes per-attribute full-text indexes built for the
@@ -207,6 +214,9 @@ type scanNode struct {
 	// so the interpreted and vectorized paths never mix per scan).
 	vec   []colPred
 	vecOK bool
+	// freshness records what kind of statistics (fresh / budget-stale /
+	// sampled) est was costed from; "" when none were consulted.
+	freshness string
 }
 
 // joinStep is one planned join of the accumulated left relation with a
@@ -255,7 +265,7 @@ func Plan(db *relational.Database, stmt *SelectStmt) (*QueryPlan, error) {
 // for a statement. The key is the canonical SQL text (re-rendered per call
 // — statements carry no cache slot, and the text is what makes the key
 // independent of pointer identity and mutation) prefixed with the database
-// identity, data version and reorder setting.
+// identity, the per-referenced-table versions and the reorder setting.
 func planSelect(db *relational.Database, stmt *SelectStmt) (*plannedQuery, error) {
 	// The reorder flag is read exactly once and threaded through the whole
 	// build, so a concurrent SetJoinReorder toggle can never cache a plan
@@ -264,7 +274,16 @@ func planSelect(db *relational.Database, stmt *SelectStmt) (*plannedQuery, error
 	var kb strings.Builder
 	kb.WriteString(strconv.FormatUint(db.ID(), 10))
 	kb.WriteByte(0)
-	kb.WriteString(strconv.FormatUint(db.DataVersion(), 10))
+	// Per-table versions, not the whole-database DataVersion: a write to a
+	// table this statement never reads must not evict its plan.
+	for _, tr := range stmt.Tables() {
+		if t := db.Table(tr.Table); t != nil {
+			kb.WriteString(tr.Table)
+			kb.WriteByte('=')
+			kb.WriteString(strconv.FormatUint(t.Version(), 10))
+			kb.WriteByte(';')
+		}
+	}
 	kb.WriteByte(0)
 	if reorder {
 		kb.WriteByte('r')
@@ -396,6 +415,7 @@ func buildPlan(db *relational.Database, stmt *SelectStmt, reorder bool) (*planne
 	// the written order.
 	if tryReorder(p, stmt, nodes, tables, nodeStart, ownerNode, full, reorder) {
 		p.compileVec()
+		captureStatsFreshness(nodes, tables)
 		p.plan = p.describe()
 		return p, nil
 	}
@@ -435,8 +455,19 @@ func buildPlan(db *relational.Database, stmt *SelectStmt, reorder bool) (*planne
 	}
 
 	p.compileVec()
+	captureStatsFreshness(nodes, tables)
 	p.plan = p.describe()
 	return p, nil
+}
+
+// captureStatsFreshness stamps each scan node with the freshness of the
+// statistics its table currently caches — the snapshots estimation just
+// consulted — so the frozen plan can report what its estimates were built
+// from.
+func captureStatsFreshness(nodes []*scanNode, tables []*relational.Table) {
+	for i, n := range nodes {
+		n.freshness = tables[i].StatsFreshnessSummary()
+	}
 }
 
 // tableFor returns the relational table backing a scan node.
@@ -846,11 +877,12 @@ func (p *plannedQuery) describe() *QueryPlan {
 	}
 	for _, n := range nodes {
 		sp := ScanPlan{
-			Table:      n.tr.Table,
-			Binding:    n.tr.Binding(),
-			Access:     n.access,
-			EstRows:    n.est,
-			ActualRows: -1,
+			Table:          n.tr.Table,
+			Binding:        n.tr.Binding(),
+			Access:         n.access,
+			EstRows:        n.est,
+			ActualRows:     -1,
+			StatsFreshness: n.freshness,
 		}
 		if n.access != AccessFullScan {
 			sp.IndexColumn = n.idxCol

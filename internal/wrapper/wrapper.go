@@ -183,8 +183,22 @@ type StatisticsProvider interface {
 // racing queries on the same data — callers (the sharded coordinator, the
 // transport server's replication path) serialize writes and quiesce reads
 // around them. Backends without it are read-only to coordinators.
+// (FullAccessSource goes further and serializes internally with a
+// read/write lock, so the serving tier can interleave inserts with
+// queries.)
 type Inserter interface {
 	Insert(table string, row relational.Row) error
+}
+
+// TableVersioner is the cache-invalidation face of a source: it reports a
+// table's mutation counter so consumers (the engine's query cache, the
+// serving tier's response cache) can validate cached entries per table
+// instead of flushing everything on any write. The second return is false
+// for unknown tables. Implementations must be cheap and safe to call
+// concurrently with Insert — FullAccessSource reads the atomic
+// relational.Table version.
+type TableVersioner interface {
+	TableVersion(table string) (uint64, bool)
 }
 
 // ExecuteExists reports whether the statement yields at least one tuple on
@@ -234,12 +248,20 @@ type Source interface {
 }
 
 // FullAccessSource exposes an owned relational database with full-text
-// indexes built in the setup phase. It is safe for concurrent use: the
-// database and index are read-only after setup and the statistics cache is
-// mutex-guarded.
+// indexes built in the setup phase. It is safe for concurrent use,
+// including mixed read/write traffic: the full-text index is read-only
+// after setup, the statistics cache is mutex-guarded, and dataMu
+// serializes Insert against the row-reading faces (Execute, ExecuteExists,
+// ExecuteStream, ColumnStatistics, EdgeDistance) so the executor never
+// scans a table mid-append.
 type FullAccessSource struct {
 	db    *relational.Database
 	index *fulltext.Index
+
+	// dataMu is held shared by every row-reading face and exclusively by
+	// Insert. Reads still run concurrently with each other (the engine's
+	// PruneEmpty fan-out depends on that); only writes are exclusive.
+	dataMu sync.RWMutex
 
 	edgeMu    sync.Mutex
 	edgeCache map[string]float64
@@ -292,6 +314,8 @@ func (s *FullAccessSource) EdgeDistance(e relational.JoinEdge) (float64, error) 
 	if ok {
 		return d, nil
 	}
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
 	if strings.EqualFold(e.FromTable, e.ToTable) {
 		ps, err := mi.IntraTable(s.db.Table(e.FromTable), e.FromColumn, e.ToColumn)
 		if err != nil {
@@ -318,6 +342,8 @@ func (s *FullAccessSource) EdgeDistance(e relational.JoinEdge) (float64, error) 
 // instance-statistics face of the wrapper: metadata-only sources cannot
 // provide it (ErrNoInstanceAccess), mirroring EdgeDistance.
 func (s *FullAccessSource) ColumnStatistics(table, column string) (*relational.ColumnStats, error) {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
 	t := s.db.Table(table)
 	if t == nil {
 		return nil, fmt.Errorf("wrapper: unknown table %s", table)
@@ -325,23 +351,40 @@ func (s *FullAccessSource) ColumnStatistics(table, column string) (*relational.C
 	return t.Stats(column)
 }
 
-// Insert implements Inserter directly on the owned database. It belongs
-// to the population phase — the engine's equality indexes and statistics
-// versions track the mutation (see internal/sql's invalidation rules),
-// but the full-text relevance index is built once at setup and does not
-// fold new rows in, exactly like the owned-shards sharded source.
+// Insert implements Inserter directly on the owned database, excluding
+// every row-reading face for the duration (dataMu) so the serving tier
+// can interleave writes with queries. The table's indexes and statistics
+// track the mutation incrementally (see relational/maintain.go), but the
+// full-text relevance index is built once at setup and does not fold new
+// rows in, exactly like the owned-shards sharded source.
 func (s *FullAccessSource) Insert(table string, row relational.Row) error {
+	s.dataMu.Lock()
+	defer s.dataMu.Unlock()
 	return s.db.Insert(table, row)
+}
+
+// TableVersion implements TableVersioner on the owned database's atomic
+// per-table mutation counters; callers key caches on it.
+func (s *FullAccessSource) TableVersion(table string) (uint64, bool) {
+	t := s.db.Table(table)
+	if t == nil {
+		return 0, false
+	}
+	return t.Version(), true
 }
 
 // Execute implements Source directly on the engine.
 func (s *FullAccessSource) Execute(stmt *sql.SelectStmt) (*sql.Result, error) {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
 	return sql.Execute(s.db, stmt)
 }
 
 // ExecuteExists implements ExistsExecutor through the engine's streaming
 // existence mode: the query stops at its first surviving tuple.
 func (s *FullAccessSource) ExecuteExists(stmt *sql.SelectStmt) (bool, error) {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
 	return sql.Exists(s.db, stmt)
 }
 
@@ -351,6 +394,8 @@ func (s *FullAccessSource) ExecuteExists(stmt *sql.SelectStmt) (bool, error) {
 // replay. The sink's ColumnSink face, when present, receives the header
 // before the first row.
 func (s *FullAccessSource) ExecuteStream(stmt *sql.SelectStmt, sink RowSink) ([]string, error) {
+	s.dataMu.RLock()
+	defer s.dataMu.RUnlock()
 	sink.Reset()
 	var cols []string
 	err := sql.ExecuteStream(s.db, stmt,
